@@ -1,0 +1,68 @@
+//! Criterion: the clustered B+-tree substrate (bulk load, inserts, scan).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyline_storage::btree::key_codec::i32_key;
+use skyline_storage::{BTree, Disk, MemDisk, SharedBTreeScan};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_btree(c: &mut Criterion) {
+    let n = 50_000usize;
+    let recs: Vec<([u8; 4], [u8; 100])> = (0..n)
+        .map(|i| {
+            let v = ((i as u64 * 2_654_435_761) % 1_000_000) as i32;
+            (i32_key(v), [0u8; 100])
+        })
+        .collect();
+    let mut sorted = recs.clone();
+    sorted.sort_by_key(|p| p.0);
+
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("bulk_load_50k", |b| {
+        b.iter(|| {
+            let disk = MemDisk::shared();
+            let t = BTree::bulk_load(
+                disk as Arc<dyn Disk>,
+                4,
+                100,
+                sorted.iter().map(|(k, r)| (k.as_slice(), r.as_slice())),
+            );
+            black_box(t.len())
+        });
+    });
+    g.bench_function("random_inserts_50k", |b| {
+        b.iter(|| {
+            let disk = MemDisk::shared();
+            let mut t = BTree::new(disk as Arc<dyn Disk>, 4, 100);
+            for (k, r) in &recs {
+                t.insert(k, r);
+            }
+            black_box(t.len())
+        });
+    });
+    let disk = MemDisk::shared();
+    let tree = Arc::new(BTree::bulk_load(
+        disk as Arc<dyn Disk>,
+        4,
+        100,
+        sorted.iter().map(|(k, r)| (k.as_slice(), r.as_slice())),
+    ));
+    g.bench_function("full_scan_50k", |b| {
+        b.iter(|| {
+            let mut s = SharedBTreeScan::new(Arc::clone(&tree));
+            let mut n = 0u64;
+            while s.next_record().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_btree
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion: the skyline cardinality estimator (what an optimizer would
+//! call per query — it must be cheap even at n = 10⁶).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::cardinality::{asymptotic_skyline_size, expected_skyline_size};
+use std::hint::black_box;
+
+fn bench_cardinality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cardinality_estimator");
+    for &n in &[10_000usize, 1_000_000] {
+        g.bench_with_input(BenchmarkId::new("exact_dp_d7", n), &n, |b, &n| {
+            b.iter(|| black_box(expected_skyline_size(n, 7)));
+        });
+        g.bench_with_input(BenchmarkId::new("asymptotic_d7", n), &n, |b, &n| {
+            b.iter(|| black_box(asymptotic_skyline_size(n, 7)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cardinality
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion ablation: the 2-D/3-D special-case algorithms (paper §6's
+//! "special cases … could be exploited") vs the general ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::{bnl, sfs, MemSortOrder};
+use skyline_core::lowdim::{skyline_2d, skyline_3d};
+use skyline_core::KeyMatrix;
+use skyline_relation::gen::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_lowdim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lowdim_specials");
+    for &n in &[10_000usize, 50_000] {
+        let k2 = KeyMatrix::new(2, WorkloadSpec::paper(n, 5).generate_keys(2));
+        let k3 = KeyMatrix::new(3, WorkloadSpec::paper(n, 5).generate_keys(3));
+        g.bench_with_input(BenchmarkId::new("skyline_2d", n), &k2, |b, k| {
+            b.iter(|| black_box(skyline_2d(k).indices.len()));
+        });
+        g.bench_with_input(BenchmarkId::new("sfs_2d", n), &k2, |b, k| {
+            b.iter(|| black_box(sfs(k, MemSortOrder::Entropy).indices.len()));
+        });
+        g.bench_with_input(BenchmarkId::new("skyline_3d", n), &k3, |b, k| {
+            b.iter(|| black_box(skyline_3d(k).indices.len()));
+        });
+        g.bench_with_input(BenchmarkId::new("bnl_3d", n), &k3, |b, k| {
+            b.iter(|| black_box(bnl(k).indices.len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lowdim
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion: incremental skyline maintenance vs recompute-from-scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyline_core::algo::{sfs, MemSortOrder};
+use skyline_core::maintain::SkylineCache;
+use skyline_core::KeyMatrix;
+use skyline_relation::gen::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_maintain(c: &mut Criterion) {
+    let d = 5;
+    let n = 50_000;
+    let keys = WorkloadSpec::paper(n, 7).generate_keys(d);
+    let mut g = c.benchmark_group("incremental_maintenance");
+    g.bench_function("stream_inserts", |b| {
+        b.iter(|| {
+            let mut cache = SkylineCache::new(d);
+            for (i, row) in keys.chunks_exact(d).enumerate() {
+                cache.insert(i as u64, row);
+            }
+            black_box(cache.len())
+        });
+    });
+    g.bench_function("batch_recompute", |b| {
+        let km = KeyMatrix::new(d, keys.clone());
+        b.iter(|| black_box(sfs(&km, MemSortOrder::Entropy).indices.len()));
+    });
+    // per-insert cost once warm: one more tuple against an existing cache
+    let mut warm = SkylineCache::new(d);
+    for (i, row) in keys.chunks_exact(d).enumerate() {
+        warm.insert(i as u64, row);
+    }
+    g.bench_function("single_insert_warm", |b| {
+        let probe: Vec<f64> = keys[..d].to_vec();
+        b.iter(|| {
+            let mut c = warm.clone();
+            black_box(c.insert(u64::MAX, &probe))
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_maintain
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion: in-memory skyline algorithms head-to-head (naive / SFS /
+//! BNL / divide-and-conquer) on the paper's uniform-independent data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::{bnl, divide_and_conquer, naive, sfs, MemSortOrder};
+use skyline_core::KeyMatrix;
+use skyline_relation::gen::WorkloadSpec;
+use std::hint::black_box;
+
+fn keymatrix(n: usize, d: usize, seed: u64) -> KeyMatrix {
+    let keys = WorkloadSpec::paper(n, seed).generate_keys(d);
+    KeyMatrix::new(d, keys)
+}
+
+fn bench_mem_algos(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem_algos");
+    for &n in &[1_000usize, 5_000] {
+        let km = keymatrix(n, 5, 11);
+        g.bench_with_input(BenchmarkId::new("naive", n), &km, |b, km| {
+            b.iter(|| black_box(naive(km).indices.len()));
+        });
+        g.bench_with_input(BenchmarkId::new("sfs_entropy", n), &km, |b, km| {
+            b.iter(|| black_box(sfs(km, MemSortOrder::Entropy).indices.len()));
+        });
+        g.bench_with_input(BenchmarkId::new("sfs_nested", n), &km, |b, km| {
+            b.iter(|| black_box(sfs(km, MemSortOrder::Nested).indices.len()));
+        });
+        g.bench_with_input(BenchmarkId::new("bnl", n), &km, |b, km| {
+            b.iter(|| black_box(bnl(km).indices.len()));
+        });
+        g.bench_with_input(BenchmarkId::new("dnc", n), &km, |b, km| {
+            b.iter(|| black_box(divide_and_conquer(km).indices.len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mem_algos
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion ablation: partition/merge parallel skyline vs sequential SFS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_core::algo::{sfs, MemSortOrder};
+use skyline_core::par::parallel_skyline;
+use skyline_core::KeyMatrix;
+use skyline_relation::gen::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_parallel(c: &mut Criterion) {
+    let km = KeyMatrix::new(6, WorkloadSpec::paper(100_000, 2003).generate_keys(6));
+    let mut g = c.benchmark_group("parallel_skyline");
+    g.bench_function("sequential_sfs", |b| {
+        b.iter(|| black_box(sfs(&km, MemSortOrder::Entropy).indices.len()));
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| black_box(parallel_skyline(&km, t).len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion counterpart of Figure 9: the three SFS variants (basic,
+//! w/E, w/E,P) through the full external pipeline at a fixed window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::{run_sfs, Dataset, SfsVariant};
+use std::hint::black_box;
+
+fn bench_sfs_variants(c: &mut Criterion) {
+    let ds = Dataset::paper(30_000, 2003);
+    let mut g = c.benchmark_group("fig09_sfs_variants");
+    for variant in [SfsVariant::Basic, SfsVariant::Entropy, SfsVariant::EntropyProjection] {
+        for &w in &[1usize, 16] {
+            g.bench_with_input(
+                BenchmarkId::new(variant.label().replace([' ', '/'], "_"), w),
+                &w,
+                |b, &w| {
+                    b.iter(|| black_box(run_sfs(&ds, 6, w, variant).skyline));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sfs_variants
+}
+criterion_main!(benches);

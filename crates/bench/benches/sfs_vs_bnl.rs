@@ -1,0 +1,30 @@
+//! Criterion counterpart of Figures 12–15: SFS (w/E,P) vs BNL at five
+//! and seven dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::{run_bnl, run_sfs, BnlInput, Dataset, SfsVariant};
+use std::hint::black_box;
+
+fn bench_sfs_vs_bnl(c: &mut Criterion) {
+    let ds = Dataset::paper(30_000, 2003);
+    let mut g = c.benchmark_group("fig12_15_sfs_vs_bnl");
+    for &d in &[5usize, 7] {
+        g.bench_with_input(BenchmarkId::new("sfs_wEP", d), &d, |b, &d| {
+            b.iter(|| black_box(run_sfs(&ds, d, 8, SfsVariant::EntropyProjection).skyline));
+        });
+        g.bench_with_input(BenchmarkId::new("bnl", d), &d, |b, &d| {
+            b.iter(|| black_box(run_bnl(&ds, d, 8, BnlInput::Natural).skyline));
+        });
+        g.bench_with_input(BenchmarkId::new("bnl_wRE", d), &d, |b, &d| {
+            b.iter(|| black_box(run_bnl(&ds, d, 8, BnlInput::ReverseEntropy).skyline));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sfs_vs_bnl
+}
+criterion_main!(benches);

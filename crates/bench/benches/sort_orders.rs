@@ -1,0 +1,26 @@
+//! Criterion counterpart of the §5 sort-times table: nested 7-attribute
+//! sort vs single-score entropy sort (the paper's 57 s vs 37 s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyline_bench::{run_sort_only, Dataset};
+use skyline_core::SortOrder;
+use std::hint::black_box;
+
+fn bench_sort_orders(c: &mut Criterion) {
+    let ds = Dataset::paper(50_000, 2003);
+    let mut g = c.benchmark_group("table_sort_times");
+    g.bench_function("nested_7attr", |b| {
+        b.iter(|| black_box(run_sort_only(&ds, 7, SortOrder::Nested).1));
+    });
+    g.bench_function("entropy_score", |b| {
+        b.iter(|| black_box(run_sort_only(&ds, 7, SortOrder::Entropy).1));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sort_orders
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Figure 9: SFS / SFS w/E / SFS w/E,P times vs window size (d = 7).
+
+use skyline_bench::{fig09_10, parse_args, window_sweep, Dataset};
+
+fn main() {
+    let (scale, seed, _full) = parse_args();
+    let ds = Dataset::paper(scale, seed);
+    let (time, _io) = fig09_10(&ds, 7, &window_sweep());
+    time.print();
+    time.save_csv("results", "fig09_sfs_time").expect("save csv");
+}

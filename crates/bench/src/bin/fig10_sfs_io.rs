@@ -1,0 +1,11 @@
+//! Figure 10: SFS variants' extra-page I/Os vs window size (d = 7).
+
+use skyline_bench::{fig09_10, parse_args, window_sweep, Dataset};
+
+fn main() {
+    let (scale, seed, _full) = parse_args();
+    let ds = Dataset::paper(scale, seed);
+    let (_time, io) = fig09_10(&ds, 7, &window_sweep());
+    io.print();
+    io.save_csv("results", "fig10_sfs_io").expect("save csv");
+}

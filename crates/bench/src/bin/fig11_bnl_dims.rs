@@ -1,0 +1,12 @@
+//! Figure 11: BNL (and BNL w/RE, curtailed) times vs window size for
+//! skylines of 5, 6, and 7 dimensions.
+
+use skyline_bench::{fig11, parse_args, window_sweep, Dataset};
+
+fn main() {
+    let (scale, seed, full) = parse_args();
+    let ds = Dataset::paper(scale, seed);
+    let t = fig11(&ds, &[5, 6, 7], &window_sweep(), full);
+    t.print();
+    t.save_csv("results", "fig11_bnl_dims").expect("save csv");
+}

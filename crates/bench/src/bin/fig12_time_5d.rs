@@ -1,0 +1,11 @@
+//! Figure 12: SFS vs BNL vs BNL w/RE times, 5-dimensional skyline.
+
+use skyline_bench::{fig_comparison, parse_args, window_sweep, Dataset};
+
+fn main() {
+    let (scale, seed, full) = parse_args();
+    let ds = Dataset::paper(scale, seed);
+    let (time, _io) = fig_comparison(&ds, 5, &window_sweep(), full, "Fig 12", "Fig 14");
+    time.print();
+    time.save_csv("results", "fig12_time_5d").expect("save csv");
+}

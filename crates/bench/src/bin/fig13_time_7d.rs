@@ -1,0 +1,11 @@
+//! Figure 13: SFS vs BNL vs BNL w/RE times, 7-dimensional skyline.
+
+use skyline_bench::{fig_comparison, parse_args, window_sweep, Dataset};
+
+fn main() {
+    let (scale, seed, full) = parse_args();
+    let ds = Dataset::paper(scale, seed);
+    let (time, _io) = fig_comparison(&ds, 7, &window_sweep(), full, "Fig 13", "Fig 15");
+    time.print();
+    time.save_csv("results", "fig13_time_7d").expect("save csv");
+}

@@ -1,0 +1,11 @@
+//! Figure 14: SFS vs BNL extra-page I/Os, 5-dimensional skyline.
+
+use skyline_bench::{fig_comparison, parse_args, window_sweep, Dataset};
+
+fn main() {
+    let (scale, seed, full) = parse_args();
+    let ds = Dataset::paper(scale, seed);
+    let (_time, io) = fig_comparison(&ds, 5, &window_sweep(), full, "Fig 12", "Fig 14");
+    io.print();
+    io.save_csv("results", "fig14_io_5d").expect("save csv");
+}

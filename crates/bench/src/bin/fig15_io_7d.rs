@@ -1,0 +1,11 @@
+//! Figure 15: SFS vs BNL extra-page I/Os, 7-dimensional skyline.
+
+use skyline_bench::{fig_comparison, parse_args, window_sweep, Dataset};
+
+fn main() {
+    let (scale, seed, full) = parse_args();
+    let ds = Dataset::paper(scale, seed);
+    let (_time, io) = fig_comparison(&ds, 7, &window_sweep(), full, "Fig 13", "Fig 15");
+    io.print();
+    io.save_csv("results", "fig15_io_7d").expect("save csv");
+}

@@ -1,0 +1,59 @@
+//! Regenerate every figure and table of the paper's evaluation in one go.
+//! Results print to stdout and land as CSVs under `results/`.
+
+use skyline_bench::*;
+
+fn main() {
+    let (scale, seed, full) = parse_args();
+    eprintln!("== skyline repro, n={scale}, seed={seed}, full={full} ==");
+    let ds = Dataset::paper(scale, seed);
+    let windows = window_sweep();
+
+    let (t9, t10) = fig09_10(&ds, 7, &windows);
+    t9.print();
+    t9.save_csv("results", "fig09_sfs_time").expect("csv");
+    t10.print();
+    t10.save_csv("results", "fig10_sfs_io").expect("csv");
+
+    let t11 = fig11(&ds, &[5, 6, 7], &windows, full);
+    t11.print();
+    t11.save_csv("results", "fig11_bnl_dims").expect("csv");
+
+    let (t12, t14) = fig_comparison(&ds, 5, &windows, full, "Fig 12", "Fig 14");
+    t12.print();
+    t12.save_csv("results", "fig12_time_5d").expect("csv");
+    t14.print();
+    t14.save_csv("results", "fig14_io_5d").expect("csv");
+
+    let (t13, t15) = fig_comparison(&ds, 7, &windows, full, "Fig 13", "Fig 15");
+    t13.print();
+    t13.save_csv("results", "fig13_time_7d").expect("csv");
+    t15.print();
+    t15.save_csv("results", "fig15_io_7d").expect("csv");
+
+    let ts = table_skyline_sizes(&ds, &[2, 3, 4, 5, 6, 7, 8]);
+    ts.print();
+    ts.save_csv("results", "table_skyline_sizes").expect("csv");
+
+    let tt = table_sort_times(&ds, 7);
+    tt.print();
+    tt.save_csv("results", "table_sort_times").expect("csv");
+
+    let td = table_dimred(scale, seed);
+    td.print();
+    td.save_csv("results", "table_dimred").expect("csv");
+
+    let tst = table_strata(&ds, &[4, 5], 500);
+    tst.print();
+    tst.save_csv("results", "table_strata").expect("csv");
+
+    let tdist = table_distributions(scale.min(100_000), seed, 4, 4);
+    tdist.print();
+    tdist.save_csv("results", "table_distributions").expect("csv");
+
+    let tclu = table_clustered(&ds, 5, 2);
+    tclu.print();
+    tclu.save_csv("results", "table_clustered").expect("csv");
+
+    eprintln!("== done ==");
+}

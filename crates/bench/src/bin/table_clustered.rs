@@ -1,0 +1,12 @@
+//! §4.2's clustered-index input orders: BNL's cost varies with arrival
+//! order; SFS does not care.
+
+use skyline_bench::{parse_args, table_clustered, Dataset};
+
+fn main() {
+    let (scale, seed, _full) = parse_args();
+    let ds = Dataset::paper(scale, seed);
+    let t = table_clustered(&ds, 5, 2);
+    t.print();
+    t.save_csv("results", "table_clustered").expect("save csv");
+}

@@ -1,0 +1,11 @@
+//! §5 in-text experiment: dimensional reduction on domains 0–9 (paper:
+//! one million tuples reduce to 99,826 ≈ 10% before the filter phase).
+
+use skyline_bench::{parse_args, table_dimred};
+
+fn main() {
+    let (scale, seed, _full) = parse_args();
+    let t = table_dimred(scale, seed);
+    t.print();
+    t.save_csv("results", "table_dimred").expect("save csv");
+}

@@ -1,0 +1,13 @@
+//! §6's correlation caveat: skyline size and pass degeneration across
+//! correlated / uniform / anti-correlated data.
+
+use skyline_bench::{parse_args, table_distributions};
+
+fn main() {
+    let (scale, seed, _full) = parse_args();
+    // anti-correlated skylines are enormous: cap this sweep's n
+    let n = scale.min(100_000);
+    let t = table_distributions(n, seed, 4, 4);
+    t.print();
+    t.save_csv("results", "table_distributions").expect("save csv");
+}

@@ -1,0 +1,11 @@
+//! §5 in-text table: skyline size per dimension vs the cardinality model.
+
+use skyline_bench::{parse_args, table_skyline_sizes, Dataset};
+
+fn main() {
+    let (scale, seed, _full) = parse_args();
+    let ds = Dataset::paper(scale, seed);
+    let t = table_skyline_sizes(&ds, &[2, 3, 4, 5, 6, 7, 8]);
+    t.print();
+    t.save_csv("results", "table_skyline_sizes").expect("save csv");
+}

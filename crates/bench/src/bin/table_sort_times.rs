@@ -1,0 +1,12 @@
+//! §5 in-text table: nested vs entropy sort-phase times (paper: 57 s vs
+//! 37 s at one million tuples).
+
+use skyline_bench::{parse_args, table_sort_times, Dataset};
+
+fn main() {
+    let (scale, seed, _full) = parse_args();
+    let ds = Dataset::paper(scale, seed);
+    let t = table_sort_times(&ds, 7);
+    t.print();
+    t.save_csv("results", "table_sort_times").expect("save csv");
+}

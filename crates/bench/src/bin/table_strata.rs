@@ -1,0 +1,12 @@
+//! §5 in-text experiment: the first four skyline strata at d = 4 and
+//! d = 5 with a 500-page window.
+
+use skyline_bench::{parse_args, table_strata, Dataset};
+
+fn main() {
+    let (scale, seed, _full) = parse_args();
+    let ds = Dataset::paper(scale, seed);
+    let t = table_strata(&ds, &[4, 5], 500);
+    t.print();
+    t.save_csv("results", "table_strata").expect("save csv");
+}

@@ -1,0 +1,431 @@
+//! One function per paper figure/table, each returning [`ReportTable`]s
+//! ready to print and save. The `src/bin/fig*.rs` binaries are thin
+//! wrappers; `repro_all` runs everything.
+
+use crate::harness::*;
+use crate::report::{ms, ReportTable};
+use skyline_core::cardinality::{asymptotic_skyline_size, expected_skyline_size};
+use skyline_core::score::SortOrder;
+use skyline_core::strata::strata_external;
+use skyline_core::SkylineSpec;
+use skyline_relation::gen::WorkloadSpec;
+use skyline_storage::Disk;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Figures 9 & 10: the three SFS variants over a window sweep (d = 7 at
+/// paper scale). One sweep produces both the time table (Fig. 9) and the
+/// extra-page I/O table (Fig. 10).
+pub fn fig09_10(ds: &Dataset, d: usize, windows: &[usize]) -> (ReportTable, ReportTable) {
+    let mut time = ReportTable::new(
+        format!(
+            "Fig 9 — SFS time vs window size (n={}, d={d}; *_2002 adds a \
+             simulated vintage disk for the extra pages)",
+            ds.n
+        ),
+        &["window_pages", "SFS_ms", "SFS_wE_ms", "SFS_wEP_ms", "SFS_2002_ms", "skyline"],
+    );
+    let mut io = ReportTable::new(
+        format!("Fig 10 — SFS extra-page I/Os vs window size (n={}, d={d})", ds.n),
+        &["window_pages", "SFS_ios", "SFS_wE_ios", "SFS_wEP_ios"],
+    );
+    for &w in windows {
+        let basic = run_sfs(ds, d, w, SfsVariant::Basic);
+        let we = run_sfs(ds, d, w, SfsVariant::Entropy);
+        let wep = run_sfs(ds, d, w, SfsVariant::EntropyProjection);
+        assert_eq!(basic.skyline, we.skyline);
+        assert_eq!(we.skyline, wep.skyline);
+        let vintage = skyline_storage::DiskCostModel::vintage_2002();
+        time.row(vec![
+            w.to_string(),
+            format!("{:.1}", basic.total_ms()),
+            format!("{:.1}", we.total_ms()),
+            format!("{:.1}", wep.total_ms()),
+            format!("{:.1}", basic.total_ms_with_disk(&vintage)),
+            basic.skyline.to_string(),
+        ]);
+        io.row(vec![
+            w.to_string(),
+            basic.extra_ios.to_string(),
+            we.extra_ios.to_string(),
+            wep.extra_ios.to_string(),
+        ]);
+    }
+    (time, io)
+}
+
+/// Figure 11: BNL time vs window size for d ∈ {5, 6, 7}, natural order
+/// and (curtailed, unless `full`) reverse-entropy order.
+pub fn fig11(ds: &Dataset, dims: &[usize], windows: &[usize], full: bool) -> ReportTable {
+    let mut t = ReportTable::new(
+        format!("Fig 11 — BNL time vs window size (n={})", ds.n),
+        &["window_pages", "dim", "BNL_ms", "BNL_wRE_ms", "skyline", "BNL_comparisons"],
+    );
+    let re_windows = re_window_limit(ds.n, windows, full);
+    for &d in dims {
+        for &w in windows {
+            let nat = run_bnl(ds, d, w, BnlInput::Natural);
+            let re = if re_windows.contains(&w) {
+                Some(run_bnl(ds, d, w, BnlInput::ReverseEntropy))
+            } else {
+                None
+            };
+            t.row(vec![
+                w.to_string(),
+                d.to_string(),
+                format!("{:.1}", nat.filter_ms),
+                re.as_ref()
+                    .map_or("curtailed".to_owned(), |r| format!("{:.1}", r.filter_ms)),
+                nat.skyline.to_string(),
+                nat.metrics.comparisons.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Which windows get a BNL w/RE run: the paper curtailed these ("they
+/// took hours"); by default only the three smallest windows run.
+fn re_window_limit(n: usize, windows: &[usize], full: bool) -> Vec<usize> {
+    if full || n <= 20_000 {
+        windows.to_vec()
+    } else if n <= 300_000 {
+        windows.iter().copied().take(3).collect()
+    } else {
+        // at paper scale a single RE configuration runs for hours —
+        // exactly why the paper curtailed them
+        Vec::new()
+    }
+}
+
+/// Figures 12/13 (times) and 14/15 (I/Os): SFS (w/E,P) vs BNL vs
+/// BNL w/RE at dimension `d`. Fig 12+14 use d=5; Fig 13+15 use d=7.
+pub fn fig_comparison(
+    ds: &Dataset,
+    d: usize,
+    windows: &[usize],
+    full: bool,
+    fig_time: &str,
+    fig_io: &str,
+) -> (ReportTable, ReportTable) {
+    let mut time = ReportTable::new(
+        format!("{fig_time} — times, SFS vs BNL (n={}, d={d})", ds.n),
+        &["window_pages", "SFS_ms", "SFS_sort_ms", "SFS_filter_ms", "BNL_ms", "BNL_wRE_ms"],
+    );
+    let mut io = ReportTable::new(
+        format!("{fig_io} — extra-page I/Os, SFS vs BNL (n={}, d={d})", ds.n),
+        &["window_pages", "SFS_ios", "BNL_ios", "BNL_wRE_ios"],
+    );
+    let re_windows = re_window_limit(ds.n, windows, full);
+    for &w in windows {
+        let sfs = run_sfs(ds, d, w, SfsVariant::EntropyProjection);
+        let bnl = run_bnl(ds, d, w, BnlInput::Natural);
+        let re = if re_windows.contains(&w) {
+            Some(run_bnl(ds, d, w, BnlInput::ReverseEntropy))
+        } else {
+            None
+        };
+        assert_eq!(sfs.skyline, bnl.skyline);
+        time.row(vec![
+            w.to_string(),
+            format!("{:.1}", sfs.total_ms()),
+            format!("{:.1}", sfs.sort_ms),
+            format!("{:.1}", sfs.filter_ms),
+            format!("{:.1}", bnl.filter_ms),
+            re.as_ref()
+                .map_or("curtailed".to_owned(), |r| format!("{:.1}", r.filter_ms)),
+        ]);
+        io.row(vec![
+            w.to_string(),
+            sfs.extra_ios.to_string(),
+            bnl.extra_ios.to_string(),
+            re.as_ref()
+                .map_or("curtailed".to_owned(), |r| r.extra_ios.to_string()),
+        ]);
+    }
+    (time, io)
+}
+
+/// §5 text: skyline sizes per dimension (the paper's 1,651 / 5,357 /
+/// 14,081 at d = 5/6/7 over 1M tuples), next to the expected-size model.
+pub fn table_skyline_sizes(ds: &Dataset, dims: &[usize]) -> ReportTable {
+    let mut t = ReportTable::new(
+        format!("Skyline sizes by dimension (n={})", ds.n),
+        &["dim", "skyline", "expected_exact", "expected_asymptotic"],
+    );
+    for &d in dims {
+        let r = run_sfs(ds, d, 2_000, SfsVariant::EntropyProjection);
+        t.row(vec![
+            d.to_string(),
+            r.skyline.to_string(),
+            format!("{:.0}", expected_skyline_size(ds.n, d)),
+            format!("{:.0}", asymptotic_skyline_size(ds.n, d)),
+        ]);
+    }
+    t
+}
+
+/// §5 text: sort-phase times — nested sort over 7 attributes vs the
+/// single-attribute entropy sort (57 s vs 37 s in the paper).
+///
+/// The paper's nested sort compares up to `d` attributes per comparison,
+/// while the entropy sort compares one precomputed score — that is the
+/// whole effect. Our engine also supports decorate-sort-undecorate (DSU)
+/// prefix keys for *both* orders, so the table reports three rows: the
+/// paper's pairing (multi-attribute nested vs single-key entropy) plus
+/// nested-with-DSU, which closes most of the gap.
+pub fn table_sort_times(ds: &Dataset, d: usize) -> ReportTable {
+    let mut t = ReportTable::new(
+        format!("Sort-phase times (n={}, d={d}, 1000-page sort buffer)", ds.n),
+        &["order", "time", "records"],
+    );
+    let (t_ms, n) = run_sort_only_no_dsu(ds, d);
+    t.row(vec!["nested (multi-attr cmp, as in paper)".into(), ms(t_ms), n.to_string()]);
+    for (label, order) in [
+        ("entropy (single-key, as in paper)", SortOrder::Entropy),
+        ("nested (with DSU prefix key)", SortOrder::Nested),
+    ] {
+        let (t_ms, n) = run_sort_only(ds, d, order);
+        t.row(vec![label.to_owned(), ms(t_ms), n.to_string()]);
+    }
+    t
+}
+
+/// §5 text: dimensional reduction on small-domain datasets (d = 4, group
+/// by the first three attributes, MAX on the fourth).
+///
+/// Two domains: the paper's stated 0–9 (where at any realistic scale the
+/// 10³ = 1,000 possible groups saturate — an even stronger reduction than
+/// the paper reports), and a domain sized so the group count is ~10% of
+/// `n` — the regime the paper's reported numbers (1M → 99,826 ≈ 10%)
+/// correspond to.
+pub fn table_dimred(n: usize, seed: u64) -> ReportTable {
+    let d = 4;
+    let mut t = ReportTable::new(
+        format!("Dimensional reduction (n={n}, d={d}, GROUP BY a1..a3, MAX(a4))"),
+        &["domain", "input", "reduced", "reduction", "reduce_time", "skyline"],
+    );
+    // domain giving ~n/10 groups: (hi+1)^(d-1) ≈ n/10
+    let adaptive_hi = ((n as f64 / 10.0).powf(1.0 / (d as f64 - 1.0)).round() as i32 - 1).max(1);
+    for hi in [9, adaptive_hi] {
+        let spec = WorkloadSpec {
+            domain: (0, hi),
+            ..WorkloadSpec::paper(n, seed)
+        };
+        let ds = Dataset::from_spec(spec);
+        let t0 = Instant::now();
+        let (reduced, n_reduced) = dimensional_reduction(&ds, d);
+        let reduce_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let full = run_sfs(&ds, d, 500, SfsVariant::EntropyProjection);
+        t.row(vec![
+            format!("0–{hi}"),
+            n.to_string(),
+            n_reduced.to_string(),
+            format!("{:.1}%", 100.0 * n_reduced as f64 / n as f64),
+            ms(reduce_ms),
+            full.skyline.to_string(),
+        ]);
+        reduced.delete();
+    }
+    t
+}
+
+/// §5 text: the first four skyline strata at d = 4 and d = 5 with a
+/// 500-page window (paper: d=4 sizes 460/1,430/2,766/4,444 in 118 s;
+/// d=5 sizes 1,651/5,749/11,879/19,020 in 723 s).
+pub fn table_strata(ds: &Dataset, dims: &[usize], window_pages: usize) -> ReportTable {
+    let mut t = ReportTable::new(
+        format!("Skyline strata (n={}, window={window_pages} pages, k=4)", ds.n),
+        &["dim", "s0", "s1", "s2", "s3", "time"],
+    );
+    for &d in dims {
+        let spec = SkylineSpec::max_all(d);
+        let t0 = Instant::now();
+        let res = strata_external(
+            Arc::clone(&ds.heap),
+            ds.layout,
+            &spec,
+            4,
+            window_pages,
+            1000,
+            SortOrder::Entropy,
+            Some(ds.entropy(d)),
+            Arc::clone(&ds.disk) as Arc<dyn Disk>,
+        )
+        .expect("strata");
+        let elapsed = t0.elapsed().as_secs_f64() * 1e3;
+        let sizes: Vec<u64> = res.strata.iter().map(skyline_storage::HeapFile::len).collect();
+        let get = |i: usize| sizes.get(i).map_or("-".to_owned(), u64::to_string);
+        t.row(vec![d.to_string(), get(0), get(1), get(2), get(3), ms(elapsed)]);
+    }
+    t
+}
+
+/// §6's correlation caveat: "with anti-correlated attributes … the size
+/// of the skyline can be huge … both SFS (and BNL) will degenerate into
+/// |R|/|Window| number of passes." Sweep the three canonical
+/// distributions at a fixed small window and report skyline fraction,
+/// passes, and times.
+pub fn table_distributions(n: usize, seed: u64, d: usize, window_pages: usize) -> ReportTable {
+    use skyline_relation::gen::Distribution;
+    let mut t = ReportTable::new(
+        format!("Distribution sweep (n={n}, d={d}, window={window_pages} pages)"),
+        &["distribution", "skyline", "skyline_frac", "SFS_passes", "SFS_ms", "BNL_ms"],
+    );
+    let dists = [
+        ("correlated", Distribution::Correlated { jitter: 0.05 }),
+        ("uniform", Distribution::UniformIndependent),
+        ("anti-correlated", Distribution::AntiCorrelated { jitter: 0.05 }),
+    ];
+    for (label, dist) in dists {
+        // correlation structure must span exactly the skyline attributes,
+        // so these records carry d attributes (padded back to 100 bytes)
+        let spec = WorkloadSpec {
+            dist,
+            domain: (0, 10_000),
+            layout: skyline_relation::RecordLayout::new(d, 100 - 4 * d),
+            ..WorkloadSpec::paper(n, seed)
+        };
+        let ds = Dataset::from_spec(spec);
+        let sfs = run_sfs(&ds, d, window_pages, SfsVariant::EntropyProjection);
+        let bnl = run_bnl(&ds, d, window_pages, BnlInput::Natural);
+        assert_eq!(sfs.skyline, bnl.skyline);
+        t.row(vec![
+            label.to_owned(),
+            sfs.skyline.to_string(),
+            format!("{:.3}", sfs.skyline as f64 / n as f64),
+            sfs.metrics.passes.to_string(),
+            format!("{:.1}", sfs.total_ms()),
+            format!("{:.1}", bnl.filter_ms),
+        ]);
+    }
+    t
+}
+
+/// §4.2's clustered-index hazard: BNL's run time depends on the order
+/// its input happens to arrive in, and a clustered tree index makes
+/// "random" arrival impossible. Compare BNL over heap (random) order vs
+/// index order ascending/descending on attribute 0, with SFS — which
+/// re-sorts anyway — for reference.
+pub fn table_clustered(ds: &Dataset, d: usize, window_pages: usize) -> ReportTable {
+    let mut t = ReportTable::new(
+        format!(
+            "Clustered-index input orders (n={}, d={d}, window={window_pages} pages)",
+            ds.n
+        ),
+        &["input order", "ms", "comparisons", "temp_records", "skyline"],
+    );
+    let mut push = |label: &str, r: &RunResult| {
+        t.row(vec![
+            label.to_owned(),
+            format!("{:.1}", r.total_ms()),
+            r.metrics.comparisons.to_string(),
+            r.metrics.temp_records.to_string(),
+            r.skyline.to_string(),
+        ]);
+    };
+    let heap = run_bnl(ds, d, window_pages, BnlInput::Natural);
+    push("BNL, heap (random) order", &heap);
+    let desc = run_bnl_clustered(ds, d, window_pages, false);
+    push("BNL, index a0 DESC (lucky)", &desc);
+    let asc = run_bnl_clustered(ds, d, window_pages, true);
+    push("BNL, index a0 ASC (unlucky)", &asc);
+    let sfs = run_sfs(ds, d, window_pages, SfsVariant::EntropyProjection);
+    push("SFS w/E,P (order-immune)", &sfs);
+    assert_eq!(heap.skyline, desc.skyline);
+    assert_eq!(heap.skyline, asc.skyline);
+    assert_eq!(heap.skyline, sfs.skyline);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_orders_change_bnl_cost_not_result() {
+        let ds = Dataset::paper(8_000, 101);
+        let t = table_clustered(&ds, 4, 1);
+        let text = t.render();
+        let rows: Vec<Vec<String>> = text
+            .lines()
+            .skip(3)
+            .map(|l| {
+                // label contains spaces: split from the right
+                let cells: Vec<&str> = l.split_whitespace().collect();
+                let n = cells.len();
+                cells[n - 4..].iter().map(|s| (*s).to_owned()).collect()
+            })
+            .collect();
+        let comps = |i: usize| rows[i][1].parse::<u64>().unwrap();
+        // unlucky (ascending) order costs BNL more comparisons than lucky
+        assert!(comps(2) > comps(1), "{text}");
+    }
+
+    #[test]
+    fn distributions_table_shows_degeneration() {
+        let t = table_distributions(4_000, 97, 4, 1);
+        let text = t.render();
+        let rows: Vec<Vec<&str>> = text
+            .lines()
+            .skip(3)
+            .map(|l| l.split_whitespace().collect())
+            .collect();
+        let skyline = |i: usize| rows[i][1].parse::<u64>().unwrap();
+        let passes = |i: usize| rows[i][3].parse::<u64>().unwrap();
+        // skyline sizes: correlated < uniform < anti-correlated
+        assert!(skyline(0) < skyline(1), "{text}");
+        assert!(skyline(1) < skyline(2), "{text}");
+        // anti-correlated with a tiny window needs the most passes
+        assert!(passes(2) >= passes(1), "{text}");
+    }
+
+    #[test]
+    fn fig09_10_shapes_hold_at_small_scale() {
+        let ds = Dataset::paper(20_000, 71);
+        let windows = [1, 4, 64];
+        let (time, io) = fig09_10(&ds, 5, &windows);
+        assert_eq!(time.render().lines().count(), 3 + windows.len());
+        // at the largest window everything is single-pass: zero extra I/O
+        let io_text = io.render();
+        let last = io_text.lines().last().unwrap();
+        assert!(last.split_whitespace().skip(1).all(|c| c == "0"), "{last}");
+    }
+
+    #[test]
+    fn comparison_tables_well_formed() {
+        let ds = Dataset::paper(5_000, 73);
+        let (time, io) = fig_comparison(&ds, 4, &[2, 50], true, "Fig 12", "Fig 14");
+        assert!(time.render().contains("Fig 12"));
+        assert!(io.render().contains("Fig 14"));
+    }
+
+    #[test]
+    fn skyline_sizes_grow_with_dimension() {
+        let ds = Dataset::paper(5_000, 79);
+        let t = table_skyline_sizes(&ds, &[2, 4, 6]);
+        let text = t.render();
+        let sizes: Vec<u64> = text
+            .lines()
+            .skip(3)
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+    }
+
+    #[test]
+    fn strata_table_runs() {
+        let ds = Dataset::paper(3_000, 83);
+        let t = table_strata(&ds, &[4], 50);
+        assert!(t.render().contains("4"));
+    }
+
+    #[test]
+    fn dimred_table_runs() {
+        let t = table_dimred(5_000, 89);
+        let text = t.render();
+        assert!(text.contains("0–9"));
+        // two rows: paper domain + adaptive ~10% domain
+        assert_eq!(text.lines().count(), 3 + 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Ergonomic in-memory skyline API over arbitrary item types.
+//!
+//! ```
+//! use skyline_core::builder::SkylineBuilder;
+//!
+//! struct Restaurant { name: &'static str, food: i32, price: f64 }
+//! let rs = vec![
+//!     Restaurant { name: "Summer Moon", food: 25, price: 47.5 },
+//!     Restaurant { name: "Brearton Grill", food: 18, price: 62.0 },
+//!     Restaurant { name: "Fenton & Pickle", food: 14, price: 17.5 },
+//! ];
+//! let best = SkylineBuilder::new()
+//!     .max(|r: &Restaurant| r.food as f64)
+//!     .min(|r: &Restaurant| r.price)
+//!     .compute(&rs);
+//! let names: Vec<_> = best.iter().map(|r| r.name).collect();
+//! assert_eq!(names, ["Summer Moon", "Fenton & Pickle"]);
+//! ```
+
+use crate::algo::{self, MemSortOrder};
+use crate::dominance::Direction;
+use crate::keys::KeyMatrix;
+use std::collections::HashMap;
+
+/// Which in-memory algorithm a [`SkylineBuilder`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemAlgorithm {
+    /// Dimension-dispatching: 1-D/2-D/3-D specials, SFS above.
+    Auto,
+    /// Sort-filter-skyline with entropy presort (the paper's algorithm;
+    /// default).
+    #[default]
+    Sfs,
+    /// Block-nested-loops with window replacement.
+    Bnl,
+    /// Divide and conquer.
+    DivideAndConquer,
+    /// The O(n²) oracle.
+    Naive,
+}
+
+type KeyFn<T> = Box<dyn Fn(&T) -> f64>;
+type DiffFn<T> = Box<dyn Fn(&T) -> String>;
+
+/// Declarative skyline query over a slice of any `T`: add `max`/`min`
+/// criteria (closures extracting numeric attributes) and optional `diff`
+/// grouping keys, then compute the skyline, strata, or ranked output.
+#[derive(Default)]
+pub struct SkylineBuilder<T> {
+    criteria: Vec<(KeyFn<T>, Direction)>,
+    diff: Vec<DiffFn<T>>,
+    algorithm: MemAlgorithm,
+}
+
+impl<T> SkylineBuilder<T> {
+    /// Empty builder (SFS algorithm, no criteria yet).
+    pub fn new() -> Self {
+        SkylineBuilder { criteria: Vec::new(), diff: Vec::new(), algorithm: MemAlgorithm::Sfs }
+    }
+
+    /// Prefer larger values of `f`.
+    pub fn max(mut self, f: impl Fn(&T) -> f64 + 'static) -> Self {
+        self.criteria.push((Box::new(f), Direction::Max));
+        self
+    }
+
+    /// Prefer smaller values of `f`.
+    pub fn min(mut self, f: impl Fn(&T) -> f64 + 'static) -> Self {
+        self.criteria.push((Box::new(f), Direction::Min));
+        self
+    }
+
+    /// Compute the skyline separately for each distinct value of `f`
+    /// (the paper's `DIFF` directive).
+    pub fn diff(mut self, f: impl Fn(&T) -> String + 'static) -> Self {
+        self.diff.push(Box::new(f));
+        self
+    }
+
+    /// Select the algorithm (default: SFS).
+    pub fn algorithm(mut self, algorithm: MemAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    fn oriented_keys(&self, items: &[T]) -> KeyMatrix {
+        let d = self.criteria.len();
+        assert!(d > 0, "add at least one max()/min() criterion");
+        let mut data = Vec::with_capacity(items.len() * d);
+        for item in items {
+            for (f, dir) in &self.criteria {
+                let v = f(item);
+                assert!(!v.is_nan(), "criterion produced NaN");
+                data.push(match dir {
+                    Direction::Max => v,
+                    Direction::Min => -v,
+                });
+            }
+        }
+        KeyMatrix::new(d, data)
+    }
+
+    fn run(&self, keys: &KeyMatrix) -> Vec<usize> {
+        match self.algorithm {
+            MemAlgorithm::Auto => crate::lowdim::skyline_auto(keys).indices,
+            MemAlgorithm::Sfs => algo::sfs(keys, MemSortOrder::Entropy).indices,
+            MemAlgorithm::Bnl => algo::bnl(keys).indices,
+            MemAlgorithm::DivideAndConquer => algo::divide_and_conquer(keys).indices,
+            MemAlgorithm::Naive => algo::naive(keys).indices,
+        }
+    }
+
+    /// Skyline indices into `items`, ascending (input order).
+    ///
+    /// # Panics
+    /// Panics if no criteria were added or a criterion yields NaN.
+    pub fn compute_indices(&self, items: &[T]) -> Vec<usize> {
+        let keys = self.oriented_keys(items);
+        let mut out = if self.diff.is_empty() {
+            self.run(&keys)
+        } else {
+            // Partition by the combined diff key, skyline each group.
+            let mut groups: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+            for (i, item) in items.iter().enumerate() {
+                let gk: Vec<String> = self.diff.iter().map(|f| f(item)).collect();
+                groups.entry(gk).or_default().push(i);
+            }
+            let mut out = Vec::new();
+            for members in groups.values() {
+                let sub = keys.select(members);
+                for local in self.run(&sub) {
+                    out.push(members[local]);
+                }
+            }
+            out
+        };
+        out.sort_unstable();
+        out
+    }
+
+    /// Skyline members of `items`, in input order.
+    pub fn compute<'a>(&self, items: &'a [T]) -> Vec<&'a T> {
+        self.compute_indices(items).into_iter().map(|i| &items[i]).collect()
+    }
+
+    /// The first `k` skyline strata (paper §4.4), as indices per stratum.
+    /// Strata are computed within diff groups when diff keys are set.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or no criteria were added.
+    pub fn strata_indices(&self, items: &[T], k: usize) -> Vec<Vec<usize>> {
+        assert!(k > 0);
+        let keys = self.oriented_keys(items);
+        if self.diff.is_empty() {
+            let (mut s, _) = algo::strata(&keys, k, MemSortOrder::Entropy);
+            for stratum in &mut s {
+                stratum.sort_unstable();
+            }
+            s
+        } else {
+            let mut groups: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+            for (i, item) in items.iter().enumerate() {
+                let gk: Vec<String> = self.diff.iter().map(|f| f(item)).collect();
+                groups.entry(gk).or_default().push(i);
+            }
+            let mut out = vec![Vec::new(); k];
+            for members in groups.values() {
+                let sub = keys.select(members);
+                let (s, _) = algo::strata(&sub, k, MemSortOrder::Entropy);
+                for (stratum, locals) in out.iter_mut().zip(s) {
+                    stratum.extend(locals.into_iter().map(|l| members[l]));
+                }
+            }
+            for stratum in &mut out {
+                stratum.sort_unstable();
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct House {
+        baths: f64,
+        beds: f64,
+        price: f64,
+        city: &'static str,
+    }
+
+    fn houses() -> Vec<House> {
+        vec![
+            House { baths: 4.0, beds: 1.0, price: 300.0, city: "york" },
+            House { baths: 2.0, beds: 2.0, price: 300.0, city: "york" },
+            House { baths: 1.0, beds: 4.0, price: 300.0, city: "york" },
+            House { baths: 1.0, beds: 1.0, price: 400.0, city: "york" }, // dominated
+            House { baths: 1.0, beds: 1.0, price: 500.0, city: "hull" },
+        ]
+    }
+
+    #[test]
+    fn max_min_mix() {
+        let hs = houses();
+        let b = SkylineBuilder::new()
+            .max(|h: &House| h.baths)
+            .max(|h: &House| h.beds)
+            .min(|h: &House| h.price);
+        assert_eq!(b.compute_indices(&hs), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn all_algorithms_agree() {
+        let hs = houses();
+        let mk = |a| {
+            SkylineBuilder::new()
+                .max(|h: &House| h.baths)
+                .max(|h: &House| h.beds)
+                .min(|h: &House| h.price)
+                .algorithm(a)
+                .compute_indices(&hs)
+        };
+        let expect = mk(MemAlgorithm::Naive);
+        assert_eq!(mk(MemAlgorithm::Auto), expect);
+        assert_eq!(mk(MemAlgorithm::Sfs), expect);
+        assert_eq!(mk(MemAlgorithm::Bnl), expect);
+        assert_eq!(mk(MemAlgorithm::DivideAndConquer), expect);
+    }
+
+    #[test]
+    fn diff_groups_independently() {
+        let hs = houses();
+        let b = SkylineBuilder::new()
+            .max(|h: &House| h.baths)
+            .min(|h: &House| h.price)
+            .diff(|h: &House| h.city.to_owned());
+        let idx = b.compute_indices(&hs);
+        // hull's only house survives despite being dominated overall
+        assert!(idx.contains(&4));
+        assert!(!idx.contains(&3)); // dominated within york by 0
+    }
+
+    #[test]
+    fn compute_returns_references() {
+        let hs = houses();
+        let b = SkylineBuilder::new().min(|h: &House| h.price);
+        let best = b.compute(&hs);
+        assert_eq!(best.len(), 3); // three tie at price 300
+        assert!(best.iter().all(|h| h.price == 300.0));
+    }
+
+    #[test]
+    fn strata_respect_diff() {
+        let hs = houses();
+        let b = SkylineBuilder::new()
+            .max(|h: &House| h.baths)
+            .diff(|h: &House| h.city.to_owned());
+        let s = b.strata_indices(&hs, 2);
+        // york stratum 0 = house 0 (4 baths); hull stratum 0 = house 4
+        assert_eq!(s[0], vec![0, 4]);
+        assert_eq!(s[1], vec![1]); // 2 baths, next stratum in york
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_criteria_panics() {
+        SkylineBuilder::<House>::new().compute_indices(&houses());
+    }
+}

@@ -1,0 +1,464 @@
+//! Block-nested-loops skyline (Börzsönyi, Kossmann & Stocker, ICDE 2001) —
+//! the baseline the paper compares SFS against.
+//!
+//! BNL needs no presort: it keeps a window of *candidate* tuples. A new
+//! tuple dominated by the window is discarded; one that dominates window
+//! tuples replaces them; an incomparable one joins the window, or spills
+//! to a temp file when the window is full. Because candidates are not yet
+//! proven skyline, output is deferred until a tuple has been compared with
+//! every other surviving tuple — the timestamp bookkeeping below — which
+//! is why BNL **blocks on output** while SFS pipelines.
+//!
+//! Timestamps: a tuple inserted into the window is stamped with the number
+//! of records written to the current pass's temp file so far. It has been
+//! (or will be) compared against all later input; the only records it has
+//! *not* met are temp records `0..ts`. During the next pass (which reads
+//! that temp file), once `ts` input records have been read the tuple is
+//! confirmed skyline, emitted, and removed — safe, because every remaining
+//! input record was already compared against it in the previous pass.
+
+use super::common::{Source, Spill};
+use crate::dominance::{dom_rel, DomRel, SkylineSpec};
+use crate::metrics::SkylineMetrics;
+use skyline_exec::{BoxedOperator, ExecError, Operator};
+use skyline_relation::RecordLayout;
+use skyline_storage::{Disk, SharedScanner, PAGE_SIZE};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct Entry {
+    record: Vec<u8>,
+    key: Vec<f64>,
+    /// Temp-file position this entry still needs comparisons against
+    /// (`0..ts`); reinterpreted as an input position in the next pass.
+    ts: u64,
+    /// True once the entry's `ts` refers to the *current* pass's input
+    /// (i.e. it was carried over from the previous pass).
+    carried: bool,
+}
+
+/// The BNL physical operator.
+pub struct Bnl {
+    child: BoxedOperator,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+
+    window: Vec<Entry>,
+    capacity: usize,
+    emit: VecDeque<Vec<u8>>,
+    source: Source,
+    spill: Option<Spill>,
+    /// Records read so far in the current pass.
+    read_count: u64,
+    /// Records written to the current pass's temp file so far.
+    temp_written: u64,
+    cur: Vec<u8>,
+    key: Vec<f64>,
+    out: Vec<u8>,
+    opened: bool,
+}
+
+impl Bnl {
+    /// Build the operator. BNL accepts input in **any** order; the paper's
+    /// point is precisely that its performance (never its result) depends
+    /// on that order.
+    ///
+    /// # Errors
+    /// Returns a config error if the spec does not validate against the
+    /// layout, sizes disagree, or the spec has DIFF attributes (BNL gains
+    /// nothing from diff and the paper handles diff via SFS; feed
+    /// pre-grouped streams instead).
+    pub fn new(
+        child: BoxedOperator,
+        layout: RecordLayout,
+        spec: SkylineSpec,
+        window_pages: usize,
+        disk: Arc<dyn Disk>,
+        metrics: Arc<SkylineMetrics>,
+    ) -> Result<Self, ExecError> {
+        spec.validate(&layout)
+            .map_err(|e| ExecError::Config(e.to_string()))?;
+        if !spec.diff.is_empty() {
+            return Err(ExecError::Config(
+                "BNL does not support DIFF; sort-and-group with SFS instead".into(),
+            ));
+        }
+        if child.record_size() != layout.record_size() {
+            return Err(ExecError::Config(format!(
+                "child records are {} bytes but layout says {}",
+                child.record_size(),
+                layout.record_size()
+            )));
+        }
+        let capacity = (window_pages * (PAGE_SIZE / layout.record_size())).max(1);
+        Ok(Bnl {
+            child,
+            layout,
+            spec,
+            disk,
+            metrics,
+            window: Vec::new(),
+            capacity,
+            emit: VecDeque::new(),
+            source: Source::Done,
+            spill: None,
+            read_count: 0,
+            temp_written: 0,
+            cur: Vec::new(),
+            key: Vec::new(),
+            out: Vec::new(),
+            opened: false,
+        })
+    }
+
+    /// Window capacity in tuples (BNL stores whole tuples — it cannot use
+    /// the projection optimization, since window tuples must eventually be
+    /// output).
+    pub fn window_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn fetch(&mut self) -> Result<bool, ExecError> {
+        match &mut self.source {
+            Source::Child => match self.child.next()? {
+                Some(r) => {
+                    self.cur.clear();
+                    self.cur.extend_from_slice(r);
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            Source::Temp(scan) => match scan.next_record() {
+                Some(r) => {
+                    self.cur.clear();
+                    self.cur.extend_from_slice(r);
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            Source::Done => Ok(false),
+        }
+    }
+
+    /// Emit-and-remove carried window entries confirmed by having seen
+    /// `upto` input records this pass.
+    fn confirm_carried(&mut self, upto: u64) {
+        let mut k = 0;
+        while k < self.window.len() {
+            if self.window[k].carried && self.window[k].ts <= upto {
+                let e = self.window.swap_remove(k);
+                self.metrics.add_emitted();
+                self.emit.push_back(e.record);
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    /// End-of-pass bookkeeping. Returns true when another pass begins.
+    fn end_pass(&mut self) -> bool {
+        if matches!(self.source, Source::Child) {
+            self.child.close();
+        }
+        // Entries that met every record of this pass's input are skyline.
+        // When nothing spilled, that is everyone; otherwise those whose
+        // ts (into the new temp file) is 0.
+        match self.spill.take() {
+            None => {
+                for e in self.window.drain(..) {
+                    self.metrics.add_emitted();
+                    self.emit.push_back(e.record);
+                }
+                self.source = Source::Done;
+                false
+            }
+            Some(spill) => {
+                let mut k = 0;
+                while k < self.window.len() {
+                    // Carried entries have now met this entire pass's input
+                    // (their ts can be at most its length), and fresh
+                    // entries with ts == 0 predate every spill — both are
+                    // confirmed skyline.
+                    if self.window[k].carried || self.window[k].ts == 0 {
+                        let e = self.window.swap_remove(k);
+                        self.metrics.add_emitted();
+                        self.emit.push_back(e.record);
+                    } else {
+                        k += 1;
+                    }
+                }
+                for e in &mut self.window {
+                    e.carried = true;
+                }
+                let temp = spill.finish();
+                self.source = Source::Temp(SharedScanner::new(Arc::new(temp)));
+                self.read_count = 0;
+                self.temp_written = 0;
+                self.metrics.add_pass();
+                true
+            }
+        }
+    }
+}
+
+impl Operator for Bnl {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()?;
+        self.source = Source::Child;
+        self.window.clear();
+        self.emit.clear();
+        self.spill = None;
+        self.read_count = 0;
+        self.temp_written = 0;
+        self.metrics.add_pass();
+        self.opened = true;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        if !self.opened {
+            return Err(ExecError::Protocol("Bnl::next before open"));
+        }
+        loop {
+            if let Some(r) = self.emit.pop_front() {
+                self.out = r;
+                return Ok(Some(&self.out));
+            }
+            if matches!(self.source, Source::Done) {
+                return Ok(None);
+            }
+            if !self.fetch()? {
+                self.end_pass();
+                continue;
+            }
+
+            let i = self.read_count; // 0-based index of the record just read
+            self.read_count += 1;
+            // Carried entries with ts ≤ i already met this record last pass.
+            self.confirm_carried(i);
+
+            self.spec.key_of(&self.layout, &self.cur, &mut self.key);
+            let mut dominated = false;
+            let mut comparisons = 0u64;
+            let mut k = 0;
+            while k < self.window.len() {
+                comparisons += 1;
+                match dom_rel(&self.window[k].key, &self.key) {
+                    DomRel::Dominates => {
+                        dominated = true;
+                        break;
+                    }
+                    DomRel::DominatedBy => {
+                        // Window replacement: the incumbent is dead.
+                        self.window.swap_remove(k);
+                        self.metrics.add_discarded();
+                    }
+                    DomRel::Equal | DomRel::Incomparable => k += 1,
+                }
+            }
+            self.metrics.add_comparisons(comparisons);
+            if dominated {
+                self.metrics.add_discarded();
+                continue;
+            }
+            if self.window.len() < self.capacity {
+                self.window.push(Entry {
+                    record: self.cur.clone(),
+                    key: self.key.clone(),
+                    ts: self.temp_written,
+                    carried: false,
+                });
+                self.metrics.add_window_insert();
+            } else {
+                let spill = self.spill.get_or_insert_with(|| {
+                    Spill::new(Arc::clone(&self.disk), self.layout.record_size())
+                });
+                spill.push(&self.cur);
+                self.temp_written += 1;
+                self.metrics.add_temp_record();
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.source = Source::Done;
+        self.window.clear();
+        self.emit.clear();
+        self.spill = None;
+        self.opened = false;
+    }
+
+    fn record_size(&self) -> usize {
+        self.layout.record_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use crate::keys::KeyMatrix;
+    use skyline_exec::{collect, MemSource};
+    use skyline_storage::MemDisk;
+
+    fn layout2() -> RecordLayout {
+        RecordLayout::new(2, 4)
+    }
+
+    fn run_bnl(rows: &[[i32; 2]], window_pages: usize) -> (Vec<Vec<i32>>, crate::metrics::MetricsSnapshot) {
+        let layout = layout2();
+        let spec = SkylineSpec::max_all(2);
+        let recs: Vec<Vec<u8>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| layout.encode(r, &(i as u32).to_le_bytes()))
+            .collect();
+        let disk = MemDisk::shared();
+        let metrics = SkylineMetrics::shared();
+        let src = Box::new(MemSource::new(recs, layout.record_size()));
+        let mut bnl = Bnl::new(
+            src,
+            layout,
+            spec,
+            window_pages,
+            Arc::clone(&disk) as _,
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let out = collect(&mut bnl).unwrap();
+        assert_eq!(disk.allocated_pages(), 0, "temp files leaked");
+        (
+            out.iter().map(|r| layout.decode_attrs(r)).collect(),
+            metrics.snapshot(),
+        )
+    }
+
+    fn oracle(rows: &[[i32; 2]]) -> Vec<Vec<i32>> {
+        let km = KeyMatrix::from_rows(
+            &rows
+                .iter()
+                .map(|r| vec![f64::from(r[0]), f64::from(r[1])])
+                .collect::<Vec<_>>(),
+        );
+        let mut out: Vec<Vec<i32>> = algo::naive(&km)
+            .indices
+            .iter()
+            .map(|&i| vec![rows[i][0], rows[i][1]])
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn single_pass_matches_oracle() {
+        let rows: Vec<[i32; 2]> = (0..200)
+            .map(|i| [(i * 37) % 61, (i * 53) % 67])
+            .collect();
+        let (mut got, snap) = run_bnl(&rows, 10);
+        got.sort();
+        assert_eq!(got, oracle(&rows));
+        assert_eq!(snap.passes, 1);
+        assert_eq!(snap.temp_records, 0);
+    }
+
+    #[test]
+    fn multipass_matches_oracle_anticorrelated() {
+        // everything skyline, record 12 bytes → 341/page; 1-page window
+        // forces several passes over 2000 tuples
+        let rows: Vec<[i32; 2]> = (0..2000).map(|i| [i, 1999 - i]).collect();
+        let (mut got, snap) = run_bnl(&rows, 1);
+        got.sort();
+        assert_eq!(got.len(), 2000);
+        assert_eq!(got, oracle(&rows));
+        assert!(snap.passes > 1);
+        assert!(snap.temp_records > 0);
+    }
+
+    #[test]
+    fn multipass_matches_oracle_random() {
+        let rows: Vec<[i32; 2]> = (0..3000)
+            .map(|i| [(i * 7919) % 1009, (i * 104729) % 997])
+            .collect();
+        let (mut got, _) = run_bnl(&rows, 1);
+        got.sort();
+        assert_eq!(got, oracle(&rows));
+    }
+
+    #[test]
+    fn window_replacement_shrinks_window() {
+        // ascending chain: each tuple replaces the previous; window of 1
+        // page never fills, single pass, one survivor
+        let rows: Vec<[i32; 2]> = (0..500).map(|i| [i, i]).collect();
+        let (got, snap) = run_bnl(&rows, 1);
+        assert_eq!(got, vec![vec![499, 499]]);
+        assert_eq!(snap.passes, 1);
+        assert_eq!(snap.discarded, 499);
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let rows = [[5, 5], [5, 5], [1, 9], [1, 9], [0, 0]];
+        let (mut got, _) = run_bnl(&rows, 2);
+        got.sort();
+        assert_eq!(
+            got,
+            vec![vec![1, 9], vec![1, 9], vec![5, 5], vec![5, 5]]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let (got, _) = run_bnl(&[], 2);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn diff_is_rejected() {
+        let layout = RecordLayout::new(3, 0);
+        let spec = SkylineSpec::max_all(2).with_diff(vec![2]);
+        let src = Box::new(MemSource::new(vec![], layout.record_size()));
+        let err = Bnl::new(
+            src,
+            layout,
+            spec,
+            1,
+            MemDisk::shared() as _,
+            SkylineMetrics::shared(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn bad_input_order_spills_more_than_good_order() {
+        // Reverse-entropy-style order (worst first): window replacement
+        // churns, spilling heavily. Best-first order spills less.
+        let n = 3000i32;
+        let mut asc: Vec<[i32; 2]> = (0..n).map(|i| [i, i]).collect(); // correlated chain
+        let desc: Vec<[i32; 2]> = (0..n).rev().map(|i| [i, i]).collect();
+        let (_, snap_desc) = run_bnl(&desc, 1); // best tuple first: instant domination
+        asc.reverse();
+        asc.reverse(); // keep ascending (worst first)
+        let (_, snap_asc) = run_bnl(&asc, 1);
+        assert_eq!(snap_desc.temp_records, 0);
+        assert_eq!(snap_asc.temp_records, 0, "chain always replaces in window");
+        // With a chain both are single-pass; the CPU difference shows in
+        // comparisons: equal here because window stays size 1. Use a
+        // 2-d anti-correlated block appended after the chain to create
+        // true churn instead.
+        let mut adversarial: Vec<[i32; 2]> = (0..n).map(|i| [i, n - i]).collect();
+        adversarial.extend((0..n).map(|i| [i + n, i + n])); // dominators last
+        let (_, snap_bad) = run_bnl(&adversarial, 1);
+        let mut friendly: Vec<[i32; 2]> = (0..n).map(|i| [i + n, i + n]).collect();
+        friendly.extend((0..n).map(|i| [i, n - i]));
+        let (_, snap_good) = run_bnl(&friendly, 1);
+        assert!(
+            snap_bad.temp_records > snap_good.temp_records,
+            "bad order {} must spill more than good order {}",
+            snap_bad.temp_records,
+            snap_good.temp_records
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Shared machinery of the external skyline operators.
+
+use crate::dominance::{dom_rel, DomRel};
+use skyline_storage::{Disk, HeapFile, SharedScanner, PAGE_SIZE};
+use std::sync::Arc;
+
+/// Where the current filter pass reads its input from.
+pub(crate) enum Source {
+    /// First pass: the operator's child.
+    Child,
+    /// Later passes: the previous pass's temp file.
+    Temp(SharedScanner),
+    /// All passes complete.
+    Done,
+}
+
+/// Page-aligned spill writer for temp files. Records are buffered until a
+/// full page's worth accumulates, so a spill of `R` records costs exactly
+/// `⌈R / records_per_page⌉` page writes — the paper's "pages written per
+/// pass" accounting.
+pub(crate) struct Spill {
+    heap: HeapFile,
+    buf: Vec<u8>,
+    buffered: usize,
+    rpp: usize,
+    record_size: usize,
+}
+
+impl Spill {
+    pub(crate) fn new(disk: Arc<dyn Disk>, record_size: usize) -> Self {
+        let heap = HeapFile::create_temp(disk, record_size);
+        let rpp = PAGE_SIZE / record_size;
+        Spill { heap, buf: Vec::with_capacity(rpp * record_size), buffered: 0, rpp, record_size }
+    }
+
+    pub(crate) fn push(&mut self, record: &[u8]) {
+        debug_assert_eq!(record.len(), self.record_size);
+        self.buf.extend_from_slice(record);
+        self.buffered += 1;
+        if self.buffered == self.rpp {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buffered > 0 {
+            self.heap
+                .append_all(self.buf.chunks_exact(self.record_size));
+            self.buf.clear();
+            self.buffered = 0;
+        }
+    }
+
+    /// Total records spilled so far (including buffered ones).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> u64 {
+        self.heap.len() + self.buffered as u64
+    }
+
+    /// Finish the spill, returning the temp heap file.
+    pub(crate) fn finish(mut self) -> HeapFile {
+        self.flush();
+        self.heap
+    }
+}
+
+/// Outcome of probing a window with a candidate key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Probe {
+    /// Some window entry strictly dominates the candidate.
+    Dominated,
+    /// A window entry has exactly the candidate's key (candidate is
+    /// skyline; window already represents it).
+    Equal,
+    /// Incomparable with every entry.
+    Incomparable,
+}
+
+/// The SFS window: a flat matrix of oriented keys with a capacity derived
+/// from a page budget. Entries are only ever appended (SFS never replaces)
+/// and the whole window is cleared between passes / diff groups.
+pub(crate) struct KeyWindow {
+    d: usize,
+    keys: Vec<f64>,
+    capacity: usize,
+}
+
+impl KeyWindow {
+    /// `entry_bytes` is what one entry would occupy in a real window page
+    /// (the full record for basic SFS; `4·k` for the projection
+    /// optimization) — capacity is `window_pages · ⌊PAGE_SIZE /
+    /// entry_bytes⌋`.
+    pub(crate) fn new(d: usize, window_pages: usize, entry_bytes: usize) -> Self {
+        assert!(d > 0 && entry_bytes > 0 && entry_bytes <= PAGE_SIZE);
+        let per_page = PAGE_SIZE / entry_bytes;
+        let capacity = window_pages.saturating_mul(per_page).max(1);
+        KeyWindow { d, keys: Vec::new(), capacity }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.keys.len() / self.d
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.keys.clear();
+    }
+
+    /// Probe the window; returns the outcome and the number of dominance
+    /// comparisons spent.
+    pub(crate) fn probe(&self, key: &[f64]) -> (Probe, u64) {
+        debug_assert_eq!(key.len(), self.d);
+        let mut comparisons = 0;
+        for entry in self.keys.chunks_exact(self.d) {
+            comparisons += 1;
+            match dom_rel(entry, key) {
+                DomRel::Dominates => return (Probe::Dominated, comparisons),
+                // An equal entry ends the probe: window entries are
+                // pairwise non-dominating, so nothing can dominate a key
+                // equal to one of them.
+                DomRel::Equal => return (Probe::Equal, comparisons),
+                DomRel::DominatedBy | DomRel::Incomparable => {}
+            }
+        }
+        (Probe::Incomparable, comparisons)
+    }
+
+    /// Probe with the *move-to-front* self-organizing heuristic (the
+    /// paper's §6: "a certain ordering of tuples in the window … could
+    /// increase performance"): an entry that dominates the probe is
+    /// swapped one step toward the front, so strong dominators migrate to
+    /// where they are checked first.
+    pub(crate) fn probe_mtf(&mut self, key: &[f64]) -> (Probe, u64) {
+        debug_assert_eq!(key.len(), self.d);
+        let d = self.d;
+        let n = self.len();
+        let mut comparisons = 0;
+        for i in 0..n {
+            comparisons += 1;
+            let entry = &self.keys[i * d..(i + 1) * d];
+            match dom_rel(entry, key) {
+                DomRel::Dominates => {
+                    if i > 0 {
+                        // swap entries i and i-1 (flat storage)
+                        for k in 0..d {
+                            self.keys.swap((i - 1) * d + k, i * d + k);
+                        }
+                    }
+                    return (Probe::Dominated, comparisons);
+                }
+                DomRel::Equal => return (Probe::Equal, comparisons),
+                DomRel::DominatedBy | DomRel::Incomparable => {}
+            }
+        }
+        (Probe::Incomparable, comparisons)
+    }
+
+    /// Append a key. Caller must have checked [`KeyWindow::is_full`].
+    pub(crate) fn insert(&mut self, key: &[f64]) {
+        debug_assert!(!self.is_full());
+        self.keys.extend_from_slice(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_storage::MemDisk;
+
+    #[test]
+    fn spill_writes_full_pages_only() {
+        let disk = MemDisk::shared();
+        let mut spill = Spill::new(Arc::clone(&disk) as _, 100);
+        for i in 0..85u64 {
+            let mut r = vec![0u8; 100];
+            r[..8].copy_from_slice(&i.to_le_bytes());
+            spill.push(&r);
+        }
+        // 85 records at 40/page: 2 full pages written so far, 5 buffered
+        assert_eq!(spill.len(), 85);
+        assert_eq!(disk.stats().writes(), 2);
+        let heap = spill.finish();
+        assert_eq!(heap.len(), 85);
+        assert_eq!(disk.stats().writes(), 3);
+    }
+
+    #[test]
+    fn window_capacity_from_pages() {
+        // paper: 100-byte records → 40 entries/page; projected 7-dim
+        // entries (28 bytes) → 146/page
+        let w = KeyWindow::new(7, 2, 100);
+        assert_eq!(w.capacity(), 80);
+        let wp = KeyWindow::new(7, 2, 28);
+        assert_eq!(wp.capacity(), (PAGE_SIZE / 28) * 2);
+        assert!(wp.capacity() > 2 * w.capacity());
+    }
+
+    #[test]
+    fn probe_outcomes() {
+        let mut w = KeyWindow::new(2, 1, 8);
+        w.insert(&[5.0, 5.0]);
+        w.insert(&[0.0, 9.0]);
+        assert_eq!(w.probe(&[4.0, 4.0]).0, Probe::Dominated);
+        assert_eq!(w.probe(&[5.0, 5.0]).0, Probe::Equal);
+        assert_eq!(w.probe(&[6.0, 0.0]).0, Probe::Incomparable);
+        assert_eq!(w.len(), 2);
+        w.clear();
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.probe(&[0.0, 0.0]).0, Probe::Incomparable);
+    }
+
+    #[test]
+    fn tiny_window_still_holds_one_entry() {
+        let w = KeyWindow::new(10, 0, 100);
+        assert_eq!(w.capacity(), 1);
+    }
+}

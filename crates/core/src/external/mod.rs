@@ -1,0 +1,12 @@
+//! External (paged, multipass) skyline operators: the paper's SFS and its
+//! BNL baseline, implemented as Volcano operators over record streams with
+//! windows measured in buffer pages and overflow to temp heap files.
+
+mod bnl;
+mod common;
+mod sfs;
+mod winnow_op;
+
+pub use bnl::Bnl;
+pub use sfs::{Sfs, SfsConfig};
+pub use winnow_op::WinnowOp;

@@ -1,0 +1,372 @@
+//! External, multipass winnow — the paper's §6 future-work item "extend
+//! skyline algorithms to handle more general cases of winnow", as an
+//! operator.
+//!
+//! BNL's window/timestamp machinery never uses anything specific to
+//! Pareto dominance — only that the preference is a **strict partial
+//! order** (irreflexive, asymmetric, transitive). Transitivity makes
+//! discarding against the window sound: if a window tuple `w` betters the
+//! candidate `c` and `w` is later bettered by `q`, then `q` betters `c`
+//! too, so `c` stays correctly excluded. This operator is BNL with the
+//! dominance test swapped for an arbitrary [`Preference`] over the spec's
+//! oriented keys.
+
+use super::common::{Source, Spill};
+use crate::dominance::SkylineSpec;
+use crate::metrics::SkylineMetrics;
+use crate::winnow::Preference;
+use skyline_exec::{BoxedOperator, ExecError, Operator};
+use skyline_relation::RecordLayout;
+use skyline_storage::{Disk, SharedScanner, PAGE_SIZE};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct Entry {
+    record: Vec<u8>,
+    key: Vec<f64>,
+    ts: u64,
+    carried: bool,
+}
+
+/// Block-nested-loops winnow over an arbitrary strict-partial-order
+/// preference. With [`crate::winnow::SkylinePreference`] this is exactly
+/// [`super::Bnl`].
+pub struct WinnowOp {
+    child: BoxedOperator,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    pref: Arc<dyn Preference + Send + Sync>,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+
+    window: Vec<Entry>,
+    capacity: usize,
+    emit: VecDeque<Vec<u8>>,
+    source: Source,
+    spill: Option<Spill>,
+    read_count: u64,
+    temp_written: u64,
+    cur: Vec<u8>,
+    key: Vec<f64>,
+    out: Vec<u8>,
+    opened: bool,
+}
+
+impl WinnowOp {
+    /// Build the operator. The preference acts on keys extracted per
+    /// `spec` (oriented all-max; MIN criteria already negated).
+    ///
+    /// # Errors
+    /// Config errors mirror [`super::Bnl::new`].
+    pub fn new(
+        child: BoxedOperator,
+        layout: RecordLayout,
+        spec: SkylineSpec,
+        pref: Arc<dyn Preference + Send + Sync>,
+        window_pages: usize,
+        disk: Arc<dyn Disk>,
+        metrics: Arc<SkylineMetrics>,
+    ) -> Result<Self, ExecError> {
+        spec.validate(&layout)
+            .map_err(|e| ExecError::Config(e.to_string()))?;
+        if !spec.diff.is_empty() {
+            return Err(ExecError::Config("winnow does not support DIFF".into()));
+        }
+        if child.record_size() != layout.record_size() {
+            return Err(ExecError::Config("record size mismatch".into()));
+        }
+        let capacity = (window_pages * (PAGE_SIZE / layout.record_size())).max(1);
+        Ok(WinnowOp {
+            child,
+            layout,
+            spec,
+            pref,
+            disk,
+            metrics,
+            window: Vec::new(),
+            capacity,
+            emit: VecDeque::new(),
+            source: Source::Done,
+            spill: None,
+            read_count: 0,
+            temp_written: 0,
+            cur: Vec::new(),
+            key: Vec::new(),
+            out: Vec::new(),
+            opened: false,
+        })
+    }
+
+    fn fetch(&mut self) -> Result<bool, ExecError> {
+        match &mut self.source {
+            Source::Child => match self.child.next()? {
+                Some(r) => {
+                    self.cur.clear();
+                    self.cur.extend_from_slice(r);
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            Source::Temp(scan) => match scan.next_record() {
+                Some(r) => {
+                    self.cur.clear();
+                    self.cur.extend_from_slice(r);
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            Source::Done => Ok(false),
+        }
+    }
+
+    fn confirm_carried(&mut self, upto: u64) {
+        let mut k = 0;
+        while k < self.window.len() {
+            if self.window[k].carried && self.window[k].ts <= upto {
+                let e = self.window.swap_remove(k);
+                self.metrics.add_emitted();
+                self.emit.push_back(e.record);
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    fn end_pass(&mut self) -> bool {
+        if matches!(self.source, Source::Child) {
+            self.child.close();
+        }
+        match self.spill.take() {
+            None => {
+                for e in self.window.drain(..) {
+                    self.metrics.add_emitted();
+                    self.emit.push_back(e.record);
+                }
+                self.source = Source::Done;
+                false
+            }
+            Some(spill) => {
+                let mut k = 0;
+                while k < self.window.len() {
+                    if self.window[k].carried || self.window[k].ts == 0 {
+                        let e = self.window.swap_remove(k);
+                        self.metrics.add_emitted();
+                        self.emit.push_back(e.record);
+                    } else {
+                        k += 1;
+                    }
+                }
+                for e in &mut self.window {
+                    e.carried = true;
+                }
+                let temp = spill.finish();
+                self.source = Source::Temp(SharedScanner::new(Arc::new(temp)));
+                self.read_count = 0;
+                self.temp_written = 0;
+                self.metrics.add_pass();
+                true
+            }
+        }
+    }
+}
+
+impl Operator for WinnowOp {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()?;
+        self.source = Source::Child;
+        self.window.clear();
+        self.emit.clear();
+        self.spill = None;
+        self.read_count = 0;
+        self.temp_written = 0;
+        self.metrics.add_pass();
+        self.opened = true;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        if !self.opened {
+            return Err(ExecError::Protocol("WinnowOp::next before open"));
+        }
+        loop {
+            if let Some(r) = self.emit.pop_front() {
+                self.out = r;
+                return Ok(Some(&self.out));
+            }
+            if matches!(self.source, Source::Done) {
+                return Ok(None);
+            }
+            if !self.fetch()? {
+                self.end_pass();
+                continue;
+            }
+            let i = self.read_count;
+            self.read_count += 1;
+            self.confirm_carried(i);
+
+            self.spec.key_of(&self.layout, &self.cur, &mut self.key);
+            let mut bettered = false;
+            let mut tests = 0u64;
+            let mut k = 0;
+            while k < self.window.len() {
+                tests += 2;
+                if self.pref.prefers(&self.window[k].key, &self.key) {
+                    bettered = true;
+                    break;
+                }
+                if self.pref.prefers(&self.key, &self.window[k].key) {
+                    self.window.swap_remove(k);
+                    self.metrics.add_discarded();
+                } else {
+                    k += 1;
+                }
+            }
+            self.metrics.add_comparisons(tests);
+            if bettered {
+                self.metrics.add_discarded();
+                continue;
+            }
+            if self.window.len() < self.capacity {
+                self.window.push(Entry {
+                    record: self.cur.clone(),
+                    key: self.key.clone(),
+                    ts: self.temp_written,
+                    carried: false,
+                });
+                self.metrics.add_window_insert();
+            } else {
+                let spill = self.spill.get_or_insert_with(|| {
+                    Spill::new(Arc::clone(&self.disk), self.layout.record_size())
+                });
+                spill.push(&self.cur);
+                self.temp_written += 1;
+                self.metrics.add_temp_record();
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.source = Source::Done;
+        self.window.clear();
+        self.emit.clear();
+        self.spill = None;
+        self.opened = false;
+    }
+
+    fn record_size(&self) -> usize {
+        self.layout.record_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::winnow::{winnow_naive, LexPreference, SkylinePreference, WeightedSumPreference};
+    use crate::KeyMatrix;
+    use skyline_exec::{collect, MemSource};
+    use skyline_storage::MemDisk;
+
+    fn run_winnow(
+        rows: &[[i32; 2]],
+        pref: Arc<dyn Preference + Send + Sync>,
+        window_pages: usize,
+    ) -> Vec<Vec<i32>> {
+        let layout = RecordLayout::new(2, 4);
+        let recs: Vec<Vec<u8>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| layout.encode(r, &(i as u32).to_le_bytes()))
+            .collect();
+        let disk = MemDisk::shared();
+        let src = Box::new(MemSource::new(recs, layout.record_size()));
+        let mut op = WinnowOp::new(
+            src,
+            layout,
+            SkylineSpec::max_all(2),
+            pref,
+            window_pages,
+            Arc::clone(&disk) as _,
+            SkylineMetrics::shared(),
+        )
+        .unwrap();
+        let mut out: Vec<Vec<i32>> = collect(&mut op)
+            .unwrap()
+            .iter()
+            .map(|r| layout.decode_attrs(r))
+            .collect();
+        out.sort();
+        assert_eq!(disk.allocated_pages(), 0, "temp files leaked");
+        out
+    }
+
+    fn oracle(rows: &[[i32; 2]], pref: &dyn Preference) -> Vec<Vec<i32>> {
+        struct W<'a>(&'a dyn Preference);
+        impl Preference for W<'_> {
+            fn prefers(&self, a: &[f64], b: &[f64]) -> bool {
+                self.0.prefers(a, b)
+            }
+        }
+        let km = KeyMatrix::from_rows(
+            &rows
+                .iter()
+                .map(|r| vec![f64::from(r[0]), f64::from(r[1])])
+                .collect::<Vec<_>>(),
+        );
+        let mut out: Vec<Vec<i32>> = winnow_naive(&km, &W(pref))
+            .into_iter()
+            .map(|i| vec![rows[i][0], rows[i][1]])
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn mk_rows(n: usize) -> Vec<[i32; 2]> {
+        (0..n as i32)
+            .map(|i| [(i * 37) % 53, (i * 53) % 47])
+            .collect()
+    }
+
+    #[test]
+    fn skyline_preference_matches_bnl() {
+        let rows = mk_rows(800);
+        for w in [0usize, 1, 8] {
+            let got = run_winnow(&rows, Arc::new(SkylinePreference), w);
+            assert_eq!(got, oracle(&rows, &SkylinePreference), "window={w}");
+        }
+    }
+
+    #[test]
+    fn lex_preference_multipass() {
+        let rows = mk_rows(2_000);
+        let got = run_winnow(&rows, Arc::new(LexPreference), 0);
+        assert_eq!(got, oracle(&rows, &LexPreference));
+        // lex maxima: all rows with the max first coord and, among them,
+        // the max second coord
+        assert!(got.windows(2).all(|w| w[0] == w[1]) || got.len() == 1 || !got.is_empty());
+    }
+
+    #[test]
+    fn weighted_sum_preference_multipass() {
+        let rows = mk_rows(1_500);
+        let pref = Arc::new(WeightedSumPreference::new(vec![1.0, 2.0]));
+        let got = run_winnow(&rows, Arc::clone(&pref) as _, 0);
+        assert_eq!(got, oracle(&rows, pref.as_ref()));
+    }
+
+    #[test]
+    fn diff_rejected() {
+        let layout = RecordLayout::new(3, 0);
+        let src = Box::new(MemSource::new(vec![], layout.record_size()));
+        assert!(WinnowOp::new(
+            src,
+            layout,
+            SkylineSpec::max_all(2).with_diff(vec![2]),
+            Arc::new(SkylinePreference),
+            1,
+            MemDisk::shared() as _,
+            SkylineMetrics::shared(),
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Flat row-major key matrices — the in-memory algorithms' working set.
+
+/// An `n × d` matrix of oriented (all-max) skyline keys, stored flat with
+/// stride `d`. No per-row allocation; rows are slices into one buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyMatrix {
+    d: usize,
+    data: Vec<f64>,
+}
+
+impl KeyMatrix {
+    /// Build from flat row-major data.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` or `data.len()` is not a multiple of `d`, or if
+    /// any value is NaN (NaN breaks the dominance order).
+    pub fn new(d: usize, data: Vec<f64>) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        assert!(data.len().is_multiple_of(d), "data length must be a multiple of d");
+        assert!(data.iter().all(|v| !v.is_nan()), "keys must not be NaN");
+        KeyMatrix { d, data }
+    }
+
+    /// Build from explicit rows.
+    ///
+    /// # Panics
+    /// Panics on ragged rows (or NaN values).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let d = rows.first().map_or(1, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * d);
+        for r in rows {
+            assert_eq!(r.len(), d, "ragged key rows");
+            data.extend_from_slice(r);
+        }
+        KeyMatrix::new(d, data)
+    }
+
+    /// Number of rows.
+    pub fn n(&self) -> usize {
+        self.data.len() / self.d
+    }
+
+    /// Number of dimensions.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.d..(i + 1) * self.d]
+    }
+
+    /// The flat data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A new matrix containing only the given rows (in the given order).
+    pub fn select(&self, rows: &[usize]) -> KeyMatrix {
+        let mut data = Vec::with_capacity(rows.len() * self.d);
+        for &i in rows {
+            data.extend_from_slice(self.row(i));
+        }
+        KeyMatrix { d: self.d, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_round_trip() {
+        let m = KeyMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.n(), 2);
+        assert_eq!(m.d(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn select_reorders() {
+        let m = KeyMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let s = m.select(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0]);
+        assert_eq!(s.row(1), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of d")]
+    fn bad_shape_rejected() {
+        KeyMatrix::new(3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        KeyMatrix::new(1, vec![f64::NAN]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = KeyMatrix::new(4, vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.n(), 0);
+    }
+}

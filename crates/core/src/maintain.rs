@@ -1,0 +1,302 @@
+//! Incremental skyline maintenance.
+//!
+//! The paper's §2 argues against precomputed skyline indexes because they
+//! are "fragile in the face of updates: a single insertion of a tuple
+//! that dominates the current skyline would invalidate the entire index."
+//! This module quantifies and tames that fragility: a [`SkylineCache`]
+//! maintains the skyline under insertions in `O(|skyline|)` per insert
+//! (the insert either vanishes, or enters and evicts what it dominates —
+//! never more). **Deletions** are the genuinely fragile direction: when a
+//! skyline member is deleted, tuples it was hiding may surface, and only
+//! the base data can say which — the cache recomputes the promoted
+//! region from the provided base iterator, which is exactly the paper's
+//! point about why such an index cannot stand alone.
+
+use crate::dominance::{dom_rel, DomRel};
+use crate::keys::KeyMatrix;
+use crate::lowdim::skyline_auto;
+
+/// An incrementally maintained skyline over oriented key rows, each
+/// carrying a caller-supplied id.
+///
+/// ```
+/// use skyline_core::maintain::{InsertOutcome, SkylineCache};
+/// let mut cache = SkylineCache::new(2);
+/// cache.insert(1, &[3.0, 1.0]);
+/// cache.insert(2, &[1.0, 3.0]);
+/// assert_eq!(cache.insert(3, &[0.5, 0.5]), InsertOutcome::Dominated);
+/// assert_eq!(
+///     cache.insert(4, &[9.0, 9.0]),
+///     InsertOutcome::Entered { evicted: vec![1, 2] }
+/// );
+/// assert_eq!(cache.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkylineCache {
+    d: usize,
+    /// Flat key rows of current skyline members.
+    keys: Vec<f64>,
+    /// Ids aligned with `keys` rows.
+    ids: Vec<u64>,
+}
+
+/// Outcome of [`SkylineCache::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The new tuple is dominated; the skyline is unchanged.
+    Dominated,
+    /// The new tuple joined the skyline, evicting the listed ids
+    /// (possibly none).
+    Entered {
+        /// Ids of previously-skyline tuples the insert dominated.
+        evicted: Vec<u64>,
+    },
+}
+
+impl SkylineCache {
+    /// Empty cache over `d`-dimensional oriented keys.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0);
+        SkylineCache { d, keys: Vec::new(), ids: Vec::new() }
+    }
+
+    /// Build from a full dataset (ids paired with oriented key rows).
+    pub fn build<'a, I>(d: usize, items: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, &'a [f64])>,
+    {
+        let mut cache = SkylineCache::new(d);
+        for (id, key) in items {
+            cache.insert(id, key);
+        }
+        cache
+    }
+
+    /// Number of skyline members.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the skyline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Current members as `(id, key row)` pairs, in insertion order.
+    pub fn members(&self) -> impl Iterator<Item = (u64, &[f64])> + '_ {
+        self.ids
+            .iter()
+            .zip(self.keys.chunks_exact(self.d))
+            .map(|(&id, k)| (id, k))
+    }
+
+    /// Is `id` currently in the skyline?
+    pub fn contains(&self, id: u64) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// Insert a tuple. `O(len)` comparisons.
+    ///
+    /// Ties: a tuple equal to an existing member is itself skyline and is
+    /// kept (duplicates are members in their own right, matching the
+    /// relational semantics everywhere else in this workspace).
+    ///
+    /// # Panics
+    /// Panics if the key dimension differs from the cache's.
+    pub fn insert(&mut self, id: u64, key: &[f64]) -> InsertOutcome {
+        assert_eq!(key.len(), self.d, "key dimension mismatch");
+        let mut evicted = Vec::new();
+        let mut i = 0;
+        while i < self.ids.len() {
+            let row = &self.keys[i * self.d..(i + 1) * self.d];
+            match dom_rel(row, key) {
+                DomRel::Dominates => {
+                    debug_assert!(evicted.is_empty(), "window is an antichain");
+                    return InsertOutcome::Dominated;
+                }
+                DomRel::DominatedBy => {
+                    evicted.push(self.ids[i]);
+                    self.remove_at(i);
+                }
+                DomRel::Equal | DomRel::Incomparable => i += 1,
+            }
+        }
+        self.ids.push(id);
+        self.keys.extend_from_slice(key);
+        InsertOutcome::Entered { evicted }
+    }
+
+    /// Delete a tuple by id. If it was a skyline member, the promoted
+    /// tuples are recovered by rescanning `base` — all *remaining* tuples
+    /// of the relation as `(id, key)` pairs. Returns true when the
+    /// deleted id was in the skyline (i.e. a rescan was needed).
+    pub fn delete<'a, I>(&mut self, id: u64, base: I) -> bool
+    where
+        I: IntoIterator<Item = (u64, &'a [f64])>,
+    {
+        let Some(pos) = self.ids.iter().position(|&x| x == id) else {
+            return false; // non-members never affect the skyline
+        };
+        self.remove_at(pos);
+        // Rebuild from the remaining relation: deletion can promote
+        // arbitrarily many second-stratum tuples, and only the base knows
+        // them. (This is the §2 fragility, made explicit.)
+        let mut ids = Vec::new();
+        let mut rows = Vec::new();
+        for (bid, key) in base {
+            debug_assert_eq!(key.len(), self.d);
+            ids.push(bid);
+            rows.push(key.to_vec());
+        }
+        let km = KeyMatrix::from_rows(&rows);
+        let sky = skyline_auto(&km);
+        self.ids.clear();
+        self.keys.clear();
+        for i in sky.indices {
+            self.ids.push(ids[i]);
+            self.keys.extend_from_slice(km.row(i));
+        }
+        true
+    }
+
+    fn remove_at(&mut self, i: usize) {
+        let last = self.ids.len() - 1;
+        self.ids.swap(i, last);
+        self.ids.pop();
+        for k in 0..self.d {
+            self.keys.swap(i * self.d + k, last * self.d + k);
+        }
+        self.keys.truncate(last * self.d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::naive;
+
+    fn ids_sorted(c: &SkylineCache) -> Vec<u64> {
+        let mut v: Vec<u64> = c.members().map(|(id, _)| id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn inserts_track_batch_skyline() {
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|i| vec![f64::from((i * 37) % 97), f64::from((i * 53) % 89)])
+            .collect();
+        let mut cache = SkylineCache::new(2);
+        for (i, r) in rows.iter().enumerate() {
+            cache.insert(i as u64, r);
+        }
+        let km = KeyMatrix::from_rows(&rows);
+        let mut expect: Vec<u64> = naive(&km).indices.iter().map(|&i| i as u64).collect();
+        expect.sort_unstable();
+        assert_eq!(ids_sorted(&cache), expect);
+    }
+
+    #[test]
+    fn dominating_insert_evicts_everything_it_covers() {
+        let mut cache = SkylineCache::new(2);
+        cache.insert(1, &[5.0, 1.0]);
+        cache.insert(2, &[1.0, 5.0]);
+        cache.insert(3, &[3.0, 3.0]);
+        // a single insertion that dominates the current skyline — the §2
+        // scenario — evicts all members at once
+        let out = cache.insert(4, &[9.0, 9.0]);
+        match out {
+            InsertOutcome::Entered { mut evicted } => {
+                evicted.sort_unstable();
+                assert_eq!(evicted, vec![1, 2, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ids_sorted(&cache), vec![4]);
+    }
+
+    #[test]
+    fn dominated_insert_is_rejected() {
+        let mut cache = SkylineCache::new(2);
+        cache.insert(1, &[5.0, 5.0]);
+        assert_eq!(cache.insert(2, &[4.0, 4.0]), InsertOutcome::Dominated);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn equal_keys_both_members() {
+        let mut cache = SkylineCache::new(2);
+        cache.insert(1, &[5.0, 5.0]);
+        let out = cache.insert(2, &[5.0, 5.0]);
+        assert_eq!(out, InsertOutcome::Entered { evicted: vec![] });
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn deletion_promotes_hidden_tuples() {
+        // base: (9,9) hides (8,1) and (1,8); deleting it promotes both
+        let base = [
+            (1u64, vec![9.0, 9.0]),
+            (2, vec![8.0, 1.0]),
+            (3, vec![1.0, 8.0]),
+            (4, vec![0.5, 0.5]),
+        ];
+        let mut cache = SkylineCache::build(2, base.iter().map(|(i, k)| (*i, k.as_slice())));
+        assert_eq!(ids_sorted(&cache), vec![1]);
+        let remaining = &base[1..];
+        let was_member = cache.delete(1, remaining.iter().map(|(i, k)| (*i, k.as_slice())));
+        assert!(was_member);
+        assert_eq!(ids_sorted(&cache), vec![2, 3]);
+    }
+
+    #[test]
+    fn deleting_non_member_is_cheap_noop() {
+        let base = [(1u64, vec![9.0, 9.0]), (2, vec![1.0, 1.0])];
+        let mut cache = SkylineCache::build(2, base.iter().map(|(i, k)| (*i, k.as_slice())));
+        // id 2 is dominated → not a member → no rescan needed
+        let was_member = cache.delete(2, std::iter::empty());
+        assert!(!was_member);
+        assert_eq!(ids_sorted(&cache), vec![1]);
+    }
+
+    #[test]
+    fn random_insert_delete_sequence_matches_recompute() {
+        let mut x: u64 = 7;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut alive: Vec<(u64, Vec<f64>)> = Vec::new();
+        let mut cache = SkylineCache::new(3);
+        for step in 0..300u64 {
+            if next() % 4 != 0 || alive.is_empty() {
+                let key = vec![
+                    (next() % 50) as f64,
+                    (next() % 50) as f64,
+                    (next() % 50) as f64,
+                ];
+                cache.insert(step, &key);
+                alive.push((step, key));
+            } else {
+                let victim = (next() as usize) % alive.len();
+                let (vid, _) = alive.remove(victim);
+                cache.delete(vid, alive.iter().map(|(i, k)| (*i, k.as_slice())));
+            }
+        }
+        // compare against recompute-from-scratch
+        let rows: Vec<Vec<f64>> = alive.iter().map(|(_, k)| k.clone()).collect();
+        let km = KeyMatrix::from_rows(&rows);
+        let mut expect: Vec<u64> = naive(&km)
+            .indices
+            .iter()
+            .map(|&i| alive[i].0)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(ids_sorted(&cache), expect);
+    }
+}

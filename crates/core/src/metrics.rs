@@ -1,0 +1,133 @@
+//! Run-time counters for skyline algorithms.
+//!
+//! The paper's analysis is in terms of *dominance comparisons* (the CPU
+//! cost that makes BNL CPU-bound), *passes*, and *tuples/pages written to
+//! temp files* (the "extra pages" I/O metric of Figures 10/14/15). These
+//! counters are machine-independent, so the reproduction can exhibit the
+//! paper's CPU-boundedness claims without depending on a 2002-era Athlon.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters updated by a skyline operator while it runs.
+#[derive(Debug, Default)]
+pub struct SkylineMetrics {
+    comparisons: AtomicU64,
+    passes: AtomicU64,
+    temp_records: AtomicU64,
+    window_inserts: AtomicU64,
+    discarded: AtomicU64,
+    emitted: AtomicU64,
+}
+
+impl SkylineMetrics {
+    /// Fresh zeroed counters behind an `Arc` (shared with the operator).
+    pub fn shared() -> Arc<Self> {
+        Arc::new(SkylineMetrics::default())
+    }
+
+    /// Add `n` dominance comparisons.
+    #[inline]
+    pub fn add_comparisons(&self, n: u64) {
+        self.comparisons.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record the start of a filter pass.
+    #[inline]
+    pub fn add_pass(&self) {
+        self.passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one record written to a temp file.
+    #[inline]
+    pub fn add_temp_record(&self) {
+        self.temp_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one window insertion.
+    #[inline]
+    pub fn add_window_insert(&self) {
+        self.window_inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one tuple discarded as dominated.
+    #[inline]
+    pub fn add_discarded(&self) {
+        self.discarded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one tuple emitted as skyline.
+    #[inline]
+    pub fn add_emitted(&self) {
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        for c in [
+            &self.comparisons,
+            &self.passes,
+            &self.temp_records,
+            &self.window_inserts,
+            &self.discarded,
+            &self.emitted,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            comparisons: self.comparisons.load(Ordering::Relaxed),
+            passes: self.passes.load(Ordering::Relaxed),
+            temp_records: self.temp_records.load(Ordering::Relaxed),
+            window_inserts: self.window_inserts.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+            emitted: self.emitted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of [`SkylineMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct MetricsSnapshot {
+    /// Dominance comparisons performed.
+    pub comparisons: u64,
+    /// Filter passes run.
+    pub passes: u64,
+    /// Records written to temp files (across all passes).
+    pub temp_records: u64,
+    /// Window insertions.
+    pub window_inserts: u64,
+    /// Tuples discarded as dominated.
+    pub discarded: u64,
+    /// Tuples emitted as skyline.
+    pub emitted: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = SkylineMetrics::shared();
+        m.add_comparisons(10);
+        m.add_comparisons(5);
+        m.add_pass();
+        m.add_temp_record();
+        m.add_window_insert();
+        m.add_discarded();
+        m.add_emitted();
+        let s = m.snapshot();
+        assert_eq!(s.comparisons, 15);
+        assert_eq!(s.passes, 1);
+        assert_eq!(s.temp_records, 1);
+        assert_eq!(s.window_inserts, 1);
+        assert_eq!(s.discarded, 1);
+        assert_eq!(s.emitted, 1);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+}

@@ -1,0 +1,112 @@
+//! Parallel in-memory skyline: partition → local skylines → merge.
+//!
+//! Correctness rests on a simple algebraic fact: for any partition
+//! `R = R₁ ∪ … ∪ R_k`, `sky(R) = sky(sky(R₁) ∪ … ∪ sky(R_k))` — a tuple
+//! dominated in `R` is dominated by some skyline tuple of the partition
+//! holding its dominator (dominance is transitive). Local skylines run on
+//! scoped threads; the (small) union gets one final SFS pass.
+//!
+//! This is the natural multi-core extension of the paper's
+//! divide-and-conquer discussion, and the merge uses the same presorted
+//! filter as everything else.
+
+use crate::algo::{sfs, sfs_presorted, MemSortOrder, presort_indices};
+use crate::keys::KeyMatrix;
+
+/// Compute the skyline of `keys` using up to `threads` worker threads.
+/// Returns indices into `keys` (sorted ascending). Falls back to
+/// single-threaded SFS for small inputs.
+pub fn parallel_skyline(keys: &KeyMatrix, threads: usize) -> Vec<usize> {
+    let n = keys.n();
+    let threads = threads.clamp(1, 64);
+    if threads == 1 || n < 4 * threads || n < 1024 {
+        let mut idx = sfs(keys, MemSortOrder::Entropy).indices;
+        idx.sort_unstable();
+        return idx;
+    }
+    let chunk = n.div_ceil(threads);
+    let locals: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                continue;
+            }
+            handles.push(scope.spawn(move || {
+                let rows: Vec<usize> = (lo..hi).collect();
+                let sub = keys.select(&rows);
+                sfs(&sub, MemSortOrder::Entropy)
+                    .indices
+                    .into_iter()
+                    .map(|local| rows[local])
+                    .collect::<Vec<usize>>()
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    // merge: skyline of the union of local skylines
+    let union: Vec<usize> = locals.into_iter().flatten().collect();
+    let sub = keys.select(&union);
+    let order = presort_indices(&sub, MemSortOrder::Entropy);
+    let mut out: Vec<usize> = sfs_presorted(&sub, &order)
+        .indices
+        .into_iter()
+        .map(|local| union[local])
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::naive;
+    use skyline_relation::gen::WorkloadSpec;
+
+    fn uniform(n: usize, d: usize, seed: u64) -> KeyMatrix {
+        KeyMatrix::new(d, WorkloadSpec::paper(n, seed).generate_keys(d))
+    }
+
+    #[test]
+    fn matches_oracle_small() {
+        let km = uniform(500, 4, 9);
+        assert_eq!(parallel_skyline(&km, 4), naive(&km).sorted().indices);
+    }
+
+    #[test]
+    fn matches_sequential_at_scale() {
+        let km = uniform(20_000, 5, 10);
+        let mut seq = sfs(&km, MemSortOrder::Entropy).indices;
+        seq.sort_unstable();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(parallel_skyline(&km, threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn duplicates_survive_across_partitions() {
+        // identical maxima placed in different chunks: all must survive
+        let mut rows = vec![vec![0.0, 0.0]; 5000];
+        rows[10] = vec![9.0, 9.0];
+        rows[4990] = vec![9.0, 9.0];
+        let km = KeyMatrix::from_rows(&rows);
+        let got = parallel_skyline(&km, 4);
+        assert_eq!(got, vec![10, 4990]);
+    }
+
+    #[test]
+    fn degenerate_thread_counts() {
+        let km = uniform(2_000, 3, 11);
+        let expect = parallel_skyline(&km, 1);
+        assert_eq!(parallel_skyline(&km, 0), expect); // clamped to 1
+        assert_eq!(parallel_skyline(&km, 1000), expect); // clamped to 64
+    }
+
+    #[test]
+    fn empty_input() {
+        let km = KeyMatrix::new(3, vec![]);
+        assert!(parallel_skyline(&km, 4).is_empty());
+    }
+}

@@ -1,0 +1,378 @@
+//! Plan construction helpers: wiring generators, sorts, and skyline
+//! operators the way the paper's experimental setup (and a real optimizer)
+//! would.
+//!
+//! The paper treats SFS's sort and filter as **separately scheduled
+//! operations** with separate buffer allocations (§5) — so the canonical
+//! pipeline here materializes the sorted relation into a heap file, then
+//! runs the filter phase over a scan of it. That also makes the paper's
+//! "extra pages" metric directly observable: every page the *filter phase*
+//! reads or writes beyond the initial scan is temp-file traffic.
+
+use crate::dominance::SkylineSpec;
+use crate::external::{Bnl, Sfs, SfsConfig};
+use crate::metrics::SkylineMetrics;
+use crate::score::{oriented_stats, EntropyScore, SkylineOrderCmp, SortOrder};
+use skyline_exec::{ExecError, ExternalSort, HeapScan, Operator, SortBudget};
+use skyline_relation::RecordLayout;
+use skyline_storage::{Disk, HeapFile};
+use std::sync::Arc;
+
+/// Drain an operator into a fresh heap file on `disk` (the sorted-relation
+/// materialization step). The file is *not* marked temp; callers decide
+/// its lifetime.
+pub fn materialize(op: &mut dyn Operator, disk: Arc<dyn Disk>) -> Result<HeapFile, ExecError> {
+    let mut out = HeapFile::create(disk, op.record_size());
+    op.open()?;
+    {
+        let mut w = out.writer();
+        while let Some(r) = op.next()? {
+            w.push(r);
+        }
+        w.finish();
+    }
+    op.close();
+    Ok(out)
+}
+
+/// Compute the entropy-score statistics for `spec` by scanning a heap file
+/// (what a catalog would already know; scans cost one pass).
+pub fn entropy_stats_of(
+    heap: &Arc<HeapFile>,
+    layout: &RecordLayout,
+    spec: &SkylineSpec,
+) -> EntropyScore {
+    let mut scan = heap.scan();
+    let mut cols = vec![skyline_relation::ColumnStats::empty(); spec.dims()];
+    let mut key = Vec::with_capacity(spec.dims());
+    while let Some(r) = scan.next_record() {
+        spec.key_of(layout, r, &mut key);
+        for (c, &v) in cols.iter_mut().zip(&key) {
+            c.observe(v);
+        }
+    }
+    EntropyScore::new(skyline_relation::TableStats::from_columns(cols))
+}
+
+/// Compute entropy stats straight from in-memory records (generation time —
+/// free, like catalog statistics).
+pub fn entropy_stats_of_records<'a, I>(
+    layout: &RecordLayout,
+    spec: &SkylineSpec,
+    records: I,
+) -> EntropyScore
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    EntropyScore::new(oriented_stats(layout, spec, records))
+}
+
+/// The sort phase: sort `heap` by the requested monotone order and
+/// materialize the result. Returns the sorted heap file.
+///
+/// # Errors
+/// Propagates operator errors; config errors if entropy stats are missing
+/// for an entropy order.
+pub fn presort(
+    heap: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    order: SortOrder,
+    entropy: Option<EntropyScore>,
+    sort_pages: usize,
+    disk: Arc<dyn Disk>,
+) -> Result<HeapFile, ExecError> {
+    if matches!(order, SortOrder::Entropy | SortOrder::ReverseEntropy) && entropy.is_none() {
+        return Err(ExecError::Config("entropy order requires stats".into()));
+    }
+    let cmp = Arc::new(SkylineOrderCmp::new(layout, spec, order, entropy));
+    let scan = Box::new(HeapScan::new(heap));
+    let mut sort = ExternalSort::new(scan, cmp, Arc::clone(&disk), SortBudget::pages(sort_pages));
+    materialize(&mut sort, disk)
+}
+
+/// The filter phase: SFS over an already-sorted heap file.
+///
+/// # Errors
+/// Config errors from [`Sfs::new`].
+pub fn sfs_filter(
+    sorted: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    cfg: SfsConfig,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+) -> Result<Sfs, ExecError> {
+    let scan = Box::new(HeapScan::new(sorted));
+    Sfs::new(scan, layout, spec, cfg, disk, metrics)
+}
+
+/// Presort by a *user preference* (any monotone scoring — §4.4): the
+/// resulting SFS emits skyline tuples in preference order, so a LIMIT on
+/// top yields the preferred top-N with early termination.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn presort_by_preference(
+    heap: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    score: Arc<dyn crate::score::MonotoneScore>,
+    sort_pages: usize,
+    disk: Arc<dyn Disk>,
+) -> Result<HeapFile, ExecError> {
+    let cmp = Arc::new(crate::score::PreferenceCmp::new(layout, spec, score));
+    let scan = Box::new(HeapScan::new(heap));
+    let mut sort = ExternalSort::new(scan, cmp, Arc::clone(&disk), SortBudget::pages(sort_pages));
+    materialize(&mut sort, disk)
+}
+
+/// BNL over a heap file in its natural (heap) order.
+///
+/// # Errors
+/// Config errors from [`Bnl::new`].
+pub fn bnl_over(
+    heap: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    window_pages: usize,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+) -> Result<Bnl, ExecError> {
+    let scan = Box::new(HeapScan::new(heap));
+    Bnl::new(scan, layout, spec, window_pages, disk, metrics)
+}
+
+/// A fully budgeted SFS plan: sort-phase and filter-phase buffer pages
+/// are reserved from a shared [`BufferPool`] before any work starts, the
+/// way an engine's admission control would. The leases live as long as
+/// the plan.
+pub struct BudgetedSkyline {
+    /// The filter operator, ready to open.
+    pub sfs: crate::external::Sfs,
+    /// Shared metrics handle.
+    pub metrics: Arc<SkylineMetrics>,
+    _window_lease: skyline_storage::BufferLease,
+}
+
+/// Build a sort+filter skyline plan under a buffer-pool budget: reserves
+/// `sort_pages` for the (materialized) sort phase, releases them, then
+/// reserves `cfg.window_pages` for the filter phase, which stay reserved
+/// until the returned plan is dropped.
+///
+/// # Errors
+/// [`ExecError::Buffer`] when the pool cannot satisfy a reservation;
+/// otherwise the same errors as [`presort`]/[`sfs_filter`].
+#[allow(clippy::too_many_arguments)]
+pub fn budgeted_skyline_plan(
+    heap: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    order: SortOrder,
+    entropy: Option<EntropyScore>,
+    cfg: crate::external::SfsConfig,
+    sort_pages: usize,
+    pool: &skyline_storage::BufferPool,
+    disk: Arc<dyn Disk>,
+) -> Result<BudgetedSkyline, ExecError> {
+    let sorted = {
+        let _sort_lease = pool.reserve(sort_pages)?;
+        let mut sorted = presort(heap, layout, spec.clone(), order, entropy, sort_pages, Arc::clone(&disk))?;
+        sorted.mark_temp();
+        sorted
+        // sort lease released here: the paper treats sort and filter as
+        // separately scheduled operations with separate allocations
+    };
+    let window_lease = pool.reserve(cfg.window_pages)?;
+    let metrics = SkylineMetrics::shared();
+    let sfs = sfs_filter(
+        Arc::new(sorted),
+        layout,
+        spec,
+        cfg,
+        disk,
+        Arc::clone(&metrics),
+    )?;
+    Ok(BudgetedSkyline { sfs, metrics, _window_lease: window_lease })
+}
+
+/// Load records into a fresh heap file (workload setup).
+pub fn load_heap<'a, I>(disk: Arc<dyn Disk>, record_size: usize, records: I) -> HeapFile
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut heap = HeapFile::create(disk, record_size);
+    heap.append_all(records);
+    heap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use crate::keys::KeyMatrix;
+    use skyline_exec::collect;
+    use skyline_relation::gen::WorkloadSpec;
+    use skyline_storage::MemDisk;
+
+    fn oracle_count(records: &[Vec<u8>], layout: &RecordLayout, d: usize) -> usize {
+        let mut rows = Vec::with_capacity(records.len());
+        for r in records {
+            rows.push((0..d).map(|i| f64::from(layout.attr(r, i))).collect::<Vec<_>>());
+        }
+        algo::naive(&KeyMatrix::from_rows(&rows)).indices.len()
+    }
+
+    #[test]
+    fn full_sfs_pipeline_matches_oracle() {
+        let spec_w = WorkloadSpec::paper(2_000, 42);
+        let records = spec_w.generate();
+        let layout = spec_w.layout;
+        let d = 4;
+        let spec = SkylineSpec::max_all(d);
+        let disk = MemDisk::shared();
+        let heap = Arc::new(load_heap(
+            Arc::clone(&disk) as _,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        ));
+        let stats = entropy_stats_of(&heap, &layout, &spec);
+        let sorted = presort(
+            Arc::clone(&heap),
+            layout,
+            spec.clone(),
+            SortOrder::Entropy,
+            Some(stats),
+            50,
+            Arc::clone(&disk) as _,
+        )
+        .unwrap();
+        let metrics = SkylineMetrics::shared();
+        let mut sfs = sfs_filter(
+            Arc::new(sorted),
+            layout,
+            spec,
+            SfsConfig::new(4).with_projection(),
+            Arc::clone(&disk) as _,
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let out = collect(&mut sfs).unwrap();
+        assert_eq!(out.len(), oracle_count(&records, &layout, d));
+        assert_eq!(metrics.snapshot().emitted as usize, out.len());
+    }
+
+    #[test]
+    fn bnl_pipeline_matches_sfs_pipeline() {
+        let spec_w = WorkloadSpec::paper(3_000, 7);
+        let records = spec_w.generate();
+        let layout = spec_w.layout;
+        let spec = SkylineSpec::max_all(5);
+        let disk = MemDisk::shared();
+        let heap = Arc::new(load_heap(
+            Arc::clone(&disk) as _,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        ));
+        let metrics = SkylineMetrics::shared();
+        let mut bnl = bnl_over(
+            Arc::clone(&heap),
+            layout,
+            spec.clone(),
+            2,
+            Arc::clone(&disk) as _,
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let mut bnl_out = collect(&mut bnl).unwrap();
+
+        let sorted = presort(
+            heap,
+            layout,
+            spec.clone(),
+            SortOrder::Nested,
+            None,
+            50,
+            Arc::clone(&disk) as _,
+        )
+        .unwrap();
+        let mut sfs = sfs_filter(
+            Arc::new(sorted),
+            layout,
+            spec,
+            SfsConfig::new(2),
+            Arc::clone(&disk) as _,
+            SkylineMetrics::shared(),
+        )
+        .unwrap();
+        let mut sfs_out = collect(&mut sfs).unwrap();
+        bnl_out.sort();
+        sfs_out.sort();
+        assert_eq!(bnl_out, sfs_out);
+    }
+
+    #[test]
+    fn budgeted_plan_reserves_and_releases_window_pages() {
+        use skyline_exec::Operator;
+        use skyline_storage::BufferPool;
+        let w = WorkloadSpec::paper(1_000, 3);
+        let records = w.generate();
+        let layout = w.layout;
+        let spec = SkylineSpec::max_all(3);
+        let disk = MemDisk::shared();
+        let heap = Arc::new(load_heap(
+            Arc::clone(&disk) as _,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        ));
+        let pool = BufferPool::new(64);
+        {
+            let mut plan = budgeted_skyline_plan(
+                Arc::clone(&heap),
+                layout,
+                spec.clone(),
+                SortOrder::Nested,
+                None,
+                crate::external::SfsConfig::new(8).with_projection(),
+                32,
+                &pool,
+                Arc::clone(&disk) as _,
+            )
+            .unwrap();
+            assert_eq!(pool.used(), 8, "window pages held while the plan lives");
+            plan.sfs.open().unwrap();
+            let mut n = 0;
+            while plan.sfs.next().unwrap().is_some() {
+                n += 1;
+            }
+            plan.sfs.close();
+            assert!(n > 0);
+            assert_eq!(plan.metrics.snapshot().emitted, n);
+        }
+        assert_eq!(pool.used(), 0, "window lease released with the plan");
+        // sort phase peaked at 32 pages, filter at 8
+        assert_eq!(pool.peak(), 32);
+        // over-budget requests fail up front
+        let err = budgeted_skyline_plan(
+            heap,
+            layout,
+            spec,
+            SortOrder::Nested,
+            None,
+            crate::external::SfsConfig::new(100),
+            32,
+            &pool,
+            Arc::clone(&disk) as _,
+        );
+        assert!(matches!(err, Err(ExecError::Buffer(_))));
+    }
+
+    #[test]
+    fn materialize_round_trips() {
+        let disk = MemDisk::shared();
+        let recs: Vec<Vec<u8>> = (0..100u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let mut src = skyline_exec::MemSource::new(recs.clone(), 8);
+        let heap = materialize(&mut src, Arc::clone(&disk) as _).unwrap();
+        assert_eq!(heap.read_all(), recs);
+    }
+}

@@ -1,0 +1,193 @@
+//! Dominance numbers and the k-skyband.
+//!
+//! Section 4.3 of the paper builds its entropy heuristic on the
+//! *dominance number* `dn(t)` — how many tuples `t` properly dominates —
+//! noting that computing `dn` exactly "would be prohibitively expensive"
+//! online, which is why the entropy score approximates it. This module
+//! provides the exact quantities for offline analysis:
+//!
+//! * [`dominance_numbers`] — exact `dn` per row (`O(n²)`);
+//! * [`dominated_counts`] — the dual: how many rows dominate each row;
+//! * [`top_k_dominators`] — the best window seeds an oracle could pick;
+//! * [`skyband`] — the *k-skyband*: rows dominated by fewer than `k`
+//!   others (`skyband(1)` is the skyline; the k-skyband contains the
+//!   top-k answer of every monotone scoring function, extending the
+//!   paper's Theorem 5 view from "best" to "top-k").
+
+use crate::keys::KeyMatrix;
+use crate::dominance::dominates;
+
+/// Exact dominance number `dn(row)` — how many rows each row properly
+/// dominates. `O(n²)`.
+pub fn dominance_numbers(keys: &KeyMatrix) -> Vec<u64> {
+    let n = keys.n();
+    let mut dn = vec![0u64; n];
+    for (i, count) in dn.iter_mut().enumerate() {
+        for j in 0..n {
+            if i != j && dominates(keys.row(i), keys.row(j)) {
+                *count += 1;
+            }
+        }
+    }
+    dn
+}
+
+/// How many rows dominate each row (the dominated-by count). A row is in
+/// the skyline iff its count is 0, and in the k-skyband iff < `k`.
+pub fn dominated_counts(keys: &KeyMatrix) -> Vec<u64> {
+    let n = keys.n();
+    let mut c = vec![0u64; n];
+    for (i, count) in c.iter_mut().enumerate() {
+        for j in 0..n {
+            if i != j && dominates(keys.row(j), keys.row(i)) {
+                *count += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Indices of the `k` rows with the largest dominance numbers (ties
+/// broken by lower index) — the ideal window content §4.3 can only
+/// approximate.
+pub fn top_k_dominators(keys: &KeyMatrix, k: usize) -> Vec<usize> {
+    let dn = dominance_numbers(keys);
+    let mut idx: Vec<usize> = (0..keys.n()).collect();
+    idx.sort_by(|&a, &b| dn[b].cmp(&dn[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// The k-skyband: rows dominated by fewer than `k` other rows, in input
+/// order. `skyband(keys, 1)` equals the skyline.
+///
+/// ```
+/// use skyline_core::skyband::skyband;
+/// use skyline_core::KeyMatrix;
+/// let km = KeyMatrix::from_rows(&[vec![3.0], vec![2.0], vec![1.0]]);
+/// assert_eq!(skyband(&km, 1), vec![0]);
+/// assert_eq!(skyband(&km, 2), vec![0, 1]);
+/// ```
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn skyband(keys: &KeyMatrix, k: u64) -> Vec<usize> {
+    assert!(k > 0, "the 0-skyband is empty by definition");
+    dominated_counts(keys)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c < k)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::naive;
+    use crate::score::{EntropyScore, MonotoneScore};
+
+    fn km(rows: &[[f64; 2]]) -> KeyMatrix {
+        KeyMatrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn dn_and_dominated_counts_on_chain() {
+        let m = km(&[[3.0, 3.0], [2.0, 2.0], [1.0, 1.0]]);
+        assert_eq!(dominance_numbers(&m), vec![2, 1, 0]);
+        assert_eq!(dominated_counts(&m), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn skyband_1_is_skyline() {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![f64::from((i * 37) % 61), f64::from((i * 53) % 67)])
+            .collect();
+        let m = KeyMatrix::from_rows(&rows);
+        assert_eq!(skyband(&m, 1), naive(&m).sorted().indices);
+    }
+
+    #[test]
+    fn skybands_are_nested_and_cover() {
+        let rows: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![f64::from((i * 31) % 41), f64::from((i * 17) % 37)])
+            .collect();
+        let m = KeyMatrix::from_rows(&rows);
+        let mut prev = skyband(&m, 1);
+        for k in 2..=5 {
+            let cur = skyband(&m, k);
+            for i in &prev {
+                assert!(cur.contains(i), "skyband({}) ⊄ skyband({k})", k - 1);
+            }
+            prev = cur;
+        }
+        // huge k covers everything
+        assert_eq!(skyband(&m, m.n() as u64 + 1).len(), m.n());
+    }
+
+    #[test]
+    fn skyband_contains_top_k_of_monotone_scorings() {
+        // extension of Theorem 5 to top-k: the top-k under any monotone
+        // scoring lies within the k-skyband
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![f64::from((i * 13) % 29), f64::from((i * 7) % 31)])
+            .collect();
+        let m = KeyMatrix::from_rows(&rows);
+        let k = 5u64;
+        let band = skyband(&m, k);
+        let e = EntropyScore::from_keys(m.data(), 2);
+        let mut by_score: Vec<usize> = (0..m.n()).collect();
+        by_score.sort_by(|&a, &b| {
+            e.score(m.row(b)).partial_cmp(&e.score(m.row(a))).unwrap()
+        });
+        for &i in &by_score[..k as usize] {
+            // a top-k row is dominated by fewer than k rows: each strict
+            // dominator scores strictly higher
+            assert!(band.contains(&i), "top-{k} row {i} outside the {k}-skyband");
+        }
+    }
+
+    #[test]
+    fn top_dominators_prefer_balanced_center() {
+        // the center of mass dominates the most in a grid
+        let mut rows = Vec::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                rows.push(vec![f64::from(x), f64::from(y)]);
+            }
+        }
+        let m = KeyMatrix::from_rows(&rows);
+        let top = top_k_dominators(&m, 1);
+        assert_eq!(m.row(top[0]), &[4.0, 4.0], "the max corner dominates all");
+    }
+
+    #[test]
+    fn entropy_score_correlates_with_dn() {
+        // §4.3's whole premise: entropy order ≈ dn order. Check rank
+        // agreement on uniform data: among random pairs, the higher-dn
+        // row has the higher entropy score in the large majority of cases.
+        use skyline_relation::gen::WorkloadSpec;
+        let d = 3;
+        let keys = WorkloadSpec::paper(600, 11).generate_keys(d);
+        let m = KeyMatrix::new(d, keys);
+        let dn = dominance_numbers(&m);
+        let e = EntropyScore::from_keys(m.data(), d);
+        let mut agree = 0u64;
+        let mut total = 0u64;
+        for i in 0..m.n() {
+            for j in (i + 1)..m.n() {
+                if dn[i] == dn[j] {
+                    continue;
+                }
+                total += 1;
+                let score_order = e.score(m.row(i)) > e.score(m.row(j));
+                let dn_order = dn[i] > dn[j];
+                if score_order == dn_order {
+                    agree += 1;
+                }
+            }
+        }
+        let frac = agree as f64 / total as f64;
+        assert!(frac > 0.85, "entropy/dn rank agreement only {frac:.2}");
+    }
+}

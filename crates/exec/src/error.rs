@@ -1,0 +1,55 @@
+//! Execution errors.
+
+use skyline_storage::buffer::BufferError;
+use std::fmt;
+
+/// Errors raised while executing an operator pipeline.
+#[derive(Debug)]
+pub enum ExecError {
+    /// A buffer-pool reservation failed (operator budget unavailable).
+    Buffer(BufferError),
+    /// An operator was misused (e.g. `next` before `open`).
+    Protocol(&'static str),
+    /// Configuration problem detected at open time.
+    Config(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Buffer(e) => write!(f, "buffer error: {e}"),
+            ExecError::Protocol(msg) => write!(f, "operator protocol violation: {msg}"),
+            ExecError::Config(msg) => write!(f, "operator configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Buffer(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BufferError> for ExecError {
+    fn from(e: BufferError) -> Self {
+        ExecError::Buffer(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ExecError::Protocol("next before open");
+        assert!(e.to_string().contains("next before open"));
+        let e = ExecError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e: ExecError = BufferError::Exhausted { requested: 5, available: 1 }.into();
+        assert!(e.to_string().contains("requested 5"));
+    }
+}

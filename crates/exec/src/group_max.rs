@@ -1,0 +1,221 @@
+//! Group-max aggregation over grouped (sorted) input — the paper's
+//! *dimensional reduction* pre-pass (Figure 8).
+//!
+//! ```sql
+//! SELECT a_1, ..., a_{k-1}, MAX(a_k) AS a_k FROM R
+//!   GROUP BY a_1, ..., a_{k-1}
+//!   ORDER BY a_1 DESC, ..., a_{k-1} DESC;
+//! ```
+//!
+//! Any tuple of a `(a₁..a_{k−1})` group with a non-maximal `a_k` cannot be
+//! skyline, so the filter phase can run on one record per group. The paper:
+//! with attribute domains 0–9 and a 4-dimensional skyline over a million
+//! tuples this shrank the filter input to 99,826 tuples (~10%).
+
+use crate::error::ExecError;
+use crate::op::{BoxedOperator, Operator};
+use skyline_relation::RecordLayout;
+
+/// Emits, for each run of consecutive records sharing the `group_attrs`
+/// values, one representative record: the one with the largest `max_attr`
+/// (other attributes and payload are preserved from that representative —
+/// the paper notes "other attributes of R … could be preserved during the
+/// group-by computation").
+///
+/// Input must arrive grouped (e.g. nested-sorted on `group_attrs`), as
+/// produced by [`crate::ExternalSort`].
+pub struct GroupMax {
+    child: BoxedOperator,
+    layout: RecordLayout,
+    group_attrs: Vec<usize>,
+    max_attr: usize,
+    /// Best record of the group currently being consumed.
+    cur_best: Option<Vec<u8>>,
+    /// Record handed back to the caller.
+    out: Vec<u8>,
+    input_done: bool,
+}
+
+impl GroupMax {
+    /// Build the operator; `group_attrs` and `max_attr` index into
+    /// `layout`'s attributes and must be disjoint.
+    pub fn new(
+        child: BoxedOperator,
+        layout: RecordLayout,
+        group_attrs: Vec<usize>,
+        max_attr: usize,
+    ) -> Result<Self, ExecError> {
+        if child.record_size() != layout.record_size() {
+            return Err(ExecError::Config(format!(
+                "child records are {} bytes but layout says {}",
+                child.record_size(),
+                layout.record_size()
+            )));
+        }
+        if group_attrs.iter().any(|&i| i >= layout.dims) || max_attr >= layout.dims {
+            return Err(ExecError::Config("attribute index out of range".into()));
+        }
+        if group_attrs.contains(&max_attr) {
+            return Err(ExecError::Config(
+                "max attribute cannot also be a group attribute".into(),
+            ));
+        }
+        Ok(GroupMax {
+            child,
+            layout,
+            group_attrs,
+            max_attr,
+            cur_best: None,
+            out: Vec::new(),
+            input_done: false,
+        })
+    }
+
+}
+
+impl Operator for GroupMax {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.cur_best = None;
+        self.input_done = false;
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        if self.input_done {
+            return Ok(match self.cur_best.take() {
+                Some(b) => {
+                    self.out = b;
+                    Some(&self.out)
+                }
+                None => None,
+            });
+        }
+        loop {
+            match self.child.next()? {
+                None => {
+                    self.input_done = true;
+                    return Ok(match self.cur_best.take() {
+                        Some(b) => {
+                            self.out = b;
+                            Some(&self.out)
+                        }
+                        None => None,
+                    });
+                }
+                Some(r) => match &mut self.cur_best {
+                    None => self.cur_best = Some(r.to_vec()),
+                    Some(best) => {
+                        if self.layout.attr(best, self.max_attr)
+                            == self.layout.attr(r, self.max_attr)
+                            && best.as_slice() == r
+                        {
+                            continue; // exact duplicate, keep one
+                        }
+                        if self
+                            .group_attrs
+                            .iter()
+                            .all(|&i| self.layout.attr(best, i) == self.layout.attr(r, i))
+                        {
+                            if self.layout.attr(r, self.max_attr)
+                                > self.layout.attr(best, self.max_attr)
+                            {
+                                best.clear();
+                                best.extend_from_slice(r);
+                            }
+                        } else {
+                            // New group: emit the finished one, start fresh.
+                            let finished = std::mem::replace(best, r.to_vec());
+                            self.out = finished;
+                            return Ok(Some(&self.out));
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.cur_best = None;
+    }
+
+    fn record_size(&self) -> usize {
+        self.layout.record_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{collect, MemSource};
+
+    fn run(layout: RecordLayout, rows: Vec<Vec<i32>>, group: Vec<usize>, max: usize) -> Vec<Vec<i32>> {
+        let recs: Vec<Vec<u8>> = rows.iter().map(|r| layout.encode(r, &[])).collect();
+        let src = Box::new(MemSource::new(recs, layout.record_size()));
+        let mut g = GroupMax::new(src, layout, group, max).unwrap();
+        collect(&mut g)
+            .unwrap()
+            .iter()
+            .map(|r| layout.decode_attrs(r))
+            .collect()
+    }
+
+    #[test]
+    fn one_record_per_group_with_max() {
+        let layout = RecordLayout::new(3, 0);
+        let rows = vec![
+            vec![9, 9, 1],
+            vec![9, 9, 7],
+            vec![9, 9, 3],
+            vec![9, 5, 2],
+            vec![8, 5, 4],
+            vec![8, 5, 9],
+        ];
+        let out = run(layout, rows, vec![0, 1], 2);
+        assert_eq!(out, vec![vec![9, 9, 7], vec![9, 5, 2], vec![8, 5, 9]]);
+    }
+
+    #[test]
+    fn singleton_groups_pass_through() {
+        let layout = RecordLayout::new(2, 0);
+        let rows = vec![vec![3, 1], vec![2, 5], vec![1, 9]];
+        let out = run(layout, rows, vec![0], 1);
+        assert_eq!(out, vec![vec![3, 1], vec![2, 5], vec![1, 9]]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let layout = RecordLayout::new(2, 0);
+        let out = run(layout, vec![], vec![0], 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_group_collapses_to_one() {
+        let layout = RecordLayout::new(2, 0);
+        let rows = vec![vec![1, 4], vec![1, 8], vec![1, 2]];
+        let out = run(layout, rows, vec![0], 1);
+        assert_eq!(out, vec![vec![1, 8]]);
+    }
+
+    #[test]
+    fn overlapping_group_and_max_rejected() {
+        let layout = RecordLayout::new(2, 0);
+        let src = Box::new(MemSource::new(vec![], layout.record_size()));
+        assert!(GroupMax::new(src, layout, vec![0], 0).is_err());
+    }
+
+    #[test]
+    fn representative_keeps_payload() {
+        let layout = RecordLayout::new(2, 4);
+        let recs = vec![
+            layout.encode(&[1, 4], b"lose"),
+            layout.encode(&[1, 8], b"win!"),
+        ];
+        let src = Box::new(MemSource::new(recs, layout.record_size()));
+        let mut g = GroupMax::new(src, layout, vec![0], 1).unwrap();
+        let out = collect(&mut g).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(layout.payload_of(&out[0]), b"win!");
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Volcano-style physical operators over fixed-width record streams.
+//!
+//! Every operator implements [`Operator`]: `open` / `next` / `close`, with
+//! `next` lending a `&[u8]` record valid until the following call — no
+//! per-record allocation anywhere on the hot path. Operators compose into
+//! left-deep pipelines: `HeapScan → Filter → ExternalSort → (skyline) →
+//! Project → Limit`.
+//!
+//! The crate hosts the paper's substrate operators:
+//!
+//! * [`sort::ExternalSort`] — run-generation + k-way-merge external sort
+//!   under a page budget, the *presort* of Sort-Filter-Skyline. The paper
+//!   gives the sort ~1000 buffer pages (§5) and treats sort and filter as
+//!   separately scheduled operations; so do we.
+//! * [`group_max::GroupMax`] — the `GROUP BY a₁..a_{k−1}, MAX(a_k)`
+//!   pre-pass of the *dimensional reduction* optimization (paper Fig. 8).
+//! * [`filter::Filter`], [`project::Project`], [`limit::Limit`],
+//!   [`op::HeapScan`], [`op::MemSource`] — plumbing every engine needs.
+
+pub mod error;
+pub mod filter;
+pub mod group_max;
+pub mod limit;
+pub mod op;
+pub mod project;
+pub mod sort;
+
+pub use error::ExecError;
+pub use filter::Filter;
+pub use group_max::GroupMax;
+pub use limit::Limit;
+pub use op::{collect, BoxedOperator, HeapScan, IndexScan, MemSource, Operator};
+pub use project::Project;
+pub use sort::{ExternalSort, RecordComparator, SortBudget};

@@ -1,0 +1,104 @@
+//! LIMIT / top-N truncation.
+
+use crate::error::ExecError;
+use crate::op::{BoxedOperator, Operator};
+
+/// Stops the stream after `n` records.
+///
+/// SFS's pipelined output makes `Limit` genuinely useful above a skyline
+/// operator (paper §4.4: "the algorithm can be stopped early … if the user
+/// only wants some answers, or the top N answers"); above BNL it saves
+/// nothing, because BNL blocks until the full pass structure completes.
+pub struct Limit {
+    child: BoxedOperator,
+    n: u64,
+    emitted: u64,
+    /// Whether the child has been closed early.
+    exhausted: bool,
+}
+
+impl Limit {
+    /// Pass through at most `n` records of `child`.
+    pub fn new(child: BoxedOperator, n: u64) -> Self {
+        Limit { child, n, emitted: 0, exhausted: false }
+    }
+}
+
+impl Operator for Limit {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.emitted = 0;
+        self.exhausted = false;
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        if self.emitted >= self.n {
+            if !self.exhausted {
+                // Early stop: release the child's resources right away.
+                self.child.close();
+                self.exhausted = true;
+            }
+            return Ok(None);
+        }
+        match self.child.next()? {
+            None => {
+                self.exhausted = true;
+                Ok(None)
+            }
+            Some(r) => {
+                self.emitted += 1;
+                Ok(Some(r))
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        if !self.exhausted {
+            self.child.close();
+            self.exhausted = true;
+        }
+    }
+
+    fn record_size(&self) -> usize {
+        self.child.record_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{collect, MemSource};
+
+    #[test]
+    fn truncates() {
+        let recs: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i]).collect();
+        let src = Box::new(MemSource::new(recs, 1));
+        let mut l = Limit::new(src, 3);
+        assert_eq!(collect(&mut l).unwrap(), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn limit_zero_emits_nothing() {
+        let recs: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i]).collect();
+        let src = Box::new(MemSource::new(recs, 1));
+        let mut l = Limit::new(src, 0);
+        assert!(collect(&mut l).unwrap().is_empty());
+    }
+
+    #[test]
+    fn limit_larger_than_stream() {
+        let recs: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i]).collect();
+        let src = Box::new(MemSource::new(recs.clone(), 1));
+        let mut l = Limit::new(src, 100);
+        assert_eq!(collect(&mut l).unwrap(), recs);
+    }
+
+    #[test]
+    fn reopen_resets_count() {
+        let recs: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i]).collect();
+        let src = Box::new(MemSource::new(recs, 1));
+        let mut l = Limit::new(src, 2);
+        assert_eq!(collect(&mut l).unwrap().len(), 2);
+        assert_eq!(collect(&mut l).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Record-layout projection.
+
+use crate::error::ExecError;
+use crate::op::{BoxedOperator, Operator};
+use skyline_relation::RecordLayout;
+
+/// Rewrites each child record into a new layout: a chosen subset/reordering
+/// of the i32 attributes, optionally keeping the payload.
+///
+/// This is the building block of the paper's *projection optimization*:
+/// window entries keep only the skyline attributes (dropping the 60-byte
+/// string), so ~2.5× more entries fit per window page.
+pub struct Project {
+    child: BoxedOperator,
+    in_layout: RecordLayout,
+    out_layout: RecordLayout,
+    attr_map: Vec<usize>,
+    keep_payload: bool,
+    buf: Vec<u8>,
+}
+
+impl Project {
+    /// Project `child` (whose records follow `in_layout`) onto the
+    /// attributes listed in `attr_map` (indices into the input layout),
+    /// keeping the payload iff `keep_payload`.
+    pub fn new(
+        child: BoxedOperator,
+        in_layout: RecordLayout,
+        attr_map: Vec<usize>,
+        keep_payload: bool,
+    ) -> Result<Self, ExecError> {
+        if child.record_size() != in_layout.record_size() {
+            return Err(ExecError::Config(format!(
+                "child records are {} bytes but layout says {}",
+                child.record_size(),
+                in_layout.record_size()
+            )));
+        }
+        if let Some(&bad) = attr_map.iter().find(|&&i| i >= in_layout.dims) {
+            return Err(ExecError::Config(format!(
+                "attribute index {bad} out of range (layout has {} dims)",
+                in_layout.dims
+            )));
+        }
+        let out_layout = RecordLayout::new(
+            attr_map.len(),
+            if keep_payload { in_layout.payload } else { 0 },
+        );
+        Ok(Project { child, in_layout, out_layout, attr_map, keep_payload, buf: Vec::new() })
+    }
+
+    /// The output layout.
+    pub fn out_layout(&self) -> RecordLayout {
+        self.out_layout
+    }
+}
+
+impl Operator for Project {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        let Some(r) = self.child.next()? else {
+            return Ok(None);
+        };
+        self.buf.clear();
+        for &i in &self.attr_map {
+            self.buf
+                .extend_from_slice(&self.in_layout.attr(r, i).to_le_bytes());
+        }
+        if self.keep_payload {
+            self.buf.extend_from_slice(self.in_layout.payload_of(r));
+        }
+        Ok(Some(&self.buf))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn record_size(&self) -> usize {
+        self.out_layout.record_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{collect, MemSource};
+
+    #[test]
+    fn projects_and_reorders_attrs() {
+        let layout = RecordLayout::new(3, 4);
+        let recs = vec![
+            layout.encode(&[1, 2, 3], b"abcd"),
+            layout.encode(&[4, 5, 6], b"wxyz"),
+        ];
+        let src = Box::new(MemSource::new(recs, layout.record_size()));
+        let mut p = Project::new(src, layout, vec![2, 0], false).unwrap();
+        let out = collect(&mut p).unwrap();
+        let out_layout = RecordLayout::new(2, 0);
+        assert_eq!(out_layout.decode_attrs(&out[0]), vec![3, 1]);
+        assert_eq!(out_layout.decode_attrs(&out[1]), vec![6, 4]);
+        assert_eq!(out[0].len(), 8);
+    }
+
+    #[test]
+    fn keeps_payload_when_asked() {
+        let layout = RecordLayout::new(2, 3);
+        let recs = vec![layout.encode(&[7, 8], b"pay")];
+        let src = Box::new(MemSource::new(recs, layout.record_size()));
+        let mut p = Project::new(src, layout, vec![1], true).unwrap();
+        let out = collect(&mut p).unwrap();
+        let out_layout = RecordLayout::new(1, 3);
+        assert_eq!(out_layout.decode_attrs(&out[0]), vec![8]);
+        assert_eq!(out_layout.payload_of(&out[0]), b"pay");
+    }
+
+    #[test]
+    fn bad_attr_index_rejected() {
+        let layout = RecordLayout::new(2, 0);
+        let src = Box::new(MemSource::new(vec![], layout.record_size()));
+        assert!(matches!(
+            Project::new(src, layout, vec![2], false),
+            Err(ExecError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let layout = RecordLayout::new(2, 0);
+        let src = Box::new(MemSource::new(vec![], 99));
+        assert!(matches!(
+            Project::new(src, layout, vec![0], false),
+            Err(ExecError::Config(_))
+        ));
+    }
+}

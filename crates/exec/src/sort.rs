@@ -1,0 +1,539 @@
+//! External merge sort under a page budget — SFS's presort.
+//!
+//! Run formation fills a `budget`-page arena, sorts it, and writes a run to
+//! a temp heap file; runs are then merged `budget − 1` at a time; the final
+//! merge streams through [`Operator::next`] so the sort's consumer (the
+//! skyline filter) starts receiving tuples as soon as the last merge pass
+//! begins. If the whole input fits in the arena no run file is written and
+//! the sort is purely in-memory — the same fast path a real engine takes.
+//!
+//! The comparator is pluggable: the paper sorts by *any monotone scoring
+//! function* (nested `ORDER BY a₁ DESC, …, a_k DESC`, or the entropy score
+//! `E`), and `skyline-core` provides those comparators.
+
+use crate::error::ExecError;
+use crate::op::{BoxedOperator, Operator};
+use skyline_storage::{Disk, HeapFile, SharedScanner};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Total order over raw records. Implementations must be consistent
+/// (transitive, antisymmetric up to ties).
+pub trait RecordComparator: Send + Sync {
+    /// Compare two records; `Less` sorts first.
+    fn cmp(&self, a: &[u8], b: &[u8]) -> Ordering;
+
+    /// Optional decorate-sort-undecorate key: a 64-bit value computed
+    /// once per record whose **ascending** order refines the comparator —
+    /// `prefix_key(a) < prefix_key(b)` must imply `cmp(a, b) == Less`
+    /// (equal keys fall back to `cmp`). Implementations must return
+    /// `Some` for every record or `None` for every record.
+    ///
+    /// This is how the paper's entropy sort wins over the nested sort:
+    /// "sorting on a single attribute (the tuples' E value, computed
+    /// on-the-fly) … is faster than nested-sorting over a number of
+    /// attributes." The score is computed once per record instead of
+    /// twice per comparison.
+    fn prefix_key(&self, _record: &[u8]) -> Option<u64> {
+        None
+    }
+}
+
+/// Map an f64 onto a u64 whose unsigned order equals the float's order
+/// (total for non-NaN inputs). Standard sign-flip trick.
+#[inline]
+pub fn f64_ascending_bits(v: f64) -> u64 {
+    debug_assert!(!v.is_nan());
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Like [`f64_ascending_bits`] but for sorting **descending** (largest
+/// value gets the smallest key).
+#[inline]
+pub fn f64_descending_bits(v: f64) -> u64 {
+    !f64_ascending_bits(v)
+}
+
+impl<F> RecordComparator for F
+where
+    F: Fn(&[u8], &[u8]) -> Ordering + Send + Sync,
+{
+    fn cmp(&self, a: &[u8], b: &[u8]) -> Ordering {
+        self(a, b)
+    }
+}
+
+/// Memory budget for the sort, in pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortBudget {
+    /// Pages available for run formation / merge fan-in. Minimum 3
+    /// (two inputs + one output, the classic external-sort floor).
+    pub pages: usize,
+}
+
+impl SortBudget {
+    /// A budget of `pages` pages.
+    ///
+    /// # Panics
+    /// Panics if `pages < 3`.
+    pub fn pages(pages: usize) -> Self {
+        assert!(pages >= 3, "external sort needs at least 3 pages");
+        SortBudget { pages }
+    }
+
+    fn arena_bytes(self) -> usize {
+        self.pages * skyline_storage::PAGE_SIZE
+    }
+
+    fn fan_in(self) -> usize {
+        self.pages - 1
+    }
+}
+
+enum SortState {
+    /// Not opened yet.
+    Idle,
+    /// Whole input fit in memory; stream from the sorted arena.
+    InMemory { arena: Vec<u8>, order: Vec<u32>, pos: usize },
+    /// Streaming the final k-way merge.
+    Merging(KWayMerge),
+}
+
+/// External merge sort operator.
+pub struct ExternalSort {
+    child: BoxedOperator,
+    cmp: Arc<dyn RecordComparator>,
+    disk: Arc<dyn Disk>,
+    budget: SortBudget,
+    record_size: usize,
+    state: SortState,
+    /// Number of runs written during the last open (for tests/metrics).
+    runs_written: usize,
+    /// Number of merge passes performed (excluding the streamed final one).
+    merge_passes: usize,
+}
+
+impl ExternalSort {
+    /// Sort `child` by `cmp` using temp space on `disk` within `budget`.
+    pub fn new(
+        child: BoxedOperator,
+        cmp: Arc<dyn RecordComparator>,
+        disk: Arc<dyn Disk>,
+        budget: SortBudget,
+    ) -> Self {
+        let record_size = child.record_size();
+        ExternalSort {
+            child,
+            cmp,
+            disk,
+            budget,
+            record_size,
+            state: SortState::Idle,
+            runs_written: 0,
+            merge_passes: 0,
+        }
+    }
+
+    /// Runs written by the last `open` (0 when the in-memory path ran).
+    pub fn runs_written(&self) -> usize {
+        self.runs_written
+    }
+
+    /// Intermediate (non-final) merge passes performed by the last `open`.
+    pub fn merge_passes(&self) -> usize {
+        self.merge_passes
+    }
+
+    fn sort_arena(&self, arena: &[u8]) -> Vec<u32> {
+        let n = arena.len() / self.record_size;
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let rs = self.record_size;
+        let rec = |i: u32| &arena[i as usize * rs..i as usize * rs + rs];
+        // decorate-sort-undecorate when the comparator offers prefix keys
+        let keyed = n > 0 && self.cmp.prefix_key(rec(0)).is_some();
+        if keyed {
+            let keys: Vec<u64> = (0..n as u32)
+                .map(|i| self.cmp.prefix_key(rec(i)).expect("keys for all records"))
+                .collect();
+            order.sort_unstable_by(|&a, &b| {
+                keys[a as usize]
+                    .cmp(&keys[b as usize])
+                    .then_with(|| self.cmp.cmp(rec(a), rec(b)))
+            });
+        } else {
+            order.sort_unstable_by(|&a, &b| self.cmp.cmp(rec(a), rec(b)));
+        }
+        order
+    }
+
+    fn write_run(&self, arena: &[u8], order: &[u32]) -> HeapFile {
+        let mut run = HeapFile::create_temp(Arc::clone(&self.disk), self.record_size);
+        let rs = self.record_size;
+        let mut w = run.writer();
+        for &i in order {
+            w.push(&arena[i as usize * rs..i as usize * rs + rs]);
+        }
+        w.finish();
+        run
+    }
+
+    /// Merge `runs` into a single new run file (non-final pass).
+    fn merge_to_run(&self, runs: Vec<Arc<HeapFile>>) -> HeapFile {
+        let mut out = HeapFile::create_temp(Arc::clone(&self.disk), self.record_size);
+        let mut merge = KWayMerge::new(runs, Arc::clone(&self.cmp));
+        let mut w = out.writer();
+        while let Some(r) = merge.next_record() {
+            w.push(r);
+        }
+        w.finish();
+        out
+    }
+}
+
+impl Operator for ExternalSort {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()?;
+        self.runs_written = 0;
+        self.merge_passes = 0;
+
+        // --- Run formation ---
+        let arena_cap = self.budget.arena_bytes();
+        let mut arena: Vec<u8> = Vec::with_capacity(arena_cap.min(1 << 24));
+        let mut runs: Vec<Arc<HeapFile>> = Vec::new();
+        loop {
+            // Spill check happens between records so the borrow of the
+            // child's lent slice never overlaps the spill's `&self` calls.
+            if arena.len() + self.record_size > arena_cap {
+                let order = self.sort_arena(&arena);
+                runs.push(Arc::new(self.write_run(&arena, &order)));
+                self.runs_written += 1;
+                arena.clear();
+            }
+            match self.child.next()? {
+                Some(r) => arena.extend_from_slice(r),
+                None => break,
+            }
+        }
+        self.child.close();
+
+        if runs.is_empty() {
+            // Everything fit: no spill at all.
+            let order = self.sort_arena(&arena);
+            self.state = SortState::InMemory { arena, order, pos: 0 };
+            return Ok(());
+        }
+        if !arena.is_empty() {
+            let order = self.sort_arena(&arena);
+            runs.push(Arc::new(self.write_run(&arena, &order)));
+            self.runs_written += 1;
+        }
+        drop(arena);
+
+        // --- Intermediate merge passes until fan-in suffices ---
+        let fan_in = self.budget.fan_in().max(2);
+        while runs.len() > fan_in {
+            let mut next: Vec<Arc<HeapFile>> = Vec::new();
+            for group in runs.chunks(fan_in) {
+                if group.len() == 1 {
+                    next.push(Arc::clone(&group[0]));
+                } else {
+                    next.push(Arc::new(self.merge_to_run(group.to_vec())));
+                    self.runs_written += 1;
+                }
+            }
+            runs = next;
+            self.merge_passes += 1;
+        }
+
+        // --- Final merge, streamed ---
+        self.state = SortState::Merging(KWayMerge::new(runs, Arc::clone(&self.cmp)));
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        match &mut self.state {
+            SortState::Idle => Err(ExecError::Protocol("ExternalSort::next before open")),
+            SortState::InMemory { arena, order, pos } => {
+                if *pos >= order.len() {
+                    return Ok(None);
+                }
+                let i = order[*pos] as usize;
+                *pos += 1;
+                let rs = self.record_size;
+                Ok(Some(&arena[i * rs..i * rs + rs]))
+            }
+            SortState::Merging(m) => Ok(m.next_record()),
+        }
+    }
+
+    fn close(&mut self) {
+        self.state = SortState::Idle; // drops runs (temp files delete themselves)
+    }
+
+    fn record_size(&self) -> usize {
+        self.record_size
+    }
+}
+
+/// Streaming k-way merge over run files, using a hand-rolled binary heap so
+/// the comparator can be a trait object. Heap entries own reusable record
+/// buffers — one memcpy per record, no per-record allocation.
+struct KWayMerge {
+    scanners: Vec<SharedScanner>,
+    cmp: Arc<dyn RecordComparator>,
+    /// (prefix key, record bytes, scanner index); a min-heap by
+    /// `(key, cmp)` on the bytes. Keys are 0 when the comparator offers
+    /// none.
+    heap: Vec<(u64, Vec<u8>, usize)>,
+    use_keys: bool,
+    /// Buffer handed to the caller.
+    out: Vec<u8>,
+    primed: bool,
+}
+
+impl KWayMerge {
+    fn new(runs: Vec<Arc<HeapFile>>, cmp: Arc<dyn RecordComparator>) -> Self {
+        KWayMerge {
+            scanners: runs.into_iter().map(SharedScanner::new).collect(),
+            cmp,
+            heap: Vec::new(),
+            use_keys: false,
+            out: Vec::new(),
+            primed: false,
+        }
+    }
+
+    fn less(&self, a: &(u64, Vec<u8>, usize), b: &(u64, Vec<u8>, usize)) -> bool {
+        match a.0.cmp(&b.0) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => self.cmp.cmp(&a.1, &b.1) == Ordering::Less,
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(&self.heap[i], &self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && self.less(&self.heap[l], &self.heap[smallest]) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.less(&self.heap[r], &self.heap[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    fn prime(&mut self) {
+        for idx in 0..self.scanners.len() {
+            let mut buf = Vec::new();
+            let (key, got) = match self.scanners[idx].next_record() {
+                Some(r) => {
+                    if idx == 0 || self.heap.is_empty() {
+                        // probe once whether the comparator offers keys
+                        self.use_keys = self.cmp.prefix_key(r).is_some();
+                    }
+                    buf.extend_from_slice(r);
+                    (if self.use_keys { self.cmp.prefix_key(r).expect("keys") } else { 0 }, true)
+                }
+                None => (0, false),
+            };
+            if got {
+                self.heap.push((key, buf, idx));
+                let last = self.heap.len() - 1;
+                self.sift_up(last);
+            }
+        }
+        self.primed = true;
+    }
+
+    fn next_record(&mut self) -> Option<&[u8]> {
+        if !self.primed {
+            self.prime();
+        }
+        if self.heap.is_empty() {
+            return None;
+        }
+        // Move the minimum out, refill from its scanner, restore the heap.
+        let (bytes, idx) = {
+            let top = &mut self.heap[0];
+            (std::mem::take(&mut top.1), top.2)
+        };
+        self.out = bytes;
+        let use_keys = self.use_keys;
+        let cmp = Arc::clone(&self.cmp);
+        match self.scanners[idx].next_record() {
+            Some(r) => {
+                let key = if use_keys {
+                    cmp.prefix_key(r).expect("keys for all records")
+                } else {
+                    0
+                };
+                let top = &mut self.heap[0];
+                top.0 = key;
+                top.1.clear();
+                top.1.extend_from_slice(r);
+                self.sift_down(0);
+            }
+            None => {
+                let last = self.heap.len() - 1;
+                self.heap.swap(0, last);
+                self.heap.pop();
+                if !self.heap.is_empty() {
+                    self.sift_down(0);
+                }
+            }
+        }
+        Some(&self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{collect, MemSource};
+    use skyline_storage::MemDisk;
+
+    fn asc() -> Arc<dyn RecordComparator> {
+        Arc::new(|a: &[u8], b: &[u8]| a.cmp(b))
+    }
+
+    fn mk_records(n: usize, size: usize, seed: u64) -> Vec<Vec<u8>> {
+        // simple xorshift so tests don't need rand here
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                (0..size)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x & 0xff) as u8
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn sort_via(records: Vec<Vec<u8>>, size: usize, pages: usize) -> (Vec<Vec<u8>>, usize) {
+        let disk = MemDisk::shared();
+        let src = Box::new(MemSource::new(records, size));
+        let mut sort = ExternalSort::new(src, asc(), disk, SortBudget::pages(pages));
+        let out = collect(&mut sort).unwrap();
+        (out, sort.runs_written())
+    }
+
+    #[test]
+    fn in_memory_path_when_input_fits() {
+        let recs = mk_records(100, 16, 3);
+        let mut expect = recs.clone();
+        expect.sort();
+        let (out, runs) = sort_via(recs, 16, 10);
+        assert_eq!(out, expect);
+        assert_eq!(runs, 0, "should not spill");
+    }
+
+    #[test]
+    fn external_path_with_tiny_budget() {
+        // 2000 × 64B = 128000 B = 31.25 pages; 3-page budget → many runs,
+        // fan-in 2 → multiple merge passes.
+        let recs = mk_records(2000, 64, 7);
+        let mut expect = recs.clone();
+        expect.sort();
+        let disk = MemDisk::shared();
+        let src = Box::new(MemSource::new(recs, 64));
+        let mut sort = ExternalSort::new(src, asc(), Arc::clone(&disk) as _, SortBudget::pages(3));
+        let out = collect(&mut sort).unwrap();
+        assert_eq!(out, expect);
+        assert!(sort.runs_written() > 10);
+        assert!(sort.merge_passes() >= 2);
+        // temp files cleaned up
+        assert_eq!(disk.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn sorted_input_stays_sorted() {
+        let mut recs = mk_records(500, 8, 9);
+        recs.sort();
+        let (out, _) = sort_via(recs.clone(), 8, 3);
+        assert_eq!(out, recs);
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let mut recs = mk_records(50, 8, 11);
+        let dup = recs[0].clone();
+        for _ in 0..20 {
+            recs.push(dup.clone());
+        }
+        let mut expect = recs.clone();
+        expect.sort();
+        let (out, _) = sort_via(recs, 8, 3);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, runs) = sort_via(vec![], 8, 3);
+        assert!(out.is_empty());
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn custom_comparator_descending() {
+        let recs = mk_records(300, 8, 13);
+        let mut expect = recs.clone();
+        expect.sort_by(|a, b| b.cmp(a));
+        let disk = MemDisk::shared();
+        let src = Box::new(MemSource::new(recs, 8));
+        let cmp: Arc<dyn RecordComparator> = Arc::new(|a: &[u8], b: &[u8]| b.cmp(a));
+        let mut sort = ExternalSort::new(src, cmp, disk, SortBudget::pages(4));
+        assert_eq!(collect(&mut sort).unwrap(), expect);
+    }
+
+    #[test]
+    fn reopen_resorts() {
+        let recs = mk_records(100, 8, 17);
+        let disk = MemDisk::shared();
+        let src = Box::new(MemSource::new(recs.clone(), 8));
+        let mut sort = ExternalSort::new(src, asc(), disk, SortBudget::pages(3));
+        let a = collect(&mut sort).unwrap();
+        let b = collect(&mut sort).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sort_io_is_counted() {
+        let recs = mk_records(2000, 64, 19);
+        let disk = MemDisk::shared();
+        let before = disk.stats().snapshot();
+        let src = Box::new(MemSource::new(recs, 64));
+        let mut sort = ExternalSort::new(src, asc(), Arc::clone(&disk) as _, SortBudget::pages(3));
+        let _ = collect(&mut sort).unwrap();
+        let delta = disk.stats().snapshot().since(&before);
+        assert!(delta.writes > 30, "run + merge writes expected, got {}", delta.writes);
+        assert!(delta.reads > 30);
+    }
+}

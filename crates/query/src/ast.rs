@@ -1,0 +1,179 @@
+//! Abstract syntax for the `SKYLINE OF` dialect.
+
+use skyline_relation::Value;
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projection list; empty means `*`.
+    pub select: Vec<SelectItem>,
+    /// Source table name.
+    pub from: String,
+    /// Optional WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY columns (requires every plain select item to be grouped
+    /// and permits aggregate items — the paper's Figure 8 query shape).
+    pub group_by: Vec<String>,
+    /// HAVING predicate over the grouped output (referencing output
+    /// column names/aliases) — Figure 3 lists it between GROUP BY and
+    /// SKYLINE OF.
+    pub having: Option<Expr>,
+    /// Optional SKYLINE OF clause.
+    pub skyline: Option<SkylineClause>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT.
+    pub limit: Option<u64>,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// A plain column reference, with an optional `AS` alias.
+    Column {
+        /// Column name.
+        name: String,
+        /// Output alias.
+        alias: Option<String>,
+    },
+    /// An aggregate over a column, with an optional `AS` alias.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Aggregated column.
+        column: String,
+        /// Output alias.
+        alias: Option<String>,
+    },
+}
+
+impl SelectItem {
+    /// Output column name (alias, or the underlying name).
+    pub fn output_name(&self) -> String {
+        match self {
+            SelectItem::Column { name, alias } => alias.clone().unwrap_or_else(|| name.clone()),
+            SelectItem::Aggregate { func, column, alias } => alias
+                .clone()
+                .unwrap_or_else(|| format!("{}({column})", func.name())),
+        }
+    }
+}
+
+/// Aggregate functions over numeric columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+    /// Count of non-null values.
+    Count,
+    /// Sum.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+}
+
+impl AggFunc {
+    /// Lower-case SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Max => "max",
+            AggFunc::Min => "min",
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One `SKYLINE OF` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkylineClause {
+    /// Criteria in clause order.
+    pub items: Vec<SkylineItem>,
+}
+
+/// One `col MIN|MAX|DIFF` item. The paper's default directive is MAX.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkylineItem {
+    /// Column name.
+    pub column: String,
+    /// The directive.
+    pub directive: Directive,
+}
+
+/// Skyline directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// Prefer small values.
+    Min,
+    /// Prefer large values (default).
+    Max,
+    /// Compute the skyline per distinct value.
+    Diff,
+}
+
+/// An ORDER BY item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderItem {
+    /// Column name.
+    pub column: String,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// Predicate expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(String),
+    /// Literal value.
+    Literal(Value),
+    /// Comparison.
+    Cmp {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}

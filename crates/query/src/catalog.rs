@@ -1,0 +1,59 @@
+//! Named-table catalog.
+
+use skyline_relation::Table;
+use std::collections::HashMap;
+
+/// A registry of in-memory tables, keyed case-insensitively.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table under `name`.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into().to_ascii_lowercase(), table);
+    }
+
+    /// Look a table up.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Registered table names (lowercased), sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_relation::samples::good_eats;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut c = Catalog::new();
+        c.register("GoodEats", good_eats());
+        assert!(c.get("goodeats").is_some());
+        assert!(c.get("GOODEATS").is_some());
+        assert!(c.get("other").is_none());
+        assert_eq!(c.names(), vec!["goodeats"]);
+    }
+
+    #[test]
+    fn replace_on_reregister() {
+        let mut c = Catalog::new();
+        c.register("t", good_eats());
+        let small = skyline_relation::Table::empty(good_eats().schema().clone());
+        c.register("T", small);
+        assert_eq!(c.get("t").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! DDL / DML statements: `CREATE TABLE` and `INSERT INTO`, so the query
+//! layer (and the interactive shell) can build catalogs without Rust
+//! code.
+//!
+//! ```
+//! use skyline_query::catalog::Catalog;
+//! use skyline_query::ddl::run_statement;
+//! let mut cat = Catalog::new();
+//! run_statement("CREATE TABLE pts (name STRING, x INT, y INT)", &mut cat).unwrap();
+//! run_statement("INSERT INTO pts VALUES ('a', 1, 2), ('b', 3, 4)", &mut cat).unwrap();
+//! assert_eq!(cat.get("pts").unwrap().len(), 2);
+//! ```
+
+use crate::error::QueryError;
+use crate::catalog::Catalog;
+use crate::token::{tokenize, Sym, Token, TokenKind};
+use skyline_relation::{Column, ColumnType, Schema, Table, Tuple, Value};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE, …)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Schema.
+        schema: Schema,
+    },
+    /// `INSERT INTO name VALUES (…), (…)`.
+    Insert {
+        /// Table name.
+        name: String,
+        /// Row literals.
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+/// Parse a DDL/DML statement. Returns `Ok(None)` when the text does not
+/// start with CREATE/INSERT (the caller should treat it as a query).
+pub fn parse_statement(input: &str) -> Result<Option<Statement>, QueryError> {
+    let tokens = tokenize(input)?;
+    let mut p = P { tokens, pos: 0 };
+    match p.peek_word().as_deref() {
+        Some("CREATE") => p.create_table().map(Some),
+        Some("INSERT") => p.insert().map(Some),
+        _ => Ok(None),
+    }
+}
+
+/// Parse and apply a statement against a catalog.
+///
+/// # Errors
+/// Parse errors; `CREATE` of an existing table; `INSERT` arity/type
+/// mismatches or into a missing table. Non-statements are rejected with
+/// a parse error (use [`crate::execute`] for queries).
+pub fn run_statement(input: &str, catalog: &mut Catalog) -> Result<(), QueryError> {
+    let Some(stmt) = parse_statement(input)? else {
+        return Err(QueryError::Parse {
+            pos: 0,
+            msg: "expected CREATE TABLE or INSERT INTO".into(),
+        });
+    };
+    apply_statement(stmt, catalog)
+}
+
+/// Apply a parsed statement.
+///
+/// # Errors
+/// See [`run_statement`].
+pub fn apply_statement(stmt: Statement, catalog: &mut Catalog) -> Result<(), QueryError> {
+    match stmt {
+        Statement::CreateTable { name, schema } => {
+            if catalog.get(&name).is_some() {
+                return Err(QueryError::Semantic(format!("table {name} already exists")));
+            }
+            catalog.register(name, Table::empty(schema));
+            Ok(())
+        }
+        Statement::Insert { name, rows } => {
+            let table = catalog
+                .get(&name)
+                .ok_or_else(|| QueryError::NoSuchTable(name.clone()))?;
+            let schema = table.schema().clone();
+            let mut new_table = table.clone();
+            for (rowno, values) in rows.into_iter().enumerate() {
+                if values.len() != schema.len() {
+                    return Err(QueryError::Semantic(format!(
+                        "row {rowno}: expected {} values, got {}",
+                        schema.len(),
+                        values.len()
+                    )));
+                }
+                let coerced: Vec<Value> = values
+                    .into_iter()
+                    .zip(schema.columns())
+                    .map(|(v, col)| coerce(v, col.ty))
+                    .collect::<Result<_, _>>()
+                    .map_err(|msg| QueryError::Semantic(format!("row {rowno}: {msg}")))?;
+                new_table
+                    .push(Tuple::new(coerced))
+                    .map_err(|e| QueryError::Semantic(e.to_string()))?;
+            }
+            catalog.register(name, new_table);
+            Ok(())
+        }
+    }
+}
+
+fn coerce(v: Value, ty: ColumnType) -> Result<Value, String> {
+    Ok(match (v, ty) {
+        (Value::Null, _) => Value::Null,
+        (Value::Int(i), ColumnType::Int) => Value::Int(i),
+        (Value::Int(i), ColumnType::Float) => Value::Float(i as f64),
+        (Value::Int(i), ColumnType::Date) => Value::Date(i),
+        (Value::Float(f), ColumnType::Float) => Value::Float(f),
+        (Value::Str(s), ColumnType::Str) => Value::Str(s),
+        (v, ty) => return Err(format!("cannot store {v} in a {ty} column")),
+    })
+}
+
+struct P {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_word(&self) -> Option<String> {
+        match self.peek() {
+            TokenKind::Keyword(k) => Some(k.clone()),
+            TokenKind::Ident(w) => Some(w.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, QueryError> {
+        Err(QueryError::Parse { pos: self.tokens[self.pos].pos, msg: msg.into() })
+    }
+
+    fn expect_word(&mut self, w: &str) -> Result<(), QueryError> {
+        if self.peek_word().as_deref() == Some(w) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {w}"))
+        }
+    }
+
+    fn expect_sym(&mut self, s: Sym) -> Result<(), QueryError> {
+        if matches!(self.peek(), TokenKind::Sym(x) if *x == s) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {s:?}"))
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if matches!(self.peek(), TokenKind::Sym(x) if *x == s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement, QueryError> {
+        self.expect_word("CREATE")?;
+        self.expect_word("TABLE")?;
+        let name = self.ident()?;
+        self.expect_sym(Sym::LParen)?;
+        let mut cols = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = match self.peek_word().as_deref() {
+                Some("INT") | Some("INTEGER") => ColumnType::Int,
+                Some("FLOAT") | Some("REAL") | Some("DOUBLE") => ColumnType::Float,
+                Some("STRING") | Some("TEXT") | Some("VARCHAR") => ColumnType::Str,
+                Some("DATE") => ColumnType::Date,
+                other => return self.err(format!("unknown column type {other:?}")),
+            };
+            self.bump();
+            cols.push(Column::new(col, ty));
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_sym(Sym::RParen)?;
+        if !matches!(self.peek(), TokenKind::Eof) {
+            return self.err("unexpected trailing input");
+        }
+        let schema = Schema::new(cols).map_err(|e| QueryError::Semantic(e.to_string()))?;
+        Ok(Statement::CreateTable { name, schema })
+    }
+
+    fn insert(&mut self) -> Result<Statement, QueryError> {
+        self.expect_word("INSERT")?;
+        self.expect_word("INTO")?;
+        let name = self.ident()?;
+        self.expect_word("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_sym(Sym::LParen)?;
+            let mut values = Vec::new();
+            loop {
+                values.push(self.literal()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+            rows.push(values);
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        if !matches!(self.peek(), TokenKind::Eof) {
+            return self.err("unexpected trailing input");
+        }
+        Ok(Statement::Insert { name, rows })
+    }
+
+    fn literal(&mut self) -> Result<Value, QueryError> {
+        match self.bump() {
+            TokenKind::Int(i) => Ok(Value::Int(i)),
+            TokenKind::Float(f) => Value::float(f)
+                .map_err(|e| QueryError::Semantic(e.to_string())),
+            TokenKind::Str(s) => Ok(Value::Str(s)),
+            TokenKind::Keyword(k) if k == "NULL" => Ok(Value::Null),
+            other => self.err(format!("expected literal, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute;
+
+    #[test]
+    fn create_insert_query_round_trip() {
+        let mut cat = Catalog::new();
+        run_statement(
+            "CREATE TABLE houses (addr STRING, beds INT, baths INT, price FLOAT)",
+            &mut cat,
+        )
+        .unwrap();
+        run_statement(
+            "INSERT INTO houses VALUES \
+             ('12 Oak', 4, 1, 300000.0), ('9 Elm', 2, 2, 300000), ('3 Fir', 1, 1, 250000.5)",
+            &mut cat,
+        )
+        .unwrap();
+        let out = execute(
+            "SELECT addr FROM houses SKYLINE OF beds MAX, baths MAX, price MIN",
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn int_coerces_into_float_column() {
+        let mut cat = Catalog::new();
+        run_statement("CREATE TABLE t (x FLOAT)", &mut cat).unwrap();
+        run_statement("INSERT INTO t VALUES (3)", &mut cat).unwrap();
+        assert_eq!(cat.get("t").unwrap().rows()[0].get(0), &Value::Float(3.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut cat = Catalog::new();
+        run_statement("CREATE TABLE t (x INT)", &mut cat).unwrap();
+        let err = run_statement("INSERT INTO t VALUES ('oops')", &mut cat).unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)));
+        // arity mismatch
+        let err = run_statement("INSERT INTO t VALUES (1, 2)", &mut cat).unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut cat = Catalog::new();
+        run_statement("CREATE TABLE t (x INT)", &mut cat).unwrap();
+        assert!(run_statement("CREATE TABLE t (y INT)", &mut cat).is_err());
+    }
+
+    #[test]
+    fn insert_into_missing_table() {
+        let mut cat = Catalog::new();
+        assert!(matches!(
+            run_statement("INSERT INTO nope VALUES (1)", &mut cat),
+            Err(QueryError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn non_statement_passes_through() {
+        assert_eq!(parse_statement("SELECT * FROM t").unwrap(), None);
+        assert!(parse_statement("CREATE TABLE").is_err());
+    }
+
+    #[test]
+    fn null_literals() {
+        let mut cat = Catalog::new();
+        run_statement("CREATE TABLE t (x INT, y STRING)", &mut cat).unwrap();
+        run_statement("INSERT INTO t VALUES (NULL, NULL)", &mut cat).unwrap();
+        assert!(cat.get("t").unwrap().rows()[0].get(0).is_null());
+    }
+}

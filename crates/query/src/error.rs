@@ -1,0 +1,54 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+/// Errors across lexing, parsing, planning and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset into the query text.
+        pos: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Parse error.
+    Parse {
+        /// Byte offset of the offending token.
+        pos: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Unknown column.
+    NoSuchColumn(String),
+    /// Semantic error (type mismatches, invalid skyline criteria, …).
+    Semantic(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { pos, msg } => write!(f, "lex error at byte {pos}: {msg}"),
+            QueryError::Parse { pos, msg } => write!(f, "parse error at byte {pos}: {msg}"),
+            QueryError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            QueryError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            QueryError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = QueryError::Parse { pos: 3, msg: "expected FROM".into() };
+        assert!(e.to_string().contains("byte 3"));
+        assert!(QueryError::NoSuchTable("t".into()).to_string().contains("t"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Predicate evaluation over tuples (three-valued SQL logic collapsed to
+//! two: comparisons involving NULL or incomparable types are simply
+//! false).
+
+use crate::ast::{CmpOp, Expr};
+use crate::error::QueryError;
+use skyline_relation::{Schema, Tuple, Value};
+use std::cmp::Ordering;
+
+/// Resolve all column references in `expr` to indices; fails fast on
+/// unknown columns so execution can't panic later.
+pub fn validate(expr: &Expr, schema: &Schema) -> Result<(), QueryError> {
+    match expr {
+        Expr::Column(name) => {
+            schema
+                .index_of(name)
+                .map(|_| ())
+                .ok_or_else(|| QueryError::NoSuchColumn(name.clone()))
+        }
+        Expr::Literal(_) => Ok(()),
+        Expr::Cmp { left, right, .. } => {
+            validate(left, schema)?;
+            validate(right, schema)
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            validate(a, schema)?;
+            validate(b, schema)
+        }
+        Expr::Not(e) => validate(e, schema),
+    }
+}
+
+fn operand_value<'a>(expr: &'a Expr, schema: &Schema, row: &'a Tuple) -> &'a Value {
+    match expr {
+        Expr::Column(name) => {
+            let idx = schema.index_of(name).expect("validated before eval");
+            row.get(idx)
+        }
+        Expr::Literal(v) => v,
+        _ => unreachable!("operands are columns or literals"),
+    }
+}
+
+/// Evaluate a (validated) predicate against one row.
+pub fn eval(expr: &Expr, schema: &Schema, row: &Tuple) -> bool {
+    match expr {
+        Expr::Cmp { left, op, right } => {
+            let l = operand_value(left, schema, row);
+            let r = operand_value(right, schema, row);
+            if l.is_null() || r.is_null() {
+                return false; // SQL UNKNOWN → filtered out
+            }
+            match l.sql_cmp(r) {
+                None => false,
+                Some(ord) => match op {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Ne => ord != Ordering::Equal,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                },
+            }
+        }
+        Expr::And(a, b) => eval(a, schema, row) && eval(b, schema, row),
+        Expr::Or(a, b) => eval(a, schema, row) || eval(b, schema, row),
+        Expr::Not(e) => !eval(e, schema, row),
+        Expr::Column(_) | Expr::Literal(_) => {
+            unreachable!("bare operands are not predicates")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use skyline_relation::samples::good_eats;
+
+    fn pred(text: &str) -> Expr {
+        parse(&format!("SELECT * FROM t WHERE {text}"))
+            .unwrap()
+            .where_clause
+            .unwrap()
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let t = good_eats();
+        let e = pred("price < 50");
+        validate(&e, t.schema()).unwrap();
+        let matches: Vec<&str> = t
+            .rows()
+            .iter()
+            .filter(|r| eval(&e, t.schema(), r))
+            .map(|r| r.get(0).as_str().unwrap())
+            .collect();
+        assert_eq!(matches, vec!["Summer Moon", "Fenton & Pickle", "Briar Patch BBQ"]);
+    }
+
+    #[test]
+    fn string_equality_and_boolean_ops() {
+        let t = good_eats();
+        let e = pred("restaurant = 'Zakopane' OR (S >= 21 AND NOT price > 50)");
+        validate(&e, t.schema()).unwrap();
+        let matches: Vec<&str> = t
+            .rows()
+            .iter()
+            .filter(|r| eval(&e, t.schema(), r))
+            .map(|r| r.get(0).as_str().unwrap())
+            .collect();
+        // Zakopane by name; Summer Moon via S=21 & price 47.5
+        assert_eq!(matches, vec!["Summer Moon", "Zakopane"]);
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let t = good_eats();
+        let e = pred("bogus = 1");
+        assert_eq!(
+            validate(&e, t.schema()),
+            Err(QueryError::NoSuchColumn("bogus".into()))
+        );
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        use skyline_relation::{Column, ColumnType, Tuple, Value};
+        let schema = Schema::new(vec![Column::new("a", ColumnType::Int)]).unwrap();
+        let row = Tuple::new(vec![Value::Null]);
+        for text in ["a = 1", "a <> 1", "a < 1", "a >= 1"] {
+            assert!(!eval(&pred(text), &schema, &row), "{text}");
+        }
+        // NOT (a = 1) is true under our two-valued collapse
+        assert!(eval(&pred("NOT a = 1"), &schema, &row));
+    }
+
+    #[test]
+    fn cross_type_comparison_is_false() {
+        let t = good_eats();
+        let e = pred("restaurant < 5");
+        validate(&e, t.schema()).unwrap();
+        assert!(!t.rows().iter().any(|r| eval(&e, t.schema(), r)));
+    }
+}

@@ -1,0 +1,446 @@
+//! Recursive-descent parser for the `SKYLINE OF` dialect.
+
+use crate::ast::*;
+use crate::error::QueryError;
+use crate::token::{tokenize, Sym, Token, TokenKind};
+use skyline_relation::Value;
+
+/// Parse one query.
+pub fn parse(input: &str) -> Result<Query, QueryError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_pos(&self) -> usize {
+        self.tokens[self.pos].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, QueryError> {
+        Err(QueryError::Parse { pos: self.peek_pos(), msg: msg.into() })
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if matches!(self.peek(), TokenKind::Sym(x) if *x == s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            // Skyline criteria columns often collide with directive-ish
+            // names; only hard keywords are reserved. Allow MIN/MAX/etc.
+            // to *not* be used as identifiers for simplicity.
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), QueryError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing input: {:?}", self.peek()))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        self.expect_keyword("SELECT")?;
+        let select = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.ident()?;
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let mut cols = vec![self.ident()?];
+            while self.eat_sym(Sym::Comma) {
+                cols.push(self.ident()?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let skyline = if self.eat_keyword("SKYLINE") {
+            self.expect_keyword("OF")?;
+            Some(self.skyline_clause()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            self.order_list()?
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.bump() {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                other => return self.err(format!("expected LIMIT count, found {other:?}")),
+            }
+        } else {
+            None
+        };
+        Ok(Query { select, from, where_clause, group_by, having, skyline, order_by, limit })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, QueryError> {
+        if self.eat_sym(Sym::Star) {
+            return Ok(Vec::new());
+        }
+        let mut items = vec![self.select_item()?];
+        while self.eat_sym(Sym::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn alias(&mut self) -> Result<Option<String>, QueryError> {
+        if self.eat_keyword("AS") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, QueryError> {
+        // aggregate forms: MAX(col) / MIN(col) are keywords; COUNT / SUM /
+        // AVG arrive as identifiers followed by '('
+        let agg = match self.peek() {
+            TokenKind::Keyword(k) if k == "MAX" => Some(AggFunc::Max),
+            TokenKind::Keyword(k) if k == "MIN" => Some(AggFunc::Min),
+            TokenKind::Ident(name) => match name.to_ascii_uppercase().as_str() {
+                "COUNT" => Some(AggFunc::Count),
+                "SUM" => Some(AggFunc::Sum),
+                "AVG" => Some(AggFunc::Avg),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(func) = agg {
+            // only an aggregate if followed by '('
+            let save = self.pos;
+            self.bump();
+            if self.eat_sym(Sym::LParen) {
+                let column = self.ident()?;
+                if !self.eat_sym(Sym::RParen) {
+                    return self.err("expected ) after aggregate column");
+                }
+                let alias = self.alias()?;
+                return Ok(SelectItem::Aggregate { func, column, alias });
+            }
+            self.pos = save;
+        }
+        let name = self.ident()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Column { name, alias })
+    }
+
+    fn skyline_clause(&mut self) -> Result<SkylineClause, QueryError> {
+        let mut items = vec![self.skyline_item()?];
+        while self.eat_sym(Sym::Comma) {
+            items.push(self.skyline_item()?);
+        }
+        Ok(SkylineClause { items })
+    }
+
+    fn skyline_item(&mut self) -> Result<SkylineItem, QueryError> {
+        let column = self.ident()?;
+        let directive = if self.eat_keyword("MIN") {
+            Directive::Min
+        } else if self.eat_keyword("MAX") {
+            Directive::Max
+        } else if self.eat_keyword("DIFF") {
+            Directive::Diff
+        } else {
+            Directive::Max // paper: "Let max be the default directive"
+        };
+        Ok(SkylineItem { column, directive })
+    }
+
+    fn order_list(&mut self) -> Result<Vec<OrderItem>, QueryError> {
+        let mut items = Vec::new();
+        loop {
+            let column = self.ident()?;
+            let desc = if self.eat_keyword("DESC") {
+                true
+            } else {
+                self.eat_keyword("ASC");
+                false
+            };
+            items.push(OrderItem { column, desc });
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    // expr := and_expr (OR and_expr)*
+    fn expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // and_expr := unary (AND unary)*
+    fn and_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.unary()?;
+        while self.eat_keyword("AND") {
+            let right = self.unary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // unary := NOT unary | comparison | ( expr )
+    fn unary(&mut self) -> Result<Expr, QueryError> {
+        if self.eat_keyword("NOT") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        if self.eat_sym(Sym::LParen) {
+            let e = self.expr()?;
+            if !self.eat_sym(Sym::RParen) {
+                return self.err("expected )");
+            }
+            return Ok(e);
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, QueryError> {
+        let left = self.operand()?;
+        let op = match self.peek() {
+            TokenKind::Sym(Sym::Eq) => CmpOp::Eq,
+            TokenKind::Sym(Sym::Ne) => CmpOp::Ne,
+            TokenKind::Sym(Sym::Lt) => CmpOp::Lt,
+            TokenKind::Sym(Sym::Le) => CmpOp::Le,
+            TokenKind::Sym(Sym::Gt) => CmpOp::Gt,
+            TokenKind::Sym(Sym::Ge) => CmpOp::Ge,
+            other => return self.err(format!("expected comparison operator, found {other:?}")),
+        };
+        self.bump();
+        let right = self.operand()?;
+        Ok(Expr::Cmp { left: Box::new(left), op, right: Box::new(right) })
+    }
+
+    fn operand(&mut self) -> Result<Expr, QueryError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Column(name))
+            }
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(n)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::Keyword(k) if k == "NULL" => {
+                self.bump();
+                Ok(Expr::Literal(Value::Null))
+            }
+            other => self.err(format!("expected operand, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_query() {
+        // the paper's restaurant query
+        let q = parse("select * from GoodEats skyline of S max, F max, D max, price min")
+            .unwrap();
+        assert!(q.select.is_empty());
+        assert_eq!(q.from, "GoodEats");
+        let sky = q.skyline.unwrap();
+        assert_eq!(sky.items.len(), 4);
+        assert_eq!(sky.items[3].directive, Directive::Min);
+        assert_eq!(sky.items[0].column, "S");
+    }
+
+    #[test]
+    fn default_directive_is_max() {
+        let q = parse("SELECT * FROM t SKYLINE OF a, b MIN").unwrap();
+        let sky = q.skyline.unwrap();
+        assert_eq!(sky.items[0].directive, Directive::Max);
+        assert_eq!(sky.items[1].directive, Directive::Min);
+    }
+
+    #[test]
+    fn diff_directive() {
+        let q = parse("SELECT * FROM t SKYLINE OF a MAX, c DIFF").unwrap();
+        assert_eq!(q.skyline.unwrap().items[1].directive, Directive::Diff);
+    }
+
+    #[test]
+    fn where_order_limit() {
+        let q = parse(
+            "SELECT name, price FROM t WHERE price < 60 AND (s >= 20 OR NOT f = 3) \
+             SKYLINE OF s MAX ORDER BY price ASC, s DESC LIMIT 5",
+        )
+        .unwrap();
+        let names: Vec<String> = q.select.iter().map(SelectItem::output_name).collect();
+        assert_eq!(names, vec!["name".to_owned(), "price".to_owned()]);
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].desc);
+        assert!(q.order_by[1].desc);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn plain_select_without_skyline() {
+        let q = parse("SELECT a FROM t").unwrap();
+        assert!(q.skyline.is_none());
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn string_literals_in_where() {
+        let q = parse("SELECT * FROM t WHERE name = 'Summer Moon'").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Cmp { right, .. } => {
+                assert_eq!(*right, Expr::Literal(Value::Str("Summer Moon".into())));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let err = parse("SELECT FROM t").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+        let err = parse("SELECT * FROM t LIMIT x").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+        let err = parse("SELECT * FROM t garbage").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(parse("SELECT * FROM t LIMIT 1 1").is_err());
+    }
+
+    #[test]
+    fn figure_8_group_by_query() {
+        // the paper's dimensional-reduction query shape
+        let q = parse(
+            "SELECT a1, a2, a3, MAX(a4) AS a4 FROM R              GROUP BY a1, a2, a3              ORDER BY a1 DESC, a2 DESC, a3 DESC",
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec!["a1", "a2", "a3"]);
+        assert_eq!(q.select.len(), 4);
+        assert_eq!(
+            q.select[3],
+            SelectItem::Aggregate {
+                func: AggFunc::Max,
+                column: "a4".into(),
+                alias: Some("a4".into())
+            }
+        );
+        assert_eq!(q.order_by.len(), 3);
+        assert!(q.order_by.iter().all(|o| o.desc));
+    }
+
+    #[test]
+    fn aggregate_functions_parse() {
+        let q = parse("SELECT g, COUNT(x), SUM(x), AVG(x), MIN(x) FROM t GROUP BY g").unwrap();
+        let funcs: Vec<Option<AggFunc>> = q
+            .select
+            .iter()
+            .map(|i| match i {
+                SelectItem::Aggregate { func, .. } => Some(*func),
+                SelectItem::Column { .. } => None,
+            })
+            .collect();
+        assert_eq!(
+            funcs,
+            vec![
+                None,
+                Some(AggFunc::Count),
+                Some(AggFunc::Sum),
+                Some(AggFunc::Avg),
+                Some(AggFunc::Min)
+            ]
+        );
+    }
+
+    #[test]
+    fn count_without_parens_is_a_column() {
+        let q = parse("SELECT count FROM t").unwrap();
+        assert_eq!(
+            q.select[0],
+            SelectItem::Column { name: "count".into(), alias: None }
+        );
+    }
+
+    #[test]
+    fn alias_on_plain_column() {
+        let q = parse("SELECT price AS cost FROM t").unwrap();
+        assert_eq!(q.select[0].output_name(), "cost");
+    }
+}

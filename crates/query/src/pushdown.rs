@@ -1,0 +1,225 @@
+//! Pushing `SKYLINE OF` down into the paged external engine.
+//!
+//! The in-memory executor in [`crate::plan`] is right for small and
+//! medium tables; past a threshold the planner hands the skyline to the
+//! external SFS operator instead: rows are encoded into fixed-width
+//! records (criteria + diff attributes as i32, the originating row index
+//! in the payload), loaded into a heap file, entropy-presorted with the
+//! external sort, and filtered through a window sized by the §6
+//! cardinality estimator. This is the integration the paper argues for —
+//! the skyline as *an operator inside the engine*, not an application
+//! post-pass.
+//!
+//! Falls back to the in-memory path when a criterion value does not fit
+//! an `i32` (the record codec's attribute width).
+
+use crate::error::QueryError;
+use skyline_core::cardinality::recommend_window_pages;
+use skyline_core::planner::{entropy_stats_of_records, load_heap, presort, sfs_filter};
+use skyline_core::{Criterion, Direction, SfsConfig, SkylineMetrics, SkylineSpec, SortOrder};
+use skyline_exec::Operator;
+use skyline_relation::{RecordLayout, Schema, Tuple};
+use skyline_storage::{Disk, MemDisk};
+use std::sync::Arc;
+
+/// Row-count threshold above which [`crate::execute`] routes the skyline
+/// through the external engine.
+pub const EXTERNAL_THRESHOLD: usize = 50_000;
+
+/// Attempt the external skyline. Returns `Ok(None)` when the rows cannot
+/// be pushed down (criterion values outside i32), in which case the
+/// caller should run the in-memory path.
+///
+/// `crit` is `(column index, is_min)` per MIN/MAX criterion; `diff` is
+/// the DIFF column indices. Returned row indices are ascending.
+///
+/// # Errors
+/// Propagates operator failures as semantic errors.
+pub fn external_skyline_indices(
+    schema: &Schema,
+    rows: &[Tuple],
+    crit: &[(usize, bool)],
+    diff: &[usize],
+) -> Result<Option<Vec<usize>>, QueryError> {
+    let k = crit.len();
+    let m = diff.len();
+    let layout = RecordLayout::new(k + m, 8); // payload: row index as u64
+
+    // encode: oriented values must fit i32 exactly
+    let mut records = Vec::with_capacity(rows.len());
+    let mut attrs = vec![0i32; k + m];
+    for (rowno, row) in rows.iter().enumerate() {
+        for (slot, &(idx, _)) in crit.iter().enumerate() {
+            let v = row.get(idx).as_f64().ok_or_else(|| {
+                QueryError::Semantic(format!(
+                    "row {rowno}: skyline column {} is not numeric",
+                    schema.column(idx).name
+                ))
+            })?;
+            if v.fract() != 0.0 || v < f64::from(i32::MIN) || v > f64::from(i32::MAX) {
+                return Ok(None); // not representable: fall back
+            }
+            attrs[slot] = v as i32;
+        }
+        for (slot, &idx) in diff.iter().enumerate() {
+            let Some(v) = row.get(idx).as_i64() else {
+                return Ok(None); // non-integer diff key: fall back
+            };
+            let Ok(v) = i32::try_from(v) else {
+                return Ok(None);
+            };
+            attrs[k + slot] = v;
+        }
+        records.push(layout.encode(&attrs, &(rowno as u64).to_le_bytes()));
+    }
+
+    let spec = SkylineSpec::new(
+        crit.iter()
+            .enumerate()
+            .map(|(slot, &(_, is_min))| Criterion {
+                attr: slot,
+                direction: if is_min { Direction::Min } else { Direction::Max },
+            })
+            .collect(),
+    )
+    .with_diff((k..k + m).collect());
+
+    let disk: Arc<dyn Disk> = MemDisk::shared();
+    let heap = Arc::new(load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    ));
+    let stats = entropy_stats_of_records(&layout, &spec, records.iter().map(Vec::as_slice));
+    drop(records);
+
+    let mut sorted = presort(
+        heap,
+        layout,
+        spec.clone(),
+        SortOrder::Entropy,
+        Some(stats),
+        1000,
+        Arc::clone(&disk),
+    )
+    .map_err(|e| QueryError::Semantic(e.to_string()))?;
+    sorted.mark_temp();
+
+    let window_pages = recommend_window_pages(rows.len(), k.max(1), 4 * k.max(1));
+    let mut sfs = sfs_filter(
+        Arc::new(sorted),
+        layout,
+        spec,
+        SfsConfig::new(window_pages).with_projection(),
+        disk,
+        SkylineMetrics::shared(),
+    )
+    .map_err(|e| QueryError::Semantic(e.to_string()))?;
+
+    let mut keep = Vec::new();
+    sfs.open().map_err(|e| QueryError::Semantic(e.to_string()))?;
+    while let Some(r) = sfs
+        .next()
+        .map_err(|e| QueryError::Semantic(e.to_string()))?
+    {
+        let payload = layout.payload_of(r);
+        keep.push(u64::from_le_bytes(payload[..8].try_into().expect("8-byte tag")) as usize);
+    }
+    sfs.close();
+    keep.sort_unstable();
+    Ok(Some(keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_relation::{tuple, ColumnType, Value};
+
+    fn random_table(n: usize) -> (Schema, Vec<Tuple>) {
+        let schema = Schema::of(&[
+            ("x", ColumnType::Int),
+            ("y", ColumnType::Int),
+            ("g", ColumnType::Int),
+        ]);
+        let rows = (0..n as i64)
+            .map(|i| tuple![(i * 37) % 101, (i * 53) % 97, i % 3])
+            .collect();
+        (schema, rows)
+    }
+
+    fn in_memory(rows: &[Tuple], crit: &[(usize, bool)], diff: &[usize]) -> Vec<usize> {
+        use skyline_core::KeyMatrix;
+        let d = crit.len();
+        let mut data = Vec::with_capacity(rows.len() * d);
+        for r in rows {
+            for &(idx, is_min) in crit {
+                let v = r.get(idx).as_f64().unwrap();
+                data.push(if is_min { -v } else { v });
+            }
+        }
+        let km = KeyMatrix::new(d, data);
+        if diff.is_empty() {
+            let mut out = skyline_core::algo::naive(&km).indices;
+            out.sort_unstable();
+            out
+        } else {
+            use std::collections::HashMap;
+            let mut groups: HashMap<Vec<i64>, Vec<usize>> = HashMap::new();
+            for (i, r) in rows.iter().enumerate() {
+                let gk: Vec<i64> = diff.iter().map(|&d| r.get(d).as_i64().unwrap()).collect();
+                groups.entry(gk).or_default().push(i);
+            }
+            let mut out = Vec::new();
+            for members in groups.values() {
+                let sub = km.select(members);
+                out.extend(
+                    skyline_core::algo::naive(&sub)
+                        .indices
+                        .iter()
+                        .map(|&l| members[l]),
+                );
+            }
+            out.sort_unstable();
+            out
+        }
+    }
+
+    #[test]
+    fn external_matches_in_memory() {
+        let (schema, rows) = random_table(3_000);
+        for (crit, diff) in [
+            (vec![(0usize, false), (1usize, false)], vec![]),
+            (vec![(0, true), (1, false)], vec![]),
+            (vec![(0, false), (1, true)], vec![2usize]),
+        ] {
+            let ext = external_skyline_indices(&schema, &rows, &crit, &diff)
+                .unwrap()
+                .expect("pushdown applies");
+            assert_eq!(ext, in_memory(&rows, &crit, &diff), "{crit:?} {diff:?}");
+        }
+    }
+
+    #[test]
+    fn falls_back_on_non_integer_values() {
+        let schema = Schema::of(&[("x", ColumnType::Float)]);
+        let rows = vec![tuple![1.5], tuple![2.5]];
+        let out = external_skyline_indices(&schema, &rows, &[(0, false)], &[]).unwrap();
+        assert!(out.is_none(), "fractional values cannot push down");
+        let schema = Schema::of(&[("x", ColumnType::Int)]);
+        let rows = vec![
+            Tuple::new(vec![Value::Int(i64::from(i32::MAX) + 1)]),
+            Tuple::new(vec![Value::Int(0)]),
+        ];
+        let out = external_skyline_indices(&schema, &rows, &[(0, false)], &[]).unwrap();
+        assert!(out.is_none(), "out-of-range values cannot push down");
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let (schema, _) = random_table(0);
+        let out = external_skyline_indices(&schema, &[], &[(0, false)], &[])
+            .unwrap()
+            .unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! The paper's Figure 5: rewriting a `SKYLINE OF` query into plain SQL
+//! with `EXCEPT` — what a user would have to write today, and why an
+//! algebraic operator is needed (the rewrite is a θ-self-join no optimizer
+//! can save).
+//!
+//! This module both *generates* that SQL text (for documentation /
+//! engines that speak full SQL) and *evaluates* the rewrite semantics
+//! directly as an oracle: the θ-join's dominated-set subtraction, computed
+//! naively, exactly as the rewritten query would be.
+
+use crate::ast::{Directive, Query};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use skyline_relation::Table;
+use std::cmp::Ordering;
+
+/// Render the Figure-5 `EXCEPT` rewrite of `query` as SQL text.
+///
+/// # Errors
+/// Fails if the query has no `SKYLINE OF` clause.
+pub fn to_except_sql(query: &Query) -> Result<String, QueryError> {
+    let clause = query
+        .skyline
+        .as_ref()
+        .ok_or_else(|| QueryError::Semantic("query has no SKYLINE OF clause".into()))?;
+    let table = &query.from;
+    let plain: Option<Vec<&str>> = query
+        .select
+        .iter()
+        .map(|i| match i {
+            crate::ast::SelectItem::Column { name, alias: None } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    let Some(plain) = plain else {
+        return Err(QueryError::Semantic(
+            "the Figure-5 rewrite is defined for plain column select lists".into(),
+        ));
+    };
+    let cols = if plain.is_empty() {
+        "*".to_owned()
+    } else {
+        plain.join(", ")
+    };
+    let mut weak = Vec::new();
+    let mut strict = Vec::new();
+    let mut diffs = Vec::new();
+    for item in &clause.items {
+        let c = &item.column;
+        match item.directive {
+            // orient MIN criteria by flipping the inequality
+            Directive::Max => {
+                weak.push(format!("T.{c} <= D.{c}"));
+                strict.push(format!("T.{c} < D.{c}"));
+            }
+            Directive::Min => {
+                weak.push(format!("T.{c} >= D.{c}"));
+                strict.push(format!("T.{c} > D.{c}"));
+            }
+            Directive::Diff => diffs.push(format!("T.{c} = D.{c}")),
+        }
+    }
+    let mut cond = weak.join(" AND ");
+    cond.push_str(" AND (");
+    cond.push_str(&strict.join(" OR "));
+    cond.push(')');
+    for d in &diffs {
+        cond.push_str(" AND ");
+        cond.push_str(d);
+    }
+    Ok(format!(
+        "SELECT {cols} FROM {table}\nEXCEPT\nSELECT {cols_t} FROM {table} T, {table} D\n  WHERE {cond}",
+        cols_t = if plain.is_empty() {
+            "T.*".to_owned()
+        } else {
+            plain
+                .iter()
+                .map(|c| format!("T.{c}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    ))
+}
+
+/// Evaluate the rewrite's semantics directly: the θ-self-join computing
+/// dominated tuples, subtracted from the table. Quadratic by construction;
+/// this is the oracle the efficient operator must agree with.
+pub fn eval_except_semantics(query: &Query, catalog: &Catalog) -> Result<Table, QueryError> {
+    let clause = query
+        .skyline
+        .as_ref()
+        .ok_or_else(|| QueryError::Semantic("query has no SKYLINE OF clause".into()))?;
+    let table = catalog
+        .get(&query.from)
+        .ok_or_else(|| QueryError::NoSuchTable(query.from.clone()))?;
+    let schema = table.schema();
+
+    let mut crit: Vec<(usize, bool)> = Vec::new();
+    let mut diff: Vec<usize> = Vec::new();
+    for item in &clause.items {
+        let idx = schema
+            .index_of(&item.column)
+            .ok_or_else(|| QueryError::NoSuchColumn(item.column.clone()))?;
+        match item.directive {
+            Directive::Min => crit.push((idx, true)),
+            Directive::Max => crit.push((idx, false)),
+            Directive::Diff => diff.push(idx),
+        }
+    }
+    let rows = table.rows();
+    let dominated = |t: usize, d: usize| -> bool {
+        // per Figure 5: D weakly better on all criteria, strictly on one,
+        // equal on all diff attributes
+        for &g in &diff {
+            if rows[t].get(g).sql_cmp(rows[d].get(g)) != Some(Ordering::Equal) {
+                return false;
+            }
+        }
+        let mut strictly = false;
+        for &(idx, is_min) in &crit {
+            let (tv, dv) = (rows[t].get(idx), rows[d].get(idx));
+            let ord = match tv.sql_cmp(dv) {
+                Some(o) => o,
+                None => return false,
+            };
+            let ord = if is_min { ord.reverse() } else { ord };
+            match ord {
+                Ordering::Greater => return false,
+                Ordering::Less => strictly = true,
+                Ordering::Equal => {}
+            }
+        }
+        strictly
+    };
+    let keep: Vec<_> = (0..rows.len())
+        .filter(|&t| !(0..rows.len()).any(|d| d != t && dominated(t, d)))
+        .map(|i| rows[i].clone())
+        .collect();
+    Table::new(schema.clone(), keep).map_err(|e| QueryError::Semantic(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::plan::execute_query;
+    use skyline_relation::samples::good_eats;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("GoodEats", good_eats());
+        c
+    }
+
+    #[test]
+    fn renders_figure_5_shape() {
+        let q = parse("SELECT * FROM GoodEats SKYLINE OF S MAX, price MIN").unwrap();
+        let sql = to_except_sql(&q).unwrap();
+        assert!(sql.contains("EXCEPT"));
+        assert!(sql.contains("T.S <= D.S"));
+        assert!(sql.contains("T.price >= D.price"));
+        assert!(sql.contains("T.S < D.S OR T.price > D.price"));
+    }
+
+    #[test]
+    fn diff_becomes_equality() {
+        let q = parse("SELECT a FROM t SKYLINE OF a MAX, c DIFF").unwrap();
+        let sql = to_except_sql(&q).unwrap();
+        assert!(sql.contains("T.c = D.c"));
+        assert!(sql.contains("SELECT T.a FROM t T, t D"));
+    }
+
+    #[test]
+    fn oracle_agrees_with_operator() {
+        let q = parse("SELECT * FROM GoodEats SKYLINE OF S MAX, F MAX, D MAX, price MIN")
+            .unwrap();
+        let via_operator = execute_query(&q, &cat()).unwrap();
+        let via_rewrite = eval_except_semantics(&q, &cat()).unwrap();
+        assert_eq!(via_operator.len(), via_rewrite.len());
+        // same rows (both preserve table order)
+        assert_eq!(via_operator.rows(), via_rewrite.rows());
+    }
+
+    #[test]
+    fn no_skyline_clause_is_error() {
+        let q = parse("SELECT * FROM t").unwrap();
+        assert!(to_except_sql(&q).is_err());
+    }
+}

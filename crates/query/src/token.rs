@@ -1,0 +1,285 @@
+//! SQL tokenizer.
+
+use crate::error::QueryError;
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset of the token's first character.
+    pub pos: usize,
+    /// The token kind/payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively and carried
+/// uppercased in `Keyword`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (SELECT, FROM, SKYLINE, …), uppercased.
+    Keyword(String),
+    /// Identifier (table/column name), original case preserved.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (single-quoted; `''` escapes a quote).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+    /// End of input.
+    Eof,
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "SKYLINE", "OF", "MIN", "MAX", "DIFF", "ORDER", "BY", "ASC",
+    "DESC", "LIMIT", "AND", "OR", "NOT", "AS", "EXCEPT", "GROUP", "HAVING", "NULL", "TRUE",
+    "FALSE",
+];
+
+/// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let pos = i;
+        match c {
+            ',' => {
+                out.push(Token { pos, kind: TokenKind::Sym(Sym::Comma) });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { pos, kind: TokenKind::Sym(Sym::LParen) });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { pos, kind: TokenKind::Sym(Sym::RParen) });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { pos, kind: TokenKind::Sym(Sym::Star) });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { pos, kind: TokenKind::Sym(Sym::Eq) });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Ne) });
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex { pos, msg: "expected != ".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Le) });
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Ne) });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Lt) });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Ge) });
+                    i += 2;
+                } else {
+                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Gt) });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(QueryError::Lex {
+                                pos,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token { pos, kind: TokenKind::Str(s) });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1; // consume digit or '-'
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if text.contains('.') {
+                    let f: f64 = text.parse().map_err(|_| QueryError::Lex {
+                        pos,
+                        msg: format!("bad float literal {text}"),
+                    })?;
+                    out.push(Token { pos, kind: TokenKind::Float(f) });
+                } else {
+                    let n: i64 = text.parse().map_err(|_| QueryError::Lex {
+                        pos,
+                        msg: format!("bad integer literal {text}"),
+                    })?;
+                    out.push(Token { pos, kind: TokenKind::Int(n) });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'&')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token { pos, kind: TokenKind::Keyword(upper) });
+                } else {
+                    out.push(Token { pos, kind: TokenKind::Ident(word.to_owned()) });
+                }
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    pos,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    out.push(Token { pos: input.len(), kind: TokenKind::Eof });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(q: &str) -> Vec<TokenKind> {
+        tokenize(q).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let k = kinds("select foo FROM Bar");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Ident("Bar".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 -7 3.5 -0.25"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(-7),
+                TokenKind::Float(3.5),
+                TokenKind::Float(-0.25),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> !="),
+            vec![
+                TokenKind::Sym(Sym::Lt),
+                TokenKind::Sym(Sym::Le),
+                TokenKind::Sym(Sym::Gt),
+                TokenKind::Sym(Sym::Ge),
+                TokenKind::Sym(Sym::Eq),
+                TokenKind::Sym(Sym::Ne),
+                TokenKind::Sym(Sym::Ne),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let toks = tokenize("a  bb").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 3);
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        assert!(matches!(tokenize("a ; b"), Err(QueryError::Lex { pos: 2, .. })));
+    }
+}

@@ -1,0 +1,196 @@
+//! Column statistics and normalization.
+//!
+//! The entropy scoring function of the paper (§4.3) needs attribute values
+//! normalized into the open unit interval `(0, 1)`. "Relational systems
+//! usually keep statistics on tables, so it should be possible to do this
+//! without accessing the data" — here the statistics are min/max per
+//! column, computed once per relation (or supplied externally).
+
+use crate::record::RecordLayout;
+
+/// Min/max/count summary of one numeric column.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ColumnStats {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Number of observed (non-null) values.
+    pub count: u64,
+}
+
+impl ColumnStats {
+    /// Stats of an empty column.
+    pub fn empty() -> Self {
+        ColumnStats { min: f64::INFINITY, max: f64::NEG_INFINITY, count: 0 }
+    }
+
+    /// Fold one value in.
+    #[inline]
+    pub fn observe(&mut self, v: f64) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.count += 1;
+    }
+
+    /// Merge another column's stats in (for partitioned scans).
+    pub fn merge(&mut self, other: &ColumnStats) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    /// Normalize a value into the **open** interval `(0, 1)`.
+    ///
+    /// For a domain of width `w = max − min` we map
+    /// `v ↦ (v − min + ½) / (w + 1)`, which stays strictly inside `(0,1)`
+    /// for any `v ∈ [min, max]` — exactly what the paper's entropy function
+    /// `Σ ln(v̄ᵢ + 1)` assumes. A degenerate (constant) column maps to ½.
+    #[inline]
+    pub fn normalize(&self, v: f64) -> f64 {
+        let w = self.max - self.min;
+        if w.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return 0.5;
+        }
+        (v - self.min + 0.5) / (w + 1.0)
+    }
+}
+
+impl Default for ColumnStats {
+    fn default() -> Self {
+        ColumnStats::empty()
+    }
+}
+
+/// Per-dimension statistics for a record relation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TableStats {
+    columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute stats over the first `d` attributes of encoded records.
+    pub fn from_records<'a, I>(layout: RecordLayout, d: usize, records: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        assert!(d <= layout.dims);
+        let mut columns = vec![ColumnStats::empty(); d];
+        for r in records {
+            for (i, c) in columns.iter_mut().enumerate() {
+                c.observe(f64::from(layout.attr(r, i)));
+            }
+        }
+        TableStats { columns }
+    }
+
+    /// Compute stats over a flat row-major `n × d` key matrix.
+    pub fn from_keys(keys: &[f64], d: usize) -> Self {
+        assert!(d > 0 && keys.len().is_multiple_of(d));
+        let mut columns = vec![ColumnStats::empty(); d];
+        for row in keys.chunks_exact(d) {
+            for (c, &v) in columns.iter_mut().zip(row) {
+                c.observe(v);
+            }
+        }
+        TableStats { columns }
+    }
+
+    /// Build directly from known per-column stats (e.g. catalog metadata).
+    pub fn from_columns(columns: Vec<ColumnStats>) -> Self {
+        TableStats { columns }
+    }
+
+    /// Per-column stats.
+    pub fn columns(&self) -> &[ColumnStats] {
+        &self.columns
+    }
+
+    /// Stats for dimension `i`.
+    pub fn column(&self, i: usize) -> &ColumnStats {
+        &self.columns[i]
+    }
+
+    /// Number of dimensions covered.
+    pub fn dims(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Normalize one key row in place.
+    pub fn normalize_row(&self, row: &mut [f64]) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        for (v, c) in row.iter_mut().zip(&self.columns) {
+            *v = c.normalize(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_and_normalize_open_interval() {
+        let mut c = ColumnStats::empty();
+        for v in [0.0, 10.0, 5.0] {
+            c.observe(v);
+        }
+        assert_eq!(c.count, 3);
+        let lo = c.normalize(0.0);
+        let hi = c.normalize(10.0);
+        assert!(lo > 0.0 && lo < 1.0);
+        assert!(hi > 0.0 && hi < 1.0);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn degenerate_column_maps_to_half() {
+        let mut c = ColumnStats::empty();
+        c.observe(4.0);
+        c.observe(4.0);
+        assert_eq!(c.normalize(4.0), 0.5);
+        assert_eq!(ColumnStats::empty().normalize(1.0), 0.5);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = ColumnStats::empty();
+        a.observe(1.0);
+        let mut b = ColumnStats::empty();
+        b.observe(9.0);
+        a.merge(&b);
+        assert_eq!((a.min, a.max, a.count), (1.0, 9.0, 2));
+    }
+
+    #[test]
+    fn from_records_and_keys_agree() {
+        let layout = RecordLayout::new(3, 0);
+        let recs: Vec<Vec<u8>> = vec![
+            layout.encode(&[1, -5, 7], b""),
+            layout.encode(&[3, 0, -2], b""),
+        ];
+        let s1 = TableStats::from_records(layout, 3, recs.iter().map(Vec::as_slice));
+        let keys = vec![1.0, -5.0, 7.0, 3.0, 0.0, -2.0];
+        let s2 = TableStats::from_keys(&keys, 3);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.column(1).min, -5.0);
+        assert_eq!(s1.column(2).max, 7.0);
+    }
+
+    #[test]
+    fn normalize_row_applies_per_column() {
+        let s = TableStats::from_keys(&[0.0, 100.0, 10.0, 200.0], 2);
+        let mut row = vec![10.0, 100.0];
+        s.normalize_row(&mut row);
+        assert!(row[0] > 0.9 && row[0] < 1.0); // 10 is max of col 0
+        assert!(row[1] > 0.0 && row[1] < 0.1); // 100 is min of col 1
+    }
+
+    #[test]
+    fn normalization_preserves_order() {
+        let s = TableStats::from_keys(&[-1e9, 0.0, 1e9, 0.0], 2);
+        let c = s.column(0);
+        assert!(c.normalize(-1e9) < c.normalize(0.0));
+        assert!(c.normalize(0.0) < c.normalize(1e9));
+    }
+}

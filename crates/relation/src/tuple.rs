@@ -1,0 +1,157 @@
+//! Row-oriented tuples for the friendly tier.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple: an ordered list of [`Value`]s matching some [`crate::Schema`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The values, in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at a column position.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the tuple carries no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Project onto a subset of column positions.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Extract the `f64` skyline key for the given column positions.
+    /// Returns `None` if any position is non-numeric/NULL.
+    pub fn numeric_key(&self, indices: &[usize]) -> Option<Vec<f64>> {
+        indices.iter().map(|&i| self.values[i].as_f64()).collect()
+    }
+
+    /// Consume the tuple, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Build a tuple from a heterogeneous list, e.g.
+/// `tuple!["Summer Moon", 21, 25, 19, 47.5]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::__into_value($v)),*])
+    };
+}
+
+/// Implementation detail of [`tuple!`]: converts supported literal types.
+#[doc(hidden)]
+pub fn __into_value<T: IntoValue>(v: T) -> Value {
+    v.into_value()
+}
+
+/// Conversion trait used by the [`tuple!`] macro.
+pub trait IntoValue {
+    /// Convert into a [`Value`].
+    fn into_value(self) -> Value;
+}
+
+impl IntoValue for i64 {
+    fn into_value(self) -> Value {
+        Value::Int(self)
+    }
+}
+impl IntoValue for i32 {
+    fn into_value(self) -> Value {
+        Value::Int(i64::from(self))
+    }
+}
+impl IntoValue for f64 {
+    fn into_value(self) -> Value {
+        Value::Float(self)
+    }
+}
+impl IntoValue for &str {
+    fn into_value(self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+impl IntoValue for String {
+    fn into_value(self) -> Value {
+        Value::Str(self)
+    }
+}
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_mixed_tuple() {
+        let t = crate::tuple!["Zakopane", 24, 56.0];
+        assert_eq!(t.get(0), &Value::Str("Zakopane".into()));
+        assert_eq!(t.get(1), &Value::Int(24));
+        assert_eq!(t.get(2), &Value::Float(56.0));
+    }
+
+    #[test]
+    fn numeric_key_extraction() {
+        let t = crate::tuple!["x", 3, 4.5];
+        assert_eq!(t.numeric_key(&[1, 2]), Some(vec![3.0, 4.5]));
+        assert_eq!(t.numeric_key(&[0]), None);
+    }
+
+    #[test]
+    fn projection() {
+        let t = crate::tuple![1, 2, 3];
+        assert_eq!(t.project(&[2, 0]), crate::tuple![3, 1]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(crate::tuple![1, "a"].to_string(), "(1, a)");
+    }
+}

@@ -1,0 +1,155 @@
+//! Buffer-pool page-budget ledger.
+//!
+//! The paper's operators each receive a page budget from the optimizer —
+//! the skyline *window* (the x-axis of every figure), and the sort's
+//! ~1000-page workspace. The algorithms manage their own page contents;
+//! what the engine enforces is the budget. [`BufferPool`] is that ledger:
+//! reservations are RAII [`BufferLease`]s, over-reservation fails, and peak
+//! usage is tracked so experiments can report true memory footprints.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Ledger {
+    used: usize,
+    peak: usize,
+}
+
+/// A fixed pool of buffer pages shared by the operators of a plan.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    total: usize,
+    ledger: Arc<Mutex<Ledger>>,
+}
+
+impl BufferPool {
+    /// A pool of `total` pages.
+    pub fn new(total: usize) -> Self {
+        BufferPool { total, ledger: Arc::new(Mutex::new(Ledger::default())) }
+    }
+
+    /// Pool capacity in pages.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Pages currently reserved.
+    pub fn used(&self) -> usize {
+        self.ledger.lock().used
+    }
+
+    /// Pages currently free.
+    pub fn available(&self) -> usize {
+        self.total - self.used()
+    }
+
+    /// High-water mark of reservations.
+    pub fn peak(&self) -> usize {
+        self.ledger.lock().peak
+    }
+
+    /// Reserve `pages` pages, failing if the pool cannot satisfy it.
+    pub fn reserve(&self, pages: usize) -> Result<BufferLease, BufferError> {
+        let mut ledger = self.ledger.lock();
+        if ledger.used + pages > self.total {
+            return Err(BufferError::Exhausted {
+                requested: pages,
+                available: self.total - ledger.used,
+            });
+        }
+        ledger.used += pages;
+        ledger.peak = ledger.peak.max(ledger.used);
+        Ok(BufferLease { pool: self.clone(), pages })
+    }
+}
+
+/// RAII reservation of pages from a [`BufferPool`]; released on drop.
+#[derive(Debug)]
+pub struct BufferLease {
+    pool: BufferPool,
+    pages: usize,
+}
+
+impl BufferLease {
+    /// Number of pages held by this lease.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+}
+
+impl Drop for BufferLease {
+    fn drop(&mut self) {
+        self.pool.ledger.lock().used -= self.pages;
+    }
+}
+
+/// Errors reserving buffer pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferError {
+    /// The pool cannot satisfy the request.
+    Exhausted {
+        /// Pages requested.
+        requested: usize,
+        /// Pages that were available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for BufferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferError::Exhausted { requested, available } => write!(
+                f,
+                "buffer pool exhausted: requested {requested} pages, {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let pool = BufferPool::new(10);
+        let a = pool.reserve(6).unwrap();
+        assert_eq!(pool.used(), 6);
+        assert_eq!(pool.available(), 4);
+        let b = pool.reserve(4).unwrap();
+        assert_eq!(pool.available(), 0);
+        drop(a);
+        assert_eq!(pool.available(), 6);
+        drop(b);
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.peak(), 10);
+    }
+
+    #[test]
+    fn over_reservation_fails() {
+        let pool = BufferPool::new(5);
+        let _a = pool.reserve(3).unwrap();
+        let err = pool.reserve(3).unwrap_err();
+        assert_eq!(err, BufferError::Exhausted { requested: 3, available: 2 });
+    }
+
+    #[test]
+    fn zero_page_lease_is_fine() {
+        let pool = BufferPool::new(0);
+        let l = pool.reserve(0).unwrap();
+        assert_eq!(l.pages(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_ledger() {
+        let pool = BufferPool::new(8);
+        let clone = pool.clone();
+        let _l = pool.reserve(5).unwrap();
+        assert_eq!(clone.used(), 5);
+        assert!(clone.reserve(4).is_err());
+    }
+}

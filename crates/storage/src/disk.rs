@@ -1,0 +1,300 @@
+//! Page devices: the in-memory simulator and a real-file implementation.
+
+use crate::io_stats::IoStats;
+use crate::PAGE_SIZE;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a file on a [`Disk`].
+pub type FileId = u64;
+
+/// A page-granular storage device. All I/O is in whole [`PAGE_SIZE`] pages
+/// and every transfer is counted in the disk's shared [`IoStats`].
+pub trait Disk: Send + Sync {
+    /// Create a new empty file and return its id.
+    fn create(&self) -> FileId;
+
+    /// Delete a file, releasing its pages. Deleting an unknown id is a
+    /// no-op (files may be deleted once by owner and once by a manager).
+    fn delete(&self, file: FileId);
+
+    /// Write one page. `data` may be shorter than a page; it is
+    /// zero-padded. Writing page `n` of a file with fewer than `n` pages
+    /// extends it (intervening pages become zero pages, each counted as a
+    /// write).
+    fn write_page(&self, file: FileId, page_no: u64, data: &[u8]);
+
+    /// Read one page into `buf` (resized to [`PAGE_SIZE`]).
+    ///
+    /// # Panics
+    /// Panics if the page does not exist — reading past EOF is a logic bug
+    /// in an operator, not a recoverable condition.
+    fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>);
+
+    /// Number of pages currently in the file.
+    fn num_pages(&self, file: FileId) -> u64;
+
+    /// The disk-wide I/O counters.
+    fn stats(&self) -> &IoStats;
+}
+
+/// Deterministic in-memory disk. The default device for experiments: page
+/// traffic is still counted, but wall-clock is dominated by the algorithms'
+/// CPU work — mirroring the paper's observation that skyline computation is
+/// CPU-bound.
+#[derive(Default)]
+pub struct MemDisk {
+    files: Mutex<HashMap<FileId, Vec<Box<[u8]>>>>,
+    next_id: AtomicU64,
+    stats: IoStats,
+}
+
+impl MemDisk {
+    /// Fresh empty disk.
+    pub fn new() -> Self {
+        MemDisk::default()
+    }
+
+    /// Convenience: a shareable handle.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(MemDisk::new())
+    }
+
+    /// Total pages currently allocated across all files (for leak checks).
+    pub fn allocated_pages(&self) -> u64 {
+        self.files.lock().values().map(|f| f.len() as u64).sum()
+    }
+}
+
+fn padded(data: &[u8]) -> Box<[u8]> {
+    assert!(data.len() <= PAGE_SIZE, "page overflow: {} bytes", data.len());
+    let mut page = vec![0u8; PAGE_SIZE].into_boxed_slice();
+    page[..data.len()].copy_from_slice(data);
+    page
+}
+
+impl Disk for MemDisk {
+    fn create(&self) -> FileId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.files.lock().insert(id, Vec::new());
+        id
+    }
+
+    fn delete(&self, file: FileId) {
+        self.files.lock().remove(&file);
+    }
+
+    fn write_page(&self, file: FileId, page_no: u64, data: &[u8]) {
+        let mut files = self.files.lock();
+        let pages = files.get_mut(&file).expect("write to deleted file");
+        let idx = usize::try_from(page_no).expect("page number overflow");
+        while pages.len() < idx {
+            pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+            self.stats.record_write();
+        }
+        if idx == pages.len() {
+            pages.push(padded(data));
+        } else {
+            pages[idx] = padded(data);
+        }
+        self.stats.record_write();
+    }
+
+    fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) {
+        let files = self.files.lock();
+        let pages = files.get(&file).expect("read from deleted file");
+        let idx = usize::try_from(page_no).expect("page number overflow");
+        let page = pages.get(idx).unwrap_or_else(|| {
+            panic!("read past EOF: page {page_no} of {} pages", pages.len())
+        });
+        buf.clear();
+        buf.extend_from_slice(page);
+        self.stats.record_read();
+    }
+
+    fn num_pages(&self, file: FileId) -> u64 {
+        self.files.lock().get(&file).map_or(0, |p| p.len() as u64)
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+/// A disk backed by real files in a directory (one file per [`FileId`]).
+/// Useful for runs whose temp data exceeds memory; accounting is identical
+/// to [`MemDisk`].
+pub struct FileDisk {
+    dir: PathBuf,
+    files: Mutex<HashMap<FileId, File>>,
+    next_id: AtomicU64,
+    stats: IoStats,
+}
+
+impl FileDisk {
+    /// Create a disk rooted at `dir` (created if missing). Files are named
+    /// `skyline-<id>.pages` and removed on [`Disk::delete`].
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileDisk {
+            dir,
+            files: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            stats: IoStats::new(),
+        })
+    }
+
+    fn path(&self, id: FileId) -> PathBuf {
+        self.dir.join(format!("skyline-{id}.pages"))
+    }
+}
+
+impl Disk for FileDisk {
+    fn create(&self) -> FileId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let f = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(self.path(id))
+            .expect("create page file");
+        self.files.lock().insert(id, f);
+        id
+    }
+
+    fn delete(&self, file: FileId) {
+        if self.files.lock().remove(&file).is_some() {
+            let _ = std::fs::remove_file(self.path(file));
+        }
+    }
+
+    fn write_page(&self, file: FileId, page_no: u64, data: &[u8]) {
+        let page = padded(data);
+        let mut files = self.files.lock();
+        let f = files.get_mut(&file).expect("write to deleted file");
+        let len = f.metadata().expect("stat page file").len();
+        let existing = len / PAGE_SIZE as u64;
+        for gap in existing..page_no {
+            f.seek(SeekFrom::Start(gap * PAGE_SIZE as u64)).unwrap();
+            f.write_all(&vec![0u8; PAGE_SIZE]).unwrap();
+            self.stats.record_write();
+        }
+        f.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64)).unwrap();
+        f.write_all(&page).unwrap();
+        self.stats.record_write();
+    }
+
+    fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) {
+        let mut files = self.files.lock();
+        let f = files.get_mut(&file).expect("read from deleted file");
+        buf.clear();
+        buf.resize(PAGE_SIZE, 0);
+        f.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64)).unwrap();
+        f.read_exact(buf).expect("read past EOF");
+        self.stats.record_read();
+    }
+
+    fn num_pages(&self, file: FileId) -> u64 {
+        let files = self.files.lock();
+        let f = files.get(&file).expect("stat deleted file");
+        f.metadata().expect("stat page file").len() / PAGE_SIZE as u64
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+impl Drop for FileDisk {
+    fn drop(&mut self) {
+        let ids: Vec<FileId> = self.files.lock().keys().copied().collect();
+        for id in ids {
+            self.delete(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &dyn Disk) {
+        let f = disk.create();
+        assert_eq!(disk.num_pages(f), 0);
+        disk.write_page(f, 0, b"hello");
+        disk.write_page(f, 1, &[7u8; PAGE_SIZE]);
+        assert_eq!(disk.num_pages(f), 2);
+
+        let mut buf = Vec::new();
+        disk.read_page(f, 0, &mut buf);
+        assert_eq!(&buf[..5], b"hello");
+        assert!(buf[5..].iter().all(|&b| b == 0), "padding must be zero");
+        disk.read_page(f, 1, &mut buf);
+        assert_eq!(buf, vec![7u8; PAGE_SIZE]);
+
+        // overwrite
+        disk.write_page(f, 0, b"bye");
+        disk.read_page(f, 0, &mut buf);
+        assert_eq!(&buf[..3], b"bye");
+
+        // gap-extending write
+        disk.write_page(f, 4, b"far");
+        assert_eq!(disk.num_pages(f), 5);
+        disk.read_page(f, 3, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+
+        let snap = disk.stats().snapshot();
+        // writes: p0, p1, p0 again, gap p2, gap p3, p4 = 6; reads: 4
+        assert_eq!(snap.writes, 6);
+        assert_eq!(snap.reads, 4);
+
+        disk.delete(f);
+        disk.delete(f); // idempotent
+    }
+
+    #[test]
+    fn memdisk_behaviour() {
+        let d = MemDisk::new();
+        exercise(&d);
+        assert_eq!(d.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn filedisk_behaviour() {
+        let dir = std::env::temp_dir().join(format!("skyline-disk-test-{}", std::process::id()));
+        let d = FileDisk::new(&dir).unwrap();
+        exercise(&d);
+        drop(d);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past EOF")]
+    fn memdisk_read_past_eof_panics() {
+        let d = MemDisk::new();
+        let f = d.create();
+        let mut buf = Vec::new();
+        d.read_page(f, 0, &mut buf);
+    }
+
+    #[test]
+    fn files_are_independent() {
+        let d = MemDisk::new();
+        let a = d.create();
+        let b = d.create();
+        d.write_page(a, 0, b"aaa");
+        d.write_page(b, 0, b"bbb");
+        let mut buf = Vec::new();
+        d.read_page(a, 0, &mut buf);
+        assert_eq!(&buf[..3], b"aaa");
+        d.read_page(b, 0, &mut buf);
+        assert_eq!(&buf[..3], b"bbb");
+    }
+}

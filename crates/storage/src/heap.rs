@@ -1,0 +1,419 @@
+//! Dense fixed-width-record heap files.
+//!
+//! Records never span pages (the paper's layout: 40 × 100-byte tuples per
+//! 4096-byte page, with 96 bytes of per-page slack). The writer buffers one
+//! page; the scanner reads one page at a time, so a full scan of `n`
+//! records costs exactly `⌈n / records_per_page⌉` page reads.
+
+use crate::disk::{Disk, FileId};
+use crate::PAGE_SIZE;
+use std::sync::Arc;
+
+/// A fixed-width-record file on a [`Disk`].
+pub struct HeapFile {
+    disk: Arc<dyn Disk>,
+    file: FileId,
+    record_size: usize,
+    n_records: u64,
+    temp: bool,
+}
+
+impl HeapFile {
+    /// Create an empty heap file for `record_size`-byte records.
+    ///
+    /// # Panics
+    /// Panics if `record_size` is zero or exceeds a page.
+    pub fn create(disk: Arc<dyn Disk>, record_size: usize) -> Self {
+        assert!(record_size > 0 && record_size <= PAGE_SIZE, "bad record size");
+        let file = disk.create();
+        HeapFile { disk, file, record_size, n_records: 0, temp: false }
+    }
+
+    /// Create a heap file that deletes itself on drop (sort runs, skyline
+    /// temp files).
+    pub fn create_temp(disk: Arc<dyn Disk>, record_size: usize) -> Self {
+        let mut h = HeapFile::create(disk, record_size);
+        h.temp = true;
+        h
+    }
+
+    /// Mark the file for deletion when the handle drops.
+    pub fn mark_temp(&mut self) {
+        self.temp = true;
+    }
+
+    /// Records per page for this file's record size.
+    pub fn records_per_page(&self) -> usize {
+        PAGE_SIZE / self.record_size
+    }
+
+    /// Number of records in the file.
+    pub fn len(&self) -> u64 {
+        self.n_records
+    }
+
+    /// True when the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.n_records == 0
+    }
+
+    /// Record size in bytes.
+    pub fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    /// Number of pages the records occupy.
+    pub fn num_pages(&self) -> u64 {
+        self.disk.num_pages(self.file)
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &Arc<dyn Disk> {
+        &self.disk
+    }
+
+    /// Bulk-load records (each exactly `record_size` bytes).
+    pub fn append_all<'a, I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut w = self.writer();
+        for r in records {
+            w.push(r);
+        }
+        w.finish();
+    }
+
+    /// Page-buffered writer appending at the end of the file.
+    pub fn writer(&mut self) -> HeapWriter<'_> {
+        let rpp = self.records_per_page();
+        let start_page = self.n_records / rpp as u64;
+        let in_page = (self.n_records % rpp as u64) as usize;
+        let mut buf = Vec::with_capacity(PAGE_SIZE);
+        if in_page > 0 {
+            // resume a partially filled tail page
+            self.disk.read_page(self.file, start_page, &mut buf);
+            buf.truncate(in_page * self.record_size);
+        }
+        HeapWriter { heap: self, page_no: start_page, buf, in_page, dirty: false }
+    }
+
+    /// Streaming scanner from the first record.
+    pub fn scan(&self) -> HeapScanner<'_> {
+        HeapScanner {
+            heap: self,
+            next_record: 0,
+            page_no: u64::MAX,
+            page: Vec::new(),
+        }
+    }
+
+    /// Delete the file on disk, consuming the handle.
+    pub fn delete(self) {
+        self.disk.delete(self.file);
+    }
+
+    /// Truncate to zero records, freeing the old pages (the file id stays
+    /// valid). Used when a multi-pass algorithm recycles its temp file.
+    pub fn truncate(&mut self) {
+        self.disk.delete(self.file);
+        self.file = self.disk.create();
+        self.n_records = 0;
+    }
+
+    /// Read all records into memory (tests and small inputs only).
+    pub fn read_all(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.n_records as usize);
+        let mut scan = self.scan();
+        while let Some(r) = scan.next_record() {
+            out.push(r.to_vec());
+        }
+        out
+    }
+}
+
+impl Drop for HeapFile {
+    fn drop(&mut self) {
+        if self.temp {
+            self.disk.delete(self.file);
+        }
+    }
+}
+
+/// Owning scanner over an `Arc<HeapFile>` — same traversal as
+/// [`HeapScanner`] but suitable for operators that outlive local borrows.
+pub struct SharedScanner {
+    heap: Arc<HeapFile>,
+    next_record: u64,
+    page_no: u64,
+    page: Vec<u8>,
+}
+
+impl SharedScanner {
+    /// Start a scan of `heap` from the first record.
+    pub fn new(heap: Arc<HeapFile>) -> Self {
+        SharedScanner { heap, next_record: 0, page_no: u64::MAX, page: Vec::new() }
+    }
+
+    /// Borrow the next record, or `None` at end of file.
+    pub fn next_record(&mut self) -> Option<&[u8]> {
+        if self.next_record >= self.heap.n_records {
+            return None;
+        }
+        let rpp = self.heap.records_per_page() as u64;
+        let page_no = self.next_record / rpp;
+        let slot = (self.next_record % rpp) as usize;
+        if page_no != self.page_no {
+            self.heap.disk.read_page(self.heap.file, page_no, &mut self.page);
+            self.page_no = page_no;
+        }
+        self.next_record += 1;
+        let off = slot * self.heap.record_size;
+        Some(&self.page[off..off + self.heap.record_size])
+    }
+
+    /// Restart the scan from the beginning.
+    pub fn rewind(&mut self) {
+        self.next_record = 0;
+        self.page_no = u64::MAX;
+    }
+
+    /// The scanned heap file.
+    pub fn heap(&self) -> &Arc<HeapFile> {
+        &self.heap
+    }
+}
+
+/// Page-buffered appender returned by [`HeapFile::writer`].
+///
+/// Call [`HeapWriter::finish`] (or drop) to flush the tail page.
+pub struct HeapWriter<'a> {
+    heap: &'a mut HeapFile,
+    page_no: u64,
+    buf: Vec<u8>,
+    in_page: usize,
+    dirty: bool,
+}
+
+impl HeapWriter<'_> {
+    /// Append one record.
+    ///
+    /// # Panics
+    /// Panics if `record.len()` differs from the file's record size.
+    pub fn push(&mut self, record: &[u8]) {
+        assert_eq!(record.len(), self.heap.record_size, "record size mismatch");
+        self.buf.extend_from_slice(record);
+        self.in_page += 1;
+        self.dirty = true;
+        self.heap.n_records += 1;
+        if self.in_page == self.heap.records_per_page() {
+            self.flush_page();
+        }
+    }
+
+    fn flush_page(&mut self) {
+        if self.dirty {
+            self.heap.disk.write_page(self.heap.file, self.page_no, &self.buf);
+        }
+        if self.in_page == self.heap.records_per_page() {
+            self.page_no += 1;
+            self.in_page = 0;
+            self.buf.clear();
+            self.dirty = false;
+        } else {
+            self.dirty = false;
+        }
+    }
+
+    /// Flush the tail page and end the append.
+    pub fn finish(mut self) {
+        self.flush_page();
+        self.dirty = false; // Drop must not double-flush
+    }
+}
+
+impl Drop for HeapWriter<'_> {
+    fn drop(&mut self) {
+        self.flush_page();
+    }
+}
+
+/// Streaming record reader returned by [`HeapFile::scan`].
+pub struct HeapScanner<'a> {
+    heap: &'a HeapFile,
+    next_record: u64,
+    page_no: u64,
+    page: Vec<u8>,
+}
+
+impl HeapScanner<'_> {
+    /// Borrow the next record, or `None` at end of file. The slice is valid
+    /// until the next call (lending-iterator style — no per-record
+    /// allocation).
+    pub fn next_record(&mut self) -> Option<&[u8]> {
+        if self.next_record >= self.heap.n_records {
+            return None;
+        }
+        let rpp = self.heap.records_per_page() as u64;
+        let page_no = self.next_record / rpp;
+        let slot = (self.next_record % rpp) as usize;
+        if page_no != self.page_no {
+            self.heap.disk.read_page(self.heap.file, page_no, &mut self.page);
+            self.page_no = page_no;
+        }
+        self.next_record += 1;
+        let off = slot * self.heap.record_size;
+        Some(&self.page[off..off + self.heap.record_size])
+    }
+
+    /// Records remaining.
+    pub fn remaining(&self) -> u64 {
+        self.heap.n_records - self.next_record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use proptest::prelude::*;
+
+    fn mk_records(n: usize, size: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                let mut r = vec![0u8; size];
+                let tag = (i as u64).to_le_bytes();
+                let k = tag.len().min(size);
+                r[..k].copy_from_slice(&tag[..k]);
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_then_scan_round_trip() {
+        let disk = MemDisk::shared();
+        let mut h = HeapFile::create(disk, 100);
+        let recs = mk_records(95, 100); // 40/page → 3 pages (40+40+15)
+        h.append_all(recs.iter().map(Vec::as_slice));
+        assert_eq!(h.len(), 95);
+        assert_eq!(h.num_pages(), 3);
+        assert_eq!(h.read_all(), recs);
+    }
+
+    #[test]
+    fn scan_costs_exactly_ceil_pages_reads() {
+        let disk = MemDisk::shared();
+        let mut h = HeapFile::create(Arc::clone(&disk) as Arc<dyn Disk>, 100);
+        let recs = mk_records(1000, 100); // 25 pages
+        h.append_all(recs.iter().map(Vec::as_slice));
+        let before = disk.stats().snapshot();
+        let mut scan = h.scan();
+        let mut n = 0;
+        while scan.next_record().is_some() {
+            n += 1;
+        }
+        let delta = disk.stats().snapshot().since(&before);
+        assert_eq!(n, 1000);
+        assert_eq!(delta.reads, 25);
+        assert_eq!(delta.writes, 0);
+    }
+
+    #[test]
+    fn resumed_writer_continues_tail_page() {
+        let disk = MemDisk::shared();
+        let mut h = HeapFile::create(disk, 100);
+        let recs = mk_records(50, 100);
+        h.append_all(recs[..45].iter().map(Vec::as_slice));
+        h.append_all(recs[45..].iter().map(Vec::as_slice));
+        assert_eq!(h.read_all(), recs);
+        assert_eq!(h.num_pages(), 2); // 50 records at 40/page
+    }
+
+    #[test]
+    fn empty_file_scans_empty() {
+        let disk = MemDisk::shared();
+        let h = HeapFile::create(disk, 64);
+        assert!(h.is_empty());
+        assert!(h.scan().next_record().is_none());
+    }
+
+    #[test]
+    fn record_size_equal_to_page_is_allowed() {
+        let disk = MemDisk::shared();
+        let mut h = HeapFile::create(disk, PAGE_SIZE);
+        let recs = mk_records(3, PAGE_SIZE);
+        h.append_all(recs.iter().map(Vec::as_slice));
+        assert_eq!(h.records_per_page(), 1);
+        assert_eq!(h.read_all(), recs);
+    }
+
+    #[test]
+    #[should_panic(expected = "record size mismatch")]
+    fn wrong_record_size_rejected() {
+        let disk = MemDisk::shared();
+        let mut h = HeapFile::create(disk, 10);
+        let mut w = h.writer();
+        w.push(&[0u8; 9]);
+    }
+
+    #[test]
+    fn temp_file_deleted_on_drop() {
+        let disk = MemDisk::shared();
+        {
+            let mut h =
+                HeapFile::create_temp(Arc::clone(&disk) as Arc<dyn Disk>, 100);
+            h.append_all(mk_records(80, 100).iter().map(Vec::as_slice));
+            assert!(disk.allocated_pages() > 0);
+        }
+        assert_eq!(disk.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn truncate_frees_pages_and_resets() {
+        let disk = MemDisk::shared();
+        let mut h = HeapFile::create_temp(Arc::clone(&disk) as Arc<dyn Disk>, 100);
+        h.append_all(mk_records(80, 100).iter().map(Vec::as_slice));
+        h.truncate();
+        assert_eq!(disk.allocated_pages(), 0);
+        assert!(h.is_empty());
+        h.append_all(mk_records(5, 100).iter().map(Vec::as_slice));
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn shared_scanner_matches_borrowing_scanner() {
+        let disk = MemDisk::shared();
+        let mut h = HeapFile::create(disk, 100);
+        let recs = mk_records(123, 100);
+        h.append_all(recs.iter().map(Vec::as_slice));
+        let h = Arc::new(h);
+        let mut s = SharedScanner::new(Arc::clone(&h));
+        let mut got = Vec::new();
+        while let Some(r) = s.next_record() {
+            got.push(r.to_vec());
+        }
+        assert_eq!(got, recs);
+        s.rewind();
+        assert_eq!(s.next_record().unwrap(), recs[0].as_slice());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_any_shape(
+            n in 0usize..300,
+            record_size in 1usize..200,
+            split in 0usize..300,
+        ) {
+            let disk = MemDisk::shared();
+            let mut h = HeapFile::create(disk, record_size);
+            let recs = mk_records(n, record_size);
+            let split = split.min(n);
+            h.append_all(recs[..split].iter().map(Vec::as_slice));
+            h.append_all(recs[split..].iter().map(Vec::as_slice));
+            prop_assert_eq!(h.read_all(), recs);
+            let rpp = PAGE_SIZE / record_size;
+            prop_assert_eq!(h.num_pages(), n.div_ceil(rpp) as u64);
+        }
+    }
+}

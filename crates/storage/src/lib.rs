@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Page-granular storage substrate with I/O accounting.
+//!
+//! The paper measures its algorithms in **pages**: 4096-byte pages, 40
+//! 100-byte tuples each, and reports "extra pages" — pages written to (and
+//! re-read from) temp files beyond the initial scan (Figures 10, 14, 15).
+//! This crate provides exactly that accounting surface:
+//!
+//! * [`Disk`] — a page device. [`MemDisk`] keeps pages in memory for
+//!   deterministic, fast experiments; [`FileDisk`] spills to real files.
+//!   Every page read/write increments shared [`IoStats`] counters.
+//! * [`HeapFile`] — a dense, fixed-width-record file over a disk, with a
+//!   page-buffered writer and a page-at-a-time scanner.
+//! * [`BufferPool`] — a page-budget ledger. The paper's algorithms manage
+//!   their own windows; what the engine enforces is *how many pages* each
+//!   operator may pin, which is what this ledger models.
+
+pub mod btree;
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod io_stats;
+
+pub use btree::{BTree, BTreeScan, SharedBTreeScan};
+pub use buffer::{BufferLease, BufferPool};
+pub use disk::{Disk, FileDisk, FileId, MemDisk};
+pub use heap::{HeapFile, HeapScanner, HeapWriter, SharedScanner};
+pub use io_stats::{DiskCostModel, IoSnapshot, IoStats};
+
+/// Page size in bytes (matches `skyline_relation::PAGE_SIZE`).
+pub const PAGE_SIZE: usize = 4096;

@@ -1,0 +1,97 @@
+//! The house hunt of the paper's Section 3: why ranking with scoring
+//! functions misses exactly the balanced choices skyline finds.
+//!
+//! Theorem 4 exhibits `{(4,1), (2,2), (1,4)}`: all three points are
+//! skyline, but **no positive linear weighting** ever ranks the balanced
+//! `(2,2)` first — the 2-bath/2-bedroom house you actually wanted. A
+//! (contrived, non-linear) monotone scoring does exist for it (Theorem 5),
+//! but nobody would discover it by hand; the skyline finds the house with
+//! zero tuning.
+//!
+//! ```sh
+//! cargo run --example house_hunt
+//! ```
+
+use skyline::core::score::{ComposedScore, LinearScore, MonotoneScore};
+use skyline::core::SkylineBuilder;
+
+#[derive(Debug)]
+struct House {
+    label: &'static str,
+    baths: f64,
+    bedrooms: f64,
+}
+
+fn main() {
+    let houses = [
+        House { label: "4 baths / 1 bedroom", baths: 4.0, bedrooms: 1.0 },
+        House { label: "2 baths / 2 bedrooms", baths: 2.0, bedrooms: 2.0 },
+        House { label: "1 bath  / 4 bedrooms", baths: 1.0, bedrooms: 4.0 },
+    ];
+
+    // Every house is Pareto-optimal: the skyline returns all three.
+    let sky = SkylineBuilder::new()
+        .max(|h: &House| h.baths)
+        .max(|h: &House| h.bedrooms)
+        .compute(&houses);
+    println!("Skyline of the house hunt ({} of 3 houses):", sky.len());
+    for h in &sky {
+        println!("  {}", h.label);
+    }
+
+    // Try to find the balanced house by linear ranking. Sweep a grid of
+    // positive weightings: (2,2) never wins.
+    println!("\nRanking with positive linear weights w1·baths + w2·bedrooms:");
+    let mut balanced_won = false;
+    for i in 1..=9 {
+        let w1 = f64::from(i) / 10.0;
+        let w2 = 1.0 - w1;
+        let scorer = LinearScore::new(vec![w1, w2]);
+        let winner = houses
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                scorer
+                    .score(&[a.baths, a.bedrooms])
+                    .partial_cmp(&scorer.score(&[b.baths, b.bedrooms]))
+                    .unwrap()
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        if winner == 1 {
+            balanced_won = true;
+        }
+        println!(
+            "  w=({w1:.1},{w2:.1}) → best: {}",
+            houses[winner].label
+        );
+    }
+    assert!(
+        !balanced_won,
+        "Theorem 4: no positive linear scoring picks the balanced house"
+    );
+    println!("\n→ The balanced house NEVER wins a linear ranking (Theorem 4).");
+
+    // Theorem 5: a monotone (but contrived) scoring that does pick it —
+    // each coordinate's score jumps by k=2 once it reaches the target's
+    // value (values normalized into (0,1) as x/5).
+    let target = [2.0 / 5.0, 2.0 / 5.0];
+    let step = |t: f64| move |v: f64| if v < t { v } else { 2.0 + v };
+    let witness = ComposedScore::new(vec![Box::new(step(target[0])), Box::new(step(target[1]))]);
+    let winner = houses
+        .iter()
+        .max_by(|a, b| {
+            witness
+                .score(&[a.baths / 5.0, a.bedrooms / 5.0])
+                .partial_cmp(&witness.score(&[b.baths / 5.0, b.bedrooms / 5.0]))
+                .unwrap()
+        })
+        .unwrap();
+    println!(
+        "A contrived monotone scoring (Theorem 5's witness) picks: {}",
+        winner.label
+    );
+    assert_eq!(winner.label, houses[1].label);
+    println!("…but you'd only know to write it after seeing the answer.");
+    println!("\nMoral: query the skyline; rank afterwards if you must.");
+}

@@ -1,0 +1,82 @@
+//! Quickstart: the paper's restaurant example (Figures 1–5), three ways.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use skyline::core::{MemAlgorithm, SkylineBuilder};
+use skyline::query::catalog::Catalog;
+use skyline::query::rewrite::to_except_sql;
+use skyline::query::{execute, explain, parse};
+use skyline::relation::samples::good_eats;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Figure 1: the GoodEats table.
+    let table = good_eats();
+    println!("The GoodEats restaurant guide (paper Figure 1):\n{table}");
+
+    // ------------------------------------------------------------------
+    // Way 1 — SQL with the paper's SKYLINE OF clause (Figure 4).
+    let sql = "SELECT * FROM GoodEats SKYLINE OF S MAX, F MAX, D MAX, price MIN";
+    let mut catalog = Catalog::new();
+    catalog.register("GoodEats", table.clone());
+    let skyline = execute(sql, &catalog).expect("valid query");
+    println!("Skyline via SQL (paper Figure 2):\n{skyline}");
+
+    // The plan the engine runs, with the optimizer's cardinality estimate:
+    println!("Plan:\n{}", explain(sql, &catalog).expect("valid query"));
+
+    // ------------------------------------------------------------------
+    // Way 2 — what you'd have to write *without* the operator (Figure 5).
+    let q = parse(sql).expect("parses");
+    println!(
+        "Equivalent plain SQL the paper's Figure 5 rewrite generates:\n{}\n",
+        to_except_sql(&q).expect("skyline query")
+    );
+
+    // ------------------------------------------------------------------
+    // Way 3 — the typed in-memory builder API over your own structs.
+    struct Restaurant {
+        name: &'static str,
+        service: i64,
+        food: i64,
+        decor: i64,
+        price: f64,
+    }
+    let rows: Vec<Restaurant> = table
+        .rows()
+        .iter()
+        .map(|r| Restaurant {
+            name: Box::leak(r.get(0).as_str().unwrap().to_owned().into_boxed_str()),
+            service: r.get(1).as_i64().unwrap(),
+            food: r.get(2).as_i64().unwrap(),
+            decor: r.get(3).as_i64().unwrap(),
+            price: r.get(4).as_f64().unwrap(),
+        })
+        .collect();
+
+    let best = SkylineBuilder::new()
+        .max(|r: &Restaurant| r.service as f64)
+        .max(|r: &Restaurant| r.food as f64)
+        .max(|r: &Restaurant| r.decor as f64)
+        .min(|r: &Restaurant| r.price)
+        .algorithm(MemAlgorithm::Sfs)
+        .compute(&rows);
+    println!("Skyline via the builder API:");
+    for r in &best {
+        println!(
+            "  {:<16} service={} food={} decor={} price={:.2}",
+            r.name, r.service, r.food, r.decor, r.price
+        );
+    }
+
+    // As the paper notes: drop `price MIN` and the Fenton & Pickle —
+    // worse on every other criterion — falls out of the skyline.
+    let without_price = execute(
+        "SELECT restaurant FROM GoodEats SKYLINE OF S MAX, F MAX, D MAX",
+        &catalog,
+    )
+    .expect("valid query");
+    println!("\nWithout the price criterion:\n{without_price}");
+}

@@ -1,0 +1,97 @@
+//! Skyline strata (paper §4.4): "best, next-best, …" layers of a
+//! relation — useful when the top layer is exhausted (you're tired of the
+//! one perfect restaurant) or too small.
+//!
+//! ```sh
+//! cargo run --example strata
+//! ```
+
+use skyline::core::strata::strata_external;
+use skyline::core::planner::load_heap;
+use skyline::core::{SkylineBuilder, SkylineSpec, SortOrder};
+use skyline::relation::gen::WorkloadSpec;
+use skyline::relation::samples::good_eats;
+use skyline::storage::{Disk, MemDisk};
+use std::sync::Arc;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Restaurant strata via the in-memory builder.
+    let table = good_eats();
+    println!("GoodEats:\n{table}");
+
+    struct R {
+        name: String,
+        s: f64,
+        f: f64,
+        d: f64,
+        price: f64,
+    }
+    let rows: Vec<R> = table
+        .rows()
+        .iter()
+        .map(|r| R {
+            name: r.get(0).as_str().unwrap().to_owned(),
+            s: r.get(1).as_f64().unwrap(),
+            f: r.get(2).as_f64().unwrap(),
+            d: r.get(3).as_f64().unwrap(),
+            price: r.get(4).as_f64().unwrap(),
+        })
+        .collect();
+    let builder = SkylineBuilder::new()
+        .max(|r: &R| r.s)
+        .max(|r: &R| r.f)
+        .max(|r: &R| r.d)
+        .min(|r: &R| r.price);
+    let strata = builder.strata_indices(&rows, 3);
+    for (i, stratum) in strata.iter().enumerate() {
+        println!(
+            "stratum s{i}: {}",
+            stratum
+                .iter()
+                .map(|&j| rows[j].name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    println!(
+        "\n(If your favourite s0 restaurant is closed tonight, s1 is the\n\
+         skyline of what's left — no re-query needed.)\n"
+    );
+
+    // ------------------------------------------------------------------
+    // External strata over a synthetic table, as in the paper's §5
+    // experiment (first four strata, multi-window SFS).
+    let n = 50_000;
+    let d = 4;
+    let spec_w = WorkloadSpec::paper(n, 42);
+    let records = spec_w.generate();
+    let disk = MemDisk::shared();
+    let heap = Arc::new(load_heap(
+        Arc::clone(&disk) as Arc<dyn Disk>,
+        spec_w.layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    ));
+    let spec = SkylineSpec::max_all(d);
+    let t0 = std::time::Instant::now();
+    let res = strata_external(
+        heap,
+        spec_w.layout,
+        &spec,
+        4,
+        500, // the paper's 500-page window
+        1000,
+        SortOrder::Nested,
+        None,
+        Arc::clone(&disk) as Arc<dyn Disk>,
+    )
+    .expect("strata");
+    println!("first four strata of U({n}, d={d}) in {:.2?}:", t0.elapsed());
+    for (i, s) in res.strata.iter().enumerate() {
+        println!("  s{i}: {:>6} tuples", s.len());
+    }
+    println!(
+        "(paper at n=1M, d=4: 460 / 1,430 / 2,766 / 4,444 — sizes grow\n\
+         roughly geometrically, as here)"
+    );
+}

@@ -1,0 +1,203 @@
+//! Cross-algorithm equivalence: every skyline algorithm in the workspace
+//! — in-memory naive/SFS/BNL/D&C and the external paged SFS/BNL under
+//! arbitrary window sizes — must compute exactly the same skyline.
+
+use proptest::prelude::*;
+use skyline::core::algo::{self, MemSortOrder};
+use skyline::core::planner::{entropy_stats_of_records, load_heap, presort, sfs_filter};
+use skyline::core::{
+    Bnl, Criterion, Direction, KeyMatrix, SfsConfig, SkylineMetrics, SkylineSpec, SortOrder,
+};
+use skyline::exec::{collect, HeapScan};
+use skyline::relation::RecordLayout;
+use skyline::storage::{Disk, MemDisk};
+use std::sync::Arc;
+
+fn small_matrix() -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (1usize..=4).prop_flat_map(|d| {
+        (
+            Just(d),
+            proptest::collection::vec(-8.0f64..8.0, 0..(40 * d)).prop_map(move |mut v| {
+                v.truncate(v.len() / d * d);
+                v
+            }),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_in_memory_algorithms_agree((d, data) in small_matrix()) {
+        let km = KeyMatrix::new(d, data);
+        let expect = algo::naive(&km).sorted().indices;
+        prop_assert_eq!(algo::sfs(&km, MemSortOrder::Entropy).sorted().indices, expect.clone());
+        prop_assert_eq!(algo::sfs(&km, MemSortOrder::Nested).sorted().indices, expect.clone());
+        prop_assert_eq!(algo::bnl(&km).sorted().indices, expect.clone());
+        prop_assert_eq!(algo::divide_and_conquer(&km).sorted().indices, expect);
+    }
+
+    #[test]
+    fn integer_grids_with_heavy_ties_agree(
+        d in 2usize..=3,
+        rows in proptest::collection::vec(proptest::collection::vec(0i32..4, 3), 0..80),
+    ) {
+        let rows: Vec<Vec<f64>> = rows
+            .into_iter()
+            .map(|r| r.into_iter().take(d).map(f64::from).collect())
+            .filter(|r: &Vec<f64>| r.len() == d)
+            .collect();
+        let km = KeyMatrix::from_rows(&rows);
+        let expect = algo::naive(&km).sorted().indices;
+        prop_assert_eq!(algo::sfs(&km, MemSortOrder::Entropy).sorted().indices, expect.clone());
+        prop_assert_eq!(algo::bnl(&km).sorted().indices, expect.clone());
+        prop_assert_eq!(algo::divide_and_conquer(&km).sorted().indices, expect);
+    }
+}
+
+/// Encode integer rows into records, run the full external SFS pipeline
+/// (sort + filter) and external BNL, compare against the oracle.
+fn external_case(
+    rows: &[Vec<i32>],
+    directions: &[Direction],
+    window_pages: usize,
+    projection: bool,
+) {
+    let d = directions.len();
+    let layout = RecordLayout::new(d, 4);
+    let records: Vec<Vec<u8>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| layout.encode(r, &(i as u32).to_le_bytes()))
+        .collect();
+    let spec = SkylineSpec::new(
+        directions
+            .iter()
+            .enumerate()
+            .map(|(i, &dir)| Criterion { attr: i, direction: dir })
+            .collect(),
+    );
+
+    // oracle over oriented keys
+    let oriented: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .zip(directions)
+                .map(|(&v, &dir)| match dir {
+                    Direction::Max => f64::from(v),
+                    Direction::Min => -f64::from(v),
+                })
+                .collect()
+        })
+        .collect();
+    let km = KeyMatrix::from_rows(&oriented);
+    let mut expect: Vec<Vec<i32>> = algo::naive(&km)
+        .indices
+        .iter()
+        .map(|&i| rows[i].clone())
+        .collect();
+    expect.sort();
+
+    let disk = MemDisk::shared();
+    let heap = Arc::new(load_heap(
+        Arc::clone(&disk) as Arc<dyn Disk>,
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    ));
+
+    // external SFS
+    let stats = entropy_stats_of_records(&layout, &spec, records.iter().map(Vec::as_slice));
+    let sorted = presort(
+        Arc::clone(&heap),
+        layout,
+        spec.clone(),
+        SortOrder::Entropy,
+        Some(stats),
+        3,
+        Arc::clone(&disk) as Arc<dyn Disk>,
+    )
+    .unwrap();
+    let cfg = if projection {
+        SfsConfig::new(window_pages).with_projection()
+    } else {
+        SfsConfig::new(window_pages)
+    };
+    let mut sfs = sfs_filter(
+        Arc::new(sorted),
+        layout,
+        spec.clone(),
+        cfg,
+        Arc::clone(&disk) as Arc<dyn Disk>,
+        SkylineMetrics::shared(),
+    )
+    .unwrap();
+    let mut got_sfs: Vec<Vec<i32>> = collect(&mut sfs)
+        .unwrap()
+        .iter()
+        .map(|r| layout.decode_attrs(r))
+        .collect();
+    got_sfs.sort();
+    assert_eq!(got_sfs, expect, "external SFS vs oracle");
+
+    // external BNL
+    let scan = Box::new(HeapScan::new(heap));
+    let mut bnl = Bnl::new(
+        scan,
+        layout,
+        spec,
+        window_pages,
+        Arc::clone(&disk) as Arc<dyn Disk>,
+        SkylineMetrics::shared(),
+    )
+    .unwrap();
+    let mut got_bnl: Vec<Vec<i32>> = collect(&mut bnl)
+        .unwrap()
+        .iter()
+        .map(|r| layout.decode_attrs(r))
+        .collect();
+    got_bnl.sort();
+    assert_eq!(got_bnl, expect, "external BNL vs oracle");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn external_operators_match_oracle(
+        rows in proptest::collection::vec(proptest::collection::vec(-20i32..20, 3), 0..120),
+        min_mask in 0u8..8,
+        window_pages in 0usize..3,
+        projection in any::<bool>(),
+    ) {
+        let directions: Vec<Direction> = (0..3)
+            .map(|i| if min_mask & (1 << i) != 0 { Direction::Min } else { Direction::Max })
+            .collect();
+        external_case(&rows, &directions, window_pages, projection);
+    }
+}
+
+#[test]
+fn external_operators_match_oracle_bigger_deterministic() {
+    // one bigger deterministic case: 5 dims, mixed directions, 1-page window
+    let rows: Vec<Vec<i32>> = (0..2_500i64)
+        .map(|i| {
+            vec![
+                ((i * 7_919) % 173) as i32,
+                ((i * 104_729) % 181) as i32,
+                ((i * 31) % 191) as i32,
+                ((i * 1_299_709) % 197) as i32,
+                ((i * 15_485_863) % 199) as i32,
+            ]
+        })
+        .collect();
+    let directions = vec![
+        Direction::Max,
+        Direction::Min,
+        Direction::Max,
+        Direction::Min,
+        Direction::Max,
+    ];
+    external_case(&rows, &directions, 1, true);
+}

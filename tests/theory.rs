@@ -1,0 +1,253 @@
+//! Property tests for the paper's Section 3 theory: the skyline's
+//! relationship to monotone scoring functions.
+
+use proptest::prelude::*;
+use skyline::core::algo::{self, MemSortOrder};
+use skyline::core::cardinality::{asymptotic_skyline_size, expected_skyline_size};
+use skyline::core::score::{nested_desc, EntropyScore, LinearScore, MonotoneScore};
+use skyline::core::{dominates, KeyMatrix};
+
+fn matrices() -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (1usize..=4).prop_flat_map(|d| {
+        (
+            Just(d),
+            proptest::collection::vec(-5.0f64..5.0, d..(50 * d)).prop_map(move |mut v| {
+                v.truncate(v.len() / d * d);
+                v
+            }),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// Lemma 2: the maximizer of any monotone scoring function is skyline.
+    #[test]
+    fn lemma2_linear_maximizers_are_skyline(
+        (d, data) in matrices(),
+        weights in proptest::collection::vec(0.01f64..10.0, 4),
+    ) {
+        let km = KeyMatrix::new(d, data);
+        prop_assume!(km.n() > 0);
+        let scorer = LinearScore::new(weights[..d].to_vec());
+        let best = (0..km.n())
+            .max_by(|&a, &b| {
+                scorer.score(km.row(a)).partial_cmp(&scorer.score(km.row(b))).unwrap()
+            })
+            .unwrap();
+        let sky = algo::naive(&km).indices;
+        // the maximizer's key can be shared by several rows; at least one
+        // row with that exact key must be skyline, and the maximizer is
+        // not strictly dominated by anyone.
+        prop_assert!(!(0..km.n()).any(|j| dominates(km.row(j), km.row(best))));
+        prop_assert!(sky.iter().any(|&i| km.row(i) == km.row(best)));
+    }
+
+    /// Lemma 2 for the entropy scoring specifically.
+    #[test]
+    fn lemma2_entropy_maximizer_is_skyline((d, data) in matrices()) {
+        let km = KeyMatrix::new(d, data);
+        prop_assume!(km.n() > 0);
+        let e = EntropyScore::from_keys(km.data(), d);
+        let best = (0..km.n())
+            .max_by(|&a, &b| e.score(km.row(a)).partial_cmp(&e.score(km.row(b))).unwrap())
+            .unwrap();
+        prop_assert!(!(0..km.n()).any(|j| dominates(km.row(j), km.row(best))));
+    }
+
+    /// Theorem 6: any monotone-score descending order is a topological
+    /// sort of dominance — a dominator never appears after a dominated
+    /// tuple.
+    #[test]
+    fn theorem6_entropy_order_is_topological((d, data) in matrices()) {
+        let km = KeyMatrix::new(d, data);
+        let order = algo::presort_indices(&km, MemSortOrder::Entropy);
+        for (pos_a, &a) in order.iter().enumerate() {
+            for &b in &order[pos_a + 1..] {
+                // b comes after a, so b must not dominate a
+                prop_assert!(
+                    !dominates(km.row(b), km.row(a)),
+                    "later row {:?} dominates earlier {:?}",
+                    km.row(b),
+                    km.row(a)
+                );
+            }
+        }
+    }
+
+    /// Theorem 7: the nested sort is also a topological order.
+    #[test]
+    fn theorem7_nested_order_is_topological((d, data) in matrices()) {
+        let km = KeyMatrix::new(d, data);
+        let order = algo::presort_indices(&km, MemSortOrder::Nested);
+        for (pos_a, &a) in order.iter().enumerate() {
+            for &b in &order[pos_a + 1..] {
+                prop_assert!(!dominates(km.row(b), km.row(a)));
+            }
+        }
+    }
+
+    /// Dominance is transitive and antisymmetric on random triples.
+    #[test]
+    fn dominance_partial_order_laws(
+        a in proptest::collection::vec(-5.0f64..5.0, 3),
+        b in proptest::collection::vec(-5.0f64..5.0, 3),
+        c in proptest::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c), "transitivity");
+        }
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)), "antisymmetry");
+        prop_assert!(!dominates(&a, &a), "irreflexivity");
+    }
+
+    /// The skyline is the union of per-stratum skylines' first layer and
+    /// strata partition the full relation.
+    #[test]
+    fn strata_partition_the_relation((d, data) in matrices()) {
+        let km = KeyMatrix::new(d, data);
+        let labels = algo::stratum_labels(&km, MemSortOrder::Entropy);
+        prop_assert_eq!(labels.len(), km.n());
+        // stratum 0 is exactly the skyline
+        let sky: Vec<usize> = algo::naive(&km).sorted().indices;
+        let s0: Vec<usize> = (0..km.n()).filter(|&i| labels[i] == 0).collect();
+        prop_assert_eq!(s0, sky);
+        // each stratum-i row is dominated by some row of stratum i-1 and
+        // none of its own stratum
+        for i in 0..km.n() {
+            let li = labels[i];
+            if li > 0 {
+                prop_assert!((0..km.n()).any(
+                    |j| labels[j] == li - 1 && dominates(km.row(j), km.row(i))
+                ));
+            }
+            prop_assert!(!(0..km.n()).any(
+                |j| labels[j] == li && dominates(km.row(j), km.row(i))
+            ));
+        }
+    }
+
+    /// nested_desc is a strict weak order consistent with dominance.
+    #[test]
+    fn nested_desc_total_order_laws(
+        a in proptest::collection::vec(-5.0f64..5.0, 3),
+        b in proptest::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(nested_desc(&a, &a), Ordering::Equal);
+        prop_assert_eq!(nested_desc(&a, &b), nested_desc(&b, &a).reverse());
+        if dominates(&a, &b) {
+            prop_assert_eq!(nested_desc(&a, &b), Ordering::Less, "dominator sorts first");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// k-skybands nest, skyband(1) is the skyline, and the k-skyband
+    /// contains the top-k of the entropy scoring (top-k extension of the
+    /// monotone-scoring theorems).
+    #[test]
+    fn skyband_properties((d, data) in matrices(), k in 2u64..5) {
+        use skyline::core::skyband::skyband;
+        let km = KeyMatrix::new(d, data);
+        let s1 = skyband(&km, 1);
+        prop_assert_eq!(&s1, &algo::naive(&km).sorted().indices);
+        let sk = skyband(&km, k);
+        for i in &s1 {
+            prop_assert!(sk.contains(i), "skyband(1) ⊄ skyband({k})");
+        }
+        if km.n() > 0 {
+            let e = EntropyScore::from_keys(km.data(), d);
+            let mut by_score: Vec<usize> = (0..km.n()).collect();
+            by_score.sort_by(|&a, &b| {
+                e.score(km.row(b)).partial_cmp(&e.score(km.row(a))).unwrap()
+            });
+            for &i in by_score.iter().take(k as usize) {
+                prop_assert!(sk.contains(&i), "top-{k} row escapes the {k}-skyband");
+            }
+        }
+    }
+
+    /// The dimension-dispatched specials and the parallel skyline agree
+    /// with the oracle on arbitrary inputs.
+    #[test]
+    fn lowdim_and_parallel_match_oracle((d, data) in matrices(), threads in 1usize..6) {
+        use skyline::core::lowdim::skyline_auto;
+        use skyline::core::par::parallel_skyline;
+        let km = KeyMatrix::new(d, data);
+        let expect = algo::naive(&km).sorted().indices;
+        prop_assert_eq!(skyline_auto(&km).sorted().indices, expect.clone());
+        prop_assert_eq!(parallel_skyline(&km, threads), expect);
+    }
+
+    /// Histogram-entropy is a strictly monotone scoring: its descending
+    /// order is topological w.r.t. dominance on arbitrary data.
+    #[test]
+    fn histogram_entropy_is_topological((d, data) in matrices()) {
+        use skyline::core::histogram::HistogramEntropyScore;
+        let km = KeyMatrix::new(d, data);
+        prop_assume!(km.n() > 1);
+        let h = HistogramEntropyScore::from_keys(km.data(), d, 16);
+        for i in 0..km.n() {
+            for j in 0..km.n() {
+                if dominates(km.row(i), km.row(j)) {
+                    prop_assert!(
+                        h.score(km.row(i)) > h.score(km.row(j)),
+                        "dominator must outscore: {:?} vs {:?}",
+                        km.row(i),
+                        km.row(j)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem4_concrete_points() {
+    // {(4,1),(2,2),(1,4)}: all skyline; no positive linear scoring makes
+    // (2,2) the unique maximum (dense weight sweep).
+    let km = KeyMatrix::from_rows(&[vec![4.0, 1.0], vec![2.0, 2.0], vec![1.0, 4.0]]);
+    assert_eq!(algo::naive(&km).indices.len(), 3);
+    for i in 1..200 {
+        let w1 = f64::from(i) * 0.05;
+        for j in 1..200 {
+            let w2 = f64::from(j) * 0.05;
+            let s = LinearScore::new(vec![w1, w2]);
+            let balanced = s.score(km.row(1));
+            assert!(
+                balanced <= s.score(km.row(0)) || balanced <= s.score(km.row(2)),
+                "w=({w1},{w2}) wrongly ranks (2,2) strictly first"
+            );
+        }
+    }
+}
+
+#[test]
+fn cardinality_model_tracks_measured_sizes() {
+    use skyline::relation::gen::WorkloadSpec;
+    // measured skyline sizes across several seeds should bracket the
+    // expected value from the independence model
+    let n = 20_000;
+    for d in [3usize, 5] {
+        let expected = expected_skyline_size(n, d);
+        let mut sizes = Vec::new();
+        for seed in 0..5u64 {
+            let keys = WorkloadSpec::paper(n, seed).generate_keys(d);
+            let km = KeyMatrix::new(d, keys);
+            sizes.push(algo::sfs(&km, skyline::core::algo::MemSortOrder::Entropy).indices.len() as f64);
+        }
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        let ratio = mean / expected;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "d={d}: measured mean {mean:.0} vs expected {expected:.0}"
+        );
+    }
+    // and the asymptotic stays within an order of magnitude
+    let ratio = expected_skyline_size(1_000_000, 6) / asymptotic_skyline_size(1_000_000, 6);
+    assert!((0.3..5.0).contains(&ratio));
+}
