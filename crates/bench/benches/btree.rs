@@ -1,6 +1,7 @@
 //! Criterion: the clustered B+-tree substrate (bulk load, inserts, scan).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use skyline_bench::crit::Criterion;
+use skyline_bench::{criterion_group, criterion_main};
 use skyline_storage::btree::key_codec::i32_key;
 use skyline_storage::{BTree, Disk, MemDisk, SharedBTreeScan};
 use std::hint::black_box;

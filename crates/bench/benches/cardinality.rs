@@ -1,7 +1,8 @@
 //! Criterion: the skyline cardinality estimator (what an optimizer would
 //! call per query — it must be cheap even at n = 10⁶).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::crit::{BenchmarkId, Criterion};
+use skyline_bench::{criterion_group, criterion_main};
 use skyline_core::cardinality::{asymptotic_skyline_size, expected_skyline_size};
 use std::hint::black_box;
 

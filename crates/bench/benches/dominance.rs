@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks of the dominance kernel — the operation
 //! that makes skyline computation CPU-bound (paper §4.2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::crit::{BenchmarkId, Criterion};
+use skyline_bench::{criterion_group, criterion_main};
 use skyline_core::score::{EntropyScore, MonotoneScore};
 use skyline_core::{dom_rel, dominates};
 use skyline_relation::gen::WorkloadSpec;
@@ -12,24 +13,32 @@ fn bench_dominance(c: &mut Criterion) {
     for &d in &[2usize, 5, 10] {
         let keys = WorkloadSpec::paper(2_000, 7).generate_keys(d);
         let rows: Vec<&[f64]> = keys.chunks_exact(d).collect();
-        g.bench_with_input(BenchmarkId::new("dom_rel_all_pairs", d), &rows, |b, rows| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for w in rows.windows(2) {
-                    acc += u64::from(dom_rel(w[0], w[1]) == skyline_core::DomRel::Dominates);
-                }
-                black_box(acc)
-            });
-        });
-        g.bench_with_input(BenchmarkId::new("dominates_all_pairs", d), &rows, |b, rows| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for w in rows.windows(2) {
-                    acc += u64::from(dominates(w[0], w[1]));
-                }
-                black_box(acc)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("dom_rel_all_pairs", d),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for w in rows.windows(2) {
+                        acc += u64::from(dom_rel(w[0], w[1]) == skyline_core::DomRel::Dominates);
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dominates_all_pairs", d),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for w in rows.windows(2) {
+                        acc += u64::from(dominates(w[0], w[1]));
+                    }
+                    black_box(acc)
+                });
+            },
+        );
         let e = EntropyScore::from_keys(&keys, d);
         g.bench_with_input(BenchmarkId::new("entropy_score", d), &rows, |b, rows| {
             b.iter(|| {

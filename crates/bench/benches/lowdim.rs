@@ -1,7 +1,8 @@
 //! Criterion ablation: the 2-D/3-D special-case algorithms (paper §6's
 //! "special cases … could be exploited") vs the general ones.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::crit::{BenchmarkId, Criterion};
+use skyline_bench::{criterion_group, criterion_main};
 use skyline_core::algo::{bnl, sfs, MemSortOrder};
 use skyline_core::lowdim::{skyline_2d, skyline_3d};
 use skyline_core::KeyMatrix;

@@ -1,6 +1,7 @@
 //! Criterion: incremental skyline maintenance vs recompute-from-scratch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use skyline_bench::crit::Criterion;
+use skyline_bench::{criterion_group, criterion_main};
 use skyline_core::algo::{sfs, MemSortOrder};
 use skyline_core::maintain::SkylineCache;
 use skyline_core::KeyMatrix;

@@ -1,7 +1,8 @@
 //! Criterion: in-memory skyline algorithms head-to-head (naive / SFS /
 //! BNL / divide-and-conquer) on the paper's uniform-independent data.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::crit::{BenchmarkId, Criterion};
+use skyline_bench::{criterion_group, criterion_main};
 use skyline_core::algo::{bnl, divide_and_conquer, naive, sfs, MemSortOrder};
 use skyline_core::KeyMatrix;
 use skyline_relation::gen::WorkloadSpec;

@@ -1,6 +1,7 @@
 //! Criterion ablation: partition/merge parallel skyline vs sequential SFS.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::crit::{BenchmarkId, Criterion};
+use skyline_bench::{criterion_group, criterion_main};
 use skyline_core::algo::{sfs, MemSortOrder};
 use skyline_core::par::parallel_skyline;
 use skyline_core::KeyMatrix;
@@ -15,7 +16,7 @@ fn bench_parallel(c: &mut Criterion) {
     });
     for threads in [2usize, 4, 8] {
         g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
-            b.iter(|| black_box(parallel_skyline(&km, t).len()));
+            b.iter(|| black_box(parallel_skyline(&km, t).map(|s| s.len())));
         });
     }
     g.finish();

@@ -1,14 +1,19 @@
 //! Criterion counterpart of Figure 9: the three SFS variants (basic,
 //! w/E, w/E,P) through the full external pipeline at a fixed window.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::crit::{BenchmarkId, Criterion};
+use skyline_bench::{criterion_group, criterion_main};
 use skyline_bench::{run_sfs, Dataset, SfsVariant};
 use std::hint::black_box;
 
 fn bench_sfs_variants(c: &mut Criterion) {
     let ds = Dataset::paper(30_000, 2003);
     let mut g = c.benchmark_group("fig09_sfs_variants");
-    for variant in [SfsVariant::Basic, SfsVariant::Entropy, SfsVariant::EntropyProjection] {
+    for variant in [
+        SfsVariant::Basic,
+        SfsVariant::Entropy,
+        SfsVariant::EntropyProjection,
+    ] {
         for &w in &[1usize, 16] {
             g.bench_with_input(
                 BenchmarkId::new(variant.label().replace([' ', '/'], "_"), w),

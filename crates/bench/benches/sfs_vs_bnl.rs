@@ -1,7 +1,8 @@
 //! Criterion counterpart of Figures 12–15: SFS (w/E,P) vs BNL at five
 //! and seven dimensions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::crit::{BenchmarkId, Criterion};
+use skyline_bench::{criterion_group, criterion_main};
 use skyline_bench::{run_bnl, run_sfs, BnlInput, Dataset, SfsVariant};
 use std::hint::black_box;
 

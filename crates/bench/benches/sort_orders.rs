@@ -1,7 +1,8 @@
 //! Criterion counterpart of the §5 sort-times table: nested 7-attribute
 //! sort vs single-score entropy sort (the paper's 57 s vs 37 s).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use skyline_bench::crit::Criterion;
+use skyline_bench::{criterion_group, criterion_main};
 use skyline_bench::{run_sort_only, Dataset};
 use skyline_core::SortOrder;
 use std::hint::black_box;

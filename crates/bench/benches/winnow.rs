@@ -1,7 +1,8 @@
 //! Criterion: winnow (generalized preference) vs plain skyline, and the
 //! move-to-front window ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use skyline_bench::crit::Criterion;
+use skyline_bench::{criterion_group, criterion_main};
 use skyline_core::algo::{bnl, MemSortOrder};
 use skyline_core::winnow::{winnow, LexPreference, SkylinePreference};
 use skyline_core::KeyMatrix;
@@ -23,7 +24,11 @@ fn bench_winnow(c: &mut Criterion) {
     // sanity: entropy presorted SFS for scale reference
     g.bench_function("sfs_reference", |b| {
         b.iter(|| {
-            black_box(skyline_core::algo::sfs(&km, MemSortOrder::Entropy).indices.len())
+            black_box(
+                skyline_core::algo::sfs(&km, MemSortOrder::Entropy)
+                    .indices
+                    .len(),
+            )
         });
     });
     g.finish();

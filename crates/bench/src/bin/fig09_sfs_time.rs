@@ -7,5 +7,6 @@ fn main() {
     let ds = Dataset::paper(scale, seed);
     let (time, _io) = fig09_10(&ds, 7, &window_sweep());
     time.print();
-    time.save_csv("results", "fig09_sfs_time").expect("save csv");
+    time.save_csv("results", "fig09_sfs_time")
+        .expect("save csv");
 }

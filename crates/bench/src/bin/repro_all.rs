@@ -49,7 +49,9 @@ fn main() {
 
     let tdist = table_distributions(scale.min(100_000), seed, 4, 4);
     tdist.print();
-    tdist.save_csv("results", "table_distributions").expect("csv");
+    tdist
+        .save_csv("results", "table_distributions")
+        .expect("csv");
 
     let tclu = table_clustered(&ds, 5, 2);
     tclu.print();

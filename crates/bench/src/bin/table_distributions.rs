@@ -9,5 +9,6 @@ fn main() {
     let n = scale.min(100_000);
     let t = table_distributions(n, seed, 4, 4);
     t.print();
-    t.save_csv("results", "table_distributions").expect("save csv");
+    t.save_csv("results", "table_distributions")
+        .expect("save csv");
 }

@@ -7,5 +7,6 @@ fn main() {
     let ds = Dataset::paper(scale, seed);
     let t = table_skyline_sizes(&ds, &[2, 3, 4, 5, 6, 7, 8]);
     t.print();
-    t.save_csv("results", "table_skyline_sizes").expect("save csv");
+    t.save_csv("results", "table_skyline_sizes")
+        .expect("save csv");
 }

@@ -1,0 +1,194 @@
+//! Minimal, dependency-free stand-in for the subset of the `criterion`
+//! API the benches use.
+//!
+//! The container building this repo has no network access to crates.io,
+//! so the benches run on this shim instead: same structure (`Criterion`,
+//! groups, `BenchmarkId`, `criterion_group!`/`criterion_main!`), wall-clock
+//! timing over `sample_size` samples, and a one-line min/median/mean
+//! report per benchmark. It is deliberately simple — no outlier analysis,
+//! no HTML reports — but keeps every bench binary compiling and usable
+//! for relative comparisons.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (shim for `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { crit: self }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.to_string(), self.sample_size, f);
+    }
+}
+
+/// A named group of related benchmarks (shim for criterion's group).
+pub struct BenchmarkGroup<'a> {
+    crit: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.to_string(), self.crit.sample_size, f);
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.to_string(), self.crit.sample_size, |b| f(b, input));
+    }
+
+    /// End the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier: a function name plus a parameter value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `new("sfs", 100_000)` → `sfs/100000`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Per-benchmark timing handle passed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `f`, recording one sample per call batch.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(f());
+        }
+        self.samples
+            .push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn run_bench<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    // warm-up sample, discarded
+    f(&mut b);
+    b.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("  {label}: no samples recorded");
+        return;
+    }
+    b.samples.sort_unstable();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!("  {label}: min {min:?}  median {median:?}  mean {mean:?}  ({sample_size} samples)");
+}
+
+/// Shim for `criterion::criterion_group!` — both the plain and the
+/// `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut crit = $config;
+            $( $target(&mut crit); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::crit::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Shim for `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.bench_function("counts", |b| b.iter(|| runs += 1));
+            g.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("sfs", 100).to_string(), "sfs/100");
+    }
+}

@@ -54,12 +54,21 @@ impl Dataset {
                 records.iter().map(Vec::as_slice),
             )));
         }
-        Dataset { disk, heap, layout, n: spec.n, seed: spec.seed, stats }
+        Dataset {
+            disk,
+            heap,
+            layout,
+            n: spec.n,
+            seed: spec.seed,
+            stats,
+        }
     }
 
     /// Catalog-style entropy stats for a `d`-dimensional all-max spec.
     pub fn entropy(&self, d: usize) -> EntropyScore {
-        self.stats[d].clone().expect("stats precomputed for all dims")
+        self.stats[d]
+            .clone()
+            .expect("stats precomputed for all dims")
     }
 
     /// Pages occupied by the base table.
@@ -334,7 +343,11 @@ pub fn run_bnl_clustered(
     let mut scan = ds.heap.scan();
     while let Some(r) = scan.next_record() {
         let a0 = ds.layout.attr(r, 0);
-        let k = if ascending { a0 } else { a0.wrapping_neg().max(i32::MIN + 1) };
+        let k = if ascending {
+            a0
+        } else {
+            a0.wrapping_neg().max(i32::MIN + 1)
+        };
         pairs.push((i32_key(k), r.to_vec()));
     }
     pairs.sort_by_key(|p| p.0);
@@ -415,9 +428,19 @@ pub fn dimensional_reduction(ds: &Dataset, d: usize) -> (HeapFile, u64) {
     use skyline_exec::{ExternalSort, GroupMax, HeapScan, SortBudget};
     let spec = SkylineSpec::max_all(d);
     let disk = Arc::clone(&ds.disk) as Arc<dyn Disk>;
-    let cmp = Arc::new(SkylineOrderCmp::new(ds.layout, spec, SortOrder::Nested, None));
+    let cmp = Arc::new(SkylineOrderCmp::new(
+        ds.layout,
+        spec,
+        SortOrder::Nested,
+        None,
+    ));
     let scan = Box::new(HeapScan::new(Arc::clone(&ds.heap)));
-    let sort = Box::new(ExternalSort::new(scan, cmp, Arc::clone(&disk), SortBudget::pages(1000)));
+    let sort = Box::new(ExternalSort::new(
+        scan,
+        cmp,
+        Arc::clone(&disk),
+        SortBudget::pages(1000),
+    ));
     let mut gm = GroupMax::new(sort, ds.layout, (0..d - 1).collect(), d - 1).expect("group max");
     let reduced = materialize(&mut gm, disk).expect("materialize");
     let n = reduced.len();
@@ -478,7 +501,11 @@ mod tests {
         let mut rows = Vec::new();
         let mut scan = ds.heap.scan();
         while let Some(r) = scan.next_record() {
-            rows.push((0..d).map(|i| f64::from(ds.layout.attr(r, i))).collect::<Vec<_>>());
+            rows.push(
+                (0..d)
+                    .map(|i| f64::from(ds.layout.attr(r, i)))
+                    .collect::<Vec<_>>(),
+            );
         }
         algo::naive(&KeyMatrix::from_rows(&rows)).indices.len() as u64
     }
@@ -488,7 +515,11 @@ mod tests {
         let ds = Dataset::paper(4_000, 17);
         let d = 4;
         let expect = oracle_size(&ds, d);
-        for variant in [SfsVariant::Basic, SfsVariant::Entropy, SfsVariant::EntropyProjection] {
+        for variant in [
+            SfsVariant::Basic,
+            SfsVariant::Entropy,
+            SfsVariant::EntropyProjection,
+        ] {
             let r = run_sfs(&ds, d, 2, variant);
             assert_eq!(r.skyline, expect, "{}", variant.label());
         }
@@ -504,7 +535,10 @@ mod tests {
         let d = 5;
         let base = run_sfs(&ds, d, 50, SfsVariant::EntropyProjection).skyline;
         for w in [1, 2, 8] {
-            assert_eq!(run_sfs(&ds, d, w, SfsVariant::EntropyProjection).skyline, base);
+            assert_eq!(
+                run_sfs(&ds, d, w, SfsVariant::EntropyProjection).skyline,
+                base
+            );
             assert_eq!(run_bnl(&ds, d, w, BnlInput::Natural).skyline, base);
         }
     }
@@ -567,7 +601,9 @@ mod tests {
             let mut rows = Vec::new();
             while let Some(r) = scan.next_record() {
                 rows.push(
-                    (0..d).map(|i| f64::from(ds.layout.attr(r, i))).collect::<Vec<_>>(),
+                    (0..d)
+                        .map(|i| f64::from(ds.layout.attr(r, i)))
+                        .collect::<Vec<_>>(),
                 );
             }
             let km = KeyMatrix::from_rows(&rows);

@@ -14,6 +14,7 @@
 //! in minutes); pass `--scale 1000000` for the paper's full size. Shapes
 //! (who wins, where lines flatten or cross) are scale-stable.
 
+pub mod crit;
 pub mod harness;
 pub mod report;
 pub mod sweeps;

@@ -23,10 +23,20 @@ pub fn fig09_10(ds: &Dataset, d: usize, windows: &[usize]) -> (ReportTable, Repo
              simulated vintage disk for the extra pages)",
             ds.n
         ),
-        &["window_pages", "SFS_ms", "SFS_wE_ms", "SFS_wEP_ms", "SFS_2002_ms", "skyline"],
+        &[
+            "window_pages",
+            "SFS_ms",
+            "SFS_wE_ms",
+            "SFS_wEP_ms",
+            "SFS_2002_ms",
+            "skyline",
+        ],
     );
     let mut io = ReportTable::new(
-        format!("Fig 10 — SFS extra-page I/Os vs window size (n={}, d={d})", ds.n),
+        format!(
+            "Fig 10 — SFS extra-page I/Os vs window size (n={}, d={d})",
+            ds.n
+        ),
         &["window_pages", "SFS_ios", "SFS_wE_ios", "SFS_wEP_ios"],
     );
     for &w in windows {
@@ -59,7 +69,14 @@ pub fn fig09_10(ds: &Dataset, d: usize, windows: &[usize]) -> (ReportTable, Repo
 pub fn fig11(ds: &Dataset, dims: &[usize], windows: &[usize], full: bool) -> ReportTable {
     let mut t = ReportTable::new(
         format!("Fig 11 — BNL time vs window size (n={})", ds.n),
-        &["window_pages", "dim", "BNL_ms", "BNL_wRE_ms", "skyline", "BNL_comparisons"],
+        &[
+            "window_pages",
+            "dim",
+            "BNL_ms",
+            "BNL_wRE_ms",
+            "skyline",
+            "BNL_comparisons",
+        ],
     );
     let re_windows = re_window_limit(ds.n, windows, full);
     for &d in dims {
@@ -110,7 +127,14 @@ pub fn fig_comparison(
 ) -> (ReportTable, ReportTable) {
     let mut time = ReportTable::new(
         format!("{fig_time} — times, SFS vs BNL (n={}, d={d})", ds.n),
-        &["window_pages", "SFS_ms", "SFS_sort_ms", "SFS_filter_ms", "BNL_ms", "BNL_wRE_ms"],
+        &[
+            "window_pages",
+            "SFS_ms",
+            "SFS_sort_ms",
+            "SFS_filter_ms",
+            "BNL_ms",
+            "BNL_wRE_ms",
+        ],
     );
     let mut io = ReportTable::new(
         format!("{fig_io} — extra-page I/Os, SFS vs BNL (n={}, d={d})", ds.n),
@@ -176,11 +200,18 @@ pub fn table_skyline_sizes(ds: &Dataset, dims: &[usize]) -> ReportTable {
 /// nested-with-DSU, which closes most of the gap.
 pub fn table_sort_times(ds: &Dataset, d: usize) -> ReportTable {
     let mut t = ReportTable::new(
-        format!("Sort-phase times (n={}, d={d}, 1000-page sort buffer)", ds.n),
+        format!(
+            "Sort-phase times (n={}, d={d}, 1000-page sort buffer)",
+            ds.n
+        ),
         &["order", "time", "records"],
     );
     let (t_ms, n) = run_sort_only_no_dsu(ds, d);
-    t.row(vec!["nested (multi-attr cmp, as in paper)".into(), ms(t_ms), n.to_string()]);
+    t.row(vec![
+        "nested (multi-attr cmp, as in paper)".into(),
+        ms(t_ms),
+        n.to_string(),
+    ]);
     for (label, order) in [
         ("entropy (single-key, as in paper)", SortOrder::Entropy),
         ("nested (with DSU prefix key)", SortOrder::Nested),
@@ -203,7 +234,14 @@ pub fn table_dimred(n: usize, seed: u64) -> ReportTable {
     let d = 4;
     let mut t = ReportTable::new(
         format!("Dimensional reduction (n={n}, d={d}, GROUP BY a1..a3, MAX(a4))"),
-        &["domain", "input", "reduced", "reduction", "reduce_time", "skyline"],
+        &[
+            "domain",
+            "input",
+            "reduced",
+            "reduction",
+            "reduce_time",
+            "skyline",
+        ],
     );
     // domain giving ~n/10 groups: (hi+1)^(d-1) ≈ n/10
     let adaptive_hi = ((n as f64 / 10.0).powf(1.0 / (d as f64 - 1.0)).round() as i32 - 1).max(1);
@@ -235,7 +273,10 @@ pub fn table_dimred(n: usize, seed: u64) -> ReportTable {
 /// d=5 sizes 1,651/5,749/11,879/19,020 in 723 s).
 pub fn table_strata(ds: &Dataset, dims: &[usize], window_pages: usize) -> ReportTable {
     let mut t = ReportTable::new(
-        format!("Skyline strata (n={}, window={window_pages} pages, k=4)", ds.n),
+        format!(
+            "Skyline strata (n={}, window={window_pages} pages, k=4)",
+            ds.n
+        ),
         &["dim", "s0", "s1", "s2", "s3", "time"],
     );
     for &d in dims {
@@ -254,9 +295,20 @@ pub fn table_strata(ds: &Dataset, dims: &[usize], window_pages: usize) -> Report
         )
         .expect("strata");
         let elapsed = t0.elapsed().as_secs_f64() * 1e3;
-        let sizes: Vec<u64> = res.strata.iter().map(skyline_storage::HeapFile::len).collect();
+        let sizes: Vec<u64> = res
+            .strata
+            .iter()
+            .map(skyline_storage::HeapFile::len)
+            .collect();
         let get = |i: usize| sizes.get(i).map_or("-".to_owned(), u64::to_string);
-        t.row(vec![d.to_string(), get(0), get(1), get(2), get(3), ms(elapsed)]);
+        t.row(vec![
+            d.to_string(),
+            get(0),
+            get(1),
+            get(2),
+            get(3),
+            ms(elapsed),
+        ]);
     }
     t
 }
@@ -270,12 +322,22 @@ pub fn table_distributions(n: usize, seed: u64, d: usize, window_pages: usize) -
     use skyline_relation::gen::Distribution;
     let mut t = ReportTable::new(
         format!("Distribution sweep (n={n}, d={d}, window={window_pages} pages)"),
-        &["distribution", "skyline", "skyline_frac", "SFS_passes", "SFS_ms", "BNL_ms"],
+        &[
+            "distribution",
+            "skyline",
+            "skyline_frac",
+            "SFS_passes",
+            "SFS_ms",
+            "BNL_ms",
+        ],
     );
     let dists = [
         ("correlated", Distribution::Correlated { jitter: 0.05 }),
         ("uniform", Distribution::UniformIndependent),
-        ("anti-correlated", Distribution::AntiCorrelated { jitter: 0.05 }),
+        (
+            "anti-correlated",
+            Distribution::AntiCorrelated { jitter: 0.05 },
+        ),
     ];
     for (label, dist) in dists {
         // correlation structure must span exactly the skyline attributes,
@@ -313,7 +375,13 @@ pub fn table_clustered(ds: &Dataset, d: usize, window_pages: usize) -> ReportTab
             "Clustered-index input orders (n={}, d={d}, window={window_pages} pages)",
             ds.n
         ),
-        &["input order", "ms", "comparisons", "temp_records", "skyline"],
+        &[
+            "input order",
+            "ms",
+            "comparisons",
+            "temp_records",
+            "skyline",
+        ],
     );
     let mut push = |label: &str, r: &RunResult| {
         t.row(vec![

@@ -57,7 +57,10 @@ pub fn naive(keys: &KeyMatrix) -> AlgoResult {
             indices.push(i);
         }
     }
-    AlgoResult { indices, comparisons }
+    AlgoResult {
+        indices,
+        comparisons,
+    }
 }
 
 /// Presort order for [`sfs`].
@@ -103,6 +106,8 @@ pub fn sfs(keys: &KeyMatrix, order: MemSortOrder) -> AlgoResult {
 /// (Exposed so tests can feed arbitrary topological orders — Theorem 6
 /// says any monotone-score order works.)
 pub fn sfs_presorted(keys: &KeyMatrix, order: &[usize]) -> AlgoResult {
+    #[cfg(feature = "check-invariants")]
+    crate::audit::assert_topological(keys, order, "algo::sfs_presorted/input");
     let mut window: Vec<usize> = Vec::new();
     let mut comparisons = 0u64;
     for &i in order {
@@ -118,7 +123,12 @@ pub fn sfs_presorted(keys: &KeyMatrix, order: &[usize]) -> AlgoResult {
             window.push(i);
         }
     }
-    AlgoResult { indices: window, comparisons }
+    #[cfg(feature = "check-invariants")]
+    crate::audit::assert_pairwise_incomparable(keys, &window, "algo::sfs_presorted/emitted");
+    AlgoResult {
+        indices: window,
+        comparisons,
+    }
 }
 
 /// In-memory block-nested-loops (Börzsönyi et al.) with an unbounded
@@ -142,7 +152,10 @@ pub fn bnl(keys: &KeyMatrix) -> AlgoResult {
         }
         window.push(i);
     }
-    AlgoResult { indices: window, comparisons }
+    AlgoResult {
+        indices: window,
+        comparisons,
+    }
 }
 
 /// Divide-and-conquer skyline (the other algorithm of Börzsönyi et al.):
@@ -155,7 +168,10 @@ pub fn divide_and_conquer(keys: &KeyMatrix) -> AlgoResult {
     let mut comparisons = 0u64;
     let all: Vec<usize> = (0..keys.n()).collect();
     let indices = dnc_rec(keys, all, &mut comparisons);
-    AlgoResult { indices, comparisons }
+    AlgoResult {
+        indices,
+        comparisons,
+    }
 }
 
 const DNC_BASE: usize = 32;
@@ -252,10 +268,7 @@ pub fn stratum_labels(keys: &KeyMatrix, order: MemSortOrder) -> Vec<usize> {
     let mut labels = vec![0usize; keys.n()];
     'input: for &i in &idx {
         for (s, window) in windows.iter_mut().enumerate() {
-            if !window
-                .iter()
-                .any(|&w| dominates(keys.row(w), keys.row(i)))
-            {
+            if !window.iter().any(|&w| dominates(keys.row(w), keys.row(i))) {
                 window.push(i);
                 labels[i] = s;
                 continue 'input;
@@ -381,13 +394,7 @@ mod tests {
 
     #[test]
     fn strata_partition_matches_iterated_definition() {
-        let m = km(&[
-            [3.0, 3.0],
-            [2.0, 2.0],
-            [1.0, 1.0],
-            [0.0, 4.0],
-            [0.0, 3.5],
-        ]);
+        let m = km(&[[3.0, 3.0], [2.0, 2.0], [1.0, 1.0], [0.0, 4.0], [0.0, 3.5]]);
         let (strata_out, _) = strata(&m, 3, MemSortOrder::Entropy);
         let mut s0 = strata_out[0].clone();
         s0.sort_unstable();

@@ -1,0 +1,464 @@
+//! Runtime dominance-invariant auditing.
+//!
+//! SFS correctness hangs on two fragile contracts (Theorems 6/7 of the
+//! paper): the presort stream must be a **topological sort of the
+//! dominance partial order** (nothing later in the stream dominates
+//! anything earlier), and every emitted result set must be **pairwise
+//! incomparable**. A third, operational contract keeps the external
+//! operators honest: every record entering a filter pass must be
+//! accounted for — emitted, discarded as dominated, or spilled to the
+//! overflow file.
+//!
+//! The `check_*` functions here are always compiled, return structured
+//! [`InvariantViolation`]s, and are what the self-tests and `cargo xtask
+//! check` exercise. The `assert_*` wrappers panic with the violation
+//! message and are called from the SFS/BNL windows and the
+//! `parallel_skyline` merge **only** when the `check-invariants` cargo
+//! feature is enabled — production builds pay nothing.
+
+use crate::dominance::dominates;
+use crate::keys::KeyMatrix;
+use std::fmt;
+
+/// A violated dominance or accounting invariant, with enough context to
+/// name the guilty operator and rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// Two rows of an emitted "skyline" are comparable: `winner`
+    /// dominates `loser` (both positions within the emitted sequence).
+    EmittedComparable {
+        /// Which operator/site emitted the set.
+        context: &'static str,
+        /// Position (in emission order) of the dominating row.
+        winner: usize,
+        /// Position (in emission order) of the dominated row.
+        loser: usize,
+    },
+    /// A presort stream is not topological: the row at stream position
+    /// `later` dominates the row at `earlier`.
+    OrderViolation {
+        /// Which stream was checked.
+        context: &'static str,
+        /// Stream position of the dominated, earlier row.
+        earlier: usize,
+        /// Stream position of the dominating, later row.
+        later: usize,
+    },
+    /// A filter pass lost or invented records:
+    /// `input ≠ emitted + discarded + spilled`.
+    PassAccounting {
+        /// Which operator ran the pass.
+        context: &'static str,
+        /// Records read into the pass.
+        input: u64,
+        /// Records emitted as skyline.
+        emitted: u64,
+        /// Records discarded as dominated.
+        discarded: u64,
+        /// Records spilled to the overflow temp file.
+        spilled: u64,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::EmittedComparable {
+                context,
+                winner,
+                loser,
+            } => write!(
+                f,
+                "[{context}] emitted set not pairwise-incomparable: \
+                 emitted row #{winner} dominates emitted row #{loser}"
+            ),
+            InvariantViolation::OrderViolation {
+                context,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "[{context}] presort stream is not a topological sort of dominance: \
+                 stream row #{later} dominates earlier stream row #{earlier}"
+            ),
+            InvariantViolation::PassAccounting {
+                context,
+                input,
+                emitted,
+                discarded,
+                spilled,
+            } => {
+                write!(
+                    f,
+                    "[{context}] pass accounting broken: input {input} ≠ \
+                     emitted {emitted} + discarded {discarded} + spilled {spilled}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Check that the rows of `keys` selected by `indices` are pairwise
+/// incomparable (no row strictly dominates another).
+///
+/// # Errors
+/// Returns [`InvariantViolation::EmittedComparable`] naming the first
+/// offending pair.
+pub fn check_pairwise_incomparable(
+    keys: &KeyMatrix,
+    indices: &[usize],
+    context: &'static str,
+) -> Result<(), InvariantViolation> {
+    for (pi, &i) in indices.iter().enumerate() {
+        for (pj, &j) in indices.iter().enumerate().skip(pi + 1) {
+            if dominates(keys.row(i), keys.row(j)) {
+                return Err(InvariantViolation::EmittedComparable {
+                    context,
+                    winner: pi,
+                    loser: pj,
+                });
+            }
+            if dominates(keys.row(j), keys.row(i)) {
+                return Err(InvariantViolation::EmittedComparable {
+                    context,
+                    winner: pj,
+                    loser: pi,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check that visiting `keys` in `order` never visits a dominator after
+/// a row it dominates — i.e. `order` is a topological sort of the
+/// dominance partial order (Theorems 6/7).
+///
+/// # Errors
+/// Returns [`InvariantViolation::OrderViolation`] naming the first
+/// offending stream positions.
+pub fn check_topological(
+    keys: &KeyMatrix,
+    order: &[usize],
+    context: &'static str,
+) -> Result<(), InvariantViolation> {
+    for (earlier, &a) in order.iter().enumerate() {
+        for (off, &b) in order[earlier + 1..].iter().enumerate() {
+            if dominates(keys.row(b), keys.row(a)) {
+                return Err(InvariantViolation::OrderViolation {
+                    context,
+                    earlier,
+                    later: earlier + 1 + off,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check the window-overflow pass equation
+/// `input = emitted + discarded + spilled`.
+///
+/// # Errors
+/// Returns [`InvariantViolation::PassAccounting`] when the counts do not
+/// balance.
+pub fn check_pass_accounting(
+    input: u64,
+    emitted: u64,
+    discarded: u64,
+    spilled: u64,
+    context: &'static str,
+) -> Result<(), InvariantViolation> {
+    if input != emitted + discarded + spilled {
+        return Err(InvariantViolation::PassAccounting {
+            context,
+            input,
+            emitted,
+            discarded,
+            spilled,
+        });
+    }
+    Ok(())
+}
+
+/// Panic if `indices` is not pairwise incomparable. Instrumentation
+/// entry point for `check-invariants` builds.
+///
+/// # Panics
+/// Panics with the violation message on the first comparable pair.
+pub fn assert_pairwise_incomparable(keys: &KeyMatrix, indices: &[usize], context: &'static str) {
+    if let Err(v) = check_pairwise_incomparable(keys, indices, context) {
+        panic!("invariant violated: {v}");
+    }
+}
+
+/// Panic if `order` is not topological for `keys`. Instrumentation
+/// entry point for `check-invariants` builds.
+///
+/// # Panics
+/// Panics with the violation message on the first order inversion.
+pub fn assert_topological(keys: &KeyMatrix, order: &[usize], context: &'static str) {
+    if let Err(v) = check_topological(keys, order, context) {
+        panic!("invariant violated: {v}");
+    }
+}
+
+/// Streaming auditor for the external operators: observes the flat key
+/// row of every record entering a pass and every record emitted, then
+/// verifies the three contracts without holding the records themselves.
+///
+/// One auditor instance audits one DIFF group of one operator; the
+/// external operators reset it at group boundaries.
+#[derive(Debug, Default)]
+pub struct StreamAuditor {
+    context: &'static str,
+    d: usize,
+    inputs: Vec<f64>,
+    emits: Vec<f64>,
+    discarded: u64,
+    spilled: u64,
+    emitted_before: u64,
+    check_input_order: bool,
+}
+
+impl StreamAuditor {
+    /// Auditor for `d`-dimensional oriented keys at the named site.
+    /// `check_input_order` enables the topological-stream check (SFS's
+    /// presorted input; BNL makes no such promise).
+    pub fn new(d: usize, context: &'static str, check_input_order: bool) -> Self {
+        StreamAuditor {
+            context,
+            d,
+            inputs: Vec::new(),
+            emits: Vec::new(),
+            discarded: 0,
+            spilled: 0,
+            emitted_before: 0,
+            check_input_order,
+        }
+    }
+
+    fn rows(buf: &[f64], d: usize) -> impl Iterator<Item = &[f64]> {
+        buf.chunks_exact(d)
+    }
+
+    /// Record a key entering the pass.
+    ///
+    /// # Errors
+    /// With input-order checking on, returns
+    /// [`InvariantViolation::OrderViolation`] if this key dominates any
+    /// earlier input key (the presort contract).
+    pub fn observe_input(&mut self, key: &[f64]) -> Result<(), InvariantViolation> {
+        debug_assert_eq!(key.len(), self.d);
+        if self.check_input_order {
+            let later = self.inputs.len() / self.d;
+            for (earlier, prev) in Self::rows(&self.inputs, self.d).enumerate() {
+                if dominates(key, prev) {
+                    return Err(InvariantViolation::OrderViolation {
+                        context: self.context,
+                        earlier,
+                        later,
+                    });
+                }
+            }
+        }
+        self.inputs.extend_from_slice(key);
+        Ok(())
+    }
+
+    /// Record an emitted (claimed-skyline) key.
+    ///
+    /// # Errors
+    /// Returns [`InvariantViolation::EmittedComparable`] if this key is
+    /// comparable with any previously emitted key.
+    pub fn observe_emit(&mut self, key: &[f64]) -> Result<(), InvariantViolation> {
+        debug_assert_eq!(key.len(), self.d);
+        let loser = self.emits.len() / self.d;
+        for (winner, prev) in Self::rows(&self.emits, self.d).enumerate() {
+            if dominates(prev, key) {
+                return Err(InvariantViolation::EmittedComparable {
+                    context: self.context,
+                    winner,
+                    loser,
+                });
+            }
+            if dominates(key, prev) {
+                return Err(InvariantViolation::EmittedComparable {
+                    context: self.context,
+                    winner: loser,
+                    loser: winner,
+                });
+            }
+        }
+        self.emits.extend_from_slice(key);
+        Ok(())
+    }
+
+    /// Record a key discarded as dominated.
+    pub fn observe_discard(&mut self) {
+        self.discarded += 1;
+    }
+
+    /// Record a key spilled to the overflow temp file.
+    pub fn observe_spill(&mut self) {
+        self.spilled += 1;
+    }
+
+    /// Close the pass: verify `input = emitted + discarded + spilled`
+    /// and reset the input/spill side for the next pass over the
+    /// overflow file (emitted keys are kept — emission spans passes).
+    ///
+    /// # Errors
+    /// Returns [`InvariantViolation::PassAccounting`] when the counts do
+    /// not balance.
+    pub fn end_pass(&mut self) -> Result<(), InvariantViolation> {
+        let input = (self.inputs.len() / self.d.max(1)) as u64;
+        let emitted_total = (self.emits.len() / self.d.max(1)) as u64;
+        let emitted_this_pass = emitted_total - self.emitted_before;
+        let r = check_pass_accounting(
+            input,
+            emitted_this_pass,
+            self.discarded,
+            self.spilled,
+            self.context,
+        );
+        self.inputs.clear();
+        self.discarded = 0;
+        self.spilled = 0;
+        self.emitted_before = emitted_total;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn km(rows: &[[f64; 2]]) -> KeyMatrix {
+        KeyMatrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn incomparable_set_passes() {
+        let k = km(&[[3.0, 1.0], [1.0, 3.0], [2.0, 2.0]]);
+        assert!(check_pairwise_incomparable(&k, &[0, 1, 2], "t").is_ok());
+    }
+
+    #[test]
+    fn dominated_pair_is_caught() {
+        let k = km(&[[3.0, 3.0], [1.0, 1.0]]);
+        let err = check_pairwise_incomparable(&k, &[0, 1], "t").unwrap_err();
+        assert_eq!(
+            err,
+            InvariantViolation::EmittedComparable {
+                context: "t",
+                winner: 0,
+                loser: 1
+            }
+        );
+        assert!(err.to_string().contains("not pairwise-incomparable"));
+    }
+
+    #[test]
+    fn topological_order_passes_and_scrambled_fails() {
+        let k = km(&[[3.0, 3.0], [2.0, 2.0], [1.0, 4.0]]);
+        // descending entropy-ish order: dominators first
+        assert!(check_topological(&k, &[0, 1, 2], "t").is_ok());
+        assert!(check_topological(&k, &[0, 2, 1], "t").is_ok());
+        // scrambled: the dominated row 1 before its dominator row 0
+        let err = check_topological(&k, &[1, 0, 2], "t").unwrap_err();
+        assert_eq!(
+            err,
+            InvariantViolation::OrderViolation {
+                context: "t",
+                earlier: 0,
+                later: 1
+            }
+        );
+    }
+
+    #[test]
+    fn pass_accounting_balances() {
+        assert!(check_pass_accounting(10, 3, 5, 2, "t").is_ok());
+        let err = check_pass_accounting(10, 3, 5, 1, "t").unwrap_err();
+        assert!(matches!(
+            err,
+            InvariantViolation::PassAccounting { input: 10, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated")]
+    fn assert_wrapper_panics() {
+        let k = km(&[[3.0, 3.0], [1.0, 1.0]]);
+        assert_pairwise_incomparable(&k, &[0, 1], "t");
+    }
+
+    #[test]
+    fn stream_auditor_accepts_a_legal_sfs_pass() {
+        let mut a = StreamAuditor::new(2, "t", true);
+        // topological input stream: (3,3) then incomparables
+        a.observe_input(&[3.0, 3.0]).unwrap();
+        a.observe_emit(&[3.0, 3.0]).unwrap();
+        a.observe_input(&[2.0, 2.0]).unwrap();
+        a.observe_discard();
+        a.observe_input(&[1.0, 4.0]).unwrap();
+        a.observe_emit(&[1.0, 4.0]).unwrap();
+        a.observe_input(&[0.5, 0.5]).unwrap();
+        a.observe_spill();
+        a.end_pass().unwrap();
+        // second pass over the spilled record
+        a.observe_input(&[0.5, 0.5]).unwrap();
+        a.observe_discard();
+        a.end_pass().unwrap();
+    }
+
+    #[test]
+    fn stream_auditor_flags_scrambled_presort_stream() {
+        let mut a = StreamAuditor::new(2, "sfs", true);
+        a.observe_input(&[1.0, 1.0]).unwrap();
+        // a later record dominating an earlier one breaks the presort contract
+        let err = a.observe_input(&[2.0, 2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            InvariantViolation::OrderViolation {
+                context: "sfs",
+                earlier: 0,
+                later: 1
+            }
+        );
+    }
+
+    #[test]
+    fn stream_auditor_flags_comparable_emission() {
+        let mut a = StreamAuditor::new(2, "bnl", false);
+        a.observe_input(&[1.0, 1.0]).unwrap(); // no order promise in BNL mode
+        a.observe_input(&[2.0, 2.0]).unwrap();
+        a.observe_emit(&[2.0, 2.0]).unwrap();
+        let err = a.observe_emit(&[1.0, 1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            InvariantViolation::EmittedComparable {
+                context: "bnl",
+                winner: 0,
+                loser: 1
+            }
+        );
+    }
+
+    #[test]
+    fn stream_auditor_flags_lost_records() {
+        let mut a = StreamAuditor::new(2, "t", false);
+        a.observe_input(&[1.0, 1.0]).unwrap();
+        a.observe_input(&[2.0, 1.0]).unwrap();
+        a.observe_emit(&[2.0, 1.0]).unwrap();
+        // the (1,1) record was neither emitted, discarded nor spilled
+        let err = a.end_pass().unwrap_err();
+        assert!(matches!(
+            err,
+            InvariantViolation::PassAccounting { input: 2, .. }
+        ));
+    }
+}

@@ -55,7 +55,11 @@ pub struct SkylineBuilder<T> {
 impl<T> SkylineBuilder<T> {
     /// Empty builder (SFS algorithm, no criteria yet).
     pub fn new() -> Self {
-        SkylineBuilder { criteria: Vec::new(), diff: Vec::new(), algorithm: MemAlgorithm::Sfs }
+        SkylineBuilder {
+            criteria: Vec::new(),
+            diff: Vec::new(),
+            algorithm: MemAlgorithm::Sfs,
+        }
     }
 
     /// Prefer larger values of `f`.
@@ -140,7 +144,10 @@ impl<T> SkylineBuilder<T> {
 
     /// Skyline members of `items`, in input order.
     pub fn compute<'a>(&self, items: &'a [T]) -> Vec<&'a T> {
-        self.compute_indices(items).into_iter().map(|i| &items[i]).collect()
+        self.compute_indices(items)
+            .into_iter()
+            .map(|i| &items[i])
+            .collect()
     }
 
     /// The first `k` skyline strata (paper §4.4), as indices per stratum.
@@ -193,11 +200,36 @@ mod tests {
 
     fn houses() -> Vec<House> {
         vec![
-            House { baths: 4.0, beds: 1.0, price: 300.0, city: "york" },
-            House { baths: 2.0, beds: 2.0, price: 300.0, city: "york" },
-            House { baths: 1.0, beds: 4.0, price: 300.0, city: "york" },
-            House { baths: 1.0, beds: 1.0, price: 400.0, city: "york" }, // dominated
-            House { baths: 1.0, beds: 1.0, price: 500.0, city: "hull" },
+            House {
+                baths: 4.0,
+                beds: 1.0,
+                price: 300.0,
+                city: "york",
+            },
+            House {
+                baths: 2.0,
+                beds: 2.0,
+                price: 300.0,
+                city: "york",
+            },
+            House {
+                baths: 1.0,
+                beds: 4.0,
+                price: 300.0,
+                city: "york",
+            },
+            House {
+                baths: 1.0,
+                beds: 1.0,
+                price: 400.0,
+                city: "york",
+            }, // dominated
+            House {
+                baths: 1.0,
+                beds: 1.0,
+                price: 500.0,
+                city: "hull",
+            },
         ]
     }
 

@@ -12,7 +12,7 @@ use skyline_relation::RecordLayout;
 use std::fmt;
 
 /// Orientation of one skyline criterion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Prefer small values.
     Min,
@@ -21,7 +21,7 @@ pub enum Direction {
 }
 
 /// One `attr MIN`/`attr MAX` criterion, by attribute index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Criterion {
     /// Index into the record layout's attributes.
     pub attr: usize,
@@ -32,12 +32,18 @@ pub struct Criterion {
 impl Criterion {
     /// `attr MAX`.
     pub fn max(attr: usize) -> Self {
-        Criterion { attr, direction: Direction::Max }
+        Criterion {
+            attr,
+            direction: Direction::Max,
+        }
     }
 
     /// `attr MIN`.
     pub fn min(attr: usize) -> Self {
-        Criterion { attr, direction: Direction::Min }
+        Criterion {
+            attr,
+            direction: Direction::Min,
+        }
     }
 
     /// Orient a raw value so that larger is always better.
@@ -52,7 +58,7 @@ impl Criterion {
 
 /// A full `SKYLINE OF` specification over a fixed-width record layout:
 /// MIN/MAX criteria plus DIFF grouping attributes.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SkylineSpec {
     /// The MIN/MAX criteria, in clause order.
     pub criteria: Vec<Criterion>,
@@ -64,12 +70,18 @@ impl SkylineSpec {
     /// `a₀ MAX, …, a_{d−1} MAX` — the common all-max spec over the first
     /// `d` attributes.
     pub fn max_all(d: usize) -> Self {
-        SkylineSpec { criteria: (0..d).map(Criterion::max).collect(), diff: Vec::new() }
+        SkylineSpec {
+            criteria: (0..d).map(Criterion::max).collect(),
+            diff: Vec::new(),
+        }
     }
 
     /// Build from explicit criteria.
     pub fn new(criteria: Vec<Criterion>) -> Self {
-        SkylineSpec { criteria, diff: Vec::new() }
+        SkylineSpec {
+            criteria,
+            diff: Vec::new(),
+        }
     }
 
     /// Add DIFF attributes.
@@ -265,7 +277,10 @@ mod tests {
     #[test]
     fn min_direction_orients() {
         let c = Criterion::min(0);
-        assert!(c.orient(10.0) < c.orient(5.0), "smaller raw must orient larger");
+        assert!(
+            c.orient(10.0) < c.orient(5.0),
+            "smaller raw must orient larger"
+        );
     }
 
     #[test]
@@ -308,7 +323,10 @@ mod tests {
             SkylineSpec::max_all(2).with_diff(vec![1]).validate(&layout),
             Err(SpecError::DuplicateAttr(1))
         );
-        assert!(SkylineSpec::max_all(2).with_diff(vec![2]).validate(&layout).is_ok());
+        assert!(SkylineSpec::max_all(2)
+            .with_diff(vec![2])
+            .validate(&layout)
+            .is_ok());
     }
 
     #[test]

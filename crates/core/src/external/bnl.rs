@@ -58,6 +58,11 @@ pub struct Bnl {
     key: Vec<f64>,
     out: Vec<u8>,
     opened: bool,
+    /// Dominance auditor (`check-invariants` builds only). BNL makes no
+    /// input-order promise, so only emit-incomparability and whole-run
+    /// accounting (originals = emitted + discarded) are checked.
+    #[cfg(feature = "check-invariants")]
+    audit: crate::audit::StreamAuditor,
 }
 
 impl Bnl {
@@ -93,6 +98,8 @@ impl Bnl {
             )));
         }
         let capacity = (window_pages * (PAGE_SIZE / layout.record_size())).max(1);
+        #[cfg(feature = "check-invariants")]
+        let dims = spec.dims();
         Ok(Bnl {
             child,
             layout,
@@ -110,6 +117,8 @@ impl Bnl {
             key: Vec::new(),
             out: Vec::new(),
             opened: false,
+            #[cfg(feature = "check-invariants")]
+            audit: crate::audit::StreamAuditor::new(dims, "external::Bnl", false),
         })
     }
 
@@ -150,6 +159,10 @@ impl Bnl {
             if self.window[k].carried && self.window[k].ts <= upto {
                 let e = self.window.swap_remove(k);
                 self.metrics.add_emitted();
+                #[cfg(feature = "check-invariants")]
+                if let Err(v) = self.audit.observe_emit(&e.key) {
+                    panic!("invariant violated: {v}");
+                }
                 self.emit.push_back(e.record);
             } else {
                 k += 1;
@@ -167,11 +180,23 @@ impl Bnl {
         // ts (into the new temp file) is 0.
         match self.spill.take() {
             None => {
+                #[cfg(feature = "check-invariants")]
+                let audit = &mut self.audit;
                 for e in self.window.drain(..) {
                     self.metrics.add_emitted();
+                    #[cfg(feature = "check-invariants")]
+                    if let Err(v) = audit.observe_emit(&e.key) {
+                        panic!("invariant violated: {v}");
+                    }
                     self.emit.push_back(e.record);
                 }
                 self.source = Source::Done;
+                // The run is complete: every original record must by now
+                // have been emitted or discarded exactly once.
+                #[cfg(feature = "check-invariants")]
+                if let Err(v) = self.audit.end_pass() {
+                    panic!("invariant violated: {v}");
+                }
                 false
             }
             Some(spill) => {
@@ -184,6 +209,10 @@ impl Bnl {
                     if self.window[k].carried || self.window[k].ts == 0 {
                         let e = self.window.swap_remove(k);
                         self.metrics.add_emitted();
+                        #[cfg(feature = "check-invariants")]
+                        if let Err(v) = self.audit.observe_emit(&e.key) {
+                            panic!("invariant violated: {v}");
+                        }
                         self.emit.push_back(e.record);
                     } else {
                         k += 1;
@@ -214,6 +243,10 @@ impl Operator for Bnl {
         self.temp_written = 0;
         self.metrics.add_pass();
         self.opened = true;
+        #[cfg(feature = "check-invariants")]
+        {
+            self.audit = crate::audit::StreamAuditor::new(self.spec.dims(), "external::Bnl", false);
+        }
         Ok(())
     }
 
@@ -240,6 +273,15 @@ impl Operator for Bnl {
             self.confirm_carried(i);
 
             self.spec.key_of(&self.layout, &self.cur, &mut self.key);
+            // Only first-pass records are *new* inputs; temp-file records
+            // were already observed when they first arrived.
+            #[cfg(feature = "check-invariants")]
+            if matches!(self.source, Source::Child) {
+                let key = self.key.clone();
+                if let Err(v) = self.audit.observe_input(&key) {
+                    panic!("invariant violated: {v}");
+                }
+            }
             let mut dominated = false;
             let mut comparisons = 0u64;
             let mut k = 0;
@@ -254,6 +296,8 @@ impl Operator for Bnl {
                         // Window replacement: the incumbent is dead.
                         self.window.swap_remove(k);
                         self.metrics.add_discarded();
+                        #[cfg(feature = "check-invariants")]
+                        self.audit.observe_discard();
                     }
                     DomRel::Equal | DomRel::Incomparable => k += 1,
                 }
@@ -261,6 +305,8 @@ impl Operator for Bnl {
             self.metrics.add_comparisons(comparisons);
             if dominated {
                 self.metrics.add_discarded();
+                #[cfg(feature = "check-invariants")]
+                self.audit.observe_discard();
                 continue;
             }
             if self.window.len() < self.capacity {
@@ -308,7 +354,10 @@ mod tests {
         RecordLayout::new(2, 4)
     }
 
-    fn run_bnl(rows: &[[i32; 2]], window_pages: usize) -> (Vec<Vec<i32>>, crate::metrics::MetricsSnapshot) {
+    fn run_bnl(
+        rows: &[[i32; 2]],
+        window_pages: usize,
+    ) -> (Vec<Vec<i32>>, crate::metrics::MetricsSnapshot) {
         let layout = layout2();
         let spec = SkylineSpec::max_all(2);
         let recs: Vec<Vec<u8>> = rows
@@ -354,9 +403,7 @@ mod tests {
 
     #[test]
     fn single_pass_matches_oracle() {
-        let rows: Vec<[i32; 2]> = (0..200)
-            .map(|i| [(i * 37) % 61, (i * 53) % 67])
-            .collect();
+        let rows: Vec<[i32; 2]> = (0..200).map(|i| [(i * 37) % 61, (i * 53) % 67]).collect();
         let (mut got, snap) = run_bnl(&rows, 10);
         got.sort();
         assert_eq!(got, oracle(&rows));
@@ -403,10 +450,7 @@ mod tests {
         let rows = [[5, 5], [5, 5], [1, 9], [1, 9], [0, 0]];
         let (mut got, _) = run_bnl(&rows, 2);
         got.sort();
-        assert_eq!(
-            got,
-            vec![vec![1, 9], vec![1, 9], vec![5, 5], vec![5, 5]]
-        );
+        assert_eq!(got, vec![vec![1, 9], vec![1, 9], vec![5, 5], vec![5, 5]]);
     }
 
     #[test]
@@ -460,5 +504,37 @@ mod tests {
             snap_bad.temp_records,
             snap_good.temp_records
         );
+    }
+}
+
+/// Violation-seeding tests for the BNL auditor
+/// (`cargo test --features check-invariants`).
+#[cfg(all(test, feature = "check-invariants"))]
+mod audit_tests {
+    use super::*;
+    use skyline_exec::{collect, MemSource};
+    use skyline_storage::MemDisk;
+
+    #[test]
+    fn multipass_run_is_clean_under_audit() {
+        // anti-correlated input through a 1-page window: several passes,
+        // emit-incomparability and whole-run accounting both audited.
+        let layout = RecordLayout::new(2, 4);
+        let spec = SkylineSpec::max_all(2);
+        let recs: Vec<Vec<u8>> = (0..2000)
+            .map(|i| layout.encode(&[i, 1999 - i], &[0; 4]))
+            .collect();
+        let src = Box::new(MemSource::new(recs, layout.record_size()));
+        let mut bnl = Bnl::new(
+            src,
+            layout,
+            spec,
+            1,
+            MemDisk::shared() as _,
+            SkylineMetrics::shared(),
+        )
+        .unwrap();
+        let out = collect(&mut bnl).unwrap();
+        assert_eq!(out.len(), 2000);
     }
 }

@@ -30,7 +30,13 @@ impl Spill {
     pub(crate) fn new(disk: Arc<dyn Disk>, record_size: usize) -> Self {
         let heap = HeapFile::create_temp(disk, record_size);
         let rpp = PAGE_SIZE / record_size;
-        Spill { heap, buf: Vec::with_capacity(rpp * record_size), buffered: 0, rpp, record_size }
+        Spill {
+            heap,
+            buf: Vec::with_capacity(rpp * record_size),
+            buffered: 0,
+            rpp,
+            record_size,
+        }
     }
 
     pub(crate) fn push(&mut self, record: &[u8]) {
@@ -94,7 +100,11 @@ impl KeyWindow {
         assert!(d > 0 && entry_bytes > 0 && entry_bytes <= PAGE_SIZE);
         let per_page = PAGE_SIZE / entry_bytes;
         let capacity = window_pages.saturating_mul(per_page).max(1);
-        KeyWindow { d, keys: Vec::new(), capacity }
+        KeyWindow {
+            d,
+            keys: Vec::new(),
+            capacity,
+        }
     }
 
     pub(crate) fn len(&self) -> usize {

@@ -92,6 +92,11 @@ pub struct Sfs {
     diff_cur: Option<Vec<i32>>,
     diff_scratch: Vec<i32>,
     opened: bool,
+    /// Per-DIFF-group dominance auditors (`check-invariants` builds only):
+    /// verify the presorted input contract, emitted-set incomparability
+    /// and per-pass record accounting at runtime.
+    #[cfg(feature = "check-invariants")]
+    auditors: std::collections::HashMap<Vec<i32>, crate::audit::StreamAuditor>,
 }
 
 impl Sfs {
@@ -141,7 +146,19 @@ impl Sfs {
             diff_cur: None,
             diff_scratch: Vec::new(),
             opened: false,
+            #[cfg(feature = "check-invariants")]
+            auditors: std::collections::HashMap::new(),
         })
+    }
+
+    /// The auditor of the current DIFF group (`check-invariants` only).
+    #[cfg(feature = "check-invariants")]
+    fn auditor(&mut self) -> &mut crate::audit::StreamAuditor {
+        let group = self.diff_cur.clone().unwrap_or_default();
+        let d = self.spec.dims();
+        self.auditors
+            .entry(group)
+            .or_insert_with(|| crate::audit::StreamAuditor::new(d, "external::Sfs", true))
     }
 
     /// Window capacity in entries (for tests and experiment reports).
@@ -180,6 +197,12 @@ impl Sfs {
 
     /// Handle end of a pass. Returns true when another pass begins.
     fn end_pass(&mut self) -> bool {
+        #[cfg(feature = "check-invariants")]
+        for aud in self.auditors.values_mut() {
+            if let Err(v) = aud.end_pass() {
+                panic!("invariant violated: {v}");
+            }
+        }
         if matches!(self.source, Source::Child) {
             self.child.close();
         }
@@ -208,7 +231,10 @@ impl Operator for Sfs {
         self.window.clear();
         self.spill = None;
         self.rest = if self.cfg.collect_rest {
-            Some(Spill::new(Arc::clone(&self.disk), self.layout.record_size()))
+            Some(Spill::new(
+                Arc::clone(&self.disk),
+                self.layout.record_size(),
+            ))
         } else {
             None
         };
@@ -248,6 +274,13 @@ impl Operator for Sfs {
             }
 
             self.spec.key_of(&self.layout, &self.cur, &mut self.key);
+            #[cfg(feature = "check-invariants")]
+            {
+                let key = self.key.clone();
+                if let Err(v) = self.auditor().observe_input(&key) {
+                    panic!("invariant violated: {v}");
+                }
+            }
             let (probe, comparisons) = if self.cfg.move_to_front {
                 self.window.probe_mtf(&self.key)
             } else {
@@ -257,6 +290,8 @@ impl Operator for Sfs {
             match probe {
                 Probe::Dominated => {
                     self.metrics.add_discarded();
+                    #[cfg(feature = "check-invariants")]
+                    self.auditor().observe_discard();
                     if let Some(rest) = &mut self.rest {
                         rest.push(&self.cur);
                     }
@@ -266,6 +301,13 @@ impl Operator for Sfs {
                     // Duplicate elimination: the key is already represented
                     // in the window; the tuple itself is still skyline.
                     self.metrics.add_emitted();
+                    #[cfg(feature = "check-invariants")]
+                    {
+                        let key = self.key.clone();
+                        if let Err(v) = self.auditor().observe_emit(&key) {
+                            panic!("invariant violated: {v}");
+                        }
+                    }
                     return Ok(Some(&self.cur));
                 }
                 Probe::Equal | Probe::Incomparable => {
@@ -277,11 +319,20 @@ impl Operator for Sfs {
                         });
                         spill.push(&self.cur);
                         self.metrics.add_temp_record();
+                        #[cfg(feature = "check-invariants")]
+                        self.auditor().observe_spill();
                         continue;
                     }
                     self.window.insert(&self.key);
                     self.metrics.add_window_insert();
                     self.metrics.add_emitted();
+                    #[cfg(feature = "check-invariants")]
+                    {
+                        let key = self.key.clone();
+                        if let Err(v) = self.auditor().observe_emit(&key) {
+                            panic!("invariant violated: {v}");
+                        }
+                    }
                     // Pipelined: a tuple entering the window is proven
                     // skyline and goes straight to the output.
                     return Ok(Some(&self.cur));
@@ -297,6 +348,8 @@ impl Operator for Sfs {
         self.rest = None;
         self.window.clear();
         self.opened = false;
+        #[cfg(feature = "check-invariants")]
+        self.auditors.clear();
     }
 
     fn record_size(&self) -> usize {
@@ -328,7 +381,12 @@ mod tests {
             .collect();
         let disk = MemDisk::shared();
         let src = Box::new(MemSource::new(recs, layout.record_size()));
-        let cmp = Arc::new(SkylineOrderCmp::new(layout, spec.clone(), SortOrder::Nested, None));
+        let cmp = Arc::new(SkylineOrderCmp::new(
+            layout,
+            spec.clone(),
+            SortOrder::Nested,
+            None,
+        ));
         let sorted = Box::new(ExternalSort::new(
             src,
             cmp,
@@ -380,9 +438,7 @@ mod tests {
 
     #[test]
     fn matches_in_memory_oracle() {
-        let rows: Vec<[i32; 2]> = (0..300)
-            .map(|i| [(i * 31) % 50, (i * 17) % 50])
-            .collect();
+        let rows: Vec<[i32; 2]> = (0..300).map(|i| [(i * 31) % 50, (i * 17) % 50]).collect();
         let km = KeyMatrix::from_rows(
             &rows
                 .iter()
@@ -455,8 +511,18 @@ mod tests {
         let recs: Vec<Vec<u8>> = rows.iter().map(|r| layout.encode(r, b"")).collect();
         let disk = MemDisk::shared();
         let src = Box::new(MemSource::new(recs, layout.record_size()));
-        let cmp = Arc::new(SkylineOrderCmp::new(layout, spec.clone(), SortOrder::Nested, None));
-        let sorted = Box::new(ExternalSort::new(src, cmp, Arc::clone(&disk) as _, SortBudget::pages(3)));
+        let cmp = Arc::new(SkylineOrderCmp::new(
+            layout,
+            spec.clone(),
+            SortOrder::Nested,
+            None,
+        ));
+        let sorted = Box::new(ExternalSort::new(
+            src,
+            cmp,
+            Arc::clone(&disk) as _,
+            SortBudget::pages(3),
+        ));
         let mut sfs = Sfs::new(
             sorted,
             layout,
@@ -477,10 +543,7 @@ mod tests {
         let layout = layout2();
         let spec = SkylineSpec::max_all(2);
         let rows = [[3, 3], [2, 2], [1, 1], [0, 9]];
-        let mut recs: Vec<Vec<u8>> = rows
-            .iter()
-            .map(|r| layout.encode(r, &[0; 4]))
-            .collect();
+        let mut recs: Vec<Vec<u8>> = rows.iter().map(|r| layout.encode(r, &[0; 4])).collect();
         let cmp = SkylineOrderCmp::new(layout, spec.clone(), SortOrder::Nested, None);
         recs.sort_by(|a, b| skyline_exec::RecordComparator::cmp(&cmp, a, b));
         let disk = MemDisk::shared();
@@ -525,10 +588,7 @@ mod tests {
             rows.push([i % 900, 45]);
         }
         let run = |mtf: bool| {
-            let mut recs: Vec<Vec<u8>> = rows
-                .iter()
-                .map(|r| layout.encode(r, &[0; 4]))
-                .collect();
+            let mut recs: Vec<Vec<u8>> = rows.iter().map(|r| layout.encode(r, &[0; 4])).collect();
             let cmp = SkylineOrderCmp::new(layout, spec.clone(), SortOrder::Nested, None);
             recs.sort_by(|a, b| skyline_exec::RecordComparator::cmp(&cmp, a, b));
             let disk = MemDisk::shared();
@@ -569,10 +629,7 @@ mod tests {
         let rows: Vec<[i32; 2]> = (0..1000).map(|i| [i % 37, i % 41]).collect();
         let layout = layout2();
         let spec = SkylineSpec::max_all(2);
-        let mut recs: Vec<Vec<u8>> = rows
-            .iter()
-            .map(|r| layout.encode(r, &[0; 4]))
-            .collect();
+        let mut recs: Vec<Vec<u8>> = rows.iter().map(|r| layout.encode(r, &[0; 4])).collect();
         let cmp = SkylineOrderCmp::new(layout, spec.clone(), SortOrder::Nested, None);
         recs.sort_by(|a, b| skyline_exec::RecordComparator::cmp(&cmp, a, b));
         let disk = MemDisk::shared();
@@ -593,5 +650,60 @@ mod tests {
         // the very first sorted tuple is skyline: zero comparisons needed
         assert_eq!(metrics.snapshot().comparisons, 0);
         sfs.close();
+    }
+}
+
+/// Violation-seeding tests: these only make sense when the auditor is
+/// compiled in (`cargo test --features check-invariants`).
+#[cfg(all(test, feature = "check-invariants"))]
+mod audit_tests {
+    use super::*;
+    use crate::score::{SkylineOrderCmp, SortOrder};
+    use skyline_exec::{collect, MemSource, RecordComparator};
+    use skyline_storage::MemDisk;
+
+    fn sfs_over(recs: Vec<Vec<u8>>, window_pages: usize) -> Sfs {
+        let layout = RecordLayout::new(2, 4);
+        let spec = SkylineSpec::max_all(2);
+        let src = Box::new(MemSource::new(recs, layout.record_size()));
+        Sfs::new(
+            src,
+            layout,
+            spec,
+            SfsConfig::new(window_pages),
+            MemDisk::shared() as _,
+            SkylineMetrics::shared(),
+        )
+        .unwrap()
+    }
+
+    fn encode(rows: &[[i32; 2]]) -> Vec<Vec<u8>> {
+        let layout = RecordLayout::new(2, 4);
+        rows.iter().map(|r| layout.encode(r, &[0; 4])).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "not a topological sort")]
+    fn scrambled_presort_stream_is_caught() {
+        // (1,1) before its dominator (2,2): the presort contract is
+        // broken, and the auditor must refuse to treat this as SFS input.
+        let mut sfs = sfs_over(encode(&[[1, 1], [2, 2]]), 10);
+        let _ = collect(&mut sfs);
+    }
+
+    #[test]
+    fn sorted_multipass_run_is_clean() {
+        // anti-correlated rows in a 1-page window: several spill passes,
+        // every invariant (order, incomparability, accounting) audited.
+        let mut rows: Vec<[i32; 2]> = (0..1500).map(|i| [i, 1499 - i]).collect();
+        let layout = RecordLayout::new(2, 4);
+        let spec = SkylineSpec::max_all(2);
+        let cmp = SkylineOrderCmp::new(layout, spec, SortOrder::Nested, None);
+        let mut recs = encode(&rows);
+        recs.sort_by(|a, b| RecordComparator::cmp(&cmp, a, b));
+        let mut sfs = sfs_over(recs, 1);
+        let out = collect(&mut sfs).unwrap();
+        rows.sort_unstable();
+        assert_eq!(out.len(), rows.len(), "everything is skyline");
     }
 }

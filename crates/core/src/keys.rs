@@ -16,7 +16,10 @@ impl KeyMatrix {
     /// any value is NaN (NaN breaks the dominance order).
     pub fn new(d: usize, data: Vec<f64>) -> Self {
         assert!(d > 0, "dimension must be positive");
-        assert!(data.len().is_multiple_of(d), "data length must be a multiple of d");
+        assert!(
+            data.len().is_multiple_of(d),
+            "data length must be a multiple of d"
+        );
         assert!(data.iter().all(|v| !v.is_nan()), "keys must not be NaN");
         KeyMatrix { d, data }
     }

@@ -33,6 +33,7 @@
 
 pub mod algebra;
 pub mod algo;
+pub mod audit;
 pub mod builder;
 pub mod cardinality;
 pub mod dominance;
@@ -55,4 +56,5 @@ pub use dominance::{dom_rel, dominates, Criterion, Direction, DomRel, SkylineSpe
 pub use external::{Bnl, Sfs, SfsConfig};
 pub use keys::KeyMatrix;
 pub use metrics::{MetricsSnapshot, SkylineMetrics};
+pub use par::{parallel_skyline, ParError};
 pub use score::{EntropyScore, LinearScore, MonotoneScore, SkylineOrderCmp, SortOrder};

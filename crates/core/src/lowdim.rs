@@ -25,7 +25,10 @@ pub fn skyline_1d(keys: &KeyMatrix) -> AlgoResult {
         best = best.max(keys.row(i)[0]);
     }
     let indices = (0..keys.n()).filter(|&i| keys.row(i)[0] == best).collect();
-    AlgoResult { indices, comparisons: keys.n() as u64 }
+    AlgoResult {
+        indices,
+        comparisons: keys.n() as u64,
+    }
 }
 
 /// 2-D skyline in `O(n log n)`: sort by `(x desc, y desc)`; within each
@@ -61,7 +64,10 @@ pub fn skyline_2d(keys: &KeyMatrix) -> AlgoResult {
         best_y = best_y.max(group_max_y);
         g = h;
     }
-    AlgoResult { indices, comparisons }
+    AlgoResult {
+        indices,
+        comparisons,
+    }
 }
 
 /// The 3-D staircase: maximal `(y, z)` pairs kept sorted by `y`
@@ -154,7 +160,10 @@ pub fn skyline_3d(keys: &KeyMatrix) -> AlgoResult {
         }
         g = h;
     }
-    AlgoResult { indices, comparisons }
+    AlgoResult {
+        indices,
+        comparisons,
+    }
 }
 
 /// Dimension-dispatching skyline: 1-D/2-D/3-D specials, SFS otherwise.
@@ -203,7 +212,9 @@ mod tests {
 
     #[test]
     fn two_d_anticorrelated_line() {
-        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i), f64::from(49 - i)]).collect();
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![f64::from(i), f64::from(49 - i)])
+            .collect();
         check(&rows);
     }
 

@@ -60,7 +60,11 @@ impl SkylineCache {
     /// Panics if `d == 0`.
     pub fn new(d: usize) -> Self {
         assert!(d > 0);
-        SkylineCache { d, keys: Vec::new(), ids: Vec::new() }
+        SkylineCache {
+            d,
+            keys: Vec::new(),
+            ids: Vec::new(),
+        }
     }
 
     /// Build from a full dataset (ids paired with oriented key rows).
@@ -291,11 +295,7 @@ mod tests {
         // compare against recompute-from-scratch
         let rows: Vec<Vec<f64>> = alive.iter().map(|(_, k)| k.clone()).collect();
         let km = KeyMatrix::from_rows(&rows);
-        let mut expect: Vec<u64> = naive(&km)
-            .indices
-            .iter()
-            .map(|&i| alive[i].0)
-            .collect();
+        let mut expect: Vec<u64> = naive(&km).indices.iter().map(|&i| alive[i].0).collect();
         expect.sort_unstable();
         assert_eq!(ids_sorted(&cache), expect);
     }

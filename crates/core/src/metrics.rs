@@ -90,7 +90,7 @@ impl SkylineMetrics {
 }
 
 /// Immutable copy of [`SkylineMetrics`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Dominance comparisons performed.
     pub comparisons: u64,

@@ -10,19 +10,71 @@
 //! divide-and-conquer discussion, and the merge uses the same presorted
 //! filter as everything else.
 
-use crate::algo::{sfs, sfs_presorted, MemSortOrder, presort_indices};
+use crate::algo::{presort_indices, sfs, sfs_presorted, MemSortOrder};
 use crate::keys::KeyMatrix;
+use std::fmt;
 
-/// Compute the skyline of `keys` using up to `threads` worker threads.
+/// Errors from [`parallel_skyline`].
+#[derive(Debug)]
+pub enum ParError {
+    /// A worker thread panicked; the payload's message, when it was a
+    /// string, is preserved.
+    WorkerPanicked {
+        /// Panic message of the failed worker, if one could be extracted.
+        message: Option<String>,
+    },
+}
+
+impl fmt::Display for ParError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParError::WorkerPanicked { message: Some(m) } => {
+                write!(f, "parallel skyline worker panicked: {m}")
+            }
+            ParError::WorkerPanicked { message: None } => {
+                write!(f, "parallel skyline worker panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+}
+
+/// Resolve a caller-supplied thread count: 0 means "use the machine",
+/// anything else is clamped to `1..=64`.
+fn effective_threads(threads: usize) -> usize {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    threads.clamp(1, 64)
+}
+
+/// Compute the skyline of `keys` using up to `threads` worker threads
+/// (`0` = one per available core, via `std::thread::available_parallelism`).
 /// Returns indices into `keys` (sorted ascending). Falls back to
 /// single-threaded SFS for small inputs.
-pub fn parallel_skyline(keys: &KeyMatrix, threads: usize) -> Vec<usize> {
+///
+/// # Errors
+/// Returns [`ParError::WorkerPanicked`] if any worker thread panicked;
+/// the skyline for the unaffected partitions is discarded.
+pub fn parallel_skyline(keys: &KeyMatrix, threads: usize) -> Result<Vec<usize>, ParError> {
     let n = keys.n();
-    let threads = threads.clamp(1, 64);
+    let threads = effective_threads(threads);
     if threads == 1 || n < 4 * threads || n < 1024 {
         let mut idx = sfs(keys, MemSortOrder::Entropy).indices;
         idx.sort_unstable();
-        return idx;
+        #[cfg(feature = "check-invariants")]
+        crate::audit::assert_pairwise_incomparable(keys, &idx, "parallel_skyline/sequential");
+        return Ok(idx);
     }
     let chunk = n.div_ceil(threads);
     let locals: Vec<Vec<usize>> = std::thread::scope(|scope| {
@@ -43,8 +95,15 @@ pub fn parallel_skyline(keys: &KeyMatrix, threads: usize) -> Vec<usize> {
                     .collect::<Vec<usize>>()
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().map_err(|payload| ParError::WorkerPanicked {
+                    message: panic_message(payload),
+                })
+            })
+            .collect::<Result<_, _>>()
+    })?;
 
     // merge: skyline of the union of local skylines
     let union: Vec<usize> = locals.into_iter().flatten().collect();
@@ -56,7 +115,9 @@ pub fn parallel_skyline(keys: &KeyMatrix, threads: usize) -> Vec<usize> {
         .map(|local| union[local])
         .collect();
     out.sort_unstable();
-    out
+    #[cfg(feature = "check-invariants")]
+    crate::audit::assert_pairwise_incomparable(keys, &out, "parallel_skyline/merge");
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -69,10 +130,14 @@ mod tests {
         KeyMatrix::new(d, WorkloadSpec::paper(n, seed).generate_keys(d))
     }
 
+    fn par(km: &KeyMatrix, threads: usize) -> Vec<usize> {
+        parallel_skyline(km, threads).expect("no worker should panic")
+    }
+
     #[test]
     fn matches_oracle_small() {
         let km = uniform(500, 4, 9);
-        assert_eq!(parallel_skyline(&km, 4), naive(&km).sorted().indices);
+        assert_eq!(par(&km, 4), naive(&km).sorted().indices);
     }
 
     #[test]
@@ -81,7 +146,7 @@ mod tests {
         let mut seq = sfs(&km, MemSortOrder::Entropy).indices;
         seq.sort_unstable();
         for threads in [1, 2, 3, 8] {
-            assert_eq!(parallel_skyline(&km, threads), seq, "threads={threads}");
+            assert_eq!(par(&km, threads), seq, "threads={threads}");
         }
     }
 
@@ -92,21 +157,29 @@ mod tests {
         rows[10] = vec![9.0, 9.0];
         rows[4990] = vec![9.0, 9.0];
         let km = KeyMatrix::from_rows(&rows);
-        let got = parallel_skyline(&km, 4);
+        let got = par(&km, 4);
         assert_eq!(got, vec![10, 4990]);
     }
 
     #[test]
     fn degenerate_thread_counts() {
         let km = uniform(2_000, 3, 11);
-        let expect = parallel_skyline(&km, 1);
-        assert_eq!(parallel_skyline(&km, 0), expect); // clamped to 1
-        assert_eq!(parallel_skyline(&km, 1000), expect); // clamped to 64
+        let expect = par(&km, 1);
+        assert_eq!(par(&km, 0), expect); // auto-detected parallelism
+        assert_eq!(par(&km, 1000), expect); // clamped to 64
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let auto = std::thread::available_parallelism().map_or(1, |p| p.get());
+        assert_eq!(effective_threads(0), auto.clamp(1, 64));
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(1000), 64);
     }
 
     #[test]
     fn empty_input() {
         let km = KeyMatrix::new(3, vec![]);
-        assert!(parallel_skyline(&km, 4).is_empty());
+        assert!(par(&km, 4).is_empty());
     }
 }

@@ -177,7 +177,15 @@ pub fn budgeted_skyline_plan(
 ) -> Result<BudgetedSkyline, ExecError> {
     let sorted = {
         let _sort_lease = pool.reserve(sort_pages)?;
-        let mut sorted = presort(heap, layout, spec.clone(), order, entropy, sort_pages, Arc::clone(&disk))?;
+        let mut sorted = presort(
+            heap,
+            layout,
+            spec.clone(),
+            order,
+            entropy,
+            sort_pages,
+            Arc::clone(&disk),
+        )?;
         sorted.mark_temp();
         sorted
         // sort lease released here: the paper treats sort and filter as
@@ -193,7 +201,11 @@ pub fn budgeted_skyline_plan(
         disk,
         Arc::clone(&metrics),
     )?;
-    Ok(BudgetedSkyline { sfs, metrics, _window_lease: window_lease })
+    Ok(BudgetedSkyline {
+        sfs,
+        metrics,
+        _window_lease: window_lease,
+    })
 }
 
 /// Load records into a fresh heap file (workload setup).
@@ -218,7 +230,11 @@ mod tests {
     fn oracle_count(records: &[Vec<u8>], layout: &RecordLayout, d: usize) -> usize {
         let mut rows = Vec::with_capacity(records.len());
         for r in records {
-            rows.push((0..d).map(|i| f64::from(layout.attr(r, i))).collect::<Vec<_>>());
+            rows.push(
+                (0..d)
+                    .map(|i| f64::from(layout.attr(r, i)))
+                    .collect::<Vec<_>>(),
+            );
         }
         algo::naive(&KeyMatrix::from_rows(&rows)).indices.len()
     }

@@ -45,7 +45,12 @@ impl PreferenceIndex {
         } else {
             skyband(&keys, k_max)
         };
-        PreferenceIndex { skyline, band, k_max, keys }
+        PreferenceIndex {
+            skyline,
+            band,
+            k_max,
+            keys,
+        }
     }
 
     /// The skyline row indices (ascending).
@@ -62,16 +67,13 @@ impl PreferenceIndex {
     /// skyline (Lemma 2 guarantees the answer is there). Ties broken by
     /// lower row index. `None` on an empty relation.
     pub fn best<S: MonotoneScore + ?Sized>(&self, score: &S) -> Option<usize> {
-        self.skyline
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                score
-                    .score(self.keys.row(a))
-                    .partial_cmp(&score.score(self.keys.row(b)))
-                    .expect("scores are never NaN")
-                    .then(b.cmp(&a)) // prefer the lower index on ties
-            })
+        self.skyline.iter().copied().max_by(|&a, &b| {
+            score
+                .score(self.keys.row(a))
+                .partial_cmp(&score.score(self.keys.row(b)))
+                .expect("scores are never NaN")
+                .then(b.cmp(&a)) // prefer the lower index on ties
+        })
     }
 
     /// The top-`k` rows under a monotone scoring, best first — scanning
@@ -180,11 +182,7 @@ mod tests {
 
     #[test]
     fn duplicates_handled() {
-        let km = KeyMatrix::from_rows(&[
-            vec![5.0, 5.0],
-            vec![5.0, 5.0],
-            vec![1.0, 1.0],
-        ]);
+        let km = KeyMatrix::from_rows(&[vec![5.0, 5.0], vec![5.0, 5.0], vec![1.0, 1.0]]);
         let idx = PreferenceIndex::build(km, 2);
         let s = LinearScore::new(vec![1.0, 1.0]);
         assert_eq!(idx.best(&s), Some(0), "lower index wins ties");

@@ -40,7 +40,10 @@ impl EntropyScore {
     /// # Panics
     /// Panics if `stats` covers no dimensions.
     pub fn new(stats: TableStats) -> Self {
-        assert!(stats.dims() > 0, "entropy score needs at least one dimension");
+        assert!(
+            stats.dims() > 0,
+            "entropy score needs at least one dimension"
+        );
         EntropyScore { stats }
     }
 
@@ -142,7 +145,7 @@ pub fn nested_desc(a: &[f64], b: &[f64]) -> Ordering {
 }
 
 /// Which monotone order the presort uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SortOrder {
     /// Nested `ORDER BY a₁ DESC, …, a_k DESC` (basic SFS).
     Nested,
@@ -183,7 +186,12 @@ impl SkylineOrderCmp {
         if matches!(order, SortOrder::Entropy | SortOrder::ReverseEntropy) {
             assert!(entropy.is_some(), "entropy order requires table stats");
         }
-        SkylineOrderCmp { layout, spec, order, entropy }
+        SkylineOrderCmp {
+            layout,
+            spec,
+            order,
+            entropy,
+        }
     }
 
     #[inline]
@@ -279,7 +287,11 @@ impl PreferenceCmp {
         spec: SkylineSpec,
         score: std::sync::Arc<dyn MonotoneScore>,
     ) -> Self {
-        PreferenceCmp { layout, spec, score }
+        PreferenceCmp {
+            layout,
+            spec,
+            score,
+        }
     }
 }
 
@@ -290,7 +302,9 @@ impl RecordComparator for PreferenceCmp {
         }
         let mut key = Vec::with_capacity(self.spec.dims());
         self.spec.key_of(&self.layout, record, &mut key);
-        Some(skyline_exec::sort::f64_descending_bits(self.score.score(&key)))
+        Some(skyline_exec::sort::f64_descending_bits(
+            self.score.score(&key),
+        ))
     }
 
     fn cmp(&self, a: &[u8], b: &[u8]) -> Ordering {
@@ -339,10 +353,7 @@ mod tests {
             for w2 in [0.1, 0.5, 1.0, 2.0, 10.0] {
                 let s = LinearScore::new(vec![w1, w2]);
                 let scores: Vec<f64> = ks.iter().map(|k| s.score(k)).collect();
-                let best = scores
-                    .iter()
-                    .cloned()
-                    .fold(f64::NEG_INFINITY, f64::max);
+                let best = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 assert!(
                     scores[1] < best || scores[0] >= scores[1] || scores[2] >= scores[1],
                     "(2,2) must never be the unique maximum"
@@ -360,9 +371,7 @@ mod tests {
         // as 0.2-based coordinates): f_i jumps by k when v ≥ t[i].
         let k = 2.0;
         let t = [0.2, 0.2];
-        let mk = move |ti: f64| {
-            move |v: f64| if v < ti { v } else { k + v }
-        };
+        let mk = move |ti: f64| move |v: f64| if v < ti { v } else { k + v };
         let s = ComposedScore::new(vec![Box::new(mk(t[0])), Box::new(mk(t[1]))]);
         let pts = [[0.4, 0.1], [0.2, 0.2], [0.1, 0.4]];
         let scores: Vec<f64> = pts.iter().map(|p| s.score(p)).collect();
@@ -473,7 +482,11 @@ mod tests {
             .map(|i| layout.encode(&[(i * 37) % 23 - 11, (i * 53) % 19, (i * 7) % 29], b""))
             .collect();
         let stats = oriented_stats(&layout, &spec, recs.iter().map(Vec::as_slice));
-        for order in [SortOrder::Nested, SortOrder::Entropy, SortOrder::ReverseEntropy] {
+        for order in [
+            SortOrder::Nested,
+            SortOrder::Entropy,
+            SortOrder::ReverseEntropy,
+        ] {
             let cmp = SkylineOrderCmp::new(
                 layout,
                 spec.clone(),

@@ -14,8 +14,8 @@
 //!   top-k answer of every monotone scoring function, extending the
 //!   paper's Theorem 5 view from "best" to "top-k").
 
-use crate::keys::KeyMatrix;
 use crate::dominance::dominates;
+use crate::keys::KeyMatrix;
 
 /// Exact dominance number `dn(row)` — how many rows each row properly
 /// dominates. `O(n²)`.
@@ -137,9 +137,7 @@ mod tests {
         let band = skyband(&m, k);
         let e = EntropyScore::from_keys(m.data(), 2);
         let mut by_score: Vec<usize> = (0..m.n()).collect();
-        by_score.sort_by(|&a, &b| {
-            e.score(m.row(b)).partial_cmp(&e.score(m.row(a))).unwrap()
-        });
+        by_score.sort_by(|&a, &b| e.score(m.row(b)).partial_cmp(&e.score(m.row(a))).unwrap());
         for &i in &by_score[..k as usize] {
             // a top-k row is dominated by fewer than k rows: each strict
             // dominator scores strictly higher

@@ -79,7 +79,10 @@ pub fn strata_external(
             _ => break,
         }
     }
-    Ok(StrataResult { strata, metrics: metrics.snapshot() })
+    Ok(StrataResult {
+        strata,
+        metrics: metrics.snapshot(),
+    })
 }
 
 /// Label **every** tuple with its stratum number (the §6 future-work
@@ -207,6 +210,78 @@ mod tests {
             expect.sort();
             assert_eq!(got, expect, "stratum {s}");
         }
+    }
+
+    /// Stratum `s` must be the naive-oracle skyline of whatever is left
+    /// after removing strata `0..s` — checked for the external operator
+    /// on randomized integer workloads.
+    #[test]
+    fn external_strata_match_iterated_naive_oracle() {
+        skyline_testkit::cases(6, 0x57A7_0001, |rng| {
+            let d = 2 + rng.usize_below(2); // 2..=3
+            let n = 20 + rng.usize_below(100);
+            let layout = RecordLayout::new(d, 0);
+            let recs: Vec<Vec<u8>> = (0..n)
+                .map(|_| {
+                    let attrs: Vec<i32> = (0..d).map(|_| rng.i32_inclusive(0, 15)).collect();
+                    layout.encode(&attrs, b"")
+                })
+                .collect();
+            let rows: Vec<Vec<f64>> = recs
+                .iter()
+                .map(|r| (0..d).map(|i| f64::from(layout.attr(r, i))).collect())
+                .collect();
+            let km = KeyMatrix::from_rows(&rows);
+
+            let disk = MemDisk::shared();
+            let heap = Arc::new(load_heap(
+                Arc::clone(&disk) as _,
+                layout.record_size(),
+                recs.iter().map(Vec::as_slice),
+            ));
+            let res = strata_external(
+                heap,
+                layout,
+                &SkylineSpec::max_all(d),
+                3,
+                2,
+                50,
+                SortOrder::Nested,
+                None,
+                Arc::clone(&disk) as _,
+            )
+            .unwrap();
+
+            let mut remaining: Vec<usize> = (0..n).collect();
+            for (s, file) in res.strata.iter().enumerate() {
+                let sub = km.select(&remaining);
+                let mut expect: Vec<Vec<i32>> = algo::naive(&sub)
+                    .indices
+                    .iter()
+                    .map(|&i| rows[remaining[i]].iter().map(|&v| v as i32).collect())
+                    .collect();
+                expect.sort();
+                let mut got: Vec<Vec<i32>> = file
+                    .read_all()
+                    .iter()
+                    .map(|r| layout.decode_attrs(r)[..d].to_vec())
+                    .collect();
+                got.sort();
+                assert_eq!(got, expect, "stratum {s} disagrees with iterated oracle");
+                // remove one matching row index per emitted stratum row
+                // (duplicates: remove exactly as many as were emitted)
+                let mut emitted = got.clone();
+                remaining.retain(|&i| {
+                    let row: Vec<i32> = rows[i].iter().map(|&v| v as i32).collect();
+                    if let Some(p) = emitted.iter().position(|e| *e == row) {
+                        emitted.swap_remove(p);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        });
     }
 
     #[test]

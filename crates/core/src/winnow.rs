@@ -119,9 +119,7 @@ pub fn winnow<P: Preference>(keys: &KeyMatrix, pref: &P) -> (Vec<usize>, u64) {
 /// Naive winnow oracle: O(n²) direct application of the definition.
 pub fn winnow_naive<P: Preference>(keys: &KeyMatrix, pref: &P) -> Vec<usize> {
     (0..keys.n())
-        .filter(|&i| {
-            !(0..keys.n()).any(|j| j != i && pref.prefers(keys.row(j), keys.row(i)))
-        })
+        .filter(|&i| !(0..keys.n()).any(|j| j != i && pref.prefers(keys.row(j), keys.row(i))))
         .collect()
 }
 

@@ -49,7 +49,11 @@ mod tests {
         assert!(e.to_string().contains("next before open"));
         let e = ExecError::Config("bad".into());
         assert!(e.to_string().contains("bad"));
-        let e: ExecError = BufferError::Exhausted { requested: 5, available: 1 }.into();
+        let e: ExecError = BufferError::Exhausted {
+            requested: 5,
+            available: 1,
+        }
+        .into();
         assert!(e.to_string().contains("requested 5"));
     }
 }

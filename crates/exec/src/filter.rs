@@ -26,7 +26,11 @@ pub struct Filter {
 impl Filter {
     /// Filter `child` by `pred`.
     pub fn new(child: BoxedOperator, pred: RecordPredicate) -> Self {
-        Filter { child, pred, buf: Vec::new() }
+        Filter {
+            child,
+            pred,
+            buf: Vec::new(),
+        }
     }
 }
 

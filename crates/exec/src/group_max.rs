@@ -70,7 +70,6 @@ impl GroupMax {
             input_done: false,
         })
     }
-
 }
 
 impl Operator for GroupMax {
@@ -149,7 +148,12 @@ mod tests {
     use super::*;
     use crate::op::{collect, MemSource};
 
-    fn run(layout: RecordLayout, rows: Vec<Vec<i32>>, group: Vec<usize>, max: usize) -> Vec<Vec<i32>> {
+    fn run(
+        layout: RecordLayout,
+        rows: Vec<Vec<i32>>,
+        group: Vec<usize>,
+        max: usize,
+    ) -> Vec<Vec<i32>> {
         let recs: Vec<Vec<u8>> = rows.iter().map(|r| layout.encode(r, &[])).collect();
         let src = Box::new(MemSource::new(recs, layout.record_size()));
         let mut g = GroupMax::new(src, layout, group, max).unwrap();

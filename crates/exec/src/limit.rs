@@ -20,7 +20,12 @@ pub struct Limit {
 impl Limit {
     /// Pass through at most `n` records of `child`.
     pub fn new(child: BoxedOperator, n: u64) -> Self {
-        Limit { child, n, emitted: 0, exhausted: false }
+        Limit {
+            child,
+            n,
+            emitted: 0,
+            exhausted: false,
+        }
     }
 }
 

@@ -87,13 +87,19 @@ pub struct IndexScan {
 impl IndexScan {
     /// Scan `tree` front to back in key order.
     pub fn new(tree: Arc<skyline_storage::BTree>, record_size: usize) -> Self {
-        IndexScan { tree, scan: None, record_size }
+        IndexScan {
+            tree,
+            scan: None,
+            record_size,
+        }
     }
 }
 
 impl Operator for IndexScan {
     fn open(&mut self) -> Result<(), ExecError> {
-        self.scan = Some(skyline_storage::SharedBTreeScan::new(Arc::clone(&self.tree)));
+        self.scan = Some(skyline_storage::SharedBTreeScan::new(Arc::clone(
+            &self.tree,
+        )));
         Ok(())
     }
 
@@ -133,7 +139,12 @@ impl MemSource {
         for r in &records {
             assert_eq!(r.len(), record_size, "record size mismatch");
         }
-        MemSource { records, record_size, pos: 0, opened: false }
+        MemSource {
+            records,
+            record_size,
+            pos: 0,
+            opened: false,
+        }
     }
 }
 

@@ -46,7 +46,14 @@ impl Project {
             attr_map.len(),
             if keep_payload { in_layout.payload } else { 0 },
         );
-        Ok(Project { child, in_layout, out_layout, attr_map, keep_payload, buf: Vec::new() })
+        Ok(Project {
+            child,
+            in_layout,
+            out_layout,
+            attr_map,
+            keep_payload,
+            buf: Vec::new(),
+        })
     }
 
     /// The output layout.

@@ -26,8 +26,10 @@ pub trait RecordComparator: Send + Sync {
     /// Optional decorate-sort-undecorate key: a 64-bit value computed
     /// once per record whose **ascending** order refines the comparator —
     /// `prefix_key(a) < prefix_key(b)` must imply `cmp(a, b) == Less`
-    /// (equal keys fall back to `cmp`). Implementations must return
-    /// `Some` for every record or `None` for every record.
+    /// (equal keys fall back to `cmp`). Implementations should return
+    /// `Some` for every record or `None` for every record; a comparator
+    /// that stops offering keys mid-stream demotes the sort to pure
+    /// comparisons (correct, just slower) rather than aborting.
     ///
     /// This is how the paper's entropy sort wins over the nested sort:
     /// "sorting on a single attribute (the tuples' E value, computed
@@ -99,7 +101,11 @@ enum SortState {
     /// Not opened yet.
     Idle,
     /// Whole input fit in memory; stream from the sorted arena.
-    InMemory { arena: Vec<u8>, order: Vec<u32>, pos: usize },
+    InMemory {
+        arena: Vec<u8>,
+        order: Vec<u32>,
+        pos: usize,
+    },
     /// Streaming the final k-way merge.
     Merging(KWayMerge),
 }
@@ -155,18 +161,16 @@ impl ExternalSort {
         let rs = self.record_size;
         let rec = |i: u32| &arena[i as usize * rs..i as usize * rs + rs];
         // decorate-sort-undecorate when the comparator offers prefix keys
-        let keyed = n > 0 && self.cmp.prefix_key(rec(0)).is_some();
-        if keyed {
-            let keys: Vec<u64> = (0..n as u32)
-                .map(|i| self.cmp.prefix_key(rec(i)).expect("keys for all records"))
-                .collect();
-            order.sort_unstable_by(|&a, &b| {
+        // for every record; a comparator that stops offering them midway
+        // just loses the fast path (collect short-circuits on first None)
+        let keys: Option<Vec<u64>> = (0..n as u32).map(|i| self.cmp.prefix_key(rec(i))).collect();
+        match keys {
+            Some(keys) => order.sort_unstable_by(|&a, &b| {
                 keys[a as usize]
                     .cmp(&keys[b as usize])
                     .then_with(|| self.cmp.cmp(rec(a), rec(b)))
-            });
-        } else {
-            order.sort_unstable_by(|&a, &b| self.cmp.cmp(rec(a), rec(b)));
+            }),
+            None => order.sort_unstable_by(|&a, &b| self.cmp.cmp(rec(a), rec(b))),
         }
         order
     }
@@ -224,7 +228,11 @@ impl Operator for ExternalSort {
         if runs.is_empty() {
             // Everything fit: no spill at all.
             let order = self.sort_arena(&arena);
-            self.state = SortState::InMemory { arena, order, pos: 0 };
+            self.state = SortState::InMemory {
+                arena,
+                order,
+                pos: 0,
+            };
             return Ok(());
         }
         if !arena.is_empty() {
@@ -346,21 +354,50 @@ impl KWayMerge {
         }
     }
 
+    /// The prefix key for `bytes`, or 0 after [`Self::degrade_keys`].
+    /// A comparator that stops offering keys mid-stream (contract
+    /// breach) demotes the whole merge to pure-comparison order rather
+    /// than aborting or mis-sorting.
+    fn key_of(&mut self, bytes: &[u8]) -> u64 {
+        if !self.use_keys {
+            return 0;
+        }
+        match self.cmp.prefix_key(bytes) {
+            Some(k) => k,
+            None => {
+                self.degrade_keys();
+                0
+            }
+        }
+    }
+
+    /// Zero every heap key and re-heapify under pure `cmp` order.
+    fn degrade_keys(&mut self) {
+        self.use_keys = false;
+        for e in &mut self.heap {
+            e.0 = 0;
+        }
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i);
+        }
+    }
+
     fn prime(&mut self) {
         for idx in 0..self.scanners.len() {
             let mut buf = Vec::new();
-            let (key, got) = match self.scanners[idx].next_record() {
+            let got = match self.scanners[idx].next_record() {
                 Some(r) => {
-                    if idx == 0 || self.heap.is_empty() {
-                        // probe once whether the comparator offers keys
-                        self.use_keys = self.cmp.prefix_key(r).is_some();
-                    }
                     buf.extend_from_slice(r);
-                    (if self.use_keys { self.cmp.prefix_key(r).expect("keys") } else { 0 }, true)
+                    true
                 }
-                None => (0, false),
+                None => false,
             };
             if got {
+                if self.heap.is_empty() {
+                    // probe once whether the comparator offers keys
+                    self.use_keys = self.cmp.prefix_key(&buf).is_some();
+                }
+                let key = self.key_of(&buf);
                 self.heap.push((key, buf, idx));
                 let last = self.heap.len() - 1;
                 self.sift_up(last);
@@ -382,19 +419,22 @@ impl KWayMerge {
             (std::mem::take(&mut top.1), top.2)
         };
         self.out = bytes;
-        let use_keys = self.use_keys;
-        let cmp = Arc::clone(&self.cmp);
         match self.scanners[idx].next_record() {
             Some(r) => {
-                let key = if use_keys {
-                    cmp.prefix_key(r).expect("keys for all records")
-                } else {
-                    0
-                };
                 let top = &mut self.heap[0];
-                top.0 = key;
                 top.1.clear();
                 top.1.extend_from_slice(r);
+                let key = if self.use_keys {
+                    self.cmp.prefix_key(&self.heap[0].1)
+                } else {
+                    Some(0)
+                };
+                match key {
+                    Some(k) => self.heap[0].0 = k,
+                    // degradation zeroes every key (incl. this one) and
+                    // re-heapifies under pure cmp order
+                    None => self.degrade_keys(),
+                }
                 self.sift_down(0);
             }
             None => {
@@ -474,6 +514,41 @@ mod tests {
     }
 
     #[test]
+    fn comparator_that_drops_prefix_keys_midway_still_sorts() {
+        // Contract breach: prefix keys for most records, None for some.
+        // The sort must degrade to pure comparisons, never abort or
+        // mis-sort — multi-run budget so KWayMerge degrades too.
+        struct Flaky;
+        impl RecordComparator for Flaky {
+            fn cmp(&self, a: &[u8], b: &[u8]) -> Ordering {
+                a.cmp(b)
+            }
+            fn prefix_key(&self, r: &[u8]) -> Option<u64> {
+                // refines lexicographic order when offered at all
+                if r[0].is_multiple_of(5) {
+                    None
+                } else {
+                    Some(u64::from(r[0]))
+                }
+            }
+        }
+        let recs = mk_records(800, 32, 13);
+        let mut expect = recs.clone();
+        expect.sort();
+        let disk = MemDisk::shared();
+        let src = Box::new(MemSource::new(recs, 32));
+        let mut sort = ExternalSort::new(
+            src,
+            Arc::new(Flaky),
+            Arc::clone(&disk) as _,
+            SortBudget::pages(3),
+        );
+        let out = collect(&mut sort).unwrap();
+        assert_eq!(out, expect);
+        assert!(sort.runs_written() > 1, "must exercise the merge path");
+    }
+
+    #[test]
     fn sorted_input_stays_sorted() {
         let mut recs = mk_records(500, 8, 9);
         recs.sort();
@@ -533,7 +608,11 @@ mod tests {
         let mut sort = ExternalSort::new(src, asc(), Arc::clone(&disk) as _, SortBudget::pages(3));
         let _ = collect(&mut sort).unwrap();
         let delta = disk.stats().snapshot().since(&before);
-        assert!(delta.writes > 30, "run + merge writes expected, got {}", delta.writes);
+        assert!(
+            delta.writes > 30,
+            "run + merge writes expected, got {}",
+            delta.writes
+        );
         assert!(delta.reads > 30);
     }
 }

@@ -52,7 +52,11 @@ impl SelectItem {
     pub fn output_name(&self) -> String {
         match self {
             SelectItem::Column { name, alias } => alias.clone().unwrap_or_else(|| name.clone()),
-            SelectItem::Aggregate { func, column, alias } => alias
+            SelectItem::Aggregate {
+                func,
+                column,
+                alias,
+            } => alias
                 .clone()
                 .unwrap_or_else(|| format!("{}({column})", func.name())),
         }

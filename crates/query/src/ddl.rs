@@ -11,8 +11,8 @@
 //! assert_eq!(cat.get("pts").unwrap().len(), 2);
 //! ```
 
-use crate::error::QueryError;
 use crate::catalog::Catalog;
+use crate::error::QueryError;
 use crate::token::{tokenize, Sym, Token, TokenKind};
 use skyline_relation::{Column, ColumnType, Schema, Table, Tuple, Value};
 
@@ -145,7 +145,10 @@ impl P {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, QueryError> {
-        Err(QueryError::Parse { pos: self.tokens[self.pos].pos, msg: msg.into() })
+        Err(QueryError::Parse {
+            pos: self.tokens[self.pos].pos,
+            msg: msg.into(),
+        })
     }
 
     fn expect_word(&mut self, w: &str) -> Result<(), QueryError> {
@@ -244,8 +247,7 @@ impl P {
     fn literal(&mut self) -> Result<Value, QueryError> {
         match self.bump() {
             TokenKind::Int(i) => Ok(Value::Int(i)),
-            TokenKind::Float(f) => Value::float(f)
-                .map_err(|e| QueryError::Semantic(e.to_string())),
+            TokenKind::Float(f) => Value::float(f).map_err(|e| QueryError::Semantic(e.to_string())),
             TokenKind::Str(s) => Ok(Value::Str(s)),
             TokenKind::Keyword(k) if k == "NULL" => Ok(Value::Null),
             other => self.err(format!("expected literal, found {other:?}")),

@@ -47,8 +47,13 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = QueryError::Parse { pos: 3, msg: "expected FROM".into() };
+        let e = QueryError::Parse {
+            pos: 3,
+            msg: "expected FROM".into(),
+        };
         assert!(e.to_string().contains("byte 3"));
-        assert!(QueryError::NoSuchTable("t".into()).to_string().contains("t"));
+        assert!(QueryError::NoSuchTable("t".into())
+            .to_string()
+            .contains("t"));
     }
 }

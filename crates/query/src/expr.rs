@@ -11,12 +11,10 @@ use std::cmp::Ordering;
 /// unknown columns so execution can't panic later.
 pub fn validate(expr: &Expr, schema: &Schema) -> Result<(), QueryError> {
     match expr {
-        Expr::Column(name) => {
-            schema
-                .index_of(name)
-                .map(|_| ())
-                .ok_or_else(|| QueryError::NoSuchColumn(name.clone()))
-        }
+        Expr::Column(name) => schema
+            .index_of(name)
+            .map(|_| ())
+            .ok_or_else(|| QueryError::NoSuchColumn(name.clone())),
         Expr::Literal(_) => Ok(()),
         Expr::Cmp { left, right, .. } => {
             validate(left, schema)?;
@@ -95,7 +93,10 @@ mod tests {
             .filter(|r| eval(&e, t.schema(), r))
             .map(|r| r.get(0).as_str().unwrap())
             .collect();
-        assert_eq!(matches, vec!["Summer Moon", "Fenton & Pickle", "Briar Patch BBQ"]);
+        assert_eq!(
+            matches,
+            vec!["Summer Moon", "Fenton & Pickle", "Briar Patch BBQ"]
+        );
     }
 
     #[test]

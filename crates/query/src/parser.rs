@@ -37,7 +37,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, QueryError> {
-        Err(QueryError::Parse { pos: self.peek_pos(), msg: msg.into() })
+        Err(QueryError::Parse {
+            pos: self.peek_pos(),
+            msg: msg.into(),
+        })
     }
 
     fn eat_keyword(&mut self, kw: &str) -> bool {
@@ -132,7 +135,16 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { select, from, where_clause, group_by, having, skyline, order_by, limit })
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            skyline,
+            order_by,
+            limit,
+        })
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>, QueryError> {
@@ -178,7 +190,11 @@ impl Parser {
                     return self.err("expected ) after aggregate column");
                 }
                 let alias = self.alias()?;
-                return Ok(SelectItem::Aggregate { func, column, alias });
+                return Ok(SelectItem::Aggregate {
+                    func,
+                    column,
+                    alias,
+                });
             }
             self.pos = save;
         }
@@ -275,7 +291,11 @@ impl Parser {
         };
         self.bump();
         let right = self.operand()?;
-        Ok(Expr::Cmp { left: Box::new(left), op, right: Box::new(right) })
+        Ok(Expr::Cmp {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
     }
 
     fn operand(&mut self) -> Result<Expr, QueryError> {
@@ -312,8 +332,7 @@ mod tests {
     #[test]
     fn figure_4_query() {
         // the paper's restaurant query
-        let q = parse("select * from GoodEats skyline of S max, F max, D max, price min")
-            .unwrap();
+        let q = parse("select * from GoodEats skyline of S max, F max, D max, price min").unwrap();
         assert!(q.select.is_empty());
         assert_eq!(q.from, "GoodEats");
         let sky = q.skyline.unwrap();
@@ -434,7 +453,10 @@ mod tests {
         let q = parse("SELECT count FROM t").unwrap();
         assert_eq!(
             q.select[0],
-            SelectItem::Column { name: "count".into(), alias: None }
+            SelectItem::Column {
+                name: "count".into(),
+                alias: None
+            }
         );
     }
 

@@ -13,8 +13,8 @@ use crate::catalog::Catalog;
 use crate::error::QueryError;
 use crate::expr;
 use crate::parser::parse;
-use skyline_core::lowdim::skyline_auto;
 use skyline_core::cardinality::expected_skyline_size;
+use skyline_core::lowdim::skyline_auto;
 use skyline_core::KeyMatrix;
 use skyline_relation::{Table, Tuple, Value};
 use std::cmp::Ordering;
@@ -84,10 +84,7 @@ pub fn execute_query(query: &Query, catalog: &Catalog) -> Result<Table, QueryErr
         }
         rows.sort_by(|a, b| {
             for &(idx, desc) in &keys {
-                let ord = a
-                    .get(idx)
-                    .sql_cmp(b.get(idx))
-                    .unwrap_or(Ordering::Equal);
+                let ord = a.get(idx).sql_cmp(b.get(idx)).unwrap_or(Ordering::Equal);
                 let ord = if desc { ord.reverse() } else { ord };
                 if ord != Ordering::Equal {
                     return ord;
@@ -229,15 +226,27 @@ fn apply_group_by(
         Ok(match func {
             AggFunc::Max => {
                 let m = nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                if is_int { Value::Int(m as i64) } else { Value::Float(m) }
+                if is_int {
+                    Value::Int(m as i64)
+                } else {
+                    Value::Float(m)
+                }
             }
             AggFunc::Min => {
                 let m = nums.iter().cloned().fold(f64::INFINITY, f64::min);
-                if is_int { Value::Int(m as i64) } else { Value::Float(m) }
+                if is_int {
+                    Value::Int(m as i64)
+                } else {
+                    Value::Float(m)
+                }
             }
             AggFunc::Sum => {
                 let s: f64 = nums.iter().sum();
-                if is_int { Value::Int(s as i64) } else { Value::Float(s) }
+                if is_int {
+                    Value::Int(s as i64)
+                } else {
+                    Value::Float(s)
+                }
             }
             AggFunc::Avg => Value::Float(nums.iter().sum::<f64>() / nums.len() as f64),
             AggFunc::Count => unreachable!("handled above"),
@@ -255,8 +264,7 @@ fn apply_group_by(
         }
         out_rows.push(Tuple::new(vals));
     }
-    let out_schema =
-        Schema::new(out_cols).map_err(|e| QueryError::Semantic(e.to_string()))?;
+    let out_schema = Schema::new(out_cols).map_err(|e| QueryError::Semantic(e.to_string()))?;
     Ok((out_schema, out_rows))
 }
 
@@ -299,8 +307,7 @@ fn apply_skyline(
     // Large relations push down to the external paged engine (a no-op
     // fall-through when values aren't representable there).
     if rows.len() >= crate::pushdown::EXTERNAL_THRESHOLD {
-        if let Some(keep) =
-            crate::pushdown::external_skyline_indices(schema, &rows, &crit, &diff)?
+        if let Some(keep) = crate::pushdown::external_skyline_indices(schema, &rows, &crit, &diff)?
         {
             return Ok(keep.into_iter().map(|i| rows[i].clone()).collect());
         }
@@ -379,7 +386,11 @@ pub fn explain(sql: &str, catalog: &Catalog) -> Result<String, QueryError> {
             .iter()
             .filter(|i| i.directive != Directive::Diff)
             .count();
-        let est = if d > 0 { expected_skyline_size(n, d) } else { 0.0 };
+        let est = if d > 0 {
+            expected_skyline_size(n, d)
+        } else {
+            0.0
+        };
         lines.push(format!(
             "Skyline[SFS, presort=entropy, est≈{est:.0} rows]({})",
             items.join(", ")

@@ -78,7 +78,11 @@ pub fn external_skyline_indices(
             .enumerate()
             .map(|(slot, &(_, is_min))| Criterion {
                 attr: slot,
-                direction: if is_min { Direction::Min } else { Direction::Max },
+                direction: if is_min {
+                    Direction::Min
+                } else {
+                    Direction::Max
+                },
             })
             .collect(),
     )
@@ -117,7 +121,8 @@ pub fn external_skyline_indices(
     .map_err(|e| QueryError::Semantic(e.to_string()))?;
 
     let mut keep = Vec::new();
-    sfs.open().map_err(|e| QueryError::Semantic(e.to_string()))?;
+    sfs.open()
+        .map_err(|e| QueryError::Semantic(e.to_string()))?;
     while let Some(r) = sfs
         .next()
         .map_err(|e| QueryError::Semantic(e.to_string()))?

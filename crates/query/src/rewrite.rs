@@ -172,8 +172,7 @@ mod tests {
 
     #[test]
     fn oracle_agrees_with_operator() {
-        let q = parse("SELECT * FROM GoodEats SKYLINE OF S MAX, F MAX, D MAX, price MIN")
-            .unwrap();
+        let q = parse("SELECT * FROM GoodEats SKYLINE OF S MAX, F MAX, D MAX, price MIN").unwrap();
         let via_operator = execute_query(&q, &cat()).unwrap();
         let via_rewrite = eval_except_semantics(&q, &cat()).unwrap();
         assert_eq!(via_operator.len(), via_rewrite.len());

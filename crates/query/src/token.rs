@@ -57,9 +57,8 @@ pub enum Sym {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "SKYLINE", "OF", "MIN", "MAX", "DIFF", "ORDER", "BY", "ASC",
-    "DESC", "LIMIT", "AND", "OR", "NOT", "AS", "EXCEPT", "GROUP", "HAVING", "NULL", "TRUE",
-    "FALSE",
+    "SELECT", "FROM", "WHERE", "SKYLINE", "OF", "MIN", "MAX", "DIFF", "ORDER", "BY", "ASC", "DESC",
+    "LIMIT", "AND", "OR", "NOT", "AS", "EXCEPT", "GROUP", "HAVING", "NULL", "TRUE", "FALSE",
 ];
 
 /// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
@@ -76,53 +75,89 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
         let pos = i;
         match c {
             ',' => {
-                out.push(Token { pos, kind: TokenKind::Sym(Sym::Comma) });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Sym(Sym::Comma),
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { pos, kind: TokenKind::Sym(Sym::LParen) });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Sym(Sym::LParen),
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { pos, kind: TokenKind::Sym(Sym::RParen) });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Sym(Sym::RParen),
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { pos, kind: TokenKind::Sym(Sym::Star) });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Sym(Sym::Star),
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { pos, kind: TokenKind::Sym(Sym::Eq) });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Sym(Sym::Eq),
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Ne) });
+                    out.push(Token {
+                        pos,
+                        kind: TokenKind::Sym(Sym::Ne),
+                    });
                     i += 2;
                 } else {
-                    return Err(QueryError::Lex { pos, msg: "expected != ".into() });
+                    return Err(QueryError::Lex {
+                        pos,
+                        msg: "expected != ".into(),
+                    });
                 }
             }
             '<' => match bytes.get(i + 1) {
                 Some(b'=') => {
-                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Le) });
+                    out.push(Token {
+                        pos,
+                        kind: TokenKind::Sym(Sym::Le),
+                    });
                     i += 2;
                 }
                 Some(b'>') => {
-                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Ne) });
+                    out.push(Token {
+                        pos,
+                        kind: TokenKind::Sym(Sym::Ne),
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Lt) });
+                    out.push(Token {
+                        pos,
+                        kind: TokenKind::Sym(Sym::Lt),
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Ge) });
+                    out.push(Token {
+                        pos,
+                        kind: TokenKind::Sym(Sym::Ge),
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { pos, kind: TokenKind::Sym(Sym::Gt) });
+                    out.push(Token {
+                        pos,
+                        kind: TokenKind::Sym(Sym::Gt),
+                    });
                     i += 1;
                 }
             }
@@ -152,16 +187,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                         }
                     }
                 }
-                out.push(Token { pos, kind: TokenKind::Str(s) });
+                out.push(Token {
+                    pos,
+                    kind: TokenKind::Str(s),
+                });
             }
             c if c.is_ascii_digit()
                 || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
             {
                 let start = i;
                 i += 1; // consume digit or '-'
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     i += 1;
                 }
                 let text = &input[start..i];
@@ -170,13 +206,19 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                         pos,
                         msg: format!("bad float literal {text}"),
                     })?;
-                    out.push(Token { pos, kind: TokenKind::Float(f) });
+                    out.push(Token {
+                        pos,
+                        kind: TokenKind::Float(f),
+                    });
                 } else {
                     let n: i64 = text.parse().map_err(|_| QueryError::Lex {
                         pos,
                         msg: format!("bad integer literal {text}"),
                     })?;
-                    out.push(Token { pos, kind: TokenKind::Int(n) });
+                    out.push(Token {
+                        pos,
+                        kind: TokenKind::Int(n),
+                    });
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -191,9 +233,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                 let word = &input[start..i];
                 let upper = word.to_ascii_uppercase();
                 if KEYWORDS.contains(&upper.as_str()) {
-                    out.push(Token { pos, kind: TokenKind::Keyword(upper) });
+                    out.push(Token {
+                        pos,
+                        kind: TokenKind::Keyword(upper),
+                    });
                 } else {
-                    out.push(Token { pos, kind: TokenKind::Ident(word.to_owned()) });
+                    out.push(Token {
+                        pos,
+                        kind: TokenKind::Ident(word.to_owned()),
+                    });
                 }
             }
             other => {
@@ -204,7 +252,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
             }
         }
     }
-    out.push(Token { pos: input.len(), kind: TokenKind::Eof });
+    out.push(Token {
+        pos: input.len(),
+        kind: TokenKind::Eof,
+    });
     Ok(out)
 }
 
@@ -280,6 +331,9 @@ mod tests {
 
     #[test]
     fn bad_char_rejected() {
-        assert!(matches!(tokenize("a ; b"), Err(QueryError::Lex { pos: 2, .. })));
+        assert!(matches!(
+            tokenize("a ; b"),
+            Err(QueryError::Lex { pos: 2, .. })
+        ));
     }
 }

@@ -135,7 +135,10 @@ pub fn read_csv<R: BufRead>(reader: R, schema: Option<Schema>) -> Result<Table, 
         }
     }
     if lines.is_empty() {
-        return Err(CsvError::Parse { line: 1, msg: "missing header row".into() });
+        return Err(CsvError::Parse {
+            line: 1,
+            msg: "missing header row".into(),
+        });
     }
     let header = lines.remove(0);
     let ncols = header.len();
@@ -162,8 +165,7 @@ pub fn read_csv<R: BufRead>(reader: R, schema: Option<Schema>) -> Result<Table, 
                 .iter()
                 .enumerate()
                 .map(|(j, name)| {
-                    let column: Vec<String> =
-                        lines.iter().map(|r| r[j].clone()).collect();
+                    let column: Vec<String> = lines.iter().map(|r| r[j].clone()).collect();
                     Column::new(name.trim(), infer_type(&column))
                 })
                 .collect();
@@ -184,7 +186,10 @@ pub fn read_csv<R: BufRead>(reader: R, schema: Option<Schema>) -> Result<Table, 
             )
         })
         .collect();
-    Table::new(schema, rows).map_err(|e| CsvError::Parse { line: 0, msg: e.to_string() })
+    Table::new(schema, rows).map_err(|e| CsvError::Parse {
+        line: 0,
+        msg: e.to_string(),
+    })
 }
 
 fn quote(field: &str) -> String {
@@ -231,10 +236,7 @@ mod tests {
         let back = read_csv(Cursor::new(buf), None).unwrap();
         assert_eq!(back.len(), t.len());
         assert_eq!(back.schema().index_of("price"), Some(4));
-        assert_eq!(
-            back.rows()[0].get(0).as_str(),
-            Some("Summer Moon")
-        );
+        assert_eq!(back.rows()[0].get(0).as_str(), Some("Summer Moon"));
         // price column inferred as Float
         assert_eq!(back.schema().column(4).ty, ColumnType::Float);
         assert_eq!(back.schema().column(1).ty, ColumnType::Int);

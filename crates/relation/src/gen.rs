@@ -13,11 +13,10 @@
 //! table itself").
 
 use crate::record::RecordLayout;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// Attribute-value distribution across the record's dimensions.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Distribution {
     /// Every attribute independently uniform over the domain. The paper's
     /// evaluation distribution.
@@ -55,7 +54,7 @@ pub enum Distribution {
 
 /// Complete description of a synthetic dataset. Generation is a pure
 /// function of the spec (and in particular of `seed`).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Number of records.
     pub n: usize,
@@ -92,7 +91,7 @@ impl WorkloadSpec {
 
     /// Generate the encoded records.
     pub fn generate(&self) -> Vec<Vec<u8>> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let (lo, hi) = self.domain;
         assert!(lo <= hi, "empty domain");
         let width = (i64::from(hi) - i64::from(lo)) as f64 + 1.0;
@@ -106,7 +105,7 @@ impl WorkloadSpec {
 
         let centroids: Vec<Vec<f64>> = match self.dist {
             Distribution::Clustered { clusters, .. } => (0..clusters.max(1))
-                .map(|_| (0..d).map(|_| rng.random::<f64>()).collect())
+                .map(|_| (0..d).map(|_| rng.f64()).collect())
                 .collect(),
             _ => Vec::new(),
         };
@@ -118,13 +117,13 @@ impl WorkloadSpec {
             match self.dist {
                 Distribution::UniformIndependent => {
                     for a in attrs.iter_mut() {
-                        *a = rng.random_range(lo..=hi);
+                        *a = rng.i32_inclusive(lo, hi);
                     }
                 }
                 Distribution::Correlated { jitter } => {
-                    let base = rng.random::<f64>();
+                    let base = rng.f64();
                     for a in attrs.iter_mut() {
-                        let x = base + jitter * (rng.random::<f64>() - 0.5);
+                        let x = base + jitter * (rng.f64() - 0.5);
                         *a = to_domain(x);
                     }
                 }
@@ -133,32 +132,30 @@ impl WorkloadSpec {
                     // exponential weights normalized onto the plane, plus
                     // a small off-plane jitter.
                     let budget = 0.5 * d as f64;
-                    let mut w: Vec<f64> = (0..d)
-                        .map(|_| -(1.0 - rng.random::<f64>()).ln())
-                        .collect();
+                    let mut w: Vec<f64> = (0..d).map(|_| -(1.0 - rng.f64()).ln()).collect();
                     let s: f64 = w.iter().sum();
                     for wi in w.iter_mut() {
-                        *wi = *wi / s * budget + jitter * (rng.random::<f64>() - 0.5);
+                        *wi = *wi / s * budget + jitter * (rng.f64() - 0.5);
                     }
                     for (a, wi) in attrs.iter_mut().zip(&w) {
                         *a = to_domain(*wi);
                     }
                 }
                 Distribution::Clustered { spread, .. } => {
-                    let c = &centroids[rng.random_range(0..centroids.len())];
+                    let c = &centroids[rng.usize_below(centroids.len())];
                     for (a, ci) in attrs.iter_mut().zip(c) {
-                        let x = ci + spread * (rng.random::<f64>() - 0.5);
+                        let x = ci + spread * (rng.f64() - 0.5);
                         *a = to_domain(x);
                     }
                 }
                 Distribution::Skewed { exponent } => {
                     for a in attrs.iter_mut() {
-                        *a = to_domain(rng.random::<f64>().powf(exponent));
+                        *a = to_domain(rng.f64().powf(exponent));
                     }
                 }
             }
             for b in payload.iter_mut() {
-                *b = rng.random_range(b'a'..=b'z');
+                *b = rng.u8_inclusive(b'a', b'z');
             }
             out.push(self.layout.encode(&attrs, &payload));
         }
@@ -255,10 +252,7 @@ mod tests {
             ..WorkloadSpec::paper(2_000, 19)
         };
         let recs = spec.generate();
-        let below_100 = recs
-            .iter()
-            .filter(|r| spec.layout.attr(r, 0) < 100)
-            .count();
+        let below_100 = recs.iter().filter(|r| spec.layout.attr(r, 0) < 100).count();
         // u^4 < 0.1 ⟺ u < 0.56: well over half the mass in the lowest 10%
         assert!(below_100 > recs.len() / 2, "only {below_100} below 100");
     }
@@ -266,7 +260,10 @@ mod tests {
     #[test]
     fn clustered_generates_within_domain() {
         let spec = WorkloadSpec {
-            dist: Distribution::Clustered { clusters: 3, spread: 0.1 },
+            dist: Distribution::Clustered {
+                clusters: 3,
+                spread: 0.1,
+            },
             domain: (-50, 50),
             ..WorkloadSpec::paper(200, 13)
         };

@@ -22,6 +22,7 @@
 pub mod csv;
 pub mod gen;
 pub mod record;
+pub mod rng;
 pub mod samples;
 pub mod schema;
 pub mod stats;
@@ -30,10 +31,11 @@ pub mod tuple;
 pub mod value;
 
 pub use record::{RecordLayout, PAGE_SIZE};
+pub use rng::Rng;
 pub use schema::{Column, ColumnType, Schema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
-pub use tuple::Tuple;
 #[doc(hidden)]
 pub use tuple::__into_value;
+pub use tuple::Tuple;
 pub use value::Value;

@@ -5,13 +5,11 @@
 //! ([`RecordLayout::PAPER`]). We generalize to `dims` little-endian `i32`
 //! attributes followed by `payload` opaque bytes.
 
-use bytes::{Buf, BufMut};
-
 /// Page size used throughout the workspace (the paper's 4096 bytes).
 pub const PAGE_SIZE: usize = 4096;
 
 /// Fixed-width record layout: `dims` i32 attributes + `payload` bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecordLayout {
     /// Number of leading i32 attributes (potential skyline criteria).
     pub dims: usize,
@@ -22,7 +20,10 @@ pub struct RecordLayout {
 impl RecordLayout {
     /// The paper's layout: 10 × i32 + 60 bytes = 100-byte records,
     /// 40 records per page.
-    pub const PAPER: RecordLayout = RecordLayout { dims: 10, payload: 60 };
+    pub const PAPER: RecordLayout = RecordLayout {
+        dims: 10,
+        payload: 60,
+    };
 
     /// Construct a layout.
     pub const fn new(dims: usize, payload: usize) -> Self {
@@ -42,7 +43,10 @@ impl RecordLayout {
     /// Layout of a window entry after the paper's *projection* optimization:
     /// only the `k` skyline-criterion attributes are retained (no payload).
     pub const fn projected(k: usize) -> RecordLayout {
-        RecordLayout { dims: k, payload: 0 }
+        RecordLayout {
+            dims: k,
+            payload: 0,
+        }
     }
 
     /// Encode attributes + payload into a fresh record buffer.
@@ -54,17 +58,16 @@ impl RecordLayout {
         assert_eq!(payload.len(), self.payload, "payload size mismatch");
         let mut buf = Vec::with_capacity(self.record_size());
         for &a in attrs {
-            buf.put_i32_le(a);
+            buf.extend_from_slice(&a.to_le_bytes());
         }
-        buf.put_slice(payload);
+        buf.extend_from_slice(payload);
         buf
     }
 
     /// Decode all attributes of a record.
     pub fn decode_attrs(&self, record: &[u8]) -> Vec<i32> {
         debug_assert_eq!(record.len(), self.record_size());
-        let mut cur = &record[..4 * self.dims];
-        (0..self.dims).map(|_| cur.get_i32_le()).collect()
+        (0..self.dims).map(|i| self.attr(record, i)).collect()
     }
 
     /// Decode a single attribute without touching the rest of the record.

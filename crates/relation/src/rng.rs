@@ -1,0 +1,199 @@
+//! A small, deterministic, dependency-free PRNG for workload generation
+//! and tests.
+//!
+//! The generator is xoshiro256++ (Blackman & Vigna), seeded through
+//! SplitMix64 so that any `u64` seed — including 0 — yields a
+//! well-mixed state. It is **not** cryptographically secure; it exists
+//! so that every workload in the repo is reproducible from a single
+//! `u64` seed without an external dependency.
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Seed the generator from a single `u64`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, n)`. `n` must be nonzero.
+    ///
+    /// Uses Lemire-style rejection so the result is unbiased.
+    #[inline]
+    pub fn u64_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "u64_below(0)");
+        // rejection zone keeps the multiply-shift mapping uniform
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, n)`. `n` must be nonzero.
+    #[inline]
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        self.u64_below(n as u64) as usize
+    }
+
+    /// Uniform `i64` in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn i64_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        lo.wrapping_add(self.u64_below(span) as i64)
+    }
+
+    /// Uniform `i32` in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn i32_inclusive(&mut self, lo: i32, hi: i32) -> i32 {
+        self.i64_inclusive(lo as i64, hi as i64) as i32
+    }
+
+    /// Uniform `u8` in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn u8_inclusive(&mut self, lo: u8, hi: u8) -> u8 {
+        self.i64_inclusive(lo as i64, hi as i64) as u8
+    }
+
+    /// Fair coin flip.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.usize_below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_well_mixed() {
+        let mut r = Rng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(first.iter().any(|&x| x != 0));
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_their_bounds() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v = r.i32_inclusive(-2, 2);
+            assert!((-2..=2).contains(&v));
+            seen[(v + 2) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range appear"
+        );
+        for _ in 0..100 {
+            assert!(r.usize_below(3) < 3);
+            let b = r.u8_inclusive(b'a', b'z');
+            assert!(b.is_ascii_lowercase());
+        }
+        assert_eq!(r.i64_inclusive(5, 5), 5);
+    }
+
+    #[test]
+    fn u64_below_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.u64_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // each bucket expects 10_000; allow ±10%
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(13);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "seed 13 should permute");
+    }
+}

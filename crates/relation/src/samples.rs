@@ -34,12 +34,7 @@ pub fn good_eats() -> Table {
 }
 
 /// Names of the skyline restaurants of Figure 2, in table order.
-pub const GOOD_EATS_SKYLINE: [&str; 4] = [
-    "Summer Moon",
-    "Zakopane",
-    "Yamanote",
-    "Fenton & Pickle",
-];
+pub const GOOD_EATS_SKYLINE: [&str; 4] = ["Summer Moon", "Zakopane", "Yamanote", "Fenton & Pickle"];
 
 /// The three-point relation of Theorem 4's proof: `{(4,1), (2,2), (1,4)}`
 /// over schema `(a1, a2)`. All three tuples are skyline, but `(2,2)` is not
@@ -47,11 +42,8 @@ pub const GOOD_EATS_SKYLINE: [&str; 4] = [
 /// non-linear monotone one.
 pub fn theorem4_points() -> Table {
     let schema = Schema::of(&[("a1", ColumnType::Int), ("a2", ColumnType::Int)]);
-    Table::new(
-        schema,
-        vec![tuple![4, 1], tuple![2, 2], tuple![1, 4]],
-    )
-    .expect("static sample data is well-formed")
+    Table::new(schema, vec![tuple![4, 1], tuple![2, 2], tuple![1, 4]])
+        .expect("static sample data is well-formed")
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColumnType {
     /// 64-bit integer (encoded as i32 in fixed-width records).
     Int,
@@ -36,7 +36,7 @@ impl fmt::Display for ColumnType {
 }
 
 /// A named, typed column.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name; matched case-insensitively by [`Schema::index_of`].
     pub name: String,
@@ -47,12 +47,15 @@ pub struct Column {
 impl Column {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
 /// An ordered list of columns.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     columns: Vec<Column>,
 }

@@ -9,7 +9,7 @@
 use crate::record::RecordLayout;
 
 /// Min/max/count summary of one numeric column.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ColumnStats {
     /// Smallest observed value.
     pub min: f64,
@@ -22,7 +22,11 @@ pub struct ColumnStats {
 impl ColumnStats {
     /// Stats of an empty column.
     pub fn empty() -> Self {
-        ColumnStats { min: f64::INFINITY, max: f64::NEG_INFINITY, count: 0 }
+        ColumnStats {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        }
     }
 
     /// Fold one value in.
@@ -63,7 +67,7 @@ impl Default for ColumnStats {
 }
 
 /// Per-dimension statistics for a record relation.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableStats {
     columns: Vec<ColumnStats>,
 }

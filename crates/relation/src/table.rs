@@ -8,7 +8,7 @@ use std::fmt;
 
 /// A schema plus rows. The friendly relation used by the query layer,
 /// samples, and examples.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Tuple>,
@@ -17,7 +17,10 @@ pub struct Table {
 impl Table {
     /// An empty table with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Build from schema and rows, checking arity.
@@ -86,10 +89,7 @@ impl Table {
         self.rows
             .iter()
             .enumerate()
-            .map(|(i, r)| {
-                r.numeric_key(&idx)
-                    .ok_or(TableError::NonNumeric { row: i })
-            })
+            .map(|(i, r)| r.numeric_key(&idx).ok_or(TableError::NonNumeric { row: i }))
             .collect()
     }
 

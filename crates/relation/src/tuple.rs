@@ -4,7 +4,7 @@ use crate::value::Value;
 use std::fmt;
 
 /// A tuple: an ordered list of [`Value`]s matching some [`crate::Schema`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tuple {
     values: Vec<Value>,
 }

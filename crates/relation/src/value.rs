@@ -8,7 +8,7 @@ use std::fmt;
 /// Skyline criteria must come from domains with a natural total order
 /// (integers, floats, dates — represented here as days since an epoch).
 /// Strings participate only as carried payload or `DIFF` grouping keys.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// SQL NULL. Never comparable for skyline purposes.
     Null,

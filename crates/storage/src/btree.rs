@@ -359,7 +359,11 @@ impl BTree {
         while pos < c && self.leaf_key(&leaf, pos) < from {
             pos += 1;
         }
-        BTreeScan { tree: self, leaf: Some(leaf), pos }
+        BTreeScan {
+            tree: self,
+            leaf: Some(leaf),
+            pos,
+        }
     }
 
     /// Full scan in key order (the clustered-index order).
@@ -371,7 +375,11 @@ impl BTree {
             page = node.link();
         }
         let leaf = self.read_node(page);
-        BTreeScan { tree: self, leaf: Some(leaf), pos: 0 }
+        BTreeScan {
+            tree: self,
+            leaf: Some(leaf),
+            pos: 0,
+        }
     }
 
     /// Bulk-load from `(key, record)` pairs that are already sorted by
@@ -380,7 +388,12 @@ impl BTree {
     ///
     /// # Panics
     /// Panics on size mismatches or unsorted input (debug assertions).
-    pub fn bulk_load<'a, I>(disk: Arc<dyn Disk>, key_len: usize, record_size: usize, sorted: I) -> Self
+    pub fn bulk_load<'a, I>(
+        disk: Arc<dyn Disk>,
+        key_len: usize,
+        record_size: usize,
+        sorted: I,
+    ) -> Self
     where
         I: IntoIterator<Item = (&'a [u8], &'a [u8])>,
     {
@@ -417,10 +430,7 @@ impl BTree {
             n_records += 1;
         }
         t.write_node(&cur);
-        leaves.push((
-            first_key.unwrap_or_default(),
-            cur.page_no,
-        ));
+        leaves.push((first_key.unwrap_or_default(), cur.page_no));
 
         // build index levels
         let mut level = leaves;
@@ -533,7 +543,11 @@ impl SharedBTreeScan {
             page = node.link();
         }
         let leaf = tree.read_node(page);
-        SharedBTreeScan { tree: Arc::clone(&tree), leaf: Some((leaf.page_no, leaf.buf)), pos: 0 }
+        SharedBTreeScan {
+            tree: Arc::clone(&tree),
+            leaf: Some((leaf.page_no, leaf.buf)),
+            pos: 0,
+        }
     }
 
     /// Next record, or `None` at end of tree.
@@ -570,7 +584,6 @@ mod tests {
     use super::key_codec::*;
     use super::*;
     use crate::disk::MemDisk;
-    use proptest::prelude::*;
 
     fn mk(disk: &Arc<MemDisk>) -> BTree {
         BTree::new(Arc::clone(disk) as Arc<dyn Disk>, 4, 8)
@@ -607,7 +620,9 @@ mod tests {
         let disk = MemDisk::shared();
         let mut t = mk(&disk);
         // enough to force several levels: leaf cap = (4096-16)/12 = 340
-        let mut vals: Vec<i32> = (0..5_000).map(|i| (i * 2_654_435_761u64 as i64 % 100_000) as i32).collect();
+        let mut vals: Vec<i32> = (0..5_000)
+            .map(|i| (i * 2_654_435_761u64 as i64 % 100_000) as i32)
+            .collect();
         for &v in &vals {
             t.insert(&i32_key(v), &rec(v));
         }
@@ -656,8 +671,7 @@ mod tests {
         let disk = MemDisk::shared();
         let mut vals: Vec<i32> = (0..10_000).map(|i| (i * 37) % 5_000).collect();
         vals.sort_unstable();
-        let pairs: Vec<([u8; 4], [u8; 8])> =
-            vals.iter().map(|&v| (i32_key(v), rec(v))).collect();
+        let pairs: Vec<([u8; 4], [u8; 8])> = vals.iter().map(|&v| (i32_key(v), rec(v))).collect();
         let t = BTree::bulk_load(
             Arc::clone(&disk) as Arc<dyn Disk>,
             4,
@@ -685,12 +699,7 @@ mod tests {
     #[test]
     fn empty_bulk_load() {
         let disk = MemDisk::shared();
-        let t = BTree::bulk_load(
-            Arc::clone(&disk) as Arc<dyn Disk>,
-            4,
-            8,
-            std::iter::empty(),
-        );
+        let t = BTree::bulk_load(Arc::clone(&disk) as Arc<dyn Disk>, 4, 8, std::iter::empty());
         assert!(t.is_empty());
         assert!(t.scan().next_entry().is_none());
     }
@@ -700,8 +709,7 @@ mod tests {
         let disk = MemDisk::shared();
         let mut vals: Vec<i32> = (0..20_000).collect();
         vals.sort_unstable();
-        let pairs: Vec<([u8; 4], [u8; 8])> =
-            vals.iter().map(|&v| (i32_key(v), rec(v))).collect();
+        let pairs: Vec<([u8; 4], [u8; 8])> = vals.iter().map(|&v| (i32_key(v), rec(v))).collect();
         let t = BTree::bulk_load(
             Arc::clone(&disk) as Arc<dyn Disk>,
             4,
@@ -750,11 +758,15 @@ mod tests {
         assert_eq!(disk.allocated_pages(), 0);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    fn random_vals(rng: &mut skyline_testkit::Rng) -> Vec<i32> {
+        let n = rng.usize_below(800);
+        (0..n).map(|_| rng.i32_inclusive(-500, 499)).collect()
+    }
 
-        #[test]
-        fn random_inserts_scan_sorted(vals in proptest::collection::vec(-500i32..500, 0..800)) {
+    #[test]
+    fn random_inserts_scan_sorted() {
+        skyline_testkit::cases(32, 0xB7EE_0001, |rng| {
+            let vals = random_vals(rng);
             let disk = MemDisk::shared();
             let mut t = mk(&disk);
             for &v in &vals {
@@ -762,13 +774,15 @@ mod tests {
             }
             let mut expect = vals.clone();
             expect.sort_unstable();
-            prop_assert_eq!(drain_keys(&t), expect);
-            prop_assert_eq!(t.len(), vals.len() as u64);
-        }
+            assert_eq!(drain_keys(&t), expect);
+            assert_eq!(t.len(), vals.len() as u64);
+        });
+    }
 
-        #[test]
-        fn bulk_load_equals_insert_order(vals in proptest::collection::vec(-500i32..500, 0..800)) {
-            let mut sorted = vals.clone();
+    #[test]
+    fn bulk_load_equals_insert_order() {
+        skyline_testkit::cases(32, 0xB7EE_0002, |rng| {
+            let mut sorted = random_vals(rng);
             sorted.sort_unstable();
             let disk = MemDisk::shared();
             let pairs: Vec<([u8; 4], [u8; 8])> =
@@ -779,7 +793,7 @@ mod tests {
                 8,
                 pairs.iter().map(|(k, r)| (k.as_slice(), r.as_slice())),
             );
-            prop_assert_eq!(drain_keys(&t), sorted);
-        }
+            assert_eq!(drain_keys(&t), sorted);
+        });
     }
 }

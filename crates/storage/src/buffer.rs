@@ -7,9 +7,9 @@
 //! reservations are RAII [`BufferLease`]s, over-reservation fails, and peak
 //! usage is tracked so experiments can report true memory footprints.
 
-use parking_lot::Mutex;
+use crate::sync::lock;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 #[derive(Debug, Default)]
 struct Ledger {
@@ -27,7 +27,10 @@ pub struct BufferPool {
 impl BufferPool {
     /// A pool of `total` pages.
     pub fn new(total: usize) -> Self {
-        BufferPool { total, ledger: Arc::new(Mutex::new(Ledger::default())) }
+        BufferPool {
+            total,
+            ledger: Arc::new(Mutex::new(Ledger::default())),
+        }
     }
 
     /// Pool capacity in pages.
@@ -37,7 +40,7 @@ impl BufferPool {
 
     /// Pages currently reserved.
     pub fn used(&self) -> usize {
-        self.ledger.lock().used
+        lock(&self.ledger).used
     }
 
     /// Pages currently free.
@@ -47,12 +50,12 @@ impl BufferPool {
 
     /// High-water mark of reservations.
     pub fn peak(&self) -> usize {
-        self.ledger.lock().peak
+        lock(&self.ledger).peak
     }
 
     /// Reserve `pages` pages, failing if the pool cannot satisfy it.
     pub fn reserve(&self, pages: usize) -> Result<BufferLease, BufferError> {
-        let mut ledger = self.ledger.lock();
+        let mut ledger = lock(&self.ledger);
         if ledger.used + pages > self.total {
             return Err(BufferError::Exhausted {
                 requested: pages,
@@ -61,7 +64,10 @@ impl BufferPool {
         }
         ledger.used += pages;
         ledger.peak = ledger.peak.max(ledger.used);
-        Ok(BufferLease { pool: self.clone(), pages })
+        Ok(BufferLease {
+            pool: self.clone(),
+            pages,
+        })
     }
 }
 
@@ -81,7 +87,7 @@ impl BufferLease {
 
 impl Drop for BufferLease {
     fn drop(&mut self) {
-        self.pool.ledger.lock().used -= self.pages;
+        lock(&self.pool.ledger).used -= self.pages;
     }
 }
 
@@ -100,7 +106,10 @@ pub enum BufferError {
 impl fmt::Display for BufferError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BufferError::Exhausted { requested, available } => write!(
+            BufferError::Exhausted {
+                requested,
+                available,
+            } => write!(
                 f,
                 "buffer pool exhausted: requested {requested} pages, {available} available"
             ),
@@ -134,7 +143,13 @@ mod tests {
         let pool = BufferPool::new(5);
         let _a = pool.reserve(3).unwrap();
         let err = pool.reserve(3).unwrap_err();
-        assert_eq!(err, BufferError::Exhausted { requested: 3, available: 2 });
+        assert_eq!(
+            err,
+            BufferError::Exhausted {
+                requested: 3,
+                available: 2
+            }
+        );
     }
 
     #[test]

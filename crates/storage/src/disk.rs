@@ -1,14 +1,14 @@
 //! Page devices: the in-memory simulator and a real-file implementation.
 
 use crate::io_stats::IoStats;
+use crate::sync::lock;
 use crate::PAGE_SIZE;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Identifier of a file on a [`Disk`].
 pub type FileId = u64;
@@ -67,12 +67,16 @@ impl MemDisk {
 
     /// Total pages currently allocated across all files (for leak checks).
     pub fn allocated_pages(&self) -> u64 {
-        self.files.lock().values().map(|f| f.len() as u64).sum()
+        lock(&self.files).values().map(|f| f.len() as u64).sum()
     }
 }
 
 fn padded(data: &[u8]) -> Box<[u8]> {
-    assert!(data.len() <= PAGE_SIZE, "page overflow: {} bytes", data.len());
+    assert!(
+        data.len() <= PAGE_SIZE,
+        "page overflow: {} bytes",
+        data.len()
+    );
     let mut page = vec![0u8; PAGE_SIZE].into_boxed_slice();
     page[..data.len()].copy_from_slice(data);
     page
@@ -81,16 +85,16 @@ fn padded(data: &[u8]) -> Box<[u8]> {
 impl Disk for MemDisk {
     fn create(&self) -> FileId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.files.lock().insert(id, Vec::new());
+        lock(&self.files).insert(id, Vec::new());
         id
     }
 
     fn delete(&self, file: FileId) {
-        self.files.lock().remove(&file);
+        lock(&self.files).remove(&file);
     }
 
     fn write_page(&self, file: FileId, page_no: u64, data: &[u8]) {
-        let mut files = self.files.lock();
+        let mut files = lock(&self.files);
         let pages = files.get_mut(&file).expect("write to deleted file");
         let idx = usize::try_from(page_no).expect("page number overflow");
         while pages.len() < idx {
@@ -106,19 +110,19 @@ impl Disk for MemDisk {
     }
 
     fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) {
-        let files = self.files.lock();
+        let files = lock(&self.files);
         let pages = files.get(&file).expect("read from deleted file");
         let idx = usize::try_from(page_no).expect("page number overflow");
-        let page = pages.get(idx).unwrap_or_else(|| {
-            panic!("read past EOF: page {page_no} of {} pages", pages.len())
-        });
+        let page = pages
+            .get(idx)
+            .unwrap_or_else(|| panic!("read past EOF: page {page_no} of {} pages", pages.len()));
         buf.clear();
         buf.extend_from_slice(page);
         self.stats.record_read();
     }
 
     fn num_pages(&self, file: FileId) -> u64 {
-        self.files.lock().get(&file).map_or(0, |p| p.len() as u64)
+        lock(&self.files).get(&file).map_or(0, |p| p.len() as u64)
     }
 
     fn stats(&self) -> &IoStats {
@@ -165,19 +169,19 @@ impl Disk for FileDisk {
             .write(true)
             .open(self.path(id))
             .expect("create page file");
-        self.files.lock().insert(id, f);
+        lock(&self.files).insert(id, f);
         id
     }
 
     fn delete(&self, file: FileId) {
-        if self.files.lock().remove(&file).is_some() {
+        if lock(&self.files).remove(&file).is_some() {
             let _ = std::fs::remove_file(self.path(file));
         }
     }
 
     fn write_page(&self, file: FileId, page_no: u64, data: &[u8]) {
         let page = padded(data);
-        let mut files = self.files.lock();
+        let mut files = lock(&self.files);
         let f = files.get_mut(&file).expect("write to deleted file");
         let len = f.metadata().expect("stat page file").len();
         let existing = len / PAGE_SIZE as u64;
@@ -192,7 +196,7 @@ impl Disk for FileDisk {
     }
 
     fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) {
-        let mut files = self.files.lock();
+        let mut files = lock(&self.files);
         let f = files.get_mut(&file).expect("read from deleted file");
         buf.clear();
         buf.resize(PAGE_SIZE, 0);
@@ -202,7 +206,7 @@ impl Disk for FileDisk {
     }
 
     fn num_pages(&self, file: FileId) -> u64 {
-        let files = self.files.lock();
+        let files = lock(&self.files);
         let f = files.get(&file).expect("stat deleted file");
         f.metadata().expect("stat page file").len() / PAGE_SIZE as u64
     }
@@ -214,7 +218,7 @@ impl Disk for FileDisk {
 
 impl Drop for FileDisk {
     fn drop(&mut self) {
-        let ids: Vec<FileId> = self.files.lock().keys().copied().collect();
+        let ids: Vec<FileId> = lock(&self.files).keys().copied().collect();
         for id in ids {
             self.delete(id);
         }

@@ -24,9 +24,18 @@ impl HeapFile {
     /// # Panics
     /// Panics if `record_size` is zero or exceeds a page.
     pub fn create(disk: Arc<dyn Disk>, record_size: usize) -> Self {
-        assert!(record_size > 0 && record_size <= PAGE_SIZE, "bad record size");
+        assert!(
+            record_size > 0 && record_size <= PAGE_SIZE,
+            "bad record size"
+        );
         let file = disk.create();
-        HeapFile { disk, file, record_size, n_records: 0, temp: false }
+        HeapFile {
+            disk,
+            file,
+            record_size,
+            n_records: 0,
+            temp: false,
+        }
     }
 
     /// Create a heap file that deletes itself on drop (sort runs, skyline
@@ -95,7 +104,13 @@ impl HeapFile {
             self.disk.read_page(self.file, start_page, &mut buf);
             buf.truncate(in_page * self.record_size);
         }
-        HeapWriter { heap: self, page_no: start_page, buf, in_page, dirty: false }
+        HeapWriter {
+            heap: self,
+            page_no: start_page,
+            buf,
+            in_page,
+            dirty: false,
+        }
     }
 
     /// Streaming scanner from the first record.
@@ -152,7 +167,12 @@ pub struct SharedScanner {
 impl SharedScanner {
     /// Start a scan of `heap` from the first record.
     pub fn new(heap: Arc<HeapFile>) -> Self {
-        SharedScanner { heap, next_record: 0, page_no: u64::MAX, page: Vec::new() }
+        SharedScanner {
+            heap,
+            next_record: 0,
+            page_no: u64::MAX,
+            page: Vec::new(),
+        }
     }
 
     /// Borrow the next record, or `None` at end of file.
@@ -164,7 +184,9 @@ impl SharedScanner {
         let page_no = self.next_record / rpp;
         let slot = (self.next_record % rpp) as usize;
         if page_no != self.page_no {
-            self.heap.disk.read_page(self.heap.file, page_no, &mut self.page);
+            self.heap
+                .disk
+                .read_page(self.heap.file, page_no, &mut self.page);
             self.page_no = page_no;
         }
         self.next_record += 1;
@@ -213,7 +235,9 @@ impl HeapWriter<'_> {
 
     fn flush_page(&mut self) {
         if self.dirty {
-            self.heap.disk.write_page(self.heap.file, self.page_no, &self.buf);
+            self.heap
+                .disk
+                .write_page(self.heap.file, self.page_no, &self.buf);
         }
         if self.in_page == self.heap.records_per_page() {
             self.page_no += 1;
@@ -258,7 +282,9 @@ impl HeapScanner<'_> {
         let page_no = self.next_record / rpp;
         let slot = (self.next_record % rpp) as usize;
         if page_no != self.page_no {
-            self.heap.disk.read_page(self.heap.file, page_no, &mut self.page);
+            self.heap
+                .disk
+                .read_page(self.heap.file, page_no, &mut self.page);
             self.page_no = page_no;
         }
         self.next_record += 1;
@@ -276,7 +302,6 @@ impl HeapScanner<'_> {
 mod tests {
     use super::*;
     use crate::disk::MemDisk;
-    use proptest::prelude::*;
 
     fn mk_records(n: usize, size: usize) -> Vec<Vec<u8>> {
         (0..n)
@@ -361,8 +386,7 @@ mod tests {
     fn temp_file_deleted_on_drop() {
         let disk = MemDisk::shared();
         {
-            let mut h =
-                HeapFile::create_temp(Arc::clone(&disk) as Arc<dyn Disk>, 100);
+            let mut h = HeapFile::create_temp(Arc::clone(&disk) as Arc<dyn Disk>, 100);
             h.append_all(mk_records(80, 100).iter().map(Vec::as_slice));
             assert!(disk.allocated_pages() > 0);
         }
@@ -398,22 +422,20 @@ mod tests {
         assert_eq!(s.next_record().unwrap(), recs[0].as_slice());
     }
 
-    proptest! {
-        #[test]
-        fn round_trip_any_shape(
-            n in 0usize..300,
-            record_size in 1usize..200,
-            split in 0usize..300,
-        ) {
+    #[test]
+    fn round_trip_any_shape() {
+        skyline_testkit::cases(64, 0x4EA9_0001, |rng| {
+            let n = rng.usize_below(300);
+            let record_size = 1 + rng.usize_below(199);
+            let split = rng.usize_below(300).min(n);
             let disk = MemDisk::shared();
             let mut h = HeapFile::create(disk, record_size);
             let recs = mk_records(n, record_size);
-            let split = split.min(n);
             h.append_all(recs[..split].iter().map(Vec::as_slice));
             h.append_all(recs[split..].iter().map(Vec::as_slice));
-            prop_assert_eq!(h.read_all(), recs);
+            assert_eq!(h.read_all(), recs);
             let rpp = PAGE_SIZE / record_size;
-            prop_assert_eq!(h.num_pages(), n.div_ceil(rpp) as u64);
-        }
+            assert_eq!(h.num_pages(), n.div_ceil(rpp) as u64);
+        });
     }
 }

@@ -44,7 +44,10 @@ impl IoStats {
 
     /// Point-in-time copy of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
-        IoSnapshot { reads: self.reads(), writes: self.writes() }
+        IoSnapshot {
+            reads: self.reads(),
+            writes: self.writes(),
+        }
     }
 
     /// Reset both counters to zero (between experiment runs).
@@ -101,12 +104,18 @@ impl DiskCostModel {
     /// transfers (~25 MB/s effective): ~160 µs per page. The paper's
     /// testbed hardware.
     pub fn vintage_2002() -> Self {
-        DiskCostModel { read_us: 160.0, write_us: 160.0 }
+        DiskCostModel {
+            read_us: 160.0,
+            write_us: 160.0,
+        }
     }
 
     /// A modern NVMe device (~2 GB/s effective): ~2 µs per page.
     pub fn modern_nvme() -> Self {
-        DiskCostModel { read_us: 2.0, write_us: 2.0 }
+        DiskCostModel {
+            read_us: 2.0,
+            write_us: 2.0,
+        }
     }
 }
 
@@ -130,7 +139,10 @@ mod tests {
 
     #[test]
     fn simulated_time_from_cost_model() {
-        let snap = IoSnapshot { reads: 1000, writes: 500 };
+        let snap = IoSnapshot {
+            reads: 1000,
+            writes: 500,
+        };
         let vintage = snap.simulated_ms(&DiskCostModel::vintage_2002());
         assert!((vintage - 240.0).abs() < 1e-9, "{vintage}");
         let nvme = snap.simulated_ms(&DiskCostModel::modern_nvme());

@@ -21,6 +21,7 @@ pub mod buffer;
 pub mod disk;
 pub mod heap;
 pub mod io_stats;
+mod sync;
 
 pub use btree::{BTree, BTreeScan, SharedBTreeScan};
 pub use buffer::{BufferLease, BufferPool};

@@ -1,0 +1,12 @@
+//! Small locking helper shared by the storage primitives.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Acquire `m`, recovering the data on poison.
+///
+/// Storage structures guard plain bookkeeping maps and counters; a panic
+/// while holding the lock cannot leave them in a torn state, so poisoning
+/// carries no information here and is deliberately ignored.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

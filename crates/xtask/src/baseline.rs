@@ -1,0 +1,158 @@
+//! The lint baseline ratchet.
+//!
+//! The workspace predates the lints, so `lint-baseline.txt` records the
+//! *allowed* number of findings per `(lint, file)`. New findings beyond
+//! the recorded count fail the gate; dropping below it prints a nudge to
+//! re-run with `--update-baseline`, which rewrites the file with the
+//! current (lower) counts. Counts — not line numbers — so unrelated
+//! edits don't churn the file.
+
+use crate::lints::Finding;
+use std::collections::BTreeMap;
+
+/// Allowed findings per `(lint, file)`.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Aggregate findings into per-`(lint, file)` counts.
+pub fn counts_of(findings: &[Finding]) -> Counts {
+    let mut counts = Counts::new();
+    for f in findings {
+        *counts
+            .entry((f.lint.to_string(), f.file.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Parse a baseline file. Lines are `lint<TAB>path<TAB>count`; `#`
+/// comments and blank lines are skipped. Malformed lines are reported.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split('\t');
+        let (lint, path, count) = match (it.next(), it.next(), it.next()) {
+            (Some(l), Some(p), Some(c)) => (l, p, c),
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected lint<TAB>path<TAB>count",
+                    i + 1
+                ))
+            }
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count {count:?}", i + 1))?;
+        counts.insert((lint.to_string(), path.to_string()), count);
+    }
+    Ok(counts)
+}
+
+/// Render counts back into the baseline file format.
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# Allowed lint-finding counts per (lint, file) — the ratchet floor.\n\
+         # Regenerate (only ever downward!) with: cargo xtask lint --update-baseline\n",
+    );
+    for ((lint, path), count) in counts {
+        out.push_str(&format!("{lint}\t{path}\t{count}\n"));
+    }
+    out
+}
+
+/// A `(lint, file)` whose current count moved off its baseline.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Delta {
+    /// Lint identifier.
+    pub lint: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Findings now.
+    pub current: usize,
+    /// Findings allowed by the baseline.
+    pub allowed: usize,
+}
+
+/// Regressions (count above baseline — gate fails) and improvements
+/// (count below — ratchet down) between a run and the baseline.
+pub fn compare(current: &Counts, baseline: &Counts) -> (Vec<Delta>, Vec<Delta>) {
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    for ((lint, file), &cur) in current {
+        let allowed = baseline
+            .get(&(lint.clone(), file.clone()))
+            .copied()
+            .unwrap_or(0);
+        if cur > allowed {
+            regressions.push(Delta {
+                lint: lint.clone(),
+                file: file.clone(),
+                current: cur,
+                allowed,
+            });
+        } else if cur < allowed {
+            improvements.push(Delta {
+                lint: lint.clone(),
+                file: file.clone(),
+                current: cur,
+                allowed,
+            });
+        }
+    }
+    for ((lint, file), &allowed) in baseline {
+        if !current.contains_key(&(lint.clone(), file.clone())) && allowed > 0 {
+            improvements.push(Delta {
+                lint: lint.clone(),
+                file: file.clone(),
+                current: 0,
+                allowed,
+            });
+        }
+    }
+    (regressions, improvements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, usize)]) -> Counts {
+        entries
+            .iter()
+            .map(|(l, f, c)| ((l.to_string(), f.to_string()), *c))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let c = counts(&[
+            ("hot-path-panic", "crates/exec/src/sort.rs", 7),
+            ("raw-io", "crates/bench/src/report.rs", 3),
+        ]);
+        assert_eq!(parse(&render(&c)).unwrap(), c);
+    }
+
+    #[test]
+    fn regression_and_ratchet_detection() {
+        let base = counts(&[("hot-path-panic", "a.rs", 5), ("raw-io", "b.rs", 2)]);
+        let now = counts(&[("hot-path-panic", "a.rs", 6), ("hot-path-panic", "c.rs", 1)]);
+        let (reg, imp) = compare(&now, &base);
+        assert_eq!(reg.len(), 2); // a.rs grew, c.rs is brand new
+        assert!(reg
+            .iter()
+            .any(|d| d.file == "a.rs" && d.current == 6 && d.allowed == 5));
+        assert!(reg.iter().any(|d| d.file == "c.rs" && d.allowed == 0));
+        assert_eq!(imp.len(), 1); // b.rs went to zero
+        assert!(imp.iter().any(|d| d.file == "b.rs" && d.current == 0));
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse("hot-path-panic\tonly-two-fields").is_err());
+        assert!(parse("lint\tfile\tnot-a-number").is_err());
+        assert!(parse("# comment\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! `cargo xtask` — repo automation gate.
+//!
+//! Subcommands:
+//! * `lint [--update-baseline]` — the custom source lints of
+//!   [`lints`], ratcheted against `lint-baseline.txt`.
+//! * `audit` — run the crates under the `check-invariants` feature so
+//!   the dominance auditors watch every operator test.
+//! * `oracle` — the differential gate of [`oracle`]: every algorithm
+//!   against the naive O(n²) oracle across the paper's workload grid.
+//! * `check` — all of the above; the CI entry point.
+
+mod baseline;
+mod lints;
+mod oracle;
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+const BASELINE_FILE: &str = "lint-baseline.txt";
+
+fn workspace_root() -> PathBuf {
+    // compiled into the binary: crates/xtask → ../../ is the workspace
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a workspace two levels up")
+        .to_path_buf()
+}
+
+/// Every `.rs` file the lints look at, as workspace-relative paths.
+fn source_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates"), root.join("src"), root.join("tests")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn run_lints(root: &Path, update_baseline: bool) -> Result<(), String> {
+    let mut findings = Vec::new();
+    for rel in source_files(root) {
+        let src =
+            std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        findings.extend(lints::lint_file(&rel, &scan::CleanSource::new(&src)));
+    }
+    let current = baseline::counts_of(&findings);
+    let baseline_path = root.join(BASELINE_FILE);
+
+    if update_baseline {
+        std::fs::write(&baseline_path, baseline::render(&current))
+            .map_err(|e| format!("write {BASELINE_FILE}: {e}"))?;
+        println!(
+            "lint: baseline rewritten with {} findings across {} (lint, file) pairs",
+            findings.len(),
+            current.len()
+        );
+        return Ok(());
+    }
+
+    let base_text = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    let base = baseline::parse(&base_text)?;
+    let (regressions, improvements) = baseline::compare(&current, &base);
+
+    for d in &improvements {
+        println!(
+            "lint: {}:{} improved {} → {} — ratchet down with `cargo xtask lint --update-baseline`",
+            d.lint, d.file, d.allowed, d.current
+        );
+    }
+    if regressions.is_empty() {
+        println!(
+            "lint: ok — {} findings, all within the ratchet ({} files scanned)",
+            findings.len(),
+            source_files(root).len()
+        );
+        return Ok(());
+    }
+    let mut msg = String::new();
+    for d in &regressions {
+        msg.push_str(&format!(
+            "lint regression: {} in {} — {} findings, baseline allows {}\n",
+            d.lint, d.file, d.current, d.allowed
+        ));
+        for f in findings
+            .iter()
+            .filter(|f| f.lint == d.lint && f.file == d.file)
+        {
+            msg.push_str(&format!("    {}:{}  {}\n", f.file, f.line, f.excerpt));
+        }
+    }
+    msg.push_str(
+        "fix the new findings (or, for accepted debt, run `cargo xtask lint --update-baseline`)",
+    );
+    Err(msg)
+}
+
+fn run_cargo(root: &Path, args: &[&str]) -> Result<(), String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    println!("xtask: running `cargo {}`", args.join(" "));
+    let status = Command::new(cargo)
+        .args(args)
+        .current_dir(root)
+        .status()
+        .map_err(|e| format!("spawn cargo: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("`cargo {}` failed ({status})", args.join(" ")))
+    }
+}
+
+fn run_audit(root: &Path) -> Result<(), String> {
+    run_cargo(
+        root,
+        &[
+            "test",
+            "-q",
+            "-p",
+            "skyline-core",
+            "--features",
+            "check-invariants",
+        ],
+    )
+}
+
+fn run_oracle() -> Result<(), String> {
+    match oracle::run(false) {
+        Ok(cases) => {
+            println!("oracle: ok — {cases} algorithm/workload cases agree with the naive oracle");
+            Ok(())
+        }
+        Err(mismatches) => {
+            let mut msg = String::new();
+            for m in mismatches.iter().take(5) {
+                msg.push_str(&format!(
+                    "oracle mismatch: {} on {}\n  expected {:?}\n  got      {:?}\n",
+                    m.algo, m.workload, m.expected, m.got
+                ));
+            }
+            if mismatches.len() > 5 {
+                msg.push_str(&format!("… and {} more\n", mismatches.len() - 5));
+            }
+            Err(msg)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: cargo xtask <check|lint|audit|oracle> [--update-baseline]".to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    let update = args.iter().any(|a| a == "--update-baseline");
+    let result = match args.first().map(String::as_str) {
+        Some("lint") => run_lints(&root, update),
+        Some("audit") => run_audit(&root),
+        Some("oracle") => run_oracle(),
+        Some("check") => run_lints(&root, false)
+            .and_then(|()| run_audit(&root))
+            .and_then(|()| run_oracle()),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => {
+            println!("xtask: all good");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The differential oracle gate (`cargo xtask oracle`).
+//!
+//! Every skyline algorithm in the workspace — SFS under both presort
+//! orders, BNL, the parallel partition/merge, strata, and the 1-skyband
+//! — is run against the naive O(n²) oracle over uniform, correlated and
+//! anti-correlated workloads (the paper's §5 evaluation grid) at several
+//! dimensionalities and sizes. Any disagreement is a correctness bug, no
+//! matter what the unit tests think.
+
+use skyline_core::algo::{bnl, naive, sfs, strata, MemSortOrder};
+use skyline_core::skyband::skyband;
+use skyline_core::{parallel_skyline, KeyMatrix};
+use skyline_relation::gen::{Distribution, WorkloadSpec};
+use skyline_relation::RecordLayout;
+
+/// One disagreement with the oracle.
+#[derive(Debug)]
+pub struct Mismatch {
+    /// Which algorithm disagreed.
+    pub algo: String,
+    /// Workload description (distribution/d/n/seed).
+    pub workload: String,
+    /// What the oracle says (sorted indices).
+    pub expected: Vec<usize>,
+    /// What the algorithm said (sorted indices).
+    pub got: Vec<usize>,
+}
+
+fn keys_for(dist: Distribution, d: usize, n: usize, seed: u64) -> KeyMatrix {
+    let spec = WorkloadSpec {
+        dist,
+        domain: (0, 9999),
+        layout: RecordLayout::new(d, 0),
+        ..WorkloadSpec::paper(n, seed)
+    };
+    KeyMatrix::new(d, spec.generate_keys(d))
+}
+
+/// Verify strata stratum-by-stratum against iterated oracle removal:
+/// stratum `i` must be the oracle skyline of the rows left after
+/// removing strata `0..i`.
+fn check_strata(
+    km: &KeyMatrix,
+    order: MemSortOrder,
+    workload: &str,
+    mismatches: &mut Vec<Mismatch>,
+) {
+    let (strata_sets, _) = strata(km, 4, order);
+    let mut remaining: Vec<usize> = (0..km.n()).collect();
+    for (s, stratum) in strata_sets.iter().enumerate() {
+        if remaining.is_empty() {
+            break;
+        }
+        let sub = km.select(&remaining);
+        let expect: Vec<usize> = {
+            let mut e: Vec<usize> = naive(&sub).indices.iter().map(|&i| remaining[i]).collect();
+            e.sort_unstable();
+            e
+        };
+        let mut got = stratum.clone();
+        got.sort_unstable();
+        if got != expect {
+            mismatches.push(Mismatch {
+                algo: format!("strata[{s}]/{order:?}"),
+                workload: workload.to_string(),
+                expected: expect,
+                got,
+            });
+            return;
+        }
+        remaining.retain(|i| !stratum.contains(i));
+    }
+}
+
+/// Run the whole gate. `quick` shrinks the grid (used by self-tests).
+pub fn run(quick: bool) -> Result<usize, Vec<Mismatch>> {
+    let dists: &[(&str, Distribution)] = &[
+        ("uniform", Distribution::UniformIndependent),
+        ("correlated", Distribution::Correlated { jitter: 0.05 }),
+        (
+            "anticorrelated",
+            Distribution::AntiCorrelated { jitter: 0.05 },
+        ),
+    ];
+    let (dims, sizes, seeds): (&[usize], &[usize], &[u64]) = if quick {
+        (&[2, 3], &[120], &[1])
+    } else {
+        (&[1, 2, 3, 4], &[200, 1000], &[1, 2, 3])
+    };
+    let mut cases = 0usize;
+    let mut mismatches = Vec::new();
+    for &(dname, dist) in dists {
+        for &d in dims {
+            for &n in sizes {
+                for &seed in seeds {
+                    let km = keys_for(dist, d, n, seed);
+                    let workload = format!("{dname} d={d} n={n} seed={seed}");
+                    let expect = naive(&km).sorted().indices;
+
+                    for order in [MemSortOrder::Nested, MemSortOrder::Entropy] {
+                        let got = sfs(&km, order).sorted().indices;
+                        if got != expect {
+                            mismatches.push(Mismatch {
+                                algo: format!("sfs/{order:?}"),
+                                workload: workload.clone(),
+                                expected: expect.clone(),
+                                got,
+                            });
+                        }
+                        check_strata(&km, order, &workload, &mut mismatches);
+                        cases += 2;
+                    }
+
+                    let got = bnl(&km).sorted().indices;
+                    if got != expect {
+                        mismatches.push(Mismatch {
+                            algo: "bnl".into(),
+                            workload: workload.clone(),
+                            expected: expect.clone(),
+                            got,
+                        });
+                    }
+
+                    match parallel_skyline(&km, 4) {
+                        Ok(got) => {
+                            if got != expect {
+                                mismatches.push(Mismatch {
+                                    algo: "parallel_skyline".into(),
+                                    workload: workload.clone(),
+                                    expected: expect.clone(),
+                                    got,
+                                });
+                            }
+                        }
+                        Err(e) => mismatches.push(Mismatch {
+                            algo: format!("parallel_skyline ({e})"),
+                            workload: workload.clone(),
+                            expected: expect.clone(),
+                            got: Vec::new(),
+                        }),
+                    }
+
+                    let mut got = skyband(&km, 1);
+                    got.sort_unstable();
+                    if got != expect {
+                        mismatches.push(Mismatch {
+                            algo: "skyband(1)".into(),
+                            workload: workload.clone(),
+                            expected: expect.clone(),
+                            got,
+                        });
+                    }
+                    cases += 3;
+                }
+            }
+        }
+    }
+    if mismatches.is_empty() {
+        Ok(cases)
+    } else {
+        Err(mismatches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::algo::presort_indices;
+    use skyline_core::audit::check_topological;
+
+    #[test]
+    fn quick_grid_agrees_with_oracle() {
+        let cases = run(true).expect("no algorithm may disagree with the oracle");
+        assert!(cases > 0);
+    }
+
+    /// The third seeded violation the gate must catch: a presort stream
+    /// scrambled behind the sorter's back is not topological, and the
+    /// auditor the operators run under `check-invariants` says so.
+    #[test]
+    fn scrambled_presort_stream_violates_dominance_order() {
+        let km = keys_for(Distribution::UniformIndependent, 3, 200, 7);
+        let mut order = presort_indices(&km, MemSortOrder::Entropy);
+        assert!(check_topological(&km, &order, "oracle").is_ok());
+        order.reverse(); // dominators now come last: order contract broken
+        let v = check_topological(&km, &order, "oracle")
+            .expect_err("a reversed entropy order must violate the presort contract");
+        assert!(v.to_string().contains("not a topological sort"));
+    }
+}

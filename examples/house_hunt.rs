@@ -24,9 +24,21 @@ struct House {
 
 fn main() {
     let houses = [
-        House { label: "4 baths / 1 bedroom", baths: 4.0, bedrooms: 1.0 },
-        House { label: "2 baths / 2 bedrooms", baths: 2.0, bedrooms: 2.0 },
-        House { label: "1 bath  / 4 bedrooms", baths: 1.0, bedrooms: 4.0 },
+        House {
+            label: "4 baths / 1 bedroom",
+            baths: 4.0,
+            bedrooms: 1.0,
+        },
+        House {
+            label: "2 baths / 2 bedrooms",
+            baths: 2.0,
+            bedrooms: 2.0,
+        },
+        House {
+            label: "1 bath  / 4 bedrooms",
+            baths: 1.0,
+            bedrooms: 4.0,
+        },
     ];
 
     // Every house is Pareto-optimal: the skyline returns all three.
@@ -61,10 +73,7 @@ fn main() {
         if winner == 1 {
             balanced_won = true;
         }
-        println!(
-            "  w=({w1:.1},{w2:.1}) → best: {}",
-            houses[winner].label
-        );
+        println!("  w=({w1:.1},{w2:.1}) → best: {}", houses[winner].label);
     }
     assert!(
         !balanced_won,

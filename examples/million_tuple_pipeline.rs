@@ -134,7 +134,10 @@ fn main() {
     }
     bnl.close();
     println!("\n== BNL, same {window_pages}-page window (no sort needed) ==");
-    println!("skyline tuples: {bnl_count} (must match: {})", count == bnl_count);
+    println!(
+        "skyline tuples: {bnl_count} (must match: {})",
+        count == bnl_count
+    );
     println!("time:           {:.2?}", t3.elapsed());
     let bs = bnl_metrics.snapshot();
     println!(

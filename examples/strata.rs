@@ -6,8 +6,8 @@
 //! cargo run --example strata
 //! ```
 
-use skyline::core::strata::strata_external;
 use skyline::core::planner::load_heap;
+use skyline::core::strata::strata_external;
 use skyline::core::{SkylineBuilder, SkylineSpec, SortOrder};
 use skyline::relation::gen::WorkloadSpec;
 use skyline::relation::samples::good_eats;
@@ -86,7 +86,10 @@ fn main() {
         Arc::clone(&disk) as Arc<dyn Disk>,
     )
     .expect("strata");
-    println!("first four strata of U({n}, d={d}) in {:.2?}:", t0.elapsed());
+    println!(
+        "first four strata of U({n}, d={d}) in {:.2?}:",
+        t0.elapsed()
+    );
     for (i, s) in res.strata.iter().enumerate() {
         println!("  s{i}: {:>6} tuples", s.len());
     }

@@ -1,0 +1,118 @@
+//! Differential oracle gate: every skyline algorithm against the naive
+//! O(n²) oracle across the paper's §5 workload grid — uniform,
+//! correlated and anti-correlated distributions, both in-memory presort
+//! orders, several dimensionalities.
+//!
+//! `cargo xtask oracle` runs the same grid (larger sizes) from the
+//! workspace-automation side; this file is the version that rides along
+//! with every plain `cargo test`.
+
+use skyline::core::algo::{bnl, naive, sfs, strata, MemSortOrder};
+use skyline::core::skyband::skyband;
+use skyline::core::{parallel_skyline, KeyMatrix};
+use skyline::relation::gen::{Distribution, WorkloadSpec};
+use skyline::relation::RecordLayout;
+
+const DISTS: &[(&str, Distribution)] = &[
+    ("uniform", Distribution::UniformIndependent),
+    ("correlated", Distribution::Correlated { jitter: 0.05 }),
+    (
+        "anticorrelated",
+        Distribution::AntiCorrelated { jitter: 0.05 },
+    ),
+];
+
+fn keys_for(dist: Distribution, d: usize, n: usize, seed: u64) -> KeyMatrix {
+    let spec = WorkloadSpec {
+        dist,
+        domain: (0, 9999),
+        layout: RecordLayout::new(d, 0),
+        ..WorkloadSpec::paper(n, seed)
+    };
+    KeyMatrix::new(d, spec.generate_keys(d))
+}
+
+/// Run `f` over the whole workload grid with a per-case label.
+fn grid(mut f: impl FnMut(&KeyMatrix, &str)) {
+    for &(dname, dist) in DISTS {
+        for d in [1, 2, 3, 4] {
+            for seed in [1, 2] {
+                let n = 300;
+                let km = keys_for(dist, d, n, seed);
+                f(&km, &format!("{dname} d={d} n={n} seed={seed}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn sfs_matches_oracle_on_all_workloads_and_orders() {
+    grid(|km, label| {
+        let expect = naive(km).sorted().indices;
+        for order in [MemSortOrder::Nested, MemSortOrder::Entropy] {
+            assert_eq!(
+                sfs(km, order).sorted().indices,
+                expect,
+                "sfs/{order:?} on {label}"
+            );
+        }
+    });
+}
+
+#[test]
+fn bnl_matches_oracle_on_all_workloads() {
+    grid(|km, label| {
+        assert_eq!(
+            bnl(km).sorted().indices,
+            naive(km).sorted().indices,
+            "bnl on {label}"
+        );
+    });
+}
+
+#[test]
+fn parallel_skyline_matches_oracle_on_all_workloads() {
+    grid(|km, label| {
+        let got = parallel_skyline(km, 4).expect("no worker should panic");
+        assert_eq!(got, naive(km).sorted().indices, "parallel on {label}");
+    });
+}
+
+#[test]
+fn strata_match_iterated_oracle_removal() {
+    grid(|km, label| {
+        for order in [MemSortOrder::Nested, MemSortOrder::Entropy] {
+            let (strata_sets, _) = strata(km, 4, order);
+            let mut remaining: Vec<usize> = (0..km.n()).collect();
+            for (s, stratum) in strata_sets.iter().enumerate() {
+                if remaining.is_empty() {
+                    break;
+                }
+                let sub = km.select(&remaining);
+                let mut expect: Vec<usize> =
+                    naive(&sub).indices.iter().map(|&i| remaining[i]).collect();
+                expect.sort_unstable();
+                let mut got = stratum.clone();
+                got.sort_unstable();
+                assert_eq!(got, expect, "stratum {s} ({order:?}) on {label}");
+                remaining.retain(|i| !stratum.contains(i));
+            }
+        }
+    });
+}
+
+#[test]
+fn skyband_1_is_the_skyline_and_k_nests() {
+    grid(|km, label| {
+        let mut got = skyband(km, 1);
+        got.sort_unstable();
+        assert_eq!(got, naive(km).sorted().indices, "skyband(1) on {label}");
+        // k-skybands nest: band(k) ⊆ band(k+1)
+        let b2 = skyband(km, 2);
+        let b3 = skyband(km, 3);
+        assert!(
+            b2.iter().all(|i| b3.contains(i)),
+            "skyband nesting on {label}"
+        );
+    });
+}

@@ -2,7 +2,6 @@
 //! — in-memory naive/SFS/BNL/D&C and the external paged SFS/BNL under
 //! arbitrary window sizes — must compute exactly the same skyline.
 
-use proptest::prelude::*;
 use skyline::core::algo::{self, MemSortOrder};
 use skyline::core::planner::{entropy_stats_of_records, load_heap, presort, sfs_filter};
 use skyline::core::{
@@ -11,49 +10,53 @@ use skyline::core::{
 use skyline::exec::{collect, HeapScan};
 use skyline::relation::RecordLayout;
 use skyline::storage::{Disk, MemDisk};
+use skyline_testkit::{cases, Rng};
 use std::sync::Arc;
 
-fn small_matrix() -> impl Strategy<Value = (usize, Vec<f64>)> {
-    (1usize..=4).prop_flat_map(|d| {
-        (
-            Just(d),
-            proptest::collection::vec(-8.0f64..8.0, 0..(40 * d)).prop_map(move |mut v| {
-                v.truncate(v.len() / d * d);
-                v
-            }),
-        )
-    })
+/// Random `n × d` key matrix, `d ∈ 1..=4`, `n ∈ 0..40`, values in ±8.
+fn small_matrix(rng: &mut Rng) -> (usize, Vec<f64>) {
+    let d = 1 + rng.usize_below(4);
+    let rows = rng.usize_below(40);
+    let data = (0..rows * d).map(|_| -8.0 + 16.0 * rng.f64()).collect();
+    (d, data)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_in_memory_algorithms_agree((d, data) in small_matrix()) {
+#[test]
+fn all_in_memory_algorithms_agree() {
+    cases(64, 0xE001, |rng| {
+        let (d, data) = small_matrix(rng);
         let km = KeyMatrix::new(d, data);
         let expect = algo::naive(&km).sorted().indices;
-        prop_assert_eq!(algo::sfs(&km, MemSortOrder::Entropy).sorted().indices, expect.clone());
-        prop_assert_eq!(algo::sfs(&km, MemSortOrder::Nested).sorted().indices, expect.clone());
-        prop_assert_eq!(algo::bnl(&km).sorted().indices, expect.clone());
-        prop_assert_eq!(algo::divide_and_conquer(&km).sorted().indices, expect);
-    }
+        assert_eq!(
+            algo::sfs(&km, MemSortOrder::Entropy).sorted().indices,
+            expect
+        );
+        assert_eq!(
+            algo::sfs(&km, MemSortOrder::Nested).sorted().indices,
+            expect
+        );
+        assert_eq!(algo::bnl(&km).sorted().indices, expect);
+        assert_eq!(algo::divide_and_conquer(&km).sorted().indices, expect);
+    });
+}
 
-    #[test]
-    fn integer_grids_with_heavy_ties_agree(
-        d in 2usize..=3,
-        rows in proptest::collection::vec(proptest::collection::vec(0i32..4, 3), 0..80),
-    ) {
-        let rows: Vec<Vec<f64>> = rows
-            .into_iter()
-            .map(|r| r.into_iter().take(d).map(f64::from).collect())
-            .filter(|r: &Vec<f64>| r.len() == d)
+#[test]
+fn integer_grids_with_heavy_ties_agree() {
+    cases(64, 0xE002, |rng| {
+        let d = 2 + rng.usize_below(2);
+        let n = rng.usize_below(80);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| f64::from(rng.i32_inclusive(0, 3))).collect())
             .collect();
         let km = KeyMatrix::from_rows(&rows);
         let expect = algo::naive(&km).sorted().indices;
-        prop_assert_eq!(algo::sfs(&km, MemSortOrder::Entropy).sorted().indices, expect.clone());
-        prop_assert_eq!(algo::bnl(&km).sorted().indices, expect.clone());
-        prop_assert_eq!(algo::divide_and_conquer(&km).sorted().indices, expect);
-    }
+        assert_eq!(
+            algo::sfs(&km, MemSortOrder::Entropy).sorted().indices,
+            expect
+        );
+        assert_eq!(algo::bnl(&km).sorted().indices, expect);
+        assert_eq!(algo::divide_and_conquer(&km).sorted().indices, expect);
+    });
 }
 
 /// Encode integer rows into records, run the full external SFS pipeline
@@ -75,7 +78,10 @@ fn external_case(
         directions
             .iter()
             .enumerate()
-            .map(|(i, &dir)| Criterion { attr: i, direction: dir })
+            .map(|(i, &dir)| Criterion {
+                attr: i,
+                direction: dir,
+            })
             .collect(),
     );
 
@@ -161,21 +167,27 @@ fn external_case(
     assert_eq!(got_bnl, expect, "external BNL vs oracle");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn external_operators_match_oracle(
-        rows in proptest::collection::vec(proptest::collection::vec(-20i32..20, 3), 0..120),
-        min_mask in 0u8..8,
-        window_pages in 0usize..3,
-        projection in any::<bool>(),
-    ) {
+#[test]
+fn external_operators_match_oracle() {
+    cases(24, 0xE003, |rng| {
+        let n = rng.usize_below(120);
+        let rows: Vec<Vec<i32>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.i32_inclusive(-20, 19)).collect())
+            .collect();
+        let min_mask = rng.u64_below(8) as u8;
+        let window_pages = rng.usize_below(3);
+        let projection = rng.bool();
         let directions: Vec<Direction> = (0..3)
-            .map(|i| if min_mask & (1 << i) != 0 { Direction::Min } else { Direction::Max })
+            .map(|i| {
+                if min_mask & (1 << i) != 0 {
+                    Direction::Min
+                } else {
+                    Direction::Max
+                }
+            })
             .collect();
         external_case(&rows, &directions, window_pages, projection);
-    }
+    });
 }
 
 #[test]

@@ -208,10 +208,7 @@ fn diff_through_external_sort_groups_correctly() {
     use skyline::core::KeyMatrix;
     let mut expect = Vec::new();
     for g in 0..4 {
-        let members: Vec<&Vec<u8>> = records
-            .iter()
-            .filter(|r| layout.attr(r, 2) == g)
-            .collect();
+        let members: Vec<&Vec<u8>> = records.iter().filter(|r| layout.attr(r, 2) == g).collect();
         let rows: Vec<Vec<f64>> = members
             .iter()
             .map(|r| vec![f64::from(layout.attr(r, 0)), f64::from(layout.attr(r, 1))])
@@ -257,7 +254,10 @@ fn dimensional_reduction_pipeline_preserves_distinct_skyline() {
     ));
     let mut gm = GroupMax::new(sort, layout, (0..d - 1).collect(), d - 1).unwrap();
     let reduced = Arc::new(materialize(&mut gm, Arc::clone(&disk) as Arc<dyn Disk>).unwrap());
-    assert!(reduced.len() < heap.len() / 2, "reduction must shrink the input");
+    assert!(
+        reduced.len() < heap.len() / 2,
+        "reduction must shrink the input"
+    );
 
     // skyline over reduced input == distinct skyline keys of full input
     let mut sfs = sfs_filter(
@@ -380,11 +380,17 @@ fn preference_order_top_n_with_early_stop() {
     let full = run_sfs_with_window(&disk, &heap, layout, d, 100);
     let mut full_scores: Vec<f64> = full.iter().map(|r| score_of(r)).collect();
     full_scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    let got_min = out.iter().map(|r| score_of(r)).fold(f64::INFINITY, f64::min);
+    let got_min = out
+        .iter()
+        .map(|r| score_of(r))
+        .fold(f64::INFINITY, f64::min);
     assert!(got_min >= full_scores[4] - 1e-9);
 
     // early stop: far fewer tuples examined than a full run
-    assert!(metrics.snapshot().emitted <= 6, "Limit closed the operator early");
+    assert!(
+        metrics.snapshot().emitted <= 6,
+        "Limit closed the operator early"
+    );
 }
 
 #[test]
@@ -446,6 +452,10 @@ fn no_pages_leak_after_full_pipeline() {
     let (disk, heap, layout) = setup(3_000, 5);
     let before = disk.allocated_pages();
     let _ = run_sfs_with_window(&disk, &heap, layout, 5, 1);
-    assert_eq!(disk.allocated_pages(), before, "temp/sorted files must be freed");
+    assert_eq!(
+        disk.allocated_pages(),
+        before,
+        "temp/sorted files must be freed"
+    );
     drop(heap);
 }

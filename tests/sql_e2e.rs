@@ -1,7 +1,6 @@
 //! End-to-end SQL tests: the `SKYLINE OF` operator against the paper's
 //! Figure-5 `EXCEPT` rewrite oracle, on random tables and the samples.
 
-use proptest::prelude::*;
 use skyline::query::catalog::Catalog;
 use skyline::query::rewrite::eval_except_semantics;
 use skyline::query::{execute, parse};
@@ -23,39 +22,52 @@ fn random_table(rows: &[(i64, i64, i64)]) -> Table {
     t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The skyline operator and the EXCEPT-rewrite oracle agree on
-    /// arbitrary tables and direction mixes (incl. DIFF).
-    #[test]
-    fn operator_matches_except_rewrite(
-        rows in proptest::collection::vec((0i64..15, 0i64..15, 0i64..3), 0..60),
-        x_min in any::<bool>(),
-        y_min in any::<bool>(),
-        use_diff in any::<bool>(),
-    ) {
+/// The skyline operator and the EXCEPT-rewrite oracle agree on
+/// arbitrary tables and direction mixes (incl. DIFF).
+#[test]
+fn operator_matches_except_rewrite() {
+    skyline_testkit::cases(48, 0x59E1, |rng| {
+        let n = rng.usize_below(60);
+        let rows: Vec<(i64, i64, i64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.i64_inclusive(0, 14),
+                    rng.i64_inclusive(0, 14),
+                    rng.i64_inclusive(0, 2),
+                )
+            })
+            .collect();
         let table = random_table(&rows);
         let mut catalog = Catalog::new();
         catalog.register("t", table);
-        let xd = if x_min { "MIN" } else { "MAX" };
-        let yd = if y_min { "MIN" } else { "MAX" };
-        let diff = if use_diff { ", g DIFF" } else { "" };
+        let xd = if rng.bool() { "MIN" } else { "MAX" };
+        let yd = if rng.bool() { "MIN" } else { "MAX" };
+        let diff = if rng.bool() { ", g DIFF" } else { "" };
         let sql = format!("SELECT * FROM t SKYLINE OF x {xd}, y {yd}{diff}");
         let q = parse(&sql).unwrap();
         let via_op = execute(&sql, &catalog).unwrap();
         let via_rewrite = eval_except_semantics(&q, &catalog).unwrap();
         // both preserve input order, so rows compare directly
-        prop_assert_eq!(via_op.rows(), via_rewrite.rows());
-    }
+        assert_eq!(via_op.rows(), via_rewrite.rows());
+    });
+}
 
-    /// WHERE composes under the skyline: result equals computing the
-    /// skyline over the pre-filtered table.
-    #[test]
-    fn where_is_applied_below_skyline(
-        rows in proptest::collection::vec((0i64..20, 0i64..20, 0i64..2), 0..60),
-        threshold in 0i64..20,
-    ) {
+/// WHERE composes under the skyline: result equals computing the
+/// skyline over the pre-filtered table.
+#[test]
+fn where_is_applied_below_skyline() {
+    skyline_testkit::cases(48, 0x59E2, |rng| {
+        let n = rng.usize_below(60);
+        let rows: Vec<(i64, i64, i64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.i64_inclusive(0, 19),
+                    rng.i64_inclusive(0, 19),
+                    rng.i64_inclusive(0, 1),
+                )
+            })
+            .collect();
+        let threshold = rng.i64_inclusive(0, 19);
         let table = random_table(&rows);
         let filtered_rows: Vec<(i64, i64, i64)> = rows
             .iter()
@@ -75,8 +87,8 @@ proptest! {
         let mut c2 = Catalog::new();
         c2.register("t", filtered);
         let pre_filtered = execute("SELECT x, y FROM t SKYLINE OF x MAX, y MAX", &c2).unwrap();
-        prop_assert_eq!(with_where.rows(), pre_filtered.rows());
-    }
+        assert_eq!(with_where.rows(), pre_filtered.rows());
+    });
 }
 
 #[test]
@@ -89,8 +101,15 @@ fn good_eats_end_to_end() {
         &catalog,
     )
     .unwrap();
-    let names: Vec<&str> = out.rows().iter().map(|r| r.get(0).as_str().unwrap()).collect();
-    assert_eq!(names, vec!["Zakopane", "Yamanote", "Summer Moon", "Fenton & Pickle"]);
+    let names: Vec<&str> = out
+        .rows()
+        .iter()
+        .map(|r| r.get(0).as_str().unwrap())
+        .collect();
+    assert_eq!(
+        names,
+        vec!["Zakopane", "Yamanote", "Summer Moon", "Fenton & Pickle"]
+    );
     for n in names {
         assert!(GOOD_EATS_SKYLINE.contains(&n));
     }

@@ -1,72 +1,81 @@
 //! Property tests for the paper's Section 3 theory: the skyline's
 //! relationship to monotone scoring functions.
 
-use proptest::prelude::*;
 use skyline::core::algo::{self, MemSortOrder};
 use skyline::core::cardinality::{asymptotic_skyline_size, expected_skyline_size};
 use skyline::core::score::{nested_desc, EntropyScore, LinearScore, MonotoneScore};
 use skyline::core::{dominates, KeyMatrix};
+use skyline_testkit::{cases, Rng};
 
-fn matrices() -> impl Strategy<Value = (usize, Vec<f64>)> {
-    (1usize..=4).prop_flat_map(|d| {
-        (
-            Just(d),
-            proptest::collection::vec(-5.0f64..5.0, d..(50 * d)).prop_map(move |mut v| {
-                v.truncate(v.len() / d * d);
-                v
-            }),
-        )
-    })
+/// Random `n × d` key matrix, `d ∈ 1..=4`, `n ∈ 1..=50`. Half the cases
+/// draw from a small integer grid so ties and duplicate rows are common.
+fn matrix(rng: &mut Rng) -> (usize, Vec<f64>) {
+    let d = 1 + rng.usize_below(4);
+    let rows = 1 + rng.usize_below(50);
+    let grid = rng.bool();
+    let data = (0..rows * d)
+        .map(|_| {
+            if grid {
+                f64::from(rng.i32_inclusive(-5, 5))
+            } else {
+                -5.0 + 10.0 * rng.f64()
+            }
+        })
+        .collect();
+    (d, data)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(80))]
-
-    /// Lemma 2: the maximizer of any monotone scoring function is skyline.
-    #[test]
-    fn lemma2_linear_maximizers_are_skyline(
-        (d, data) in matrices(),
-        weights in proptest::collection::vec(0.01f64..10.0, 4),
-    ) {
+/// Lemma 2: the maximizer of any monotone scoring function is skyline.
+#[test]
+fn lemma2_linear_maximizers_are_skyline() {
+    cases(80, 0x7E01, |rng| {
+        let (d, data) = matrix(rng);
         let km = KeyMatrix::new(d, data);
-        prop_assume!(km.n() > 0);
-        let scorer = LinearScore::new(weights[..d].to_vec());
+        let weights: Vec<f64> = (0..d).map(|_| 0.01 + 9.99 * rng.f64()).collect();
+        let scorer = LinearScore::new(weights);
         let best = (0..km.n())
             .max_by(|&a, &b| {
-                scorer.score(km.row(a)).partial_cmp(&scorer.score(km.row(b))).unwrap()
+                scorer
+                    .score(km.row(a))
+                    .partial_cmp(&scorer.score(km.row(b)))
+                    .unwrap()
             })
             .unwrap();
         let sky = algo::naive(&km).indices;
         // the maximizer's key can be shared by several rows; at least one
         // row with that exact key must be skyline, and the maximizer is
         // not strictly dominated by anyone.
-        prop_assert!(!(0..km.n()).any(|j| dominates(km.row(j), km.row(best))));
-        prop_assert!(sky.iter().any(|&i| km.row(i) == km.row(best)));
-    }
+        assert!(!(0..km.n()).any(|j| dominates(km.row(j), km.row(best))));
+        assert!(sky.iter().any(|&i| km.row(i) == km.row(best)));
+    });
+}
 
-    /// Lemma 2 for the entropy scoring specifically.
-    #[test]
-    fn lemma2_entropy_maximizer_is_skyline((d, data) in matrices()) {
+/// Lemma 2 for the entropy scoring specifically.
+#[test]
+fn lemma2_entropy_maximizer_is_skyline() {
+    cases(80, 0x7E02, |rng| {
+        let (d, data) = matrix(rng);
         let km = KeyMatrix::new(d, data);
-        prop_assume!(km.n() > 0);
         let e = EntropyScore::from_keys(km.data(), d);
         let best = (0..km.n())
             .max_by(|&a, &b| e.score(km.row(a)).partial_cmp(&e.score(km.row(b))).unwrap())
             .unwrap();
-        prop_assert!(!(0..km.n()).any(|j| dominates(km.row(j), km.row(best))));
-    }
+        assert!(!(0..km.n()).any(|j| dominates(km.row(j), km.row(best))));
+    });
+}
 
-    /// Theorem 6: any monotone-score descending order is a topological
-    /// sort of dominance — a dominator never appears after a dominated
-    /// tuple.
-    #[test]
-    fn theorem6_entropy_order_is_topological((d, data) in matrices()) {
+/// Theorem 6: any monotone-score descending order is a topological sort
+/// of dominance — a dominator never appears after a dominated tuple.
+#[test]
+fn theorem6_entropy_order_is_topological() {
+    cases(80, 0x7E03, |rng| {
+        let (d, data) = matrix(rng);
         let km = KeyMatrix::new(d, data);
         let order = algo::presort_indices(&km, MemSortOrder::Entropy);
         for (pos_a, &a) in order.iter().enumerate() {
             for &b in &order[pos_a + 1..] {
                 // b comes after a, so b must not dominate a
-                prop_assert!(
+                assert!(
                     !dominates(km.row(b), km.row(a)),
                     "later row {:?} dominates earlier {:?}",
                     km.row(b),
@@ -74,127 +83,148 @@ proptest! {
                 );
             }
         }
-    }
+    });
+}
 
-    /// Theorem 7: the nested sort is also a topological order.
-    #[test]
-    fn theorem7_nested_order_is_topological((d, data) in matrices()) {
+/// Theorem 7: the nested sort is also a topological order.
+#[test]
+fn theorem7_nested_order_is_topological() {
+    cases(80, 0x7E04, |rng| {
+        let (d, data) = matrix(rng);
         let km = KeyMatrix::new(d, data);
         let order = algo::presort_indices(&km, MemSortOrder::Nested);
         for (pos_a, &a) in order.iter().enumerate() {
             for &b in &order[pos_a + 1..] {
-                prop_assert!(!dominates(km.row(b), km.row(a)));
+                assert!(!dominates(km.row(b), km.row(a)));
             }
         }
-    }
+    });
+}
 
-    /// Dominance is transitive and antisymmetric on random triples.
-    #[test]
-    fn dominance_partial_order_laws(
-        a in proptest::collection::vec(-5.0f64..5.0, 3),
-        b in proptest::collection::vec(-5.0f64..5.0, 3),
-        c in proptest::collection::vec(-5.0f64..5.0, 3),
-    ) {
+/// Dominance is transitive and antisymmetric on random triples.
+#[test]
+fn dominance_partial_order_laws() {
+    cases(200, 0x7E05, |rng| {
+        let row = |rng: &mut Rng| -> Vec<f64> {
+            (0..3)
+                .map(|_| f64::from(rng.i32_inclusive(-3, 3)))
+                .collect()
+        };
+        let a = row(rng);
+        let b = row(rng);
+        let c = row(rng);
         if dominates(&a, &b) && dominates(&b, &c) {
-            prop_assert!(dominates(&a, &c), "transitivity");
+            assert!(dominates(&a, &c), "transitivity");
         }
-        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)), "antisymmetry");
-        prop_assert!(!dominates(&a, &a), "irreflexivity");
-    }
+        assert!(!(dominates(&a, &b) && dominates(&b, &a)), "antisymmetry");
+        assert!(!dominates(&a, &a), "irreflexivity");
+    });
+}
 
-    /// The skyline is the union of per-stratum skylines' first layer and
-    /// strata partition the full relation.
-    #[test]
-    fn strata_partition_the_relation((d, data) in matrices()) {
+/// The skyline is the union of per-stratum skylines' first layer and
+/// strata partition the full relation.
+#[test]
+fn strata_partition_the_relation() {
+    cases(80, 0x7E06, |rng| {
+        let (d, data) = matrix(rng);
         let km = KeyMatrix::new(d, data);
         let labels = algo::stratum_labels(&km, MemSortOrder::Entropy);
-        prop_assert_eq!(labels.len(), km.n());
+        assert_eq!(labels.len(), km.n());
         // stratum 0 is exactly the skyline
         let sky: Vec<usize> = algo::naive(&km).sorted().indices;
         let s0: Vec<usize> = (0..km.n()).filter(|&i| labels[i] == 0).collect();
-        prop_assert_eq!(s0, sky);
+        assert_eq!(s0, sky);
         // each stratum-i row is dominated by some row of stratum i-1 and
         // none of its own stratum
         for i in 0..km.n() {
             let li = labels[i];
             if li > 0 {
-                prop_assert!((0..km.n()).any(
-                    |j| labels[j] == li - 1 && dominates(km.row(j), km.row(i))
-                ));
+                assert!((0..km.n()).any(|j| labels[j] == li - 1 && dominates(km.row(j), km.row(i))));
             }
-            prop_assert!(!(0..km.n()).any(
-                |j| labels[j] == li && dominates(km.row(j), km.row(i))
-            ));
+            assert!(!(0..km.n()).any(|j| labels[j] == li && dominates(km.row(j), km.row(i))));
         }
-    }
-
-    /// nested_desc is a strict weak order consistent with dominance.
-    #[test]
-    fn nested_desc_total_order_laws(
-        a in proptest::collection::vec(-5.0f64..5.0, 3),
-        b in proptest::collection::vec(-5.0f64..5.0, 3),
-    ) {
-        use std::cmp::Ordering;
-        prop_assert_eq!(nested_desc(&a, &a), Ordering::Equal);
-        prop_assert_eq!(nested_desc(&a, &b), nested_desc(&b, &a).reverse());
-        if dominates(&a, &b) {
-            prop_assert_eq!(nested_desc(&a, &b), Ordering::Less, "dominator sorts first");
-        }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// nested_desc is a strict weak order consistent with dominance.
+#[test]
+fn nested_desc_total_order_laws() {
+    cases(200, 0x7E07, |rng| {
+        use std::cmp::Ordering;
+        let row = |rng: &mut Rng| -> Vec<f64> {
+            (0..3)
+                .map(|_| f64::from(rng.i32_inclusive(-3, 3)))
+                .collect()
+        };
+        let a = row(rng);
+        let b = row(rng);
+        assert_eq!(nested_desc(&a, &a), Ordering::Equal);
+        assert_eq!(nested_desc(&a, &b), nested_desc(&b, &a).reverse());
+        if dominates(&a, &b) {
+            assert_eq!(nested_desc(&a, &b), Ordering::Less, "dominator sorts first");
+        }
+    });
+}
 
-    /// k-skybands nest, skyband(1) is the skyline, and the k-skyband
-    /// contains the top-k of the entropy scoring (top-k extension of the
-    /// monotone-scoring theorems).
-    #[test]
-    fn skyband_properties((d, data) in matrices(), k in 2u64..5) {
+/// k-skybands nest, skyband(1) is the skyline, and the k-skyband
+/// contains the top-k of the entropy scoring (top-k extension of the
+/// monotone-scoring theorems).
+#[test]
+fn skyband_properties() {
+    cases(40, 0x7E08, |rng| {
         use skyline::core::skyband::skyband;
+        let (d, data) = matrix(rng);
+        let k = 2 + rng.u64_below(3);
         let km = KeyMatrix::new(d, data);
         let s1 = skyband(&km, 1);
-        prop_assert_eq!(&s1, &algo::naive(&km).sorted().indices);
+        assert_eq!(&s1, &algo::naive(&km).sorted().indices);
         let sk = skyband(&km, k);
         for i in &s1 {
-            prop_assert!(sk.contains(i), "skyband(1) ⊄ skyband({k})");
+            assert!(sk.contains(i), "skyband(1) ⊄ skyband({k})");
         }
         if km.n() > 0 {
             let e = EntropyScore::from_keys(km.data(), d);
             let mut by_score: Vec<usize> = (0..km.n()).collect();
-            by_score.sort_by(|&a, &b| {
-                e.score(km.row(b)).partial_cmp(&e.score(km.row(a))).unwrap()
-            });
+            by_score.sort_by(|&a, &b| e.score(km.row(b)).partial_cmp(&e.score(km.row(a))).unwrap());
             for &i in by_score.iter().take(k as usize) {
-                prop_assert!(sk.contains(&i), "top-{k} row escapes the {k}-skyband");
+                assert!(sk.contains(&i), "top-{k} row escapes the {k}-skyband");
             }
         }
-    }
+    });
+}
 
-    /// The dimension-dispatched specials and the parallel skyline agree
-    /// with the oracle on arbitrary inputs.
-    #[test]
-    fn lowdim_and_parallel_match_oracle((d, data) in matrices(), threads in 1usize..6) {
+/// The dimension-dispatched specials and the parallel skyline agree
+/// with the oracle on arbitrary inputs.
+#[test]
+fn lowdim_and_parallel_match_oracle() {
+    cases(40, 0x7E09, |rng| {
         use skyline::core::lowdim::skyline_auto;
         use skyline::core::par::parallel_skyline;
+        let (d, data) = matrix(rng);
+        let threads = 1 + rng.usize_below(5);
         let km = KeyMatrix::new(d, data);
         let expect = algo::naive(&km).sorted().indices;
-        prop_assert_eq!(skyline_auto(&km).sorted().indices, expect.clone());
-        prop_assert_eq!(parallel_skyline(&km, threads), expect);
-    }
+        assert_eq!(skyline_auto(&km).sorted().indices, expect);
+        assert_eq!(parallel_skyline(&km, threads).expect("parallel"), expect);
+    });
+}
 
-    /// Histogram-entropy is a strictly monotone scoring: its descending
-    /// order is topological w.r.t. dominance on arbitrary data.
-    #[test]
-    fn histogram_entropy_is_topological((d, data) in matrices()) {
+/// Histogram-entropy is a strictly monotone scoring: its descending
+/// order is topological w.r.t. dominance on arbitrary data.
+#[test]
+fn histogram_entropy_is_topological() {
+    cases(40, 0x7E0A, |rng| {
         use skyline::core::histogram::HistogramEntropyScore;
+        let (d, data) = matrix(rng);
         let km = KeyMatrix::new(d, data);
-        prop_assume!(km.n() > 1);
+        if km.n() <= 1 {
+            return;
+        }
         let h = HistogramEntropyScore::from_keys(km.data(), d, 16);
         for i in 0..km.n() {
             for j in 0..km.n() {
                 if dominates(km.row(i), km.row(j)) {
-                    prop_assert!(
+                    assert!(
                         h.score(km.row(i)) > h.score(km.row(j)),
                         "dominator must outscore: {:?} vs {:?}",
                         km.row(i),
@@ -203,7 +233,7 @@ proptest! {
                 }
             }
         }
-    }
+    });
 }
 
 #[test]
@@ -238,7 +268,11 @@ fn cardinality_model_tracks_measured_sizes() {
         for seed in 0..5u64 {
             let keys = WorkloadSpec::paper(n, seed).generate_keys(d);
             let km = KeyMatrix::new(d, keys);
-            sizes.push(algo::sfs(&km, skyline::core::algo::MemSortOrder::Entropy).indices.len() as f64);
+            sizes.push(
+                algo::sfs(&km, skyline::core::algo::MemSortOrder::Entropy)
+                    .indices
+                    .len() as f64,
+            );
         }
         let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
         let ratio = mean / expected;
