@@ -27,32 +27,36 @@ fn bench_btree(c: &mut Criterion) {
                 4,
                 100,
                 sorted.iter().map(|(k, r)| (k.as_slice(), r.as_slice())),
-            );
+            )
+            .expect("bulk load");
             black_box(t.len())
         });
     });
     g.bench_function("random_inserts_50k", |b| {
         b.iter(|| {
             let disk = MemDisk::shared();
-            let mut t = BTree::new(disk as Arc<dyn Disk>, 4, 100);
+            let mut t = BTree::new(disk as Arc<dyn Disk>, 4, 100).expect("new");
             for (k, r) in &recs {
-                t.insert(k, r);
+                t.insert(k, r).expect("insert");
             }
             black_box(t.len())
         });
     });
     let disk = MemDisk::shared();
-    let tree = Arc::new(BTree::bulk_load(
-        disk as Arc<dyn Disk>,
-        4,
-        100,
-        sorted.iter().map(|(k, r)| (k.as_slice(), r.as_slice())),
-    ));
+    let tree = Arc::new(
+        BTree::bulk_load(
+            disk as Arc<dyn Disk>,
+            4,
+            100,
+            sorted.iter().map(|(k, r)| (k.as_slice(), r.as_slice())),
+        )
+        .expect("bulk load"),
+    );
     g.bench_function("full_scan_50k", |b| {
         b.iter(|| {
-            let mut s = SharedBTreeScan::new(Arc::clone(&tree));
+            let mut s = SharedBTreeScan::new(Arc::clone(&tree)).expect("scan");
             let mut n = 0u64;
-            while s.next_record().is_some() {
+            while s.next_record().expect("next").is_some() {
                 n += 1;
             }
             black_box(n)

@@ -36,14 +36,21 @@ impl Dataset {
     }
 
     /// Generate any workload spec and load it.
+    ///
+    /// # Panics
+    /// Panics if loading the generated records into the in-memory disk
+    /// fails (benchmarks have no error channel to report into).
     pub fn from_spec(spec: WorkloadSpec) -> Self {
         let records = spec.generate();
         let disk = MemDisk::shared();
-        let heap = Arc::new(load_heap(
-            Arc::clone(&disk) as Arc<dyn Disk>,
-            spec.layout.record_size(),
-            records.iter().map(Vec::as_slice),
-        ));
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as Arc<dyn Disk>,
+                spec.layout.record_size(),
+                records.iter().map(Vec::as_slice),
+            )
+            .expect("load dataset"),
+        );
         let layout = spec.layout;
         let mut stats = vec![None];
         for d in 1..=layout.dims {
@@ -341,7 +348,7 @@ pub fn run_bnl_clustered(
     // cluster on attribute 0 (order-preserving key; negate for desc)
     let mut pairs: Vec<([u8; 4], Vec<u8>)> = Vec::with_capacity(ds.n);
     let mut scan = ds.heap.scan();
-    while let Some(r) = scan.next_record() {
+    while let Some(r) = scan.next_record().expect("scan") {
         let a0 = ds.layout.attr(r, 0);
         let k = if ascending {
             a0
@@ -356,7 +363,8 @@ pub fn run_bnl_clustered(
         4,
         ds.layout.record_size(),
         pairs.iter().map(|(k, r)| (k.as_slice(), r.as_slice())),
-    );
+    )
+    .expect("bulk load");
     tree.mark_temp();
     let tree = Arc::new(tree);
     let input_pages = tree.num_pages();
@@ -500,7 +508,7 @@ mod tests {
     fn oracle_size(ds: &Dataset, d: usize) -> u64 {
         let mut rows = Vec::new();
         let mut scan = ds.heap.scan();
-        while let Some(r) = scan.next_record() {
+        while let Some(r) = scan.next_record().expect("scan") {
             rows.push(
                 (0..d)
                     .map(|i| f64::from(ds.layout.attr(r, i)))
@@ -599,7 +607,7 @@ mod tests {
         let distinct_keys = |heap: &skyline_storage::HeapFile| {
             let mut scan = heap.scan();
             let mut rows = Vec::new();
-            while let Some(r) = scan.next_record() {
+            while let Some(r) = scan.next_record().expect("scan") {
                 rows.push(
                     (0..d)
                         .map(|i| f64::from(ds.layout.attr(r, i)))

@@ -20,7 +20,8 @@
 use super::common::{Source, Spill};
 use crate::dominance::{dom_rel, DomRel, SkylineSpec};
 use crate::metrics::SkylineMetrics;
-use skyline_exec::{BoxedOperator, ExecError, Operator};
+use skyline_exec::cancel::poll;
+use skyline_exec::{BoxedOperator, CancelToken, ExecError, Operator};
 use skyline_relation::RecordLayout;
 use skyline_storage::{Disk, SharedScanner, PAGE_SIZE};
 use std::collections::VecDeque;
@@ -58,6 +59,9 @@ pub struct Bnl {
     key: Vec<f64>,
     out: Vec<u8>,
     opened: bool,
+    cancel: Option<CancelToken>,
+    /// Records fetched across all passes — cancellation progress count.
+    fetched: u64,
     /// Dominance auditor (`check-invariants` builds only). BNL makes no
     /// input-order promise, so only emit-incomparability and whole-run
     /// accounting (originals = emitted + discarded) are checked.
@@ -117,9 +121,19 @@ impl Bnl {
             key: Vec::new(),
             out: Vec::new(),
             opened: false,
+            cancel: None,
+            fetched: 0,
             #[cfg(feature = "check-invariants")]
             audit: crate::audit::StreamAuditor::new(dims, "external::Bnl", false),
         })
+    }
+
+    /// Observe `token` at pass boundaries and every few hundred fetched
+    /// records; a trip surfaces as [`ExecError::Cancelled`].
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Window capacity in tuples (BNL stores whole tuples — it cannot use
@@ -139,7 +153,7 @@ impl Bnl {
                 }
                 None => Ok(false),
             },
-            Source::Temp(scan) => match scan.next_record() {
+            Source::Temp(scan) => match scan.next_record()? {
                 Some(r) => {
                     self.cur.clear();
                     self.cur.extend_from_slice(r);
@@ -171,9 +185,13 @@ impl Bnl {
     }
 
     /// End-of-pass bookkeeping. Returns true when another pass begins.
-    fn end_pass(&mut self) -> bool {
+    fn end_pass(&mut self) -> Result<bool, ExecError> {
         if matches!(self.source, Source::Child) {
             self.child.close();
+        }
+        // pass boundary: a natural cancellation point
+        if let Some(t) = &self.cancel {
+            t.check(self.fetched)?;
         }
         // Entries that met every record of this pass's input are skyline.
         // When nothing spilled, that is everyone; otherwise those whose
@@ -197,7 +215,7 @@ impl Bnl {
                 if let Err(v) = self.audit.end_pass() {
                     panic!("invariant violated: {v}");
                 }
-                false
+                Ok(false)
             }
             Some(spill) => {
                 let mut k = 0;
@@ -221,12 +239,12 @@ impl Bnl {
                 for e in &mut self.window {
                     e.carried = true;
                 }
-                let temp = spill.finish();
+                let temp = spill.finish()?;
                 self.source = Source::Temp(SharedScanner::new(Arc::new(temp)));
                 self.read_count = 0;
                 self.temp_written = 0;
                 self.metrics.add_pass();
-                true
+                Ok(true)
             }
         }
     }
@@ -241,6 +259,7 @@ impl Operator for Bnl {
         self.spill = None;
         self.read_count = 0;
         self.temp_written = 0;
+        self.fetched = 0;
         self.metrics.add_pass();
         self.opened = true;
         #[cfg(feature = "check-invariants")]
@@ -262,10 +281,12 @@ impl Operator for Bnl {
             if matches!(self.source, Source::Done) {
                 return Ok(None);
             }
+            poll(self.cancel.as_ref(), self.fetched)?;
             if !self.fetch()? {
-                self.end_pass();
+                self.end_pass()?;
                 continue;
             }
+            self.fetched += 1;
 
             let i = self.read_count; // 0-based index of the record just read
             self.read_count += 1;
@@ -318,10 +339,15 @@ impl Operator for Bnl {
                 });
                 self.metrics.add_window_insert();
             } else {
-                let spill = self.spill.get_or_insert_with(|| {
-                    Spill::new(Arc::clone(&self.disk), self.layout.record_size())
-                });
-                spill.push(&self.cur);
+                if self.spill.is_none() {
+                    self.spill = Some(Spill::new(
+                        Arc::clone(&self.disk),
+                        self.layout.record_size(),
+                    )?);
+                }
+                if let Some(spill) = &mut self.spill {
+                    spill.push(&self.cur)?;
+                }
                 self.temp_written += 1;
                 self.metrics.add_temp_record();
             }

@@ -1,7 +1,7 @@
 //! Shared machinery of the external skyline operators.
 
 use crate::dominance::{dom_rel, DomRel};
-use skyline_storage::{Disk, HeapFile, SharedScanner, PAGE_SIZE};
+use skyline_storage::{Disk, HeapFile, SharedScanner, StorageError, PAGE_SIZE};
 use std::sync::Arc;
 
 /// Where the current filter pass reads its input from.
@@ -27,34 +27,36 @@ pub(crate) struct Spill {
 }
 
 impl Spill {
-    pub(crate) fn new(disk: Arc<dyn Disk>, record_size: usize) -> Self {
-        let heap = HeapFile::create_temp(disk, record_size);
+    pub(crate) fn new(disk: Arc<dyn Disk>, record_size: usize) -> Result<Self, StorageError> {
+        let heap = HeapFile::create_temp(disk, record_size)?;
         let rpp = PAGE_SIZE / record_size;
-        Spill {
+        Ok(Spill {
             heap,
             buf: Vec::with_capacity(rpp * record_size),
             buffered: 0,
             rpp,
             record_size,
-        }
+        })
     }
 
-    pub(crate) fn push(&mut self, record: &[u8]) {
+    pub(crate) fn push(&mut self, record: &[u8]) -> Result<(), StorageError> {
         debug_assert_eq!(record.len(), self.record_size);
         self.buf.extend_from_slice(record);
         self.buffered += 1;
         if self.buffered == self.rpp {
-            self.flush();
+            self.flush()?;
         }
+        Ok(())
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self) -> Result<(), StorageError> {
         if self.buffered > 0 {
             self.heap
-                .append_all(self.buf.chunks_exact(self.record_size));
+                .append_all(self.buf.chunks_exact(self.record_size))?;
             self.buf.clear();
             self.buffered = 0;
         }
+        Ok(())
     }
 
     /// Total records spilled so far (including buffered ones).
@@ -64,9 +66,9 @@ impl Spill {
     }
 
     /// Finish the spill, returning the temp heap file.
-    pub(crate) fn finish(mut self) -> HeapFile {
-        self.flush();
-        self.heap
+    pub(crate) fn finish(mut self) -> Result<HeapFile, StorageError> {
+        self.flush()?;
+        Ok(self.heap)
     }
 }
 
@@ -187,16 +189,16 @@ mod tests {
     #[test]
     fn spill_writes_full_pages_only() {
         let disk = MemDisk::shared();
-        let mut spill = Spill::new(Arc::clone(&disk) as _, 100);
+        let mut spill = Spill::new(Arc::clone(&disk) as _, 100).unwrap();
         for i in 0..85u64 {
             let mut r = vec![0u8; 100];
             r[..8].copy_from_slice(&i.to_le_bytes());
-            spill.push(&r);
+            spill.push(&r).unwrap();
         }
         // 85 records at 40/page: 2 full pages written so far, 5 buffered
         assert_eq!(spill.len(), 85);
         assert_eq!(disk.stats().writes(), 2);
-        let heap = spill.finish();
+        let heap = spill.finish().unwrap();
         assert_eq!(heap.len(), 85);
         assert_eq!(disk.stats().writes(), 3);
     }

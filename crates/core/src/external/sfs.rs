@@ -15,7 +15,8 @@
 use super::common::{KeyWindow, Probe, Source, Spill};
 use crate::dominance::SkylineSpec;
 use crate::metrics::SkylineMetrics;
-use skyline_exec::{BoxedOperator, ExecError, Operator};
+use skyline_exec::cancel::poll;
+use skyline_exec::{BoxedOperator, CancelToken, ExecError, Operator};
 use skyline_relation::RecordLayout;
 use skyline_storage::{Disk, HeapFile, SharedScanner};
 use std::sync::Arc;
@@ -92,6 +93,9 @@ pub struct Sfs {
     diff_cur: Option<Vec<i32>>,
     diff_scratch: Vec<i32>,
     opened: bool,
+    cancel: Option<CancelToken>,
+    /// Records fetched across all passes — cancellation progress count.
+    fetched: u64,
     /// Per-DIFF-group dominance auditors (`check-invariants` builds only):
     /// verify the presorted input contract, emitted-set incomparability
     /// and per-pass record accounting at runtime.
@@ -146,9 +150,19 @@ impl Sfs {
             diff_cur: None,
             diff_scratch: Vec::new(),
             opened: false,
+            cancel: None,
+            fetched: 0,
             #[cfg(feature = "check-invariants")]
             auditors: std::collections::HashMap::new(),
         })
+    }
+
+    /// Observe `token` at pass boundaries and every few hundred fetched
+    /// records; a trip surfaces as [`ExecError::Cancelled`].
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// The auditor of the current DIFF group (`check-invariants` only).
@@ -183,7 +197,7 @@ impl Sfs {
                 }
                 None => Ok(false),
             },
-            Source::Temp(scan) => match scan.next_record() {
+            Source::Temp(scan) => match scan.next_record()? {
                 Some(r) => {
                     self.cur.clear();
                     self.cur.extend_from_slice(r);
@@ -196,7 +210,7 @@ impl Sfs {
     }
 
     /// Handle end of a pass. Returns true when another pass begins.
-    fn end_pass(&mut self) -> bool {
+    fn end_pass(&mut self) -> Result<bool, ExecError> {
         #[cfg(feature = "check-invariants")]
         for aud in self.auditors.values_mut() {
             if let Err(v) = aud.end_pass() {
@@ -206,19 +220,23 @@ impl Sfs {
         if matches!(self.source, Source::Child) {
             self.child.close();
         }
+        // pass boundary: a natural cancellation point
+        if let Some(t) = &self.cancel {
+            t.check(self.fetched)?;
+        }
         match self.spill.take() {
             None => {
                 self.source = Source::Done;
-                false
+                Ok(false)
             }
             Some(spill) => {
-                let temp = spill.finish();
+                let temp = spill.finish()?;
                 debug_assert!(!temp.is_empty());
                 self.source = Source::Temp(SharedScanner::new(Arc::new(temp)));
                 self.window.clear();
                 self.diff_cur = None;
                 self.metrics.add_pass();
-                true
+                Ok(true)
             }
         }
     }
@@ -234,12 +252,13 @@ impl Operator for Sfs {
             Some(Spill::new(
                 Arc::clone(&self.disk),
                 self.layout.record_size(),
-            ))
+            )?)
         } else {
             None
         };
         self.rest_file = None;
         self.diff_cur = None;
+        self.fetched = 0;
         self.metrics.add_pass();
         self.opened = true;
         Ok(())
@@ -250,18 +269,20 @@ impl Operator for Sfs {
             return Err(ExecError::Protocol("Sfs::next before open"));
         }
         loop {
+            poll(self.cancel.as_ref(), self.fetched)?;
             if !self.fetch()? {
                 if matches!(self.source, Source::Done) {
                     return Ok(None);
                 }
-                if !self.end_pass() {
+                if !self.end_pass()? {
                     if let Some(rest) = self.rest.take() {
-                        self.rest_file = Some(rest.finish());
+                        self.rest_file = Some(rest.finish()?);
                     }
                     return Ok(None);
                 }
                 continue;
             }
+            self.fetched += 1;
 
             // DIFF group boundary ⇒ fresh window (paper §4.3 "Diff").
             if !self.spec.diff.is_empty() {
@@ -293,7 +314,7 @@ impl Operator for Sfs {
                     #[cfg(feature = "check-invariants")]
                     self.auditor().observe_discard();
                     if let Some(rest) = &mut self.rest {
-                        rest.push(&self.cur);
+                        rest.push(&self.cur)?;
                     }
                     continue;
                 }
@@ -314,10 +335,15 @@ impl Operator for Sfs {
                     if self.window.is_full() {
                         // Figure 7's "unfinished" mode: survivors go to the
                         // temp file for the next pass.
-                        let spill = self.spill.get_or_insert_with(|| {
-                            Spill::new(Arc::clone(&self.disk), self.layout.record_size())
-                        });
-                        spill.push(&self.cur);
+                        if self.spill.is_none() {
+                            self.spill = Some(Spill::new(
+                                Arc::clone(&self.disk),
+                                self.layout.record_size(),
+                            )?);
+                        }
+                        if let Some(spill) = &mut self.spill {
+                            spill.push(&self.cur)?;
+                        }
                         self.metrics.add_temp_record();
                         #[cfg(feature = "check-invariants")]
                         self.auditor().observe_spill();
@@ -562,6 +588,7 @@ mod tests {
         let rest = sfs.take_rest().expect("rest file present");
         let mut rest_rows: Vec<Vec<i32>> = rest
             .read_all()
+            .unwrap()
             .iter()
             .map(|r| layout.decode_attrs(r))
             .collect();

@@ -15,7 +15,8 @@ use super::common::{Source, Spill};
 use crate::dominance::SkylineSpec;
 use crate::metrics::SkylineMetrics;
 use crate::winnow::Preference;
-use skyline_exec::{BoxedOperator, ExecError, Operator};
+use skyline_exec::cancel::poll;
+use skyline_exec::{BoxedOperator, CancelToken, ExecError, Operator};
 use skyline_relation::RecordLayout;
 use skyline_storage::{Disk, SharedScanner, PAGE_SIZE};
 use std::collections::VecDeque;
@@ -50,6 +51,9 @@ pub struct WinnowOp {
     key: Vec<f64>,
     out: Vec<u8>,
     opened: bool,
+    cancel: Option<CancelToken>,
+    /// Records fetched across all passes — cancellation progress count.
+    fetched: u64,
 }
 
 impl WinnowOp {
@@ -94,7 +98,17 @@ impl WinnowOp {
             key: Vec::new(),
             out: Vec::new(),
             opened: false,
+            cancel: None,
+            fetched: 0,
         })
+    }
+
+    /// Observe `token` at pass boundaries and every few hundred fetched
+    /// records; a trip surfaces as [`ExecError::Cancelled`].
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     fn fetch(&mut self) -> Result<bool, ExecError> {
@@ -107,7 +121,7 @@ impl WinnowOp {
                 }
                 None => Ok(false),
             },
-            Source::Temp(scan) => match scan.next_record() {
+            Source::Temp(scan) => match scan.next_record()? {
                 Some(r) => {
                     self.cur.clear();
                     self.cur.extend_from_slice(r);
@@ -132,9 +146,13 @@ impl WinnowOp {
         }
     }
 
-    fn end_pass(&mut self) -> bool {
+    fn end_pass(&mut self) -> Result<bool, ExecError> {
         if matches!(self.source, Source::Child) {
             self.child.close();
+        }
+        // pass boundary: a natural cancellation point
+        if let Some(t) = &self.cancel {
+            t.check(self.fetched)?;
         }
         match self.spill.take() {
             None => {
@@ -143,7 +161,7 @@ impl WinnowOp {
                     self.emit.push_back(e.record);
                 }
                 self.source = Source::Done;
-                false
+                Ok(false)
             }
             Some(spill) => {
                 let mut k = 0;
@@ -159,12 +177,12 @@ impl WinnowOp {
                 for e in &mut self.window {
                     e.carried = true;
                 }
-                let temp = spill.finish();
+                let temp = spill.finish()?;
                 self.source = Source::Temp(SharedScanner::new(Arc::new(temp)));
                 self.read_count = 0;
                 self.temp_written = 0;
                 self.metrics.add_pass();
-                true
+                Ok(true)
             }
         }
     }
@@ -179,6 +197,7 @@ impl Operator for WinnowOp {
         self.spill = None;
         self.read_count = 0;
         self.temp_written = 0;
+        self.fetched = 0;
         self.metrics.add_pass();
         self.opened = true;
         Ok(())
@@ -196,10 +215,12 @@ impl Operator for WinnowOp {
             if matches!(self.source, Source::Done) {
                 return Ok(None);
             }
+            poll(self.cancel.as_ref(), self.fetched)?;
             if !self.fetch()? {
-                self.end_pass();
+                self.end_pass()?;
                 continue;
             }
+            self.fetched += 1;
             let i = self.read_count;
             self.read_count += 1;
             self.confirm_carried(i);
@@ -235,10 +256,15 @@ impl Operator for WinnowOp {
                 });
                 self.metrics.add_window_insert();
             } else {
-                let spill = self.spill.get_or_insert_with(|| {
-                    Spill::new(Arc::clone(&self.disk), self.layout.record_size())
-                });
-                spill.push(&self.cur);
+                if self.spill.is_none() {
+                    self.spill = Some(Spill::new(
+                        Arc::clone(&self.disk),
+                        self.layout.record_size(),
+                    )?);
+                }
+                if let Some(spill) = &mut self.spill {
+                    spill.push(&self.cur)?;
+                }
                 self.temp_written += 1;
                 self.metrics.add_temp_record();
             }

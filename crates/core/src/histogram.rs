@@ -165,11 +165,14 @@ mod external_tests {
         let d = 4;
         let spec = SkylineSpec::max_all(d);
         let disk = MemDisk::shared();
-        let heap = Arc::new(load_heap(
-            Arc::clone(&disk) as Arc<dyn Disk>,
-            layout.record_size(),
-            records.iter().map(Vec::as_slice),
-        ));
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as Arc<dyn Disk>,
+                layout.record_size(),
+                records.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
 
         // oriented keys for the normalizers
         let mut keys = Vec::with_capacity(records.len() * d);

@@ -56,5 +56,7 @@ pub use dominance::{dom_rel, dominates, Criterion, Direction, DomRel, SkylineSpe
 pub use external::{Bnl, Sfs, SfsConfig};
 pub use keys::KeyMatrix;
 pub use metrics::{MetricsSnapshot, SkylineMetrics};
-pub use par::{parallel_skyline, ParError};
+pub use par::{
+    parallel_skyline, parallel_skyline_cancellable, parallel_skyline_heap, AlgoError, ParError,
+};
 pub use score::{EntropyScore, LinearScore, MonotoneScore, SkylineOrderCmp, SortOrder};

@@ -11,34 +11,77 @@
 //! filter as everything else.
 
 use crate::algo::{presort_indices, sfs, sfs_presorted, MemSortOrder};
+use crate::dominance::SkylineSpec;
 use crate::keys::KeyMatrix;
+use skyline_exec::CancelToken;
+use skyline_relation::RecordLayout;
+use skyline_storage::{HeapFile, StorageError};
 use std::fmt;
+use std::sync::Arc;
 
-/// Errors from [`parallel_skyline`].
+/// Errors from the in-memory algorithm drivers ([`parallel_skyline`] and
+/// friends).
 #[derive(Debug)]
-pub enum ParError {
+pub enum AlgoError {
     /// A worker thread panicked; the payload's message, when it was a
     /// string, is preserved.
     WorkerPanicked {
         /// Panic message of the failed worker, if one could be extracted.
         message: Option<String>,
     },
+    /// Reading the input relation failed.
+    Storage(StorageError),
+    /// A [`CancelToken`] tripped before the result was complete.
+    Cancelled {
+        /// Records fully processed before the trip was observed.
+        records_processed: u64,
+    },
 }
 
-impl fmt::Display for ParError {
+/// Backwards-compatible name: [`parallel_skyline`] originally had its own
+/// error type before storage and cancellation joined the taxonomy.
+pub type ParError = AlgoError;
+
+impl fmt::Display for AlgoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParError::WorkerPanicked { message: Some(m) } => {
+            AlgoError::WorkerPanicked { message: Some(m) } => {
                 write!(f, "parallel skyline worker panicked: {m}")
             }
-            ParError::WorkerPanicked { message: None } => {
+            AlgoError::WorkerPanicked { message: None } => {
                 write!(f, "parallel skyline worker panicked")
+            }
+            AlgoError::Storage(e) => write!(f, "storage error: {e}"),
+            AlgoError::Cancelled { records_processed } => {
+                write!(f, "skyline cancelled after {records_processed} records")
             }
         }
     }
 }
 
-impl std::error::Error for ParError {}
+impl std::error::Error for AlgoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgoError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for AlgoError {
+    fn from(e: StorageError) -> Self {
+        AlgoError::Storage(e)
+    }
+}
+
+fn check_cancel(cancel: Option<&CancelToken>, processed: u64) -> Result<(), AlgoError> {
+    match cancel {
+        Some(t) if t.is_cancelled() => Err(AlgoError::Cancelled {
+            records_processed: processed,
+        }),
+        _ => Ok(()),
+    }
+}
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
     payload
@@ -64,11 +107,28 @@ fn effective_threads(threads: usize) -> usize {
 /// single-threaded SFS for small inputs.
 ///
 /// # Errors
-/// Returns [`ParError::WorkerPanicked`] if any worker thread panicked;
+/// Returns [`AlgoError::WorkerPanicked`] if any worker thread panicked;
 /// the skyline for the unaffected partitions is discarded.
 pub fn parallel_skyline(keys: &KeyMatrix, threads: usize) -> Result<Vec<usize>, ParError> {
+    parallel_skyline_cancellable(keys, threads, None)
+}
+
+/// [`parallel_skyline`] with cooperative cancellation: the token is
+/// checked before the partition phase, inside each worker before its
+/// local skyline, and at the merge boundary.
+///
+/// # Errors
+/// [`AlgoError::WorkerPanicked`] if any worker thread panicked;
+/// [`AlgoError::Cancelled`] (with the number of input records whose
+/// processing completed) when `cancel` trips at a check point.
+pub fn parallel_skyline_cancellable(
+    keys: &KeyMatrix,
+    threads: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<usize>, AlgoError> {
     let n = keys.n();
     let threads = effective_threads(threads);
+    check_cancel(cancel, 0)?;
     if threads == 1 || n < 4 * threads || n < 1024 {
         let mut idx = sfs(keys, MemSortOrder::Entropy).indices;
         idx.sort_unstable();
@@ -78,7 +138,8 @@ pub fn parallel_skyline(keys: &KeyMatrix, threads: usize) -> Result<Vec<usize>, 
     }
     let chunk = n.div_ceil(threads);
     let locals: Vec<Vec<usize>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
+        let mut handles: Vec<std::thread::ScopedJoinHandle<'_, Result<Vec<usize>, AlgoError>>> =
+            Vec::new();
         for t in 0..threads {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(n);
@@ -86,24 +147,31 @@ pub fn parallel_skyline(keys: &KeyMatrix, threads: usize) -> Result<Vec<usize>, 
                 continue;
             }
             handles.push(scope.spawn(move || {
+                // Worker-side check: a cancel raised after spawn aborts
+                // the partition before its O(n log n) local work.
+                check_cancel(cancel, (lo as u64).min(n as u64))?;
                 let rows: Vec<usize> = (lo..hi).collect();
                 let sub = keys.select(&rows);
-                sfs(&sub, MemSortOrder::Entropy)
+                Ok(sfs(&sub, MemSortOrder::Entropy)
                     .indices
                     .into_iter()
                     .map(|local| rows[local])
-                    .collect::<Vec<usize>>()
+                    .collect::<Vec<usize>>())
             }));
         }
         handles
             .into_iter()
             .map(|h| {
-                h.join().map_err(|payload| ParError::WorkerPanicked {
+                h.join().map_err(|payload| AlgoError::WorkerPanicked {
                     message: panic_message(payload),
-                })
+                })?
             })
             .collect::<Result<_, _>>()
     })?;
+
+    // merge boundary: the union is materialized but the final filter has
+    // not run — a natural cancellation point.
+    check_cancel(cancel, n as u64)?;
 
     // merge: skyline of the union of local skylines
     let union: Vec<usize> = locals.into_iter().flatten().collect();
@@ -118,6 +186,35 @@ pub fn parallel_skyline(keys: &KeyMatrix, threads: usize) -> Result<Vec<usize>, 
     #[cfg(feature = "check-invariants")]
     crate::audit::assert_pairwise_incomparable(keys, &out, "parallel_skyline/merge");
     Ok(out)
+}
+
+/// Compute the skyline of a stored relation: read `heap`, extract the
+/// spec's oriented keys, and run [`parallel_skyline_cancellable`].
+/// Returns record positions in heap order.
+///
+/// # Errors
+/// [`AlgoError::Storage`] when reading the heap fails,
+/// [`AlgoError::Cancelled`] when `cancel` trips, and
+/// [`AlgoError::WorkerPanicked`] when a worker dies.
+pub fn parallel_skyline_heap(
+    heap: &Arc<HeapFile>,
+    layout: &RecordLayout,
+    spec: &SkylineSpec,
+    threads: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<usize>, AlgoError> {
+    let records = heap.read_all()?;
+    let mut key = Vec::new();
+    let mut flat = Vec::with_capacity(records.len() * spec.dims());
+    for (i, r) in records.iter().enumerate() {
+        if i % 4096 == 0 {
+            check_cancel(cancel, i as u64)?;
+        }
+        spec.key_of(layout, r, &mut key);
+        flat.extend_from_slice(&key);
+    }
+    let km = KeyMatrix::new(spec.dims(), flat);
+    parallel_skyline_cancellable(&km, threads, cancel)
 }
 
 #[cfg(test)]

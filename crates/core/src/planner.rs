@@ -15,43 +15,53 @@ use crate::metrics::SkylineMetrics;
 use crate::score::{oriented_stats, EntropyScore, SkylineOrderCmp, SortOrder};
 use skyline_exec::{ExecError, ExternalSort, HeapScan, Operator, SortBudget};
 use skyline_relation::RecordLayout;
-use skyline_storage::{Disk, HeapFile};
+use skyline_storage::{Disk, HeapFile, StorageError};
 use std::sync::Arc;
 
 /// Drain an operator into a fresh heap file on `disk` (the sorted-relation
 /// materialization step). The file is *not* marked temp; callers decide
-/// its lifetime.
+/// its lifetime. Internally it is built as temp and persisted only on
+/// success, so an error unwind never leaks a partial materialization.
+///
+/// # Errors
+/// Propagates operator errors and storage errors from the heap writer.
 pub fn materialize(op: &mut dyn Operator, disk: Arc<dyn Disk>) -> Result<HeapFile, ExecError> {
-    let mut out = HeapFile::create(disk, op.record_size());
+    let mut out = HeapFile::create_temp(disk, op.record_size())?;
     op.open()?;
     {
-        let mut w = out.writer();
+        let mut w = out.writer()?;
         while let Some(r) = op.next()? {
-            w.push(r);
+            w.push(r)?;
         }
-        w.finish();
+        w.finish()?;
     }
     op.close();
+    out.persist();
     Ok(out)
 }
 
 /// Compute the entropy-score statistics for `spec` by scanning a heap file
 /// (what a catalog would already know; scans cost one pass).
+///
+/// # Errors
+/// Propagates storage errors from the scan.
 pub fn entropy_stats_of(
     heap: &Arc<HeapFile>,
     layout: &RecordLayout,
     spec: &SkylineSpec,
-) -> EntropyScore {
+) -> Result<EntropyScore, ExecError> {
     let mut scan = heap.scan();
     let mut cols = vec![skyline_relation::ColumnStats::empty(); spec.dims()];
     let mut key = Vec::with_capacity(spec.dims());
-    while let Some(r) = scan.next_record() {
+    while let Some(r) = scan.next_record()? {
         spec.key_of(layout, r, &mut key);
         for (c, &v) in cols.iter_mut().zip(&key) {
             c.observe(v);
         }
     }
-    EntropyScore::new(skyline_relation::TableStats::from_columns(cols))
+    Ok(EntropyScore::new(
+        skyline_relation::TableStats::from_columns(cols),
+    ))
 }
 
 /// Compute entropy stats straight from in-memory records (generation time —
@@ -208,14 +218,23 @@ pub fn budgeted_skyline_plan(
     })
 }
 
-/// Load records into a fresh heap file (workload setup).
-pub fn load_heap<'a, I>(disk: Arc<dyn Disk>, record_size: usize, records: I) -> HeapFile
+/// Load records into a fresh heap file (workload setup). Built as temp
+/// and persisted on success, so a failed load never leaks pages.
+///
+/// # Errors
+/// Storage errors from file creation or the appends.
+pub fn load_heap<'a, I>(
+    disk: Arc<dyn Disk>,
+    record_size: usize,
+    records: I,
+) -> Result<HeapFile, StorageError>
 where
     I: IntoIterator<Item = &'a [u8]>,
 {
-    let mut heap = HeapFile::create(disk, record_size);
-    heap.append_all(records);
-    heap
+    let mut heap = HeapFile::create_temp(disk, record_size)?;
+    heap.append_all(records)?;
+    heap.persist();
+    Ok(heap)
 }
 
 #[cfg(test)]
@@ -247,12 +266,15 @@ mod tests {
         let d = 4;
         let spec = SkylineSpec::max_all(d);
         let disk = MemDisk::shared();
-        let heap = Arc::new(load_heap(
-            Arc::clone(&disk) as _,
-            layout.record_size(),
-            records.iter().map(Vec::as_slice),
-        ));
-        let stats = entropy_stats_of(&heap, &layout, &spec);
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as _,
+                layout.record_size(),
+                records.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
+        let stats = entropy_stats_of(&heap, &layout, &spec).unwrap();
         let sorted = presort(
             Arc::clone(&heap),
             layout,
@@ -285,11 +307,14 @@ mod tests {
         let layout = spec_w.layout;
         let spec = SkylineSpec::max_all(5);
         let disk = MemDisk::shared();
-        let heap = Arc::new(load_heap(
-            Arc::clone(&disk) as _,
-            layout.record_size(),
-            records.iter().map(Vec::as_slice),
-        ));
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as _,
+                layout.record_size(),
+                records.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
         let metrics = SkylineMetrics::shared();
         let mut bnl = bnl_over(
             Arc::clone(&heap),
@@ -336,11 +361,14 @@ mod tests {
         let layout = w.layout;
         let spec = SkylineSpec::max_all(3);
         let disk = MemDisk::shared();
-        let heap = Arc::new(load_heap(
-            Arc::clone(&disk) as _,
-            layout.record_size(),
-            records.iter().map(Vec::as_slice),
-        ));
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as _,
+                layout.record_size(),
+                records.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
         let pool = BufferPool::new(64);
         {
             let mut plan = budgeted_skyline_plan(
@@ -389,6 +417,6 @@ mod tests {
         let recs: Vec<Vec<u8>> = (0..100u64).map(|i| i.to_le_bytes().to_vec()).collect();
         let mut src = skyline_exec::MemSource::new(recs.clone(), 8);
         let heap = materialize(&mut src, Arc::clone(&disk) as _).unwrap();
-        assert_eq!(heap.read_all(), recs);
+        assert_eq!(heap.read_all().unwrap(), recs);
     }
 }

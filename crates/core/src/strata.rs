@@ -55,7 +55,7 @@ pub fn strata_external(
         if input.is_empty() {
             break;
         }
-        let sorted = presort(
+        let mut sorted = presort(
             Arc::clone(&input),
             layout,
             spec.clone(),
@@ -64,6 +64,7 @@ pub fn strata_external(
             sort_pages,
             Arc::clone(&disk),
         )?;
+        sorted.mark_temp();
         let mut sfs = sfs_filter(
             Arc::new(sorted),
             layout,
@@ -72,12 +73,18 @@ pub fn strata_external(
             Arc::clone(&disk),
             Arc::clone(&metrics),
         )?;
-        let stratum = materialize(&mut sfs, Arc::clone(&disk))?;
+        // strata stay temp until every round succeeds: a mid-round
+        // failure must not leak the already-built output files
+        let mut stratum = materialize(&mut sfs, Arc::clone(&disk))?;
+        stratum.mark_temp();
         strata.push(stratum);
         match sfs.take_rest() {
             Some(rest) if !rest.is_empty() => input = Arc::new(rest),
             _ => break,
         }
+    }
+    for s in &mut strata {
+        s.persist();
     }
     Ok(StrataResult {
         strata,
@@ -95,6 +102,10 @@ pub fn strata_external(
 ///
 /// # Errors
 /// Propagates operator and configuration errors.
+///
+/// # Panics
+/// Panics if the number of strata exceeds `i32::MAX` (the label column
+/// is an `i32` attribute).
 #[allow(clippy::too_many_arguments)]
 pub fn label_strata(
     heap: Arc<HeapFile>,
@@ -107,13 +118,14 @@ pub fn label_strata(
     disk: Arc<dyn Disk>,
 ) -> Result<(HeapFile, RecordLayout, usize), ExecError> {
     let out_layout = RecordLayout::new(layout.dims + 1, layout.payload);
-    let mut out = HeapFile::create(Arc::clone(&disk), out_layout.record_size());
+    // temp until complete: a mid-round failure must not leak the output
+    let mut out = HeapFile::create_temp(Arc::clone(&disk), out_layout.record_size())?;
     let metrics = SkylineMetrics::shared();
     let mut input = heap;
     let mut stratum = 0usize;
     let mut attrs = vec![0i32; out_layout.dims];
     while !input.is_empty() {
-        let sorted = presort(
+        let mut sorted = presort(
             Arc::clone(&input),
             layout,
             spec.clone(),
@@ -122,6 +134,7 @@ pub fn label_strata(
             sort_pages,
             Arc::clone(&disk),
         )?;
+        sorted.mark_temp();
         let mut sfs = sfs_filter(
             Arc::new(sorted),
             layout,
@@ -132,15 +145,15 @@ pub fn label_strata(
         )?;
         sfs.open()?;
         {
-            let mut w = out.writer();
+            let mut w = out.writer()?;
             while let Some(r) = sfs.next()? {
                 for (i, a) in attrs.iter_mut().enumerate().take(layout.dims) {
                     *a = layout.attr(r, i);
                 }
                 attrs[layout.dims] = i32::try_from(stratum).expect("stratum fits i32");
-                w.push(&out_layout.encode(&attrs, layout.payload_of(r)));
+                w.push(&out_layout.encode(&attrs, layout.payload_of(r)))?;
             }
-            w.finish();
+            w.finish()?;
         }
         let rest = sfs.take_rest();
         sfs.close();
@@ -150,6 +163,7 @@ pub fn label_strata(
         }
         stratum += 1;
     }
+    out.persist();
     Ok((out, out_layout, stratum + 1))
 }
 
@@ -170,11 +184,14 @@ mod tests {
         let d = 3;
         let spec = SkylineSpec::max_all(d);
         let disk = MemDisk::shared();
-        let heap = Arc::new(load_heap(
-            Arc::clone(&disk) as _,
-            layout.record_size(),
-            records.iter().map(Vec::as_slice),
-        ));
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as _,
+                layout.record_size(),
+                records.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
         let res = strata_external(
             heap,
             layout,
@@ -199,6 +216,7 @@ mod tests {
         for (s, (file, mem)) in res.strata.iter().zip(&mem_strata).enumerate() {
             let mut got: Vec<Vec<i32>> = file
                 .read_all()
+                .unwrap()
                 .iter()
                 .map(|r| layout.decode_attrs(r)[..d].to_vec())
                 .collect();
@@ -234,11 +252,14 @@ mod tests {
             let km = KeyMatrix::from_rows(&rows);
 
             let disk = MemDisk::shared();
-            let heap = Arc::new(load_heap(
-                Arc::clone(&disk) as _,
-                layout.record_size(),
-                recs.iter().map(Vec::as_slice),
-            ));
+            let heap = Arc::new(
+                load_heap(
+                    Arc::clone(&disk) as _,
+                    layout.record_size(),
+                    recs.iter().map(Vec::as_slice),
+                )
+                .unwrap(),
+            );
             let res = strata_external(
                 heap,
                 layout,
@@ -263,6 +284,7 @@ mod tests {
                 expect.sort();
                 let mut got: Vec<Vec<i32>> = file
                     .read_all()
+                    .unwrap()
                     .iter()
                     .map(|r| layout.decode_attrs(r)[..d].to_vec())
                     .collect();
@@ -290,11 +312,14 @@ mod tests {
         let layout = RecordLayout::new(2, 0);
         let recs: Vec<Vec<u8>> = (0..3).map(|i| layout.encode(&[i, i], b"")).collect();
         let disk = MemDisk::shared();
-        let heap = Arc::new(load_heap(
-            Arc::clone(&disk) as _,
-            layout.record_size(),
-            recs.iter().map(Vec::as_slice),
-        ));
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as _,
+                layout.record_size(),
+                recs.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
         let res = strata_external(
             heap,
             layout,
@@ -321,11 +346,14 @@ mod tests {
         let d = 3;
         let spec = SkylineSpec::max_all(d);
         let disk = MemDisk::shared();
-        let heap = Arc::new(load_heap(
-            Arc::clone(&disk) as _,
-            layout.record_size(),
-            records.iter().map(Vec::as_slice),
-        ));
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as _,
+                layout.record_size(),
+                records.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
         let (labeled, out_layout, n_strata) = label_strata(
             heap,
             layout,
@@ -359,7 +387,7 @@ mod tests {
                 .push(rows[i].iter().map(|&v| v as i32).collect());
         }
         let mut got: HashMap<usize, Vec<Vec<i32>>> = HashMap::new();
-        for r in labeled.read_all() {
+        for r in labeled.read_all().unwrap() {
             let attrs = out_layout.decode_attrs(&r);
             // stratum is the appended attribute, after ALL original attrs
             let stratum = attrs[out_layout.dims - 1] as usize;
@@ -381,11 +409,14 @@ mod tests {
         let layout = w.layout;
         let spec = SkylineSpec::max_all(4);
         let disk = MemDisk::shared();
-        let heap = Arc::new(load_heap(
-            Arc::clone(&disk) as _,
-            layout.record_size(),
-            records.iter().map(Vec::as_slice),
-        ));
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as _,
+                layout.record_size(),
+                records.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
         let res = strata_external(
             heap,
             layout,

@@ -1,6 +1,7 @@
 //! Execution errors.
 
 use skyline_storage::buffer::BufferError;
+use skyline_storage::StorageError;
 use std::fmt;
 
 /// Errors raised while executing an operator pipeline.
@@ -8,6 +9,15 @@ use std::fmt;
 pub enum ExecError {
     /// A buffer-pool reservation failed (operator budget unavailable).
     Buffer(BufferError),
+    /// A page transfer failed in the storage layer.
+    Storage(StorageError),
+    /// The query was cancelled (flag raised or deadline passed). Carries
+    /// how many records the operator had processed when it noticed.
+    Cancelled {
+        /// Records the operator had consumed from its input when the
+        /// cancellation was observed.
+        records_processed: u64,
+    },
     /// An operator was misused (e.g. `next` before `open`).
     Protocol(&'static str),
     /// Configuration problem detected at open time.
@@ -18,6 +28,10 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::Buffer(e) => write!(f, "buffer error: {e}"),
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::Cancelled { records_processed } => {
+                write!(f, "query cancelled after {records_processed} records")
+            }
             ExecError::Protocol(msg) => write!(f, "operator protocol violation: {msg}"),
             ExecError::Config(msg) => write!(f, "operator configuration error: {msg}"),
         }
@@ -28,6 +42,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Buffer(e) => Some(e),
+            ExecError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -39,9 +54,16 @@ impl From<BufferError> for ExecError {
     }
 }
 
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use skyline_storage::{ErrorKind, IoOp};
 
     #[test]
     fn display_messages() {
@@ -55,5 +77,17 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("requested 5"));
+    }
+
+    #[test]
+    fn storage_and_cancelled_display() {
+        let e: ExecError =
+            StorageError::new(IoOp::Read, 3, ErrorKind::Transient, "injected").into();
+        assert!(e.to_string().contains("storage error"));
+        assert!(e.to_string().contains("file 3"));
+        let e = ExecError::Cancelled {
+            records_processed: 42,
+        };
+        assert!(e.to_string().contains("cancelled after 42"));
     }
 }

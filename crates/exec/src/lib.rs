@@ -19,6 +19,7 @@
 //! * [`filter::Filter`], [`project::Project`], [`limit::Limit`],
 //!   [`op::HeapScan`], [`op::MemSource`] — plumbing every engine needs.
 
+pub mod cancel;
 pub mod error;
 pub mod filter;
 pub mod group_max;
@@ -27,6 +28,7 @@ pub mod op;
 pub mod project;
 pub mod sort;
 
+pub use cancel::CancelToken;
 pub use error::ExecError;
 pub use filter::Filter;
 pub use group_max::GroupMax;

@@ -63,7 +63,7 @@ impl Operator for HeapScan {
             .scan
             .as_mut()
             .ok_or(ExecError::Protocol("HeapScan::next before open"))?;
-        Ok(scan.next_record())
+        Ok(scan.next_record()?)
     }
 
     fn close(&mut self) {
@@ -99,7 +99,7 @@ impl Operator for IndexScan {
     fn open(&mut self) -> Result<(), ExecError> {
         self.scan = Some(skyline_storage::SharedBTreeScan::new(Arc::clone(
             &self.tree,
-        )));
+        ))?);
         Ok(())
     }
 
@@ -108,7 +108,7 @@ impl Operator for IndexScan {
             .scan
             .as_mut()
             .ok_or(ExecError::Protocol("IndexScan::next before open"))?;
-        Ok(scan.next_record())
+        Ok(scan.next_record()?)
     }
 
     fn close(&mut self) {
@@ -197,9 +197,9 @@ mod tests {
     #[test]
     fn heap_scan_round_trip() {
         let disk = MemDisk::shared();
-        let mut h = HeapFile::create(disk, 8);
+        let mut h = HeapFile::create(disk, 8).unwrap();
         let recs: Vec<Vec<u8>> = (0..600u64).map(|i| i.to_le_bytes().to_vec()).collect();
-        h.append_all(recs.iter().map(Vec::as_slice));
+        h.append_all(recs.iter().map(Vec::as_slice)).unwrap();
         let mut scan = HeapScan::new(Arc::new(h));
         assert_eq!(collect(&mut scan).unwrap(), recs);
         // reopen works
@@ -216,11 +216,12 @@ mod tests {
     fn index_scan_streams_in_key_order() {
         use skyline_storage::btree::key_codec::i32_key;
         let disk = MemDisk::shared();
-        let mut tree = skyline_storage::BTree::new(disk as Arc<dyn skyline_storage::Disk>, 4, 8);
+        let mut tree =
+            skyline_storage::BTree::new(disk as Arc<dyn skyline_storage::Disk>, 4, 8).unwrap();
         for v in [9i32, 3, 7, 1, 5] {
             let mut r = [0u8; 8];
             r[..4].copy_from_slice(&v.to_le_bytes());
-            tree.insert(&i32_key(v), &r);
+            tree.insert(&i32_key(v), &r).unwrap();
         }
         let mut scan = IndexScan::new(Arc::new(tree), 8);
         let out = collect(&mut scan).unwrap();

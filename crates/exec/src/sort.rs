@@ -11,6 +11,7 @@
 //! function* (nested `ORDER BY a₁ DESC, …, a_k DESC`, or the entropy score
 //! `E`), and `skyline-core` provides those comparators.
 
+use crate::cancel::{poll, CancelToken};
 use crate::error::ExecError;
 use crate::op::{BoxedOperator, Operator};
 use skyline_storage::{Disk, HeapFile, SharedScanner};
@@ -118,6 +119,7 @@ pub struct ExternalSort {
     budget: SortBudget,
     record_size: usize,
     state: SortState,
+    cancel: Option<CancelToken>,
     /// Number of runs written during the last open (for tests/metrics).
     runs_written: usize,
     /// Number of merge passes performed (excluding the streamed final one).
@@ -140,9 +142,18 @@ impl ExternalSort {
             budget,
             record_size,
             state: SortState::Idle,
+            cancel: None,
             runs_written: 0,
             merge_passes: 0,
         }
+    }
+
+    /// Observe `token` during run formation, between merge passes, and
+    /// every few hundred merged records.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Runs written by the last `open` (0 when the in-memory path ran).
@@ -175,27 +186,27 @@ impl ExternalSort {
         order
     }
 
-    fn write_run(&self, arena: &[u8], order: &[u32]) -> HeapFile {
-        let mut run = HeapFile::create_temp(Arc::clone(&self.disk), self.record_size);
+    fn write_run(&self, arena: &[u8], order: &[u32]) -> Result<HeapFile, ExecError> {
+        let mut run = HeapFile::create_temp(Arc::clone(&self.disk), self.record_size)?;
         let rs = self.record_size;
-        let mut w = run.writer();
+        let mut w = run.writer()?;
         for &i in order {
-            w.push(&arena[i as usize * rs..i as usize * rs + rs]);
+            w.push(&arena[i as usize * rs..i as usize * rs + rs])?;
         }
-        w.finish();
-        run
+        w.finish()?;
+        Ok(run)
     }
 
     /// Merge `runs` into a single new run file (non-final pass).
-    fn merge_to_run(&self, runs: Vec<Arc<HeapFile>>) -> HeapFile {
-        let mut out = HeapFile::create_temp(Arc::clone(&self.disk), self.record_size);
-        let mut merge = KWayMerge::new(runs, Arc::clone(&self.cmp));
-        let mut w = out.writer();
-        while let Some(r) = merge.next_record() {
-            w.push(r);
+    fn merge_to_run(&self, runs: Vec<Arc<HeapFile>>) -> Result<HeapFile, ExecError> {
+        let mut out = HeapFile::create_temp(Arc::clone(&self.disk), self.record_size)?;
+        let mut merge = KWayMerge::new(runs, Arc::clone(&self.cmp), self.cancel.clone());
+        let mut w = out.writer()?;
+        while let Some(r) = merge.next_record()? {
+            w.push(r)?;
         }
-        w.finish();
-        out
+        w.finish()?;
+        Ok(out)
     }
 }
 
@@ -209,17 +220,22 @@ impl Operator for ExternalSort {
         let arena_cap = self.budget.arena_bytes();
         let mut arena: Vec<u8> = Vec::with_capacity(arena_cap.min(1 << 24));
         let mut runs: Vec<Arc<HeapFile>> = Vec::new();
+        let mut consumed: u64 = 0;
         loop {
+            poll(self.cancel.as_ref(), consumed)?;
             // Spill check happens between records so the borrow of the
             // child's lent slice never overlaps the spill's `&self` calls.
             if arena.len() + self.record_size > arena_cap {
                 let order = self.sort_arena(&arena);
-                runs.push(Arc::new(self.write_run(&arena, &order)));
+                runs.push(Arc::new(self.write_run(&arena, &order)?));
                 self.runs_written += 1;
                 arena.clear();
             }
             match self.child.next()? {
-                Some(r) => arena.extend_from_slice(r),
+                Some(r) => {
+                    arena.extend_from_slice(r);
+                    consumed += 1;
+                }
                 None => break,
             }
         }
@@ -237,7 +253,7 @@ impl Operator for ExternalSort {
         }
         if !arena.is_empty() {
             let order = self.sort_arena(&arena);
-            runs.push(Arc::new(self.write_run(&arena, &order)));
+            runs.push(Arc::new(self.write_run(&arena, &order)?));
             self.runs_written += 1;
         }
         drop(arena);
@@ -245,12 +261,16 @@ impl Operator for ExternalSort {
         // --- Intermediate merge passes until fan-in suffices ---
         let fan_in = self.budget.fan_in().max(2);
         while runs.len() > fan_in {
+            // pass boundary: a natural cancellation point
+            if let Some(t) = &self.cancel {
+                t.check(consumed)?;
+            }
             let mut next: Vec<Arc<HeapFile>> = Vec::new();
             for group in runs.chunks(fan_in) {
                 if group.len() == 1 {
                     next.push(Arc::clone(&group[0]));
                 } else {
-                    next.push(Arc::new(self.merge_to_run(group.to_vec())));
+                    next.push(Arc::new(self.merge_to_run(group.to_vec())?));
                     self.runs_written += 1;
                 }
             }
@@ -259,7 +279,11 @@ impl Operator for ExternalSort {
         }
 
         // --- Final merge, streamed ---
-        self.state = SortState::Merging(KWayMerge::new(runs, Arc::clone(&self.cmp)));
+        self.state = SortState::Merging(KWayMerge::new(
+            runs,
+            Arc::clone(&self.cmp),
+            self.cancel.clone(),
+        ));
         Ok(())
     }
 
@@ -275,7 +299,7 @@ impl Operator for ExternalSort {
                 let rs = self.record_size;
                 Ok(Some(&arena[i * rs..i * rs + rs]))
             }
-            SortState::Merging(m) => Ok(m.next_record()),
+            SortState::Merging(m) => m.next_record(),
         }
     }
 
@@ -302,10 +326,17 @@ struct KWayMerge {
     /// Buffer handed to the caller.
     out: Vec<u8>,
     primed: bool,
+    cancel: Option<CancelToken>,
+    /// Records emitted so far — the merge's cancellation progress count.
+    emitted: u64,
 }
 
 impl KWayMerge {
-    fn new(runs: Vec<Arc<HeapFile>>, cmp: Arc<dyn RecordComparator>) -> Self {
+    fn new(
+        runs: Vec<Arc<HeapFile>>,
+        cmp: Arc<dyn RecordComparator>,
+        cancel: Option<CancelToken>,
+    ) -> Self {
         KWayMerge {
             scanners: runs.into_iter().map(SharedScanner::new).collect(),
             cmp,
@@ -313,6 +344,8 @@ impl KWayMerge {
             use_keys: false,
             out: Vec::new(),
             primed: false,
+            cancel,
+            emitted: 0,
         }
     }
 
@@ -382,10 +415,10 @@ impl KWayMerge {
         }
     }
 
-    fn prime(&mut self) {
+    fn prime(&mut self) -> Result<(), ExecError> {
         for idx in 0..self.scanners.len() {
             let mut buf = Vec::new();
-            let got = match self.scanners[idx].next_record() {
+            let got = match self.scanners[idx].next_record()? {
                 Some(r) => {
                     buf.extend_from_slice(r);
                     true
@@ -404,14 +437,16 @@ impl KWayMerge {
             }
         }
         self.primed = true;
+        Ok(())
     }
 
-    fn next_record(&mut self) -> Option<&[u8]> {
+    fn next_record(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        poll(self.cancel.as_ref(), self.emitted)?;
         if !self.primed {
-            self.prime();
+            self.prime()?;
         }
         if self.heap.is_empty() {
-            return None;
+            return Ok(None);
         }
         // Move the minimum out, refill from its scanner, restore the heap.
         let (bytes, idx) = {
@@ -419,7 +454,7 @@ impl KWayMerge {
             (std::mem::take(&mut top.1), top.2)
         };
         self.out = bytes;
-        match self.scanners[idx].next_record() {
+        match self.scanners[idx].next_record()? {
             Some(r) => {
                 let top = &mut self.heap[0];
                 top.1.clear();
@@ -446,7 +481,8 @@ impl KWayMerge {
                 }
             }
         }
-        Some(&self.out)
+        self.emitted += 1;
+        Ok(Some(&self.out))
     }
 }
 
@@ -597,6 +633,54 @@ mod tests {
         let a = collect(&mut sort).unwrap();
         let b = collect(&mut sort).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cancelled_sort_returns_typed_error_and_cleans_up() {
+        let recs = mk_records(2000, 64, 23);
+        let disk = MemDisk::shared();
+        let src = Box::new(MemSource::new(recs, 64));
+        let token = CancelToken::new();
+        token.cancel();
+        let mut sort = ExternalSort::new(src, asc(), Arc::clone(&disk) as _, SortBudget::pages(3))
+            .with_cancel(token);
+        match sort.open() {
+            Err(ExecError::Cancelled { .. }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        sort.close();
+        assert_eq!(disk.allocated_pages(), 0, "no leaked run files");
+    }
+
+    #[test]
+    fn deadline_cancel_mid_merge_cleans_up() {
+        // Cancel after open: run formation completes, the streamed final
+        // merge then observes the flag at its first poll point.
+        let recs = mk_records(2000, 64, 29);
+        let disk = MemDisk::shared();
+        let src = Box::new(MemSource::new(recs, 64));
+        let token = CancelToken::new();
+        let mut sort = ExternalSort::new(src, asc(), Arc::clone(&disk) as _, SortBudget::pages(3))
+            .with_cancel(token.clone());
+        sort.open().unwrap();
+        token.cancel();
+        let mut err = None;
+        loop {
+            match sort.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(
+            matches!(err, Some(ExecError::Cancelled { .. })),
+            "merge must notice the cancel: {err:?}"
+        );
+        sort.close();
+        assert_eq!(disk.allocated_pages(), 0, "no leaked run files");
     }
 
     #[test]

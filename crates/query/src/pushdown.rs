@@ -89,11 +89,14 @@ pub fn external_skyline_indices(
     .with_diff((k..k + m).collect());
 
     let disk: Arc<dyn Disk> = MemDisk::shared();
-    let heap = Arc::new(load_heap(
-        Arc::clone(&disk),
-        layout.record_size(),
-        records.iter().map(Vec::as_slice),
-    ));
+    let heap = Arc::new(
+        load_heap(
+            Arc::clone(&disk),
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .map_err(|e| QueryError::Semantic(e.to_string()))?,
+    );
     let stats = entropy_stats_of_records(&layout, &spec, records.iter().map(Vec::as_slice));
     drop(records);
 

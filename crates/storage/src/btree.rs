@@ -13,10 +13,12 @@
 //! fixed-length records; leaves chained for range scans; standard
 //! recursive insert with splits; bottom-up bulk load from sorted input.
 //! Every node visit is one counted page read; every node write one page
-//! write. Tree metadata (root, height, count) lives in the handle, like
-//! [`crate::HeapFile`]'s.
+//! write, and every one of them can fail with a typed
+//! [`StorageError`]. Tree metadata (root, height, count) lives in the
+//! handle, like [`crate::HeapFile`]'s.
 
 use crate::disk::{Disk, FileId};
+use crate::error::StorageError;
 use crate::PAGE_SIZE;
 use std::sync::Arc;
 
@@ -29,8 +31,13 @@ pub mod key_codec {
     }
 
     /// Decode [`i32_key`].
+    ///
+    /// # Panics
+    /// Panics if `k` is shorter than 4 bytes.
     pub fn i32_from_key(k: &[u8]) -> i32 {
-        (u32::from_be_bytes(k[..4].try_into().expect("4-byte key")) ^ 0x8000_0000) as i32
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&k[..4]);
+        (u32::from_be_bytes(b) ^ 0x8000_0000) as i32
     }
 
     /// Composite key from several `i32`s (lexicographic, order-preserving).
@@ -48,6 +55,13 @@ const T_LEAF: u8 = 1;
 const T_INTERNAL: u8 = 0;
 /// Sentinel for "no page".
 const NIL: u64 = u64::MAX;
+
+/// Read a little-endian u64 from the first 8 bytes of `b`.
+fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
 
 /// A B+-tree over `(key, record)` pairs with fixed sizes. Duplicate keys
 /// are allowed.
@@ -85,7 +99,7 @@ impl Node {
 
     /// Leaf: next-leaf pointer. Internal: leftmost child.
     fn link(&self) -> u64 {
-        u64::from_le_bytes(self.buf[8..16].try_into().expect("header"))
+        le_u64(&self.buf[8..16])
     }
 
     fn set_link(&mut self, v: u64) {
@@ -115,12 +129,19 @@ impl BTree {
 
     /// Create an empty tree.
     ///
+    /// # Errors
+    /// [`StorageError`] when creating the file or writing the root fails.
+    ///
     /// # Panics
     /// Panics unless at least 2 leaf entries and 2 internal entries fit a
     /// page, and sizes are positive.
-    pub fn new(disk: Arc<dyn Disk>, key_len: usize, record_size: usize) -> Self {
+    pub fn new(
+        disk: Arc<dyn Disk>,
+        key_len: usize,
+        record_size: usize,
+    ) -> Result<Self, StorageError> {
         assert!(key_len > 0 && record_size > 0);
-        let file = disk.create();
+        let file = disk.create()?;
         let mut t = BTree {
             disk,
             file,
@@ -136,8 +157,8 @@ impl BTree {
         assert!(t.internal_cap() >= 2, "keys too large for a page");
         let root = t.alloc_node(T_LEAF);
         t.root = root.page_no;
-        t.write_node(&root);
-        t
+        t.write_node(&root)?;
+        Ok(t)
     }
 
     /// Mark for deletion on drop.
@@ -180,14 +201,14 @@ impl BTree {
         n
     }
 
-    fn read_node(&self, page_no: u64) -> Node {
+    fn read_node(&self, page_no: u64) -> Result<Node, StorageError> {
         let mut buf = Vec::with_capacity(PAGE_SIZE);
-        self.disk.read_page(self.file, page_no, &mut buf);
-        Node { page_no, buf }
+        self.disk.read_page(self.file, page_no, &mut buf)?;
+        Ok(Node { page_no, buf })
     }
 
-    fn write_node(&self, node: &Node) {
-        self.disk.write_page(self.file, node.page_no, &node.buf);
+    fn write_node(&self, node: &Node) -> Result<(), StorageError> {
+        self.disk.write_page(self.file, node.page_no, &node.buf)
     }
 
     fn leaf_key<'a>(&self, n: &'a Node, i: usize) -> &'a [u8] {
@@ -207,7 +228,7 @@ impl BTree {
 
     fn internal_child(&self, n: &Node, i: usize) -> u64 {
         let off = HDR + i * self.internal_entry() + self.key_len;
-        u64::from_le_bytes(n.buf[off..off + 8].try_into().expect("child"))
+        le_u64(&n.buf[off..off + 8])
     }
 
     /// Index of the child to follow for `key`: entries store separator
@@ -249,27 +270,37 @@ impl BTree {
 
     /// Insert one `(key, record)` pair.
     ///
+    /// # Errors
+    /// [`StorageError`] when a node read or write fails; the tree may have
+    /// written some split pages already — treat the handle as poisoned.
+    ///
     /// # Panics
     /// Panics on size mismatches.
-    pub fn insert(&mut self, key: &[u8], record: &[u8]) {
+    pub fn insert(&mut self, key: &[u8], record: &[u8]) -> Result<(), StorageError> {
         assert_eq!(key.len(), self.key_len, "key size mismatch");
         assert_eq!(record.len(), self.record_size, "record size mismatch");
-        if let Some((sep, right)) = self.insert_rec(self.root, key, record) {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, record)? {
             // root split
             let old_root = self.root;
             let mut new_root = self.alloc_node(T_INTERNAL);
             new_root.set_link(old_root);
             self.insert_into_internal(&mut new_root, 0, &sep, right);
             self.root = new_root.page_no;
-            self.write_node(&new_root);
+            self.write_node(&new_root)?;
             self.height += 1;
         }
         self.n_records += 1;
+        Ok(())
     }
 
     /// Recursive insert; returns `(separator, new right page)` on split.
-    fn insert_rec(&mut self, page: u64, key: &[u8], record: &[u8]) -> Option<(Vec<u8>, u64)> {
-        let mut node = self.read_node(page);
+    fn insert_rec(
+        &mut self,
+        page: u64,
+        key: &[u8],
+        record: &[u8],
+    ) -> Result<Option<(Vec<u8>, u64)>, StorageError> {
+        let mut node = self.read_node(page)?;
         if node.is_leaf() {
             let c = node.count();
             // position after existing equal keys (stable for duplicates)
@@ -279,8 +310,8 @@ impl BTree {
             }
             self.insert_into_leaf(&mut node, pos, key, record);
             if node.count() <= self.leaf_cap() {
-                self.write_node(&node);
-                return None;
+                self.write_node(&node)?;
+                return Ok(None);
             }
             // split
             let total = node.count();
@@ -294,16 +325,17 @@ impl BTree {
             node.set_count(keep);
             node.set_link(right.page_no);
             let sep = self.leaf_key(&right, 0).to_vec();
-            self.write_node(&node);
-            self.write_node(&right);
-            Some((sep, right.page_no))
+            self.write_node(&node)?;
+            self.write_node(&right)?;
+            Ok(Some((sep, right.page_no)))
         } else {
             let child = self.route(&node, key);
-            let split = self.insert_rec(child, key, record)?;
-            let (sep, right_page) = split;
+            let Some((sep, right_page)) = self.insert_rec(child, key, record)? else {
+                return Ok(None);
+            };
             // re-read: child recursion may have been deep but this node
             // unchanged; still re-read for simplicity and correctness
-            let mut node = self.read_node(page);
+            let mut node = self.read_node(page)?;
             let c = node.count();
             let mut pos = 0;
             while pos < c && self.internal_key(&node, pos) <= sep.as_slice() {
@@ -311,8 +343,8 @@ impl BTree {
             }
             self.insert_into_internal(&mut node, pos, &sep, right_page);
             if node.count() <= self.internal_cap() {
-                self.write_node(&node);
-                return None;
+                self.write_node(&node)?;
+                return Ok(None);
             }
             // split internal: promote the middle separator
             let total = node.count();
@@ -327,64 +359,85 @@ impl BTree {
             right.buf[HDR..HDR + entries_right * e].copy_from_slice(&node.buf[src]);
             right.set_count(entries_right);
             node.set_count(mid);
-            self.write_node(&node);
-            self.write_node(&right);
-            Some((promoted, right.page_no))
+            self.write_node(&node)?;
+            self.write_node(&right)?;
+            Ok(Some((promoted, right.page_no)))
         }
     }
 
     /// First record with exactly `key`, if any.
-    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+    ///
+    /// # Errors
+    /// [`StorageError`] when a node read fails.
+    ///
+    /// # Panics
+    /// Panics if `key.len()` differs from the tree's key length.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StorageError> {
         assert_eq!(key.len(), self.key_len);
-        let mut scan = self.range_from(key);
-        match scan.next_entry() {
-            Some((k, r)) if k == key => Some(r.to_vec()),
-            _ => None,
+        let mut scan = self.range_from(key)?;
+        match scan.next_entry()? {
+            Some((k, r)) if k == key => Ok(Some(r.to_vec())),
+            _ => Ok(None),
         }
     }
 
     /// Range scan starting at the first entry with key ≥ `from`.
-    pub fn range_from(&self, from: &[u8]) -> BTreeScan<'_> {
+    ///
+    /// # Errors
+    /// [`StorageError`] when the descent reads fail.
+    ///
+    /// # Panics
+    /// Panics if `from.len()` differs from the tree's key length.
+    pub fn range_from(&self, from: &[u8]) -> Result<BTreeScan<'_>, StorageError> {
         assert_eq!(from.len(), self.key_len);
         let mut page = self.root;
         for _ in 1..self.height {
-            let node = self.read_node(page);
+            let node = self.read_node(page)?;
             debug_assert!(!node.is_leaf());
             page = self.route(&node, from);
         }
-        let leaf = self.read_node(page);
+        let leaf = self.read_node(page)?;
         debug_assert!(leaf.is_leaf());
         let c = leaf.count();
         let mut pos = 0;
         while pos < c && self.leaf_key(&leaf, pos) < from {
             pos += 1;
         }
-        BTreeScan {
+        Ok(BTreeScan {
             tree: self,
             leaf: Some(leaf),
             pos,
-        }
+        })
     }
 
     /// Full scan in key order (the clustered-index order).
-    pub fn scan(&self) -> BTreeScan<'_> {
+    ///
+    /// # Errors
+    /// [`StorageError`] when the descent reads fail.
+    pub fn scan(&self) -> Result<BTreeScan<'_>, StorageError> {
         // descend along leftmost children
         let mut page = self.root;
         for _ in 1..self.height {
-            let node = self.read_node(page);
+            let node = self.read_node(page)?;
             page = node.link();
         }
-        let leaf = self.read_node(page);
-        BTreeScan {
+        let leaf = self.read_node(page)?;
+        Ok(BTreeScan {
             tree: self,
             leaf: Some(leaf),
             pos: 0,
-        }
+        })
     }
 
     /// Bulk-load from `(key, record)` pairs that are already sorted by
     /// key — builds leaves left to right and index levels bottom-up,
     /// leaving every node ~full.
+    ///
+    /// # Errors
+    /// [`StorageError`] when a node write fails mid-build; pages written
+    /// so far stay in the (not yet returned, hence leaked-on-error) file
+    /// unless the disk handle is dropped — load into a temp-marked tree
+    /// when that matters.
     ///
     /// # Panics
     /// Panics on size mismatches or unsorted input (debug assertions).
@@ -393,11 +446,11 @@ impl BTree {
         key_len: usize,
         record_size: usize,
         sorted: I,
-    ) -> Self
+    ) -> Result<Self, StorageError>
     where
         I: IntoIterator<Item = (&'a [u8], &'a [u8])>,
     {
-        let mut t = BTree::new(disk, key_len, record_size);
+        let mut t = BTree::new(disk, key_len, record_size)?;
         // discard the empty root; rebuild from scratch
         t.next_page = 0;
         let leaf_cap = t.leaf_cap();
@@ -418,8 +471,9 @@ impl BTree {
             if cur.count() == leaf_cap {
                 let next = t.alloc_node(T_LEAF);
                 cur.set_link(next.page_no);
-                t.write_node(&cur);
-                leaves.push((first_key.take().expect("leaf has entries"), cur.page_no));
+                t.write_node(&cur)?;
+                // a full leaf always recorded its first key
+                leaves.push((first_key.take().unwrap_or_default(), cur.page_no));
                 cur = next;
             }
             if cur.count() == 0 {
@@ -429,7 +483,7 @@ impl BTree {
             t.insert_into_leaf(&mut cur, pos, key, record);
             n_records += 1;
         }
-        t.write_node(&cur);
+        t.write_node(&cur)?;
         leaves.push((first_key.unwrap_or_default(), cur.page_no));
 
         // build index levels
@@ -438,34 +492,31 @@ impl BTree {
         while level.len() > 1 {
             let cap = t.internal_cap();
             let mut next_level: Vec<(Vec<u8>, u64)> = Vec::new();
-            let mut iter = level.into_iter();
             // each internal node takes 1 leftmost child + up to cap keyed
             // children
             let mut current: Option<(Node, Vec<u8>)> = None;
-            for (first, page) in iter.by_ref() {
-                match &mut current {
-                    None => {
-                        let mut node = t.alloc_node(T_INTERNAL);
-                        node.set_link(page);
-                        current = Some((node, first));
-                    }
+            for (first, page) in level {
+                let start_new = match &mut current {
+                    None => true,
+                    Some((node, _)) if node.count() == cap => true,
                     Some((node, _)) => {
-                        if node.count() == cap {
-                            let (done, done_first) = current.take().expect("present");
-                            t.write_node(&done);
-                            next_level.push((done_first, done.page_no));
-                            let mut node = t.alloc_node(T_INTERNAL);
-                            node.set_link(page);
-                            current = Some((node, first));
-                        } else {
-                            let pos = node.count();
-                            t.insert_into_internal(node, pos, &first, page);
-                        }
+                        let pos = node.count();
+                        t.insert_into_internal(node, pos, &first, page);
+                        false
                     }
+                };
+                if start_new {
+                    if let Some((done, done_first)) = current.take() {
+                        t.write_node(&done)?;
+                        next_level.push((done_first, done.page_no));
+                    }
+                    let mut node = t.alloc_node(T_INTERNAL);
+                    node.set_link(page);
+                    current = Some((node, first));
                 }
             }
             if let Some((node, node_first)) = current {
-                t.write_node(&node);
+                t.write_node(&node)?;
                 next_level.push((node_first, node.page_no));
             }
             level = next_level;
@@ -474,7 +525,7 @@ impl BTree {
         t.root = level[0].1;
         t.height = height;
         t.n_records = n_records;
-        t
+        Ok(t)
     }
 
     /// Delete the file, consuming the handle.
@@ -498,31 +549,48 @@ pub struct BTreeScan<'a> {
     pos: usize,
 }
 
+/// A borrowed `(key, record)` pair yielded by a B-tree scan.
+pub type Entry<'a> = (&'a [u8], &'a [u8]);
+
 impl BTreeScan<'_> {
     /// Next `(key, record)`, or `None` at the end.
-    pub fn next_entry(&mut self) -> Option<(&[u8], &[u8])> {
+    ///
+    /// # Errors
+    /// [`StorageError`] when reading the next leaf fails.
+    pub fn next_entry(&mut self) -> Result<Option<Entry<'_>>, StorageError> {
         loop {
-            let leaf = self.leaf.as_ref()?;
+            let Some(leaf) = &self.leaf else {
+                return Ok(None);
+            };
             if self.pos < leaf.count() {
-                let i = self.pos;
-                self.pos += 1;
-                // reborrow via the still-held leaf
-                let leaf = self.leaf.as_ref().expect("present");
-                return Some((self.tree.leaf_key(leaf, i), self.tree.leaf_record(leaf, i)));
+                break;
             }
             let next = leaf.link();
             if next == NIL {
                 self.leaf = None;
-                return None;
+                return Ok(None);
             }
-            self.leaf = Some(self.tree.read_node(next));
+            self.leaf = Some(self.tree.read_node(next)?);
             self.pos = 0;
+        }
+        let i = self.pos;
+        self.pos += 1;
+        match &self.leaf {
+            Some(leaf) => Ok(Some((
+                self.tree.leaf_key(leaf, i),
+                self.tree.leaf_record(leaf, i),
+            ))),
+            // the loop above only exits with a leaf in hand
+            None => Ok(None),
         }
     }
 
     /// Next record only.
-    pub fn next_record(&mut self) -> Option<&[u8]> {
-        self.next_entry().map(|(_, r)| r)
+    ///
+    /// # Errors
+    /// [`StorageError`] when reading the next leaf fails.
+    pub fn next_record(&mut self) -> Result<Option<&[u8]>, StorageError> {
+        Ok(self.next_entry()?.map(|(_, r)| r))
     }
 }
 
@@ -536,40 +604,54 @@ pub struct SharedBTreeScan {
 
 impl SharedBTreeScan {
     /// Start a full scan of `tree` in key order.
-    pub fn new(tree: Arc<BTree>) -> Self {
+    ///
+    /// # Errors
+    /// [`StorageError`] when the descent to the leftmost leaf fails.
+    pub fn new(tree: Arc<BTree>) -> Result<Self, StorageError> {
         let mut page = tree.root;
         for _ in 1..tree.height {
-            let node = tree.read_node(page);
+            let node = tree.read_node(page)?;
             page = node.link();
         }
-        let leaf = tree.read_node(page);
-        SharedBTreeScan {
+        let leaf = tree.read_node(page)?;
+        Ok(SharedBTreeScan {
             tree: Arc::clone(&tree),
             leaf: Some((leaf.page_no, leaf.buf)),
             pos: 0,
-        }
+        })
     }
 
     /// Next record, or `None` at end of tree.
-    pub fn next_record(&mut self) -> Option<&[u8]> {
+    ///
+    /// # Errors
+    /// [`StorageError`] when reading the next leaf fails.
+    pub fn next_record(&mut self) -> Result<Option<&[u8]>, StorageError> {
         loop {
-            let (_, buf) = self.leaf.as_ref()?;
+            let Some((_, buf)) = &self.leaf else {
+                return Ok(None);
+            };
             let count = u16::from_le_bytes([buf[1], buf[2]]) as usize;
             if self.pos < count {
-                let i = self.pos;
-                self.pos += 1;
-                let (_, buf) = self.leaf.as_ref().expect("present");
-                let off = HDR + i * self.tree.leaf_entry() + self.tree.key_len;
-                return Some(&buf[off..off + self.tree.record_size]);
+                break;
             }
-            let next = u64::from_le_bytes(buf[8..16].try_into().expect("header"));
+            let next = le_u64(&buf[8..16]);
             if next == NIL {
                 self.leaf = None;
-                return None;
+                return Ok(None);
             }
-            let leaf = self.tree.read_node(next);
+            let leaf = self.tree.read_node(next)?;
             self.leaf = Some((leaf.page_no, leaf.buf));
             self.pos = 0;
+        }
+        let i = self.pos;
+        self.pos += 1;
+        match &self.leaf {
+            Some((_, buf)) => {
+                let off = HDR + i * self.tree.leaf_entry() + self.tree.key_len;
+                Ok(Some(&buf[off..off + self.tree.record_size]))
+            }
+            // the loop above only exits with a leaf in hand
+            None => Ok(None),
         }
     }
 
@@ -586,7 +668,7 @@ mod tests {
     use crate::disk::MemDisk;
 
     fn mk(disk: &Arc<MemDisk>) -> BTree {
-        BTree::new(Arc::clone(disk) as Arc<dyn Disk>, 4, 8)
+        BTree::new(Arc::clone(disk) as Arc<dyn Disk>, 4, 8).unwrap()
     }
 
     fn rec(v: i32) -> [u8; 8] {
@@ -597,8 +679,8 @@ mod tests {
 
     fn drain_keys(t: &BTree) -> Vec<i32> {
         let mut out = Vec::new();
-        let mut scan = t.scan();
-        while let Some((k, _)) = scan.next_entry() {
+        let mut scan = t.scan().unwrap();
+        while let Some((k, _)) = scan.next_entry().unwrap() {
             out.push(i32_from_key(k));
         }
         out
@@ -624,7 +706,7 @@ mod tests {
             .map(|i| (i * 2_654_435_761u64 as i64 % 100_000) as i32)
             .collect();
         for &v in &vals {
-            t.insert(&i32_key(v), &rec(v));
+            t.insert(&i32_key(v), &rec(v)).unwrap();
         }
         assert_eq!(t.len(), 5_000);
         assert!(t.height() >= 2);
@@ -637,10 +719,10 @@ mod tests {
         let disk = MemDisk::shared();
         let mut t = mk(&disk);
         for _ in 0..700 {
-            t.insert(&i32_key(7), &rec(7));
+            t.insert(&i32_key(7), &rec(7)).unwrap();
         }
-        t.insert(&i32_key(3), &rec(3));
-        t.insert(&i32_key(9), &rec(9));
+        t.insert(&i32_key(3), &rec(3)).unwrap();
+        t.insert(&i32_key(9), &rec(9)).unwrap();
         let keys = drain_keys(&t);
         assert_eq!(keys.len(), 702);
         assert_eq!(keys[0], 3);
@@ -653,14 +735,14 @@ mod tests {
         let disk = MemDisk::shared();
         let mut t = mk(&disk);
         for v in (0..1000).step_by(2) {
-            t.insert(&i32_key(v), &rec(v * 10));
+            t.insert(&i32_key(v), &rec(v * 10)).unwrap();
         }
-        assert_eq!(t.get(&i32_key(500)), Some(rec(5000).to_vec()));
-        assert_eq!(t.get(&i32_key(501)), None);
+        assert_eq!(t.get(&i32_key(500)).unwrap(), Some(rec(5000).to_vec()));
+        assert_eq!(t.get(&i32_key(501)).unwrap(), None);
         // range from 995 → 996, 998
-        let mut scan = t.range_from(&i32_key(995));
+        let mut scan = t.range_from(&i32_key(995)).unwrap();
         let mut got = Vec::new();
-        while let Some((k, _)) = scan.next_entry() {
+        while let Some((k, _)) = scan.next_entry().unwrap() {
             got.push(i32_from_key(k));
         }
         assert_eq!(got, vec![996, 998]);
@@ -677,7 +759,8 @@ mod tests {
             4,
             8,
             pairs.iter().map(|(k, r)| (k.as_slice(), r.as_slice())),
-        );
+        )
+        .unwrap();
         assert_eq!(t.len(), 10_000);
         assert_eq!(drain_keys(&t), vals);
         // bulk-loaded trees are compact: ~n/leaf_cap leaves
@@ -690,18 +773,19 @@ mod tests {
         let disk = MemDisk::shared();
         let mut t = mk(&disk);
         assert!(t.is_empty());
-        assert!(t.scan().next_entry().is_none());
-        assert_eq!(t.get(&i32_key(1)), None);
-        t.insert(&i32_key(1), &rec(1));
+        assert!(t.scan().unwrap().next_entry().unwrap().is_none());
+        assert_eq!(t.get(&i32_key(1)).unwrap(), None);
+        t.insert(&i32_key(1), &rec(1)).unwrap();
         assert_eq!(drain_keys(&t), vec![1]);
     }
 
     #[test]
     fn empty_bulk_load() {
         let disk = MemDisk::shared();
-        let t = BTree::bulk_load(Arc::clone(&disk) as Arc<dyn Disk>, 4, 8, std::iter::empty());
+        let t =
+            BTree::bulk_load(Arc::clone(&disk) as Arc<dyn Disk>, 4, 8, std::iter::empty()).unwrap();
         assert!(t.is_empty());
-        assert!(t.scan().next_entry().is_none());
+        assert!(t.scan().unwrap().next_entry().unwrap().is_none());
     }
 
     #[test]
@@ -715,7 +799,8 @@ mod tests {
             4,
             8,
             pairs.iter().map(|(k, r)| (k.as_slice(), r.as_slice())),
-        );
+        )
+        .unwrap();
         let before = disk.stats().snapshot();
         assert_eq!(drain_keys(&t).len(), 20_000);
         let delta = disk.stats().snapshot().since(&before);
@@ -733,12 +818,12 @@ mod tests {
         let disk = MemDisk::shared();
         let mut t = mk(&disk);
         for v in [5, 1, 9, 3, 7, 7, 2] {
-            t.insert(&i32_key(v), &rec(v));
+            t.insert(&i32_key(v), &rec(v)).unwrap();
         }
         let t = Arc::new(t);
-        let mut s = SharedBTreeScan::new(Arc::clone(&t));
+        let mut s = SharedBTreeScan::new(Arc::clone(&t)).unwrap();
         let mut got = Vec::new();
-        while let Some(r) = s.next_record() {
+        while let Some(r) = s.next_record().unwrap() {
             got.push(i32::from_le_bytes(r[..4].try_into().unwrap()));
         }
         assert_eq!(got, vec![1, 2, 3, 5, 7, 7, 9]);
@@ -751,7 +836,7 @@ mod tests {
             let mut t = mk(&disk);
             t.mark_temp();
             for v in 0..100 {
-                t.insert(&i32_key(v), &rec(v));
+                t.insert(&i32_key(v), &rec(v)).unwrap();
             }
             assert!(disk.allocated_pages() > 0);
         }
@@ -770,7 +855,7 @@ mod tests {
             let disk = MemDisk::shared();
             let mut t = mk(&disk);
             for &v in &vals {
-                t.insert(&i32_key(v), &rec(v));
+                t.insert(&i32_key(v), &rec(v)).unwrap();
             }
             let mut expect = vals.clone();
             expect.sort_unstable();
@@ -792,7 +877,8 @@ mod tests {
                 4,
                 8,
                 pairs.iter().map(|(k, r)| (k.as_slice(), r.as_slice())),
-            );
+            )
+            .unwrap();
             assert_eq!(drain_keys(&t), sorted);
         });
     }

@@ -1,5 +1,12 @@
 //! Page devices: the in-memory simulator and a real-file implementation.
+//!
+//! This is the only module allowed to touch `std::fs` — every page that
+//! moves through here is counted in [`IoStats`], and every syscall failure
+//! surfaces as a typed [`StorageError`] instead of a panic. Reading past
+//! EOF on [`MemDisk`] remains a panic: the in-memory device cannot fail,
+//! so an out-of-range read is an operator logic bug, not an I/O error.
 
+use crate::error::{ErrorKind, IoOp, StorageError};
 use crate::io_stats::IoStats;
 use crate::sync::lock;
 use crate::PAGE_SIZE;
@@ -17,30 +24,48 @@ pub type FileId = u64;
 /// and every transfer is counted in the disk's shared [`IoStats`].
 pub trait Disk: Send + Sync {
     /// Create a new empty file and return its id.
-    fn create(&self) -> FileId;
+    ///
+    /// # Errors
+    /// [`StorageError`] when the device cannot create the file.
+    fn create(&self) -> Result<FileId, StorageError>;
 
     /// Delete a file, releasing its pages. Deleting an unknown id is a
-    /// no-op (files may be deleted once by owner and once by a manager).
+    /// no-op (files may be deleted once by owner and once by a manager);
+    /// deletion is best-effort and infallible so `Drop` cleanup paths can
+    /// always run.
     fn delete(&self, file: FileId);
 
     /// Write one page. `data` may be shorter than a page; it is
     /// zero-padded. Writing page `n` of a file with fewer than `n` pages
     /// extends it (intervening pages become zero pages, each counted as a
     /// write).
-    fn write_page(&self, file: FileId, page_no: u64, data: &[u8]);
+    ///
+    /// # Errors
+    /// [`StorageError`] when the device rejects the write or the file does
+    /// not exist.
+    fn write_page(&self, file: FileId, page_no: u64, data: &[u8]) -> Result<(), StorageError>;
 
     /// Read one page into `buf` (resized to [`PAGE_SIZE`]).
     ///
-    /// # Panics
-    /// Panics if the page does not exist — reading past EOF is a logic bug
-    /// in an operator, not a recoverable condition.
-    fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>);
+    /// # Errors
+    /// [`StorageError`] when the device fails the read or the file does
+    /// not exist. On [`MemDisk`], reading past EOF panics instead —
+    /// a logic bug in an operator, not a recoverable condition.
+    fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) -> Result<(), StorageError>;
 
     /// Number of pages currently in the file.
-    fn num_pages(&self, file: FileId) -> u64;
+    ///
+    /// # Errors
+    /// [`StorageError`] when the file cannot be stat-ed.
+    fn num_pages(&self, file: FileId) -> Result<u64, StorageError>;
 
     /// The disk-wide I/O counters.
     fn stats(&self) -> &IoStats;
+
+    /// Total pages currently allocated across all live files — the leak
+    /// check: after every temp file is dropped this must return to its
+    /// pre-run value. Best-effort (stat failures count as zero pages).
+    fn allocated_pages(&self) -> u64;
 }
 
 /// Deterministic in-memory disk. The default device for experiments: page
@@ -64,11 +89,6 @@ impl MemDisk {
     pub fn shared() -> Arc<Self> {
         Arc::new(MemDisk::new())
     }
-
-    /// Total pages currently allocated across all files (for leak checks).
-    pub fn allocated_pages(&self) -> u64 {
-        lock(&self.files).values().map(|f| f.len() as u64).sum()
-    }
 }
 
 fn padded(data: &[u8]) -> Box<[u8]> {
@@ -82,21 +102,29 @@ fn padded(data: &[u8]) -> Box<[u8]> {
     page
 }
 
+fn page_index(op: IoOp, file: FileId, page_no: u64) -> Result<usize, StorageError> {
+    usize::try_from(page_no).map_err(|_| {
+        StorageError::new(op, file, ErrorKind::Permanent, "page number overflow").at_page(page_no)
+    })
+}
+
 impl Disk for MemDisk {
-    fn create(&self) -> FileId {
+    fn create(&self) -> Result<FileId, StorageError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         lock(&self.files).insert(id, Vec::new());
-        id
+        Ok(id)
     }
 
     fn delete(&self, file: FileId) {
         lock(&self.files).remove(&file);
     }
 
-    fn write_page(&self, file: FileId, page_no: u64, data: &[u8]) {
+    fn write_page(&self, file: FileId, page_no: u64, data: &[u8]) -> Result<(), StorageError> {
         let mut files = lock(&self.files);
-        let pages = files.get_mut(&file).expect("write to deleted file");
-        let idx = usize::try_from(page_no).expect("page number overflow");
+        let pages = files
+            .get_mut(&file)
+            .ok_or_else(|| StorageError::unknown_file(IoOp::Write, file).at_page(page_no))?;
+        let idx = page_index(IoOp::Write, file, page_no)?;
         while pages.len() < idx {
             pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
             self.stats.record_write();
@@ -107,60 +135,104 @@ impl Disk for MemDisk {
             pages[idx] = padded(data);
         }
         self.stats.record_write();
+        Ok(())
     }
 
-    fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) {
+    fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) -> Result<(), StorageError> {
         let files = lock(&self.files);
-        let pages = files.get(&file).expect("read from deleted file");
-        let idx = usize::try_from(page_no).expect("page number overflow");
+        let pages = files
+            .get(&file)
+            .ok_or_else(|| StorageError::unknown_file(IoOp::Read, file).at_page(page_no))?;
+        let idx = page_index(IoOp::Read, file, page_no)?;
         let page = pages
             .get(idx)
             .unwrap_or_else(|| panic!("read past EOF: page {page_no} of {} pages", pages.len()));
         buf.clear();
         buf.extend_from_slice(page);
         self.stats.record_read();
+        Ok(())
     }
 
-    fn num_pages(&self, file: FileId) -> u64 {
-        lock(&self.files).get(&file).map_or(0, |p| p.len() as u64)
+    fn num_pages(&self, file: FileId) -> Result<u64, StorageError> {
+        Ok(lock(&self.files).get(&file).map_or(0, |p| p.len() as u64))
     }
 
     fn stats(&self) -> &IoStats {
         &self.stats
     }
+
+    fn allocated_pages(&self) -> u64 {
+        lock(&self.files).values().map(|f| f.len() as u64).sum()
+    }
 }
+
+/// How many zero pages one syscall covers while gap-extending a file.
+const GAP_CHUNK_PAGES: usize = 16;
 
 /// A disk backed by real files in a directory (one file per [`FileId`]).
 /// Useful for runs whose temp data exceeds memory; accounting is identical
-/// to [`MemDisk`].
+/// to [`MemDisk`]. The directory is owned exclusively: construction sweeps
+/// stale `skyline-*.pages` files left behind by a crashed prior process.
 pub struct FileDisk {
     dir: PathBuf,
     files: Mutex<HashMap<FileId, File>>,
     next_id: AtomicU64,
     stats: IoStats,
+    /// One zeroed gap-write buffer, shared by every gap-extending write.
+    zeros: Box<[u8]>,
 }
 
 impl FileDisk {
     /// Create a disk rooted at `dir` (created if missing). Files are named
-    /// `skyline-<id>.pages` and removed on [`Disk::delete`].
+    /// `skyline-<id>.pages` and removed on [`Disk::delete`]; any such file
+    /// already present — an orphan from a crashed prior process — is
+    /// removed first.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
     pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        Self::sweep_stale(&dir);
         Ok(FileDisk {
             dir,
             files: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             stats: IoStats::new(),
+            zeros: vec![0u8; GAP_CHUNK_PAGES * PAGE_SIZE].into_boxed_slice(),
         })
+    }
+
+    /// Best-effort removal of `skyline-*.pages` orphans in `dir`.
+    fn sweep_stale(dir: &PathBuf) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("skyline-") && name.ends_with(".pages") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
     }
 
     fn path(&self, id: FileId) -> PathBuf {
         self.dir.join(format!("skyline-{id}.pages"))
     }
+
+    fn io_err(op: IoOp, file: FileId, e: &std::io::Error) -> StorageError {
+        use std::io::ErrorKind as Io;
+        let kind = match e.kind() {
+            Io::Interrupted | Io::TimedOut | Io::WouldBlock => ErrorKind::Transient,
+            _ => ErrorKind::Permanent,
+        };
+        StorageError::new(op, file, kind, e.to_string())
+    }
 }
 
 impl Disk for FileDisk {
-    fn create(&self) -> FileId {
+    fn create(&self) -> Result<FileId, StorageError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let f = OpenOptions::new()
             .create(true)
@@ -168,9 +240,9 @@ impl Disk for FileDisk {
             .read(true)
             .write(true)
             .open(self.path(id))
-            .expect("create page file");
+            .map_err(|e| Self::io_err(IoOp::Create, id, &e))?;
         lock(&self.files).insert(id, f);
-        id
+        Ok(id)
     }
 
     fn delete(&self, file: FileId) {
@@ -179,40 +251,79 @@ impl Disk for FileDisk {
         }
     }
 
-    fn write_page(&self, file: FileId, page_no: u64, data: &[u8]) {
+    fn write_page(&self, file: FileId, page_no: u64, data: &[u8]) -> Result<(), StorageError> {
         let page = padded(data);
         let mut files = lock(&self.files);
-        let f = files.get_mut(&file).expect("write to deleted file");
-        let len = f.metadata().expect("stat page file").len();
+        let f = files
+            .get_mut(&file)
+            .ok_or_else(|| StorageError::unknown_file(IoOp::Write, file).at_page(page_no))?;
+        let err = |e: &std::io::Error| Self::io_err(IoOp::Write, file, e).at_page(page_no);
+        let len = f
+            .metadata()
+            .map_err(|e| Self::io_err(IoOp::Stat, file, &e))?
+            .len();
         let existing = len / PAGE_SIZE as u64;
-        for gap in existing..page_no {
-            f.seek(SeekFrom::Start(gap * PAGE_SIZE as u64)).unwrap();
-            f.write_all(&vec![0u8; PAGE_SIZE]).unwrap();
-            self.stats.record_write();
+        if existing < page_no {
+            // Gap-extend with zero pages: one seek, then contiguous chunked
+            // writes from the shared zero buffer (still one counted write
+            // per gap page — accounting is page-granular, syscalls are not).
+            f.seek(SeekFrom::Start(existing * PAGE_SIZE as u64))
+                .map_err(|e| err(&e))?;
+            let mut remaining = page_no - existing;
+            while remaining > 0 {
+                let chunk = remaining.min(GAP_CHUNK_PAGES as u64);
+                f.write_all(&self.zeros[..chunk as usize * PAGE_SIZE])
+                    .map_err(|e| err(&e))?;
+                for _ in 0..chunk {
+                    self.stats.record_write();
+                }
+                remaining -= chunk;
+            }
         }
-        f.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64)).unwrap();
-        f.write_all(&page).unwrap();
+        f.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))
+            .map_err(|e| err(&e))?;
+        f.write_all(&page).map_err(|e| err(&e))?;
         self.stats.record_write();
+        Ok(())
     }
 
-    fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) {
+    fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) -> Result<(), StorageError> {
         let mut files = lock(&self.files);
-        let f = files.get_mut(&file).expect("read from deleted file");
+        let f = files
+            .get_mut(&file)
+            .ok_or_else(|| StorageError::unknown_file(IoOp::Read, file).at_page(page_no))?;
+        let err = |e: &std::io::Error| Self::io_err(IoOp::Read, file, e).at_page(page_no);
         buf.clear();
         buf.resize(PAGE_SIZE, 0);
-        f.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64)).unwrap();
-        f.read_exact(buf).expect("read past EOF");
+        f.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))
+            .map_err(|e| err(&e))?;
+        f.read_exact(buf).map_err(|e| err(&e))?;
         self.stats.record_read();
+        Ok(())
     }
 
-    fn num_pages(&self, file: FileId) -> u64 {
+    fn num_pages(&self, file: FileId) -> Result<u64, StorageError> {
         let files = lock(&self.files);
-        let f = files.get(&file).expect("stat deleted file");
-        f.metadata().expect("stat page file").len() / PAGE_SIZE as u64
+        let f = files
+            .get(&file)
+            .ok_or_else(|| StorageError::unknown_file(IoOp::Stat, file))?;
+        let len = f
+            .metadata()
+            .map_err(|e| Self::io_err(IoOp::Stat, file, &e))?
+            .len();
+        Ok(len / PAGE_SIZE as u64)
     }
 
     fn stats(&self) -> &IoStats {
         &self.stats
+    }
+
+    fn allocated_pages(&self) -> u64 {
+        let files = lock(&self.files);
+        files
+            .values()
+            .map(|f| f.metadata().map_or(0, |m| m.len() / PAGE_SIZE as u64))
+            .sum()
     }
 }
 
@@ -230,28 +341,28 @@ mod tests {
     use super::*;
 
     fn exercise(disk: &dyn Disk) {
-        let f = disk.create();
-        assert_eq!(disk.num_pages(f), 0);
-        disk.write_page(f, 0, b"hello");
-        disk.write_page(f, 1, &[7u8; PAGE_SIZE]);
-        assert_eq!(disk.num_pages(f), 2);
+        let f = disk.create().unwrap();
+        assert_eq!(disk.num_pages(f).unwrap(), 0);
+        disk.write_page(f, 0, b"hello").unwrap();
+        disk.write_page(f, 1, &[7u8; PAGE_SIZE]).unwrap();
+        assert_eq!(disk.num_pages(f).unwrap(), 2);
 
         let mut buf = Vec::new();
-        disk.read_page(f, 0, &mut buf);
+        disk.read_page(f, 0, &mut buf).unwrap();
         assert_eq!(&buf[..5], b"hello");
         assert!(buf[5..].iter().all(|&b| b == 0), "padding must be zero");
-        disk.read_page(f, 1, &mut buf);
+        disk.read_page(f, 1, &mut buf).unwrap();
         assert_eq!(buf, vec![7u8; PAGE_SIZE]);
 
         // overwrite
-        disk.write_page(f, 0, b"bye");
-        disk.read_page(f, 0, &mut buf);
+        disk.write_page(f, 0, b"bye").unwrap();
+        disk.read_page(f, 0, &mut buf).unwrap();
         assert_eq!(&buf[..3], b"bye");
 
         // gap-extending write
-        disk.write_page(f, 4, b"far");
-        assert_eq!(disk.num_pages(f), 5);
-        disk.read_page(f, 3, &mut buf);
+        disk.write_page(f, 4, b"far").unwrap();
+        assert_eq!(disk.num_pages(f).unwrap(), 5);
+        disk.read_page(f, 3, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0));
 
         let snap = disk.stats().snapshot();
@@ -275,6 +386,52 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("skyline-disk-test-{}", std::process::id()));
         let d = FileDisk::new(&dir).unwrap();
         exercise(&d);
+        assert_eq!(d.allocated_pages(), 0);
+        drop(d);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn filedisk_long_gap_is_zero_filled() {
+        let dir = std::env::temp_dir().join(format!("skyline-gap-test-{}", std::process::id()));
+        let d = FileDisk::new(&dir).unwrap();
+        let f = d.create().unwrap();
+        // gap longer than one zero chunk: exercises the chunked loop
+        let far = GAP_CHUNK_PAGES as u64 * 2 + 3;
+        d.write_page(f, far, b"tail").unwrap();
+        assert_eq!(d.num_pages(f).unwrap(), far + 1);
+        assert_eq!(d.stats().writes(), far + 1, "each gap page counted");
+        let mut buf = Vec::new();
+        for p in 0..far {
+            d.read_page(f, p, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 0), "page {p} must be zero");
+        }
+        d.read_page(f, far, &mut buf).unwrap();
+        assert_eq!(&buf[..4], b"tail");
+        drop(d);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn filedisk_sweeps_stale_page_files_at_startup() {
+        let dir = std::env::temp_dir().join(format!("skyline-sweep-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // simulate a crashed prior process: an orphaned page file plus an
+        // unrelated file that must survive the sweep
+        std::fs::write(dir.join("skyline-17.pages"), vec![1u8; PAGE_SIZE]).unwrap();
+        std::fs::write(dir.join("keep.txt"), b"unrelated").unwrap();
+        let d = FileDisk::new(&dir).unwrap();
+        assert!(
+            !dir.join("skyline-17.pages").exists(),
+            "stale page file must be swept"
+        );
+        assert!(dir.join("keep.txt").exists(), "unrelated files survive");
+        // the fresh disk reuses low ids without tripping over the orphan
+        let f = d.create().unwrap();
+        d.write_page(f, 0, b"fresh").unwrap();
+        let mut buf = Vec::new();
+        d.read_page(f, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..5], b"fresh");
         drop(d);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -283,22 +440,45 @@ mod tests {
     #[should_panic(expected = "read past EOF")]
     fn memdisk_read_past_eof_panics() {
         let d = MemDisk::new();
-        let f = d.create();
+        let f = d.create().unwrap();
         let mut buf = Vec::new();
-        d.read_page(f, 0, &mut buf);
+        let _ = d.read_page(f, 0, &mut buf);
+    }
+
+    #[test]
+    fn memdisk_unknown_file_is_typed_error() {
+        let d = MemDisk::new();
+        let mut buf = Vec::new();
+        let err = d.read_page(999, 0, &mut buf).unwrap_err();
+        assert!(!err.is_transient());
+        let err = d.write_page(999, 0, b"x").unwrap_err();
+        assert_eq!(err.file, 999);
+    }
+
+    #[test]
+    fn filedisk_read_past_eof_is_typed_error() {
+        let dir = std::env::temp_dir().join(format!("skyline-eof-test-{}", std::process::id()));
+        let d = FileDisk::new(&dir).unwrap();
+        let f = d.create().unwrap();
+        let mut buf = Vec::new();
+        let err = d.read_page(f, 0, &mut buf).unwrap_err();
+        assert_eq!(err.page, Some(0));
+        assert!(!err.is_transient(), "EOF on a real file will recur");
+        drop(d);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn files_are_independent() {
         let d = MemDisk::new();
-        let a = d.create();
-        let b = d.create();
-        d.write_page(a, 0, b"aaa");
-        d.write_page(b, 0, b"bbb");
+        let a = d.create().unwrap();
+        let b = d.create().unwrap();
+        d.write_page(a, 0, b"aaa").unwrap();
+        d.write_page(b, 0, b"bbb").unwrap();
         let mut buf = Vec::new();
-        d.read_page(a, 0, &mut buf);
+        d.read_page(a, 0, &mut buf).unwrap();
         assert_eq!(&buf[..3], b"aaa");
-        d.read_page(b, 0, &mut buf);
+        d.read_page(b, 0, &mut buf).unwrap();
         assert_eq!(&buf[..3], b"bbb");
     }
 }

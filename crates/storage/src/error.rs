@@ -1,0 +1,142 @@
+//! Typed storage-layer errors.
+//!
+//! Every page-I/O failure the storage layer can surface is a
+//! [`StorageError`]: which operation failed, on which file (and page, when
+//! there is one), and whether the failure is *transient* — worth retrying
+//! under a bounded [`crate::RetryPolicy`] — or *permanent*. Logic bugs
+//! (reading past EOF on [`crate::MemDisk`], size mismatches) remain
+//! panics: they indicate a broken operator, not a failing device.
+
+use crate::disk::FileId;
+use std::fmt;
+
+/// The I/O operation that failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Creating a new file on the disk.
+    Create,
+    /// Reading a page.
+    Read,
+    /// Writing a page.
+    Write,
+    /// Stat-ing a file (size / page count).
+    Stat,
+}
+
+impl fmt::Display for IoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IoOp::Create => "create",
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+            IoOp::Stat => "stat",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a failure is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The device hiccupped (interrupted syscall, timeout, injected
+    /// transient fault); an identical retry may succeed. Page writes are
+    /// idempotent full-page stores, so retrying also recovers torn writes.
+    Transient,
+    /// The failure will recur (file missing, disk full, corrupted state);
+    /// retrying is pointless.
+    Permanent,
+}
+
+/// A typed failure from the page-storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageError {
+    /// The operation that failed.
+    pub op: IoOp,
+    /// The file it targeted.
+    pub file: FileId,
+    /// The page it targeted, when the operation is page-granular.
+    pub page: Option<u64>,
+    /// Transient (retryable) or permanent.
+    pub kind: ErrorKind,
+    /// Human-readable detail (the underlying OS error, fault-injection
+    /// note, …). Owned text: OS error values are not cloneable.
+    pub detail: String,
+}
+
+impl StorageError {
+    /// Build an error for `op` on `file`.
+    pub fn new(op: IoOp, file: FileId, kind: ErrorKind, detail: impl Into<String>) -> Self {
+        StorageError {
+            op,
+            file,
+            page: None,
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// Attach the page number the operation targeted.
+    #[must_use]
+    pub fn at_page(mut self, page_no: u64) -> Self {
+        self.page = Some(page_no);
+        self
+    }
+
+    /// A permanent "no such file" error — the id was never created or has
+    /// been deleted.
+    pub fn unknown_file(op: IoOp, file: FileId) -> Self {
+        StorageError::new(op, file, ErrorKind::Permanent, "unknown or deleted file")
+    }
+
+    /// True when a bounded retry of the same operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        self.kind == ErrorKind::Transient
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ErrorKind::Transient => "transient",
+            ErrorKind::Permanent => "permanent",
+        };
+        match self.page {
+            Some(p) => write!(
+                f,
+                "{kind} storage error: {} page {p} of file {}: {}",
+                self.op, self.file, self.detail
+            ),
+            None => write!(
+                f,
+                "{kind} storage error: {} file {}: {}",
+                self.op, self.file, self.detail
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = StorageError::new(IoOp::Read, 7, ErrorKind::Transient, "injected").at_page(3);
+        let s = e.to_string();
+        assert!(s.contains("transient"), "{s}");
+        assert!(s.contains("read"), "{s}");
+        assert!(s.contains("page 3"), "{s}");
+        assert!(s.contains("file 7"), "{s}");
+        assert!(e.is_transient());
+    }
+
+    #[test]
+    fn unknown_file_is_permanent() {
+        let e = StorageError::unknown_file(IoOp::Write, 9);
+        assert!(!e.is_transient());
+        assert!(e.to_string().contains("permanent"));
+        assert_eq!(e.page, None);
+    }
+}

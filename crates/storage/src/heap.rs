@@ -3,9 +3,12 @@
 //! Records never span pages (the paper's layout: 40 × 100-byte tuples per
 //! 4096-byte page, with 96 bytes of per-page slack). The writer buffers one
 //! page; the scanner reads one page at a time, so a full scan of `n`
-//! records costs exactly `⌈n / records_per_page⌉` page reads.
+//! records costs exactly `⌈n / records_per_page⌉` page reads. Every page
+//! transfer is fallible: scanner and writer methods surface the disk's
+//! typed [`StorageError`] instead of panicking.
 
 use crate::disk::{Disk, FileId};
+use crate::error::StorageError;
 use crate::PAGE_SIZE;
 use std::sync::Arc;
 
@@ -21,34 +24,48 @@ pub struct HeapFile {
 impl HeapFile {
     /// Create an empty heap file for `record_size`-byte records.
     ///
+    /// # Errors
+    /// [`StorageError`] when the disk cannot create a file.
+    ///
     /// # Panics
     /// Panics if `record_size` is zero or exceeds a page.
-    pub fn create(disk: Arc<dyn Disk>, record_size: usize) -> Self {
+    pub fn create(disk: Arc<dyn Disk>, record_size: usize) -> Result<Self, StorageError> {
         assert!(
             record_size > 0 && record_size <= PAGE_SIZE,
             "bad record size"
         );
-        let file = disk.create();
-        HeapFile {
+        let file = disk.create()?;
+        Ok(HeapFile {
             disk,
             file,
             record_size,
             n_records: 0,
             temp: false,
-        }
+        })
     }
 
     /// Create a heap file that deletes itself on drop (sort runs, skyline
     /// temp files).
-    pub fn create_temp(disk: Arc<dyn Disk>, record_size: usize) -> Self {
-        let mut h = HeapFile::create(disk, record_size);
+    ///
+    /// # Errors
+    /// [`StorageError`] when the disk cannot create a file.
+    pub fn create_temp(disk: Arc<dyn Disk>, record_size: usize) -> Result<Self, StorageError> {
+        let mut h = HeapFile::create(disk, record_size)?;
         h.temp = true;
-        h
+        Ok(h)
     }
 
     /// Mark the file for deletion when the handle drops.
     pub fn mark_temp(&mut self) {
         self.temp = true;
+    }
+
+    /// Keep the file when the handle drops — the complement of
+    /// [`HeapFile::mark_temp`]. Output files are built as temp and
+    /// persisted only once complete, so an error unwind mid-build cannot
+    /// leak pages.
+    pub fn persist(&mut self) {
+        self.temp = false;
     }
 
     /// Records per page for this file's record size.
@@ -71,9 +88,10 @@ impl HeapFile {
         self.record_size
     }
 
-    /// Number of pages the records occupy.
+    /// Number of pages the records occupy. Computed from the record
+    /// count — no disk stat needed.
     pub fn num_pages(&self) -> u64 {
-        self.disk.num_pages(self.file)
+        self.n_records.div_ceil(self.records_per_page() as u64)
     }
 
     /// The underlying disk.
@@ -82,35 +100,42 @@ impl HeapFile {
     }
 
     /// Bulk-load records (each exactly `record_size` bytes).
-    pub fn append_all<'a, I>(&mut self, records: I)
+    ///
+    /// # Errors
+    /// [`StorageError`] when a page transfer fails; already-pushed pages
+    /// remain in the file.
+    pub fn append_all<'a, I>(&mut self, records: I) -> Result<(), StorageError>
     where
         I: IntoIterator<Item = &'a [u8]>,
     {
-        let mut w = self.writer();
+        let mut w = self.writer()?;
         for r in records {
-            w.push(r);
+            w.push(r)?;
         }
-        w.finish();
+        w.finish()
     }
 
     /// Page-buffered writer appending at the end of the file.
-    pub fn writer(&mut self) -> HeapWriter<'_> {
+    ///
+    /// # Errors
+    /// [`StorageError`] when re-reading a partially filled tail page fails.
+    pub fn writer(&mut self) -> Result<HeapWriter<'_>, StorageError> {
         let rpp = self.records_per_page();
         let start_page = self.n_records / rpp as u64;
         let in_page = (self.n_records % rpp as u64) as usize;
         let mut buf = Vec::with_capacity(PAGE_SIZE);
         if in_page > 0 {
             // resume a partially filled tail page
-            self.disk.read_page(self.file, start_page, &mut buf);
+            self.disk.read_page(self.file, start_page, &mut buf)?;
             buf.truncate(in_page * self.record_size);
         }
-        HeapWriter {
+        Ok(HeapWriter {
             heap: self,
             page_no: start_page,
             buf,
             in_page,
             dirty: false,
-        }
+        })
     }
 
     /// Streaming scanner from the first record.
@@ -128,22 +153,30 @@ impl HeapFile {
         self.disk.delete(self.file);
     }
 
-    /// Truncate to zero records, freeing the old pages (the file id stays
+    /// Truncate to zero records, freeing the old pages (the handle stays
     /// valid). Used when a multi-pass algorithm recycles its temp file.
-    pub fn truncate(&mut self) {
+    ///
+    /// # Errors
+    /// [`StorageError`] when the replacement file cannot be created; the
+    /// old pages are already freed by then.
+    pub fn truncate(&mut self) -> Result<(), StorageError> {
         self.disk.delete(self.file);
-        self.file = self.disk.create();
+        self.file = self.disk.create()?;
         self.n_records = 0;
+        Ok(())
     }
 
     /// Read all records into memory (tests and small inputs only).
-    pub fn read_all(&self) -> Vec<Vec<u8>> {
+    ///
+    /// # Errors
+    /// [`StorageError`] when a page read fails.
+    pub fn read_all(&self) -> Result<Vec<Vec<u8>>, StorageError> {
         let mut out = Vec::with_capacity(self.n_records as usize);
         let mut scan = self.scan();
-        while let Some(r) = scan.next_record() {
+        while let Some(r) = scan.next_record()? {
             out.push(r.to_vec());
         }
-        out
+        Ok(out)
     }
 }
 
@@ -176,9 +209,12 @@ impl SharedScanner {
     }
 
     /// Borrow the next record, or `None` at end of file.
-    pub fn next_record(&mut self) -> Option<&[u8]> {
+    ///
+    /// # Errors
+    /// [`StorageError`] when the page read fails.
+    pub fn next_record(&mut self) -> Result<Option<&[u8]>, StorageError> {
         if self.next_record >= self.heap.n_records {
-            return None;
+            return Ok(None);
         }
         let rpp = self.heap.records_per_page() as u64;
         let page_no = self.next_record / rpp;
@@ -186,12 +222,12 @@ impl SharedScanner {
         if page_no != self.page_no {
             self.heap
                 .disk
-                .read_page(self.heap.file, page_no, &mut self.page);
+                .read_page(self.heap.file, page_no, &mut self.page)?;
             self.page_no = page_no;
         }
         self.next_record += 1;
         let off = slot * self.heap.record_size;
-        Some(&self.page[off..off + self.heap.record_size])
+        Ok(Some(&self.page[off..off + self.heap.record_size]))
     }
 
     /// Restart the scan from the beginning.
@@ -208,7 +244,8 @@ impl SharedScanner {
 
 /// Page-buffered appender returned by [`HeapFile::writer`].
 ///
-/// Call [`HeapWriter::finish`] (or drop) to flush the tail page.
+/// Call [`HeapWriter::finish`] to flush the tail page and observe any
+/// write error; dropping the writer flushes best-effort (errors ignored).
 pub struct HeapWriter<'a> {
     heap: &'a mut HeapFile,
     page_no: u64,
@@ -220,45 +257,55 @@ pub struct HeapWriter<'a> {
 impl HeapWriter<'_> {
     /// Append one record.
     ///
+    /// # Errors
+    /// [`StorageError`] when flushing a filled page fails.
+    ///
     /// # Panics
     /// Panics if `record.len()` differs from the file's record size.
-    pub fn push(&mut self, record: &[u8]) {
+    pub fn push(&mut self, record: &[u8]) -> Result<(), StorageError> {
         assert_eq!(record.len(), self.heap.record_size, "record size mismatch");
         self.buf.extend_from_slice(record);
         self.in_page += 1;
         self.dirty = true;
         self.heap.n_records += 1;
         if self.in_page == self.heap.records_per_page() {
-            self.flush_page();
+            self.flush_page()?;
         }
+        Ok(())
     }
 
-    fn flush_page(&mut self) {
+    fn flush_page(&mut self) -> Result<(), StorageError> {
         if self.dirty {
             self.heap
                 .disk
-                .write_page(self.heap.file, self.page_no, &self.buf);
+                .write_page(self.heap.file, self.page_no, &self.buf)?;
         }
         if self.in_page == self.heap.records_per_page() {
             self.page_no += 1;
             self.in_page = 0;
             self.buf.clear();
-            self.dirty = false;
-        } else {
-            self.dirty = false;
         }
+        self.dirty = false;
+        Ok(())
     }
 
     /// Flush the tail page and end the append.
-    pub fn finish(mut self) {
-        self.flush_page();
-        self.dirty = false; // Drop must not double-flush
+    ///
+    /// # Errors
+    /// [`StorageError`] when the final page write fails; the writer is
+    /// consumed either way and will not re-attempt the flush on drop.
+    pub fn finish(mut self) -> Result<(), StorageError> {
+        let result = self.flush_page();
+        self.dirty = false; // Drop must not re-flush, even after an error
+        result
     }
 }
 
 impl Drop for HeapWriter<'_> {
     fn drop(&mut self) {
-        self.flush_page();
+        // Best-effort: a failed flush here has no caller to report to, and
+        // the surrounding error unwind is already deleting temp files.
+        let _ = self.flush_page();
     }
 }
 
@@ -274,9 +321,12 @@ impl HeapScanner<'_> {
     /// Borrow the next record, or `None` at end of file. The slice is valid
     /// until the next call (lending-iterator style — no per-record
     /// allocation).
-    pub fn next_record(&mut self) -> Option<&[u8]> {
+    ///
+    /// # Errors
+    /// [`StorageError`] when the page read fails.
+    pub fn next_record(&mut self) -> Result<Option<&[u8]>, StorageError> {
         if self.next_record >= self.heap.n_records {
-            return None;
+            return Ok(None);
         }
         let rpp = self.heap.records_per_page() as u64;
         let page_no = self.next_record / rpp;
@@ -284,12 +334,12 @@ impl HeapScanner<'_> {
         if page_no != self.page_no {
             self.heap
                 .disk
-                .read_page(self.heap.file, page_no, &mut self.page);
+                .read_page(self.heap.file, page_no, &mut self.page)?;
             self.page_no = page_no;
         }
         self.next_record += 1;
         let off = slot * self.heap.record_size;
-        Some(&self.page[off..off + self.heap.record_size])
+        Ok(Some(&self.page[off..off + self.heap.record_size]))
     }
 
     /// Records remaining.
@@ -318,24 +368,24 @@ mod tests {
     #[test]
     fn write_then_scan_round_trip() {
         let disk = MemDisk::shared();
-        let mut h = HeapFile::create(disk, 100);
+        let mut h = HeapFile::create(disk, 100).unwrap();
         let recs = mk_records(95, 100); // 40/page → 3 pages (40+40+15)
-        h.append_all(recs.iter().map(Vec::as_slice));
+        h.append_all(recs.iter().map(Vec::as_slice)).unwrap();
         assert_eq!(h.len(), 95);
         assert_eq!(h.num_pages(), 3);
-        assert_eq!(h.read_all(), recs);
+        assert_eq!(h.read_all().unwrap(), recs);
     }
 
     #[test]
     fn scan_costs_exactly_ceil_pages_reads() {
         let disk = MemDisk::shared();
-        let mut h = HeapFile::create(Arc::clone(&disk) as Arc<dyn Disk>, 100);
+        let mut h = HeapFile::create(Arc::clone(&disk) as Arc<dyn Disk>, 100).unwrap();
         let recs = mk_records(1000, 100); // 25 pages
-        h.append_all(recs.iter().map(Vec::as_slice));
+        h.append_all(recs.iter().map(Vec::as_slice)).unwrap();
         let before = disk.stats().snapshot();
         let mut scan = h.scan();
         let mut n = 0;
-        while scan.next_record().is_some() {
+        while scan.next_record().unwrap().is_some() {
             n += 1;
         }
         let delta = disk.stats().snapshot().since(&before);
@@ -347,79 +397,94 @@ mod tests {
     #[test]
     fn resumed_writer_continues_tail_page() {
         let disk = MemDisk::shared();
-        let mut h = HeapFile::create(disk, 100);
+        let mut h = HeapFile::create(disk, 100).unwrap();
         let recs = mk_records(50, 100);
-        h.append_all(recs[..45].iter().map(Vec::as_slice));
-        h.append_all(recs[45..].iter().map(Vec::as_slice));
-        assert_eq!(h.read_all(), recs);
+        h.append_all(recs[..45].iter().map(Vec::as_slice)).unwrap();
+        h.append_all(recs[45..].iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(h.read_all().unwrap(), recs);
         assert_eq!(h.num_pages(), 2); // 50 records at 40/page
     }
 
     #[test]
     fn empty_file_scans_empty() {
         let disk = MemDisk::shared();
-        let h = HeapFile::create(disk, 64);
+        let h = HeapFile::create(disk, 64).unwrap();
         assert!(h.is_empty());
-        assert!(h.scan().next_record().is_none());
+        assert!(h.scan().next_record().unwrap().is_none());
     }
 
     #[test]
     fn record_size_equal_to_page_is_allowed() {
         let disk = MemDisk::shared();
-        let mut h = HeapFile::create(disk, PAGE_SIZE);
+        let mut h = HeapFile::create(disk, PAGE_SIZE).unwrap();
         let recs = mk_records(3, PAGE_SIZE);
-        h.append_all(recs.iter().map(Vec::as_slice));
+        h.append_all(recs.iter().map(Vec::as_slice)).unwrap();
         assert_eq!(h.records_per_page(), 1);
-        assert_eq!(h.read_all(), recs);
+        assert_eq!(h.read_all().unwrap(), recs);
     }
 
     #[test]
     #[should_panic(expected = "record size mismatch")]
     fn wrong_record_size_rejected() {
         let disk = MemDisk::shared();
-        let mut h = HeapFile::create(disk, 10);
-        let mut w = h.writer();
-        w.push(&[0u8; 9]);
+        let mut h = HeapFile::create(disk, 10).unwrap();
+        let mut w = h.writer().unwrap();
+        let _ = w.push(&[0u8; 9]);
     }
 
     #[test]
     fn temp_file_deleted_on_drop() {
         let disk = MemDisk::shared();
         {
-            let mut h = HeapFile::create_temp(Arc::clone(&disk) as Arc<dyn Disk>, 100);
-            h.append_all(mk_records(80, 100).iter().map(Vec::as_slice));
+            let mut h = HeapFile::create_temp(Arc::clone(&disk) as Arc<dyn Disk>, 100).unwrap();
+            h.append_all(mk_records(80, 100).iter().map(Vec::as_slice))
+                .unwrap();
             assert!(disk.allocated_pages() > 0);
         }
         assert_eq!(disk.allocated_pages(), 0);
     }
 
     #[test]
+    fn persisted_temp_file_survives_drop() {
+        let disk = MemDisk::shared();
+        {
+            let mut h = HeapFile::create_temp(Arc::clone(&disk) as Arc<dyn Disk>, 100).unwrap();
+            h.append_all(mk_records(80, 100).iter().map(Vec::as_slice))
+                .unwrap();
+            h.persist();
+        }
+        assert!(disk.allocated_pages() > 0, "persisted file must remain");
+    }
+
+    #[test]
     fn truncate_frees_pages_and_resets() {
         let disk = MemDisk::shared();
-        let mut h = HeapFile::create_temp(Arc::clone(&disk) as Arc<dyn Disk>, 100);
-        h.append_all(mk_records(80, 100).iter().map(Vec::as_slice));
-        h.truncate();
+        let mut h = HeapFile::create_temp(Arc::clone(&disk) as Arc<dyn Disk>, 100).unwrap();
+        h.append_all(mk_records(80, 100).iter().map(Vec::as_slice))
+            .unwrap();
+        h.truncate().unwrap();
         assert_eq!(disk.allocated_pages(), 0);
         assert!(h.is_empty());
-        h.append_all(mk_records(5, 100).iter().map(Vec::as_slice));
+        h.append_all(mk_records(5, 100).iter().map(Vec::as_slice))
+            .unwrap();
         assert_eq!(h.len(), 5);
     }
 
     #[test]
     fn shared_scanner_matches_borrowing_scanner() {
         let disk = MemDisk::shared();
-        let mut h = HeapFile::create(disk, 100);
+        let mut h = HeapFile::create(disk, 100).unwrap();
         let recs = mk_records(123, 100);
-        h.append_all(recs.iter().map(Vec::as_slice));
+        h.append_all(recs.iter().map(Vec::as_slice)).unwrap();
         let h = Arc::new(h);
         let mut s = SharedScanner::new(Arc::clone(&h));
         let mut got = Vec::new();
-        while let Some(r) = s.next_record() {
+        while let Some(r) = s.next_record().unwrap() {
             got.push(r.to_vec());
         }
         assert_eq!(got, recs);
         s.rewind();
-        assert_eq!(s.next_record().unwrap(), recs[0].as_slice());
+        assert_eq!(s.next_record().unwrap().unwrap(), recs[0].as_slice());
     }
 
     #[test]
@@ -429,11 +494,13 @@ mod tests {
             let record_size = 1 + rng.usize_below(199);
             let split = rng.usize_below(300).min(n);
             let disk = MemDisk::shared();
-            let mut h = HeapFile::create(disk, record_size);
+            let mut h = HeapFile::create(disk, record_size).unwrap();
             let recs = mk_records(n, record_size);
-            h.append_all(recs[..split].iter().map(Vec::as_slice));
-            h.append_all(recs[split..].iter().map(Vec::as_slice));
-            assert_eq!(h.read_all(), recs);
+            h.append_all(recs[..split].iter().map(Vec::as_slice))
+                .unwrap();
+            h.append_all(recs[split..].iter().map(Vec::as_slice))
+                .unwrap();
+            assert_eq!(h.read_all().unwrap(), recs);
             let rpp = PAGE_SIZE / record_size;
             assert_eq!(h.num_pages(), n.div_ceil(rpp) as u64);
         });

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct IoStats {
     page_reads: AtomicU64,
     page_writes: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl IoStats {
@@ -42,18 +43,32 @@ impl IoStats {
         self.page_writes.load(Ordering::Relaxed)
     }
 
+    /// Record one retried operation (a [`crate::RetryDisk`] re-attempt
+    /// after a transient failure).
+    #[inline]
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Operations retried so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
     /// Point-in-time copy of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             reads: self.reads(),
             writes: self.writes(),
+            retries: self.retries(),
         }
     }
 
-    /// Reset both counters to zero (between experiment runs).
+    /// Reset all counters to zero (between experiment runs).
     pub fn reset(&self) {
         self.page_reads.store(0, Ordering::Relaxed);
         self.page_writes.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -64,6 +79,8 @@ pub struct IoSnapshot {
     pub reads: u64,
     /// Pages written.
     pub writes: u64,
+    /// Operations retried after a transient failure.
+    pub retries: u64,
 }
 
 impl IoSnapshot {
@@ -72,6 +89,7 @@ impl IoSnapshot {
         IoSnapshot {
             reads: self.reads - earlier.reads,
             writes: self.writes - earlier.writes,
+            retries: self.retries - earlier.retries,
         }
     }
 
@@ -142,6 +160,7 @@ mod tests {
         let snap = IoSnapshot {
             reads: 1000,
             writes: 500,
+            retries: 0,
         };
         let vintage = snap.simulated_ms(&DiskCostModel::vintage_2002());
         assert!((vintage - 240.0).abs() < 1e-9, "{vintage}");

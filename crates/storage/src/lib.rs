@@ -15,19 +15,30 @@
 //! * [`BufferPool`] — a page-budget ledger. The paper's algorithms manage
 //!   their own windows; what the engine enforces is *how many pages* each
 //!   operator may pin, which is what this ledger models.
+//!
+//! Every page transfer is fallible: device failures surface as typed
+//! [`StorageError`]s (transient vs permanent), [`FaultDisk`] injects
+//! deterministic seed-driven faults for testing, and [`RetryDisk`]
+//! re-attempts transient failures under a bounded [`RetryPolicy`].
 
 pub mod btree;
 pub mod buffer;
 pub mod disk;
+pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod io_stats;
+pub mod retry;
 mod sync;
 
 pub use btree::{BTree, BTreeScan, SharedBTreeScan};
 pub use buffer::{BufferLease, BufferPool};
 pub use disk::{Disk, FileDisk, FileId, MemDisk};
+pub use error::{ErrorKind, IoOp, StorageError};
+pub use fault::{FaultDisk, FaultSchedule};
 pub use heap::{HeapFile, HeapScanner, HeapWriter, SharedScanner};
 pub use io_stats::{DiskCostModel, IoSnapshot, IoStats};
+pub use retry::{RetryDisk, RetryPolicy};
 
 /// Page size in bytes (matches `skyline_relation::PAGE_SIZE`).
 pub const PAGE_SIZE: usize = 4096;

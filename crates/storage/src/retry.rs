@@ -1,0 +1,248 @@
+//! Bounded, deterministic retries for transient storage failures.
+//!
+//! [`RetryDisk`] wraps any [`Disk`] and re-attempts reads and writes that
+//! fail with a *transient* [`StorageError`], up to a bounded number of
+//! attempts with a deterministic backoff schedule. Permanent errors pass
+//! through untouched on the first attempt — retrying a missing file is
+//! pointless. Every re-attempt is counted in the disk's [`IoStats`]
+//! retry counter. Because page writes are idempotent full-page stores,
+//! retrying a torn write converges to the intended page contents.
+
+use crate::disk::{Disk, FileId};
+use crate::error::StorageError;
+use crate::io_stats::IoStats;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// When and how often to retry a transient failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Sleep before the first retry. Zero disables sleeping entirely —
+    /// the deterministic choice for tests and simulations.
+    pub base_delay: Duration,
+    /// Each subsequent retry multiplies the delay by this factor.
+    pub multiplier: u32,
+}
+
+impl RetryPolicy {
+    /// Three attempts, no sleeping: deterministic and fast, suitable for
+    /// simulations and the fault-injection suite.
+    pub fn fast() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::ZERO,
+            multiplier: 2,
+        }
+    }
+
+    /// `max_attempts` attempts, no sleeping.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::ZERO,
+            multiplier: 2,
+        }
+    }
+
+    /// The deterministic backoff before retry number `retry` (1-based):
+    /// `base_delay * multiplier^(retry-1)`.
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        if self.base_delay.is_zero() || retry == 0 {
+            return Duration::ZERO;
+        }
+        self.base_delay
+            .saturating_mul(self.multiplier.saturating_pow(retry - 1))
+    }
+
+    /// Run `op` under this policy: re-attempt while it fails transiently
+    /// and attempts remain, sleeping `delay_for` between attempts and
+    /// counting each re-attempt in `stats`.
+    ///
+    /// # Errors
+    /// The final [`StorageError`] once attempts are exhausted, or the
+    /// first permanent error.
+    pub fn run<T>(
+        &self,
+        stats: &IoStats,
+        mut op: impl FnMut() -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let attempts = self.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let delay = self.delay_for(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                stats.record_retry();
+            }
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        // attempts >= 1, so the loop ran and last_err is set on this path.
+        Err(last_err.unwrap_or_else(|| {
+            StorageError::new(
+                crate::error::IoOp::Read,
+                0,
+                crate::error::ErrorKind::Permanent,
+                "retry loop exhausted without an error",
+            )
+        }))
+    }
+}
+
+/// A [`Disk`] decorator retrying transient read/write failures under a
+/// [`RetryPolicy`]. Create, delete, and stat pass through unretried.
+pub struct RetryDisk {
+    inner: Arc<dyn Disk>,
+    policy: RetryPolicy,
+}
+
+impl RetryDisk {
+    /// Wrap `inner` with `policy`.
+    pub fn new(inner: Arc<dyn Disk>, policy: RetryPolicy) -> Self {
+        RetryDisk { inner, policy }
+    }
+
+    /// Shareable handle around `inner` with `policy`.
+    pub fn shared(inner: Arc<dyn Disk>, policy: RetryPolicy) -> Arc<Self> {
+        Arc::new(RetryDisk::new(inner, policy))
+    }
+}
+
+impl Disk for RetryDisk {
+    fn create(&self) -> Result<FileId, StorageError> {
+        self.inner.create()
+    }
+
+    fn delete(&self, file: FileId) {
+        self.inner.delete(file);
+    }
+
+    fn write_page(&self, file: FileId, page_no: u64, data: &[u8]) -> Result<(), StorageError> {
+        self.policy.run(self.inner.stats(), || {
+            self.inner.write_page(file, page_no, data)
+        })
+    }
+
+    fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) -> Result<(), StorageError> {
+        self.policy.run(self.inner.stats(), || {
+            self.inner.read_page(file, page_no, buf)
+        })
+    }
+
+    fn num_pages(&self, file: FileId) -> Result<u64, StorageError> {
+        self.inner.num_pages(file)
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+
+    fn allocated_pages(&self) -> u64 {
+        self.inner.allocated_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use crate::error::{ErrorKind, IoOp};
+    use crate::fault::{FaultDisk, FaultSchedule};
+    use crate::PAGE_SIZE;
+
+    #[test]
+    fn backoff_schedule_is_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            multiplier: 3,
+        };
+        assert_eq!(p.delay_for(1), Duration::from_millis(10));
+        assert_eq!(p.delay_for(2), Duration::from_millis(30));
+        assert_eq!(p.delay_for(3), Duration::from_millis(90));
+        assert_eq!(RetryPolicy::fast().delay_for(2), Duration::ZERO);
+    }
+
+    #[test]
+    fn transient_fault_is_retried_and_counted() {
+        // One transient write fault; policy allows 3 attempts, so the
+        // retry recovers and the page lands intact.
+        let inner = MemDisk::shared();
+        let schedule = FaultSchedule {
+            seed: 0,
+            read_period: 0,
+            write_period: 1, // one-shot (seed 0)
+            transient_pct: 100,
+            torn_writes: false,
+            arm_after: 0,
+        };
+        let faulty = FaultDisk::shared(Arc::clone(&inner) as Arc<dyn Disk>, schedule);
+        let d = RetryDisk::new(faulty, RetryPolicy::fast());
+        let f = d.create().unwrap();
+        d.write_page(f, 0, b"recovered").unwrap();
+        let mut buf = Vec::new();
+        d.read_page(f, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..9], b"recovered");
+        assert_eq!(d.stats().retries(), 1, "one re-attempt recorded");
+    }
+
+    #[test]
+    fn torn_write_recovers_via_retry() {
+        let inner = MemDisk::shared();
+        let schedule = FaultSchedule {
+            seed: 0,
+            read_period: 0,
+            write_period: 1,
+            transient_pct: 100,
+            torn_writes: true,
+            arm_after: 0,
+        };
+        let faulty = FaultDisk::shared(Arc::clone(&inner) as Arc<dyn Disk>, schedule);
+        let d = RetryDisk::new(faulty, RetryPolicy::fast());
+        let f = d.create().unwrap();
+        let page = vec![0x5Au8; PAGE_SIZE];
+        d.write_page(f, 0, &page).unwrap();
+        let mut buf = Vec::new();
+        d.read_page(f, 0, &mut buf).unwrap();
+        assert_eq!(buf, page, "full-page rewrite must overwrite the torn half");
+    }
+
+    #[test]
+    fn permanent_errors_pass_through_unretried() {
+        let d = RetryDisk::new(MemDisk::shared(), RetryPolicy::fast());
+        let mut buf = Vec::new();
+        let err = d.read_page(123, 0, &mut buf).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Permanent);
+        assert_eq!(d.stats().retries(), 0, "permanent errors are not retried");
+    }
+
+    #[test]
+    fn attempts_exhausted_returns_last_transient_error() {
+        let always_transient = FaultSchedule {
+            seed: 7, // non-zero: periodic, fires every write
+            read_period: 0,
+            write_period: 1,
+            transient_pct: 100,
+            torn_writes: false,
+            arm_after: 0,
+        };
+        let faulty = FaultDisk::shared(MemDisk::shared(), always_transient);
+        let d = RetryDisk::new(faulty, RetryPolicy::attempts(3));
+        let f = d.create().unwrap();
+        let err = d.write_page(f, 0, b"x").unwrap_err();
+        assert_eq!(err.op, IoOp::Write);
+        assert!(err.is_transient());
+        assert_eq!(
+            d.stats().retries(),
+            2,
+            "two re-attempts after the first try"
+        );
+    }
+}

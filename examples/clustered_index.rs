@@ -37,11 +37,14 @@ fn main() {
     let disk = MemDisk::shared();
 
     // the base heap (random generation order)
-    let heap = Arc::new(load_heap(
-        Arc::clone(&disk) as Arc<dyn Disk>,
-        layout.record_size(),
-        records.iter().map(Vec::as_slice),
-    ));
+    let heap = Arc::new(
+        load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .expect("load heap"),
+    );
 
     // a clustered index on attribute 0, ascending
     let mut pairs: Vec<([u8; 4], &[u8])> = records
@@ -54,7 +57,8 @@ fn main() {
         4,
         layout.record_size(),
         pairs.iter().map(|(k, r)| (k.as_slice(), *r)),
-    );
+    )
+    .expect("bulk load");
     tree.mark_temp();
     let tree = Arc::new(tree);
     println!(

@@ -32,11 +32,14 @@ fn main() {
     println!("generated in {:.2?}", t0.elapsed());
 
     let disk = MemDisk::shared();
-    let heap = Arc::new(load_heap(
-        Arc::clone(&disk) as Arc<dyn Disk>,
-        spec_w.layout.record_size(),
-        records.iter().map(Vec::as_slice),
-    ));
+    let heap = Arc::new(
+        load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            spec_w.layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap(),
+    );
     println!(
         "loaded heap file: {} records, {} pages ({} tuples/page)",
         heap.len(),

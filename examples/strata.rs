@@ -67,11 +67,14 @@ fn main() {
     let spec_w = WorkloadSpec::paper(n, 42);
     let records = spec_w.generate();
     let disk = MemDisk::shared();
-    let heap = Arc::new(load_heap(
-        Arc::clone(&disk) as Arc<dyn Disk>,
-        spec_w.layout.record_size(),
-        records.iter().map(Vec::as_slice),
-    ));
+    let heap = Arc::new(
+        load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            spec_w.layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap(),
+    );
     let spec = SkylineSpec::max_all(d);
     let t0 = std::time::Instant::now();
     let res = strata_external(

@@ -107,11 +107,14 @@ fn external_case(
     expect.sort();
 
     let disk = MemDisk::shared();
-    let heap = Arc::new(load_heap(
-        Arc::clone(&disk) as Arc<dyn Disk>,
-        layout.record_size(),
-        records.iter().map(Vec::as_slice),
-    ));
+    let heap = Arc::new(
+        load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap(),
+    );
 
     // external SFS
     let stats = entropy_stats_of_records(&layout, &spec, records.iter().map(Vec::as_slice));

@@ -1,0 +1,578 @@
+//! Fault-injection differential suite.
+//!
+//! Every (algorithm × fault schedule) run must either return the exact
+//! oracle skyline or a typed error — never panic, never silently return
+//! a wrong answer, and never leak temp pages: after the run unwinds, the
+//! inner disk must report `allocated_pages() == 0`.
+//!
+//! Faults are injected by [`FaultDisk`] on deterministic seed-driven
+//! schedules, so failures replay exactly. A separate test shows that
+//! wrapping the faulty disk in a [`RetryDisk`] absorbs transient faults
+//! and recovers the exact oracle; cancellation tests show every driver
+//! surfaces a typed `Cancelled` error without leaking.
+
+use skyline::core::algo::naive;
+use skyline::core::external::WinnowOp;
+use skyline::core::planner::{bnl_over, entropy_stats_of_records, load_heap, presort, sfs_filter};
+use skyline::core::skyband::skyband;
+use skyline::core::strata::strata_external;
+use skyline::core::winnow::SkylinePreference;
+use skyline::core::{
+    parallel_skyline_cancellable, parallel_skyline_heap, AlgoError, KeyMatrix, SfsConfig,
+    SkylineMetrics, SkylineSpec, SortOrder,
+};
+use skyline::exec::{collect, CancelToken, ExecError, HeapScan, Operator};
+use skyline::relation::gen::WorkloadSpec;
+use skyline::relation::RecordLayout;
+use skyline::storage::{Disk, FaultDisk, FaultSchedule, FileDisk, MemDisk, RetryDisk, RetryPolicy};
+use std::sync::Arc;
+
+const N: usize = 1_200;
+const D: usize = 4;
+const DATA_SEED: u64 = 0xFA17;
+
+fn workload() -> (RecordLayout, Vec<Vec<u8>>) {
+    let w = WorkloadSpec::paper(N, DATA_SEED);
+    let records = w.generate();
+    (w.layout, records)
+}
+
+/// Value rows (first `D` attributes) of the given records, sorted — the
+/// canonical multiset representation compared across all drivers.
+fn value_rows<'a, I>(layout: &RecordLayout, records: I) -> Vec<Vec<i32>>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut rows: Vec<Vec<i32>> = records
+        .into_iter()
+        .map(|r| (0..D).map(|i| layout.attr(r, i)).collect())
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+fn keys_of(layout: &RecordLayout, records: &[Vec<u8>]) -> KeyMatrix {
+    let mut flat = Vec::with_capacity(records.len() * D);
+    for r in records {
+        for i in 0..D {
+            flat.push(f64::from(layout.attr(r, i)));
+        }
+    }
+    KeyMatrix::new(D, flat)
+}
+
+fn oracle(layout: &RecordLayout, records: &[Vec<u8>]) -> Vec<Vec<i32>> {
+    let km = keys_of(layout, records);
+    let sky = naive(&km).indices;
+    value_rows(layout, sky.iter().map(|&i| records[i].as_slice()))
+}
+
+/// A driver runs one skyline algorithm end-to-end against `disk`,
+/// returning the skyline's sorted value rows or a typed error rendered
+/// as a string. All heap I/O — including loading the input — goes
+/// through `disk`, so any operation can fault.
+type Driver = fn(Arc<dyn Disk>, RecordLayout, &[Vec<u8>]) -> Result<Vec<Vec<i32>>, String>;
+
+fn run_sfs(
+    disk: Arc<dyn Disk>,
+    layout: RecordLayout,
+    records: &[Vec<u8>],
+    order: SortOrder,
+) -> Result<Vec<Vec<i32>>, String> {
+    let spec = SkylineSpec::max_all(D);
+    let mut heap = load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    )
+    .map_err(|e| e.to_string())?;
+    heap.mark_temp();
+    let entropy = matches!(order, SortOrder::Entropy | SortOrder::ReverseEntropy)
+        .then(|| entropy_stats_of_records(&layout, &spec, records.iter().map(Vec::as_slice)));
+    let mut sorted = presort(
+        Arc::new(heap),
+        layout,
+        spec.clone(),
+        order,
+        entropy,
+        4,
+        Arc::clone(&disk),
+    )
+    .map_err(|e| e.to_string())?;
+    sorted.mark_temp();
+    let mut sfs = sfs_filter(
+        Arc::new(sorted),
+        layout,
+        spec,
+        SfsConfig::new(1),
+        disk,
+        SkylineMetrics::shared(),
+    )
+    .map_err(|e| e.to_string())?;
+    let out = collect(&mut sfs).map_err(|e| e.to_string())?;
+    Ok(value_rows(&layout, out.iter().map(Vec::as_slice)))
+}
+
+fn sfs_nested(d: Arc<dyn Disk>, l: RecordLayout, r: &[Vec<u8>]) -> Result<Vec<Vec<i32>>, String> {
+    run_sfs(d, l, r, SortOrder::Nested)
+}
+
+fn sfs_entropy(d: Arc<dyn Disk>, l: RecordLayout, r: &[Vec<u8>]) -> Result<Vec<Vec<i32>>, String> {
+    run_sfs(d, l, r, SortOrder::Entropy)
+}
+
+fn bnl(
+    disk: Arc<dyn Disk>,
+    layout: RecordLayout,
+    records: &[Vec<u8>],
+) -> Result<Vec<Vec<i32>>, String> {
+    let mut heap = load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    )
+    .map_err(|e| e.to_string())?;
+    heap.mark_temp();
+    let mut op = bnl_over(
+        Arc::new(heap),
+        layout,
+        SkylineSpec::max_all(D),
+        1,
+        disk,
+        SkylineMetrics::shared(),
+    )
+    .map_err(|e| e.to_string())?;
+    let out = collect(&mut op).map_err(|e| e.to_string())?;
+    Ok(value_rows(&layout, out.iter().map(Vec::as_slice)))
+}
+
+fn winnow(
+    disk: Arc<dyn Disk>,
+    layout: RecordLayout,
+    records: &[Vec<u8>],
+) -> Result<Vec<Vec<i32>>, String> {
+    let mut heap = load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    )
+    .map_err(|e| e.to_string())?;
+    heap.mark_temp();
+    let mut op = WinnowOp::new(
+        Box::new(HeapScan::new(Arc::new(heap))),
+        layout,
+        SkylineSpec::max_all(D),
+        Arc::new(SkylinePreference),
+        1,
+        disk,
+        SkylineMetrics::shared(),
+    )
+    .map_err(|e| e.to_string())?;
+    let out = collect(&mut op).map_err(|e| e.to_string())?;
+    Ok(value_rows(&layout, out.iter().map(Vec::as_slice)))
+}
+
+fn parallel(
+    disk: Arc<dyn Disk>,
+    layout: RecordLayout,
+    records: &[Vec<u8>],
+) -> Result<Vec<Vec<i32>>, String> {
+    let mut heap = load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    )
+    .map_err(|e| e.to_string())?;
+    heap.mark_temp();
+    let heap = Arc::new(heap);
+    let idx = parallel_skyline_heap(&heap, &layout, &SkylineSpec::max_all(D), 4, None)
+        .map_err(|e| e.to_string())?;
+    Ok(value_rows(
+        &layout,
+        idx.iter().map(|&i| records[i].as_slice()),
+    ))
+}
+
+fn strata(
+    disk: Arc<dyn Disk>,
+    layout: RecordLayout,
+    records: &[Vec<u8>],
+) -> Result<Vec<Vec<i32>>, String> {
+    let mut heap = load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    )
+    .map_err(|e| e.to_string())?;
+    heap.mark_temp();
+    let res = strata_external(
+        Arc::new(heap),
+        layout,
+        &SkylineSpec::max_all(D),
+        2,
+        1,
+        4,
+        SortOrder::Nested,
+        None,
+        disk,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut files = res.strata.into_iter();
+    let first = files
+        .next()
+        .ok_or_else(|| "no strata produced".to_string())?;
+    let rows = first.read_all().map_err(|e| e.to_string())?;
+    first.delete();
+    for f in files {
+        f.delete();
+    }
+    Ok(value_rows(&layout, rows.iter().map(Vec::as_slice)))
+}
+
+fn skyband_k1(
+    disk: Arc<dyn Disk>,
+    layout: RecordLayout,
+    records: &[Vec<u8>],
+) -> Result<Vec<Vec<i32>>, String> {
+    let mut heap = load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    )
+    .map_err(|e| e.to_string())?;
+    heap.mark_temp();
+    let stored = heap.read_all().map_err(|e| e.to_string())?;
+    let km = keys_of(&layout, &stored);
+    let idx = skyband(&km, 1);
+    Ok(value_rows(
+        &layout,
+        idx.iter().map(|&i| stored[i].as_slice()),
+    ))
+}
+
+const DRIVERS: &[(&str, Driver)] = &[
+    ("sfs-nested", sfs_nested),
+    ("sfs-entropy", sfs_entropy),
+    ("bnl", bnl),
+    ("winnow", winnow),
+    ("parallel", parallel),
+    ("strata", strata),
+    ("skyband", skyband_k1),
+];
+
+/// Seeded fault schedules. `arm_after` on write schedules lets the
+/// ~30-page input load land before write faults arm, so a run can get
+/// deep enough to exercise operator-internal temp files.
+fn schedules() -> Vec<(&'static str, FaultSchedule)> {
+    vec![
+        ("none", FaultSchedule::none()),
+        (
+            "read-permanent",
+            FaultSchedule {
+                seed: 0xA1,
+                read_period: 11,
+                write_period: 0,
+                transient_pct: 0,
+                torn_writes: false,
+                arm_after: 0,
+            },
+        ),
+        (
+            "write-permanent",
+            FaultSchedule {
+                seed: 0xB2,
+                read_period: 0,
+                write_period: 9,
+                transient_pct: 0,
+                torn_writes: false,
+                arm_after: 40,
+            },
+        ),
+        (
+            "mixed-transient-torn",
+            FaultSchedule {
+                seed: 0xC3,
+                read_period: 17,
+                write_period: 13,
+                transient_pct: 60,
+                torn_writes: true,
+                arm_after: 40,
+            },
+        ),
+        ("late-read", FaultSchedule::nth_read(200)),
+    ]
+}
+
+/// Seed override for CI's seed-grid leg: `FAULT_SEED` reseeds every
+/// periodic schedule, replaying the whole suite under a different
+/// deterministic fault sequence.
+fn seeded_schedules() -> Vec<(&'static str, FaultSchedule)> {
+    let mut scheds = schedules();
+    if let Ok(s) = std::env::var("FAULT_SEED") {
+        if let Ok(seed) = s.parse::<u64>() {
+            for (_, sched) in &mut scheds {
+                if sched.seed != 0 {
+                    sched.seed = sched.seed.wrapping_add(seed.wrapping_mul(0x9E37_79B9));
+                }
+            }
+        }
+    }
+    scheds
+}
+
+#[test]
+fn every_algorithm_returns_oracle_or_typed_error_under_faults() {
+    let (layout, records) = workload();
+    let want = oracle(&layout, &records);
+    assert!(!want.is_empty(), "degenerate oracle");
+    for (sname, sched) in seeded_schedules() {
+        for (dname, driver) in DRIVERS {
+            let inner = MemDisk::shared();
+            let fault = FaultDisk::shared(Arc::clone(&inner) as Arc<dyn Disk>, sched);
+            let result = driver(Arc::clone(&fault) as Arc<dyn Disk>, layout, &records);
+            match &result {
+                Ok(rows) => assert_eq!(
+                    rows, &want,
+                    "{dname} under {sname}: completed with a WRONG skyline"
+                ),
+                Err(msg) => assert!(
+                    !msg.is_empty(),
+                    "{dname} under {sname}: empty error message"
+                ),
+            }
+            if sname == "none" {
+                assert!(
+                    result.is_ok(),
+                    "{dname}: failed with no faults injected: {result:?}"
+                );
+                assert_eq!(fault.injected_faults(), 0, "{dname}: phantom fault");
+            }
+            assert_eq!(
+                inner.allocated_pages(),
+                0,
+                "{dname} under {sname}: leaked temp pages (result: {result:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn retry_policy_absorbs_transient_faults_and_recovers_oracle() {
+    let (layout, records) = workload();
+    let want = oracle(&layout, &records);
+    let sched = FaultSchedule {
+        seed: 0xD4,
+        read_period: 13,
+        write_period: 11,
+        transient_pct: 100,
+        torn_writes: true,
+        arm_after: 0,
+    };
+    let inner = MemDisk::shared();
+    let fault = FaultDisk::shared(Arc::clone(&inner) as Arc<dyn Disk>, sched);
+    let disk = RetryDisk::shared(
+        Arc::clone(&fault) as Arc<dyn Disk>,
+        RetryPolicy::attempts(4),
+    );
+    let got = run_sfs(disk as Arc<dyn Disk>, layout, &records, SortOrder::Nested)
+        .expect("bounded retries must absorb all-transient faults");
+    assert_eq!(got, want, "retried run produced a wrong skyline");
+    assert!(fault.injected_faults() > 0, "schedule never fired");
+    assert!(
+        inner.stats().retries() > 0,
+        "recovery happened without recorded retries"
+    );
+    assert_eq!(inner.allocated_pages(), 0, "retried run leaked pages");
+}
+
+#[test]
+fn permanent_faults_are_not_retried_to_success() {
+    let (layout, records) = workload();
+    let inner = MemDisk::shared();
+    let fault = FaultDisk::shared(
+        Arc::clone(&inner) as Arc<dyn Disk>,
+        FaultSchedule::nth_read(5),
+    );
+    let disk = RetryDisk::shared(
+        Arc::clone(&fault) as Arc<dyn Disk>,
+        RetryPolicy::attempts(10),
+    );
+    let result = run_sfs(disk as Arc<dyn Disk>, layout, &records, SortOrder::Nested);
+    assert!(result.is_err(), "a permanent read fault must surface");
+    assert_eq!(
+        inner.stats().retries(),
+        0,
+        "permanent faults must not retry"
+    );
+    assert_eq!(inner.allocated_pages(), 0);
+}
+
+#[test]
+fn cancelled_operators_surface_typed_error_without_leaking() {
+    let (layout, records) = workload();
+    let disk = MemDisk::shared();
+    let spec = SkylineSpec::max_all(D);
+
+    // SFS: pre-cancelled token trips on the very first poll.
+    {
+        let mut heap = load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap();
+        heap.mark_temp();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut sfs = sfs_filter(
+            Arc::new(heap),
+            layout,
+            spec.clone(),
+            SfsConfig::new(1),
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            SkylineMetrics::shared(),
+        )
+        .unwrap()
+        .with_cancel(token);
+        let err = collect(&mut sfs).expect_err("cancelled sfs must error");
+        assert!(
+            matches!(err, ExecError::Cancelled { .. }),
+            "expected Cancelled, got {err:?}"
+        );
+    }
+    assert_eq!(disk.allocated_pages(), 0, "cancelled sfs leaked");
+
+    // BNL: a zero deadline trips mid-stream without an explicit cancel().
+    {
+        let mut heap = load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap();
+        heap.mark_temp();
+        let mut op = bnl_over(
+            Arc::new(heap),
+            layout,
+            spec.clone(),
+            1,
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            SkylineMetrics::shared(),
+        )
+        .unwrap()
+        .with_cancel(CancelToken::with_deadline(std::time::Duration::ZERO));
+        let err = collect(&mut op).expect_err("deadline-expired bnl must error");
+        assert!(matches!(err, ExecError::Cancelled { .. }));
+    }
+    assert_eq!(disk.allocated_pages(), 0, "cancelled bnl leaked");
+
+    // Winnow: same contract as the other window operators.
+    {
+        let mut heap = load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap();
+        heap.mark_temp();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut op = WinnowOp::new(
+            Box::new(HeapScan::new(Arc::new(heap))),
+            layout,
+            spec,
+            Arc::new(SkylinePreference),
+            1,
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            SkylineMetrics::shared(),
+        )
+        .unwrap()
+        .with_cancel(token);
+        let err = collect(&mut op).expect_err("cancelled winnow must error");
+        assert!(matches!(err, ExecError::Cancelled { .. }));
+    }
+    assert_eq!(disk.allocated_pages(), 0, "cancelled winnow leaked");
+}
+
+#[test]
+fn parallel_skyline_cancellation_is_typed() {
+    let (layout, records) = workload();
+    let km = keys_of(&layout, &records);
+    let token = CancelToken::new();
+    token.cancel();
+    let err = parallel_skyline_cancellable(&km, 4, Some(&token))
+        .expect_err("pre-cancelled parallel skyline must error");
+    assert!(
+        matches!(err, AlgoError::Cancelled { .. }),
+        "expected Cancelled, got {err:?}"
+    );
+}
+
+/// Satellite (d): dropping an external operator mid-pass must delete its
+/// temp heap files (input, sorted run, spill) on the given disk.
+fn drop_mid_pass_cleans_up(disk: Arc<dyn Disk>) {
+    let (layout, records) = workload();
+    let spec = SkylineSpec::max_all(D);
+    let mut heap = load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    )
+    .unwrap();
+    heap.mark_temp();
+    let mut sorted = presort(
+        Arc::new(heap),
+        layout,
+        spec.clone(),
+        SortOrder::Nested,
+        None,
+        4,
+        Arc::clone(&disk),
+    )
+    .unwrap();
+    sorted.mark_temp();
+    let mut sfs = sfs_filter(
+        Arc::new(sorted),
+        layout,
+        spec,
+        SfsConfig::new(0), // capacity 1: guarantees a spill file mid-pass
+        Arc::clone(&disk),
+        SkylineMetrics::shared(),
+    )
+    .unwrap();
+    sfs.open().unwrap();
+    for _ in 0..20 {
+        assert!(
+            sfs.next().unwrap().is_some(),
+            "expected at least 20 skyline records before abandoning"
+        );
+    }
+    assert!(disk.allocated_pages() > 0, "operator holds pages mid-pass");
+    drop(sfs); // abandoned mid-pass: spill + sorted input must vanish
+    assert_eq!(
+        disk.allocated_pages(),
+        0,
+        "abandoned operator leaked temp pages"
+    );
+}
+
+#[test]
+fn dropped_operator_cleans_temp_files_memdisk() {
+    drop_mid_pass_cleans_up(MemDisk::shared() as Arc<dyn Disk>);
+}
+
+#[test]
+fn dropped_operator_cleans_temp_files_filedisk() {
+    let dir = std::env::temp_dir().join(format!("skyline-faultdrop-{}", std::process::id()));
+    let disk = Arc::new(FileDisk::new(&dir).unwrap());
+    drop_mid_pass_cleans_up(Arc::clone(&disk) as Arc<dyn Disk>);
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .map(|rd| rd.filter_map(Result::ok).map(|e| e.file_name()).collect())
+        .unwrap_or_default();
+    assert!(
+        leftovers.is_empty(),
+        "page files left on disk: {leftovers:?}"
+    );
+    drop(disk);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -17,11 +17,14 @@ fn setup(n: usize, seed: u64) -> (Arc<MemDisk>, Arc<skyline::storage::HeapFile>,
     let w = WorkloadSpec::paper(n, seed);
     let records = w.generate();
     let disk = MemDisk::shared();
-    let heap = Arc::new(load_heap(
-        Arc::clone(&disk) as Arc<dyn Disk>,
-        w.layout.record_size(),
-        records.iter().map(Vec::as_slice),
-    ));
+    let heap = Arc::new(
+        load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            w.layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap(),
+    );
     (disk, heap, w.layout)
 }
 
@@ -92,7 +95,7 @@ fn sfs_pipelines_but_bnl_blocks_on_clustered_order() {
             Some({
                 let mut scan = heap.scan();
                 let mut recs = Vec::new();
-                while let Some(r) = scan.next_record() {
+                while let Some(r) = scan.next_record().unwrap() {
                     recs.push(r.to_vec());
                 }
                 entropy_stats_of_records(&layout, &spec, recs.iter().map(Vec::as_slice))
@@ -133,7 +136,7 @@ fn sfs_pipelines_but_bnl_blocks_on_clustered_order() {
             Some({
                 let mut scan = heap.scan();
                 let mut recs = Vec::new();
-                while let Some(r) = scan.next_record() {
+                while let Some(r) = scan.next_record().unwrap() {
                     recs.push(r.to_vec());
                 }
                 entropy_stats_of_records(&layout, &spec, recs.iter().map(Vec::as_slice))
@@ -177,11 +180,14 @@ fn diff_through_external_sort_groups_correctly() {
         records.push(layout.encode(&[(i * 37) % 101, (i * 53) % 97, i % 4], b""));
     }
     let disk = MemDisk::shared();
-    let heap = Arc::new(load_heap(
-        Arc::clone(&disk) as Arc<dyn Disk>,
-        layout.record_size(),
-        records.iter().map(Vec::as_slice),
-    ));
+    let heap = Arc::new(
+        load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap(),
+    );
     let sorted = presort(
         heap,
         layout,
@@ -231,11 +237,14 @@ fn dimensional_reduction_pipeline_preserves_distinct_skyline() {
     let layout = w.layout;
     let d = 4;
     let disk = MemDisk::shared();
-    let heap = Arc::new(load_heap(
-        Arc::clone(&disk) as Arc<dyn Disk>,
-        layout.record_size(),
-        records.iter().map(Vec::as_slice),
-    ));
+    let heap = Arc::new(
+        load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap(),
+    );
     let spec = SkylineSpec::max_all(d);
 
     // reduction: nested sort → group-max on attr d-1
@@ -402,11 +411,14 @@ fn pipeline_works_on_real_files() {
     let layout = w.layout;
     let dir = std::env::temp_dir().join(format!("skyline-filedisk-{}", std::process::id()));
     let fdisk: Arc<dyn Disk> = Arc::new(FileDisk::new(&dir).unwrap());
-    let heap = Arc::new(load_heap(
-        Arc::clone(&fdisk),
-        layout.record_size(),
-        records.iter().map(Vec::as_slice),
-    ));
+    let heap = Arc::new(
+        load_heap(
+            Arc::clone(&fdisk),
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap(),
+    );
     let spec = SkylineSpec::max_all(5);
     let mut sorted = presort(
         Arc::clone(&heap),
@@ -433,11 +445,14 @@ fn pipeline_works_on_real_files() {
 
     let (mdisk, mheap, _) = {
         let disk = MemDisk::shared();
-        let heap = Arc::new(load_heap(
-            Arc::clone(&disk) as Arc<dyn Disk>,
-            layout.record_size(),
-            records.iter().map(Vec::as_slice),
-        ));
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as Arc<dyn Disk>,
+                layout.record_size(),
+                records.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
         (disk, heap, ())
     };
     let via_mem = run_sfs_with_window(&mdisk, &mheap, layout, 5, 1);
