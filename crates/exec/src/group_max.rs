@@ -39,6 +39,10 @@ pub struct GroupMax {
 impl GroupMax {
     /// Build the operator; `group_attrs` and `max_attr` index into
     /// `layout`'s attributes and must be disjoint.
+    ///
+    /// # Errors
+    /// [`ExecError::Config`] when the child's record size disagrees with
+    /// `layout`, or an attribute index is out of range / non-disjoint.
     pub fn new(
         child: BoxedOperator,
         layout: RecordLayout,

@@ -29,6 +29,10 @@ pub type BoxedOperator = Box<dyn Operator>;
 
 /// Drain an operator into owned records (runs open/next*/close).
 /// Convenience for tests, examples, and top-of-plan collection.
+///
+/// # Errors
+/// Propagates whatever [`Operator::open`] / [`Operator::next`] return;
+/// the operator is *not* closed on error (its own drop handles cleanup).
 pub fn collect(op: &mut dyn Operator) -> Result<Vec<Vec<u8>>, ExecError> {
     op.open()?;
     let mut out = Vec::new();
@@ -213,22 +217,22 @@ mod tests {
     }
 
     #[test]
-    fn index_scan_streams_in_key_order() {
+    fn index_scan_streams_in_key_order() -> Result<(), Box<dyn std::error::Error>> {
         use skyline_storage::btree::key_codec::i32_key;
         let disk = MemDisk::shared();
-        let mut tree =
-            skyline_storage::BTree::new(disk as Arc<dyn skyline_storage::Disk>, 4, 8).unwrap();
+        let mut tree = skyline_storage::BTree::new(disk as Arc<dyn skyline_storage::Disk>, 4, 8)?;
         for v in [9i32, 3, 7, 1, 5] {
             let mut r = [0u8; 8];
             r[..4].copy_from_slice(&v.to_le_bytes());
-            tree.insert(&i32_key(v), &r).unwrap();
+            tree.insert(&i32_key(v), &r)?;
         }
         let mut scan = IndexScan::new(Arc::new(tree), 8);
-        let out = collect(&mut scan).unwrap();
+        let out = collect(&mut scan)?;
         let got: Vec<i32> = out
             .iter()
-            .map(|r| i32::from_le_bytes(r[..4].try_into().unwrap()))
+            .map(|r| i32::from_le_bytes(r[..4].try_into().expect("4-byte key prefix")))
             .collect();
         assert_eq!(got, vec![1, 3, 5, 7, 9]);
+        Ok(())
     }
 }

@@ -23,6 +23,10 @@ impl Project {
     /// Project `child` (whose records follow `in_layout`) onto the
     /// attributes listed in `attr_map` (indices into the input layout),
     /// keeping the payload iff `keep_payload`.
+    ///
+    /// # Errors
+    /// [`ExecError::Config`] when the child's record size disagrees with
+    /// `in_layout` or an `attr_map` index is out of range.
     pub fn new(
         child: BoxedOperator,
         in_layout: RecordLayout,

@@ -1,0 +1,139 @@
+//! Model-checked concurrency tests for [`CancelToken`].
+//!
+//! The token is one atomic flag (plus an immutable deadline), so every
+//! `cancel`/`check` call is a single linearizable step; exploring all
+//! interleavings of short per-thread programs with
+//! `skyline_testkit::interleave` covers every ordering a real scheduler
+//! could produce. The property under test is *monotonicity*: once any
+//! observer sees the token tripped, no later observation — on any
+//! clone — may see it untripped.
+
+use skyline_exec::cancel::{poll, CANCEL_CHECK_INTERVAL};
+use skyline_exec::{CancelToken, ExecError};
+use std::time::Duration;
+
+/// Replay: thread 0 cancels (its single op); threads 1..n each check
+/// the token twice through their own clone. Assert per-observer
+/// monotonicity and that the cancel is globally visible afterwards.
+fn replay_cancel_vs_observers(observers: usize, schedule: &[usize]) {
+    let token = CancelToken::new();
+    let clones: Vec<CancelToken> = (0..observers).map(|_| token.clone()).collect();
+    let mut seen: Vec<Vec<bool>> = vec![Vec::new(); observers];
+    let mut cancelled_at: Option<usize> = None;
+    for (step, &t) in schedule.iter().enumerate() {
+        if t == 0 {
+            token.cancel();
+            cancelled_at = Some(step);
+        } else {
+            let tripped = clones[t - 1].check(step as u64).is_err();
+            assert_eq!(tripped, clones[t - 1].is_cancelled());
+            // an observation after the cancel step must see it
+            if cancelled_at.is_some() {
+                assert!(tripped, "check after cancel returned Ok");
+            }
+            seen[t - 1].push(tripped);
+        }
+    }
+    for history in &seen {
+        // monotone: no true followed by false
+        assert!(
+            history.windows(2).all(|w| w[0] <= w[1]),
+            "observer saw the token un-trip: {history:?}"
+        );
+    }
+    assert!(token.is_cancelled());
+}
+
+#[test]
+fn cancellation_is_monotone_across_every_interleaving() {
+    // 1 canceller + 2 observers × 2 checks: 5!/(1!2!2!) = 30 schedules
+    let explored = skyline_testkit::interleave::interleavings(&[1, 2, 2], |s| {
+        replay_cancel_vs_observers(2, s);
+    });
+    assert_eq!(explored, 30);
+}
+
+#[test]
+fn double_cancel_is_idempotent_in_every_interleaving() {
+    // two cancellers racing + one observer checking twice
+    skyline_testkit::interleave::interleavings(&[1, 1, 2], |schedule| {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        let mut cancels = 0usize;
+        for &t in schedule {
+            match t {
+                0 | 1 => {
+                    token.cancel();
+                    cancels += 1;
+                }
+                _ => {
+                    let r = observer.check(0);
+                    if cancels > 0 {
+                        assert!(matches!(
+                            r,
+                            Err(ExecError::Cancelled {
+                                records_processed: 0
+                            })
+                        ));
+                    } else {
+                        assert!(r.is_ok());
+                    }
+                }
+            }
+        }
+        assert!(token.is_cancelled());
+    });
+}
+
+#[test]
+fn elapsed_deadline_trips_without_any_cancel_call() {
+    let token = CancelToken::with_deadline(Duration::ZERO);
+    assert!(token.is_cancelled());
+    assert!(matches!(
+        token.check(3),
+        Err(ExecError::Cancelled {
+            records_processed: 3
+        })
+    ));
+    // and a generous deadline does not trip on its own
+    let patient = CancelToken::with_deadline(Duration::from_secs(3600));
+    assert!(patient.check(0).is_ok());
+}
+
+#[test]
+fn poll_only_observes_at_interval_boundaries() {
+    let token = CancelToken::new();
+    token.cancel();
+    assert!(poll(Some(&token), CANCEL_CHECK_INTERVAL - 1).is_ok());
+    assert!(poll(Some(&token), CANCEL_CHECK_INTERVAL).is_err());
+    assert!(poll(Some(&token), 0).is_err(), "count 0 always checks");
+    assert!(poll(None, 0).is_ok());
+}
+
+/// Real threads: pollers spin until they observe the cancel; the test
+/// terminating at all proves propagation to every clone (this is the
+/// program the TSan CI job runs under instrumentation).
+#[test]
+fn parallel_pollers_all_observe_a_real_cancel() {
+    let token = CancelToken::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = token.clone();
+                s.spawn(move || {
+                    let mut polls = 0u64;
+                    while t.check(polls).is_ok() {
+                        polls += 1;
+                        std::thread::yield_now();
+                    }
+                    polls
+                })
+            })
+            .collect();
+        token.cancel();
+        for h in handles {
+            let _polls = h.join().expect("poller panicked");
+        }
+    });
+    assert!(token.is_cancelled());
+}

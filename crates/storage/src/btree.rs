@@ -142,6 +142,8 @@ impl BTree {
     ) -> Result<Self, StorageError> {
         assert!(key_len > 0 && record_size > 0);
         let file = disk.create()?;
+        // Built temp-first: if the root write below fails, Drop deletes
+        // the just-created file instead of orphaning its entry.
         let mut t = BTree {
             disk,
             file,
@@ -151,13 +153,14 @@ impl BTree {
             next_page: 0,
             height: 1,
             n_records: 0,
-            temp: false,
+            temp: true,
         };
         assert!(t.leaf_cap() >= 2, "records too large for a page");
         assert!(t.internal_cap() >= 2, "keys too large for a page");
         let root = t.alloc_node(T_LEAF);
         t.root = root.page_no;
         t.write_node(&root)?;
+        t.temp = false;
         Ok(t)
     }
 
@@ -669,6 +672,23 @@ mod tests {
 
     fn mk(disk: &Arc<MemDisk>) -> BTree {
         BTree::new(Arc::clone(disk) as Arc<dyn Disk>, 4, 8).unwrap()
+    }
+
+    #[test]
+    fn failed_root_write_does_not_orphan_the_file() {
+        use crate::fault::{FaultDisk, FaultSchedule};
+        let inner = MemDisk::shared();
+        let disk = FaultDisk::shared(
+            Arc::clone(&inner) as Arc<dyn Disk>,
+            FaultSchedule::nth_write(0),
+        );
+        assert!(BTree::new(disk, 4, 8).is_err(), "first write must fault");
+        // temp-first construction: the unwound tree deleted its file,
+        // so the id is gone (not merely empty)
+        let mut buf = Vec::new();
+        let err = inner.read_page(0, 0, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("unknown or deleted file"), "{err}");
+        assert_eq!(inner.allocated_pages(), 0);
     }
 
     fn rec(v: i32) -> [u8; 8] {

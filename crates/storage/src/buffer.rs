@@ -54,6 +54,10 @@ impl BufferPool {
     }
 
     /// Reserve `pages` pages, failing if the pool cannot satisfy it.
+    ///
+    /// # Errors
+    /// [`BufferError::Exhausted`] when fewer than `pages` pages are
+    /// free; the error carries the request and what was available.
     pub fn reserve(&self, pages: usize) -> Result<BufferLease, BufferError> {
         let mut ledger = lock(&self.ledger);
         if ledger.used + pages > self.total {

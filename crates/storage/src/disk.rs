@@ -1,10 +1,15 @@
 //! Page devices: the in-memory simulator and a real-file implementation.
 //!
 //! This is the only module allowed to touch `std::fs` — every page that
-//! moves through here is counted in [`IoStats`], and every syscall failure
-//! surfaces as a typed [`StorageError`] instead of a panic. Reading past
-//! EOF on [`MemDisk`] remains a panic: the in-memory device cannot fail,
-//! so an out-of-range read is an operator logic bug, not an I/O error.
+//! moves through here is counted in [`IoStats`], and every failure —
+//! including reading past EOF — surfaces as a typed [`StorageError`]
+//! instead of a panic, so multipass operators can always unwind their
+//! temp files.
+//!
+//! [`FileDisk`] does *positioned* I/O (`pread`/`pwrite`): the file-handle
+//! map lock is only held long enough to clone out an `Arc<File>`, never
+//! across a syscall, so page I/O on different files proceeds in parallel
+//! (and the `lock-across-io` lint of `cargo xtask analyze` stays clean).
 
 use crate::error::{ErrorKind, IoOp, StorageError};
 use crate::io_stats::IoStats;
@@ -12,7 +17,6 @@ use crate::sync::lock;
 use crate::PAGE_SIZE;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -48,9 +52,9 @@ pub trait Disk: Send + Sync {
     /// Read one page into `buf` (resized to [`PAGE_SIZE`]).
     ///
     /// # Errors
-    /// [`StorageError`] when the device fails the read or the file does
-    /// not exist. On [`MemDisk`], reading past EOF panics instead —
-    /// a logic bug in an operator, not a recoverable condition.
+    /// [`StorageError`] when the device fails the read, the file does
+    /// not exist, or `page_no` is past EOF (a `Permanent` error on every
+    /// device — retrying a structurally out-of-range read cannot help).
     fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) -> Result<(), StorageError>;
 
     /// Number of pages currently in the file.
@@ -144,9 +148,15 @@ impl Disk for MemDisk {
             .get(&file)
             .ok_or_else(|| StorageError::unknown_file(IoOp::Read, file).at_page(page_no))?;
         let idx = page_index(IoOp::Read, file, page_no)?;
-        let page = pages
-            .get(idx)
-            .unwrap_or_else(|| panic!("read past EOF: page {page_no} of {} pages", pages.len()));
+        let page = pages.get(idx).ok_or_else(|| {
+            StorageError::new(
+                IoOp::Read,
+                file,
+                ErrorKind::Permanent,
+                format!("read past EOF: page {page_no} of {} pages", pages.len()),
+            )
+            .at_page(page_no)
+        })?;
         buf.clear();
         buf.extend_from_slice(page);
         self.stats.record_read();
@@ -173,13 +183,47 @@ const GAP_CHUNK_PAGES: usize = 16;
 /// Useful for runs whose temp data exceeds memory; accounting is identical
 /// to [`MemDisk`]. The directory is owned exclusively: construction sweeps
 /// stale `skyline-*.pages` files left behind by a crashed prior process.
+///
+/// Handles are `Arc<File>` and all transfers are positioned
+/// (`pread`/`pwrite`), so the map lock is released before any syscall and
+/// concurrent page I/O never serializes on it. Writers to the *same* file
+/// are expected to be exclusive (heap writers take `&mut`); concurrent
+/// gap-extensions of one file would double-count gap pages in [`IoStats`].
 pub struct FileDisk {
     dir: PathBuf,
-    files: Mutex<HashMap<FileId, File>>,
+    files: Mutex<HashMap<FileId, Arc<File>>>,
     next_id: AtomicU64,
     stats: IoStats,
     /// One zeroed gap-write buffer, shared by every gap-extending write.
     zeros: Box<[u8]>,
+}
+
+/// Positioned write of the whole buffer at `offset` — no shared cursor,
+/// no lock. The non-unix fallback seeks on a borrowed handle and is not
+/// cursor-safe under concurrency; unix (the supported platform) is.
+fn write_all_at(f: &File, buf: &[u8], offset: u64) -> std::io::Result<()> {
+    #[cfg(unix)]
+    return std::os::unix::fs::FileExt::write_all_at(f, buf, offset);
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = f;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(buf)
+    }
+}
+
+/// Positioned read filling the whole buffer from `offset`.
+fn read_exact_at(f: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    #[cfg(unix)]
+    return std::os::unix::fs::FileExt::read_exact_at(f, buf, offset);
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = f;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
 }
 
 impl FileDisk {
@@ -229,6 +273,15 @@ impl FileDisk {
         };
         StorageError::new(op, file, kind, e.to_string())
     }
+
+    /// Clone the handle for `file` out of the map — the lock is held for
+    /// this lookup only, never across I/O.
+    fn handle(&self, op: IoOp, file: FileId) -> Result<Arc<File>, StorageError> {
+        lock(&self.files)
+            .get(&file)
+            .cloned()
+            .ok_or_else(|| StorageError::unknown_file(op, file))
+    }
 }
 
 impl Disk for FileDisk {
@@ -241,7 +294,7 @@ impl Disk for FileDisk {
             .write(true)
             .open(self.path(id))
             .map_err(|e| Self::io_err(IoOp::Create, id, &e))?;
-        lock(&self.files).insert(id, f);
+        lock(&self.files).insert(id, Arc::new(f));
         Ok(id)
     }
 
@@ -253,10 +306,9 @@ impl Disk for FileDisk {
 
     fn write_page(&self, file: FileId, page_no: u64, data: &[u8]) -> Result<(), StorageError> {
         let page = padded(data);
-        let mut files = lock(&self.files);
-        let f = files
-            .get_mut(&file)
-            .ok_or_else(|| StorageError::unknown_file(IoOp::Write, file).at_page(page_no))?;
+        let f = self
+            .handle(IoOp::Write, file)
+            .map_err(|e| e.at_page(page_no))?;
         let err = |e: &std::io::Error| Self::io_err(IoOp::Write, file, e).at_page(page_no);
         let len = f
             .metadata()
@@ -264,49 +316,41 @@ impl Disk for FileDisk {
             .len();
         let existing = len / PAGE_SIZE as u64;
         if existing < page_no {
-            // Gap-extend with zero pages: one seek, then contiguous chunked
+            // Gap-extend with zero pages: contiguous positioned chunk
             // writes from the shared zero buffer (still one counted write
             // per gap page — accounting is page-granular, syscalls are not).
-            f.seek(SeekFrom::Start(existing * PAGE_SIZE as u64))
-                .map_err(|e| err(&e))?;
+            let mut at = existing * PAGE_SIZE as u64;
             let mut remaining = page_no - existing;
             while remaining > 0 {
                 let chunk = remaining.min(GAP_CHUNK_PAGES as u64);
-                f.write_all(&self.zeros[..chunk as usize * PAGE_SIZE])
+                write_all_at(&f, &self.zeros[..chunk as usize * PAGE_SIZE], at)
                     .map_err(|e| err(&e))?;
                 for _ in 0..chunk {
                     self.stats.record_write();
                 }
+                at += chunk * PAGE_SIZE as u64;
                 remaining -= chunk;
             }
         }
-        f.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))
-            .map_err(|e| err(&e))?;
-        f.write_all(&page).map_err(|e| err(&e))?;
+        write_all_at(&f, &page, page_no * PAGE_SIZE as u64).map_err(|e| err(&e))?;
         self.stats.record_write();
         Ok(())
     }
 
     fn read_page(&self, file: FileId, page_no: u64, buf: &mut Vec<u8>) -> Result<(), StorageError> {
-        let mut files = lock(&self.files);
-        let f = files
-            .get_mut(&file)
-            .ok_or_else(|| StorageError::unknown_file(IoOp::Read, file).at_page(page_no))?;
+        let f = self
+            .handle(IoOp::Read, file)
+            .map_err(|e| e.at_page(page_no))?;
         let err = |e: &std::io::Error| Self::io_err(IoOp::Read, file, e).at_page(page_no);
         buf.clear();
         buf.resize(PAGE_SIZE, 0);
-        f.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))
-            .map_err(|e| err(&e))?;
-        f.read_exact(buf).map_err(|e| err(&e))?;
+        read_exact_at(&f, buf, page_no * PAGE_SIZE as u64).map_err(|e| err(&e))?;
         self.stats.record_read();
         Ok(())
     }
 
     fn num_pages(&self, file: FileId) -> Result<u64, StorageError> {
-        let files = lock(&self.files);
-        let f = files
-            .get(&file)
-            .ok_or_else(|| StorageError::unknown_file(IoOp::Stat, file))?;
+        let f = self.handle(IoOp::Stat, file)?;
         let len = f
             .metadata()
             .map_err(|e| Self::io_err(IoOp::Stat, file, &e))?
@@ -319,9 +363,9 @@ impl Disk for FileDisk {
     }
 
     fn allocated_pages(&self) -> u64 {
-        let files = lock(&self.files);
-        files
-            .values()
+        let handles: Vec<Arc<File>> = lock(&self.files).values().cloned().collect();
+        handles
+            .iter()
             .map(|f| f.metadata().map_or(0, |m| m.len() / PAGE_SIZE as u64))
             .sum()
     }
@@ -437,12 +481,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "read past EOF")]
-    fn memdisk_read_past_eof_panics() {
+    fn memdisk_read_past_eof_is_typed_error() {
         let d = MemDisk::new();
         let f = d.create().unwrap();
+        d.write_page(f, 0, b"only").unwrap();
         let mut buf = Vec::new();
-        let _ = d.read_page(f, 0, &mut buf);
+        let err = d.read_page(f, 1, &mut buf).unwrap_err();
+        assert_eq!(err.page, Some(1));
+        assert!(!err.is_transient(), "past-EOF reads will recur");
+        assert!(err.to_string().contains("read past EOF"), "{err}");
+    }
+
+    #[test]
+    fn filedisk_concurrent_io_on_distinct_files() {
+        let dir = std::env::temp_dir().join(format!("skyline-par-test-{}", std::process::id()));
+        let d = Arc::new(FileDisk::new(&dir).unwrap());
+        let files: Vec<FileId> = (0..4).map(|_| d.create().unwrap()).collect();
+        std::thread::scope(|s| {
+            for (i, &f) in files.iter().enumerate() {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    let pattern = vec![i as u8 + 1; PAGE_SIZE];
+                    for p in 0..8 {
+                        d.write_page(f, p, &pattern).unwrap();
+                    }
+                    let mut buf = Vec::new();
+                    for p in 0..8 {
+                        d.read_page(f, p, &mut buf).unwrap();
+                        assert_eq!(buf, pattern, "file {f} page {p}");
+                    }
+                });
+            }
+        });
+        assert_eq!(d.stats().snapshot().writes, 4 * 8);
+        for f in files {
+            d.delete(f);
+        }
+        assert_eq!(d.allocated_pages(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Model-checked concurrency tests for the [`BufferPool`] ledger.
+//!
+//! Every mutation of the ledger happens under its single mutex, so each
+//! `reserve`/`drop` is one atomic step; exploring every interleaving of
+//! short per-thread programs with `skyline_testkit::interleave` covers
+//! the full linearization space of a real concurrent run. Invariants
+//! checked after *every* step: `used ≤ total`, `used` equals the sum of
+//! live leases, `peak` is monotone and bounds `used`. Quiescent state:
+//! `used == 0`.
+
+use skyline_storage::{BufferLease, BufferPool};
+use skyline_testkit::interleave::{interleavings, schedule_count};
+
+/// One logical thread's program: reserve `request` pages (step 0), then
+/// release the lease (step 1). A failed reservation makes the release a
+/// no-op.
+struct Program {
+    request: usize,
+    lease: Option<BufferLease>,
+    reserve_failed: bool,
+}
+
+impl Program {
+    fn new(request: usize) -> Self {
+        Program {
+            request,
+            lease: None,
+            reserve_failed: false,
+        }
+    }
+
+    fn step(&mut self, op: usize, pool: &BufferPool) {
+        match op {
+            0 => match pool.reserve(self.request) {
+                Ok(l) => self.lease = Some(l),
+                Err(_) => self.reserve_failed = true,
+            },
+            1 => {
+                self.lease = None; // drop releases the pages
+            }
+            _ => unreachable!("programs have two ops"),
+        }
+    }
+
+    fn live_pages(&self) -> usize {
+        self.lease.as_ref().map_or(0, BufferLease::pages)
+    }
+}
+
+/// Replay one schedule against a fresh pool, asserting the ledger
+/// invariants after every step.
+fn replay(total: usize, requests: &[usize], schedule: &[usize]) {
+    let pool = BufferPool::new(total);
+    let mut programs: Vec<Program> = requests.iter().map(|&r| Program::new(r)).collect();
+    let mut next_op = vec![0usize; requests.len()];
+    let mut last_peak = 0usize;
+    for &t in schedule {
+        let op = next_op[t];
+        next_op[t] += 1;
+        programs[t].step(op, &pool);
+
+        let live: usize = programs.iter().map(Program::live_pages).sum();
+        assert_eq!(pool.used(), live, "ledger disagrees with live leases");
+        assert!(pool.used() <= pool.total(), "over-reservation");
+        assert_eq!(pool.available(), pool.total() - pool.used());
+        assert!(pool.peak() >= pool.used(), "peak below current usage");
+        assert!(pool.peak() >= last_peak, "peak regressed");
+        last_peak = pool.peak();
+    }
+    assert_eq!(pool.used(), 0, "quiescent pool still has pages reserved");
+    assert_eq!(pool.available(), total);
+    // anything that successfully reserved pushed the peak at least that high
+    let max_granted = programs
+        .iter()
+        .filter(|p| !p.reserve_failed)
+        .map(|p| p.request)
+        .max()
+        .unwrap_or(0);
+    assert!(pool.peak() >= max_granted);
+    assert!(pool.peak() <= total);
+}
+
+#[test]
+fn every_interleaving_of_three_contenders_keeps_the_ledger_consistent() {
+    // 3 threads × (reserve, drop) over a pool both can and cannot
+    // satisfy at once: 6!/(2!2!2!) = 90 schedules; some reservations
+    // fail by design (2+3+4 > 6), which must leave no trace.
+    let requests = [2usize, 3, 4];
+    let shape = [2usize, 2, 2];
+    assert_eq!(schedule_count(&shape), 90);
+    let explored = interleavings(&shape, |schedule| replay(6, &requests, schedule));
+    assert_eq!(explored, 90);
+}
+
+#[test]
+fn every_interleaving_with_an_always_satisfiable_pool_never_fails_a_reserve() {
+    let requests = [1usize, 2, 3];
+    interleavings(&[2, 2, 2], |schedule| {
+        let pool = BufferPool::new(6);
+        let mut programs: Vec<Program> = requests.iter().map(|&r| Program::new(r)).collect();
+        let mut next_op = vec![0usize; requests.len()];
+        for &t in schedule {
+            let op = next_op[t];
+            next_op[t] += 1;
+            programs[t].step(op, &pool);
+        }
+        assert!(
+            programs.iter().all(|p| !p.reserve_failed),
+            "a reservation failed although Σ requests == total"
+        );
+        assert_eq!(pool.used(), 0);
+    });
+}
+
+#[test]
+fn zero_page_leases_are_invisible_in_every_interleaving() {
+    interleavings(&[2, 2], |schedule| replay(4, &[0, 4], schedule));
+}
+
+/// Real threads hammering one pool: the model test's invariants must
+/// also hold under genuine parallelism (this is what the TSan CI job
+/// runs under instrumentation).
+#[test]
+fn parallel_stress_returns_to_quiescence() {
+    let pool = BufferPool::new(16);
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let pool = pool.clone();
+            s.spawn(move || {
+                for round in 0..200usize {
+                    let want = (t + round) % 5;
+                    if let Ok(lease) = pool.reserve(want) {
+                        assert_eq!(lease.pages(), want);
+                        assert!(pool.used() <= pool.total());
+                        drop(lease);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(pool.used(), 0, "stress left pages reserved");
+    assert!(pool.peak() <= pool.total());
+}

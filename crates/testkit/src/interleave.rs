@@ -1,0 +1,162 @@
+//! Exhaustive interleaving exploration — a `loom` substitute.
+//!
+//! The workspace's concurrent objects — the `BufferPool` ledger, the
+//! `CancelToken` flag — guard every mutation with one `Mutex` or a
+//! single atomic, so any real concurrent execution is equivalent to
+//! *some* sequential merge of the per-thread operation sequences
+//! (each operation is atomic, hence linearizable). Model tests exploit
+//! that: describe each logical thread as a short list of operations,
+//! and [`interleavings`] replays every distinct merge order, checking
+//! invariants after each step. The schedule space is the full
+//! linearization space, so a passing model test rules out every
+//! ordering-dependent bug that `loom` would find for these objects —
+//! without loom's instrumented types, which the offline container
+//! cannot add as a dependency.
+//!
+//! This is *not* a memory-model checker: it cannot see torn reads or
+//! non-`SeqCst` reordering inside one operation. The Miri and
+//! ThreadSanitizer CI jobs cover that axis; see `DESIGN.md` §10.
+//!
+//! ```
+//! use skyline_testkit::interleave::interleavings;
+//! let mut seen = 0usize;
+//! // two threads of two ops each → C(4,2) = 6 merge orders
+//! let n = interleavings(&[2, 2], |schedule| {
+//!     assert_eq!(schedule.len(), 4);
+//!     seen += 1;
+//! });
+//! assert_eq!((n, seen), (6, 6));
+//! ```
+
+/// Invoke `f` once per distinct interleaving of `ops_per_thread`
+/// operation sequences; returns how many schedules were explored.
+///
+/// A schedule is a slice of thread indices: thread `t` appears exactly
+/// `ops_per_thread[t]` times, and its `i`-th appearance means "thread
+/// `t` performs its `i`-th operation now". The caller replays the
+/// schedule against a fresh instance of the shared object and asserts
+/// invariants between steps.
+///
+/// The number of schedules is the multinomial coefficient of the op
+/// counts — `[3, 3]` is 20, `[2, 2, 2]` is 90, `[4, 4]` is 70. Keep
+/// per-thread sequences short; exhaustiveness, not volume, is the
+/// point.
+pub fn interleavings<F>(ops_per_thread: &[usize], mut f: F) -> usize
+where
+    F: FnMut(&[usize]),
+{
+    let mut remaining: Vec<usize> = ops_per_thread.to_vec();
+    let total: usize = remaining.iter().sum();
+    let mut schedule = Vec::with_capacity(total);
+    let mut count = 0usize;
+    explore(&mut remaining, &mut schedule, total, &mut f, &mut count);
+    count
+}
+
+fn explore<F>(
+    remaining: &mut [usize],
+    schedule: &mut Vec<usize>,
+    total: usize,
+    f: &mut F,
+    count: &mut usize,
+) where
+    F: FnMut(&[usize]),
+{
+    if schedule.len() == total {
+        *count += 1;
+        f(schedule);
+        return;
+    }
+    for t in 0..remaining.len() {
+        if remaining[t] == 0 {
+            continue;
+        }
+        remaining[t] -= 1;
+        schedule.push(t);
+        explore(remaining, schedule, total, f, count);
+        schedule.pop();
+        remaining[t] += 1;
+    }
+}
+
+/// The number of distinct schedules [`interleavings`] will explore,
+/// without running them: the multinomial `(Σnᵢ)! / Πnᵢ!`.
+pub fn schedule_count(ops_per_thread: &[usize]) -> usize {
+    let mut placed = 0usize;
+    let mut count = 1usize;
+    for &n in ops_per_thread {
+        // choose which of the next n slots among placed+n go to this thread
+        for i in 1..=n {
+            count = count * (placed + i) / i;
+        }
+        placed += n;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two_yields_six_schedules() {
+        let mut schedules = Vec::new();
+        let n = interleavings(&[2, 2], |s| schedules.push(s.to_vec()));
+        assert_eq!(n, 6);
+        assert_eq!(schedules.len(), 6);
+        schedules.sort();
+        schedules.dedup();
+        assert_eq!(schedules.len(), 6, "schedules are distinct");
+        for s in &schedules {
+            assert_eq!(s.iter().filter(|&&t| t == 0).count(), 2);
+            assert_eq!(s.iter().filter(|&&t| t == 1).count(), 2);
+        }
+    }
+
+    #[test]
+    fn three_singleton_threads_are_permutations() {
+        let n = interleavings(&[1, 1, 1], |s| {
+            let mut sorted = s.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+        });
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn empty_threads_contribute_nothing() {
+        let mut ran = 0;
+        let n = interleavings(&[0, 2, 0], |s| {
+            assert_eq!(s, [1, 1]);
+            ran += 1;
+        });
+        assert_eq!((n, ran), (1, 1));
+    }
+
+    #[test]
+    fn schedule_count_matches_exploration() {
+        for shape in [&[2usize, 2][..], &[3, 3], &[2, 2, 2], &[1, 4], &[0]] {
+            let explored = interleavings(shape, |_| {});
+            assert_eq!(
+                schedule_count(shape),
+                explored,
+                "closed form disagrees for {shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_preserve_per_thread_program_order() {
+        // thread 0's ops appear in order by construction: its k-th
+        // appearance IS its k-th op. Verify appearances count up.
+        interleavings(&[3, 2], |s| {
+            let firsts: Vec<usize> = s
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t == 0)
+                .map(|(i, _)| i)
+                .collect();
+            assert!(firsts.windows(2).all(|w| w[0] < w[1]));
+        });
+    }
+}

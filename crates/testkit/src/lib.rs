@@ -15,6 +15,8 @@
 //! });
 //! ```
 
+pub mod interleave;
+
 pub use skyline_relation::rng::Rng;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -1,0 +1,1021 @@
+//! Dataflow lints over the parsed workspace model of [`crate::model`].
+//!
+//! Four lints that need statement order and scope, which the token scan
+//! of [`crate::lints`] cannot express:
+//!
+//! 1. **page-leak** — intraprocedural escape analysis over `HeapFile`
+//!    creation. An *owned* (non-temp) heap file — a direct
+//!    `HeapFile::create` or a temp binding that has been `persist()`ed —
+//!    must reach a consumer (moved out, returned, `mark_temp`,
+//!    `delete`) on every path. A `?`/`return` while one is live, or
+//!    falling off the end of its scope, orphans its pages: the static
+//!    twin of the fault-injection `allocated_pages() == 0` check
+//!    (DESIGN.md §9). Temp files are RAII-safe (`Drop` deletes them) and
+//!    are deliberately not tracked.
+//! 2. **result-discard** — no `let _ =` / `.ok();`-swallow of a call
+//!    whose `Result` carries a typed storage/exec error in the hot
+//!    paths. Propagate or handle; a swallowed transient `StorageError`
+//!    turns a retryable fault into silent data loss.
+//! 3. **hot-path-panic** — the statement-accurate replacement for the
+//!    old token lint: panic-family calls in operator hot paths, with
+//!    per-statement (not per-line) test/auditor exemption.
+//! 4. **lock-order** / **lock-across-io** — every `lock(&…)` /
+//!    `.lock()` acquisition feeds a workspace-wide lock-order graph;
+//!    cycles are deadlock candidates and are flagged at each
+//!    participating edge. A guard held across a `Disk` I/O call
+//!    serializes the storage layer on that lock and is flagged
+//!    separately.
+//!
+//! All findings flow into the same `lint-baseline.txt` ratchet as the
+//! token lints, and `cargo xtask analyze --sarif` renders them as SARIF
+//! for CI code-scanning annotations.
+
+use crate::lints::{has_token, Finding, HOT_PATHS, PANIC_TOKENS};
+use crate::model::{file_model, word_hits, Block, FileModel};
+use crate::scan::CleanSource;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Directories the page-leak lint watches: everywhere operators create
+/// or hand off heap files.
+const LEAK_DIRS: &[&str] = &[
+    "crates/exec",
+    "crates/core/src/external",
+    "crates/core/src/planner.rs",
+    "crates/core/src/strata.rs",
+    "crates/core/src/par.rs",
+    "crates/storage",
+];
+
+/// Error types whose `Result`s must not be swallowed.
+const ERROR_TYPES: &[&str] = &[
+    "StorageError",
+    "ExecError",
+    "AlgoError",
+    "ParError",
+    "BufferError",
+];
+
+/// Disk/file I/O calls a lock guard must not be held across.
+const IO_TOKENS: &[&str] = &[
+    ".read_page(",
+    ".write_page(",
+    ".num_pages(",
+    ".create(",
+    ".write_all(",
+    ".read_exact(",
+    ".seek(",
+    ".sync_all(",
+    ".set_len(",
+    ".metadata(",
+];
+
+/// Paths whose functions are all test/bench scaffolding.
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.starts_with("crates/testkit")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+fn under(path: &str, dirs: &[&str]) -> bool {
+    dirs.iter().any(|d| path.starts_with(d))
+}
+
+/// Run every dataflow lint over the cleaned workspace files.
+pub fn analyze_files(files: &[(String, CleanSource)]) -> Vec<Finding> {
+    let models: Vec<FileModel> = files
+        .iter()
+        .filter(|(path, _)| !path.starts_with("crates/xtask"))
+        .map(|(path, cs)| file_model(path, cs))
+        .collect();
+
+    // Workspace function index: which call names are fallible (return a
+    // Result carrying one of our typed errors). Name collisions across
+    // crates are merged conservatively.
+    let mut fallible: BTreeSet<&str> = BTreeSet::new();
+    for m in &models {
+        for f in &m.fns {
+            if let Some(ret) = f.ret() {
+                if ret.contains("Result") && ERROR_TYPES.iter().any(|t| ret.contains(t)) {
+                    fallible.insert(&f.name);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    for m in &models {
+        let file_is_test = is_test_path(&m.path);
+        for f in &m.fns {
+            let Some(body) = &f.body else { continue };
+            if f.is_test || file_is_test {
+                continue;
+            }
+            if under(&m.path, HOT_PATHS) {
+                panic_lint(&m.path, body, &mut out);
+                if !f.in_drop_impl {
+                    discard_lint(&m.path, body, &fallible, &mut out);
+                }
+            }
+            if under(&m.path, LEAK_DIRS) && !f.in_drop_impl {
+                let temp_bindings = temp_bindings_of(body);
+                let mut live = Vec::new();
+                leak_scan(&m.path, &f.name, body, &temp_bindings, &mut live, &mut out);
+                for b in live {
+                    out.push(Finding {
+                        lint: "page-leak",
+                        file: m.path.clone(),
+                        line: b.line,
+                        excerpt: format!(
+                            "owned HeapFile `{}` in `{}` is dropped at end of scope without persist/mark_temp/delete",
+                            b.name, f.name
+                        ),
+                    });
+                }
+            }
+            let mut held = Vec::new();
+            lock_scan(&m.path, &f.name, body, &mut held, &mut edges, &mut out);
+        }
+    }
+    lock_cycles(&edges, &mut out);
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+    out
+}
+
+// ---------------------------------------------------------------- panic
+
+/// Statement-accurate panic-family detection in hot paths.
+fn panic_lint(path: &str, block: &Block, out: &mut Vec<Finding>) {
+    for stmt in &block.stmts {
+        if !stmt.exempt {
+            for tok in PANIC_TOKENS {
+                if has_token(&stmt.head, tok) {
+                    out.push(Finding {
+                        lint: "hot-path-panic",
+                        file: path.to_string(),
+                        line: stmt.line,
+                        excerpt: (*tok).to_string(),
+                    });
+                }
+            }
+        }
+        for b in &stmt.blocks {
+            panic_lint(path, b, out);
+        }
+    }
+}
+
+// -------------------------------------------------------------- discard
+
+/// `let _ = fallible(…);` and `fallible(…).ok();` swallow typed errors.
+fn discard_lint(path: &str, block: &Block, fallible: &BTreeSet<&str>, out: &mut Vec<Finding>) {
+    for stmt in &block.stmts {
+        if !stmt.exempt {
+            let head = stmt.head.trim_start();
+            let discards = (head.starts_with("let _ =") || head.starts_with("let _:"))
+                && !stmt.head.contains('?');
+            let swallows = stmt.head.contains(".ok();") || stmt.head.trim_end().ends_with(".ok()");
+            if discards || swallows {
+                if let Some(name) = calls_in(&stmt.text_all())
+                    .into_iter()
+                    .find(|c| fallible.contains(c.as_str()))
+                {
+                    out.push(Finding {
+                        lint: "result-discard",
+                        file: path.to_string(),
+                        line: stmt.line,
+                        excerpt: format!(
+                            "Result of fallible `{name}` is {} — propagate or handle the typed error",
+                            if discards { "discarded with `let _ =`" } else { "swallowed with `.ok()`" }
+                        ),
+                    });
+                }
+            }
+        }
+        for b in &stmt.blocks {
+            discard_lint(path, b, fallible, out);
+        }
+    }
+}
+
+/// Call names in `text`: every identifier directly followed by `(`.
+fn calls_in(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_alphabetic() || chars[i] == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let mut j = i;
+            while j < chars.len() && chars[j] == ' ' {
+                j += 1;
+            }
+            if j < chars.len() && chars[j] == '(' {
+                out.push(chars[start..i].iter().collect());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------ page-leak
+
+struct Tracked {
+    name: String,
+    line: usize,
+}
+
+/// Names `let`-bound to a temp heap file anywhere in the function —
+/// a later `persist()` on one of these re-arms leak tracking.
+fn temp_bindings_of(block: &Block) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    collect_temp_bindings(block, &mut set);
+    set
+}
+
+fn collect_temp_bindings(block: &Block, set: &mut BTreeSet<String>) {
+    for stmt in &block.stmts {
+        if let Some(name) = let_binding(&stmt.head) {
+            if has_token(&stmt.text_all(), "create_temp(") {
+                set.insert(name);
+            }
+        }
+        for b in &stmt.blocks {
+            collect_temp_bindings(b, set);
+        }
+    }
+}
+
+/// Walk one block; `live` is the set of owned heap-file bindings in
+/// scope. Outer bindings see hazards inside nested blocks through the
+/// composite statement text, so recursion only opens fresh scopes for
+/// allocations made inside them.
+fn leak_scan(
+    path: &str,
+    fn_name: &str,
+    block: &Block,
+    temp_bindings: &BTreeSet<String>,
+    live: &mut Vec<Tracked>,
+    out: &mut Vec<Finding>,
+) {
+    for stmt in &block.stmts {
+        let text = stmt.text_all();
+        let hazard = text.contains('?') || !word_hits(&text, "return").is_empty();
+        let mut i = 0;
+        while i < live.len() {
+            if consumes(&text, &live[i].name) {
+                live.remove(i);
+            } else if hazard {
+                // a `?`/return leaks every live owned file, whether or
+                // not the statement names it
+                let b = live.remove(i);
+                out.push(Finding {
+                    lint: "page-leak",
+                    file: path.to_string(),
+                    line: b.line,
+                    excerpt: format!(
+                        "owned HeapFile `{}` in `{}` is live across a fallible `?`/return at line {} — its pages leak on the error path",
+                        b.name, fn_name, stmt.line
+                    ),
+                });
+            } else {
+                i += 1;
+            }
+        }
+        // new owned allocation: direct non-temp create
+        if let Some(name) = let_binding(&stmt.head) {
+            if (has_token(&text, "HeapFile::create(") || has_token(&text, "Self::create("))
+                && !text.contains("create_temp(")
+            {
+                live.push(Tracked {
+                    name,
+                    line: stmt.line,
+                });
+            }
+        }
+        // persist() turns a temp binding into an owned one
+        if let Some(name) = persist_target(&stmt.head) {
+            if temp_bindings.contains(&name) && !live.iter().any(|t| t.name == name) {
+                live.push(Tracked {
+                    name,
+                    line: stmt.line,
+                });
+            }
+        }
+        for b in &stmt.blocks {
+            let mut inner = Vec::new();
+            leak_scan(path, fn_name, b, temp_bindings, &mut inner, out);
+            for t in inner {
+                out.push(Finding {
+                    lint: "page-leak",
+                    file: path.to_string(),
+                    line: t.line,
+                    excerpt: format!(
+                        "owned HeapFile `{}` in `{}` is dropped at end of scope without persist/mark_temp/delete",
+                        t.name, fn_name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The statement moves `name` into a consumer: `mark_temp`/`delete`/
+/// `drop`, moved as a value (argument, struct field, `Ok(…)`, tail
+/// expression), or returned.
+fn consumes(text: &str, name: &str) -> bool {
+    if text.trim() == name {
+        return true; // block tail expression
+    }
+    for at in word_hits(text, name) {
+        let after: String = text[at + name.len()..].chars().take(12).collect();
+        if after.starts_with(".mark_temp(") || after.starts_with(".delete(") {
+            return true;
+        }
+        // drop(name)
+        let before = text[..at].trim_end();
+        if before.ends_with("drop(") {
+            return true;
+        }
+        // moved as a value: delimiters on both sides
+        let prev = before.chars().next_back();
+        let next = text[at + name.len()..].chars().find(|c| *c != ' ');
+        let prev_moves = matches!(prev, Some('(' | ',' | '{' | '=' | ':'))
+            || before.ends_with("return")
+            || before.ends_with("break");
+        let next_closes = matches!(next, Some(',' | ')' | '}' | ';') | None);
+        if prev_moves && next_closes {
+            return true;
+        }
+    }
+    false
+}
+
+/// `let [mut] name = …` — the bound identifier, if the pattern is a
+/// plain binding.
+fn let_binding(head: &str) -> Option<String> {
+    let t = head.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// `name.persist(` in a statement head → `name`.
+fn persist_target(head: &str) -> Option<String> {
+    let at = head.find(".persist(")?;
+    let base: String = head[..at]
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    let name: String = base.chars().rev().collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+// ----------------------------------------------------------------- lock
+
+struct Held {
+    lock: String,
+    guard: Option<String>,
+}
+
+/// Walk one block tracking held guards; record acquisition-order edges
+/// and guards held across I/O.
+fn lock_scan(
+    path: &str,
+    fn_name: &str,
+    block: &Block,
+    held: &mut Vec<Held>,
+    edges: &mut BTreeMap<(String, String), (String, usize)>,
+    out: &mut Vec<Finding>,
+) {
+    for stmt in &block.stmts {
+        let acqs = acquisitions(&stmt.head);
+        for a in &acqs {
+            for h in held.iter() {
+                if h.lock != *a {
+                    edges
+                        .entry((h.lock.clone(), a.clone()))
+                        .or_insert_with(|| (path.to_string(), stmt.line));
+                }
+            }
+        }
+        let text = stmt.text_all();
+        if (!held.is_empty() || !acqs.is_empty()) && IO_TOKENS.iter().any(|t| has_token(&text, t)) {
+            let lock = held
+                .first()
+                .map(|h| h.lock.clone())
+                .unwrap_or_else(|| acqs[0].clone());
+            let dup = out.iter().any(|f| {
+                f.lint == "lock-across-io" && f.file == path && f.excerpt.contains(fn_name)
+            });
+            if !dup {
+                out.push(Finding {
+                    lint: "lock-across-io",
+                    file: path.to_string(),
+                    line: stmt.line,
+                    excerpt: format!(
+                        "guard of `{lock}` is held across disk I/O in `{fn_name}` — I/O serializes on the lock"
+                    ),
+                });
+            }
+        }
+        // release explicitly dropped guards
+        held.retain(|h| match &h.guard {
+            Some(g) => !text.contains(&format!("drop({g})")),
+            None => true,
+        });
+        // a let-bound acquisition holds until end of this block — but
+        // only when the guard itself is bound (`let g = lock(&x);`,
+        // possibly via `.unwrap()`); a longer chain (`let v =
+        // lock(&x).values().collect();`) drops the temporary guard at
+        // the end of the statement
+        if let Some(guard) = let_binding(&stmt.head) {
+            if let Some((lock, after)) = acqs.first().zip(acquisition_end(&stmt.head)) {
+                if guard_bound_directly(&stmt.head[after..]) {
+                    held.push(Held {
+                        lock: lock.clone(),
+                        guard: Some(guard),
+                    });
+                }
+            }
+        }
+        for b in &stmt.blocks {
+            let depth = held.len();
+            lock_scan(path, fn_name, b, held, edges, out);
+            held.truncate(depth);
+        }
+    }
+}
+
+/// Lock names acquired in a statement head: `lock(&EXPR)` helper calls
+/// and `EXPR.lock()` method calls, normalized (`self.`/`&` stripped).
+fn acquisitions(head: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    // helper form: lock(&self.files)
+    let mut from = 0;
+    while let Some(p) = head[from..].find("lock(") {
+        let at = from + p;
+        from = at + 5;
+        let before = head[..at].chars().next_back();
+        if before.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+            continue; // method call or suffix of another identifier
+        }
+        let inner: String = head[at + 5..]
+            .chars()
+            .take_while(|c| *c != ')' && *c != ',')
+            .collect();
+        out.push(normalize_lock(&inner));
+    }
+    // method form: self.ledger.lock()
+    let mut from = 0;
+    while let Some(p) = head[from..].find(".lock(") {
+        let at = from + p;
+        from = at + 6;
+        let base: String = head[..at]
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.' || *c == ':')
+            .collect();
+        let base: String = base.chars().rev().collect();
+        out.push(normalize_lock(&base));
+    }
+    out.retain(|s| !s.is_empty());
+    out
+}
+
+fn normalize_lock(expr: &str) -> String {
+    let e: String = expr.chars().filter(|c| !c.is_whitespace()).collect();
+    let e = e.trim_start_matches('&');
+    let e = e.strip_prefix("self.").unwrap_or(e);
+    e.trim_matches('.').to_string()
+}
+
+/// Index just past the closing paren of the first lock-acquisition call
+/// in `head` — `lock(…)` helper or `.lock(…)` method form, whichever
+/// comes first.
+fn acquisition_end(head: &str) -> Option<usize> {
+    let helper = {
+        let mut from = 0;
+        let mut found = None;
+        while let Some(p) = head[from..].find("lock(") {
+            let at = from + p;
+            from = at + 5;
+            let before = head[..at].chars().next_back();
+            if before.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                continue; // method call or suffix of another identifier
+            }
+            found = Some(at + 4); // index of the '('
+            break;
+        }
+        found
+    };
+    let method = head.find(".lock(").map(|p| p + 5);
+    let open = match (helper, method) {
+        (Some(a), Some(b)) => a.min(b),
+        (a, b) => a.or(b)?,
+    };
+    let mut depth = 0usize;
+    for (i, c) in head[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// After an acquisition expression, does the statement bind the guard
+/// itself? True when nothing (or only `.unwrap()`/`.expect(…)`
+/// wrappers) follows before the end of the head; any other method
+/// chain consumes the temporary guard within the statement.
+fn guard_bound_directly(rest: &str) -> bool {
+    let mut s = rest.trim_start();
+    loop {
+        if let Some(r) = s.strip_prefix(".unwrap()") {
+            s = r.trim_start();
+        } else if let Some(r) = s.strip_prefix(".expect(") {
+            let mut depth = 1usize;
+            let mut cut = None;
+            for (i, c) in r.char_indices() {
+                match c {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            cut = Some(i + 1);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            match cut {
+                Some(i) => s = r[i..].trim_start(),
+                None => return false,
+            }
+        } else {
+            break;
+        }
+    }
+    s.is_empty() || s == ";"
+}
+
+/// DFS cycle detection over the lock-order graph; every edge on a cycle
+/// is a finding at its acquisition site.
+fn lock_cycles(edges: &BTreeMap<(String, String), (String, usize)>, out: &mut Vec<Finding>) {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    // an edge (a, b) is cyclic iff b can reach a
+    for ((from, to), (file, line)) in edges {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![to.as_str()];
+        let mut cyclic = false;
+        while let Some(n) = stack.pop() {
+            if n == from {
+                cyclic = true;
+                break;
+            }
+            if seen.insert(n) {
+                if let Some(next) = adj.get(n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        if cyclic {
+            out.push(Finding {
+                lint: "lock-order",
+                file: file.clone(),
+                line: *line,
+                excerpt: format!(
+                    "`{to}` acquired while `{from}` is held, but the reverse order also exists — lock-order cycle (deadlock candidate)"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let cleaned: Vec<(String, CleanSource)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), CleanSource::new(s)))
+            .collect();
+        analyze_files(&cleaned)
+    }
+
+    fn lints<'a>(findings: &'a [Finding], lint: &str) -> Vec<&'a Finding> {
+        findings.iter().filter(|f| f.lint == lint).collect()
+    }
+
+    // ------------------------------------------------------- page-leak
+
+    #[test]
+    fn seeded_page_leak_is_detected() {
+        // the acceptance-criteria seed: an owned HeapFile live across `?`
+        let src = "\
+fn spill_all(disk: Arc<dyn Disk>, rs: &[Record]) -> Result<HeapFile, StorageError> {
+    let mut out = HeapFile::create(disk, 100)?;
+    let mut w = HeapWriter::new(&mut out);
+    for r in rs {
+        w.push(r)?;
+    }
+    w.finish()?;
+    Ok(out)
+}
+";
+        let hits = run(&[("crates/exec/src/seeded.rs", src)]);
+        let leaks = lints(&hits, "page-leak");
+        assert_eq!(leaks.len(), 1, "{hits:?}");
+        assert_eq!(leaks[0].line, 2, "reported at the allocation site");
+        assert!(leaks[0].excerpt.contains("`out`"));
+    }
+
+    #[test]
+    fn end_of_scope_drop_without_consumer_is_a_leak() {
+        let src = "\
+fn orphan(disk: Arc<dyn Disk>) -> Result<(), StorageError> {
+    let out = HeapFile::create(disk, 100);
+    Ok(())
+}
+";
+        let hits = run(&[("crates/storage/src/seeded.rs", src)]);
+        assert_eq!(lints(&hits, "page-leak").len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn temp_create_then_persist_then_return_is_clean() {
+        let src = "\
+fn load(disk: Arc<dyn Disk>) -> Result<HeapFile, StorageError> {
+    let mut heap = HeapFile::create_temp(disk, 100)?;
+    heap.append_all(records)?;
+    heap.persist();
+    Ok(heap)
+}
+";
+        let hits = run(&[("crates/core/src/planner.rs", src)]);
+        assert!(lints(&hits, "page-leak").is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn persist_too_early_re_arms_tracking() {
+        let src = "\
+fn eager(disk: Arc<dyn Disk>) -> Result<HeapFile, StorageError> {
+    let mut heap = HeapFile::create_temp(disk, 100)?;
+    heap.persist();
+    heap.append_all(records)?;
+    Ok(heap)
+}
+";
+        let hits = run(&[("crates/core/src/planner.rs", src)]);
+        assert_eq!(lints(&hits, "page-leak").len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn temp_files_are_raii_safe_and_untracked() {
+        let src = "\
+fn spill(disk: Arc<dyn Disk>) -> Result<HeapFile, StorageError> {
+    let mut run = HeapFile::create_temp(disk, 100)?;
+    run.append_all(records)?;
+    Ok(run)
+}
+";
+        let hits = run(&[("crates/core/src/external/spill.rs", src)]);
+        assert!(lints(&hits, "page-leak").is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn moving_into_a_consumer_resolves_tracking() {
+        let src = "\
+fn hand_off(disk: Arc<dyn Disk>) -> Result<(), StorageError> {
+    let out = HeapFile::create(disk, 100)?;
+    registry.adopt(out);
+    fallible()?;
+    Ok(())
+}
+";
+        let hits = run(&[("crates/exec/src/seeded.rs", src)]);
+        assert!(lints(&hits, "page-leak").is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn leak_inside_nested_block_scope() {
+        let src = "\
+fn branchy(disk: Arc<dyn Disk>, c: bool) -> Result<(), StorageError> {
+    if c {
+        let out = HeapFile::create(disk, 100)?;
+        out.append_all(records)?;
+    }
+    Ok(())
+}
+";
+        let hits = run(&[("crates/exec/src/seeded.rs", src)]);
+        assert_eq!(lints(&hits, "page-leak").len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn test_gated_code_is_not_leak_checked() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t(disk: Arc<dyn Disk>) -> Result<(), StorageError> {
+        let out = HeapFile::create(disk, 100)?;
+        other()?;
+        Ok(())
+    }
+}
+";
+        let hits = run(&[("crates/exec/src/seeded.rs", src)]);
+        assert!(lints(&hits, "page-leak").is_empty(), "{hits:?}");
+    }
+
+    // -------------------------------------------------- result-discard
+
+    #[test]
+    fn let_underscore_discard_of_typed_error_is_flagged() {
+        let src = "\
+fn flush_page(&mut self) -> Result<(), StorageError> { Ok(()) }
+fn sloppy(w: &mut W) {
+    let _ = w.flush_page();
+}
+";
+        let hits = run(&[("crates/storage/src/seeded.rs", src)]);
+        let d = lints(&hits, "result-discard");
+        assert_eq!(d.len(), 1, "{hits:?}");
+        assert!(d[0].excerpt.contains("flush_page"));
+    }
+
+    #[test]
+    fn ok_swallow_is_flagged_but_propagation_is_not() {
+        let src = "\
+fn flush_page(&mut self) -> Result<(), StorageError> { Ok(()) }
+fn swallows(w: &mut W) {
+    w.flush_page().ok();
+}
+fn propagates(w: &mut W) -> Result<(), StorageError> {
+    let _ = w.flush_page()?;
+    Ok(())
+}
+";
+        let hits = run(&[("crates/storage/src/seeded.rs", src)]);
+        let d = lints(&hits, "result-discard");
+        assert_eq!(d.len(), 1, "{hits:?}");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn drop_impls_may_discard_results() {
+        let src = "\
+fn flush_page(&mut self) -> Result<(), StorageError> { Ok(()) }
+impl Drop for HeapWriter {
+    fn drop(&mut self) {
+        let _ = self.flush_page();
+    }
+}
+";
+        let hits = run(&[("crates/storage/src/seeded.rs", src)]);
+        assert!(lints(&hits, "result-discard").is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn infallible_discards_are_fine() {
+        let src = "\
+fn observe(&self) -> usize { 1 }
+fn f(x: &X) {
+    let _ = x.observe();
+}
+";
+        let hits = run(&[("crates/exec/src/seeded.rs", src)]);
+        assert!(lints(&hits, "result-discard").is_empty(), "{hits:?}");
+    }
+
+    // --------------------------------------------------- hot-path-panic
+
+    #[test]
+    fn seeded_unwrap_in_hot_path_is_flagged() {
+        let src = "fn pull(&mut self) { self.child.next().unwrap(); }\n";
+        let hits = run(&[("crates/exec/src/seeded.rs", src)]);
+        let p = lints(&hits, "hot-path-panic");
+        assert_eq!(p.len(), 1, "{hits:?}");
+        assert_eq!(p[0].line, 1);
+        // identical code outside a hot path: no finding
+        let hits = run(&[("crates/core/src/algo.rs", src)]);
+        assert!(lints(&hits, "hot-path-panic").is_empty());
+    }
+
+    #[test]
+    fn panic_macro_and_expect_are_flagged() {
+        let src = "fn f() { g().expect(\"boom\"); panic!(\"no\"); }\n";
+        let hits = run(&[("crates/storage/src/seeded.rs", src)]);
+        let toks: Vec<_> = lints(&hits, "hot-path-panic")
+            .iter()
+            .map(|f| f.excerpt.clone())
+            .collect();
+        assert!(toks.contains(&".expect(".to_string()), "{hits:?}");
+        assert!(toks.contains(&"panic!(".to_string()), "{hits:?}");
+    }
+
+    #[test]
+    fn gated_statement_inside_live_fn_is_exempt() {
+        let src = "\
+fn hot(&mut self) {
+    work();
+    #[cfg(feature = \"check-invariants\")]
+    self.auditor.check().unwrap();
+    more();
+}
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); }
+}
+";
+        let hits = run(&[("crates/core/src/external/seeded.rs", src)]);
+        assert!(lints(&hits, "hot-path-panic").is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_cannot_fake_findings() {
+        let src = "fn f() { log(\"don't panic!(\"); } // .unwrap() in a comment\n";
+        let hits = run(&[("crates/exec/src/seeded.rs", src)]);
+        assert!(lints(&hits, "hot-path-panic").is_empty(), "{hits:?}");
+    }
+
+    // ------------------------------------------------------------ locks
+
+    #[test]
+    fn seeded_lock_order_inversion_is_detected() {
+        // the acceptance-criteria seed: AB in one function, BA in another
+        let src = "\
+fn transfer(&self) {
+    let a = lock(&self.accounts);
+    let b = lock(&self.audit_log);
+    a.push(b.len());
+}
+fn report(&self) {
+    let b = lock(&self.audit_log);
+    let a = lock(&self.accounts);
+    b.push(a.len());
+}
+";
+        let hits = run(&[("crates/storage/src/seeded.rs", src)]);
+        let cycles = lints(&hits, "lock-order");
+        assert_eq!(cycles.len(), 2, "both edges of the cycle: {hits:?}");
+        assert!(cycles.iter().any(|f| f.excerpt.contains("`audit_log`")));
+        assert!(cycles.iter().any(|f| f.excerpt.contains("`accounts`")));
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let src = "\
+fn one(&self) {
+    let a = lock(&self.accounts);
+    let b = lock(&self.audit_log);
+    a.push(b.len());
+}
+fn two(&self) {
+    let a = lock(&self.accounts);
+    let b = lock(&self.audit_log);
+    b.push(a.len());
+}
+";
+        let hits = run(&[("crates/storage/src/seeded.rs", src)]);
+        assert!(lints(&hits, "lock-order").is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn guard_held_across_disk_io_is_flagged() {
+        let src = "\
+fn write(&self, page: &Page) -> Result<(), StorageError> {
+    let mut files = lock(&self.files);
+    let f = files.get_mut(&id).unwrap();
+    f.write_all(page)?;
+    Ok(())
+}
+";
+        let hits = run(&[("crates/storage/src/seeded.rs", src)]);
+        let io = lints(&hits, "lock-across-io");
+        assert_eq!(io.len(), 1, "{hits:?}");
+        assert!(io[0].excerpt.contains("`files`"));
+    }
+
+    #[test]
+    fn dropping_the_guard_before_io_is_clean() {
+        let src = "\
+fn write(&self, page: &Page) -> Result<(), StorageError> {
+    let f = {
+        let files = lock(&self.files);
+        files.get(&id).cloned()
+    };
+    drop_placeholder();
+    f.write_all(page)?;
+    Ok(())
+}
+";
+        let hits = run(&[("crates/storage/src/seeded.rs", src)]);
+        assert!(lints(&hits, "lock-across-io").is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn collecting_through_a_lock_releases_the_guard() {
+        // `let v = lock(&x).values().collect();` binds the vector, not
+        // the guard — I/O on the next line is lock-free
+        let src = "\
+fn allocated_pages(&self) -> u64 {
+    let handles: Vec<Arc<File>> = lock(&self.files).values().cloned().collect();
+    handles.iter().map(|f| f.metadata().map_or(0, |m| m.len())).sum()
+}
+";
+        let hits = run(&[("crates/storage/src/seeded.rs", src)]);
+        assert!(lints(&hits, "lock-across-io").is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn method_lock_form_is_recognized() {
+        let src = "\
+fn nested(&self) {
+    let g = self.ledger.lock().unwrap();
+    let h = lock(&self.stats);
+    g.push(h.len());
+}
+fn inverse(&self) {
+    let h = lock(&self.stats);
+    let g = self.ledger.lock().unwrap();
+    h.push(g.len());
+}
+";
+        let hits = run(&[("crates/core/src/par.rs", src)]);
+        assert_eq!(lints(&hits, "lock-order").len(), 2, "{hits:?}");
+    }
+
+    #[test]
+    fn lock_without_io_or_nesting_is_clean() {
+        let src = "\
+fn bump(&self) {
+    let mut ledger = lock(&self.ledger);
+    ledger.used += 1;
+}
+";
+        let hits = run(&[("crates/storage/src/seeded.rs", src)]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    // -------------------------------------------------------- plumbing
+
+    #[test]
+    fn xtask_and_test_files_are_skipped() {
+        let leaky = "\
+fn t(disk: Arc<dyn Disk>) -> Result<(), StorageError> {
+    let out = HeapFile::create(disk, 100)?;
+    other()?;
+    Ok(())
+}
+";
+        assert!(run(&[("crates/xtask/src/seeded.rs", leaky)]).is_empty());
+        assert!(run(&[("tests/seeded.rs", leaky)]).is_empty());
+        assert!(run(&[("crates/storage/tests/seeded.rs", leaky)]).is_empty());
+    }
+
+    #[test]
+    fn acquisition_extraction_normalizes() {
+        assert_eq!(
+            acquisitions("let a = lock(&self.files);"),
+            vec!["files".to_string()]
+        );
+        assert_eq!(
+            acquisitions("let g = self.ledger.lock().unwrap();"),
+            vec!["ledger".to_string()]
+        );
+        assert!(acquisitions("unlock(&x); relock(&y);").is_empty());
+    }
+}

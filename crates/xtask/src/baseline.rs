@@ -55,7 +55,7 @@ pub fn parse(text: &str) -> Result<Counts, String> {
 pub fn render(counts: &Counts) -> String {
     let mut out = String::from(
         "# Allowed lint-finding counts per (lint, file) — the ratchet floor.\n\
-         # Regenerate (only ever downward!) with: cargo xtask lint --update-baseline\n",
+         # Regenerate (only ever downward!) with: cargo xtask analyze --update-baseline\n",
     );
     for ((lint, path), count) in counts {
         out.push_str(&format!("{lint}\t{path}\t{count}\n"));

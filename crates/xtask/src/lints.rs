@@ -1,18 +1,18 @@
-//! The three custom lints behind `cargo xtask lint`.
+//! The token-level lints behind `cargo xtask analyze`.
 //!
-//! 1. **hot-path-panic** — no `unwrap()`/`expect()`/`panic!`-family calls
-//!    in the operator hot paths (`crates/exec/src`,
-//!    `crates/core/src/external`, `crates/storage/src`). The skyline
-//!    operators are long-running pipelines over multi-pass temp files; an
-//!    abort there loses spilled work and poisons shared buffers. Typed
-//!    `ExecError`s exist for exactly this.
-//! 2. **raw-io** — no direct `std::fs` / `File` I/O outside
+//! 1. **raw-io** — no direct `std::fs` / `File` I/O outside
 //!    `crates/storage/src/disk.rs`, the one place where page I/O is
 //!    counted by `storage::io_stats`. The paper's experiments are judged
 //!    in page I/Os; a stray `File::open` is an unaccounted side channel.
-//! 3. **doc-sections** — public fallible APIs document their failure
+//! 2. **doc-sections** — public fallible APIs document their failure
 //!    modes: a `pub fn … -> Result<…>` needs an `# Errors` doc section, a
 //!    `pub fn` whose body can panic needs `# Panics`.
+//!
+//! These two are textual by nature (a token's mere presence is the
+//! finding), so they stay line-oriented. The dataflow lints — including
+//! the statement-accurate `hot-path-panic` that replaced the token
+//! version — live in [`crate::analyze`] and run over the parsed model of
+//! [`crate::model`].
 //!
 //! Lints run on cleaned source (see [`crate::scan`]) and skip
 //! `#[cfg(test)]` items and `check-invariants`-gated instrumentation
@@ -44,7 +44,8 @@ pub const HOT_PATHS: &[&str] = &[
 /// disk layer itself.
 pub const RAW_IO_ALLOWED: &[&str] = &["crates/storage/src/disk.rs"];
 
-const PANIC_TOKENS: &[&str] = &[
+/// The panic-family call tokens (shared with [`crate::analyze`]).
+pub const PANIC_TOKENS: &[&str] = &[
     ".unwrap()",
     ".expect(",
     "panic!(",
@@ -62,7 +63,7 @@ const RAW_IO_TOKENS: &[&str] = &[
 ];
 
 /// Attribute prefixes whose gated items the panic lints ignore.
-const EXEMPT_GATES: &[&str] = &[
+pub const EXEMPT_GATES: &[&str] = &[
     "#[cfg(test)]",
     "#[cfg(all(test",
     "#[test]",
@@ -76,7 +77,7 @@ fn under(path: &str, dirs: &[&str]) -> bool {
 
 /// `haystack` contains `tok` at an identifier boundary — so
 /// `File::create(` does not fire on `HeapFile::create(`.
-fn has_token(haystack: &str, tok: &str) -> bool {
+pub fn has_token(haystack: &str, tok: &str) -> bool {
     let mut from = 0;
     while let Some(p) = haystack[from..].find(tok) {
         let at = from + p;
@@ -100,9 +101,6 @@ pub fn lint_file(path: &str, cs: &CleanSource) -> Vec<Finding> {
         return out; // the linter itself: needs fs, prints, and panics in tests
     }
     let exempt = gated_regions(cs, EXEMPT_GATES);
-    if under(path, HOT_PATHS) {
-        token_lint(path, cs, &exempt, "hot-path-panic", PANIC_TOKENS, &mut out);
-    }
     if !under(path, RAW_IO_ALLOWED) {
         token_lint(path, cs, &exempt, "raw-io", RAW_IO_TOKENS, &mut out);
     }
@@ -256,51 +254,6 @@ mod tests {
 
     fn run(path: &str, src: &str) -> Vec<Finding> {
         lint_file(path, &CleanSource::new(src))
-    }
-
-    #[test]
-    fn seeded_unwrap_in_hot_path_is_flagged() {
-        let src = "fn pull(&mut self) { self.child.next().unwrap(); }\n";
-        let hits = run("crates/exec/src/seeded.rs", src);
-        assert!(
-            hits.iter()
-                .any(|f| f.lint == "hot-path-panic" && f.line == 1 && f.excerpt == ".unwrap()"),
-            "{hits:?}"
-        );
-        // identical code outside a hot path: no panic finding
-        assert!(run("crates/core/src/algo.rs", src)
-            .iter()
-            .all(|f| f.lint != "hot-path-panic"));
-    }
-
-    #[test]
-    fn panic_macro_and_expect_are_flagged() {
-        let src = "fn f() { g().expect(\"boom\"); panic!(\"no\"); }\n";
-        let hits = run("crates/storage/src/seeded.rs", src);
-        let lints: Vec<_> = hits.iter().map(|f| f.excerpt.as_str()).collect();
-        assert!(lints.contains(&".expect("));
-        assert!(lints.contains(&"panic!("));
-    }
-
-    #[test]
-    fn test_code_and_auditor_instrumentation_are_exempt() {
-        let src = "\
-#[cfg(feature = \"check-invariants\")]
-if broken { panic!(\"invariant violated\"); }
-#[cfg(test)]
-mod tests {
-    fn t() { x.unwrap(); }
-}
-";
-        let hits = run("crates/core/src/external/seeded.rs", src);
-        assert!(hits.iter().all(|f| f.lint != "hot-path-panic"), "{hits:?}");
-    }
-
-    #[test]
-    fn strings_and_comments_cannot_fake_findings() {
-        let src = "fn f() { log(\"don't panic!(\"); } // .unwrap() in a comment\n";
-        let hits = run("crates/exec/src/seeded.rs", src);
-        assert!(hits.iter().all(|f| f.lint != "hot-path-panic"), "{hits:?}");
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! `cargo xtask` — repo automation gate.
 //!
 //! Subcommands:
-//! * `lint [--update-baseline]` — the custom source lints of
-//!   [`lints`], ratcheted against `lint-baseline.txt`.
+//! * `analyze [--update-baseline] [--sarif PATH]` — the full static
+//!   pass: the token lints of [`lints`] plus the dataflow lints of
+//!   [`analyze`] over the parsed model of [`model`], ratcheted against
+//!   `lint-baseline.txt`; `--sarif` additionally writes a SARIF 2.1.0
+//!   report for CI code-scanning annotations.
+//! * `lint` — alias for `analyze` (the historical name).
 //! * `audit` — run the crates under the `check-invariants` feature so
 //!   the dominance auditors watch every operator test.
 //! * `oracle` — the differential gate of [`oracle`]: every algorithm
 //!   against the naive O(n²) oracle across the paper's workload grid.
 //! * `check` — all of the above; the CI entry point.
 
+mod analyze;
 mod baseline;
 mod lints;
+mod model;
 mod oracle;
+mod sarif;
 mod scan;
 
 use std::path::{Path, PathBuf};
@@ -55,12 +62,22 @@ fn source_files(root: &Path) -> Vec<String> {
     out
 }
 
-fn run_lints(root: &Path, update_baseline: bool) -> Result<(), String> {
-    let mut findings = Vec::new();
+fn run_analysis(root: &Path, update_baseline: bool, sarif_out: Option<&str>) -> Result<(), String> {
+    let mut cleaned = Vec::new();
     for rel in source_files(root) {
         let src =
             std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("read {rel}: {e}"))?;
-        findings.extend(lints::lint_file(&rel, &scan::CleanSource::new(&src)));
+        cleaned.push((rel, scan::CleanSource::new(&src)));
+    }
+    let mut findings = Vec::new();
+    for (rel, cs) in &cleaned {
+        findings.extend(lints::lint_file(rel, cs));
+    }
+    findings.extend(analyze::analyze_files(&cleaned));
+    if let Some(path) = sarif_out {
+        std::fs::write(root.join(path), sarif::render(&findings))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("analyze: SARIF report written to {path}");
     }
     let current = baseline::counts_of(&findings);
     let baseline_path = root.join(BASELINE_FILE);
@@ -69,7 +86,7 @@ fn run_lints(root: &Path, update_baseline: bool) -> Result<(), String> {
         std::fs::write(&baseline_path, baseline::render(&current))
             .map_err(|e| format!("write {BASELINE_FILE}: {e}"))?;
         println!(
-            "lint: baseline rewritten with {} findings across {} (lint, file) pairs",
+            "analyze: baseline rewritten with {} findings across {} (lint, file) pairs",
             findings.len(),
             current.len()
         );
@@ -82,22 +99,22 @@ fn run_lints(root: &Path, update_baseline: bool) -> Result<(), String> {
 
     for d in &improvements {
         println!(
-            "lint: {}:{} improved {} → {} — ratchet down with `cargo xtask lint --update-baseline`",
+            "analyze: {}:{} improved {} → {} — ratchet down with `cargo xtask analyze --update-baseline`",
             d.lint, d.file, d.allowed, d.current
         );
     }
     if regressions.is_empty() {
         println!(
-            "lint: ok — {} findings, all within the ratchet ({} files scanned)",
+            "analyze: ok — {} findings, all within the ratchet ({} files scanned)",
             findings.len(),
-            source_files(root).len()
+            cleaned.len()
         );
         return Ok(());
     }
     let mut msg = String::new();
     for d in &regressions {
         msg.push_str(&format!(
-            "lint regression: {} in {} — {} findings, baseline allows {}\n",
+            "analyze regression: {} in {} — {} findings, baseline allows {}\n",
             d.lint, d.file, d.current, d.allowed
         ));
         for f in findings
@@ -108,7 +125,7 @@ fn run_lints(root: &Path, update_baseline: bool) -> Result<(), String> {
         }
     }
     msg.push_str(
-        "fix the new findings (or, for accepted debt, run `cargo xtask lint --update-baseline`)",
+        "fix the new findings (or, for accepted debt, run `cargo xtask analyze --update-baseline`)",
     );
     Err(msg)
 }
@@ -165,18 +182,24 @@ fn run_oracle() -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: cargo xtask <check|lint|audit|oracle> [--update-baseline]".to_string()
+    "usage: cargo xtask <check|analyze|lint|audit|oracle> [--update-baseline] [--sarif PATH]"
+        .to_string()
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let root = workspace_root();
     let update = args.iter().any(|a| a == "--update-baseline");
+    let sarif = args
+        .iter()
+        .position(|a| a == "--sarif")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
     let result = match args.first().map(String::as_str) {
-        Some("lint") => run_lints(&root, update),
+        Some("analyze") | Some("lint") => run_analysis(&root, update, sarif),
         Some("audit") => run_audit(&root),
         Some("oracle") => run_oracle(),
-        Some("check") => run_lints(&root, false)
+        Some("check") => run_analysis(&root, false, sarif)
             .and_then(|()| run_audit(&root))
             .and_then(|()| run_oracle()),
         _ => Err(usage()),

@@ -285,3 +285,62 @@ fn cardinality_model_tracks_measured_sizes() {
     let ratio = expected_skyline_size(1_000_000, 6) / asymptotic_skyline_size(1_000_000, 6);
     assert!((0.3..5.0).contains(&ratio));
 }
+
+/// Sort row indices descending by `scorer`, assert no row is dominated
+/// by a row sorted after it — the Theorems 6/7 topological property.
+fn assert_descending_score_order_is_topological(km: &KeyMatrix, scorer: &dyn MonotoneScore) {
+    let mut order: Vec<usize> = (0..km.n()).collect();
+    order.sort_by(|&a, &b| {
+        scorer
+            .score(km.row(b))
+            .partial_cmp(&scorer.score(km.row(a)))
+            .expect("scores are never NaN")
+    });
+    for (pos_a, &a) in order.iter().enumerate() {
+        for &b in &order[pos_a + 1..] {
+            assert!(
+                !dominates(km.row(b), km.row(a)),
+                "later row {b} {:?} dominates earlier row {a} {:?}",
+                km.row(b),
+                km.row(a)
+            );
+        }
+    }
+}
+
+/// Theorems 6/7 over *random* monotone scoring functions, not just the
+/// built-in orders: any strictly monotone scoring — random positive
+/// linear weights, random per-dimension increasing compositions, or the
+/// entropy `E(t) = Σ ln(v̄ᵢ + 1)` — sorts every relation into a
+/// topological order of dominance.
+#[test]
+fn theorems6_7_random_monotone_scorings_are_topological() {
+    use skyline::core::score::ComposedScore;
+    cases(60, 0x7E67, |rng| {
+        let (d, data) = matrix(rng);
+        let km = KeyMatrix::new(d, data);
+
+        let weights: Vec<f64> = (0..d).map(|_| 0.01 + 9.99 * rng.f64()).collect();
+        assert_descending_score_order_is_topological(&km, &LinearScore::new(weights));
+
+        // per-dimension strictly increasing functions drawn from a
+        // family covering convex, concave, bounded, and affine shapes
+        let fns: Vec<Box<dyn Fn(f64) -> f64 + Send + Sync>> = (0..d)
+            .map(|_| {
+                let a = 0.1 + 5.0 * rng.f64();
+                let b = -3.0 + 6.0 * rng.f64();
+                let f: Box<dyn Fn(f64) -> f64 + Send + Sync> = match rng.usize_below(4) {
+                    0 => Box::new(move |x| a * x + b),
+                    1 => Box::new(move |x| a * x.atan() + b),
+                    2 => Box::new(move |x| a * (x * x * x + x) + b),
+                    // keys live in [-5, 5]; shift keeps the log defined
+                    _ => Box::new(move |x| a * (x + 6.0).ln() + b),
+                };
+                f
+            })
+            .collect();
+        assert_descending_score_order_is_topological(&km, &ComposedScore::new(fns));
+
+        assert_descending_score_order_is_topological(&km, &EntropyScore::from_keys(km.data(), d));
+    });
+}
