@@ -1,0 +1,102 @@
+//! The parallel-SFS perf gate: run the seed-2003 thread grid and write
+//! the JSON report the regression gate (`cargo xtask bench --gate`)
+//! diffs against the committed `BENCH_pr4.json`.
+//!
+//! ```text
+//! bench_gate [--smoke] [--out PATH]
+//! ```
+//!
+//! Default runs both the `full` (n=100k, d=7, threads 1/2/4) and `smoke`
+//! (n=20k, threads 1/2) sections and enforces the 1.5× speedup gate on
+//! `full`; `--smoke` runs only the small section (CI), where only the
+//! structural checks (identical skylines, exact metric aggregation)
+//! apply. `--out` defaults to `BENCH_pr4.json` in the current directory.
+
+use skyline_bench::gate::{report_json, run_section, GateSection, FULL, SMOKE};
+use skyline_bench::{ms, save_text, ReportTable};
+use std::process::ExitCode;
+
+fn print_section(s: &GateSection) {
+    let mut t = ReportTable::new(
+        format!(
+            "gate `{}`: n={} d={} window={}p (cores={})",
+            s.spec.label, s.spec.n, s.spec.d, s.spec.window_pages, s.cores
+        ),
+        &[
+            "threads",
+            "sort",
+            "filter",
+            "comparisons",
+            "critical-path",
+            "extra pages",
+            "skyline",
+            "speedup wall",
+            "speedup model",
+        ],
+    );
+    for r in &s.runs {
+        t.row(vec![
+            r.threads.to_string(),
+            ms(r.sort_ms),
+            ms(r.filter_ms),
+            r.comparisons.to_string(),
+            r.critical_path.to_string(),
+            r.extra_pages.to_string(),
+            r.skyline.to_string(),
+            format!("{:.2}x", s.speedup_wall(r.threads).unwrap_or(0.0)),
+            format!("{:.2}x", s.speedup_model(r.threads).unwrap_or(0.0)),
+        ]);
+    }
+    t.print();
+}
+
+fn main() -> ExitCode {
+    let mut smoke_only = false;
+    let mut out = String::from("BENCH_pr4.json");
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke_only = true;
+                i += 1;
+            }
+            "--out" => {
+                out = args
+                    .get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("--out PATH"));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other} (use --smoke --out PATH)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let specs = if smoke_only {
+        vec![SMOKE]
+    } else {
+        vec![FULL, SMOKE]
+    };
+    let mut sections = Vec::new();
+    for spec in &specs {
+        let s = run_section(spec);
+        print_section(&s);
+        // the 1.5× acceptance gate applies to the full grid only; smoke
+        // still gets the structural checks
+        if let Err(e) = s.validate(spec.label == "full", 1.5) {
+            eprintln!("bench gate FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        sections.push(s);
+    }
+    let json = report_json(&sections);
+    if let Err(e) = save_text(&out, &json) {
+        eprintln!("bench gate: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench gate: report written to {out}");
+    ExitCode::SUCCESS
+}

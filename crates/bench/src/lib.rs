@@ -15,6 +15,7 @@
 //! (who wins, where lines flatten or cross) are scale-stable.
 
 pub mod crit;
+pub mod gate;
 pub mod harness;
 pub mod report;
 pub mod sweeps;

@@ -84,6 +84,15 @@ impl ReportTable {
     }
 }
 
+/// Write `contents` to `path` verbatim — the saving side of every
+/// bench report (JSON baselines, rendered tables).
+///
+/// # Errors
+/// I/O errors creating or writing the file.
+pub fn save_text(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
+    fs::write(path.as_ref(), contents)
+}
+
 /// Format milliseconds compactly.
 pub fn ms(v: f64) -> String {
     if v >= 1000.0 {

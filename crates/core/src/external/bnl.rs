@@ -149,6 +149,7 @@ impl Bnl {
                 Some(r) => {
                     self.cur.clear();
                     self.cur.extend_from_slice(r);
+                    self.metrics.add_input();
                     Ok(true)
                 }
                 None => Ok(false),

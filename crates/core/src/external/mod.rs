@@ -4,9 +4,11 @@
 
 mod bnl;
 mod common;
+mod par_filter;
 mod sfs;
 mod winnow_op;
 
 pub use bnl::Bnl;
+pub use par_filter::{parallel_sfs_filter, ParFilterOutcome};
 pub use sfs::{Sfs, SfsConfig};
 pub use winnow_op::WinnowOp;

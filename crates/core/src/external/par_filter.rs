@@ -1,0 +1,870 @@
+//! Partitioned parallel SFS filter phase.
+//!
+//! Correctness rests on three facts (DESIGN.md §11):
+//!
+//! 1. **Strided strata stay presorted.** Worker `w` of `t` filters the
+//!    records at positions `≡ w (mod t)` of the presorted input. A
+//!    subsequence of a monotone-score-ordered file is itself so ordered,
+//!    hence Theorem 6/7 holds *inside each stratum* and the local SFS
+//!    window is provably correct per stratum. Round-robin (not
+//!    contiguous ranges!) also makes every stratum a stratified sample
+//!    of the whole file: a contiguous tail range of a presorted file
+//!    concentrates exactly the records whose dominators live in earlier
+//!    ranges, and measurement shows its "local skyline" then explodes to
+//!    tens of times the true skyline, burying any parallel speedup.
+//! 2. **The union is a sufficient candidate set.** For any partition
+//!    `R = R₁ ∪ … ∪ R_t`, `sky(R) = sky(sky(R₁) ∪ … ∪ sky(R_t))`: a
+//!    dominated record has, by transitivity along strictly increasing
+//!    scores, a dominator that is locally undominated in its own
+//!    stratum. Every true skyline record survives its stratum, so the
+//!    union of local skylines contains the skyline exactly.
+//! 3. **Prefix checks parallelize the winnow.** Order the union `U` by
+//!    any *strictly* monotone score (we use the oriented key sum —
+//!    Theorem 4's positive linear scoring, no statistics needed),
+//!    descending. A dominator has a strictly greater score, so every
+//!    dominator of `u` precedes `u`; `u ∈ sky(U)` iff no entry before it
+//!    dominates it. Each entry's verdict depends only on the *read-only*
+//!    sorted prefix — never on other verdicts (testing against a
+//!    dominated entry is sound: its own dominator dominates transitively)
+//!    — so the verdicts are embarrassingly parallel *and* deterministic.
+//!    This matters: in high-skyline workloads the mutual verification of
+//!    skyline records against each other is the dominant comparison mass
+//!    (they are discarded by nothing and scan everything), and a
+//!    sequential winnow would serialize precisely that mass.
+//!
+//! The merge holds only projected entries — `d` oriented keys, the score,
+//! and the record's provenance — in memory (the §4.3 projection idea
+//! applied to the winnow), bounded by [`super::SfsConfig::merge_pages`].
+//! Should even the projected union exceed the arena, the merge falls back
+//! to the external, order-agnostic BNL winnow over the concatenated local
+//! skylines (local multipass SFS output is not globally score-ordered, so
+//! the fallback must not assume the presort contract).
+
+use super::{Bnl, Sfs, SfsConfig};
+use crate::dominance::{dominates, SkylineSpec};
+use crate::metrics::{MetricsSnapshot, SkylineMetrics};
+use crate::par::panic_message;
+use skyline_exec::sort::effective_threads;
+use skyline_exec::{BoxedOperator, CancelToken, ChainScan, ExecError, Operator, StridedHeapScan};
+use skyline_relation::RecordLayout;
+use skyline_storage::{BufferLease, BufferPool, Disk, HeapFile, PAGE_SIZE};
+use std::sync::Arc;
+
+/// Everything the partitioned filter produced, with per-stage metrics so
+/// callers (and the conservation tests) can check the aggregate exactly.
+pub struct ParFilterOutcome {
+    /// The skyline, materialized (persisted — caller owns its lifetime).
+    pub skyline: HeapFile,
+    /// Per-worker metrics snapshots, in stratum order.
+    pub worker_metrics: Vec<MetricsSnapshot>,
+    /// Metrics of the cross-stratum winnow: the sum of
+    /// [`ParFilterOutcome::merge_worker_metrics`] for the in-memory
+    /// merge, the BNL's own counters for the external fallback, zero when
+    /// a single stratum ran and no merge was needed.
+    pub merge_metrics: MetricsSnapshot,
+    /// Per-verifier snapshots of the in-memory parallel merge (empty for
+    /// the external fallback and for `threads == 1`). The *critical path*
+    /// of the whole phase is `max(worker) + max(merge_worker)`
+    /// comparisons — the quantity the bench gate's model speedup uses.
+    pub merge_worker_metrics: Vec<MetricsSnapshot>,
+    /// Strata actually used (1 when the config forced sequential).
+    pub threads: usize,
+    /// Records per stratum, in stratum order.
+    pub stratum_sizes: Vec<u64>,
+    /// Whether the cross-stratum winnow ran as the in-memory parallel
+    /// prefix merge (`true`) or the external BNL fallback (`false`).
+    /// `true` (vacuously) when a single stratum ran.
+    pub merged_in_memory: bool,
+}
+
+/// Records per stratum under round-robin assignment of `n` records to
+/// `t` strata: stratum `w` gets positions `w, w+t, w+2t, …`.
+fn stratum_sizes(n: u64, t: usize) -> Vec<u64> {
+    let t64 = t as u64;
+    (0..t64).map(|w| n / t64 + u64::from(w < n % t64)).collect()
+}
+
+/// One worker's job: local SFS over stratum `offset` of `stride`,
+/// materialized into a temp heap (self-deleting on drop/unwind).
+fn local_skyline(
+    sorted: &Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: &SkylineSpec,
+    cfg: SfsConfig,
+    offset: u64,
+    stride: u64,
+    disk: &Arc<dyn Disk>,
+    cancel: Option<CancelToken>,
+) -> Result<(HeapFile, MetricsSnapshot), ExecError> {
+    let metrics = SkylineMetrics::shared();
+    let scan: BoxedOperator = Box::new(StridedHeapScan::new(Arc::clone(sorted), offset, stride));
+    let mut sfs = Sfs::new(
+        scan,
+        layout,
+        spec.clone(),
+        cfg,
+        Arc::clone(disk),
+        Arc::clone(&metrics),
+    )?;
+    if let Some(token) = cancel {
+        sfs = sfs.with_cancel(token);
+    }
+    let mut out = HeapFile::create_temp(Arc::clone(disk), layout.record_size())?;
+    sfs.open()?;
+    {
+        let mut w = out.writer()?;
+        while let Some(r) = sfs.next()? {
+            w.push(r)?;
+        }
+        w.finish()?;
+    }
+    sfs.close();
+    Ok((out, metrics.snapshot()))
+}
+
+/// A projected union entry: where the record lives and what it scores.
+/// The oriented keys themselves live in one flat side array.
+struct UnionEntry {
+    /// Oriented key sum — strictly monotone (Theorem 4), so dominators
+    /// sort strictly earlier. Finite: keys come from `i32` attributes.
+    score: f64,
+    /// Index into the flat key array (`key_idx * dims ..`).
+    key_idx: u32,
+    /// Which local skyline heap holds the record.
+    local: u32,
+    /// Record position within that heap.
+    pos: u64,
+}
+
+/// Check `cancel` and fail with the number of merge entries settled.
+fn check_cancel(cancel: Option<&CancelToken>, processed: u64) -> Result<(), ExecError> {
+    match cancel {
+        Some(t) if t.is_cancelled() => Err(ExecError::Cancelled {
+            records_processed: processed,
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// The in-memory parallel prefix merge: sort projected entries by score
+/// descending, verify each strided subset of entries against its prefix
+/// on its own thread, then re-read surviving records from the local
+/// heaps. Returns the skyline heap and per-verifier snapshots.
+#[allow(clippy::too_many_arguments)]
+fn prefix_merge(
+    locals: &[Arc<HeapFile>],
+    layout: RecordLayout,
+    spec: &SkylineSpec,
+    t: usize,
+    disk: &Arc<dyn Disk>,
+    cancel: Option<&CancelToken>,
+) -> Result<(HeapFile, Vec<MetricsSnapshot>), ExecError> {
+    let dims = spec.dims();
+
+    // Build the projected union: keys + provenance, no record payloads.
+    let union_len: usize = locals.iter().map(|h| h.len() as usize).sum();
+    let mut keys: Vec<f64> = Vec::with_capacity(union_len * dims);
+    let mut entries: Vec<UnionEntry> = Vec::with_capacity(union_len);
+    let mut key = Vec::with_capacity(dims);
+    for (w, local) in locals.iter().enumerate() {
+        let mut scan = local.scan();
+        let mut pos = 0u64;
+        while let Some(r) = scan.next_record()? {
+            spec.key_of(&layout, r, &mut key);
+            entries.push(UnionEntry {
+                score: key.iter().sum(),
+                key_idx: u32::try_from(entries.len())
+                    .map_err(|_| ExecError::Config("union too large for merge index".into()))?,
+                local: w as u32,
+                pos,
+            });
+            keys.extend_from_slice(&key);
+            pos += 1;
+        }
+    }
+    // Deterministic total order: score descending, provenance breaks
+    // ties. Equal-score entries cannot dominate each other (strict
+    // monotonicity), so tie order is correctness-neutral.
+    entries.sort_unstable_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then(a.local.cmp(&b.local))
+            .then(a.pos.cmp(&b.pos))
+    });
+
+    // Parallel verify: worker w settles entries w, w+t, … of the sorted
+    // order against the shared read-only prefix.
+    let key_of = |e: &UnionEntry| &keys[e.key_idx as usize * dims..][..dims];
+    let verify = |w: usize| -> Result<(Vec<usize>, MetricsSnapshot), ExecError> {
+        let metrics = SkylineMetrics::shared();
+        metrics.add_pass();
+        let mut alive = Vec::new();
+        let mut comparisons = 0u64;
+        for (settled, i) in (w..entries.len()).step_by(t).enumerate() {
+            if settled.is_multiple_of(512) {
+                check_cancel(cancel, settled as u64)?;
+            }
+            metrics.add_input();
+            let me = key_of(&entries[i]);
+            let mut dominated = false;
+            for earlier in &entries[..i] {
+                comparisons += 1;
+                if dominates(key_of(earlier), me) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if dominated {
+                metrics.add_discarded();
+            } else {
+                metrics.add_emitted();
+                alive.push(i);
+            }
+        }
+        metrics.add_comparisons(comparisons);
+        Ok((alive, metrics.snapshot()))
+    };
+    let slots = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..t).map(|w| s.spawn(move || verify(w))).collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().map_err(|payload| ExecError::Worker {
+                    message: panic_message(&payload),
+                })
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut survivors: Vec<usize> = Vec::new();
+    let mut merge_metrics = Vec::with_capacity(t);
+    let mut failure: Option<ExecError> = None;
+    for slot in slots {
+        match slot {
+            Ok(Ok((alive, snap))) => {
+                survivors.extend(alive);
+                merge_metrics.push(snap);
+            }
+            Ok(Err(e)) | Err(e) => {
+                if failure.is_none() {
+                    failure = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+
+    // Emission: re-read each local heap once, in stratum order, writing
+    // its surviving records in position order — deterministic and one
+    // sequential scan per local.
+    let mut by_local: Vec<Vec<u64>> = vec![Vec::new(); locals.len()];
+    for &i in &survivors {
+        let e = &entries[i];
+        by_local[e.local as usize].push(e.pos);
+    }
+    let mut out = HeapFile::create_temp(Arc::clone(disk), layout.record_size())?;
+    {
+        let mut writer = out.writer()?;
+        for (local, wanted) in locals.iter().zip(&mut by_local) {
+            wanted.sort_unstable();
+            let mut next = wanted.iter().copied().peekable();
+            let mut scan = local.scan();
+            let mut pos = 0u64;
+            while let Some(r) = scan.next_record()? {
+                if next.peek() == Some(&pos) {
+                    writer.push(r)?;
+                    next.next();
+                }
+                pos += 1;
+            }
+        }
+        writer.finish()?;
+    }
+    Ok((out, merge_metrics))
+}
+
+/// The filter phase of external SFS, partitioned across `threads` worker
+/// threads (0 = one per available core).
+///
+/// `sorted` must be presorted consistently with `spec` (the output of
+/// [`crate::planner::presort`]). Each worker runs a local SFS window of
+/// `cfg.window_pages / threads` pages (min 1) over its round-robin
+/// stratum; the union of local skylines is then winnowed by the parallel
+/// in-memory prefix merge (or, if its projected entries exceed
+/// `cfg.merge_pages`, by a sequential external BNL). When `pool` is
+/// given, the per-worker windows and then the merge arena are reserved
+/// from it, so the whole phase stays inside one admission-controlled
+/// budget; a merge arena the pool cannot grant demotes the merge to the
+/// external fallback (whose window reservation must then succeed).
+///
+/// Configs the partitioned merge cannot express run on a single
+/// stratum instead (exactly sequential SFS): DIFF groups and
+/// `collect_rest` (strata), which the order-agnostic merge would break.
+/// With one stratum no merge runs, so metrics equal sequential SFS
+/// *exactly* — the `threads=1` differential baseline.
+///
+/// All worker and merge counters are folded into `metrics`; the returned
+/// [`ParFilterOutcome`] carries the per-stage snapshots, which sum to the
+/// aggregate (checked by `tests/metrics_conservation.rs`).
+///
+/// # Errors
+/// Worker storage/cancel errors propagate (first one wins); a worker
+/// panic surfaces as [`ExecError::Worker`]; [`ExecError::Buffer`] when
+/// `pool` cannot satisfy the mandatory reservations.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_sfs_filter(
+    sorted: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    cfg: SfsConfig,
+    threads: usize,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+    pool: Option<&BufferPool>,
+    cancel: Option<CancelToken>,
+) -> Result<ParFilterOutcome, ExecError> {
+    let mut t = effective_threads(threads);
+    if !spec.diff.is_empty() || cfg.collect_rest {
+        t = 1;
+    }
+    let sizes = stratum_sizes(sorted.len(), t);
+
+    // Per-worker budget: an equal share of the configured window.
+    let worker_pages = (cfg.window_pages / t).max(1);
+    let worker_cfg = SfsConfig {
+        window_pages: worker_pages,
+        collect_rest: false,
+        ..cfg
+    };
+    let worker_leases: Vec<BufferLease> = match pool {
+        Some(pool) => (0..t)
+            .map(|_| pool.reserve(worker_pages))
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+
+    let mut failure: Option<ExecError> = None;
+    let mut locals: Vec<Arc<HeapFile>> = Vec::with_capacity(t);
+    let mut worker_metrics: Vec<MetricsSnapshot> = Vec::with_capacity(t);
+    if t == 1 {
+        // Single stratum on the calling thread: no merge, no thread
+        // overhead — bit-for-bit the sequential filter, full window,
+        // original config (DIFF / rest collection included).
+        match local_skyline(&sorted, layout, &spec, cfg, 0, 1, &disk, cancel.clone()) {
+            Ok((heap, snap)) => {
+                locals.push(Arc::new(heap));
+                worker_metrics.push(snap);
+            }
+            Err(e) => failure = Some(e),
+        }
+    } else {
+        let slots = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..t as u64)
+                .map(|offset| {
+                    let sorted = &sorted;
+                    let spec = &spec;
+                    let disk = &disk;
+                    let cancel = cancel.clone();
+                    s.spawn(move || {
+                        local_skyline(
+                            sorted, layout, spec, worker_cfg, offset, t as u64, disk, cancel,
+                        )
+                    })
+                })
+                .collect();
+            let mut slots = Vec::with_capacity(t);
+            for h in handles {
+                slots.push(h.join().map_err(|payload| ExecError::Worker {
+                    message: panic_message(&payload),
+                }));
+            }
+            slots
+        });
+        for slot in slots {
+            match slot {
+                Ok(Ok((heap, snap))) => {
+                    locals.push(Arc::new(heap));
+                    worker_metrics.push(snap);
+                }
+                Ok(Err(e)) | Err(e) => {
+                    if failure.is_none() {
+                        failure = Some(e);
+                    }
+                }
+            }
+        }
+    }
+    drop(worker_leases);
+    if let Some(e) = failure {
+        return Err(e); // local temp heaps self-delete on drop
+    }
+
+    let mut merged_in_memory = true;
+    let mut merge_worker_metrics: Vec<MetricsSnapshot> = Vec::new();
+    let (mut skyline, merge_snapshot) = if t == 1 {
+        // swap_remove is fine: locals has exactly one element
+        let only = locals.swap_remove(0);
+        let heap = Arc::into_inner(only).ok_or(ExecError::Protocol(
+            "local skyline still shared after filter",
+        ))?;
+        (heap, MetricsSnapshot::default())
+    } else {
+        // Does the projected union fit the in-memory merge arena? Keys,
+        // score, and provenance per entry — an estimate, deliberately on
+        // the generous side of the true allocation.
+        let union_len: u64 = locals.iter().map(|h| h.len()).sum();
+        let entry_bytes = (spec.dims() * 8 + 24) as u64;
+        let arena_pages = usize::try_from((union_len * entry_bytes).div_ceil(PAGE_SIZE as u64))
+            .unwrap_or(usize::MAX)
+            .max(1);
+        let mut in_memory = arena_pages <= cfg.merge_pages;
+        let mut merge_lease: Option<BufferLease> = None;
+        if in_memory {
+            if let Some(pool) = pool {
+                match pool.reserve(arena_pages) {
+                    Ok(lease) => merge_lease = Some(lease),
+                    Err(_) => in_memory = false, // demote, don't fail
+                }
+            }
+        }
+        if in_memory {
+            let (out, snaps) = prefix_merge(&locals, layout, &spec, t, &disk, cancel.as_ref())?;
+            let total = snaps
+                .iter()
+                .fold(MetricsSnapshot::default(), |acc, s| acc.plus(s));
+            merge_worker_metrics = snaps;
+            (out, total)
+        } else {
+            merged_in_memory = false;
+            let _fallback_lease = match pool {
+                Some(pool) => Some(pool.reserve(cfg.window_pages)?),
+                None => None,
+            };
+            drop(merge_lease);
+            let merge_metrics = SkylineMetrics::shared();
+            let chain: BoxedOperator = Box::new(ChainScan::new(locals));
+            let mut winnow = Bnl::new(
+                chain,
+                layout,
+                spec,
+                cfg.window_pages,
+                Arc::clone(&disk),
+                Arc::clone(&merge_metrics),
+            )?;
+            if let Some(token) = cancel {
+                winnow = winnow.with_cancel(token);
+            }
+            let mut out = HeapFile::create_temp(Arc::clone(&disk), layout.record_size())?;
+            winnow.open()?;
+            {
+                let mut w = out.writer()?;
+                while let Some(r) = winnow.next()? {
+                    w.push(r)?;
+                }
+                w.finish()?;
+            }
+            winnow.close();
+            (out, merge_metrics.snapshot())
+        }
+    };
+    skyline.persist();
+
+    for snap in &worker_metrics {
+        metrics.absorb(snap);
+    }
+    metrics.absorb(&merge_snapshot);
+    Ok(ParFilterOutcome {
+        skyline,
+        worker_metrics,
+        merge_metrics: merge_snapshot,
+        merge_worker_metrics,
+        threads: t,
+        stratum_sizes: sizes,
+        merged_in_memory,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{entropy_stats_of, load_heap, presort, sfs_filter};
+    use crate::score::SortOrder;
+    use skyline_exec::collect;
+    use skyline_relation::gen::WorkloadSpec;
+    use skyline_storage::MemDisk;
+
+    fn sorted_fixture(
+        n: usize,
+        seed: u64,
+        d: usize,
+    ) -> (Arc<HeapFile>, RecordLayout, SkylineSpec, Arc<MemDisk>) {
+        let w = WorkloadSpec::paper(n, seed);
+        let records = w.generate();
+        let layout = w.layout;
+        let spec = SkylineSpec::max_all(d);
+        let disk = MemDisk::shared();
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as _,
+                layout.record_size(),
+                records.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
+        let stats = entropy_stats_of(&heap, &layout, &spec).unwrap();
+        let sorted = presort(
+            heap,
+            layout,
+            spec.clone(),
+            SortOrder::Entropy,
+            Some(stats),
+            50,
+            Arc::clone(&disk) as _,
+        )
+        .unwrap();
+        (Arc::new(sorted), layout, spec, disk)
+    }
+
+    fn value_set(heap: &HeapFile, layout: &RecordLayout, d: usize) -> Vec<Vec<i32>> {
+        let mut rows: Vec<Vec<i32>> = heap
+            .read_all()
+            .unwrap()
+            .iter()
+            .map(|r| layout.decode_attrs(r)[..d].to_vec())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn stratum_sizes_balance_and_tile() {
+        for (n, t) in [(0u64, 3), (1, 4), (10, 3), (100, 7), (5, 5)] {
+            let sizes = stratum_sizes(n, t);
+            assert_eq!(sizes.len(), t);
+            assert_eq!(sizes.iter().sum::<u64>(), n, "strata must tile");
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            assert!(max - min <= 1, "balanced to within one record");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_across_thread_counts() {
+        let d = 5;
+        let (sorted, layout, spec, disk) = sorted_fixture(3_000, 11, d);
+        let cfg = SfsConfig::new(4).with_projection();
+        let mut seq = sfs_filter(
+            Arc::clone(&sorted),
+            layout,
+            spec.clone(),
+            cfg,
+            Arc::clone(&disk) as _,
+            SkylineMetrics::shared(),
+        )
+        .unwrap();
+        let mut expect: Vec<Vec<i32>> = collect(&mut seq)
+            .unwrap()
+            .iter()
+            .map(|r| layout.decode_attrs(r)[..d].to_vec())
+            .collect();
+        expect.sort();
+
+        let before = disk.allocated_pages();
+        for threads in [1usize, 2, 3, 4, 0] {
+            let metrics = SkylineMetrics::shared();
+            let outcome = parallel_sfs_filter(
+                Arc::clone(&sorted),
+                layout,
+                spec.clone(),
+                cfg,
+                threads,
+                Arc::clone(&disk) as _,
+                Arc::clone(&metrics),
+                None,
+                None,
+            )
+            .unwrap();
+            assert_eq!(
+                value_set(&outcome.skyline, &layout, d),
+                expect,
+                "threads={threads}"
+            );
+            // exact aggregation: caller metrics == Σ workers + merge
+            let sum = outcome
+                .worker_metrics
+                .iter()
+                .fold(outcome.merge_metrics, |acc, s| acc.plus(s));
+            assert_eq!(metrics.snapshot(), sum, "threads={threads}");
+            // and the merge total is the sum of its verifiers
+            if !outcome.merge_worker_metrics.is_empty() {
+                let verifiers = outcome
+                    .merge_worker_metrics
+                    .iter()
+                    .fold(MetricsSnapshot::default(), |acc, s| acc.plus(s));
+                assert_eq!(outcome.merge_metrics, verifiers, "threads={threads}");
+            }
+            // conservation: every input ends emitted or discarded
+            let agg = metrics.snapshot();
+            assert_eq!(agg.emitted + agg.discarded, agg.input_records);
+            // the outcome's skyline is persisted (caller-owned); delete
+            // it so the leak check below sees only genuinely leaked pages
+            outcome.skyline.delete();
+        }
+        assert_eq!(disk.allocated_pages(), before, "no leaked temp pages");
+    }
+
+    #[test]
+    fn threads_one_is_exactly_sequential() {
+        let d = 4;
+        let (sorted, layout, spec, disk) = sorted_fixture(2_000, 23, d);
+        let cfg = SfsConfig::new(2);
+        let seq_metrics = SkylineMetrics::shared();
+        let mut seq = sfs_filter(
+            Arc::clone(&sorted),
+            layout,
+            spec.clone(),
+            cfg,
+            Arc::clone(&disk) as _,
+            Arc::clone(&seq_metrics),
+        )
+        .unwrap();
+        let seq_out = collect(&mut seq).unwrap();
+        let par_metrics = SkylineMetrics::shared();
+        let outcome = parallel_sfs_filter(
+            Arc::clone(&sorted),
+            layout,
+            spec,
+            cfg,
+            1,
+            Arc::clone(&disk) as _,
+            Arc::clone(&par_metrics),
+            None,
+            None,
+        )
+        .unwrap();
+        // same records in the same (pipelined SFS) order, same counters
+        assert_eq!(outcome.skyline.read_all().unwrap(), seq_out);
+        assert_eq!(par_metrics.snapshot(), seq_metrics.snapshot());
+        assert_eq!(outcome.threads, 1);
+        assert_eq!(outcome.merge_metrics, MetricsSnapshot::default());
+        assert!(outcome.merge_worker_metrics.is_empty());
+        assert!(outcome.merged_in_memory);
+    }
+
+    #[test]
+    fn merge_falls_back_to_external_winnow_when_arena_is_too_small() {
+        let d = 5;
+        let (sorted, layout, spec, disk) = sorted_fixture(3_000, 11, d);
+        let cfg = SfsConfig::new(4).with_merge_pages(0);
+        let outcome = parallel_sfs_filter(
+            Arc::clone(&sorted),
+            layout,
+            spec.clone(),
+            cfg,
+            4,
+            Arc::clone(&disk) as _,
+            SkylineMetrics::shared(),
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(!outcome.merged_in_memory, "arena of 0 pages must demote");
+        assert!(outcome.merge_worker_metrics.is_empty());
+        // and the fallback still produces the right skyline
+        let roomy = parallel_sfs_filter(
+            Arc::clone(&sorted),
+            layout,
+            spec,
+            SfsConfig::new(4),
+            4,
+            Arc::clone(&disk) as _,
+            SkylineMetrics::shared(),
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(roomy.merged_in_memory);
+        assert_eq!(
+            value_set(&outcome.skyline, &layout, d),
+            value_set(&roomy.skyline, &layout, d)
+        );
+        outcome.skyline.delete();
+        roomy.skyline.delete();
+    }
+
+    #[test]
+    fn duplicate_maxima_in_different_strata_both_survive() {
+        // identical undominated records landing in different strata: the
+        // prefix merge must keep both (equal scores cannot dominate)
+        let layout = RecordLayout::new(2, 0);
+        let mut rows: Vec<[i32; 2]> = vec![[0, 0]; 64];
+        rows[10] = [9, 9];
+        rows[13] = [9, 9]; // 10 % 3 != 13 % 3: different strata at t=3
+        let recs: Vec<Vec<u8>> = rows.iter().map(|r| layout.encode(r, b"")).collect();
+        let disk = MemDisk::shared();
+        let spec = SkylineSpec::max_all(2);
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as _,
+                layout.record_size(),
+                recs.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
+        let sorted = Arc::new(
+            presort(
+                heap,
+                layout,
+                spec.clone(),
+                SortOrder::Nested,
+                None,
+                4,
+                Arc::clone(&disk) as _,
+            )
+            .unwrap(),
+        );
+        let outcome = parallel_sfs_filter(
+            sorted,
+            layout,
+            spec,
+            SfsConfig::new(4),
+            3,
+            Arc::clone(&disk) as _,
+            SkylineMetrics::shared(),
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.skyline.len(), 2, "both duplicate maxima survive");
+        outcome.skyline.delete();
+    }
+
+    #[test]
+    fn diff_spec_falls_back_to_single_partition() {
+        let layout = RecordLayout::new(3, 0);
+        let spec = SkylineSpec::max_all(2).with_diff(vec![2]);
+        let rows: Vec<[i32; 3]> = vec![[5, 5, 1], [1, 1, 1], [1, 1, 2]];
+        let recs: Vec<Vec<u8>> = rows.iter().map(|r| layout.encode(r, b"")).collect();
+        let disk = MemDisk::shared();
+        let heap = Arc::new(
+            load_heap(
+                Arc::clone(&disk) as _,
+                layout.record_size(),
+                recs.iter().map(Vec::as_slice),
+            )
+            .unwrap(),
+        );
+        let sorted = Arc::new(
+            presort(
+                heap,
+                layout,
+                spec.clone(),
+                SortOrder::Nested,
+                None,
+                4,
+                Arc::clone(&disk) as _,
+            )
+            .unwrap(),
+        );
+        let outcome = parallel_sfs_filter(
+            sorted,
+            layout,
+            spec,
+            SfsConfig::new(4),
+            4,
+            Arc::clone(&disk) as _,
+            SkylineMetrics::shared(),
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.threads, 1, "DIFF must force a single stratum");
+        assert_eq!(outcome.skyline.len(), 2);
+    }
+
+    #[test]
+    fn pool_budget_is_shared_and_released() {
+        let d = 4;
+        let (sorted, layout, spec, disk) = sorted_fixture(1_000, 31, d);
+        let pool = BufferPool::new(16);
+        let outcome = parallel_sfs_filter(
+            sorted,
+            layout,
+            spec,
+            SfsConfig::new(8),
+            4,
+            Arc::clone(&disk) as _,
+            SkylineMetrics::shared(),
+            Some(&pool),
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.threads, 4);
+        assert!(outcome.merged_in_memory);
+        assert_eq!(pool.used(), 0, "all leases released");
+        // 4 workers × 2 pages dominate the small projected merge arena
+        assert_eq!(pool.peak(), 8);
+        // a pool too small for the worker windows fails up front
+        let tiny = BufferPool::new(2);
+        let (sorted, layout, spec, _d2) = sorted_fixture(500, 37, d);
+        let err = parallel_sfs_filter(
+            sorted,
+            layout,
+            spec,
+            SfsConfig::new(8),
+            4,
+            Arc::clone(&disk) as _,
+            SkylineMetrics::shared(),
+            Some(&tiny),
+            None,
+        );
+        assert!(matches!(err, Err(ExecError::Buffer(_))));
+        assert_eq!(tiny.used(), 0, "failed reservation leaks nothing");
+    }
+
+    #[test]
+    fn cancelled_parallel_filter_cleans_up() {
+        let d = 5;
+        let (sorted, layout, spec, disk) = sorted_fixture(2_000, 41, d);
+        let before = disk.allocated_pages();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = parallel_sfs_filter(
+            sorted,
+            layout,
+            spec,
+            SfsConfig::new(4),
+            4,
+            Arc::clone(&disk) as _,
+            SkylineMetrics::shared(),
+            None,
+            Some(token),
+        );
+        let err = err.err().expect("cancelled filter must fail");
+        assert!(matches!(err, ExecError::Cancelled { .. }), "{err:?}");
+        assert_eq!(disk.allocated_pages(), before, "no leaked temp pages");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_skyline_at_any_thread_count() {
+        let d = 3;
+        let (sorted, layout, spec, disk) = sorted_fixture(0, 43, d);
+        for threads in [1usize, 4] {
+            let outcome = parallel_sfs_filter(
+                Arc::clone(&sorted),
+                layout,
+                spec.clone(),
+                SfsConfig::new(2),
+                threads,
+                Arc::clone(&disk) as _,
+                SkylineMetrics::shared(),
+                None,
+                None,
+            )
+            .unwrap();
+            assert_eq!(outcome.skyline.len(), 0);
+            outcome.skyline.delete();
+        }
+    }
+}

@@ -39,6 +39,13 @@ pub struct SfsConfig {
     /// (the paper's §6 window-ordering suggestion). Changes comparison
     /// counts, never results.
     pub move_to_front: bool,
+    /// Arena for the parallel filter's in-memory cross-stratum merge, in
+    /// pages (default 4× the window). The merge holds only projected key
+    /// entries — the §4.3 projection idea applied to the winnow — so this
+    /// covers unions far larger than the record data it represents; when
+    /// even the projected union exceeds it, the merge falls back to the
+    /// external order-agnostic BNL winnow. Ignored by sequential SFS.
+    pub merge_pages: usize,
 }
 
 impl SfsConfig {
@@ -49,7 +56,14 @@ impl SfsConfig {
             projection: false,
             collect_rest: false,
             move_to_front: false,
+            merge_pages: window_pages.saturating_mul(4),
         }
+    }
+
+    /// Set the in-memory merge arena for the parallel filter.
+    pub fn with_merge_pages(mut self, pages: usize) -> Self {
+        self.merge_pages = pages;
+        self
     }
 
     /// Enable the projection optimization.
@@ -193,6 +207,7 @@ impl Sfs {
                 Some(r) => {
                     self.cur.clear();
                     self.cur.extend_from_slice(r);
+                    self.metrics.add_input();
                     Ok(true)
                 }
                 None => Ok(false),

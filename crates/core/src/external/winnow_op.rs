@@ -117,6 +117,7 @@ impl WinnowOp {
                 Some(r) => {
                     self.cur.clear();
                     self.cur.extend_from_slice(r);
+                    self.metrics.add_input();
                     Ok(true)
                 }
                 None => Ok(false),

@@ -53,7 +53,7 @@ pub mod winnow;
 
 pub use builder::{MemAlgorithm, SkylineBuilder};
 pub use dominance::{dom_rel, dominates, Criterion, Direction, DomRel, SkylineSpec};
-pub use external::{Bnl, Sfs, SfsConfig};
+pub use external::{parallel_sfs_filter, Bnl, ParFilterOutcome, Sfs, SfsConfig};
 pub use keys::KeyMatrix;
 pub use metrics::{MetricsSnapshot, SkylineMetrics};
 pub use par::{

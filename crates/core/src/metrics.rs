@@ -5,6 +5,12 @@
 //! temp files* (the "extra pages" I/O metric of Figures 10/14/15). These
 //! counters are machine-independent, so the reproduction can exhibit the
 //! paper's CPU-boundedness claims without depending on a 2002-era Athlon.
+//!
+//! Conservation law (checked by `tests/metrics_conservation.rs`): every
+//! record an operator pulls from its *child* is eventually either emitted
+//! or discarded — spilled records come back in a later pass — so
+//! `emitted + discarded == input_records` once the operator drains, and
+//! total fetches equal `input_records + temp_records`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -18,6 +24,7 @@ pub struct SkylineMetrics {
     window_inserts: AtomicU64,
     discarded: AtomicU64,
     emitted: AtomicU64,
+    input_records: AtomicU64,
 }
 
 impl SkylineMetrics {
@@ -62,6 +69,13 @@ impl SkylineMetrics {
         self.emitted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one record fetched from the operator's child (first-pass
+    /// input only — temp-file refetches count as `temp_records` instead).
+    #[inline]
+    pub fn add_input(&self) {
+        self.input_records.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         for c in [
@@ -71,6 +85,7 @@ impl SkylineMetrics {
             &self.window_inserts,
             &self.discarded,
             &self.emitted,
+            &self.input_records,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -85,7 +100,23 @@ impl SkylineMetrics {
             window_inserts: self.window_inserts.load(Ordering::Relaxed),
             discarded: self.discarded.load(Ordering::Relaxed),
             emitted: self.emitted.load(Ordering::Relaxed),
+            input_records: self.input_records.load(Ordering::Relaxed),
         }
+    }
+
+    /// Fold a worker's snapshot into these counters — how the parallel
+    /// filter surfaces per-worker metrics through the caller's aggregate.
+    pub fn absorb(&self, s: &MetricsSnapshot) {
+        self.comparisons.fetch_add(s.comparisons, Ordering::Relaxed);
+        self.passes.fetch_add(s.passes, Ordering::Relaxed);
+        self.temp_records
+            .fetch_add(s.temp_records, Ordering::Relaxed);
+        self.window_inserts
+            .fetch_add(s.window_inserts, Ordering::Relaxed);
+        self.discarded.fetch_add(s.discarded, Ordering::Relaxed);
+        self.emitted.fetch_add(s.emitted, Ordering::Relaxed);
+        self.input_records
+            .fetch_add(s.input_records, Ordering::Relaxed);
     }
 }
 
@@ -104,6 +135,25 @@ pub struct MetricsSnapshot {
     pub discarded: u64,
     /// Tuples emitted as skyline.
     pub emitted: u64,
+    /// Records fetched from the operator's child (excludes temp refetches).
+    pub input_records: u64,
+}
+
+impl MetricsSnapshot {
+    /// Component-wise sum — the exact-aggregation identity the parallel
+    /// filter is tested against (`aggregate == Σ workers + merge`).
+    #[must_use]
+    pub fn plus(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            comparisons: self.comparisons + other.comparisons,
+            passes: self.passes + other.passes,
+            temp_records: self.temp_records + other.temp_records,
+            window_inserts: self.window_inserts + other.window_inserts,
+            discarded: self.discarded + other.discarded,
+            emitted: self.emitted + other.emitted,
+            input_records: self.input_records + other.input_records,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +170,7 @@ mod tests {
         m.add_window_insert();
         m.add_discarded();
         m.add_emitted();
+        m.add_input();
         let s = m.snapshot();
         assert_eq!(s.comparisons, 15);
         assert_eq!(s.passes, 1);
@@ -127,7 +178,34 @@ mod tests {
         assert_eq!(s.window_inserts, 1);
         assert_eq!(s.discarded, 1);
         assert_eq!(s.emitted, 1);
+        assert_eq!(s.input_records, 1);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn absorb_and_plus_agree() {
+        let a = MetricsSnapshot {
+            comparisons: 3,
+            passes: 1,
+            temp_records: 2,
+            window_inserts: 4,
+            discarded: 5,
+            emitted: 6,
+            input_records: 11,
+        };
+        let b = MetricsSnapshot {
+            comparisons: 7,
+            passes: 0,
+            temp_records: 1,
+            window_inserts: 2,
+            discarded: 3,
+            emitted: 4,
+            input_records: 7,
+        };
+        let m = SkylineMetrics::shared();
+        m.absorb(&a);
+        m.absorb(&b);
+        assert_eq!(m.snapshot(), a.plus(&b));
     }
 }

@@ -83,7 +83,7 @@ fn check_cancel(cancel: Option<&CancelToken>, processed: u64) -> Result<(), Algo
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
     payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_string())
@@ -91,14 +91,10 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
 }
 
 /// Resolve a caller-supplied thread count: 0 means "use the machine",
-/// anything else is clamped to `1..=64`.
+/// anything else is clamped to `1..=64` (shared with the external sort's
+/// knob so every `threads` parameter in the workspace resolves alike).
 fn effective_threads(threads: usize) -> usize {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        threads
-    };
-    threads.clamp(1, 64)
+    skyline_exec::sort::effective_threads(threads)
 }
 
 /// Compute the skyline of `keys` using up to `threads` worker threads
@@ -163,7 +159,7 @@ pub fn parallel_skyline_cancellable(
             .into_iter()
             .map(|h| {
                 h.join().map_err(|payload| AlgoError::WorkerPanicked {
-                    message: panic_message(payload),
+                    message: panic_message(payload.as_ref()),
                 })?
             })
             .collect::<Result<_, _>>()

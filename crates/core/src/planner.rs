@@ -101,6 +101,82 @@ pub fn presort(
     materialize(&mut sort, disk)
 }
 
+/// [`presort`] with the sort's run formation and intermediate merge
+/// passes spread over `threads` worker threads (0 = one per core). Same
+/// sorted output — run boundaries differ, the order does not.
+///
+/// # Errors
+/// Same as [`presort`], plus [`ExecError::Worker`] if a sort worker
+/// panics.
+#[allow(clippy::too_many_arguments)]
+pub fn presort_threaded(
+    heap: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    order: SortOrder,
+    entropy: Option<EntropyScore>,
+    sort_pages: usize,
+    threads: usize,
+    disk: Arc<dyn Disk>,
+) -> Result<HeapFile, ExecError> {
+    if matches!(order, SortOrder::Entropy | SortOrder::ReverseEntropy) && entropy.is_none() {
+        return Err(ExecError::Config("entropy order requires stats".into()));
+    }
+    let cmp = Arc::new(SkylineOrderCmp::new(layout, spec, order, entropy));
+    let scan = Box::new(HeapScan::new(heap));
+    let mut sort = ExternalSort::new(scan, cmp, Arc::clone(&disk), SortBudget::pages(sort_pages))
+        .with_threads(threads);
+    materialize(&mut sort, disk)
+}
+
+/// The whole external pipeline, parallel end to end: threaded presort,
+/// then the partitioned filter of
+/// [`crate::external::parallel_sfs_filter`]. One `threads` knob drives
+/// both phases (0 = one per available core); worker and merge metrics
+/// are folded into `metrics` and returned per stage in the outcome.
+///
+/// # Errors
+/// Propagates sort/filter errors; see [`presort_threaded`] and
+/// [`crate::external::parallel_sfs_filter`].
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_skyline_pipeline(
+    heap: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    order: SortOrder,
+    entropy: Option<EntropyScore>,
+    cfg: SfsConfig,
+    sort_pages: usize,
+    threads: usize,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+    pool: Option<&skyline_storage::BufferPool>,
+    cancel: Option<skyline_exec::CancelToken>,
+) -> Result<crate::external::ParFilterOutcome, ExecError> {
+    let mut sorted = presort_threaded(
+        heap,
+        layout,
+        spec.clone(),
+        order,
+        entropy,
+        sort_pages,
+        threads,
+        Arc::clone(&disk),
+    )?;
+    sorted.mark_temp(); // intermediate: lives only until the filter is done
+    crate::external::parallel_sfs_filter(
+        Arc::new(sorted),
+        layout,
+        spec,
+        cfg,
+        threads,
+        disk,
+        metrics,
+        pool,
+        cancel,
+    )
+}
+
 /// The filter phase: SFS over an already-sorted heap file.
 ///
 /// # Errors

@@ -22,6 +22,12 @@ pub enum ExecError {
     Protocol(&'static str),
     /// Configuration problem detected at open time.
     Config(String),
+    /// A parallel worker thread panicked. Carries the panic payload when
+    /// it was a string.
+    Worker {
+        /// The panic message, if it could be extracted from the payload.
+        message: Option<String>,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -34,6 +40,8 @@ impl fmt::Display for ExecError {
             }
             ExecError::Protocol(msg) => write!(f, "operator protocol violation: {msg}"),
             ExecError::Config(msg) => write!(f, "operator configuration error: {msg}"),
+            ExecError::Worker { message: Some(m) } => write!(f, "worker thread panicked: {m}"),
+            ExecError::Worker { message: None } => write!(f, "worker thread panicked"),
         }
     }
 }
@@ -89,5 +97,15 @@ mod tests {
             records_processed: 42,
         };
         assert!(e.to_string().contains("cancelled after 42"));
+    }
+
+    #[test]
+    fn worker_display() {
+        let e = ExecError::Worker {
+            message: Some("boom".into()),
+        };
+        assert!(e.to_string().contains("panicked: boom"));
+        let e = ExecError::Worker { message: None };
+        assert!(e.to_string().contains("worker thread panicked"));
     }
 }

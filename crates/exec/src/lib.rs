@@ -26,13 +26,19 @@ pub mod group_max;
 pub mod limit;
 pub mod op;
 pub mod project;
+pub mod queue;
 pub mod sort;
+mod sync_util;
 
 pub use cancel::CancelToken;
 pub use error::ExecError;
 pub use filter::Filter;
 pub use group_max::GroupMax;
 pub use limit::Limit;
-pub use op::{collect, BoxedOperator, HeapScan, IndexScan, MemSource, Operator};
+pub use op::{
+    collect, BoxedOperator, ChainScan, HeapRangeScan, HeapScan, IndexScan, MemSource, Operator,
+    StridedHeapScan,
+};
 pub use project::Project;
+pub use queue::{TryPop, WorkQueue};
 pub use sort::{ExternalSort, RecordComparator, SortBudget};

@@ -79,6 +79,212 @@ impl Operator for HeapScan {
     }
 }
 
+/// Leaf operator scanning a contiguous record range `[lo, hi)` of a heap
+/// file — one worker's partition of the parallel filter phase. Because a
+/// range of a presorted file is itself presorted, the downstream SFS
+/// window stays provably correct on each partition.
+pub struct HeapRangeScan {
+    heap: Arc<HeapFile>,
+    lo: u64,
+    hi: u64,
+    scan: Option<SharedScanner>,
+}
+
+impl HeapRangeScan {
+    /// Scan records `lo..hi` (0-based, half-open, clamped to the file).
+    pub fn new(heap: Arc<HeapFile>, lo: u64, hi: u64) -> Self {
+        HeapRangeScan {
+            heap,
+            lo,
+            hi,
+            scan: None,
+        }
+    }
+}
+
+impl Operator for HeapRangeScan {
+    fn open(&mut self) -> Result<(), ExecError> {
+        let mut scan = SharedScanner::new(Arc::clone(&self.heap));
+        scan.seek(self.lo);
+        self.scan = Some(scan);
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        let scan = self
+            .scan
+            .as_mut()
+            .ok_or(ExecError::Protocol("HeapRangeScan::next before open"))?;
+        if scan.position() >= self.hi {
+            return Ok(None);
+        }
+        Ok(scan.next_record()?)
+    }
+
+    fn close(&mut self) {
+        self.scan = None;
+    }
+
+    fn record_size(&self) -> usize {
+        self.heap.record_size()
+    }
+}
+
+/// Leaf operator yielding every `stride`-th record starting at `offset`
+/// — one stratum of a round-robin partitioning. A strided subsequence of
+/// a presorted file is itself presorted, so a downstream SFS window stays
+/// provably correct per stratum; unlike a contiguous range, each stratum
+/// is a stratified sample of the whole file, so strata of a score-sorted
+/// input have comparable skyline density (a contiguous tail range of a
+/// presorted file concentrates exactly the records whose dominators live
+/// in earlier ranges, and its local skyline explodes).
+///
+/// Every stratum scan reads the pages it crosses, so `t` strided scans
+/// cost up to `t×` the page reads of one full scan — the price of
+/// balance, paid in sequential I/O.
+pub struct StridedHeapScan {
+    heap: Arc<HeapFile>,
+    offset: u64,
+    stride: u64,
+    scan: Option<SharedScanner>,
+}
+
+impl StridedHeapScan {
+    /// Scan records at positions `offset, offset+stride, offset+2·stride…`.
+    ///
+    /// # Panics
+    /// Panics when `stride == 0` or `offset >= stride`.
+    pub fn new(heap: Arc<HeapFile>, offset: u64, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(offset < stride, "offset must be below the stride");
+        StridedHeapScan {
+            heap,
+            offset,
+            stride,
+            scan: None,
+        }
+    }
+}
+
+impl Operator for StridedHeapScan {
+    fn open(&mut self) -> Result<(), ExecError> {
+        let mut scan = SharedScanner::new(Arc::clone(&self.heap));
+        scan.seek(self.offset);
+        self.scan = Some(scan);
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        // Skip-then-lend split, as in ChainScan: a record lent from
+        // inside the loop would hold its borrow across iterations, so
+        // the loop only advances past foreign positions and the single
+        // lending call sits after it.
+        loop {
+            let scan = self
+                .scan
+                .as_mut()
+                .ok_or(ExecError::Protocol("StridedHeapScan::next before open"))?;
+            if scan.position() >= self.heap.len() {
+                return Ok(None);
+            }
+            if scan.position() % self.stride == self.offset {
+                break;
+            }
+            if scan.next_record()?.is_none() {
+                return Ok(None);
+            }
+        }
+        let scan = self
+            .scan
+            .as_mut()
+            .ok_or(ExecError::Protocol("StridedHeapScan scanner vanished"))?;
+        Ok(scan.next_record()?)
+    }
+
+    fn close(&mut self) {
+        self.scan = None;
+    }
+
+    fn record_size(&self) -> usize {
+        self.heap.record_size()
+    }
+}
+
+/// Leaf operator concatenating several heap files front to back — the
+/// merge phase's view of the per-partition local skylines, which (being
+/// ranges of one presorted file, filtered order-preservingly) are
+/// globally sorted when read in partition order.
+pub struct ChainScan {
+    heaps: Vec<Arc<HeapFile>>,
+    record_size: usize,
+    current: usize,
+    scan: Option<SharedScanner>,
+}
+
+impl ChainScan {
+    /// Scan `heaps` in order; all must share one record size.
+    ///
+    /// # Panics
+    /// Panics if `heaps` is empty or the record sizes disagree.
+    pub fn new(heaps: Vec<Arc<HeapFile>>) -> Self {
+        assert!(!heaps.is_empty(), "ChainScan needs at least one file");
+        let record_size = heaps[0].record_size();
+        for h in &heaps {
+            assert_eq!(h.record_size(), record_size, "record size mismatch");
+        }
+        ChainScan {
+            heaps,
+            record_size,
+            current: 0,
+            scan: None,
+        }
+    }
+}
+
+impl Operator for ChainScan {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.current = 0;
+        self.scan = Some(SharedScanner::new(Arc::clone(&self.heaps[0])));
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        loop {
+            // Scoped end-of-file probe first, lending re-borrow second:
+            // returning a lent record from the same borrow that the loop
+            // later mutates does not pass the borrow checker.
+            let exhausted = {
+                let scan = self
+                    .scan
+                    .as_ref()
+                    .ok_or(ExecError::Protocol("ChainScan::next before open"))?;
+                scan.position() >= scan.heap().len()
+            };
+            if !exhausted {
+                let scan = self
+                    .scan
+                    .as_mut()
+                    .ok_or(ExecError::Protocol("ChainScan scanner vanished"))?;
+                return Ok(scan.next_record()?);
+            }
+            self.current += 1;
+            if self.current >= self.heaps.len() {
+                return Ok(None);
+            }
+            self.scan = Some(SharedScanner::new(Arc::clone(&self.heaps[self.current])));
+        }
+    }
+
+    fn close(&mut self) {
+        self.scan = None;
+        self.current = 0;
+    }
+
+    fn record_size(&self) -> usize {
+        self.record_size
+    }
+}
+
 /// Leaf operator scanning a clustered B+-tree in key order — the
 /// "clustered (tree) index" input ordering the paper's §4.2 warns makes
 /// BNL's run time unpredictable.
@@ -214,6 +420,101 @@ mod tests {
     #[should_panic(expected = "record size mismatch")]
     fn mem_source_checks_sizes() {
         MemSource::new(vec![vec![0; 3], vec![0; 4]], 3);
+    }
+
+    fn heap_of(n: u64) -> Arc<HeapFile> {
+        let disk = MemDisk::shared();
+        let mut h = HeapFile::create(disk, 8).unwrap();
+        let recs: Vec<Vec<u8>> = (0..n).map(|i| i.to_le_bytes().to_vec()).collect();
+        h.append_all(recs.iter().map(Vec::as_slice)).unwrap();
+        Arc::new(h)
+    }
+
+    fn ids(out: &[Vec<u8>]) -> Vec<u64> {
+        out.iter()
+            .map(|r| u64::from_le_bytes(r.as_slice().try_into().expect("8-byte record")))
+            .collect()
+    }
+
+    #[test]
+    fn heap_range_scan_covers_exact_range() {
+        let heap = heap_of(600);
+        // mid-range, page-unaligned boundaries
+        let mut scan = HeapRangeScan::new(Arc::clone(&heap), 123, 457);
+        assert_eq!(
+            ids(&collect(&mut scan).unwrap()),
+            (123..457).collect::<Vec<_>>()
+        );
+        // clamped past the end
+        let mut scan = HeapRangeScan::new(Arc::clone(&heap), 590, 10_000);
+        assert_eq!(
+            ids(&collect(&mut scan).unwrap()),
+            (590..600).collect::<Vec<_>>()
+        );
+        // empty range
+        let mut scan = HeapRangeScan::new(Arc::clone(&heap), 400, 400);
+        assert!(collect(&mut scan).unwrap().is_empty());
+        // ranges tile the file exactly
+        let mut all = Vec::new();
+        for (lo, hi) in [(0, 200), (200, 401), (401, 600)] {
+            let mut scan = HeapRangeScan::new(Arc::clone(&heap), lo, hi);
+            all.extend(ids(&collect(&mut scan).unwrap()));
+        }
+        assert_eq!(all, (0..600).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn strided_scan_partitions_into_strata() {
+        let heap = heap_of(601); // deliberately not a multiple of the stride
+        for stride in [1u64, 2, 3, 4, 7] {
+            let mut all: Vec<u64> = Vec::new();
+            for offset in 0..stride {
+                let mut scan = StridedHeapScan::new(Arc::clone(&heap), offset, stride);
+                let got = ids(&collect(&mut scan).unwrap());
+                assert!(got.iter().all(|i| i % stride == offset), "stride {stride}");
+                // reopen rescans from the top
+                assert_eq!(ids(&collect(&mut scan).unwrap()), got);
+                all.extend(got);
+            }
+            all.sort_unstable();
+            assert_eq!(all, (0..601).collect::<Vec<_>>(), "strata must tile");
+        }
+        // stride 1 is a plain full scan
+        let mut scan = StridedHeapScan::new(Arc::clone(&heap), 0, 1);
+        assert_eq!(collect(&mut scan).unwrap().len(), 601);
+        // empty file
+        let mut scan = StridedHeapScan::new(heap_of(0), 1, 3);
+        assert!(collect(&mut scan).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "offset must be below the stride")]
+    fn strided_scan_rejects_offset_at_stride() {
+        let _ = StridedHeapScan::new(heap_of(3), 2, 2);
+    }
+
+    #[test]
+    fn chain_scan_concatenates_in_order() {
+        let a = heap_of(600);
+        let b = heap_of(0); // empty file in the middle
+        let c = heap_of(5);
+        let mut scan = ChainScan::new(vec![a, b, c]);
+        let out = ids(&collect(&mut scan).unwrap());
+        let expect: Vec<u64> = (0..600).chain(0..5).collect();
+        assert_eq!(out, expect);
+        // reopen rescans from the top
+        assert_eq!(ids(&collect(&mut scan).unwrap()), expect);
+    }
+
+    #[test]
+    fn range_and_chain_protocol_errors() {
+        let heap = heap_of(3);
+        let mut scan = HeapRangeScan::new(Arc::clone(&heap), 0, 3);
+        assert!(matches!(scan.next(), Err(ExecError::Protocol(_))));
+        let mut strided = StridedHeapScan::new(Arc::clone(&heap), 0, 2);
+        assert!(matches!(strided.next(), Err(ExecError::Protocol(_))));
+        let mut chain = ChainScan::new(vec![heap]);
+        assert!(matches!(chain.next(), Err(ExecError::Protocol(_))));
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Bounded multi-producer/multi-consumer work queue.
+//!
+//! The parallel external sort hands filled run arenas from the (single)
+//! child-reading thread to its sort-and-write workers through this queue,
+//! and the parallel intermediate merge passes distribute run groups the
+//! same way. One mutex guards the whole state, so every operation is a
+//! single atomic step — which is exactly what lets the
+//! `skyline_testkit::interleave` model test (`tests/queue_model.rs`)
+//! explore the full linearization space of producer/consumer/closer
+//! threads.
+//!
+//! Semantics:
+//! * a bounded queue ([`WorkQueue::bounded`]) blocks producers at
+//!   `capacity` items — the backpressure that keeps run formation's
+//!   memory at `threads + 1` arenas;
+//! * [`WorkQueue::close`] wakes everyone: subsequent pushes fail, pops
+//!   drain the remaining items and then return `None`;
+//! * items come out in global FIFO order (single lock ⇒ single order).
+//!
+//! No disk I/O ever happens under the queue's lock: items are moved out
+//! before the guard drops, so the `lock-across-io` analysis stays clean.
+
+use crate::sync_util::{lock, wait};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Result of [`WorkQueue::try_pop`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The queue is open but currently empty.
+    Empty,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    pushed: u64,
+    popped: u64,
+}
+
+/// A bounded MPMC FIFO with explicit close.
+pub struct WorkQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> WorkQueue<T> {
+    /// A queue admitting at most `capacity` queued items (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-capacity rendezvous queue
+    /// cannot make progress under this blocking protocol.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "work queue needs capacity >= 1");
+        WorkQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                pushed: 0,
+                popped: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue `item`, blocking while the queue is full. Returns the item
+    /// back as `Err` when the queue is (or becomes) closed.
+    ///
+    /// # Errors
+    /// `Err(item)` when the queue was closed before the item could be
+    /// enqueued — the caller keeps ownership.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = lock(&self.state);
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                st.pushed += 1;
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = wait(&self.not_full, st);
+        }
+    }
+
+    /// Non-blocking push: fails with the item when the queue is full or
+    /// closed.
+    ///
+    /// # Errors
+    /// `Err(item)` when the queue is closed or at capacity.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut st = lock(&self.state);
+        if st.closed || st.items.len() >= self.capacity {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        st.pushed += 1;
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next item, blocking while the queue is empty and open.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = lock(&self.state);
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                st.popped += 1;
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = wait(&self.not_empty, st);
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> TryPop<T> {
+        let mut st = lock(&self.state);
+        if let Some(item) = st.items.pop_front() {
+            st.popped += 1;
+            drop(st);
+            self.not_full.notify_one();
+            return TryPop::Item(item);
+        }
+        if st.closed {
+            TryPop::Closed
+        } else {
+            TryPop::Empty
+        }
+    }
+
+    /// Close the queue: producers fail from now on, consumers drain what
+    /// is left. Idempotent.
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// True once [`WorkQueue::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        lock(&self.state).closed
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total items ever enqueued (model-test conservation counter).
+    pub fn pushed(&self) -> u64 {
+        lock(&self.state).pushed
+    }
+
+    /// Total items ever dequeued (model-test conservation counter).
+    pub fn popped(&self) -> u64 {
+        lock(&self.state).popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = WorkQueue::bounded(4);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        q.close();
+        assert_eq!(q.pop(), Some(2), "close still drains queued items");
+        assert_eq!(q.pop(), None);
+        assert_eq!((q.pushed(), q.popped()), (3, 3));
+    }
+
+    #[test]
+    fn try_ops_report_full_empty_closed() {
+        let q = WorkQueue::bounded(1);
+        assert_eq!(q.try_pop(), TryPop::Empty);
+        q.try_push(7).unwrap();
+        assert_eq!(q.try_push(8), Err(8), "full");
+        assert_eq!(q.try_pop(), TryPop::Item(7));
+        q.close();
+        assert_eq!(q.try_push(9), Err(9), "closed");
+        assert_eq!(q.try_pop(), TryPop::Closed);
+    }
+
+    #[test]
+    fn push_after_close_returns_item() {
+        let q = WorkQueue::bounded(2);
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.push(1), Err(1));
+    }
+
+    #[test]
+    fn blocked_producer_wakes_on_pop_and_on_close() {
+        let q = Arc::new(WorkQueue::bounded(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push(1));
+        // consumer frees a slot: the blocked producer completes
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(h.join().unwrap(), Ok(()));
+        assert_eq!(q.pop(), Some(1));
+        // now block another producer and close under it
+        q.push(2).unwrap();
+        let q3 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q3.push(3));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(3), "close must unblock producers");
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q = Arc::new(WorkQueue::<u8>::bounded(2));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn mpmc_conserves_items() {
+        let q = Arc::new(WorkQueue::bounded(3));
+        let total = 200u64;
+        std::thread::scope(|s| {
+            for p in 0..2u64 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..total / 2 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+            let collected: Vec<std::thread::ScopedJoinHandle<'_, u64>> = (0..3)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut n = 0;
+                        while q.pop().is_some() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            // producers are scoped: wait for them, then close
+            while q.pushed() < total {
+                std::thread::yield_now();
+            }
+            q.close();
+            let got: u64 = collected.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(got, total);
+        });
+        assert_eq!(q.popped(), total);
+        assert!(q.is_empty());
+    }
+}

@@ -14,9 +14,11 @@
 use crate::cancel::{poll, CancelToken};
 use crate::error::ExecError;
 use crate::op::{BoxedOperator, Operator};
+use crate::queue::WorkQueue;
+use crate::sync_util::lock;
 use skyline_storage::{Disk, HeapFile, SharedScanner};
 use std::cmp::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Total order over raw records. Implementations must be consistent
 /// (transitive, antisymmetric up to ties).
@@ -111,61 +113,37 @@ enum SortState {
     Merging(KWayMerge),
 }
 
-/// External merge sort operator.
-pub struct ExternalSort {
-    child: BoxedOperator,
-    cmp: Arc<dyn RecordComparator>,
-    disk: Arc<dyn Disk>,
-    budget: SortBudget,
-    record_size: usize,
-    state: SortState,
-    cancel: Option<CancelToken>,
-    /// Number of runs written during the last open (for tests/metrics).
-    runs_written: usize,
-    /// Number of merge passes performed (excluding the streamed final one).
-    merge_passes: usize,
+/// What run formation produced: either the whole input in one arena (no
+/// spill) or a set of sorted run files, plus the records consumed (the
+/// progress count cancellation errors report at merge-pass boundaries).
+enum FormOutcome {
+    InMemory(Vec<u8>),
+    Runs(Vec<Arc<HeapFile>>, u64),
 }
 
-impl ExternalSort {
-    /// Sort `child` by `cmp` using temp space on `disk` within `budget`.
-    pub fn new(
-        child: BoxedOperator,
-        cmp: Arc<dyn RecordComparator>,
-        disk: Arc<dyn Disk>,
-        budget: SortBudget,
-    ) -> Self {
-        let record_size = child.record_size();
-        ExternalSort {
-            child,
-            cmp,
-            disk,
-            budget,
-            record_size,
-            state: SortState::Idle,
-            cancel: None,
-            runs_written: 0,
-            merge_passes: 0,
-        }
-    }
+/// Resolve a thread-count knob: 0 means one per available core, and the
+/// result is clamped to `1..=64` (matching `par.rs` upstream).
+pub fn effective_threads(threads: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    t.clamp(1, 64)
+}
 
-    /// Observe `token` during run formation, between merge passes, and
-    /// every few hundred merged records.
-    #[must_use]
-    pub fn with_cancel(mut self, token: CancelToken) -> Self {
-        self.cancel = Some(token);
-        self
-    }
+/// The worker-shareable core of run formation: everything needed to sort
+/// an arena and write or merge runs, detached from the operator so scoped
+/// worker threads can use it while the producer thread owns `self.child`.
+struct RunFormer {
+    cmp: Arc<dyn RecordComparator>,
+    disk: Arc<dyn Disk>,
+    record_size: usize,
+}
 
-    /// Runs written by the last `open` (0 when the in-memory path ran).
-    pub fn runs_written(&self) -> usize {
-        self.runs_written
-    }
-
-    /// Intermediate (non-final) merge passes performed by the last `open`.
-    pub fn merge_passes(&self) -> usize {
-        self.merge_passes
-    }
-
+impl RunFormer {
     fn sort_arena(&self, arena: &[u8]) -> Vec<u32> {
         let n = arena.len() / self.record_size;
         let mut order: Vec<u32> = (0..n as u32).collect();
@@ -198,9 +176,13 @@ impl ExternalSort {
     }
 
     /// Merge `runs` into a single new run file (non-final pass).
-    fn merge_to_run(&self, runs: Vec<Arc<HeapFile>>) -> Result<HeapFile, ExecError> {
+    fn merge_to_run(
+        &self,
+        runs: Vec<Arc<HeapFile>>,
+        cancel: Option<CancelToken>,
+    ) -> Result<HeapFile, ExecError> {
         let mut out = HeapFile::create_temp(Arc::clone(&self.disk), self.record_size)?;
-        let mut merge = KWayMerge::new(runs, Arc::clone(&self.cmp), self.cancel.clone());
+        let mut merge = KWayMerge::new(runs, Arc::clone(&self.cmp), cancel);
         let mut w = out.writer()?;
         while let Some(r) = merge.next_record()? {
             w.push(r)?;
@@ -210,14 +192,103 @@ impl ExternalSort {
     }
 }
 
-impl Operator for ExternalSort {
-    fn open(&mut self) -> Result<(), ExecError> {
-        self.child.open()?;
-        self.runs_written = 0;
-        self.merge_passes = 0;
+/// Record the first error a parallel stage observes; later ones are
+/// dropped (the stage is already doomed, the first cause is the one to
+/// report).
+fn store_first(slot: &Mutex<Option<ExecError>>, e: ExecError) {
+    let mut guard = lock(slot);
+    if guard.is_none() {
+        *guard = Some(e);
+    }
+}
 
-        // --- Run formation ---
+/// External merge sort operator.
+pub struct ExternalSort {
+    child: BoxedOperator,
+    cmp: Arc<dyn RecordComparator>,
+    disk: Arc<dyn Disk>,
+    budget: SortBudget,
+    record_size: usize,
+    state: SortState,
+    cancel: Option<CancelToken>,
+    /// Worker-thread knob: 0 = auto, 1 = sequential (default).
+    threads: usize,
+    /// Number of runs written during the last open (for tests/metrics).
+    runs_written: usize,
+    /// Number of merge passes performed (excluding the streamed final one).
+    merge_passes: usize,
+}
+
+impl ExternalSort {
+    /// Sort `child` by `cmp` using temp space on `disk` within `budget`.
+    pub fn new(
+        child: BoxedOperator,
+        cmp: Arc<dyn RecordComparator>,
+        disk: Arc<dyn Disk>,
+        budget: SortBudget,
+    ) -> Self {
+        let record_size = child.record_size();
+        ExternalSort {
+            child,
+            cmp,
+            disk,
+            budget,
+            record_size,
+            state: SortState::Idle,
+            cancel: None,
+            threads: 1,
+            runs_written: 0,
+            merge_passes: 0,
+        }
+    }
+
+    /// Observe `token` during run formation, between merge passes, and
+    /// every few hundred merged records.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sort runs and perform intermediate merge passes on `threads`
+    /// worker threads (0 = one per available core, clamped to 64).
+    ///
+    /// The child is still consumed by the calling thread (operators are
+    /// single-threaded by contract) and the final merge still streams
+    /// through [`Operator::next`]; parallelism covers the CPU-heavy run
+    /// sorting/writing and the intermediate merge passes. With `t`
+    /// workers each run arena is `budget/t` pages, so runs are smaller
+    /// and there may be more of them — same sorted output, more write
+    /// parallelism. The in-memory fast path (no spill) is unchanged.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs written by the last `open` (0 when the in-memory path ran).
+    pub fn runs_written(&self) -> usize {
+        self.runs_written
+    }
+
+    /// Intermediate (non-final) merge passes performed by the last `open`.
+    pub fn merge_passes(&self) -> usize {
+        self.merge_passes
+    }
+
+    fn former(&self) -> RunFormer {
+        RunFormer {
+            cmp: Arc::clone(&self.cmp),
+            disk: Arc::clone(&self.disk),
+            record_size: self.record_size,
+        }
+    }
+
+    /// Sequential run formation (threads == 1): the original single-core
+    /// fill-sort-spill loop.
+    fn form_runs_seq(&mut self) -> Result<FormOutcome, ExecError> {
         let arena_cap = self.budget.arena_bytes();
+        let former = self.former();
         let mut arena: Vec<u8> = Vec::with_capacity(arena_cap.min(1 << 24));
         let mut runs: Vec<Arc<HeapFile>> = Vec::new();
         let mut consumed: u64 = 0;
@@ -226,8 +297,8 @@ impl Operator for ExternalSort {
             // Spill check happens between records so the borrow of the
             // child's lent slice never overlaps the spill's `&self` calls.
             if arena.len() + self.record_size > arena_cap {
-                let order = self.sort_arena(&arena);
-                runs.push(Arc::new(self.write_run(&arena, &order)?));
+                let order = former.sort_arena(&arena);
+                runs.push(Arc::new(former.write_run(&arena, &order)?));
                 self.runs_written += 1;
                 arena.clear();
             }
@@ -239,42 +310,282 @@ impl Operator for ExternalSort {
                 None => break,
             }
         }
-        self.child.close();
-
         if runs.is_empty() {
-            // Everything fit: no spill at all.
-            let order = self.sort_arena(&arena);
-            self.state = SortState::InMemory {
-                arena,
-                order,
-                pos: 0,
-            };
-            return Ok(());
+            return Ok(FormOutcome::InMemory(arena));
         }
         if !arena.is_empty() {
-            let order = self.sort_arena(&arena);
-            runs.push(Arc::new(self.write_run(&arena, &order)?));
+            let order = former.sort_arena(&arena);
+            runs.push(Arc::new(former.write_run(&arena, &order)?));
             self.runs_written += 1;
         }
-        drop(arena);
+        Ok(FormOutcome::Runs(runs, consumed))
+    }
+
+    /// Parallel run formation: the calling thread keeps draining the
+    /// child (operators are single-consumer) into chunk arenas of
+    /// `budget/t` pages and hands them through a bounded [`WorkQueue`]
+    /// to `t` scoped workers, which sort and write runs concurrently.
+    ///
+    /// Queue capacity `t` bounds in-flight memory at roughly `2×` the
+    /// arena budget (t queued chunks + t being sorted + 1 being filled).
+    /// The first full-budget arena is only split once it overflows, so an
+    /// input that fits in memory takes the no-spill fast path exactly
+    /// like the sequential sort.
+    ///
+    /// Failure protocol mirrors `par.rs`: the first worker error is
+    /// stored in a shared slot and the erroring worker keeps draining the
+    /// queue (dropping arenas) so the producer can never block on a full
+    /// queue; worker panics surface as [`ExecError::Worker`].
+    fn form_runs_par(&mut self, t: usize) -> Result<FormOutcome, ExecError> {
+        let arena_cap = self.budget.arena_bytes();
+        let rs = self.record_size;
+        let chunk_records = (arena_cap / t / rs).max(1);
+        let chunk_bytes = chunk_records * rs;
+        let former = self.former();
+        let queue: WorkQueue<(usize, Vec<u8>)> = WorkQueue::bounded(t);
+        let results: Mutex<Vec<(usize, HeapFile)>> = Mutex::new(Vec::new());
+        let first_err: Mutex<Option<ExecError>> = Mutex::new(None);
+
+        let child = &mut self.child;
+        let cancel = self.cancel.as_ref();
+        let (in_memory, consumed) =
+            std::thread::scope(|s| -> Result<(Option<Vec<u8>>, u64), ExecError> {
+                let mut handles = Vec::with_capacity(t);
+                for _ in 0..t {
+                    handles.push(s.spawn(|| {
+                        while let Some((seq, arena)) = queue.pop() {
+                            if lock(&first_err).is_some() {
+                                continue; // doomed: drain so the producer never blocks
+                            }
+                            let order = former.sort_arena(&arena);
+                            match former.write_run(&arena, &order) {
+                                Ok(run) => lock(&results).push((seq, run)),
+                                Err(e) => store_first(&first_err, e),
+                            }
+                        }
+                    }));
+                }
+
+                let mut arena: Vec<u8> = Vec::with_capacity(arena_cap.min(1 << 24));
+                let mut consumed: u64 = 0;
+                let mut seq = 0usize;
+                let mut spilled = false;
+                let mut prod_err: Option<ExecError> = None;
+                loop {
+                    if let Err(e) = poll(cancel, consumed) {
+                        prod_err = Some(e);
+                        break;
+                    }
+                    if lock(&first_err).is_some() {
+                        break;
+                    }
+                    let cap = if spilled { chunk_bytes } else { arena_cap };
+                    if arena.len() + rs > cap {
+                        if spilled {
+                            let next = Vec::with_capacity(chunk_bytes);
+                            if queue
+                                .push((seq, std::mem::replace(&mut arena, next)))
+                                .is_err()
+                            {
+                                break; // closed: only happens on teardown
+                            }
+                            seq += 1;
+                        } else {
+                            // first overflow: we now know we're external —
+                            // split the full-budget arena into worker chunks
+                            spilled = true;
+                            for chunk in arena.chunks(chunk_bytes) {
+                                if queue.push((seq, chunk.to_vec())).is_err() {
+                                    break;
+                                }
+                                seq += 1;
+                            }
+                            arena.clear();
+                            arena.shrink_to(chunk_bytes);
+                        }
+                    }
+                    match child.next() {
+                        Ok(Some(r)) => {
+                            arena.extend_from_slice(r);
+                            consumed += 1;
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            prod_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if spilled
+                    && !arena.is_empty()
+                    && prod_err.is_none()
+                    && lock(&first_err).is_none()
+                    && queue.push((seq, std::mem::take(&mut arena))).is_err()
+                {
+                    // closed queue here means workers are gone; the join
+                    // below reports the underlying panic
+                }
+                queue.close();
+                let mut panic_msg: Option<Option<String>> = None;
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        panic_msg = Some(crate::sync_util::panic_message(payload.as_ref()));
+                    }
+                }
+                if let Some(message) = panic_msg {
+                    return Err(ExecError::Worker { message });
+                }
+                if let Some(e) = lock(&first_err).take() {
+                    return Err(e);
+                }
+                if let Some(e) = prod_err {
+                    return Err(e);
+                }
+                Ok((if spilled { None } else { Some(arena) }, consumed))
+            })?;
+
+        if let Some(arena) = in_memory {
+            return Ok(FormOutcome::InMemory(arena));
+        }
+        let mut formed = match results.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        formed.sort_unstable_by_key(|(seq, _)| *seq);
+        self.runs_written += formed.len();
+        Ok(FormOutcome::Runs(
+            formed.into_iter().map(|(_, run)| Arc::new(run)).collect(),
+            consumed,
+        ))
+    }
+
+    /// One intermediate merge pass over `runs`, distributing the
+    /// `fan_in`-sized groups across `t` workers when it pays.
+    fn merge_pass(
+        &mut self,
+        runs: Vec<Arc<HeapFile>>,
+        fan_in: usize,
+        t: usize,
+    ) -> Result<Vec<Arc<HeapFile>>, ExecError> {
+        let former = self.former();
+        let cancel = self.cancel.clone();
+        let groups: Vec<Vec<Arc<HeapFile>>> = runs.chunks(fan_in).map(<[_]>::to_vec).collect();
+        let multi = groups.iter().filter(|g| g.len() > 1).count();
+        if t <= 1 || multi <= 1 {
+            let mut next: Vec<Arc<HeapFile>> = Vec::new();
+            for mut group in groups {
+                if group.len() == 1 {
+                    next.push(group.swap_remove(0));
+                } else {
+                    next.push(Arc::new(former.merge_to_run(group, cancel.clone())?));
+                    self.runs_written += 1;
+                }
+            }
+            return Ok(next);
+        }
+
+        let workers = t.min(multi);
+        let queue: WorkQueue<(usize, Vec<Arc<HeapFile>>)> = WorkQueue::bounded(groups.len());
+        let results: Mutex<Vec<(usize, Arc<HeapFile>)>> = Mutex::new(Vec::new());
+        let first_err: Mutex<Option<ExecError>> = Mutex::new(None);
+        let merged = std::thread::scope(|s| -> Result<usize, ExecError> {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cancel = cancel.clone();
+                let former = &former;
+                let queue = &queue;
+                let results = &results;
+                let first_err = &first_err;
+                handles.push(s.spawn(move || {
+                    let mut merged = 0usize;
+                    while let Some((idx, group)) = queue.pop() {
+                        if lock(first_err).is_some() {
+                            continue;
+                        }
+                        match former.merge_to_run(group, cancel.clone()) {
+                            Ok(run) => {
+                                lock(results).push((idx, Arc::new(run)));
+                                merged += 1;
+                            }
+                            Err(e) => store_first(first_err, e),
+                        }
+                    }
+                    merged
+                }));
+            }
+            for (idx, group) in groups.into_iter().enumerate() {
+                if group.len() == 1 {
+                    lock(&results).extend(group.into_iter().map(|r| (idx, r)));
+                } else if queue.push((idx, group)).is_err() {
+                    break;
+                }
+            }
+            queue.close();
+            let mut panic_msg: Option<Option<String>> = None;
+            let mut merged = 0usize;
+            for h in handles {
+                match h.join() {
+                    Ok(n) => merged += n,
+                    Err(payload) => {
+                        panic_msg = Some(crate::sync_util::panic_message(payload.as_ref()));
+                    }
+                }
+            }
+            if let Some(message) = panic_msg {
+                return Err(ExecError::Worker { message });
+            }
+            if let Some(e) = lock(&first_err).take() {
+                return Err(e);
+            }
+            Ok(merged)
+        })?;
+        self.runs_written += merged;
+        let mut next = match results.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        next.sort_unstable_by_key(|(idx, _)| *idx);
+        Ok(next.into_iter().map(|(_, run)| run).collect())
+    }
+}
+
+impl Operator for ExternalSort {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()?;
+        self.runs_written = 0;
+        self.merge_passes = 0;
+        let t = effective_threads(self.threads);
+
+        // --- Run formation ---
+        let outcome = if t <= 1 {
+            self.form_runs_seq()?
+        } else {
+            self.form_runs_par(t)?
+        };
+        self.child.close();
+
+        let (mut runs, consumed) = match outcome {
+            FormOutcome::InMemory(arena) => {
+                // Everything fit: no spill at all.
+                let order = self.former().sort_arena(&arena);
+                self.state = SortState::InMemory {
+                    arena,
+                    order,
+                    pos: 0,
+                };
+                return Ok(());
+            }
+            FormOutcome::Runs(runs, consumed) => (runs, consumed),
+        };
 
         // --- Intermediate merge passes until fan-in suffices ---
         let fan_in = self.budget.fan_in().max(2);
         while runs.len() > fan_in {
             // pass boundary: a natural cancellation point
-            if let Some(t) = &self.cancel {
-                t.check(consumed)?;
+            if let Some(tok) = &self.cancel {
+                tok.check(consumed)?;
             }
-            let mut next: Vec<Arc<HeapFile>> = Vec::new();
-            for group in runs.chunks(fan_in) {
-                if group.len() == 1 {
-                    next.push(Arc::clone(&group[0]));
-                } else {
-                    next.push(Arc::new(self.merge_to_run(group.to_vec())?));
-                    self.runs_written += 1;
-                }
-            }
-            runs = next;
+            runs = self.merge_pass(runs, fan_in, t)?;
             self.merge_passes += 1;
         }
 
@@ -679,6 +990,90 @@ mod tests {
             matches!(err, Some(ExecError::Cancelled { .. })),
             "merge must notice the cancel: {err:?}"
         );
+        sort.close();
+        assert_eq!(disk.allocated_pages(), 0, "no leaked run files");
+    }
+
+    #[test]
+    fn parallel_sort_matches_sequential_output() {
+        let recs = mk_records(2000, 64, 31);
+        let mut expect = recs.clone();
+        expect.sort();
+        for t in [2, 4, 0] {
+            let disk = MemDisk::shared();
+            let src = Box::new(MemSource::new(recs.clone(), 64));
+            let mut sort =
+                ExternalSort::new(src, asc(), Arc::clone(&disk) as _, SortBudget::pages(3))
+                    .with_threads(t);
+            let out = collect(&mut sort).unwrap();
+            assert_eq!(out, expect, "threads={t}");
+            assert!(sort.runs_written() > 1, "must spill under a 3-page budget");
+            sort.close();
+            assert_eq!(disk.allocated_pages(), 0, "threads={t}: leaked run files");
+        }
+    }
+
+    #[test]
+    fn parallel_sort_keeps_in_memory_fast_path() {
+        let recs = mk_records(100, 16, 37);
+        let mut expect = recs.clone();
+        expect.sort();
+        let disk = MemDisk::shared();
+        let src = Box::new(MemSource::new(recs, 16));
+        let mut sort = ExternalSort::new(src, asc(), Arc::clone(&disk) as _, SortBudget::pages(10))
+            .with_threads(4);
+        let out = collect(&mut sort).unwrap();
+        assert_eq!(out, expect);
+        assert_eq!(sort.runs_written(), 0, "fitting input must not spill");
+        assert_eq!(disk.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn parallel_sort_with_prefix_keys_and_many_merge_passes() {
+        // exercises parallel intermediate merge passes (fan-in 2) under
+        // the decorate-sort-undecorate path
+        struct FirstByte;
+        impl RecordComparator for FirstByte {
+            fn cmp(&self, a: &[u8], b: &[u8]) -> Ordering {
+                a.cmp(b)
+            }
+            fn prefix_key(&self, r: &[u8]) -> Option<u64> {
+                Some(u64::from(r[0]))
+            }
+        }
+        let recs = mk_records(3000, 64, 41);
+        let mut expect = recs.clone();
+        expect.sort();
+        let disk = MemDisk::shared();
+        let src = Box::new(MemSource::new(recs, 64));
+        let mut sort = ExternalSort::new(
+            src,
+            Arc::new(FirstByte),
+            Arc::clone(&disk) as _,
+            SortBudget::pages(3),
+        )
+        .with_threads(3);
+        let out = collect(&mut sort).unwrap();
+        assert_eq!(out, expect);
+        assert!(sort.merge_passes() >= 2, "must take intermediate passes");
+        sort.close();
+        assert_eq!(disk.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn parallel_cancelled_sort_returns_typed_error_and_cleans_up() {
+        let recs = mk_records(2000, 64, 43);
+        let disk = MemDisk::shared();
+        let src = Box::new(MemSource::new(recs, 64));
+        let token = CancelToken::new();
+        token.cancel();
+        let mut sort = ExternalSort::new(src, asc(), Arc::clone(&disk) as _, SortBudget::pages(3))
+            .with_threads(4)
+            .with_cancel(token);
+        match sort.open() {
+            Err(ExecError::Cancelled { .. }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
         sort.close();
         assert_eq!(disk.allocated_pages(), 0, "no leaked run files");
     }

@@ -1,0 +1,29 @@
+//! Small locking helpers shared by the exec-crate concurrency primitives.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Acquire `m`, recovering the data on poison.
+///
+/// The queue and worker structures guard plain bookkeeping (VecDeques,
+/// flags, counters); a panic while holding the lock cannot leave them in
+/// a torn state, so poisoning carries no information here and is
+/// deliberately ignored.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `cv`, recovering the guard on poison (same rationale as
+/// [`lock`]).
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Extract a human-readable message from a worker panic payload, when
+/// the payload was a string (the overwhelmingly common case).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        Some((*s).to_string())
+    } else {
+        payload.downcast_ref::<String>().cloned()
+    }
+}

@@ -236,6 +236,19 @@ impl SharedScanner {
         self.page_no = u64::MAX;
     }
 
+    /// Position the scan so the next record returned is `record`
+    /// (0-based). Seeking at or past the end makes the scan report
+    /// end-of-file. Range scans over a partition of the heap start here.
+    pub fn seek(&mut self, record: u64) {
+        self.next_record = record.min(self.heap.n_records);
+        self.page_no = u64::MAX;
+    }
+
+    /// The record index [`SharedScanner::next_record`] will return next.
+    pub fn position(&self) -> u64 {
+        self.next_record
+    }
+
     /// The scanned heap file.
     pub fn heap(&self) -> &Arc<HeapFile> {
         &self.heap

@@ -1,0 +1,445 @@
+//! `cargo xtask bench` — regenerate or gate the parallel-SFS benchmark
+//! report (`BENCH_pr4.json`).
+//!
+//! Without `--gate` the bench binary rewrites the committed report.
+//! With `--gate` a fresh run lands in `target/bench_gate_new.json` and
+//! is diffed against the committed one, section by section and thread by
+//! thread:
+//!
+//! * deterministic fields — `comparisons`, `critical_path`, `skyline`,
+//!   `checksum` — must match **exactly**; a mismatch means the algorithm
+//!   changed and the baseline must be regenerated deliberately
+//!   (`cargo xtask bench`), never silently;
+//! * `filter_ms` may not regress by more than 20% (wall clock is noisy,
+//!   so only a worsening beyond [`MAX_WALL_REGRESSION`] fails).
+//!
+//! `--smoke` restricts the fresh run to the CI-sized section; sections
+//! present only in the committed report are then skipped.
+//!
+//! The JSON walker below is deliberately tiny: the report is our own
+//! flat format, and the workspace takes no serde dependency for it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fresh `filter_ms` above `committed × MAX_WALL_REGRESSION` fails.
+pub const MAX_WALL_REGRESSION: f64 = 1.2;
+
+/// Minimal JSON value — just enough to walk the bench report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (the report stays far below 2^53, where f64 is exact).
+    Num(f64),
+    /// String
+    Str(String),
+    /// Array
+    Arr(Vec<Json>),
+    /// Object (sorted keys; duplicates keep the last value).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            _ => &[],
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Where the parser stopped and why.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending input.
+    pub at: usize,
+    /// What went wrong.
+    pub what: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.what)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &'static str) -> ParseError {
+        ParseError { at: self.i, what }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8, what: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, ParseError> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"', "expected string")?;
+        let mut s = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let e = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        // the bench report never emits the rest
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                }
+                c => {
+                    self.i += 1;
+                    s.push(c as char);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => {
+                self.i += 1;
+                let mut m = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(m));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':', "expected ':'")?;
+                    m.insert(k, self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Obj(m));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            b'[' => {
+                self.i += 1;
+                let mut v = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(v));
+                }
+                loop {
+                    v.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Arr(v));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.eat_lit("true", Json::Bool(true)),
+            b'f' => self.eat_lit("false", Json::Bool(false)),
+            b'n' => self.eat_lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+}
+
+/// Parse a complete JSON document.
+///
+/// # Errors
+/// [`ParseError`] with the byte offset of the first malformed token.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i == p.b.len() {
+        Ok(v)
+    } else {
+        Err(p.err("trailing input"))
+    }
+}
+
+/// One run row, keyed for the diff.
+#[derive(Debug, Clone, PartialEq)]
+struct Run {
+    filter_ms: f64,
+    comparisons: f64,
+    critical_path: f64,
+    skyline: f64,
+    checksum: String,
+}
+
+/// section label → threads → run
+type Grid = BTreeMap<String, BTreeMap<u64, Run>>;
+
+fn grid_of(doc: &Json) -> Result<Grid, String> {
+    let mut grid = Grid::new();
+    for sec in doc.get("sections").ok_or("report has no `sections`")?.arr() {
+        let label = sec
+            .get("label")
+            .and_then(Json::str)
+            .ok_or("section without label")?
+            .to_string();
+        let mut runs = BTreeMap::new();
+        for r in sec.get("runs").ok_or("section without runs")?.arr() {
+            let f = |k: &str| -> Result<f64, String> {
+                r.get(k)
+                    .and_then(Json::num)
+                    .ok_or_else(|| format!("run missing `{k}`"))
+            };
+            runs.insert(
+                f("threads")? as u64,
+                Run {
+                    filter_ms: f("filter_ms")?,
+                    comparisons: f("comparisons")?,
+                    critical_path: f("critical_path")?,
+                    skyline: f("skyline")?,
+                    checksum: r
+                        .get("checksum")
+                        .and_then(Json::str)
+                        .ok_or("run missing `checksum`")?
+                        .to_string(),
+                },
+            );
+        }
+        grid.insert(label, runs);
+    }
+    Ok(grid)
+}
+
+/// Diff a fresh report against the committed baseline. Every section of
+/// the fresh run must exist in the baseline with the same thread grid;
+/// baseline-only sections are skipped (that is how `--smoke` works).
+///
+/// # Errors
+/// A report of every violated check, one per line.
+pub fn compare(committed: &str, fresh: &str) -> Result<Vec<String>, String> {
+    let committed = grid_of(&parse(committed).map_err(|e| format!("committed report: {e}"))?)?;
+    let fresh = grid_of(&parse(fresh).map_err(|e| format!("fresh report: {e}"))?)?;
+    let mut notes = Vec::new();
+    let mut errs = String::new();
+    for (label, runs) in &fresh {
+        let Some(base_runs) = committed.get(label) else {
+            errs.push_str(&format!(
+                "section `{label}` missing from committed BENCH_pr4.json — regenerate it\n"
+            ));
+            continue;
+        };
+        for (threads, run) in runs {
+            let Some(base) = base_runs.get(threads) else {
+                errs.push_str(&format!(
+                    "section `{label}` threads={threads} missing from committed report\n"
+                ));
+                continue;
+            };
+            for (what, new, old) in [
+                ("comparisons", run.comparisons, base.comparisons),
+                ("critical_path", run.critical_path, base.critical_path),
+                ("skyline", run.skyline, base.skyline),
+            ] {
+                #[allow(clippy::float_cmp)] // integers carried in f64; exactness is the point
+                if new != old {
+                    errs.push_str(&format!(
+                        "`{label}` threads={threads}: {what} changed {old} → {new} \
+                         (deterministic — regenerate the baseline deliberately)\n"
+                    ));
+                }
+            }
+            if run.checksum != base.checksum {
+                errs.push_str(&format!(
+                    "`{label}` threads={threads}: skyline checksum changed {} → {}\n",
+                    base.checksum, run.checksum
+                ));
+            }
+            if run.filter_ms > base.filter_ms * MAX_WALL_REGRESSION {
+                errs.push_str(&format!(
+                    "`{label}` threads={threads}: filter_ms regressed {:.1} → {:.1} \
+                     (gate allows {:.0}%)\n",
+                    base.filter_ms,
+                    run.filter_ms,
+                    (MAX_WALL_REGRESSION - 1.0) * 100.0
+                ));
+            } else {
+                notes.push(format!(
+                    "`{label}` threads={threads}: filter {:.1}ms vs {:.1}ms baseline — ok",
+                    run.filter_ms, base.filter_ms
+                ));
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(notes)
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section(label: &str, filter_ms: f64, comparisons: u64) -> String {
+        format!(
+            r#"{{ "label": "{label}", "n": 20000, "d": 7, "window_pages": 16, "cores": 1,
+                  "runs": [ {{ "threads": 1, "sort_ms": 10.0, "filter_ms": {filter_ms},
+                               "comparisons": {comparisons}, "critical_path": {comparisons},
+                               "extra_pages": 0, "skyline": 42,
+                               "checksum": "0x00deadbeef000000",
+                               "speedup_wall": 1.0, "speedup_model": 1.0 }} ] }}"#
+        )
+    }
+
+    fn report_of(sections: &[String]) -> String {
+        format!(
+            r#"{{ "schema": 1, "seed": 2003, "sections": [ {} ] }}"#,
+            sections.join(", ")
+        )
+    }
+
+    fn report(filter_ms: f64, comparisons: u64) -> String {
+        report_of(&[section("smoke", filter_ms, comparisons)])
+    }
+
+    #[test]
+    fn parses_own_report_shape() {
+        let doc = parse(&report(5.0, 1000)).unwrap();
+        let grid = grid_of(&doc).unwrap();
+        assert_eq!(grid["smoke"][&1].skyline, 42.0);
+        assert_eq!(grid["smoke"][&1].checksum, "0x00deadbeef000000");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{ \"a\": }").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert_eq!(parse("  null ").unwrap(), Json::Null);
+        assert_eq!(parse("[true, false, 1.5]").unwrap().arr().len(), 3);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(5.0, 1000);
+        let notes = compare(&r, &r).unwrap();
+        assert_eq!(notes.len(), 1);
+    }
+
+    #[test]
+    fn wall_regression_beyond_20_percent_fails() {
+        let base = report(5.0, 1000);
+        assert!(compare(&base, &report(5.9, 1000)).is_ok());
+        let err = compare(&base, &report(6.1, 1000)).unwrap_err();
+        assert!(err.contains("filter_ms regressed"), "{err}");
+    }
+
+    #[test]
+    fn deterministic_drift_fails_even_when_faster() {
+        let err = compare(&report(5.0, 1000), &report(1.0, 999)).unwrap_err();
+        assert!(err.contains("comparisons changed"), "{err}");
+    }
+
+    #[test]
+    fn baseline_only_sections_are_skipped() {
+        // fresh smoke-only run vs a committed report with full + smoke
+        // (the `--gate --smoke` shape): the committed side's extra
+        // section must be ignored, not flagged — and drifting it must
+        // still not matter.
+        let committed = report_of(&[section("full", 99.0, 7), section("smoke", 5.0, 1000)]);
+        assert!(compare(&committed, &report(5.0, 1000)).is_ok());
+    }
+
+    #[test]
+    fn missing_fresh_section_in_committed_fails() {
+        let other = report_of(&[section("full", 5.0, 1000)]);
+        let err = compare(&other, &report(5.0, 1000)).unwrap_err();
+        assert!(err.contains("missing from committed"), "{err}");
+    }
+}

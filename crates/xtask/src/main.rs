@@ -11,10 +11,18 @@
 //!   the dominance auditors watch every operator test.
 //! * `oracle` — the differential gate of [`oracle`]: every algorithm
 //!   against the naive O(n²) oracle across the paper's workload grid.
-//! * `check` — all of the above; the CI entry point.
+//! * `bench [--gate] [--smoke]` — run the parallel-SFS bench gate.
+//!   Without `--gate`, (re)writes the committed `BENCH_pr4.json`
+//!   baseline; with `--gate`, writes a fresh report to `target/` and
+//!   diffs it against the committed one via [`bench::compare`]
+//!   (deterministic counters exactly, wall time within 20%). `--smoke`
+//!   runs only the small section — the CI configuration.
+//! * `check` — analyze + audit + oracle; the CI entry point (the bench
+//!   gate is a separate CI job: it needs a release build).
 
 mod analyze;
 mod baseline;
+mod bench;
 mod lints;
 mod model;
 mod oracle;
@@ -181,8 +189,48 @@ fn run_oracle() -> Result<(), String> {
     }
 }
 
+/// Run the bench-gate binary; with `gate`, diff its fresh report against
+/// the committed `BENCH_pr4.json` (deterministic fields must match
+/// exactly, wall time within [`bench::MAX_WALL_REGRESSION`]).
+fn run_bench(root: &Path, gate: bool, smoke: bool) -> Result<(), String> {
+    let out_rel = if gate {
+        "target/bench_gate_fresh.json"
+    } else {
+        "BENCH_pr4.json"
+    };
+    let mut args = vec![
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "skyline-bench",
+        "--bin",
+        "bench_gate",
+        "--",
+    ];
+    if smoke {
+        args.push("--smoke");
+    }
+    args.extend(["--out", out_rel]);
+    run_cargo(root, &args)?;
+    if !gate {
+        return Ok(());
+    }
+    let committed = std::fs::read_to_string(root.join("BENCH_pr4.json")).map_err(|e| {
+        format!("read BENCH_pr4.json: {e} — regenerate the baseline with `cargo xtask bench`")
+    })?;
+    let fresh =
+        std::fs::read_to_string(root.join(out_rel)).map_err(|e| format!("read {out_rel}: {e}"))?;
+    for note in bench::compare(&committed, &fresh)? {
+        println!("bench: {note}");
+    }
+    println!("bench: gate ok — fresh run agrees with the committed BENCH_pr4.json");
+    Ok(())
+}
+
 fn usage() -> String {
-    "usage: cargo xtask <check|analyze|lint|audit|oracle> [--update-baseline] [--sarif PATH]"
+    "usage: cargo xtask <check|analyze|lint|audit|oracle|bench> \
+     [--update-baseline] [--sarif PATH] [--gate] [--smoke]"
         .to_string()
 }
 
@@ -195,10 +243,13 @@ fn main() -> ExitCode {
         .position(|a| a == "--sarif")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
+    let gate = args.iter().any(|a| a == "--gate");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let result = match args.first().map(String::as_str) {
         Some("analyze") | Some("lint") => run_analysis(&root, update, sarif),
         Some("audit") => run_audit(&root),
         Some("oracle") => run_oracle(),
+        Some("bench") => run_bench(&root, gate, smoke),
         Some("check") => run_analysis(&root, false, sarif)
             .and_then(|()| run_audit(&root))
             .and_then(|()| run_oracle()),

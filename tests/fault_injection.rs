@@ -13,7 +13,9 @@
 
 use skyline::core::algo::naive;
 use skyline::core::external::WinnowOp;
-use skyline::core::planner::{bnl_over, entropy_stats_of_records, load_heap, presort, sfs_filter};
+use skyline::core::planner::{
+    bnl_over, entropy_stats_of_records, load_heap, parallel_skyline_pipeline, presort, sfs_filter,
+};
 use skyline::core::skyband::skyband;
 use skyline::core::strata::strata_external;
 use skyline::core::winnow::SkylinePreference;
@@ -193,6 +195,71 @@ fn parallel(
     ))
 }
 
+/// Thread count for the partitioned external SFS drivers. CI's
+/// fault-injection matrix sets `PAR_THREADS` ∈ {1, 2} so the same fault
+/// schedules replay against both the sequential and the partitioned
+/// paths; locally it defaults to 2 (the partitioned path).
+fn par_threads() -> usize {
+    std::env::var("PAR_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+fn run_par_sfs(
+    disk: Arc<dyn Disk>,
+    layout: RecordLayout,
+    records: &[Vec<u8>],
+    order: SortOrder,
+) -> Result<Vec<Vec<i32>>, String> {
+    let spec = SkylineSpec::max_all(D);
+    let mut heap = load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    )
+    .map_err(|e| e.to_string())?;
+    heap.mark_temp();
+    let entropy = matches!(order, SortOrder::Entropy | SortOrder::ReverseEntropy)
+        .then(|| entropy_stats_of_records(&layout, &spec, records.iter().map(Vec::as_slice)));
+    let outcome = parallel_skyline_pipeline(
+        Arc::new(heap),
+        layout,
+        spec,
+        order,
+        entropy,
+        SfsConfig::new(1),
+        4,
+        par_threads(),
+        disk,
+        SkylineMetrics::shared(),
+        None,
+        None,
+    )
+    .map_err(|e| e.to_string())?;
+    // the outcome's skyline is persisted: delete it on *both* paths, or
+    // a read fault here would masquerade as a page leak
+    let rows = outcome.skyline.read_all().map_err(|e| e.to_string());
+    outcome.skyline.delete();
+    Ok(value_rows(&layout, rows?.iter().map(Vec::as_slice)))
+}
+
+fn par_sfs_nested(
+    d: Arc<dyn Disk>,
+    l: RecordLayout,
+    r: &[Vec<u8>],
+) -> Result<Vec<Vec<i32>>, String> {
+    run_par_sfs(d, l, r, SortOrder::Nested)
+}
+
+fn par_sfs_entropy(
+    d: Arc<dyn Disk>,
+    l: RecordLayout,
+    r: &[Vec<u8>],
+) -> Result<Vec<Vec<i32>>, String> {
+    run_par_sfs(d, l, r, SortOrder::Entropy)
+}
+
 fn strata(
     disk: Arc<dyn Disk>,
     layout: RecordLayout,
@@ -253,6 +320,8 @@ fn skyband_k1(
 const DRIVERS: &[(&str, Driver)] = &[
     ("sfs-nested", sfs_nested),
     ("sfs-entropy", sfs_entropy),
+    ("par-sfs-nested", par_sfs_nested),
+    ("par-sfs-entropy", par_sfs_entropy),
     ("bnl", bnl),
     ("winnow", winnow),
     ("parallel", parallel),

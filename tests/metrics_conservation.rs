@@ -1,0 +1,209 @@
+//! Conservation-law gate over the metrics ledger: every record an
+//! operator fetches is settled exactly once — `emitted + discarded ==
+//! input_records` — for sequential SFS, BNL, the generalized winnow,
+//! and (stage by stage, summing to the aggregate *exactly*) the
+//! partitioned parallel filter. These laws are what make the bench
+//! gate's comparison counters trustworthy as a regression oracle.
+
+use skyline::core::external::WinnowOp;
+use skyline::core::planner::{bnl_over, entropy_stats_of, load_heap, presort, sfs_filter};
+use skyline::core::winnow::SkylinePreference;
+use skyline::core::{
+    parallel_sfs_filter, MetricsSnapshot, SfsConfig, SkylineMetrics, SkylineSpec, SortOrder,
+};
+use skyline::exec::{collect, HeapScan, Operator};
+use skyline::relation::gen::{Distribution, WorkloadSpec};
+use skyline::relation::RecordLayout;
+use skyline::storage::{HeapFile, MemDisk};
+use std::sync::Arc;
+
+/// An anti-correlated workload (big skyline, guaranteed multipass at
+/// small windows) loaded into a fresh MemDisk heap.
+fn fixture(
+    n: usize,
+    d: usize,
+    seed: u64,
+) -> (Arc<HeapFile>, RecordLayout, SkylineSpec, Arc<MemDisk>) {
+    let spec = WorkloadSpec {
+        dist: Distribution::AntiCorrelated { jitter: 0.05 },
+        domain: (0, 999),
+        layout: RecordLayout::new(d, 0),
+        ..WorkloadSpec::paper(n, seed)
+    };
+    let records = spec.generate();
+    let disk = MemDisk::shared();
+    let heap = Arc::new(
+        load_heap(
+            Arc::clone(&disk) as _,
+            spec.layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap(),
+    );
+    (heap, spec.layout, SkylineSpec::max_all(d), disk)
+}
+
+fn assert_settled(s: &MetricsSnapshot, n: u64, label: &str) {
+    assert_eq!(s.input_records, n, "{label}: all inputs fetched");
+    assert_eq!(
+        s.emitted + s.discarded,
+        s.input_records,
+        "{label}: every input settled exactly once"
+    );
+}
+
+#[test]
+fn sequential_sfs_settles_every_record_even_multipass() {
+    for (n, window) in [(500usize, 1usize), (1_500, 2)] {
+        let (heap, layout, spec, disk) = fixture(n, 4, 17);
+        let stats = entropy_stats_of(&heap, &layout, &spec).unwrap();
+        let sorted = presort(
+            heap,
+            layout,
+            spec.clone(),
+            SortOrder::Entropy,
+            Some(stats),
+            16,
+            Arc::clone(&disk) as _,
+        )
+        .unwrap();
+        let metrics = SkylineMetrics::shared();
+        let mut op = sfs_filter(
+            Arc::new(sorted),
+            layout,
+            spec,
+            SfsConfig::new(window),
+            Arc::clone(&disk) as _,
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let out = collect(&mut op).unwrap();
+        let s = metrics.snapshot();
+        assert_settled(&s, n as u64, "sfs");
+        assert_eq!(s.emitted, out.len() as u64, "emitted counter == output");
+        assert!(s.passes >= 1);
+    }
+}
+
+#[test]
+fn bnl_settles_every_record_even_multipass() {
+    let n = 1_200usize;
+    let (heap, layout, spec, disk) = fixture(n, 4, 19);
+    let metrics = SkylineMetrics::shared();
+    let mut op = bnl_over(
+        heap,
+        layout,
+        spec,
+        1, // one-page window forces spill passes
+        Arc::clone(&disk) as _,
+        Arc::clone(&metrics),
+    )
+    .unwrap();
+    let out = collect(&mut op).unwrap();
+    let s = metrics.snapshot();
+    assert_settled(&s, n as u64, "bnl");
+    assert_eq!(s.emitted, out.len() as u64);
+    assert!(s.passes > 1, "window of 1 page must force multipass");
+}
+
+#[test]
+fn winnow_op_settles_every_record() {
+    let n = 800usize;
+    let (heap, layout, spec, disk) = fixture(n, 3, 23);
+    let metrics = SkylineMetrics::shared();
+    let mut op = WinnowOp::new(
+        Box::new(HeapScan::new(heap)),
+        layout,
+        spec,
+        Arc::new(SkylinePreference),
+        1,
+        Arc::clone(&disk) as _,
+        Arc::clone(&metrics),
+    )
+    .unwrap();
+    let out = collect(&mut op).unwrap();
+    op.close();
+    let s = metrics.snapshot();
+    assert_settled(&s, n as u64, "winnow");
+    assert_eq!(s.emitted, out.len() as u64);
+}
+
+#[test]
+fn parallel_filter_aggregate_is_the_exact_sum_of_its_stages() {
+    let n = 2_500usize;
+    let (heap, layout, spec, disk) = fixture(n, 5, 29);
+    let stats = entropy_stats_of(&heap, &layout, &spec).unwrap();
+    let sorted = Arc::new(
+        presort(
+            heap,
+            layout,
+            spec.clone(),
+            SortOrder::Entropy,
+            Some(stats),
+            16,
+            Arc::clone(&disk) as _,
+        )
+        .unwrap(),
+    );
+    for threads in [2usize, 4] {
+        let metrics = SkylineMetrics::shared();
+        let outcome = parallel_sfs_filter(
+            Arc::clone(&sorted),
+            layout,
+            spec.clone(),
+            // anti-correlated d=5 local skylines are huge; give the
+            // in-memory merge an arena that certainly holds them, since
+            // this test checks the per-verifier exactness of that path
+            SfsConfig::new(4).with_merge_pages(1024),
+            threads,
+            Arc::clone(&disk) as _,
+            Arc::clone(&metrics),
+            None,
+            None,
+        )
+        .unwrap();
+        let label = format!("t={threads}");
+
+        // each stage settles its own inputs…
+        let mut worker_input = 0u64;
+        let mut worker_emitted = 0u64;
+        for (w, s) in outcome.worker_metrics.iter().enumerate() {
+            assert_settled(s, outcome.stratum_sizes[w], &format!("{label} worker {w}"));
+            worker_input += s.input_records;
+            worker_emitted += s.emitted;
+        }
+        // …the strata tile the input…
+        assert_eq!(worker_input, n as u64, "{label}: strata tile the input");
+        // …the merge's inputs are exactly the local skylines…
+        let m = &outcome.merge_metrics;
+        assert_eq!(
+            m.input_records, worker_emitted,
+            "{label}: merge consumes exactly the union of local skylines"
+        );
+        assert_eq!(
+            m.emitted + m.discarded,
+            m.input_records,
+            "{label}: merge settles"
+        );
+        assert_eq!(
+            m.emitted,
+            outcome.skyline.len(),
+            "{label}: merge emissions are the skyline"
+        );
+        // …the in-memory merge total is the exact sum of its verifiers…
+        assert!(outcome.merged_in_memory, "{label}");
+        let verifier_sum = outcome
+            .merge_worker_metrics
+            .iter()
+            .fold(MetricsSnapshot::default(), |acc, s| acc.plus(s));
+        assert_eq!(*m, verifier_sum, "{label}: merge == Σ verifiers, exactly");
+        // …and the caller's aggregate is the exact sum of every stage —
+        // every counter, not just the conserved ones.
+        let parts = outcome
+            .worker_metrics
+            .iter()
+            .fold(outcome.merge_metrics, |acc, s| acc.plus(s));
+        assert_eq!(metrics.snapshot(), parts, "{label}: aggregate == Σ stages");
+        outcome.skyline.delete();
+    }
+}
