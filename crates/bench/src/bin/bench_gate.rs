@@ -1,6 +1,6 @@
 //! The parallel-SFS perf gate: run the seed-2003 thread grid and write
 //! the JSON report the regression gate (`cargo xtask bench --gate`)
-//! diffs against the committed `BENCH_pr4.json`.
+//! diffs against the committed `BENCH_pr5.json`.
 //!
 //! ```text
 //! bench_gate [--smoke] [--out PATH]
@@ -9,8 +9,9 @@
 //! Default runs both the `full` (n=100k, d=7, threads 1/2/4) and `smoke`
 //! (n=20k, threads 1/2) sections and enforces the 1.5× speedup gate on
 //! `full`; `--smoke` runs only the small section (CI), where only the
-//! structural checks (identical skylines, exact metric aggregation)
-//! apply. `--out` defaults to `BENCH_pr4.json` in the current directory.
+//! structural checks (identical skylines, exact metric aggregation,
+//! scalar-vs-block kernel agreement) apply. `--out` defaults to
+//! `BENCH_pr5.json` in the current directory.
 
 use skyline_bench::gate::{report_json, run_section, GateSection, FULL, SMOKE};
 use skyline_bench::{ms, save_text, ReportTable};
@@ -29,6 +30,7 @@ fn print_section(s: &GateSection) {
             "comparisons",
             "critical-path",
             "extra pages",
+            "blocks skipped",
             "skyline",
             "speedup wall",
             "speedup model",
@@ -42,6 +44,7 @@ fn print_section(s: &GateSection) {
             r.comparisons.to_string(),
             r.critical_path.to_string(),
             r.extra_pages.to_string(),
+            r.blocks_skipped.to_string(),
             r.skyline.to_string(),
             format!("{:.2}x", s.speedup_wall(r.threads).unwrap_or(0.0)),
             format!("{:.2}x", s.speedup_model(r.threads).unwrap_or(0.0)),
@@ -52,7 +55,7 @@ fn print_section(s: &GateSection) {
 
 fn main() -> ExitCode {
     let mut smoke_only = false;
-    let mut out = String::from("BENCH_pr4.json");
+    let mut out = String::from("BENCH_pr5.json");
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {

@@ -22,8 +22,12 @@
 //! speedup and enforces the wall speedup only when
 //! `available_parallelism` covers the largest thread count. The
 //! regression gate (`cargo xtask bench --gate`) compares a fresh run
-//! against the committed `BENCH_pr4.json` the same way: deterministic
-//! fields must match exactly, wall times within a tolerance.
+//! against the committed `BENCH_pr5.json` the same way: deterministic
+//! fields must match exactly, wall times within a tolerance. It also
+//! replays each section's workload through the **scalar** reference
+//! window ([`SfsConfig::with_scalar_window`]) and asserts the skyline is
+//! bit-identical to the block kernel's, and reports the new block-kernel
+//! counters (`blocks_skipped`, `lanes_compared`) per run.
 
 use crate::harness::Dataset;
 use skyline_core::planner::presort_threaded;
@@ -91,6 +95,11 @@ pub struct ThreadRun {
     /// Filter-phase temp traffic: pages written plus re-read beyond the
     /// one input scan.
     pub extra_pages: u64,
+    /// Whole blocks the columnar window kernel pruned via per-block
+    /// summaries or the Theorem 4 score cutoff. Deterministic.
+    pub blocks_skipped: u64,
+    /// Physical f64 lanes the batched kernel examined. Deterministic.
+    pub lanes_compared: u64,
     /// Skyline cardinality.
     pub skyline: u64,
     /// FNV-1a over the sorted skyline key rows — order-independent.
@@ -296,10 +305,58 @@ pub fn run_section(spec: &GateSpec) -> GateSection {
             comparisons: agg.comparisons,
             critical_path,
             extra_pages,
+            blocks_skipped: agg.blocks_skipped,
+            lanes_compared: agg.lanes_compared,
             skyline,
             checksum,
         });
     }
+
+    // Kernel cross-check: the scalar reference window must produce the
+    // bit-identical skyline (count and checksum) the block kernel did.
+    {
+        let disk = Arc::clone(&ds.disk) as Arc<dyn Disk>;
+        let mut sorted = presort_threaded(
+            Arc::clone(&ds.heap),
+            ds.layout,
+            sky_spec.clone(),
+            SortOrder::Entropy,
+            Some(ds.entropy(spec.d)),
+            SORT_PAGES,
+            1,
+            Arc::clone(&disk),
+        )
+        .expect("presort (scalar cross-check)");
+        sorted.mark_temp();
+        let outcome = parallel_sfs_filter(
+            Arc::new(sorted),
+            ds.layout,
+            sky_spec,
+            SfsConfig::new(spec.window_pages).with_scalar_window(),
+            1,
+            disk,
+            SkylineMetrics::shared(),
+            None,
+            None,
+        )
+        .expect("scalar-window filter");
+        let mut rows = Vec::with_capacity(outcome.skyline.len() as usize);
+        {
+            let mut scan = outcome.skyline.scan();
+            while let Some(r) = scan.next_record().expect("scan scalar skyline") {
+                rows.push((0..spec.d).map(|i| ds.layout.attr(r, i)).collect());
+            }
+        }
+        let base = runs.first().expect("threads grid is non-empty");
+        assert_eq!(
+            (outcome.skyline.len(), skyline_checksum(rows)),
+            (base.skyline, base.checksum),
+            "scalar and block kernels must agree bit-for-bit ({})",
+            spec.label
+        );
+        outcome.skyline.delete();
+    }
+
     GateSection {
         spec: *spec,
         cores,
@@ -307,7 +364,7 @@ pub fn run_section(spec: &GateSpec) -> GateSection {
     }
 }
 
-/// Render the JSON report committed as `BENCH_pr4.json`. Hand-rolled:
+/// Render the JSON report committed as `BENCH_pr5.json`. Hand-rolled:
 /// the workspace takes no serialization dependency for one flat format.
 pub fn report_json(sections: &[GateSection]) -> String {
     let mut out = String::new();
@@ -330,6 +387,8 @@ pub fn report_json(sections: &[GateSection]) -> String {
             let _ = write!(out, "\"comparisons\": {}, ", r.comparisons);
             let _ = write!(out, "\"critical_path\": {}, ", r.critical_path);
             let _ = write!(out, "\"extra_pages\": {}, ", r.extra_pages);
+            let _ = write!(out, "\"blocks_skipped\": {}, ", r.blocks_skipped);
+            let _ = write!(out, "\"lanes_compared\": {}, ", r.lanes_compared);
             let _ = write!(out, "\"skyline\": {}, ", r.skyline);
             let _ = write!(out, "\"checksum\": \"{:#018x}\", ", r.checksum);
             let _ = write!(

@@ -12,7 +12,8 @@
 //! other, so duplicates are all reported as skyline — the relational
 //! semantics of the paper's Figure 5 `EXCEPT` query.
 
-use crate::dominance::{dom_rel, dominates, DomRel};
+use crate::dominance::dominates;
+use crate::dominance_block::{BlockVerdict, BlockWindow, ReplaceWindow};
 use crate::keys::KeyMatrix;
 use crate::score::{nested_desc, EntropyScore, MonotoneScore};
 
@@ -108,25 +109,25 @@ pub fn sfs(keys: &KeyMatrix, order: MemSortOrder) -> AlgoResult {
 pub fn sfs_presorted(keys: &KeyMatrix, order: &[usize]) -> AlgoResult {
     #[cfg(feature = "check-invariants")]
     crate::audit::assert_topological(keys, order, "algo::sfs_presorted/input");
-    let mut window: Vec<usize> = Vec::new();
+    // Unbounded columnar window (the batched dominance kernel); the
+    // survivor indices mirror its entries position-for-position.
+    let mut window = BlockWindow::new(keys.d().max(1), usize::MAX);
+    let mut survivors: Vec<usize> = Vec::new();
     let mut comparisons = 0u64;
     for &i in order {
-        let mut dominated = false;
-        for &w in &window {
-            comparisons += 1;
-            if dominates(keys.row(w), keys.row(i)) {
-                dominated = true;
-                break;
-            }
-        }
-        if !dominated {
-            window.push(i);
+        let (verdict, cost) = window.probe(keys.row(i));
+        comparisons += cost.comparisons;
+        if !matches!(verdict, BlockVerdict::Dominated) {
+            // Equal keys join the window too (they are all skyline and the
+            // scalar reference keeps them), preserving window contents.
+            window.insert(keys.row(i));
+            survivors.push(i);
         }
     }
     #[cfg(feature = "check-invariants")]
-    crate::audit::assert_pairwise_incomparable(keys, &window, "algo::sfs_presorted/emitted");
+    crate::audit::assert_pairwise_incomparable(keys, &survivors, "algo::sfs_presorted/emitted");
     AlgoResult {
-        indices: window,
+        indices: survivors,
         comparisons,
     }
 }
@@ -136,24 +137,25 @@ pub fn sfs_presorted(keys: &KeyMatrix, order: &[usize]) -> AlgoResult {
 /// scan order — BNL's performance (unlike its result) depends on it.
 pub fn bnl(keys: &KeyMatrix) -> AlgoResult {
     let n = keys.n();
-    let mut window: Vec<usize> = Vec::new();
+    let mut window = ReplaceWindow::new(keys.d().max(1));
+    let mut indices: Vec<usize> = Vec::new();
+    let mut removed: Vec<usize> = Vec::new();
     let mut comparisons = 0u64;
-    'input: for i in 0..n {
-        let mut k = 0;
-        while k < window.len() {
-            comparisons += 1;
-            match dom_rel(keys.row(window[k]), keys.row(i)) {
-                DomRel::Dominates => continue 'input, // discard i
-                DomRel::DominatedBy => {
-                    window.swap_remove(k); // i replaces window tuples
-                }
-                DomRel::Equal | DomRel::Incomparable => k += 1,
-            }
+    for i in 0..n {
+        let (dominated, cost) = window.probe_replace(keys.row(i), &mut removed);
+        comparisons += cost.comparisons;
+        // `remove_at` has swap-remove semantics; mirroring in the reported
+        // order keeps the index vector aligned with the columnar store.
+        for &p in &removed {
+            indices.swap_remove(p);
         }
-        window.push(i);
+        if !dominated {
+            window.push(keys.row(i));
+            indices.push(i);
+        }
     }
     AlgoResult {
-        indices: window,
+        indices,
         comparisons,
     }
 }
@@ -238,44 +240,45 @@ fn naive_over(keys: &KeyMatrix, rows: &[usize], comparisons: &mut u64) -> Vec<us
 pub fn strata(keys: &KeyMatrix, k: usize, order: MemSortOrder) -> (Vec<Vec<usize>>, u64) {
     assert!(k > 0, "need at least one stratum");
     let idx = presort_indices(keys, order);
-    let mut windows: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let d = keys.d().max(1);
+    let mut windows: Vec<(BlockWindow, Vec<usize>)> = (0..k)
+        .map(|_| (BlockWindow::new(d, usize::MAX), Vec::new()))
+        .collect();
     let mut comparisons = 0u64;
     'input: for &i in &idx {
-        for window in windows.iter_mut() {
-            let mut dominated = false;
-            for &w in window.iter() {
-                comparisons += 1;
-                if dominates(keys.row(w), keys.row(i)) {
-                    dominated = true;
-                    break;
-                }
-            }
-            if !dominated {
-                window.push(i);
+        for (window, members) in windows.iter_mut() {
+            let (verdict, cost) = window.probe(keys.row(i));
+            comparisons += cost.comparisons;
+            if !matches!(verdict, BlockVerdict::Dominated) {
+                window.insert(keys.row(i));
+                members.push(i);
                 continue 'input;
             }
         }
         // dominated in all k windows: stratum ≥ k, dropped
     }
-    (windows, comparisons)
+    (windows.into_iter().map(|(_, m)| m).collect(), comparisons)
 }
 
 /// Label every row with its stratum number (0-based). Needs as many
 /// windows as there are strata; `None` never occurs in the result.
 pub fn stratum_labels(keys: &KeyMatrix, order: MemSortOrder) -> Vec<usize> {
     let idx = presort_indices(keys, order);
-    let mut windows: Vec<Vec<usize>> = Vec::new();
+    let d = keys.d().max(1);
+    let mut windows: Vec<BlockWindow> = Vec::new();
     let mut labels = vec![0usize; keys.n()];
     'input: for &i in &idx {
         for (s, window) in windows.iter_mut().enumerate() {
-            if !window.iter().any(|&w| dominates(keys.row(w), keys.row(i))) {
-                window.push(i);
+            if !matches!(window.probe(keys.row(i)).0, BlockVerdict::Dominated) {
+                window.insert(keys.row(i));
                 labels[i] = s;
                 continue 'input;
             }
         }
         labels[i] = windows.len();
-        windows.push(vec![i]);
+        let mut fresh = BlockWindow::new(d, usize::MAX);
+        fresh.insert(keys.row(i));
+        windows.push(fresh);
     }
     labels
 }

@@ -47,6 +47,33 @@ impl Criterion {
     }
 
     /// Orient a raw value so that larger is always better.
+    ///
+    /// # Ordering contract
+    ///
+    /// `orient` must be a *strictly order-reversing* (`Min`) or
+    /// order-preserving (`Max`) map under IEEE-754 `<`, because every
+    /// downstream comparison — [`dom_rel`], [`dominates`], the batched
+    /// block kernel, and the Theorem-4 presort key — compares oriented
+    /// values with the primitive operators. Concretely:
+    ///
+    /// * **Finite values.** Negation reverses `<` exactly, so
+    ///   `a < b ⟺ orient(b) < orient(a)` under `Min`.
+    /// * **Signed zero.** `-0.0` negates to `+0.0` and vice versa, but
+    ///   IEEE `==`/`<` treat the two zeros as equal, so both orient to
+    ///   a value that compares equal to `0.0` — dominance verdicts and
+    ///   sort keys cannot distinguish the zeros, which is the intended
+    ///   "same attribute value" semantics.
+    /// * **Infinities.** `-∞`/`+∞` swap under `Min` and order correctly
+    ///   against all finite values.
+    /// * **NaN.** Negation keeps NaN a NaN, and NaN is *unordered*:
+    ///   every `<`/`>` against it is false, so [`dom_rel`] reports
+    ///   [`DomRel::Equal`] and [`dominates`] reports `false` in both
+    ///   directions — a NaN coordinate silently collapses comparisons
+    ///   instead of failing. Attribute values therefore must not be NaN;
+    ///   the record layout only produces keys via `f64::from(i32)`, so
+    ///   in-tree extraction never manufactures one, and callers feeding
+    ///   raw `f64` rows (e.g. the in-memory [`crate::algo`] entry
+    ///   points) are responsible for upholding this.
     #[inline]
     pub fn orient(&self, v: f64) -> f64 {
         match self.direction {
@@ -327,6 +354,52 @@ mod tests {
             .with_diff(vec![2])
             .validate(&layout)
             .is_ok());
+    }
+
+    #[test]
+    fn orient_signed_zero_compares_equal_both_directions() {
+        for c in [Criterion::max(0), Criterion::min(0)] {
+            let pos = c.orient(0.0);
+            let neg = c.orient(-0.0);
+            // IEEE == cannot tell the zeros apart, so neither can any
+            // dominance verdict built on </>
+            assert_eq!(pos, neg, "{:?}", c.direction);
+            assert_eq!(dom_rel(&[pos], &[neg]), DomRel::Equal);
+            assert!(!dominates(&[pos], &[neg]) && !dominates(&[neg], &[pos]));
+        }
+        // Min flips the sign bit (−0.0 → +0.0) without changing the
+        // compared value
+        assert!(Criterion::min(0).orient(-0.0).is_sign_positive());
+        assert!(Criterion::min(0).orient(0.0).is_sign_negative());
+    }
+
+    #[test]
+    fn orient_infinities_reverse_under_min() {
+        let c = Criterion::min(0);
+        assert_eq!(c.orient(f64::INFINITY), f64::NEG_INFINITY);
+        assert_eq!(c.orient(f64::NEG_INFINITY), f64::INFINITY);
+        // −∞ raw is the best possible MIN value: it orients above every
+        // finite value
+        assert!(c.orient(f64::NEG_INFINITY) > c.orient(-1e308));
+    }
+
+    #[test]
+    fn orient_nan_stays_unordered() {
+        for c in [Criterion::max(0), Criterion::min(0)] {
+            assert!(c.orient(f64::NAN).is_nan(), "{:?}", c.direction);
+        }
+        // NaN coordinates are unordered: both strict tests fail, and
+        // dom_rel degrades to Equal rather than inventing a winner
+        let nan = [f64::NAN, 2.0];
+        let num = [1.0, 2.0];
+        assert_eq!(dom_rel(&nan, &num), DomRel::Equal);
+        assert_eq!(dom_rel(&num, &nan), DomRel::Equal);
+        assert!(!dominates(&nan, &num) && !dominates(&num, &nan));
+        // even against an otherwise strictly better row the NaN lane
+        // contributes no strict win, so dominance still needs another
+        // strict coordinate
+        assert!(dominates(&[f64::NAN, 3.0], &[f64::NAN, 2.0]));
+        assert!(!dominates(&[f64::NAN, 2.0], &[1.0, 2.0]));
     }
 
     #[test]

@@ -1,0 +1,874 @@
+//! Columnar block windows: batched dominance kernels with per-block
+//! pruning bounds (DESIGN.md §12).
+//!
+//! Every window user in this crate — external SFS/BNL/winnow, the
+//! in-memory algorithms, and the parallel filter's prefix merge — spends
+//! its inner loop testing one candidate key against many window entries.
+//! The scalar path ([`crate::external`]'s `KeyWindow`, kept as the
+//! differential reference) walks entries row-at-a-time through
+//! [`dom_rel`], a branchy, short-circuiting loop. Here the window is
+//! stored struct-of-arrays in fixed blocks of [`BLOCK_LANES`] entries
+//! (keys are already *oriented* all-max by [`SkylineSpec::key_of`], so
+//! MIN criteria folded away at insert time), and each block carries two
+//! summaries that let a probe skip it wholesale:
+//!
+//! * **Per-criterion maxima.** If the candidate strictly beats a block's
+//!   max on any criterion, no entry in the block can dominate *or equal*
+//!   the candidate — sound because every entry is ≤ the max coordinate-wise.
+//! * **Score bound (Theorem 4).** Every dominator of the candidate has a
+//!   strictly greater value under any strictly monotone scoring; we use
+//!   the oriented key sum. A block whose max score is strictly below the
+//!   candidate's score holds no dominator and no equal key (equal keys
+//!   sum equal). When insertion scores have been non-increasing (tracked
+//!   per window), block max-scores are non-increasing too, and the first
+//!   block falling below the candidate ends the whole scan.
+//!
+//! Floating-point note: the f64 sum is evaluated left-to-right and
+//! rounding is monotone, so `a` dominating `b` still implies
+//! `score(a) >= score(b)` after rounding. All score pruning is therefore
+//! *strict* (`<`), never `<=`. NaN coordinates are conservatively safe:
+//! a NaN never compares greater, so summaries simply fail to advertise
+//! the entry and no skip condition can fire against a block it could have
+//! decided — and a NaN-keyed entry can neither dominate nor equal
+//! anything under [`dom_rel`] anyway.
+//!
+//! The batched kernels themselves are branch-free over the SoA columns:
+//! per-lane `u8` accumulators are folded criterion-by-criterion with `&=`
+//! / `|=` of comparison results, a shape LLVM autovectorizes. Model
+//! *comparisons* are still charged entry-at-a-time, up to and including
+//! the first decisive entry in window order — never more than the scalar
+//! kernel would charge — while [`ProbeCost::lanes`] records the physical
+//! lane work and [`ProbeCost::blocks_skipped`] the summary prunes.
+
+/// Entries per block. Sixteen f64 lanes per criterion column = two cache
+/// lines, small enough that per-block summaries prune at fine grain and
+/// large enough that the lane loop vectorizes.
+pub const BLOCK_LANES: usize = 16;
+
+/// The oriented key sum — Theorem 4's positive linear scoring with unit
+/// weights, the strictly monotone score all block-level bounds use.
+#[inline]
+#[must_use]
+pub fn key_score(key: &[f64]) -> f64 {
+    key.iter().sum()
+}
+
+/// What one block-window operation cost, in both model and machine units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCost {
+    /// Model dominance comparisons charged: entries of non-skipped blocks
+    /// scanned up to and including the first decisive entry. Never
+    /// exceeds what the scalar kernel charges for the same probe.
+    pub comparisons: u64,
+    /// Window-entry lanes the batched kernel physically evaluated
+    /// (the full population of every non-skipped block).
+    pub lanes: u64,
+    /// Blocks pruned whole by a summary or score bound.
+    pub blocks_skipped: u64,
+}
+
+impl ProbeCost {
+    /// Component-wise accumulation.
+    #[inline]
+    pub fn absorb(&mut self, other: ProbeCost) {
+        self.comparisons += other.comparisons;
+        self.lanes += other.lanes;
+        self.blocks_skipped += other.blocks_skipped;
+    }
+}
+
+/// Outcome of probing an append-only block window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockVerdict {
+    /// Some window entry strictly dominates the candidate.
+    Dominated,
+    /// Some window entry has exactly the candidate's key. (Sound as an
+    /// early verdict because window entries are pairwise non-dominating:
+    /// nothing can dominate a key equal to one of them.)
+    Equal,
+    /// The candidate is incomparable with every entry.
+    Incomparable,
+}
+
+/// One SoA block: `d` columns of [`BLOCK_LANES`] oriented values plus the
+/// pruning summaries. Unused lanes are padded with `-inf`, which can
+/// never dominate, equal, or raise a max.
+struct Block {
+    len: usize,
+    /// Column-major: criterion `c`, lane `l` at `cols[c * BLOCK_LANES + l]`.
+    cols: Vec<f64>,
+    /// Per-criterion maximum over the live lanes.
+    maxs: Vec<f64>,
+    /// Maximum [`key_score`] over the live lanes.
+    max_score: f64,
+    /// Minimum per-criterion / score bounds, maintained only by
+    /// [`ReplaceWindow`] (candidate-dominates-entry direction).
+    mins: Vec<f64>,
+    min_score: f64,
+}
+
+impl Block {
+    fn new(d: usize) -> Self {
+        Block {
+            len: 0,
+            cols: vec![f64::NEG_INFINITY; d * BLOCK_LANES],
+            maxs: vec![f64::NEG_INFINITY; d],
+            max_score: f64::NEG_INFINITY,
+            mins: vec![f64::INFINITY; d],
+            min_score: f64::INFINITY,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, key: &[f64], score: f64) {
+        let lane = self.len;
+        debug_assert!(lane < BLOCK_LANES);
+        for (c, &v) in key.iter().enumerate() {
+            self.cols[c * BLOCK_LANES + lane] = v;
+            if v > self.maxs[c] {
+                self.maxs[c] = v;
+            }
+            if v < self.mins[c] {
+                self.mins[c] = v;
+            }
+        }
+        if score > self.max_score {
+            self.max_score = score;
+        }
+        if score < self.min_score {
+            self.min_score = score;
+        }
+        self.len += 1;
+    }
+
+    /// Key of lane `l` as a scratch-free per-criterion accessor.
+    #[inline]
+    fn lane(&self, l: usize, c: usize) -> f64 {
+        self.cols[c * BLOCK_LANES + l]
+    }
+
+    /// Can any entry here dominate or equal `key`? (Max-coordinate and
+    /// strict score screens; both conservative.)
+    #[inline]
+    fn may_beat(&self, key: &[f64], score: f64) -> bool {
+        if self.max_score < score {
+            return false;
+        }
+        for (c, &v) in key.iter().enumerate() {
+            if v > self.maxs[c] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Can any entry here be dominated by `key`? (Min-coordinate and
+    /// strict score screens, mirror image of [`Block::may_beat`].)
+    #[inline]
+    fn may_fall(&self, key: &[f64], score: f64) -> bool {
+        if self.min_score > score {
+            return false;
+        }
+        for (c, &v) in key.iter().enumerate() {
+            if v < self.mins[c] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The batched kernel: fold `entry >= key` / `entry > key` across all
+    /// criteria into per-lane accumulators. Branch-free over full blocks
+    /// (padding lanes yield `ge = 0`); callers only read lanes `< len`.
+    #[inline]
+    fn masks(&self, key: &[f64]) -> ([u8; BLOCK_LANES], [u8; BLOCK_LANES]) {
+        let mut ge = [1u8; BLOCK_LANES];
+        let mut gt = [0u8; BLOCK_LANES];
+        for (c, &kc) in key.iter().enumerate() {
+            let col = &self.cols[c * BLOCK_LANES..(c + 1) * BLOCK_LANES];
+            for ((&v, ge_l), gt_l) in col.iter().zip(ge.iter_mut()).zip(gt.iter_mut()) {
+                *ge_l &= u8::from(v >= kc);
+                *gt_l |= u8::from(v > kc);
+            }
+        }
+        (ge, gt)
+    }
+
+    /// Reverse-direction kernel: `entry <= key` / `entry < key` per lane.
+    #[inline]
+    fn rev_masks(&self, key: &[f64]) -> ([u8; BLOCK_LANES], [u8; BLOCK_LANES]) {
+        let mut le = [1u8; BLOCK_LANES];
+        let mut lt = [0u8; BLOCK_LANES];
+        for (c, &kc) in key.iter().enumerate() {
+            let col = &self.cols[c * BLOCK_LANES..(c + 1) * BLOCK_LANES];
+            for ((&v, le_l), lt_l) in col.iter().zip(le.iter_mut()).zip(lt.iter_mut()) {
+                *le_l &= u8::from(v <= kc);
+                *lt_l |= u8::from(v < kc);
+            }
+        }
+        (le, lt)
+    }
+
+    /// Recompute all summaries from the live lanes (after a removal).
+    fn rebuild_summaries(&mut self) {
+        let d = self.maxs.len();
+        self.max_score = f64::NEG_INFINITY;
+        self.min_score = f64::INFINITY;
+        for c in 0..d {
+            self.maxs[c] = f64::NEG_INFINITY;
+            self.mins[c] = f64::INFINITY;
+        }
+        for l in 0..self.len {
+            let mut score = 0.0;
+            for c in 0..d {
+                let v = self.lane(l, c);
+                score += v;
+                if v > self.maxs[c] {
+                    self.maxs[c] = v;
+                }
+                if v < self.mins[c] {
+                    self.mins[c] = v;
+                }
+            }
+            if score > self.max_score {
+                self.max_score = score;
+            }
+            if score < self.min_score {
+                self.min_score = score;
+            }
+        }
+    }
+}
+
+/// Append-only columnar window — the SFS shape: entries are only ever
+/// inserted (survivors are proven skyline) and the whole window clears
+/// between passes or DIFF groups. Also serves, fully populated, as the
+/// read-only arena of the parallel prefix merge via
+/// [`BlockWindow::probe_prefix`].
+pub struct BlockWindow {
+    d: usize,
+    len: usize,
+    capacity: usize,
+    blocks: Vec<Block>,
+    /// True while insertion scores have been non-increasing — the
+    /// precondition for the Theorem-4 whole-tail cutoff.
+    monotone: bool,
+    last_score: f64,
+}
+
+impl BlockWindow {
+    /// A window over `d`-criterion oriented keys holding at most
+    /// `capacity` entries (use `usize::MAX` for unbounded in-memory use).
+    #[must_use]
+    pub fn new(d: usize, capacity: usize) -> Self {
+        debug_assert!(d > 0);
+        BlockWindow {
+            d,
+            len: 0,
+            capacity: capacity.max(1),
+            blocks: Vec::new(),
+            monotone: true,
+            last_score: f64::INFINITY,
+        }
+    }
+
+    /// Entries currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum entries this window may hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.len >= self.capacity
+    }
+
+    /// Whether insertion scores have been non-increasing so far (the
+    /// Theorem-4 tail cutoff is armed). Exposed for tests.
+    #[must_use]
+    pub fn is_monotone(&self) -> bool {
+        self.monotone
+    }
+
+    /// Drop all entries (pass / DIFF-group boundary).
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.len = 0;
+        self.monotone = true;
+        self.last_score = f64::INFINITY;
+    }
+
+    /// Append a key. Caller must have checked [`BlockWindow::is_full`].
+    pub fn insert(&mut self, key: &[f64]) {
+        debug_assert_eq!(key.len(), self.d);
+        debug_assert!(!self.is_full());
+        let score = key_score(key);
+        if self.len > 0 && score > self.last_score {
+            self.monotone = false;
+        }
+        self.last_score = score;
+        if self.len % BLOCK_LANES == 0 {
+            self.blocks.push(Block::new(self.d));
+        }
+        if let Some(b) = self.blocks.last_mut() {
+            b.push(key, score);
+        }
+        self.len += 1;
+    }
+
+    /// Probe the window for a dominator or an equal key. Verdicts are
+    /// identical to the scalar kernel's: the first decisive entry in
+    /// window order decides (skipped blocks provably hold none).
+    #[must_use]
+    pub fn probe(&self, key: &[f64]) -> (BlockVerdict, ProbeCost) {
+        debug_assert_eq!(key.len(), self.d);
+        let score = key_score(key);
+        let mut cost = ProbeCost::default();
+        let mut examined = 0u64;
+        for (bi, b) in self.blocks.iter().enumerate() {
+            // Theorem-4 cutoff: with non-increasing insertion scores the
+            // block max-scores are non-increasing, so the first block
+            // strictly below the candidate ends the scan.
+            if self.monotone && b.max_score < score {
+                cost.blocks_skipped += (self.blocks.len() - bi) as u64;
+                break;
+            }
+            if !b.may_beat(key, score) {
+                cost.blocks_skipped += 1;
+                continue;
+            }
+            cost.lanes += b.len as u64;
+            let (ge, gt) = b.masks(key);
+            if let Some(l) = (0..b.len).find(|&l| ge[l] != 0) {
+                cost.comparisons = examined + l as u64 + 1;
+                let verdict = if gt[l] != 0 {
+                    BlockVerdict::Dominated
+                } else {
+                    BlockVerdict::Equal
+                };
+                return (verdict, cost);
+            }
+            examined += b.len as u64;
+        }
+        cost.comparisons = examined;
+        (BlockVerdict::Incomparable, cost)
+    }
+
+    /// Probe only the first `prefix` entries, looking for a *dominator*
+    /// (equal keys do not decide — the parallel merge keeps duplicates).
+    /// The partial tail block is screened by its whole-block summaries,
+    /// a superset bound, and its lanes are read only up to the prefix.
+    #[must_use]
+    pub fn probe_prefix(&self, key: &[f64], prefix: usize) -> (bool, ProbeCost) {
+        debug_assert_eq!(key.len(), self.d);
+        debug_assert!(prefix <= self.len);
+        let score = key_score(key);
+        let mut cost = ProbeCost::default();
+        let mut examined = 0u64;
+        let mut start = 0usize;
+        for b in &self.blocks {
+            if start >= prefix {
+                break;
+            }
+            let visible = (prefix - start).min(b.len);
+            if !b.may_beat(key, score) {
+                cost.blocks_skipped += 1;
+                start += b.len;
+                continue;
+            }
+            cost.lanes += visible as u64;
+            let (ge, gt) = b.masks(key);
+            if let Some(l) = (0..visible).find(|&l| ge[l] != 0 && gt[l] != 0) {
+                cost.comparisons = examined + l as u64 + 1;
+                return (true, cost);
+            }
+            examined += visible as u64;
+            start += b.len;
+        }
+        cost.comparisons = examined;
+        (false, cost)
+    }
+}
+
+/// Columnar window with replacement — the BNL shape: a probe can both
+/// discard the candidate (a window entry dominates it) and evict window
+/// entries the candidate dominates. Blocks carry min summaries too, so
+/// either direction can rule a block out.
+///
+/// Removals follow `Vec::swap_remove` semantics over global positions
+/// (block-major order): the last entry fills the hole. Callers that
+/// mirror per-entry metadata in a `Vec` apply the reported positions with
+/// `Vec::swap_remove`, in order, to stay aligned.
+pub struct ReplaceWindow {
+    d: usize,
+    len: usize,
+    blocks: Vec<Block>,
+}
+
+impl ReplaceWindow {
+    /// An unbounded replace-window over `d`-criterion oriented keys
+    /// (capacity policy belongs to the caller, which also owns records).
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        debug_assert!(d > 0);
+        ReplaceWindow {
+            d,
+            len: 0,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Entries currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.len = 0;
+    }
+
+    /// Append a key (no capacity check — the caller owns that policy).
+    pub fn push(&mut self, key: &[f64]) {
+        debug_assert_eq!(key.len(), self.d);
+        let score = key_score(key);
+        if self.len % BLOCK_LANES == 0 {
+            self.blocks.push(Block::new(self.d));
+        }
+        if let Some(b) = self.blocks.last_mut() {
+            b.push(key, score);
+        }
+        self.len += 1;
+    }
+
+    /// Remove the entry at global position `pos` by moving the last entry
+    /// into its place (`Vec::swap_remove` semantics). Summaries of the
+    /// touched blocks are rebuilt exactly.
+    pub fn remove_at(&mut self, pos: usize) {
+        debug_assert!(pos < self.len);
+        let last = self.len - 1;
+        let (last_b, last_l) = (last / BLOCK_LANES, last % BLOCK_LANES);
+        if pos != last {
+            let (pb, pl) = (pos / BLOCK_LANES, pos % BLOCK_LANES);
+            for c in 0..self.d {
+                let v = self.blocks[last_b].lane(last_l, c);
+                self.blocks[pb].cols[c * BLOCK_LANES + pl] = v;
+            }
+            if pb != last_b {
+                self.blocks[pb].rebuild_summaries();
+            }
+        }
+        // Shrink the tail: reset the vacated lane to padding.
+        if let Some(b) = self.blocks.last_mut() {
+            for c in 0..self.d {
+                b.cols[c * BLOCK_LANES + last_l] = f64::NEG_INFINITY;
+            }
+            b.len -= 1;
+            if b.len == 0 {
+                self.blocks.pop();
+            } else {
+                b.rebuild_summaries();
+            }
+        }
+        self.len -= 1;
+    }
+
+    /// Probe with replacement. Returns whether the candidate is dominated
+    /// and, when it survives, fills `removed` with the positions of the
+    /// entries it dominates — already applied here via [`Self::remove_at`],
+    /// in the reported order, for the caller to mirror.
+    ///
+    /// Verdicts and the removed set match the scalar BNL loop exactly:
+    /// window entries are pairwise non-dominating (the BNL invariant), so
+    /// by transitivity "some entry dominates the candidate" and "the
+    /// candidate dominates some entry" are mutually exclusive, and
+    /// decision order cannot matter.
+    pub fn probe_replace(&mut self, key: &[f64], removed: &mut Vec<usize>) -> (bool, ProbeCost) {
+        debug_assert_eq!(key.len(), self.d);
+        removed.clear();
+        let score = key_score(key);
+        let mut cost = ProbeCost::default();
+        let mut examined = 0u64;
+        let mut victims: Vec<usize> = Vec::new();
+        let mut start = 0usize;
+        for b in &self.blocks {
+            let beat = b.may_beat(key, score);
+            let fall = b.may_fall(key, score);
+            if !beat && !fall {
+                cost.blocks_skipped += 1;
+                start += b.len;
+                continue;
+            }
+            cost.lanes += b.len as u64;
+            if beat {
+                let (ge, gt) = b.masks(key);
+                if let Some(l) = (0..b.len).find(|&l| ge[l] != 0 && gt[l] != 0) {
+                    // A dominator excludes victims window-wide (pairwise
+                    // non-domination + transitivity), so nothing was or
+                    // will be removed on this probe.
+                    debug_assert!(victims.is_empty());
+                    cost.comparisons = examined + l as u64 + 1;
+                    return (true, cost);
+                }
+            }
+            if fall {
+                let (le, lt) = b.rev_masks(key);
+                for l in 0..b.len {
+                    if le[l] != 0 && lt[l] != 0 {
+                        victims.push(start + l);
+                    }
+                }
+            }
+            examined += b.len as u64;
+            start += b.len;
+        }
+        cost.comparisons = examined;
+        // Apply evictions highest-position-first: swap_remove only
+        // disturbs the last position, so earlier victim positions stay
+        // valid (and a victim at the very end is simply truncated).
+        for &pos in victims.iter().rev() {
+            self.remove_at(pos);
+            removed.push(pos);
+        }
+        (false, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::{dom_rel, DomRel};
+
+    fn window_from(rows: &[&[f64]]) -> BlockWindow {
+        let mut w = BlockWindow::new(rows[0].len(), usize::MAX);
+        for r in rows {
+            w.insert(r);
+        }
+        w
+    }
+
+    /// Scalar reference: verdict + comparison charge of `KeyWindow::probe`.
+    fn scalar_probe(rows: &[Vec<f64>], key: &[f64]) -> (BlockVerdict, u64) {
+        let mut comparisons = 0;
+        for entry in rows {
+            comparisons += 1;
+            match dom_rel(entry, key) {
+                DomRel::Dominates => return (BlockVerdict::Dominated, comparisons),
+                DomRel::Equal => return (BlockVerdict::Equal, comparisons),
+                DomRel::DominatedBy | DomRel::Incomparable => {}
+            }
+        }
+        (BlockVerdict::Incomparable, comparisons)
+    }
+
+    #[test]
+    fn probe_outcomes_match_scalar_semantics() {
+        let w = window_from(&[&[5.0, 5.0], &[0.0, 9.0]]);
+        assert_eq!(w.probe(&[4.0, 4.0]).0, BlockVerdict::Dominated);
+        assert_eq!(w.probe(&[5.0, 5.0]).0, BlockVerdict::Equal);
+        assert_eq!(w.probe(&[6.0, 0.0]).0, BlockVerdict::Incomparable);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn verdicts_agree_with_scalar_across_block_boundaries() {
+        // 40 mutually incomparable entries spanning 3 blocks.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![f64::from(i), f64::from(40 - i)]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let w = window_from(&refs);
+        for i in -5..50i32 {
+            for j in -5..50i32 {
+                let key = [f64::from(i), f64::from(j)];
+                let (bv, cost) = w.probe(&key);
+                let (sv, scmp) = scalar_probe(&rows, &key);
+                assert_eq!(bv, sv, "key {key:?}");
+                assert!(cost.comparisons <= scmp, "key {key:?}: charged more than scalar");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_skip_prunes_whole_blocks() {
+        // One block of weak entries, one with the dominator.
+        let mut rows: Vec<Vec<f64>> = (0..BLOCK_LANES)
+            .map(|i| vec![1.0 + i as f64 / 100.0, 1.0 - i as f64 / 100.0])
+            .collect();
+        rows.push(vec![100.0, 100.0]);
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut w = BlockWindow::new(2, usize::MAX);
+        for r in &refs {
+            w.insert(r);
+        }
+        // Candidate beats block 0's max on criterion 0: block 0 skipped,
+        // dominator found at block 1 lane 0 with a single charged entry.
+        let (v, cost) = w.probe(&[50.0, 50.0]);
+        assert_eq!(v, BlockVerdict::Dominated);
+        assert_eq!(cost.blocks_skipped, 1);
+        assert_eq!(cost.comparisons, 1);
+        assert_eq!(cost.lanes, 1);
+    }
+
+    #[test]
+    fn monotone_cutoff_ends_scan_early() {
+        // Scores strictly decreasing: monotone flag stays armed.
+        let rows: Vec<Vec<f64>> = (0..BLOCK_LANES * 3)
+            .map(|i| {
+                let v = (BLOCK_LANES * 3 - i) as f64;
+                vec![v, v]
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let w = window_from(&refs);
+        assert!(w.is_monotone());
+        // Candidate scores above every entry: first block already falls
+        // below it, all 3 blocks skipped, zero comparisons.
+        let (v, cost) = w.probe(&[1000.0, 1000.0]);
+        assert_eq!(v, BlockVerdict::Incomparable);
+        assert_eq!(cost.blocks_skipped, 3);
+        assert_eq!(cost.comparisons, 0);
+        assert_eq!(cost.lanes, 0);
+    }
+
+    #[test]
+    fn non_monotone_insertion_disarms_cutoff_but_not_block_skips() {
+        let mut w = BlockWindow::new(2, usize::MAX);
+        w.insert(&[1.0, 1.0]);
+        w.insert(&[9.0, 9.0]); // score rises: not monotone
+        assert!(!w.is_monotone());
+        // (9,9) must still be found as a dominator of (2,2).
+        assert_eq!(w.probe(&[2.0, 2.0]).0, BlockVerdict::Dominated);
+    }
+
+    #[test]
+    fn equal_key_not_masked_by_score_bound() {
+        let mut w = BlockWindow::new(2, usize::MAX);
+        w.insert(&[3.0, 4.0]);
+        // Equal key has equal score: the strict score bound must not skip.
+        let (v, _) = w.probe(&[3.0, 4.0]);
+        assert_eq!(v, BlockVerdict::Equal);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut w = BlockWindow::new(2, 3);
+        w.insert(&[1.0, 1.0]);
+        w.insert(&[5.0, 5.0]);
+        assert!(!w.is_monotone());
+        w.clear();
+        assert_eq!(w.len(), 0);
+        assert!(w.is_monotone());
+        assert_eq!(w.probe(&[0.0, 0.0]).0, BlockVerdict::Incomparable);
+        assert!(!w.is_full());
+    }
+
+    #[test]
+    fn probe_prefix_sees_only_the_prefix() {
+        let rows: Vec<Vec<f64>> = vec![
+            vec![5.0, 1.0],
+            vec![1.0, 5.0],
+            vec![9.0, 9.0], // dominator, position 2
+        ];
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let w = window_from(&refs);
+        let key = [2.0, 2.0];
+        assert!(w.probe_prefix(&key, 3).0);
+        assert!(!w.probe_prefix(&key, 2).0, "dominator beyond the prefix");
+        assert!(!w.probe_prefix(&key, 0).0, "empty prefix dominates nothing");
+        // An equal key in the prefix must NOT read as dominated.
+        assert!(!w.probe_prefix(&[5.0, 1.0], 1).0);
+    }
+
+    #[test]
+    fn probe_prefix_partial_tail_block() {
+        // 20 entries: prefix 18 cuts into the second block.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i), f64::from(20 - i)]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let w = window_from(&refs);
+        // Entry 18 is (18, 2); it dominates (17.5, 1.5) but sits beyond
+        // prefix 18 (positions 0..18).
+        let key = [17.5, 1.5];
+        assert!(!w.probe_prefix(&key, 18).0);
+        assert!(w.probe_prefix(&key, 19).0);
+    }
+
+    /// Scalar BNL reference over a Vec window: verdict + removal set.
+    fn scalar_bnl_probe(window: &mut Vec<Vec<f64>>, key: &[f64]) -> (bool, Vec<Vec<f64>>) {
+        let mut k = 0;
+        let mut removed = Vec::new();
+        while k < window.len() {
+            match dom_rel(&window[k], key) {
+                DomRel::Dominates => return (true, removed),
+                DomRel::DominatedBy => removed.push(window.swap_remove(k)),
+                DomRel::Equal | DomRel::Incomparable => k += 1,
+            }
+        }
+        (false, removed)
+    }
+
+    #[test]
+    fn replace_window_matches_scalar_bnl() {
+        // Deterministic pseudo-random stream, enough to cross blocks and
+        // trigger both discard directions repeatedly.
+        let mut scalar: Vec<Vec<f64>> = Vec::new();
+        let mut block = ReplaceWindow::new(3);
+        let mut removed = Vec::new();
+        let mut state = 2003u64;
+        for _ in 0..600 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = f64::from((state >> 33) as u32 % 50);
+            let b = f64::from((state >> 13) as u32 % 50);
+            let c = f64::from((state >> 3) as u32 % 50);
+            let key = vec![a, b, c];
+            let (bd, _) = block.probe_replace(&key, &mut removed);
+            let (sd, sremoved) = scalar_bnl_probe(&mut scalar, &key);
+            assert_eq!(bd, sd, "verdict diverged on {key:?}");
+            assert_eq!(removed.len(), sremoved.len(), "removal count on {key:?}");
+            if !bd {
+                block.push(&key);
+                scalar.push(key);
+            }
+            assert_eq!(block.len(), scalar.len());
+        }
+        // Final windows hold the same multiset of keys.
+        let mut s = scalar.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut b: Vec<Vec<f64>> = (0..block.len())
+            .map(|p| {
+                let (bi, l) = (p / BLOCK_LANES, p % BLOCK_LANES);
+                (0..3).map(|c| block.blocks[bi].lane(l, c)).collect()
+            })
+            .collect();
+        b.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert_eq!(b, s);
+    }
+
+    #[test]
+    fn replace_window_mirrors_vec_swap_remove() {
+        // The reported removal order must reproduce Vec::swap_remove on a
+        // parallel metadata vector.
+        let mut block = ReplaceWindow::new(2);
+        let mut meta: Vec<usize> = Vec::new();
+        let mut keys: Vec<Vec<f64>> = Vec::new();
+        let mut removed = Vec::new();
+        // Anti-correlated survivors then one crusher that evicts them all.
+        for i in 0..20 {
+            let key = vec![f64::from(i), f64::from(20 - i)];
+            let (d, _) = block.probe_replace(&key, &mut removed);
+            assert!(!d);
+            for &p in &removed {
+                meta.swap_remove(p);
+                keys.swap_remove(p);
+            }
+            block.push(&key);
+            meta.push(i as usize);
+            keys.push(key);
+        }
+        let crusher = vec![100.0, 100.0];
+        let (d, cost) = block.probe_replace(&crusher, &mut removed);
+        assert!(!d);
+        assert_eq!(removed.len(), 20, "crusher evicts everyone");
+        assert!(cost.comparisons <= 20);
+        for &p in &removed {
+            meta.swap_remove(p);
+            keys.swap_remove(p);
+        }
+        assert!(meta.is_empty());
+        assert_eq!(block.len(), 0);
+        block.push(&crusher);
+        assert_eq!(block.len(), 1);
+        assert_eq!(block.probe(&crusher).0, BlockVerdict::Equal);
+        assert_eq!(block.probe(&[99.0, 99.0]).0, BlockVerdict::Dominated);
+    }
+
+    impl ReplaceWindow {
+        /// Test-only: simple dominator/equal probe (BNL verdict ignoring
+        /// the replacement direction).
+        fn probe(&self, key: &[f64]) -> (BlockVerdict, ProbeCost) {
+            let mut w = BlockWindow::new(self.d, usize::MAX);
+            for p in 0..self.len {
+                let (bi, l) = (p / BLOCK_LANES, p % BLOCK_LANES);
+                let key: Vec<f64> = (0..self.d).map(|c| self.blocks[bi].lane(l, c)).collect();
+                w.insert(&key);
+            }
+            w.probe(key)
+        }
+    }
+
+    #[test]
+    fn replace_window_both_direction_skips() {
+        // Block 0: entries strong on criterion 0 but weak on criterion 1
+        // (max c1 = 15). Block 1: entries below 1.0 on both criteria.
+        let mut w = ReplaceWindow::new(2);
+        for i in 0..BLOCK_LANES {
+            w.push(&[200.0 + i as f64, i as f64]);
+        }
+        for i in 0..BLOCK_LANES {
+            w.push(&[i as f64 / 100.0, 1.0 - i as f64 / 100.0]);
+        }
+        let mut removed = Vec::new();
+        // (25, 25) beats block 0's c1 max (no dominator there) and sits
+        // above block 0's c0 min only coordinate-wise impossibly (25 <
+        // min c0 = 200: no victim there either) — block 0 skipped whole.
+        // Block 1 is examined in the fall direction and fully evicted.
+        let (d, cost) = w.probe_replace(&[25.0, 25.0], &mut removed);
+        assert!(!d);
+        assert_eq!(removed.len(), BLOCK_LANES, "weak block fully evicted");
+        assert_eq!(cost.blocks_skipped, 1, "strong block pruned both ways");
+        assert_eq!(w.len(), BLOCK_LANES);
+        // Only the strong block remains; (1,1) is dominated by its second
+        // entry (201, 1) — two charged comparisons, no removals.
+        let (d2, cost2) = w.probe_replace(&[1.0, 1.0], &mut removed);
+        assert!(d2);
+        assert_eq!(cost2.comparisons, 2);
+        assert!(removed.is_empty());
+    }
+
+    #[test]
+    fn nan_keys_never_decide_or_mask() {
+        // A NaN-keyed entry advertises nothing and beats nothing.
+        let mut w = BlockWindow::new(2, usize::MAX);
+        w.insert(&[f64::NAN, 5.0]);
+        w.insert(&[3.0, 3.0]);
+        let (v, _) = w.probe(&[2.0, 2.0]);
+        assert_eq!(v, BlockVerdict::Dominated, "(3,3) still found");
+        let (v2, _) = w.probe(&[f64::NAN, 1.0]);
+        assert_eq!(v2, BlockVerdict::Incomparable);
+    }
+
+    #[test]
+    fn charging_never_exceeds_window_len() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i % 10), f64::from((i * 7) % 13)]).collect();
+        let mut w = BlockWindow::new(2, usize::MAX);
+        let mut held = 0u64;
+        for r in &rows {
+            let (v, cost) = w.probe(r);
+            assert!(cost.comparisons <= held);
+            assert!(cost.lanes <= held);
+            if !matches!(v, BlockVerdict::Dominated) && !w.is_full() {
+                w.insert(r);
+                held += 1;
+            }
+        }
+    }
+}

@@ -18,7 +18,8 @@
 //! input record was already compared against it in the previous pass.
 
 use super::common::{Source, Spill};
-use crate::dominance::{dom_rel, DomRel, SkylineSpec};
+use crate::dominance::SkylineSpec;
+use crate::dominance_block::ReplaceWindow;
 use crate::metrics::SkylineMetrics;
 use skyline_exec::cancel::poll;
 use skyline_exec::{BoxedOperator, CancelToken, ExecError, Operator};
@@ -27,8 +28,14 @@ use skyline_storage::{Disk, SharedScanner, PAGE_SIZE};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// Per-entry metadata mirrored position-for-position with the columnar
+/// [`ReplaceWindow`] (which holds the keys): every insertion and
+/// swap-removal is applied to both in lockstep.
 struct Entry {
     record: Vec<u8>,
+    /// Kept for the dominance auditor's emit-incomparability check; the
+    /// probe path reads keys from the columnar store instead.
+    #[cfg_attr(not(feature = "check-invariants"), allow(dead_code))]
     key: Vec<f64>,
     /// Temp-file position this entry still needs comparisons against
     /// (`0..ts`); reinterpreted as an input position in the next pass.
@@ -47,6 +54,10 @@ pub struct Bnl {
     metrics: Arc<SkylineMetrics>,
 
     window: Vec<Entry>,
+    /// Columnar key store of the window (the batched dominance kernel).
+    block: ReplaceWindow,
+    /// Scratch for positions `probe_replace` evicted.
+    removed: Vec<usize>,
     capacity: usize,
     emit: VecDeque<Vec<u8>>,
     source: Source,
@@ -102,7 +113,6 @@ impl Bnl {
             )));
         }
         let capacity = (window_pages * (PAGE_SIZE / layout.record_size())).max(1);
-        #[cfg(feature = "check-invariants")]
         let dims = spec.dims();
         Ok(Bnl {
             child,
@@ -111,6 +121,8 @@ impl Bnl {
             disk,
             metrics,
             window: Vec::new(),
+            block: ReplaceWindow::new(dims),
+            removed: Vec::new(),
             capacity,
             emit: VecDeque::new(),
             source: Source::Done,
@@ -173,6 +185,7 @@ impl Bnl {
         while k < self.window.len() {
             if self.window[k].carried && self.window[k].ts <= upto {
                 let e = self.window.swap_remove(k);
+                self.block.remove_at(k);
                 self.metrics.add_emitted();
                 #[cfg(feature = "check-invariants")]
                 if let Err(v) = self.audit.observe_emit(&e.key) {
@@ -201,6 +214,7 @@ impl Bnl {
             None => {
                 #[cfg(feature = "check-invariants")]
                 let audit = &mut self.audit;
+                self.block.clear();
                 for e in self.window.drain(..) {
                     self.metrics.add_emitted();
                     #[cfg(feature = "check-invariants")]
@@ -227,6 +241,7 @@ impl Bnl {
                     // confirmed skyline.
                     if self.window[k].carried || self.window[k].ts == 0 {
                         let e = self.window.swap_remove(k);
+                        self.block.remove_at(k);
                         self.metrics.add_emitted();
                         #[cfg(feature = "check-invariants")]
                         if let Err(v) = self.audit.observe_emit(&e.key) {
@@ -256,6 +271,7 @@ impl Operator for Bnl {
         self.child.open()?;
         self.source = Source::Child;
         self.window.clear();
+        self.block.clear();
         self.emit.clear();
         self.spill = None;
         self.read_count = 0;
@@ -304,27 +320,21 @@ impl Operator for Bnl {
                     panic!("invariant violated: {v}");
                 }
             }
-            let mut dominated = false;
-            let mut comparisons = 0u64;
-            let mut k = 0;
-            while k < self.window.len() {
-                comparisons += 1;
-                match dom_rel(&self.window[k].key, &self.key) {
-                    DomRel::Dominates => {
-                        dominated = true;
-                        break;
-                    }
-                    DomRel::DominatedBy => {
-                        // Window replacement: the incumbent is dead.
-                        self.window.swap_remove(k);
-                        self.metrics.add_discarded();
-                        #[cfg(feature = "check-invariants")]
-                        self.audit.observe_discard();
-                    }
-                    DomRel::Equal | DomRel::Incomparable => k += 1,
-                }
+            let (dominated, cost) = self.block.probe_replace(&self.key, &mut self.removed);
+            // Window replacement: the incumbents `probe_replace` evicted
+            // are dead. Mirror each eviction on the metadata vector —
+            // `remove_at` has swap-remove semantics, so applying
+            // `swap_remove` in the reported order keeps both stores
+            // position-aligned.
+            for &p in &self.removed {
+                self.window.swap_remove(p);
+                self.metrics.add_discarded();
+                #[cfg(feature = "check-invariants")]
+                self.audit.observe_discard();
             }
-            self.metrics.add_comparisons(comparisons);
+            debug_assert_eq!(self.window.len(), self.block.len());
+            self.metrics.add_comparisons(cost.comparisons);
+            self.metrics.add_block_stats(cost.blocks_skipped, cost.lanes);
             if dominated {
                 self.metrics.add_discarded();
                 #[cfg(feature = "check-invariants")]
@@ -332,6 +342,7 @@ impl Operator for Bnl {
                 continue;
             }
             if self.window.len() < self.capacity {
+                self.block.push(&self.key);
                 self.window.push(Entry {
                     record: self.cur.clone(),
                     key: self.key.clone(),
@@ -359,6 +370,7 @@ impl Operator for Bnl {
         self.child.close();
         self.source = Source::Done;
         self.window.clear();
+        self.block.clear();
         self.emit.clear();
         self.spill = None;
         self.opened = false;

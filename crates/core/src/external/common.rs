@@ -84,9 +84,22 @@ pub(crate) enum Probe {
     Incomparable,
 }
 
-/// The SFS window: a flat matrix of oriented keys with a capacity derived
-/// from a page budget. Entries are only ever appended (SFS never replaces)
-/// and the whole window is cleared between passes / diff groups.
+/// Window capacity in entries for a page budget: `window_pages ·
+/// ⌊PAGE_SIZE / entry_bytes⌋`, at least one entry. `entry_bytes` is what
+/// one entry would occupy in a real window page (the full record for
+/// basic SFS; `4·k` for the projection optimization).
+pub(crate) fn window_entry_capacity(window_pages: usize, entry_bytes: usize) -> usize {
+    debug_assert!(entry_bytes > 0 && entry_bytes <= PAGE_SIZE);
+    let per_page = PAGE_SIZE / entry_bytes;
+    window_pages.saturating_mul(per_page).max(1)
+}
+
+/// The scalar SFS window: a flat matrix of oriented keys with a capacity
+/// derived from a page budget. Entries are only ever appended (SFS never
+/// replaces) and the whole window is cleared between passes / diff
+/// groups. This is the row-at-a-time *reference kernel*; the default
+/// filter path uses the columnar [`crate::dominance_block::BlockWindow`]
+/// and is differentially tested against this one.
 pub(crate) struct KeyWindow {
     d: usize,
     keys: Vec<f64>,
@@ -94,18 +107,14 @@ pub(crate) struct KeyWindow {
 }
 
 impl KeyWindow {
-    /// `entry_bytes` is what one entry would occupy in a real window page
-    /// (the full record for basic SFS; `4·k` for the projection
-    /// optimization) — capacity is `window_pages · ⌊PAGE_SIZE /
-    /// entry_bytes⌋`.
+    /// See [`window_entry_capacity`] for how the page budget becomes an
+    /// entry capacity.
     pub(crate) fn new(d: usize, window_pages: usize, entry_bytes: usize) -> Self {
         assert!(d > 0 && entry_bytes > 0 && entry_bytes <= PAGE_SIZE);
-        let per_page = PAGE_SIZE / entry_bytes;
-        let capacity = window_pages.saturating_mul(per_page).max(1);
         KeyWindow {
             d,
             keys: Vec::new(),
-            capacity,
+            capacity: window_entry_capacity(window_pages, entry_bytes),
         }
     }
 

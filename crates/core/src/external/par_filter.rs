@@ -41,7 +41,8 @@
 //! the fallback must not assume the presort contract).
 
 use super::{Bnl, Sfs, SfsConfig};
-use crate::dominance::{dominates, SkylineSpec};
+use crate::dominance::SkylineSpec;
+use crate::dominance_block::BlockWindow;
 use crate::metrics::{MetricsSnapshot, SkylineMetrics};
 use crate::par::panic_message;
 use skyline_exec::sort::effective_threads;
@@ -195,25 +196,26 @@ fn prefix_merge(
     // Parallel verify: worker w settles entries w, w+t, … of the sorted
     // order against the shared read-only prefix.
     let key_of = |e: &UnionEntry| &keys[e.key_idx as usize * dims..][..dims];
+    // One shared columnar arena over the whole sorted union: every
+    // verifier probes its entries' prefixes with the batched dominance
+    // kernel (score-descending insertion arms the Theorem 4 cutoff).
+    let mut arena = BlockWindow::new(dims.max(1), entries.len().max(1));
+    for e in &entries {
+        arena.insert(key_of(e));
+    }
+    let arena = &arena;
     let verify = |w: usize| -> Result<(Vec<usize>, MetricsSnapshot), ExecError> {
         let metrics = SkylineMetrics::shared();
         metrics.add_pass();
         let mut alive = Vec::new();
-        let mut comparisons = 0u64;
+        let mut cost_sum = crate::dominance_block::ProbeCost::default();
         for (settled, i) in (w..entries.len()).step_by(t).enumerate() {
             if settled.is_multiple_of(512) {
                 check_cancel(cancel, settled as u64)?;
             }
             metrics.add_input();
-            let me = key_of(&entries[i]);
-            let mut dominated = false;
-            for earlier in &entries[..i] {
-                comparisons += 1;
-                if dominates(key_of(earlier), me) {
-                    dominated = true;
-                    break;
-                }
-            }
+            let (dominated, cost) = arena.probe_prefix(key_of(&entries[i]), i);
+            cost_sum.absorb(cost);
             if dominated {
                 metrics.add_discarded();
             } else {
@@ -221,7 +223,8 @@ fn prefix_merge(
                 alive.push(i);
             }
         }
-        metrics.add_comparisons(comparisons);
+        metrics.add_comparisons(cost_sum.comparisons);
+        metrics.add_block_stats(cost_sum.blocks_skipped, cost_sum.lanes);
         Ok((alive, metrics.snapshot()))
     };
     let slots = std::thread::scope(|s| {

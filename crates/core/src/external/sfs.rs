@@ -12,8 +12,9 @@
 //! * when the window fills, survivors spill to a temp file and a further
 //!   pass runs over it (window cleared), until a pass spills nothing.
 
-use super::common::{KeyWindow, Probe, Source, Spill};
+use super::common::{window_entry_capacity, KeyWindow, Probe, Source, Spill};
 use crate::dominance::SkylineSpec;
+use crate::dominance_block::{BlockVerdict, BlockWindow, ProbeCost};
 use crate::metrics::SkylineMetrics;
 use skyline_exec::cancel::poll;
 use skyline_exec::{BoxedOperator, CancelToken, ExecError, Operator};
@@ -37,8 +38,15 @@ pub struct SfsConfig {
     pub collect_rest: bool,
     /// Self-organize the window with move-to-front on dominance hits
     /// (the paper's §6 window-ordering suggestion). Changes comparison
-    /// counts, never results.
+    /// counts, never results. Implies the scalar window kernel: MTF
+    /// reorders entries, which would invalidate the columnar blocks'
+    /// insertion-order pruning bounds.
     pub move_to_front: bool,
+    /// Force the scalar row-at-a-time window kernel instead of the
+    /// default columnar block kernel — the differential-testing switch.
+    /// Results are bit-identical either way; only the comparison counts
+    /// (and the block counters) differ.
+    pub scalar_window: bool,
     /// Arena for the parallel filter's in-memory cross-stratum merge, in
     /// pages (default 4× the window). The merge holds only projected key
     /// entries — the §4.3 projection idea applied to the winnow — so this
@@ -56,6 +64,7 @@ impl SfsConfig {
             projection: false,
             collect_rest: false,
             move_to_front: false,
+            scalar_window: false,
             merge_pages: window_pages.saturating_mul(4),
         }
     }
@@ -83,6 +92,84 @@ impl SfsConfig {
         self.move_to_front = true;
         self
     }
+
+    /// Use the scalar reference window kernel instead of the columnar
+    /// block kernel.
+    pub fn with_scalar_window(mut self) -> Self {
+        self.scalar_window = true;
+        self
+    }
+}
+
+/// The filter window behind [`Sfs`]: the columnar block kernel by
+/// default, or the scalar reference kernel when the config asks for it
+/// (differential testing, move-to-front). Both produce identical
+/// verdicts, hence identical skylines.
+enum FilterWindow {
+    Block(BlockWindow),
+    Scalar(KeyWindow),
+}
+
+impl FilterWindow {
+    fn len(&self) -> usize {
+        match self {
+            FilterWindow::Block(w) => w.len(),
+            FilterWindow::Scalar(w) => w.len(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            FilterWindow::Block(w) => w.capacity(),
+            FilterWindow::Scalar(w) => w.capacity(),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.len() >= self.capacity()
+    }
+
+    fn clear(&mut self) {
+        match self {
+            FilterWindow::Block(w) => w.clear(),
+            FilterWindow::Scalar(w) => w.clear(),
+        }
+    }
+
+    fn insert(&mut self, key: &[f64]) {
+        match self {
+            FilterWindow::Block(w) => w.insert(key),
+            FilterWindow::Scalar(w) => w.insert(key),
+        }
+    }
+
+    fn probe(&mut self, key: &[f64], move_to_front: bool) -> (Probe, ProbeCost) {
+        match self {
+            FilterWindow::Block(w) => {
+                let (verdict, cost) = w.probe(key);
+                let probe = match verdict {
+                    BlockVerdict::Dominated => Probe::Dominated,
+                    BlockVerdict::Equal => Probe::Equal,
+                    BlockVerdict::Incomparable => Probe::Incomparable,
+                };
+                (probe, cost)
+            }
+            FilterWindow::Scalar(w) => {
+                let (probe, comparisons) = if move_to_front {
+                    w.probe_mtf(key)
+                } else {
+                    w.probe(key)
+                };
+                (
+                    probe,
+                    ProbeCost {
+                        comparisons,
+                        ..ProbeCost::default()
+                    },
+                )
+            }
+        }
+    }
 }
 
 /// The SFS physical operator.
@@ -94,7 +181,7 @@ pub struct Sfs {
     disk: Arc<dyn Disk>,
     metrics: Arc<SkylineMetrics>,
 
-    window: KeyWindow,
+    window: FilterWindow,
     source: Source,
     spill: Option<Spill>,
     rest: Option<Spill>,
@@ -146,7 +233,14 @@ impl Sfs {
         } else {
             layout.record_size()
         };
-        let window = KeyWindow::new(spec.dims(), cfg.window_pages, entry_bytes);
+        let window = if cfg.scalar_window || cfg.move_to_front {
+            FilterWindow::Scalar(KeyWindow::new(spec.dims(), cfg.window_pages, entry_bytes))
+        } else {
+            FilterWindow::Block(BlockWindow::new(
+                spec.dims(),
+                window_entry_capacity(cfg.window_pages, entry_bytes),
+            ))
+        };
         Ok(Sfs {
             child,
             layout,
@@ -317,12 +411,9 @@ impl Operator for Sfs {
                     panic!("invariant violated: {v}");
                 }
             }
-            let (probe, comparisons) = if self.cfg.move_to_front {
-                self.window.probe_mtf(&self.key)
-            } else {
-                self.window.probe(&self.key)
-            };
-            self.metrics.add_comparisons(comparisons);
+            let (probe, cost) = self.window.probe(&self.key, self.cfg.move_to_front);
+            self.metrics.add_comparisons(cost.comparisons);
+            self.metrics.add_block_stats(cost.blocks_skipped, cost.lanes);
             match probe {
                 Probe::Dominated => {
                     self.metrics.add_discarded();
@@ -635,10 +726,13 @@ mod tests {
             recs.sort_by(|a, b| skyline_exec::RecordComparator::cmp(&cmp, a, b));
             let disk = MemDisk::shared();
             let metrics = SkylineMetrics::shared();
+            // MTF implies the scalar kernel, so the plain run uses the
+            // scalar kernel too — the heuristic is measured against its
+            // own baseline, not against block pruning.
             let cfg = if mtf {
                 SfsConfig::new(10).with_move_to_front()
             } else {
-                SfsConfig::new(10)
+                SfsConfig::new(10).with_scalar_window()
             };
             let src = Box::new(MemSource::new(recs, layout.record_size()));
             let mut sfs = Sfs::new(
@@ -661,6 +755,55 @@ mod tests {
             mtf_cmps < plain_cmps,
             "MTF should help on skewed dominator distributions: {mtf_cmps} vs {plain_cmps}"
         );
+    }
+
+    #[test]
+    fn block_and_scalar_kernels_bit_identical_cheaper_blocks() {
+        // The differential contract of the columnar kernel: same rows in
+        // the same order at every window size, with comparisons never
+        // above the scalar count, and block activity actually recorded.
+        let rows: Vec<[i32; 2]> = (0..2500)
+            .map(|i| [(i * 7919) % 251, (i * 104729) % 241])
+            .collect();
+        let run = |cfg: SfsConfig| {
+            let layout = layout2();
+            let spec = SkylineSpec::max_all(2);
+            let mut recs: Vec<Vec<u8>> =
+                rows.iter().map(|r| layout.encode(r, &[0; 4])).collect();
+            let cmp = SkylineOrderCmp::new(layout, spec.clone(), SortOrder::Nested, None);
+            recs.sort_by(|a, b| skyline_exec::RecordComparator::cmp(&cmp, a, b));
+            let disk = MemDisk::shared();
+            let metrics = SkylineMetrics::shared();
+            let src = Box::new(MemSource::new(recs, layout.record_size()));
+            let mut sfs = Sfs::new(
+                src,
+                layout,
+                spec,
+                cfg,
+                Arc::clone(&disk) as _,
+                Arc::clone(&metrics),
+            )
+            .unwrap();
+            let out = collect(&mut sfs).unwrap();
+            (out, metrics.snapshot())
+        };
+        for pages in [1usize, 2, 10] {
+            let (block_out, block_snap) = run(SfsConfig::new(pages));
+            let (scalar_out, scalar_snap) = run(SfsConfig::new(pages).with_scalar_window());
+            assert_eq!(block_out, scalar_out, "pages={pages}: rows must be bit-identical");
+            assert!(
+                block_snap.comparisons <= scalar_snap.comparisons,
+                "pages={pages}: block {} > scalar {}",
+                block_snap.comparisons,
+                scalar_snap.comparisons
+            );
+            assert_eq!(block_snap.emitted, scalar_snap.emitted);
+            assert_eq!(block_snap.discarded, scalar_snap.discarded);
+            assert_eq!(block_snap.temp_records, scalar_snap.temp_records);
+            assert!(block_snap.lanes_compared > 0, "block kernel must have run");
+            assert_eq!(scalar_snap.lanes_compared, 0);
+            assert_eq!(scalar_snap.blocks_skipped, 0);
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use super::common::{Source, Spill};
 use crate::dominance::SkylineSpec;
+use crate::dominance_block::ReplaceWindow;
 use crate::metrics::SkylineMetrics;
 use crate::winnow::Preference;
 use skyline_exec::cancel::poll;
@@ -41,6 +42,12 @@ pub struct WinnowOp {
     metrics: Arc<SkylineMetrics>,
 
     window: Vec<Entry>,
+    /// Columnar key mirror of the window, present only when the
+    /// preference [`Preference::is_pareto`]: Pareto probes then run on
+    /// the batched dominance kernel instead of pairwise `prefers` calls.
+    block: Option<ReplaceWindow>,
+    /// Scratch for positions `probe_replace` evicted.
+    removed: Vec<usize>,
     capacity: usize,
     emit: VecDeque<Vec<u8>>,
     source: Source,
@@ -80,6 +87,7 @@ impl WinnowOp {
             return Err(ExecError::Config("record size mismatch".into()));
         }
         let capacity = (window_pages * (PAGE_SIZE / layout.record_size())).max(1);
+        let block = pref.is_pareto().then(|| ReplaceWindow::new(spec.dims()));
         Ok(WinnowOp {
             child,
             layout,
@@ -88,6 +96,8 @@ impl WinnowOp {
             disk,
             metrics,
             window: Vec::new(),
+            block,
+            removed: Vec::new(),
             capacity,
             emit: VecDeque::new(),
             source: Source::Done,
@@ -139,6 +149,9 @@ impl WinnowOp {
         while k < self.window.len() {
             if self.window[k].carried && self.window[k].ts <= upto {
                 let e = self.window.swap_remove(k);
+                if let Some(b) = &mut self.block {
+                    b.remove_at(k);
+                }
                 self.metrics.add_emitted();
                 self.emit.push_back(e.record);
             } else {
@@ -157,6 +170,9 @@ impl WinnowOp {
         }
         match self.spill.take() {
             None => {
+                if let Some(b) = &mut self.block {
+                    b.clear();
+                }
                 for e in self.window.drain(..) {
                     self.metrics.add_emitted();
                     self.emit.push_back(e.record);
@@ -169,6 +185,9 @@ impl WinnowOp {
                 while k < self.window.len() {
                     if self.window[k].carried || self.window[k].ts == 0 {
                         let e = self.window.swap_remove(k);
+                        if let Some(b) = &mut self.block {
+                            b.remove_at(k);
+                        }
                         self.metrics.add_emitted();
                         self.emit.push_back(e.record);
                     } else {
@@ -194,6 +213,9 @@ impl Operator for WinnowOp {
         self.child.open()?;
         self.source = Source::Child;
         self.window.clear();
+        if let Some(b) = &mut self.block {
+            b.clear();
+        }
         self.emit.clear();
         self.spill = None;
         self.read_count = 0;
@@ -227,21 +249,40 @@ impl Operator for WinnowOp {
             self.confirm_carried(i);
 
             self.spec.key_of(&self.layout, &self.cur, &mut self.key);
-            let mut bettered = false;
-            let mut tests = 0u64;
-            let mut k = 0;
-            while k < self.window.len() {
-                tests += 2;
-                if self.pref.prefers(&self.window[k].key, &self.key) {
-                    bettered = true;
-                    break;
-                }
-                if self.pref.prefers(&self.key, &self.window[k].key) {
-                    self.window.swap_remove(k);
+            let bettered;
+            let tests;
+            if let Some(block) = &mut self.block {
+                // Pareto fast path: one batched probe settles both
+                // directions. Each scalar iteration would have spent two
+                // `prefers` tests, so charge 2 per entry examined.
+                let (dominated, cost) = block.probe_replace(&self.key, &mut self.removed);
+                for &p in &self.removed {
+                    self.window.swap_remove(p);
                     self.metrics.add_discarded();
-                } else {
-                    k += 1;
                 }
+                debug_assert_eq!(self.window.len(), block.len());
+                self.metrics.add_block_stats(cost.blocks_skipped, cost.lanes);
+                bettered = dominated;
+                tests = 2 * cost.comparisons;
+            } else {
+                let mut b = false;
+                let mut t = 0u64;
+                let mut k = 0;
+                while k < self.window.len() {
+                    t += 2;
+                    if self.pref.prefers(&self.window[k].key, &self.key) {
+                        b = true;
+                        break;
+                    }
+                    if self.pref.prefers(&self.key, &self.window[k].key) {
+                        self.window.swap_remove(k);
+                        self.metrics.add_discarded();
+                    } else {
+                        k += 1;
+                    }
+                }
+                bettered = b;
+                tests = t;
             }
             self.metrics.add_comparisons(tests);
             if bettered {
@@ -249,6 +290,9 @@ impl Operator for WinnowOp {
                 continue;
             }
             if self.window.len() < self.capacity {
+                if let Some(b) = &mut self.block {
+                    b.push(&self.key);
+                }
                 self.window.push(Entry {
                     record: self.cur.clone(),
                     key: self.key.clone(),
@@ -276,6 +320,9 @@ impl Operator for WinnowOp {
         self.child.close();
         self.source = Source::Done;
         self.window.clear();
+        if let Some(b) = &mut self.block {
+            b.clear();
+        }
         self.emit.clear();
         self.spill = None;
         self.opened = false;

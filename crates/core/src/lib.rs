@@ -37,6 +37,7 @@ pub mod audit;
 pub mod builder;
 pub mod cardinality;
 pub mod dominance;
+pub mod dominance_block;
 pub mod external;
 pub mod histogram;
 pub mod keys;
@@ -53,6 +54,7 @@ pub mod winnow;
 
 pub use builder::{MemAlgorithm, SkylineBuilder};
 pub use dominance::{dom_rel, dominates, Criterion, Direction, DomRel, SkylineSpec};
+pub use dominance_block::{BlockVerdict, BlockWindow, ProbeCost, ReplaceWindow, BLOCK_LANES};
 pub use external::{parallel_sfs_filter, Bnl, ParFilterOutcome, Sfs, SfsConfig};
 pub use keys::KeyMatrix;
 pub use metrics::{MetricsSnapshot, SkylineMetrics};

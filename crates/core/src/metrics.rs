@@ -25,6 +25,8 @@ pub struct SkylineMetrics {
     discarded: AtomicU64,
     emitted: AtomicU64,
     input_records: AtomicU64,
+    blocks_skipped: AtomicU64,
+    lanes_compared: AtomicU64,
 }
 
 impl SkylineMetrics {
@@ -76,6 +78,15 @@ impl SkylineMetrics {
         self.input_records.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record the block-kernel side of a probe: blocks pruned whole by
+    /// summaries/bounds and window-entry lanes physically evaluated.
+    /// Scalar-kernel probes add nothing here.
+    #[inline]
+    pub fn add_block_stats(&self, blocks_skipped: u64, lanes_compared: u64) {
+        self.blocks_skipped.fetch_add(blocks_skipped, Ordering::Relaxed);
+        self.lanes_compared.fetch_add(lanes_compared, Ordering::Relaxed);
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         for c in [
@@ -86,6 +97,8 @@ impl SkylineMetrics {
             &self.discarded,
             &self.emitted,
             &self.input_records,
+            &self.blocks_skipped,
+            &self.lanes_compared,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -101,6 +114,8 @@ impl SkylineMetrics {
             discarded: self.discarded.load(Ordering::Relaxed),
             emitted: self.emitted.load(Ordering::Relaxed),
             input_records: self.input_records.load(Ordering::Relaxed),
+            blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
+            lanes_compared: self.lanes_compared.load(Ordering::Relaxed),
         }
     }
 
@@ -117,6 +132,10 @@ impl SkylineMetrics {
         self.emitted.fetch_add(s.emitted, Ordering::Relaxed);
         self.input_records
             .fetch_add(s.input_records, Ordering::Relaxed);
+        self.blocks_skipped
+            .fetch_add(s.blocks_skipped, Ordering::Relaxed);
+        self.lanes_compared
+            .fetch_add(s.lanes_compared, Ordering::Relaxed);
     }
 }
 
@@ -137,6 +156,12 @@ pub struct MetricsSnapshot {
     pub emitted: u64,
     /// Records fetched from the operator's child (excludes temp refetches).
     pub input_records: u64,
+    /// Window blocks pruned whole by the columnar kernel's summaries /
+    /// score bounds (zero on scalar-kernel runs).
+    pub blocks_skipped: u64,
+    /// Window-entry lanes physically evaluated by the batched columnar
+    /// kernel (zero on scalar-kernel runs).
+    pub lanes_compared: u64,
 }
 
 impl MetricsSnapshot {
@@ -152,6 +177,8 @@ impl MetricsSnapshot {
             discarded: self.discarded + other.discarded,
             emitted: self.emitted + other.emitted,
             input_records: self.input_records + other.input_records,
+            blocks_skipped: self.blocks_skipped + other.blocks_skipped,
+            lanes_compared: self.lanes_compared + other.lanes_compared,
         }
     }
 }
@@ -171,6 +198,7 @@ mod tests {
         m.add_discarded();
         m.add_emitted();
         m.add_input();
+        m.add_block_stats(3, 12);
         let s = m.snapshot();
         assert_eq!(s.comparisons, 15);
         assert_eq!(s.passes, 1);
@@ -179,6 +207,8 @@ mod tests {
         assert_eq!(s.discarded, 1);
         assert_eq!(s.emitted, 1);
         assert_eq!(s.input_records, 1);
+        assert_eq!(s.blocks_skipped, 3);
+        assert_eq!(s.lanes_compared, 12);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
@@ -193,6 +223,8 @@ mod tests {
             discarded: 5,
             emitted: 6,
             input_records: 11,
+            blocks_skipped: 8,
+            lanes_compared: 40,
         };
         let b = MetricsSnapshot {
             comparisons: 7,
@@ -202,6 +234,8 @@ mod tests {
             discarded: 3,
             emitted: 4,
             input_records: 7,
+            blocks_skipped: 2,
+            lanes_compared: 9,
         };
         let m = SkylineMetrics::shared();
         m.absorb(&a);

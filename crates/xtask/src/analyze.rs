@@ -835,6 +835,16 @@ fn f(x: &X) {
     }
 
     #[test]
+    fn block_kernel_file_is_a_hot_path() {
+        // the batched dominance kernel sits directly under crates/core/src
+        // but is hot-path code: the single-file HOT_PATHS entry must
+        // cover it
+        let src = "fn probe(&self) { self.blocks.last().unwrap(); }\n";
+        let hits = run(&[("crates/core/src/dominance_block.rs", src)]);
+        assert_eq!(lints(&hits, "hot-path-panic").len(), 1, "{hits:?}");
+    }
+
+    #[test]
     fn panic_macro_and_expect_are_flagged() {
         let src = "fn f() { g().expect(\"boom\"); panic!(\"no\"); }\n";
         let hits = run(&[("crates/storage/src/seeded.rs", src)]);

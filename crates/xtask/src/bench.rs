@@ -1,5 +1,5 @@
 //! `cargo xtask bench` — regenerate or gate the parallel-SFS benchmark
-//! report (`BENCH_pr4.json`).
+//! report (`BENCH_pr5.json`).
 //!
 //! Without `--gate` the bench binary rewrites the committed report.
 //! With `--gate` a fresh run lands in `target/bench_gate_new.json` and
@@ -7,11 +7,20 @@
 //! thread:
 //!
 //! * deterministic fields — `comparisons`, `critical_path`, `skyline`,
-//!   `checksum` — must match **exactly**; a mismatch means the algorithm
-//!   changed and the baseline must be regenerated deliberately
-//!   (`cargo xtask bench`), never silently;
+//!   `checksum`, and (when both sides report them) the block-kernel
+//!   counters `blocks_skipped` / `lanes_compared` — must match
+//!   **exactly**; a mismatch means the algorithm changed and the
+//!   baseline must be regenerated deliberately (`cargo xtask bench`),
+//!   never silently;
 //! * `filter_ms` may not regress by more than 20% (wall clock is noisy,
 //!   so only a worsening beyond [`MAX_WALL_REGRESSION`] fails).
+//!
+//! The gate additionally checks [`improvement`]: the committed
+//! `BENCH_pr5.json` must beat the retained `BENCH_pr4.json` scalar-era
+//! baseline by at least [`MIN_COST_IMPROVEMENT`] in model comparison
+//! cost (aggregate and critical path) on the shared full grid, with a
+//! bit-identical skyline. That check runs on the committed files, so it
+//! holds in `--smoke` mode too.
 //!
 //! `--smoke` restricts the fresh run to the CI-sized section; sections
 //! present only in the committed report are then skipped.
@@ -24,6 +33,11 @@ use std::fmt;
 
 /// A fresh `filter_ms` above `committed × MAX_WALL_REGRESSION` fails.
 pub const MAX_WALL_REGRESSION: f64 = 1.2;
+
+/// The block-kernel baseline must reduce model comparison cost vs the
+/// scalar-era baseline by at least this factor, per full-grid thread
+/// count (the PR 5 acceptance bar).
+pub const MIN_COST_IMPROVEMENT: f64 = 1.3;
 
 /// Minimal JSON value — just enough to walk the bench report.
 #[derive(Debug, Clone, PartialEq)]
@@ -255,6 +269,9 @@ struct Run {
     critical_path: f64,
     skyline: f64,
     checksum: String,
+    /// Block-kernel counters; absent in pre-block-kernel reports.
+    blocks_skipped: Option<f64>,
+    lanes_compared: Option<f64>,
 }
 
 /// section label → threads → run
@@ -287,6 +304,8 @@ fn grid_of(doc: &Json) -> Result<Grid, String> {
                         .and_then(Json::str)
                         .ok_or("run missing `checksum`")?
                         .to_string(),
+                    blocks_skipped: r.get("blocks_skipped").and_then(Json::num),
+                    lanes_compared: r.get("lanes_compared").and_then(Json::num),
                 },
             );
         }
@@ -320,11 +339,22 @@ pub fn compare(committed: &str, fresh: &str) -> Result<Vec<String>, String> {
                 ));
                 continue;
             };
-            for (what, new, old) in [
+            let optional = |a: Option<f64>, b: Option<f64>| match (a, b) {
+                (Some(x), Some(y)) => Some((x, y)),
+                _ => None, // counter absent on one side: not comparable
+            };
+            let mut fields = vec![
                 ("comparisons", run.comparisons, base.comparisons),
                 ("critical_path", run.critical_path, base.critical_path),
                 ("skyline", run.skyline, base.skyline),
-            ] {
+            ];
+            if let Some((new, old)) = optional(run.blocks_skipped, base.blocks_skipped) {
+                fields.push(("blocks_skipped", new, old));
+            }
+            if let Some((new, old)) = optional(run.lanes_compared, base.lanes_compared) {
+                fields.push(("lanes_compared", new, old));
+            }
+            for (what, new, old) in fields {
                 #[allow(clippy::float_cmp)] // integers carried in f64; exactness is the point
                 if new != old {
                     errs.push_str(&format!(
@@ -354,6 +384,76 @@ pub fn compare(committed: &str, fresh: &str) -> Result<Vec<String>, String> {
                 ));
             }
         }
+    }
+    if errs.is_empty() {
+        Ok(notes)
+    } else {
+        Err(errs)
+    }
+}
+
+/// The PR 5 acceptance check: the block-kernel baseline (`BENCH_pr5.json`)
+/// must beat the scalar-era baseline (`BENCH_pr4.json`) by at least
+/// [`MIN_COST_IMPROVEMENT`] in both aggregate comparisons and critical
+/// path, per thread count of every section both reports share — with the
+/// **same** skyline count and checksum (the optimization must not change
+/// a single output row). Runs on the two committed files, so it holds
+/// regardless of `--smoke`.
+///
+/// # Errors
+/// A report of every violated check, one per line.
+pub fn improvement(pr4: &str, pr5: &str) -> Result<Vec<String>, String> {
+    let pr4 = grid_of(&parse(pr4).map_err(|e| format!("BENCH_pr4.json: {e}"))?)?;
+    let pr5 = grid_of(&parse(pr5).map_err(|e| format!("BENCH_pr5.json: {e}"))?)?;
+    let mut notes = Vec::new();
+    let mut errs = String::new();
+    let mut shared = 0usize;
+    for (label, new_runs) in &pr5 {
+        let Some(old_runs) = pr4.get(label) else {
+            continue; // section added after the scalar era: nothing to beat
+        };
+        for (threads, new) in new_runs {
+            let Some(old) = old_runs.get(threads) else {
+                continue;
+            };
+            shared += 1;
+            #[allow(clippy::float_cmp)] // integers carried in f64; exactness is the point
+            if new.skyline != old.skyline || new.checksum != old.checksum {
+                errs.push_str(&format!(
+                    "`{label}` threads={threads}: skyline differs from the pr4 baseline \
+                     ({} / {} vs {} / {}) — the kernel changed the answer\n",
+                    new.skyline, new.checksum, old.skyline, old.checksum
+                ));
+                continue;
+            }
+            for (what, new_cost, old_cost) in [
+                ("comparisons", new.comparisons, old.comparisons),
+                ("critical_path", new.critical_path, old.critical_path),
+            ] {
+                if new_cost <= 0.0 {
+                    errs.push_str(&format!(
+                        "`{label}` threads={threads}: non-positive {what} in BENCH_pr5.json\n"
+                    ));
+                    continue;
+                }
+                let ratio = old_cost / new_cost;
+                if ratio < MIN_COST_IMPROVEMENT {
+                    errs.push_str(&format!(
+                        "`{label}` threads={threads}: {what} improved only {ratio:.2}× \
+                         ({old_cost:.0} → {new_cost:.0}), gate requires \
+                         {MIN_COST_IMPROVEMENT:.1}×\n"
+                    ));
+                } else {
+                    notes.push(format!(
+                        "`{label}` threads={threads}: {what} {old_cost:.0} → {new_cost:.0} \
+                         ({ratio:.2}×, identical skyline)"
+                    ));
+                }
+            }
+        }
+    }
+    if shared == 0 {
+        return Err("BENCH_pr4.json and BENCH_pr5.json share no (section, threads) runs".into());
     }
     if errs.is_empty() {
         Ok(notes)
@@ -441,5 +541,49 @@ mod tests {
         let other = report_of(&[section("full", 5.0, 1000)]);
         let err = compare(&other, &report(5.0, 1000)).unwrap_err();
         assert!(err.contains("missing from committed"), "{err}");
+    }
+
+    #[test]
+    fn block_counters_compare_only_when_both_sides_report_them() {
+        // the committed pr4-era report has no block counters: a fresh
+        // report that adds them must still diff clean
+        let old = report(5.0, 1000);
+        let with_counters = old.replace(
+            "\"extra_pages\": 0,",
+            "\"extra_pages\": 0, \"blocks_skipped\": 7, \"lanes_compared\": 99,",
+        );
+        assert!(compare(&old, &with_counters).is_ok());
+        // but two counter-bearing reports must agree exactly
+        let drifted = with_counters.replace("\"blocks_skipped\": 7", "\"blocks_skipped\": 8");
+        let err = compare(&with_counters, &drifted).unwrap_err();
+        assert!(err.contains("blocks_skipped changed"), "{err}");
+    }
+
+    #[test]
+    fn improvement_gate_passes_at_1_3x_and_keeps_skyline() {
+        let pr4 = report(5.0, 1300);
+        let pr5 = report(4.0, 1000);
+        let notes = improvement(&pr4, &pr5).unwrap();
+        assert_eq!(notes.len(), 2, "comparisons + critical_path notes");
+    }
+
+    #[test]
+    fn improvement_gate_rejects_weak_speedup() {
+        let err = improvement(&report(5.0, 1200), &report(4.0, 1000)).unwrap_err();
+        assert!(err.contains("improved only 1.20×"), "{err}");
+    }
+
+    #[test]
+    fn improvement_gate_rejects_changed_skyline() {
+        let pr5 = report(4.0, 1000).replace("\"skyline\": 42", "\"skyline\": 43");
+        let err = improvement(&report(5.0, 1300), &pr5).unwrap_err();
+        assert!(err.contains("skyline differs"), "{err}");
+    }
+
+    #[test]
+    fn improvement_gate_needs_a_shared_grid() {
+        let pr4 = report_of(&[section("full", 5.0, 1300)]);
+        let err = improvement(&pr4, &report(4.0, 1000)).unwrap_err();
+        assert!(err.contains("share no"), "{err}");
     }
 }

@@ -33,10 +33,11 @@ pub struct Finding {
     pub excerpt: String,
 }
 
-/// Directories whose code is an operator hot path.
+/// Directories (and single files) whose code is an operator hot path.
 pub const HOT_PATHS: &[&str] = &[
     "crates/exec/src",
     "crates/core/src/external",
+    "crates/core/src/dominance_block.rs",
     "crates/storage/src",
 ];
 

@@ -12,10 +12,13 @@
 //! * `oracle` — the differential gate of [`oracle`]: every algorithm
 //!   against the naive O(n²) oracle across the paper's workload grid.
 //! * `bench [--gate] [--smoke]` — run the parallel-SFS bench gate.
-//!   Without `--gate`, (re)writes the committed `BENCH_pr4.json`
+//!   Without `--gate`, (re)writes the committed `BENCH_pr5.json`
 //!   baseline; with `--gate`, writes a fresh report to `target/` and
 //!   diffs it against the committed one via [`bench::compare`]
-//!   (deterministic counters exactly, wall time within 20%). `--smoke`
+//!   (deterministic counters exactly, wall time within 20%), then
+//!   checks [`bench::improvement`]: the committed `BENCH_pr5.json`
+//!   must beat the retained scalar-era `BENCH_pr4.json` by ≥1.3× in
+//!   model comparison cost with a bit-identical skyline. `--smoke`
 //!   runs only the small section — the CI configuration.
 //! * `check` — analyze + audit + oracle; the CI entry point (the bench
 //!   gate is a separate CI job: it needs a release build).
@@ -190,13 +193,15 @@ fn run_oracle() -> Result<(), String> {
 }
 
 /// Run the bench-gate binary; with `gate`, diff its fresh report against
-/// the committed `BENCH_pr4.json` (deterministic fields must match
-/// exactly, wall time within [`bench::MAX_WALL_REGRESSION`]).
+/// the committed `BENCH_pr5.json` (deterministic fields must match
+/// exactly, wall time within [`bench::MAX_WALL_REGRESSION`]) and then
+/// check the committed `BENCH_pr5.json` improves on the scalar-era
+/// `BENCH_pr4.json` by [`bench::MIN_COST_IMPROVEMENT`].
 fn run_bench(root: &Path, gate: bool, smoke: bool) -> Result<(), String> {
     let out_rel = if gate {
         "target/bench_gate_fresh.json"
     } else {
-        "BENCH_pr4.json"
+        "BENCH_pr5.json"
     };
     let mut args = vec![
         "run",
@@ -216,15 +221,24 @@ fn run_bench(root: &Path, gate: bool, smoke: bool) -> Result<(), String> {
     if !gate {
         return Ok(());
     }
-    let committed = std::fs::read_to_string(root.join("BENCH_pr4.json")).map_err(|e| {
-        format!("read BENCH_pr4.json: {e} — regenerate the baseline with `cargo xtask bench`")
+    let committed = std::fs::read_to_string(root.join("BENCH_pr5.json")).map_err(|e| {
+        format!("read BENCH_pr5.json: {e} — regenerate the baseline with `cargo xtask bench`")
     })?;
     let fresh =
         std::fs::read_to_string(root.join(out_rel)).map_err(|e| format!("read {out_rel}: {e}"))?;
     for note in bench::compare(&committed, &fresh)? {
         println!("bench: {note}");
     }
-    println!("bench: gate ok — fresh run agrees with the committed BENCH_pr4.json");
+    println!("bench: gate ok — fresh run agrees with the committed BENCH_pr5.json");
+    let scalar_era = std::fs::read_to_string(root.join("BENCH_pr4.json"))
+        .map_err(|e| format!("read BENCH_pr4.json (scalar-era baseline): {e}"))?;
+    for note in bench::improvement(&scalar_era, &committed)? {
+        println!("bench: {note}");
+    }
+    println!(
+        "bench: improvement ok — block kernel beats the scalar-era baseline by ≥{:.1}×",
+        bench::MIN_COST_IMPROVEMENT
+    );
     Ok(())
 }
 

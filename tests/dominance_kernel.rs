@@ -1,0 +1,238 @@
+//! Differential property test for the columnar block kernels: on every
+//! workload distribution, dimensionality 2..=10, and MIN/MAX orientation
+//! mix, the batched [`BlockWindow`]/[`ReplaceWindow`] verdicts must equal
+//! the scalar [`dom_rel`] reference — and the model comparison charge of
+//! a batched probe must never exceed the scalar charge for the same
+//! probe (skipped blocks provably contain no decisive entry).
+
+use skyline::core::dominance_block::{key_score, BlockVerdict, BlockWindow, ReplaceWindow};
+use skyline::core::{dom_rel, Criterion, DomRel, SkylineSpec};
+use skyline::relation::gen::{Distribution, WorkloadSpec};
+use skyline::relation::RecordLayout;
+
+const DISTS: &[(&str, Distribution)] = &[
+    ("uniform", Distribution::UniformIndependent),
+    ("correlated", Distribution::Correlated { jitter: 0.05 }),
+    (
+        "anticorrelated",
+        Distribution::AntiCorrelated { jitter: 0.05 },
+    ),
+    (
+        "clustered",
+        Distribution::Clustered {
+            clusters: 5,
+            spread: 0.1,
+        },
+    ),
+    ("skewed", Distribution::Skewed { exponent: 4.0 }),
+];
+
+/// Oriented key rows for one grid point: `n` rows of `d` coordinates,
+/// oriented by the given MIN/MAX mix (so larger is always better).
+fn oriented_rows(dist: Distribution, d: usize, seed: u64, mix: &[Criterion]) -> Vec<Vec<f64>> {
+    let spec = WorkloadSpec {
+        dist,
+        domain: (0, 999), // small domain: plenty of equal coordinates
+        layout: RecordLayout::new(d, 0),
+        ..WorkloadSpec::paper(200, seed)
+    };
+    let sky = SkylineSpec::new(mix.to_vec());
+    spec.generate_keys(d)
+        .chunks_exact(d)
+        .map(|chunk| {
+            let mut row = chunk.to_vec();
+            sky.orient_row(&mut row);
+            row
+        })
+        .collect()
+}
+
+/// Every orientation mix exercised per dimensionality: all-max, all-min,
+/// and a seed-dependent alternating pattern.
+fn mixes(d: usize, seed: u64) -> Vec<Vec<Criterion>> {
+    let alternating = (0..d)
+        .map(|c| {
+            if (c as u64 + seed) % 2 == 0 {
+                Criterion::max(c)
+            } else {
+                Criterion::min(c)
+            }
+        })
+        .collect();
+    vec![
+        (0..d).map(Criterion::max).collect(),
+        (0..d).map(Criterion::min).collect(),
+        alternating,
+    ]
+}
+
+/// Run `f` over the full (distribution × d × seed × mix) grid.
+fn grid(mut f: impl FnMut(&[Vec<f64>], &str)) {
+    for &(dname, dist) in DISTS {
+        for d in 2..=10 {
+            for seed in [7, 2003] {
+                for (mi, mix) in mixes(d, seed).iter().enumerate() {
+                    let rows = oriented_rows(dist, d, seed, mix);
+                    f(&rows, &format!("{dname} d={d} seed={seed} mix={mi}"));
+                }
+            }
+        }
+    }
+}
+
+/// Scalar reference for [`BlockWindow::probe`]: first decisive entry in
+/// window order decides; the charge is entries scanned up to it.
+fn scalar_probe(window: &[&Vec<f64>], key: &[f64]) -> (BlockVerdict, u64) {
+    let mut comparisons = 0u64;
+    for entry in window {
+        comparisons += 1;
+        match dom_rel(entry, key) {
+            DomRel::Dominates => return (BlockVerdict::Dominated, comparisons),
+            DomRel::Equal => return (BlockVerdict::Equal, comparisons),
+            _ => {}
+        }
+    }
+    (BlockVerdict::Incomparable, comparisons)
+}
+
+/// SFS-shape agreement: insert in score-descending order (the Theorem-4
+/// cutoff armed), probing each candidate against the survivors so far.
+/// Block verdicts, survivor sets, and per-probe charges must match the
+/// scalar reference.
+#[test]
+fn block_window_matches_scalar_verdicts_presorted() {
+    grid(|rows, label| {
+        let d = rows[0].len();
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by(|&a, &b| key_score(&rows[b]).total_cmp(&key_score(&rows[a])));
+
+        let mut block = BlockWindow::new(d, usize::MAX);
+        let mut scalar: Vec<&Vec<f64>> = Vec::new();
+        for &i in &order {
+            let key = &rows[i];
+            let (verdict, cost) = block.probe(key);
+            let (expect, scalar_cost) = scalar_probe(&scalar, key);
+            assert_eq!(verdict, expect, "{label}: verdict for row {i}");
+            assert!(
+                cost.comparisons <= scalar_cost,
+                "{label}: block charged {} > scalar {} for row {i}",
+                cost.comparisons,
+                scalar_cost
+            );
+            if !matches!(verdict, BlockVerdict::Dominated) {
+                block.insert(key);
+                scalar.push(key);
+            }
+        }
+        assert!(block.is_monotone(), "{label}: presorted insertions");
+        assert_eq!(block.len(), scalar.len(), "{label}: survivor count");
+    });
+}
+
+/// Same agreement with the cutoff disarmed: insertion in generation
+/// order, where scores are not monotone, so only the per-block summary
+/// screens prune.
+#[test]
+fn block_window_matches_scalar_verdicts_unsorted() {
+    grid(|rows, label| {
+        let d = rows[0].len();
+        let mut block = BlockWindow::new(d, usize::MAX);
+        let mut scalar: Vec<&Vec<f64>> = Vec::new();
+        for (i, key) in rows.iter().enumerate() {
+            let (verdict, cost) = block.probe(key);
+            let (expect, scalar_cost) = scalar_probe(&scalar, key);
+            assert_eq!(verdict, expect, "{label}: verdict for row {i}");
+            assert!(
+                cost.comparisons <= scalar_cost,
+                "{label}: block charged {} > scalar {} for row {i}",
+                cost.comparisons,
+                scalar_cost
+            );
+            if !matches!(verdict, BlockVerdict::Dominated) {
+                block.insert(key);
+                scalar.push(key);
+            }
+        }
+        assert_eq!(block.len(), scalar.len(), "{label}: survivor count");
+    });
+}
+
+/// BNL-shape agreement: [`ReplaceWindow::probe_replace`] must discard
+/// exactly when some scalar window entry dominates, evict exactly the
+/// entries the candidate dominates, and leave a window whose contents a
+/// swap-remove mirror reproduces key for key.
+#[test]
+fn replace_window_matches_scalar_bnl() {
+    grid(|rows, label| {
+        let d = rows[0].len();
+        let mut block = ReplaceWindow::new(d);
+        let mut mirror: Vec<Vec<f64>> = Vec::new();
+        let mut removed = Vec::new();
+        for (i, key) in rows.iter().enumerate() {
+            let scalar_dominated = mirror.iter().any(|e| dom_rel(e, key) == DomRel::Dominates);
+            let scalar_victims: Vec<Vec<f64>> = mirror
+                .iter()
+                .filter(|e| dom_rel(key, e) == DomRel::Dominates)
+                .cloned()
+                .collect();
+
+            let (dominated, _cost) = block.probe_replace(key, &mut removed);
+            assert_eq!(dominated, scalar_dominated, "{label}: verdict for row {i}");
+
+            let mut evicted: Vec<Vec<f64>> = Vec::new();
+            for &p in &removed {
+                evicted.push(mirror.swap_remove(p));
+            }
+            let sort = |v: &mut Vec<Vec<f64>>| {
+                v.sort_by(|a, b| a.partial_cmp(b).expect("keys are non-NaN"));
+            };
+            let (mut evicted_sorted, mut victims_sorted) = (evicted, scalar_victims);
+            sort(&mut evicted_sorted);
+            sort(&mut victims_sorted);
+            assert_eq!(
+                evicted_sorted, victims_sorted,
+                "{label}: evicted set for row {i}"
+            );
+            if !dominated {
+                block.push(key);
+                mirror.push(key.clone());
+            }
+            assert_eq!(block.len(), mirror.len(), "{label}: window size at {i}");
+        }
+        // final window must be exactly the pairwise-non-dominated survivors
+        for a in &mirror {
+            for b in &mirror {
+                assert_ne!(
+                    dom_rel(a, b),
+                    DomRel::Dominates,
+                    "{label}: window must stay pairwise non-dominating"
+                );
+            }
+        }
+    });
+}
+
+/// Prefix probes (the parallel-merge arena shape) agree with a scalar
+/// scan over the same prefix: dominators decide, equal keys do not.
+#[test]
+fn prefix_probe_matches_scalar_prefix_scan() {
+    grid(|rows, label| {
+        let d = rows[0].len();
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by(|&a, &b| key_score(&rows[b]).total_cmp(&key_score(&rows[a])));
+        let sorted: Vec<&Vec<f64>> = order.iter().map(|&i| &rows[i]).collect();
+
+        let mut arena = BlockWindow::new(d, usize::MAX);
+        for key in &sorted {
+            arena.insert(key);
+        }
+        // probe a spread of prefixes, not all n² pairs
+        for (i, key) in sorted.iter().enumerate().step_by(17) {
+            let (dominated, _cost) = arena.probe_prefix(key, i);
+            let expect = sorted[..i]
+                .iter()
+                .any(|e| dom_rel(e, key) == DomRel::Dominates);
+            assert_eq!(dominated, expect, "{label}: prefix {i}");
+        }
+    });
+}

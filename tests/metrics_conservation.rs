@@ -4,6 +4,13 @@
 //! and (stage by stage, summing to the aggregate *exactly*) the
 //! partitioned parallel filter. These laws are what make the bench
 //! gate's comparison counters trustworthy as a regression oracle.
+//!
+//! The block-kernel counters obey laws of their own: the model
+//! comparison charge never exceeds the physical lane work (comparisons
+//! stop at the first decisive entry of a non-skipped block; lanes count
+//! the whole block), the winnow's Pareto fast path charges exactly 2×
+//! comparisons per lane bound, and both counters aggregate exactly
+//! across parallel stages like every other counter.
 
 use skyline::core::external::WinnowOp;
 use skyline::core::planner::{bnl_over, entropy_stats_of, load_heap, presort, sfs_filter};
@@ -82,6 +89,18 @@ fn sequential_sfs_settles_every_record_even_multipass() {
         assert_settled(&s, n as u64, "sfs");
         assert_eq!(s.emitted, out.len() as u64, "emitted counter == output");
         assert!(s.passes >= 1);
+        // block-kernel accounting: the model charge stops at the first
+        // decisive entry, lane work covers whole non-skipped blocks
+        assert!(
+            s.comparisons <= s.lanes_compared,
+            "sfs: comparisons {} must not exceed lanes {}",
+            s.comparisons,
+            s.lanes_compared
+        );
+        assert!(
+            s.blocks_skipped > 0,
+            "sfs: presorted anti-correlated probes must prune some blocks"
+        );
     }
 }
 
@@ -104,6 +123,12 @@ fn bnl_settles_every_record_even_multipass() {
     assert_settled(&s, n as u64, "bnl");
     assert_eq!(s.emitted, out.len() as u64);
     assert!(s.passes > 1, "window of 1 page must force multipass");
+    assert!(
+        s.comparisons <= s.lanes_compared,
+        "bnl: comparisons {} must not exceed lanes {}",
+        s.comparisons,
+        s.lanes_compared
+    );
 }
 
 #[test]
@@ -126,6 +151,14 @@ fn winnow_op_settles_every_record() {
     let s = metrics.snapshot();
     assert_settled(&s, n as u64, "winnow");
     assert_eq!(s.emitted, out.len() as u64);
+    // the Pareto fast path charges two preference tests per model
+    // comparison (the scalar evaluator tested both directions)
+    assert!(
+        s.comparisons <= 2 * s.lanes_compared,
+        "winnow: comparisons {} must not exceed 2x lanes {}",
+        s.comparisons,
+        s.lanes_compared
+    );
 }
 
 #[test]
@@ -204,6 +237,16 @@ fn parallel_filter_aggregate_is_the_exact_sum_of_its_stages() {
             .iter()
             .fold(outcome.merge_metrics, |acc, s| acc.plus(s));
         assert_eq!(metrics.snapshot(), parts, "{label}: aggregate == Σ stages");
+        // the snapshot equality above already covers the block-kernel
+        // counters; additionally the run must actually exercise them
+        let agg = metrics.snapshot();
+        assert!(agg.lanes_compared > 0, "{label}: lanes recorded");
+        assert!(
+            agg.comparisons <= agg.lanes_compared,
+            "{label}: comparisons {} must not exceed lanes {}",
+            agg.comparisons,
+            agg.lanes_compared
+        );
         outcome.skyline.delete();
     }
 }
