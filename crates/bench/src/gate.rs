@@ -95,6 +95,18 @@ pub struct ThreadRun {
     /// Filter-phase temp traffic: pages written plus re-read beyond the
     /// one input scan.
     pub extra_pages: u64,
+    /// External-pass count across workers and merge. Deterministic.
+    pub passes: u64,
+    /// Records spilled to temp files during the filter. Deterministic.
+    pub temp_records: u64,
+    /// Window insertions across workers and merge. Deterministic.
+    pub window_inserts: u64,
+    /// Records discarded as dominated. Deterministic.
+    pub discarded: u64,
+    /// Records emitted into the skyline (and winnow intermediates).
+    pub emitted: u64,
+    /// Records pulled from the filter inputs. Deterministic.
+    pub input_records: u64,
     /// Whole blocks the columnar window kernel pruned via per-block
     /// summaries or the Theorem 4 score cutoff. Deterministic.
     pub blocks_skipped: u64,
@@ -305,6 +317,12 @@ pub fn run_section(spec: &GateSpec) -> GateSection {
             comparisons: agg.comparisons,
             critical_path,
             extra_pages,
+            passes: agg.passes,
+            temp_records: agg.temp_records,
+            window_inserts: agg.window_inserts,
+            discarded: agg.discarded,
+            emitted: agg.emitted,
+            input_records: agg.input_records,
             blocks_skipped: agg.blocks_skipped,
             lanes_compared: agg.lanes_compared,
             skyline,
@@ -387,6 +405,12 @@ pub fn report_json(sections: &[GateSection]) -> String {
             let _ = write!(out, "\"comparisons\": {}, ", r.comparisons);
             let _ = write!(out, "\"critical_path\": {}, ", r.critical_path);
             let _ = write!(out, "\"extra_pages\": {}, ", r.extra_pages);
+            let _ = write!(out, "\"passes\": {}, ", r.passes);
+            let _ = write!(out, "\"temp_records\": {}, ", r.temp_records);
+            let _ = write!(out, "\"window_inserts\": {}, ", r.window_inserts);
+            let _ = write!(out, "\"discarded\": {}, ", r.discarded);
+            let _ = write!(out, "\"emitted\": {}, ", r.emitted);
+            let _ = write!(out, "\"input_records\": {}, ", r.input_records);
             let _ = write!(out, "\"blocks_skipped\": {}, ", r.blocks_skipped);
             let _ = write!(out, "\"lanes_compared\": {}, ", r.lanes_compared);
             let _ = write!(out, "\"skyline\": {}, ", r.skyline);

@@ -45,6 +45,7 @@ use crate::dominance::SkylineSpec;
 use crate::dominance_block::BlockWindow;
 use crate::metrics::{MetricsSnapshot, SkylineMetrics};
 use crate::par::panic_message;
+use skyline_exec::cancel::poll;
 use skyline_exec::sort::effective_threads;
 use skyline_exec::{BoxedOperator, CancelToken, ChainScan, ExecError, Operator, StridedHeapScan};
 use skyline_relation::RecordLayout;
@@ -167,10 +168,13 @@ fn prefix_merge(
     let mut keys: Vec<f64> = Vec::with_capacity(union_len * dims);
     let mut entries: Vec<UnionEntry> = Vec::with_capacity(union_len);
     let mut key = Vec::with_capacity(dims);
+    let mut scanned = 0u64;
     for (w, local) in locals.iter().enumerate() {
         let mut scan = local.scan();
         let mut pos = 0u64;
         while let Some(r) = scan.next_record()? {
+            poll(cancel, scanned)?;
+            scanned += 1;
             spec.key_of(&layout, r, &mut key);
             entries.push(UnionEntry {
                 score: key.iter().sum(),
@@ -269,12 +273,15 @@ fn prefix_merge(
     let mut out = HeapFile::create_temp(Arc::clone(disk), layout.record_size())?;
     {
         let mut writer = out.writer()?;
+        let mut replayed = 0u64;
         for (local, wanted) in locals.iter().zip(&mut by_local) {
             wanted.sort_unstable();
             let mut next = wanted.iter().copied().peekable();
             let mut scan = local.scan();
             let mut pos = 0u64;
             while let Some(r) = scan.next_record()? {
+                poll(cancel, replayed)?;
+                replayed += 1;
                 if next.peek() == Some(&pos) {
                     writer.push(r)?;
                     next.next();

@@ -1,0 +1,206 @@
+//! Counting admission gate for the server arc's long-lived sessions.
+//!
+//! A [`Backpressure`] holds a fixed pool of *credits*. Admitting a unit
+//! of work takes one credit ([`Backpressure::acquire`] blocks while none
+//! are available); finishing it returns the credit
+//! ([`Backpressure::release`] wakes exactly one waiter). Closing the
+//! gate ([`Backpressure::close`]) releases every current and future
+//! waiter with a refusal — the shutdown path must never strand a
+//! blocked admitter.
+//!
+//! Like [`crate::queue::WorkQueue`], one mutex guards the whole state,
+//! so every operation is a single linearizable step and the
+//! `skyline_testkit::interleave` model test
+//! (`tests/backpressure_model.rs`) explores the full linearization
+//! space of admit/release/close programs. No I/O ever happens under the
+//! gate's lock.
+
+use crate::sync_util::{lock, wait};
+use std::sync::{Condvar, Mutex};
+
+/// Result of [`Backpressure::try_acquire`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryAcquire {
+    /// A credit was taken; pair with a later [`Backpressure::release`].
+    Granted,
+    /// No credits available right now (a blocking acquire would wait).
+    Exhausted,
+    /// The gate is closed; no credit will ever be granted again.
+    Closed,
+}
+
+struct State {
+    available: usize,
+    closed: bool,
+    granted: u64,
+    returned: u64,
+}
+
+/// A closable counting admission gate (credit semaphore).
+pub struct Backpressure {
+    state: Mutex<State>,
+    released: Condvar,
+}
+
+impl Backpressure {
+    /// A gate with `credits` admission slots (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `credits` is zero — a gate that can never admit
+    /// anything deadlocks its first acquirer by construction.
+    pub fn new(credits: usize) -> Self {
+        assert!(credits > 0, "backpressure gate needs credits >= 1");
+        Backpressure {
+            state: Mutex::new(State {
+                available: credits,
+                closed: false,
+                granted: 0,
+                returned: 0,
+            }),
+            released: Condvar::new(),
+        }
+    }
+
+    /// Take a credit, blocking while none are available. Returns `true`
+    /// when a credit was granted, `false` when the gate is (or becomes,
+    /// while waiting) closed.
+    pub fn acquire(&self) -> bool {
+        let mut st = lock(&self.state);
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.available > 0 {
+                st.available -= 1;
+                st.granted += 1;
+                return true;
+            }
+            st = wait(&self.released, st);
+        }
+    }
+
+    /// Non-blocking acquire.
+    pub fn try_acquire(&self) -> TryAcquire {
+        let mut st = lock(&self.state);
+        if st.closed {
+            TryAcquire::Closed
+        } else if st.available > 0 {
+            st.available -= 1;
+            st.granted += 1;
+            TryAcquire::Granted
+        } else {
+            TryAcquire::Exhausted
+        }
+    }
+
+    /// Return a credit and wake one waiter. Remains meaningful after
+    /// close: in-flight work still finishes, and the counters keep the
+    /// grant/return conservation visible to the model tests.
+    pub fn release(&self) {
+        let mut st = lock(&self.state);
+        st.available += 1;
+        st.returned += 1;
+        drop(st);
+        self.released.notify_one();
+    }
+
+    /// Close the gate: every blocked acquirer wakes with a refusal and
+    /// every later acquire fails immediately. Idempotent.
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.released.notify_all();
+    }
+
+    /// True once [`Backpressure::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        lock(&self.state).closed
+    }
+
+    /// Credits currently available.
+    pub fn available(&self) -> usize {
+        lock(&self.state).available
+    }
+
+    /// Total credits ever granted (model-test conservation counter).
+    pub fn granted(&self) -> u64 {
+        lock(&self.state).granted
+    }
+
+    /// Total credits ever returned (model-test conservation counter).
+    pub fn returned(&self) -> u64 {
+        lock(&self.state).returned
+    }
+
+    /// Credits currently held by admitted work (saturating when
+    /// unpaired releases outpace grants).
+    pub fn outstanding(&self) -> u64 {
+        let st = lock(&self.state);
+        st.granted.saturating_sub(st.returned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn grants_up_to_capacity_then_exhausts() {
+        let g = Backpressure::new(2);
+        assert_eq!(g.try_acquire(), TryAcquire::Granted);
+        assert_eq!(g.try_acquire(), TryAcquire::Granted);
+        assert_eq!(g.try_acquire(), TryAcquire::Exhausted);
+        g.release();
+        assert_eq!(g.try_acquire(), TryAcquire::Granted);
+        assert_eq!((g.granted(), g.returned()), (3, 1));
+        assert_eq!(g.outstanding(), 2);
+    }
+
+    #[test]
+    fn close_refuses_immediately_and_idempotently() {
+        let g = Backpressure::new(1);
+        g.close();
+        g.close();
+        assert!(g.is_closed());
+        assert_eq!(g.try_acquire(), TryAcquire::Closed);
+        assert!(!g.acquire());
+    }
+
+    #[test]
+    fn blocked_acquirer_wakes_on_release() {
+        let g = Arc::new(Backpressure::new(1));
+        assert!(g.acquire());
+        let g2 = Arc::clone(&g);
+        let h = std::thread::spawn(move || g2.acquire());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        g.release();
+        assert!(h.join().unwrap(), "release must wake the blocked acquirer");
+    }
+
+    #[test]
+    fn close_releases_blocked_acquirers() {
+        let g = Arc::new(Backpressure::new(1));
+        assert!(g.acquire());
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || g.acquire())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        g.close();
+        for h in waiters {
+            assert!(!h.join().unwrap(), "close must refuse every waiter");
+        }
+    }
+
+    #[test]
+    fn release_after_close_still_counts() {
+        let g = Backpressure::new(1);
+        assert!(g.acquire());
+        g.close();
+        g.release();
+        assert_eq!(g.outstanding(), 0);
+        assert_eq!(g.available(), 1, "in-flight work returns its credit");
+    }
+}

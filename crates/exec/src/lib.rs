@@ -19,6 +19,7 @@
 //! * [`filter::Filter`], [`project::Project`], [`limit::Limit`],
 //!   [`op::HeapScan`], [`op::MemSource`] — plumbing every engine needs.
 
+pub mod backpressure;
 pub mod cancel;
 pub mod error;
 pub mod filter;
@@ -30,6 +31,7 @@ pub mod queue;
 pub mod sort;
 mod sync_util;
 
+pub use backpressure::{Backpressure, TryAcquire};
 pub use cancel::CancelToken;
 pub use error::ExecError;
 pub use filter::Filter;

@@ -37,6 +37,9 @@ pub enum Statement {
 
 /// Parse a DDL/DML statement. Returns `Ok(None)` when the text does not
 /// start with CREATE/INSERT (the caller should treat it as a query).
+///
+/// # Errors
+/// Lex failures and malformed CREATE/INSERT syntax.
 pub fn parse_statement(input: &str) -> Result<Option<Statement>, QueryError> {
     let tokens = tokenize(input)?;
     let mut p = P { tokens, pos: 0 };

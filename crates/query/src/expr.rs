@@ -9,6 +9,9 @@ use std::cmp::Ordering;
 
 /// Resolve all column references in `expr` to indices; fails fast on
 /// unknown columns so execution can't panic later.
+///
+/// # Errors
+/// [`QueryError::NoSuchColumn`] for any reference not in `schema`.
 pub fn validate(expr: &Expr, schema: &Schema) -> Result<(), QueryError> {
     match expr {
         Expr::Column(name) => schema
@@ -40,6 +43,10 @@ fn operand_value<'a>(expr: &'a Expr, schema: &Schema, row: &'a Tuple) -> &'a Val
 }
 
 /// Evaluate a (validated) predicate against one row.
+///
+/// # Panics
+/// On an expression that [`validate`] would reject: an unresolved
+/// column reference, or a bare operand used as a predicate.
 pub fn eval(expr: &Expr, schema: &Schema, row: &Tuple) -> bool {
     match expr {
         Expr::Cmp { left, op, right } => {

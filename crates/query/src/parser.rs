@@ -6,6 +6,9 @@ use crate::token::{tokenize, Sym, Token, TokenKind};
 use skyline_relation::Value;
 
 /// Parse one query.
+///
+/// # Errors
+/// Lex failures and syntax errors, each naming the offending token.
 pub fn parse(input: &str) -> Result<Query, QueryError> {
     let tokens = tokenize(input)?;
     let mut p = Parser { tokens, pos: 0 };

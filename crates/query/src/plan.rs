@@ -22,11 +22,22 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Parse and execute `sql` against `catalog`.
+///
+/// # Errors
+/// Parse failures, plus everything [`execute_query`] reports.
 pub fn execute(sql: &str, catalog: &Catalog) -> Result<Table, QueryError> {
     execute_query(&parse(sql)?, catalog)
 }
 
 /// Execute an already-parsed query.
+///
+/// # Errors
+/// Unknown tables or columns, and semantic violations (aggregates
+/// without grouping, non-numeric skyline criteria).
+///
+/// # Panics
+/// On an aggregate query that validation let through without a
+/// grouping clause — a parser invariant, not reachable from SQL text.
 pub fn execute_query(query: &Query, catalog: &Catalog) -> Result<Table, QueryError> {
     let table = catalog
         .get(&query.from)
@@ -343,6 +354,9 @@ fn apply_skyline(
 
 /// Render the logical plan for `sql`, annotated with the skyline
 /// cardinality estimate the optimizer would use.
+///
+/// # Errors
+/// Parse failures and unknown tables or columns.
 pub fn explain(sql: &str, catalog: &Catalog) -> Result<String, QueryError> {
     let q = parse(sql)?;
     let table = catalog

@@ -35,6 +35,10 @@ pub const EXTERNAL_THRESHOLD: usize = 50_000;
 ///
 /// # Errors
 /// Propagates operator failures as semantic errors.
+///
+/// # Panics
+/// If the operator returns a record whose payload lost its 8-byte row
+/// tag — a layout invariant of this module's own encoding.
 pub fn external_skyline_indices(
     schema: &Schema,
     rows: &[Tuple],

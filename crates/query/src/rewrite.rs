@@ -85,6 +85,9 @@ pub fn to_except_sql(query: &Query) -> Result<String, QueryError> {
 /// Evaluate the rewrite's semantics directly: the θ-self-join computing
 /// dominated tuples, subtracted from the table. Quadratic by construction;
 /// this is the oracle the efficient operator must agree with.
+///
+/// # Errors
+/// A query without a `SKYLINE OF` clause, or an unknown table.
 pub fn eval_except_semantics(query: &Query, catalog: &Catalog) -> Result<Table, QueryError> {
     let clause = query
         .skyline

@@ -62,6 +62,10 @@ const KEYWORDS: &[&str] = &[
 ];
 
 /// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
+///
+/// # Errors
+/// [`QueryError::Lex`] on a character no token starts with, an
+/// unterminated string literal, or a malformed number.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
     let bytes = input.as_bytes();
     let mut out = Vec::new();

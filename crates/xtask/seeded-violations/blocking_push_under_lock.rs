@@ -1,0 +1,47 @@
+//! Seeded violation: **blocking-under-lock**.
+//!
+//! `WorkQueue::push` on a bounded queue blocks until a consumer makes
+//! room. Calling it while a mutex guard is held parks the thread with
+//! the lock taken: if the consumer needs that same lock to drain the
+//! queue, the system deadlocks; otherwise everything behind the lock
+//! stalls for a full queue's worth of time. The self-test asserts the
+//! push site is flagged, plus the interprocedural variant where the
+//! blocking call hides one (uniquely named) callee deep.
+
+/// Feed a bounded queue while holding the stats guard — the seeded bug.
+pub fn enqueue_all(q: &WorkQueue<Job>, jobs: Vec<Job>, stats: &Mutex<Stats>) {
+    let mut st = lock(&stats);
+    for job in jobs {
+        q.push(job);
+        st.pushed += 1;
+    }
+}
+
+/// A uniquely named helper that blocks in its body (condvar wait).
+pub fn admit_one(&self) -> bool {
+    let mut st = lock(&self.state);
+    loop {
+        if st.available > 0 {
+            st.available -= 1;
+            return true;
+        }
+        st = wait(&self.released, st);
+    }
+}
+
+/// Interprocedural seeded bug: the blocking call is behind `admit_one`.
+pub fn throttle(&self) {
+    let ledger = lock(&self.ledger);
+    admit_one(self);
+    drop(ledger);
+}
+
+/// The compliant twin: drop the guard before blocking.
+pub fn enqueue_all_clean(q: &WorkQueue<Job>, jobs: Vec<Job>, stats: &Mutex<Stats>) {
+    let n = jobs.len();
+    for job in jobs {
+        q.push(job);
+    }
+    let mut st = lock(&stats);
+    st.pushed += n;
+}

@@ -1,0 +1,27 @@
+//! Seeded violation: **guard-into-spawn**.
+//!
+//! A `MutexGuard` is still held when worker threads are spawned: either
+//! it moves into the closure (the lock lives on another thread for the
+//! closure's whole life) or the spawner keeps it while every worker
+//! contends — a stall or deadlock either way. The self-test asserts the
+//! spawn site is flagged.
+
+/// Fan work out to scoped workers while holding the job-list guard —
+/// the seeded bug.
+pub fn fan_out(&self) {
+    let jobs = lock(&self.jobs);
+    std::thread::scope(|s| {
+        s.spawn(move || consume(jobs));
+    });
+}
+
+/// The compliant twin: snapshot under the lock, drop, then spawn.
+pub fn fan_out_clean(&self) {
+    let snapshot = {
+        let jobs = lock(&self.jobs);
+        jobs.clone()
+    };
+    std::thread::scope(|s| {
+        s.spawn(move || consume(snapshot));
+    });
+}

@@ -1,0 +1,28 @@
+//! Seeded violation: **cancel-liveness**.
+//!
+//! A record-driven loop in cancellation-bearing code that never polls
+//! the token — the PR 2 "poll every 256 records" contract is starved:
+//! a cancelled query keeps scanning until the input runs dry. The
+//! self-test maps this file under `crates/core/src/external/` and
+//! asserts exactly this loop is flagged.
+
+/// Drain an operator to completion, ignoring the cancel token it was
+/// handed — the seeded bug.
+pub fn drain(op: &mut dyn Operator, cancel: Option<&CancelToken>) -> Result<u64, ExecError> {
+    let mut n = 0u64;
+    while let Some(r) = op.next()? {
+        n += consume(r);
+    }
+    let _ = cancel;
+    Ok(n)
+}
+
+/// The compliant twin: same loop, polled — must stay clean.
+pub fn drain_polled(op: &mut dyn Operator, cancel: Option<&CancelToken>) -> Result<u64, ExecError> {
+    let mut n = 0u64;
+    while let Some(r) = op.next()? {
+        poll(cancel, n)?;
+        n += consume(r);
+    }
+    Ok(n)
+}

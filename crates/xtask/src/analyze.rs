@@ -1,7 +1,9 @@
 //! Dataflow lints over the parsed workspace model of [`crate::model`].
 //!
-//! Four lints that need statement order and scope, which the token scan
-//! of [`crate::lints`] cannot express:
+//! Seven lint families that need statement order and scope, which the
+//! token scan of [`crate::lints`] cannot express. The first four are
+//! intraprocedural; the last three ride the workspace call graph of
+//! [`crate::callgraph`] (DESIGN.md §13):
 //!
 //! 1. **page-leak** — intraprocedural escape analysis over `HeapFile`
 //!    creation. An *owned* (non-temp) heap file — a direct
@@ -24,14 +26,37 @@
 //!    cycles are deadlock candidates and are flagged at each
 //!    participating edge. A guard held across a `Disk` I/O call
 //!    serializes the storage layer on that lock and is flagged
-//!    separately.
+//!    separately. Interprocedurally, a held guard extends the order
+//!    graph through resolvable callees that acquire `self.`-field
+//!    locks, and `lock-across-io` fires when a uniquely-resolved
+//!    callee is guaranteed to hit disk.
+//! 5. **cancel-liveness** — every record-driven loop in a
+//!    cancellation-aware function on the cancellable paths (external
+//!    operators, the parallel filter, the exec crate) must poll
+//!    `CancelToken` within a bounded stride, directly or via a callee
+//!    that may poll (PR 2's "poll every 256 records" contract). A loop
+//!    that fetches records but can never reach a poll starves
+//!    cancellation.
+//! 6. **guard-into-spawn** / **blocking-under-lock** — thread-capture
+//!    and blocking discipline: a `MutexGuard` held at a `spawn(` site,
+//!    a condvar `wait(` that does not name (and hence cannot release)
+//!    a held guard, a bounded `WorkQueue`/`Backpressure` method on a
+//!    typed receiver, or a call into a uniquely-resolved callee that
+//!    must block — all while a guard is held — are stall/deadlock
+//!    findings.
+//! 7. **counter-conservation** — every `SkylineMetrics` counter must
+//!    survive the whole plumbing: a `MetricsSnapshot` field, the
+//!    `snapshot`/`absorb`/`reset`/`plus` hops, and the downstream
+//!    sinks (bench gate report, xtask report parser). A counter
+//!    dropped at any hop is a silently-lost statistic.
 //!
 //! All findings flow into the same `lint-baseline.txt` ratchet as the
 //! token lints, and `cargo xtask analyze --sarif` renders them as SARIF
 //! for CI code-scanning annotations.
 
+use crate::callgraph::{self, resolvable_calls, CallGraph, POLL_TOKENS};
 use crate::lints::{has_token, Finding, HOT_PATHS, PANIC_TOKENS};
-use crate::model::{file_model, word_hits, Block, FileModel};
+use crate::model::{file_model, word_hits, Block, FileModel, FnModel};
 use crate::scan::CleanSource;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -56,7 +81,7 @@ const ERROR_TYPES: &[&str] = &[
 ];
 
 /// Disk/file I/O calls a lock guard must not be held across.
-const IO_TOKENS: &[&str] = &[
+pub(crate) const IO_TOKENS: &[&str] = &[
     ".read_page(",
     ".write_page(",
     ".num_pages(",
@@ -69,8 +94,32 @@ const IO_TOKENS: &[&str] = &[
     ".metadata(",
 ];
 
+/// Directories under the cancellation contract: operator `next()`
+/// paths, external-pass drivers, and the parallel workers. A function
+/// here that has access to a cancel token (its signature or body
+/// mentions one) must poll it from every record-driven loop.
+const CANCEL_SCOPE: &[&str] = &[
+    "crates/core/src/external",
+    "crates/core/src/par.rs",
+    "crates/exec/src",
+];
+
+/// A loop is *record-driven* — expected to run once per input record,
+/// i.e. unbounded in the input size — when it advances a stream or
+/// probes the window. Matched with plain `contains` (`.probe` covers
+/// `.probe(`/`.probe_prefix(`).
+const RECORD_TOKENS: &[&str] = &[".next()", ".next_record(", ".pop()", ".probe"];
+
+/// Method calls that block when the receiver is a bounded
+/// [`WorkQueue`]/[`Backpressure`]-typed binding.
+const BLOCKING_METHODS: &[&str] = &[".push(", ".pop(", ".acquire("];
+
+/// The metrics hub and the downstream sinks every counter must reach.
+const METRICS_PATH: &str = "crates/core/src/metrics.rs";
+const COUNTER_SINKS: &[&str] = &["crates/bench/src/gate.rs", "crates/xtask/src/bench.rs"];
+
 /// Paths whose functions are all test/bench scaffolding.
-fn is_test_path(path: &str) -> bool {
+pub(crate) fn is_test_path(path: &str) -> bool {
     path.starts_with("tests/")
         || path.starts_with("crates/testkit")
         || path.contains("/tests/")
@@ -104,6 +153,8 @@ pub fn analyze_files(files: &[(String, CleanSource)]) -> Vec<Finding> {
         }
     }
 
+    let graph = callgraph::build(&models);
+
     let mut out = Vec::new();
     let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
     for m in &models {
@@ -135,11 +186,18 @@ pub fn analyze_files(files: &[(String, CleanSource)]) -> Vec<Finding> {
                     });
                 }
             }
+            if under(&m.path, CANCEL_SCOPE) && cancel_aware(f, body) {
+                cancel_liveness(&m.path, &f.name, body, &graph, &mut out);
+            }
+            let recv = blocking_receivers(f, body);
             let mut held = Vec::new();
-            lock_scan(&m.path, &f.name, body, &mut held, &mut edges, &mut out);
+            lock_scan(
+                &m.path, &f.name, body, &recv, &graph, &mut held, &mut edges, &mut out,
+            );
         }
     }
     lock_cycles(&edges, &mut out);
+    counter_lint(files, &models, &mut out);
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
     out
 }
@@ -201,7 +259,7 @@ fn discard_lint(path: &str, block: &Block, fallible: &BTreeSet<&str>, out: &mut 
 }
 
 /// Call names in `text`: every identifier directly followed by `(`.
-fn calls_in(text: &str) -> Vec<String> {
+pub(crate) fn calls_in(text: &str) -> Vec<String> {
     let chars: Vec<char> = text.chars().collect();
     let mut out = Vec::new();
     let mut i = 0;
@@ -400,11 +458,15 @@ struct Held {
 }
 
 /// Walk one block tracking held guards; record acquisition-order edges
-/// and guards held across I/O.
+/// (direct and through uniquely-resolved callees), guards held across
+/// I/O or blocking calls, and guards held at thread-spawn sites.
+#[allow(clippy::too_many_arguments)]
 fn lock_scan(
     path: &str,
     fn_name: &str,
     block: &Block,
+    recv: &BTreeSet<String>,
+    graph: &CallGraph,
     held: &mut Vec<Held>,
     edges: &mut BTreeMap<(String, String), (String, usize)>,
     out: &mut Vec<Finding>,
@@ -421,6 +483,26 @@ fn lock_scan(
             }
         }
         let text = stmt.text_all();
+        if !held.is_empty() {
+            // interprocedural lock-order: a resolvable callee that
+            // acquires `self.`-field locks extends the order graph
+            for c in resolvable_calls(&text) {
+                if let Some(acq) = graph.acquires(&c) {
+                    for l2 in acq {
+                        for h in held.iter() {
+                            if h.lock != *l2 {
+                                edges
+                                    .entry((h.lock.clone(), l2.clone()))
+                                    .or_insert_with(|| (path.to_string(), stmt.line));
+                            }
+                        }
+                    }
+                }
+            }
+            if !stmt.exempt {
+                blocking_checks(path, fn_name, stmt.line, &text, held, recv, graph, out);
+            }
+        }
         if (!held.is_empty() || !acqs.is_empty()) && IO_TOKENS.iter().any(|t| has_token(&text, t)) {
             let lock = held
                 .first()
@@ -462,9 +544,139 @@ fn lock_scan(
         }
         for b in &stmt.blocks {
             let depth = held.len();
-            lock_scan(path, fn_name, b, held, edges, out);
+            lock_scan(path, fn_name, b, recv, graph, held, edges, out);
             held.truncate(depth);
         }
+    }
+}
+
+/// One statement with guards held: is it a stall/deadlock hazard?
+#[allow(clippy::too_many_arguments)]
+fn blocking_checks(
+    path: &str,
+    fn_name: &str,
+    line: usize,
+    text: &str,
+    held: &[Held],
+    recv: &BTreeSet<String>,
+    graph: &CallGraph,
+    out: &mut Vec<Finding>,
+) {
+    // thread-capture discipline: a guard held at a spawn site either
+    // moves into the closure (keeping the lock on another thread) or
+    // stays held while workers contend on it — both are findings
+    if has_token(text, "spawn(") {
+        for h in held {
+            out.push(Finding {
+                lint: "guard-into-spawn",
+                file: path.to_string(),
+                line,
+                excerpt: format!(
+                    "guard of `{}` is held at a thread spawn in `{fn_name}` — workers contending on the lock stall or deadlock",
+                    h.lock
+                ),
+            });
+        }
+        return; // the spawn finding subsumes blocking checks on this stmt
+    }
+    // condvar protocol: `st = wait(&cv, st)` releases exactly the guard
+    // it names; any *other* held guard stays locked through the sleep
+    let waits = has_token(text, "wait(");
+    for h in held {
+        let releases_this = waits
+            && h.guard
+                .as_ref()
+                .is_some_and(|g| !word_hits(text, g).is_empty());
+        if waits && !releases_this {
+            push_blocking(
+                out,
+                path,
+                line,
+                fn_name,
+                &h.lock,
+                "a condvar wait that cannot release it",
+            );
+        }
+    }
+    if held.is_empty() {
+        return;
+    }
+    let lock = &held[0].lock;
+    for tok in &["::sleep(", ".join()", "park("] {
+        if text.contains(*tok) {
+            push_blocking(out, path, line, fn_name, lock, "a sleep/join/park");
+            break;
+        }
+    }
+    // bounded-queue / admission-gate methods on typed receivers
+    'recv: for r in recv {
+        for m in BLOCKING_METHODS {
+            if has_token(text, &format!("{r}{m}")) {
+                push_blocking(
+                    out,
+                    path,
+                    line,
+                    fn_name,
+                    lock,
+                    &format!("blocking `{r}{m}…)`"),
+                );
+                break 'recv;
+            }
+        }
+    }
+    // uniquely-resolved callees that are guaranteed to block or hit disk
+    for c in resolvable_calls(text) {
+        if matches!(c.as_str(), "wait" | "lock" | "sleep" | "park" | "spawn") {
+            continue; // direct tokens above already judged these
+        }
+        if graph.must_block(&c) {
+            push_blocking(
+                out,
+                path,
+                line,
+                fn_name,
+                lock,
+                &format!("a call to blocking `{c}`"),
+            );
+        } else if graph.must_io(&c) {
+            let dup = out.iter().any(|f| {
+                f.lint == "lock-across-io" && f.file == path && f.excerpt.contains(fn_name)
+            });
+            if !dup {
+                out.push(Finding {
+                    lint: "lock-across-io",
+                    file: path.to_string(),
+                    line,
+                    excerpt: format!(
+                        "guard of `{lock}` is held across disk I/O in `{fn_name}` (via callee `{c}`) — I/O serializes on the lock"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Emit a deduplicated blocking-under-lock finding.
+fn push_blocking(
+    out: &mut Vec<Finding>,
+    path: &str,
+    line: usize,
+    fn_name: &str,
+    lock: &str,
+    what: &str,
+) {
+    let excerpt =
+        format!("guard of `{lock}` is held across {what} in `{fn_name}` — stall/deadlock risk");
+    if !out
+        .iter()
+        .any(|f| f.lint == "blocking-under-lock" && f.file == path && f.excerpt == excerpt)
+    {
+        out.push(Finding {
+            lint: "blocking-under-lock",
+            file: path.to_string(),
+            line,
+            excerpt,
+        });
     }
 }
 
@@ -585,6 +797,241 @@ fn guard_bound_directly(rest: &str) -> bool {
         }
     }
     s.is_empty() || s == ";"
+}
+
+// --------------------------------------------------- cancel-liveness
+
+/// Does this function have a cancellation token in reach? Only such
+/// functions are held to the polling contract — a helper with no token
+/// cannot poll, and demanding it would force an API change the lint has
+/// no business mandating (documented false-negative boundary).
+fn cancel_aware(f: &FnModel, body: &Block) -> bool {
+    let full = format!("{} {}", f.sig, callgraph::block_text(body));
+    full.contains("cancel") || full.contains("Cancel")
+}
+
+/// Every record-driven loop in a cancel-aware scope function must poll
+/// the token — directly (`poll(`/`.check(`/`is_cancelled(`) or through
+/// a callee that may poll. Stride boundedness comes from the poll
+/// helpers themselves (`CANCEL_CHECK_INTERVAL` is a compile-time
+/// constant), so presence is the static contract.
+fn cancel_liveness(
+    path: &str,
+    fn_name: &str,
+    block: &Block,
+    graph: &CallGraph,
+    out: &mut Vec<Finding>,
+) {
+    for stmt in &block.stmts {
+        let looping = !stmt.blocks.is_empty()
+            && ["loop", "while", "for"]
+                .iter()
+                .any(|k| !word_hits(&stmt.head, k).is_empty());
+        if looping && !stmt.exempt {
+            let text = stmt.text_all();
+            let fetches = RECORD_TOKENS.iter().any(|t| text.contains(t));
+            let polls = POLL_TOKENS.iter().any(|t| has_token(&text, t))
+                || calls_in(&text).iter().any(|c| graph.may_poll(c));
+            if fetches && !polls {
+                out.push(Finding {
+                    lint: "cancel-liveness",
+                    file: path.to_string(),
+                    line: stmt.line,
+                    excerpt: format!(
+                        "record-driven loop in `{fn_name}` never polls CancelToken (directly or via a callee) — cancellation can starve"
+                    ),
+                });
+            }
+        }
+        for b in &stmt.blocks {
+            cancel_liveness(path, fn_name, b, graph, out);
+        }
+    }
+}
+
+/// Bindings in this function whose type is a bounded [`crate`]-side
+/// blocking primitive (`WorkQueue`/`Backpressure`): parameters plus
+/// `let` bindings whose head names the type. An alias (`let q2 =
+/// Arc::clone(&q);`) escapes tracking — documented false negative.
+fn blocking_receivers(f: &FnModel, body: &Block) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for seg in f.sig.split(',') {
+        if seg.contains("WorkQueue") || seg.contains("Backpressure") {
+            if let Some((name_part, _)) = seg.split_once(':') {
+                let name: String = name_part
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                let name: String = name.chars().rev().collect();
+                if !name.is_empty() {
+                    set.insert(name);
+                }
+            }
+        }
+    }
+    collect_blocking_lets(body, &mut set);
+    set
+}
+
+fn collect_blocking_lets(block: &Block, set: &mut BTreeSet<String>) {
+    for stmt in &block.stmts {
+        if stmt.head.contains("WorkQueue") || stmt.head.contains("Backpressure") {
+            if let Some(name) = let_binding(&stmt.head) {
+                set.insert(name);
+            }
+        }
+        for b in &stmt.blocks {
+            collect_blocking_lets(b, set);
+        }
+    }
+}
+
+// ------------------------------------------------ counter-conservation
+
+/// Every `SkylineMetrics` counter must survive the whole statistics
+/// pipeline: a `MetricsSnapshot` field, the `snapshot`/`absorb`/`reset`
+/// plumbing, snapshot `plus`, and the downstream sinks (`bench` gate
+/// report and the xtask report parser). A counter added in core but
+/// dropped anywhere downstream is a silently-lost statistic.
+fn counter_lint(files: &[(String, CleanSource)], models: &[FileModel], out: &mut Vec<Finding>) {
+    let Some((_, metrics_cs)) = files.iter().find(|(p, _)| p == METRICS_PATH) else {
+        return;
+    };
+    let counters = struct_fields(metrics_cs, "SkylineMetrics");
+    let snap: Vec<(String, usize)> = struct_fields(metrics_cs, "MetricsSnapshot");
+    let snap_names: BTreeSet<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+    for (c, line) in &counters {
+        if !snap_names.contains(c.as_str()) {
+            out.push(Finding {
+                lint: "counter-conservation",
+                file: METRICS_PATH.to_string(),
+                line: *line,
+                excerpt: format!(
+                    "counter `{c}` has no MetricsSnapshot field — it vanishes at snapshot()"
+                ),
+            });
+        }
+    }
+    // intra-hub plumbing: snapshot/absorb/reset must touch every
+    // counter, snapshot plus() every snapshot field
+    if let Some(m) = models.iter().find(|m| m.path == METRICS_PATH) {
+        let body_of = |name: &str| -> Option<String> {
+            m.fns
+                .iter()
+                .find(|f| f.name == name)
+                .and_then(|f| f.body.as_ref())
+                .map(callgraph::block_text)
+        };
+        for (fn_name, fields) in [
+            ("snapshot", &counters),
+            ("absorb", &counters),
+            ("reset", &counters),
+            ("plus", &snap),
+        ] {
+            let Some(body) = body_of(fn_name) else {
+                continue;
+            };
+            for (c, line) in fields {
+                if word_hits(&body, c).is_empty() {
+                    out.push(Finding {
+                        lint: "counter-conservation",
+                        file: METRICS_PATH.to_string(),
+                        line: *line,
+                        excerpt: format!(
+                            "counter `{c}` is missing from `{fn_name}` — conservation breaks at that hop"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // downstream sinks: gate report and report parser
+    for sink in COUNTER_SINKS {
+        let Some((_, cs)) = files.iter().find(|(p, _)| p == sink) else {
+            continue;
+        };
+        // raw text: in the sinks a counter travels as a JSON key string
+        // (`"passes": {}` / `"passes"` parser lookups), which lexical
+        // cleaning would blank out. When the sink has a model with a
+        // `report_json` fn, scope the check to that fn's lines — else
+        // struct fields and aggregation code elsewhere in the file mask
+        // a counter dropped from the rendered report. (The xtask parser
+        // sink has no model — xtask is excluded — and keeps the
+        // whole-file check.)
+        let text = models
+            .iter()
+            .find(|m| m.path == *sink)
+            .and_then(|m| fn_raw_lines(cs, m, "report_json"))
+            .unwrap_or_else(|| cs.raw.join("\n"));
+        for (c, _) in &snap {
+            if word_hits(&text, c).is_empty() {
+                out.push(Finding {
+                    lint: "counter-conservation",
+                    file: (*sink).to_string(),
+                    line: 1,
+                    excerpt: format!(
+                        "SkylineMetrics counter `{c}` is not plumbed through this sink — the statistic is silently dropped"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The raw source lines spanned by fn `name`'s body, `None` when the
+/// file has no such fn with a body.
+fn fn_raw_lines(cs: &CleanSource, m: &FileModel, name: &str) -> Option<String> {
+    let f = m.fns.iter().find(|f| f.name == name)?;
+    let body = f.body.as_ref()?;
+    let mut last = f.line;
+    last_stmt_line(body, &mut last);
+    let lo = f.line.saturating_sub(1);
+    let hi = last.min(cs.raw.len());
+    Some(cs.raw[lo..hi].join("\n"))
+}
+
+fn last_stmt_line(block: &Block, last: &mut usize) {
+    for stmt in &block.stmts {
+        if stmt.line > *last {
+            *last = stmt.line;
+        }
+        for b in &stmt.blocks {
+            last_stmt_line(b, last);
+        }
+    }
+}
+
+/// `(field, line)` pairs of a one-field-per-line struct definition.
+fn struct_fields(cs: &CleanSource, name: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < cs.code.len() {
+        let l = &cs.code[i];
+        if !word_hits(l, "struct").is_empty() && !word_hits(l, name).is_empty() {
+            break;
+        }
+        i += 1;
+    }
+    if i == cs.code.len() {
+        return out;
+    }
+    i += 1;
+    while i < cs.code.len() {
+        let t = cs.code[i].trim();
+        if t.starts_with('}') {
+            break;
+        }
+        let t = t.strip_prefix("pub ").unwrap_or(t);
+        if let Some((field, _)) = t.split_once(':') {
+            let f = field.trim();
+            if !f.is_empty() && f.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                out.push((f.to_string(), i + 1));
+            }
+        }
+        i += 1;
+    }
+    out
 }
 
 /// DFS cycle detection over the lock-order graph; every edge on a cycle

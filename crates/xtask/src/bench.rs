@@ -261,6 +261,22 @@ pub fn parse(text: &str) -> Result<Json, ParseError> {
     }
 }
 
+/// Deterministic per-run counters that older committed reports may not
+/// carry yet: the block-kernel pair plus the full `SkylineMetrics`
+/// conservation set. Compared exactly when both sides report them —
+/// so a new counter can be added without regenerating the committed
+/// baseline, and the counter-conservation lint keeps this list honest.
+const OPTIONAL_COUNTERS: &[&str] = &[
+    "blocks_skipped",
+    "lanes_compared",
+    "passes",
+    "temp_records",
+    "window_inserts",
+    "discarded",
+    "emitted",
+    "input_records",
+];
+
 /// One run row, keyed for the diff.
 #[derive(Debug, Clone, PartialEq)]
 struct Run {
@@ -269,9 +285,8 @@ struct Run {
     critical_path: f64,
     skyline: f64,
     checksum: String,
-    /// Block-kernel counters; absent in pre-block-kernel reports.
-    blocks_skipped: Option<f64>,
-    lanes_compared: Option<f64>,
+    /// Present [`OPTIONAL_COUNTERS`], by name.
+    counters: BTreeMap<&'static str, f64>,
 }
 
 /// section label → threads → run
@@ -304,8 +319,10 @@ fn grid_of(doc: &Json) -> Result<Grid, String> {
                         .and_then(Json::str)
                         .ok_or("run missing `checksum`")?
                         .to_string(),
-                    blocks_skipped: r.get("blocks_skipped").and_then(Json::num),
-                    lanes_compared: r.get("lanes_compared").and_then(Json::num),
+                    counters: OPTIONAL_COUNTERS
+                        .iter()
+                        .filter_map(|k| r.get(k).and_then(Json::num).map(|v| (*k, v)))
+                        .collect(),
                 },
             );
         }
@@ -339,20 +356,16 @@ pub fn compare(committed: &str, fresh: &str) -> Result<Vec<String>, String> {
                 ));
                 continue;
             };
-            let optional = |a: Option<f64>, b: Option<f64>| match (a, b) {
-                (Some(x), Some(y)) => Some((x, y)),
-                _ => None, // counter absent on one side: not comparable
-            };
             let mut fields = vec![
                 ("comparisons", run.comparisons, base.comparisons),
                 ("critical_path", run.critical_path, base.critical_path),
                 ("skyline", run.skyline, base.skyline),
             ];
-            if let Some((new, old)) = optional(run.blocks_skipped, base.blocks_skipped) {
-                fields.push(("blocks_skipped", new, old));
-            }
-            if let Some((new, old)) = optional(run.lanes_compared, base.lanes_compared) {
-                fields.push(("lanes_compared", new, old));
+            for k in OPTIONAL_COUNTERS {
+                // counter absent on one side: not comparable
+                if let (Some(new), Some(old)) = (run.counters.get(k), base.counters.get(k)) {
+                    fields.push((*k, *new, *old));
+                }
             }
             for (what, new, old) in fields {
                 #[allow(clippy::float_cmp)] // integers carried in f64; exactness is the point

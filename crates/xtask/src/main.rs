@@ -20,17 +20,23 @@
 //!   must beat the retained scalar-era `BENCH_pr4.json` by ≥1.3× in
 //!   model comparison cost with a bit-identical skyline. `--smoke`
 //!   runs only the small section — the CI configuration.
+//! * `ratchet --base PATH` — monotonicity check: the committed
+//!   `lint-baseline.txt` must be ≤ the snapshot at PATH entry-wise (CI
+//!   passes the PR base branch's copy), so allowances only ever shrink.
 //! * `check` — analyze + audit + oracle; the CI entry point (the bench
 //!   gate is a separate CI job: it needs a release build).
 
 mod analyze;
 mod baseline;
 mod bench;
+mod callgraph;
 mod lints;
 mod model;
 mod oracle;
 mod sarif;
 mod scan;
+#[cfg(test)]
+mod seeded_tests;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -59,7 +65,10 @@ fn source_files(root: &Path) -> Vec<String> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if name != "target" && !name.starts_with('.') {
+                // `seeded-violations` holds deliberate lint violations
+                // for the self-tests; scanning them would seed the
+                // baseline with intentional findings
+                if name != "target" && name != "seeded-violations" && !name.starts_with('.') {
                     stack.push(path);
                 }
             } else if name.ends_with(".rs") {
@@ -138,6 +147,38 @@ fn run_analysis(root: &Path, update_baseline: bool, sarif_out: Option<&str>) -> 
     msg.push_str(
         "fix the new findings (or, for accepted debt, run `cargo xtask analyze --update-baseline`)",
     );
+    Err(msg)
+}
+
+/// Monotonicity check for the ratchet itself: the committed
+/// `lint-baseline.txt` may only ever shrink. Compares it against an
+/// older baseline snapshot (CI passes the merge-base's copy) and fails
+/// if any `(lint, file)` count grew or a new pair appeared — catching
+/// a `--update-baseline` run that laundered new findings into the
+/// allowance.
+fn run_ratchet(root: &Path, base_path: &str) -> Result<(), String> {
+    let current_text = std::fs::read_to_string(root.join(BASELINE_FILE))
+        .map_err(|e| format!("read {BASELINE_FILE}: {e}"))?;
+    let base_text = std::fs::read_to_string(base_path)
+        .map_err(|e| format!("read base baseline {base_path}: {e}"))?;
+    let current = baseline::parse(&current_text)?;
+    let base = baseline::parse(&base_text)?;
+    let (regressions, improvements) = baseline::compare(&current, &base);
+    if regressions.is_empty() {
+        println!(
+            "ratchet: ok — {} allowance(s) lowered, none raised",
+            improvements.len()
+        );
+        return Ok(());
+    }
+    let mut msg = String::new();
+    for d in &regressions {
+        msg.push_str(&format!(
+            "ratchet violation: {} in {} — allowance raised {} → {}\n",
+            d.lint, d.file, d.allowed, d.current
+        ));
+    }
+    msg.push_str("the lint baseline may only shrink; fix the findings instead of re-baselining");
     Err(msg)
 }
 
@@ -243,8 +284,8 @@ fn run_bench(root: &Path, gate: bool, smoke: bool) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: cargo xtask <check|analyze|lint|audit|oracle|bench> \
-     [--update-baseline] [--sarif PATH] [--gate] [--smoke]"
+    "usage: cargo xtask <check|analyze|lint|audit|oracle|bench|ratchet> \
+     [--update-baseline] [--sarif PATH] [--gate] [--smoke] [--base PATH]"
         .to_string()
 }
 
@@ -259,8 +300,19 @@ fn main() -> ExitCode {
         .map(String::as_str);
     let gate = args.iter().any(|a| a == "--gate");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let base = args
+        .iter()
+        .position(|a| a == "--base")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
     let result = match args.first().map(String::as_str) {
         Some("analyze") | Some("lint") => run_analysis(&root, update, sarif),
+        Some("ratchet") => match base {
+            Some(b) => run_ratchet(&root, b),
+            None => {
+                Err("ratchet needs --base PATH (the older baseline to compare against)".to_string())
+            }
+        },
         Some("audit") => run_audit(&root),
         Some("oracle") => run_oracle(),
         Some("bench") => run_bench(&root, gate, smoke),

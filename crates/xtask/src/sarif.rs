@@ -22,6 +22,16 @@ fn rule_help(lint: &str) -> &'static str {
         "result-discard" => "Typed StorageError/ExecError Results must not be discarded or swallowed.",
         "lock-order" => "Lock acquisition order must be acyclic across the workspace.",
         "lock-across-io" => "Mutex guards must not be held across disk I/O calls.",
+        "cancel-liveness" => {
+            "Record-driven loops on cancellable paths must poll CancelToken, directly or via a callee."
+        }
+        "guard-into-spawn" => "Mutex guards must not be held (or captured) at thread spawn sites.",
+        "blocking-under-lock" => {
+            "No bounded-queue pushes, condvar waits, or blocking callees while a mutex guard is held."
+        }
+        "counter-conservation" => {
+            "Every SkylineMetrics counter must survive snapshot, absorb, reset, merge, and report sinks."
+        }
         _ => "Workspace lint.",
     }
 }
@@ -132,6 +142,31 @@ mod tests {
         // structural quote count is even (escaped quotes excluded)
         let quotes = doc.replace("\\\"", "").matches('"').count();
         assert_eq!(quotes % 2, 0);
+    }
+
+    #[test]
+    fn concurrency_contract_lints_have_distinct_rules() {
+        let lints = [
+            "cancel-liveness",
+            "guard-into-spawn",
+            "blocking-under-lock",
+            "counter-conservation",
+        ];
+        let findings: Vec<Finding> = lints
+            .iter()
+            .map(|l| Finding {
+                lint: l,
+                file: "crates/core/src/lib.rs".to_string(),
+                line: 1,
+                excerpt: "x".to_string(),
+            })
+            .collect();
+        let doc = render(&findings);
+        for l in lints {
+            assert!(doc.contains(&format!("\"id\": \"{l}\"")), "{l} rule id");
+        }
+        // each new lint carries its own help text, not the fallback
+        assert_eq!(doc.matches("Workspace lint.").count(), 0);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Self-tests for the interprocedural concurrency-contract lints,
+//! driven by the fixtures in `seeded-violations/`.
+//!
+//! Each fixture file plants exactly one family of violation next to a
+//! compliant twin, and the tests assert both directions: the seeded
+//! bug is caught, and the twin stays clean. The fixtures live outside
+//! `src/` (and [`crate::source_files`] skips the directory) so the
+//! deliberate violations never leak into the real baseline; here they
+//! are mapped onto in-scope workspace paths so the path-scoped lints
+//! (cancel-liveness, counter-conservation) see them as production
+//! code. A final test runs the analyzer over the real workspace and
+//! asserts the four new lint families report nothing — the clean-tree
+//! guarantee the ratchet depends on.
+
+use crate::analyze::analyze_files;
+use crate::lints::Finding;
+use crate::scan::CleanSource;
+
+const STARVED_LOOP: &str = include_str!("../seeded-violations/starved_loop.rs");
+const GUARD_INTO_SPAWN: &str = include_str!("../seeded-violations/guard_into_spawn.rs");
+const BLOCKING_PUSH: &str = include_str!("../seeded-violations/blocking_push_under_lock.rs");
+const ORPHAN_COUNTER: &str = include_str!("../seeded-violations/orphan_counter.rs");
+
+fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+    let cleaned: Vec<(String, CleanSource)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), CleanSource::new(s)))
+        .collect();
+    analyze_files(&cleaned)
+}
+
+fn of<'a>(findings: &'a [Finding], lint: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.lint == lint).collect()
+}
+
+#[test]
+fn starved_loop_is_flagged_and_polled_twin_is_clean() {
+    let findings = run(&[("crates/core/src/external/seeded_starved.rs", STARVED_LOOP)]);
+    let hits = of(&findings, "cancel-liveness");
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly the seeded loop: {findings:?}"
+    );
+    assert!(
+        hits[0].excerpt.contains("`drain`"),
+        "finding should name the starved fn: {hits:?}"
+    );
+    assert!(
+        !hits.iter().any(|f| f.excerpt.contains("`drain_polled`")),
+        "the polled twin must stay clean: {hits:?}"
+    );
+}
+
+#[test]
+fn guard_into_spawn_is_flagged_and_snapshot_twin_is_clean() {
+    let findings = run(&[("crates/exec/src/seeded_spawn.rs", GUARD_INTO_SPAWN)]);
+    let hits = of(&findings, "guard-into-spawn");
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly the seeded spawn: {findings:?}"
+    );
+    assert!(
+        hits[0].excerpt.contains("`jobs`") && hits[0].excerpt.contains("`fan_out`"),
+        "finding should name the guard and the spawning fn: {hits:?}"
+    );
+    assert!(
+        !hits.iter().any(|f| f.excerpt.contains("`fan_out_clean`")),
+        "snapshot-then-spawn twin must stay clean: {hits:?}"
+    );
+}
+
+#[test]
+fn blocking_push_under_lock_is_flagged_directly_and_through_a_callee() {
+    let findings = run(&[("crates/exec/src/seeded_queue.rs", BLOCKING_PUSH)]);
+    let hits = of(&findings, "blocking-under-lock");
+    assert_eq!(
+        hits.len(),
+        2,
+        "expected the direct and via-callee bugs: {findings:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.excerpt.contains("`enqueue_all`") && f.excerpt.contains("q.push")),
+        "bounded-queue push under the stats guard: {hits:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.excerpt.contains("`throttle`") && f.excerpt.contains("`admit_one`")),
+        "interprocedural: blocking callee under the ledger guard: {hits:?}"
+    );
+    // `admit_one` itself follows the condvar protocol — its wait names
+    // and releases the only guard it holds
+    assert!(
+        !hits.iter().any(|f| f.excerpt.contains("in `admit_one`")),
+        "condvar-protocol wait must stay clean: {hits:?}"
+    );
+    assert!(
+        !hits
+            .iter()
+            .any(|f| f.excerpt.contains("`enqueue_all_clean`")),
+        "push-then-lock twin must stay clean: {hits:?}"
+    );
+}
+
+#[test]
+fn orphan_counter_is_flagged_at_every_broken_hop() {
+    // a sink that only plumbs `comparisons` — `window_inserts` is
+    // silently dropped from the report
+    let sink_stub = r#"
+pub fn report_json(s: &MetricsSnapshot) -> String {
+    format!("{{\"comparisons\": {}}}", s.comparisons)
+}
+"#;
+    let findings = run(&[
+        ("crates/core/src/metrics.rs", ORPHAN_COUNTER),
+        ("crates/bench/src/gate.rs", sink_stub),
+    ]);
+    let hits = of(&findings, "counter-conservation");
+    // `orphans` breaks at four hops (snapshot field, snapshot, absorb,
+    // reset); `window_inserts` breaks at the sink
+    assert_eq!(hits.len(), 5, "{findings:?}");
+    assert_eq!(
+        hits.iter()
+            .filter(|f| f.excerpt.contains("`orphans`"))
+            .count(),
+        4,
+        "{hits:?}"
+    );
+    assert!(
+        hits.iter().any(|f| {
+            f.file == "crates/bench/src/gate.rs" && f.excerpt.contains("`window_inserts`")
+        }),
+        "sink must be flagged for the dropped statistic: {hits:?}"
+    );
+    assert!(
+        !hits.iter().any(|f| f.excerpt.contains("`comparisons`")),
+        "the fully-plumbed counter must stay clean: {hits:?}"
+    );
+}
+
+#[test]
+fn clean_workspace_has_zero_concurrency_contract_findings() {
+    const NEW_LINTS: &[&str] = &[
+        "cancel-liveness",
+        "guard-into-spawn",
+        "blocking-under-lock",
+        "counter-conservation",
+    ];
+    let root = crate::workspace_root();
+    let mut cleaned = Vec::new();
+    for rel in crate::source_files(&root) {
+        let src = std::fs::read_to_string(root.join(&rel)).expect("workspace source readable");
+        cleaned.push((rel, CleanSource::new(&src)));
+    }
+    let findings = analyze_files(&cleaned);
+    let dirty: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| NEW_LINTS.contains(&f.lint))
+        .collect();
+    assert!(
+        dirty.is_empty(),
+        "the workspace must satisfy its own concurrency contracts: {dirty:?}"
+    );
+}
