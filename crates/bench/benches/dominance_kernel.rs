@@ -24,17 +24,21 @@ fn bench_kernels(c: &mut Criterion) {
         let rows = presorted_rows(4_000, d);
 
         // the full SFS filter pass: probe, then insert survivors
-        g.bench_with_input(BenchmarkId::new("sfs_scalar_window", d), &rows, |b, rows| {
-            b.iter(|| {
-                let mut window: Vec<&[f64]> = Vec::new();
-                for key in rows {
-                    if !window.iter().any(|e| dominates(e, key)) {
-                        window.push(key);
+        g.bench_with_input(
+            BenchmarkId::new("sfs_scalar_window", d),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let mut window: Vec<&[f64]> = Vec::new();
+                    for key in rows {
+                        if !window.iter().any(|e| dominates(e, key)) {
+                            window.push(key);
+                        }
                     }
-                }
-                black_box(window.len())
-            });
-        });
+                    black_box(window.len())
+                });
+            },
+        );
         g.bench_with_input(BenchmarkId::new("sfs_block_window", d), &rows, |b, rows| {
             b.iter(|| {
                 let mut window = BlockWindow::new(d, usize::MAX);

@@ -12,8 +12,13 @@
 //! structural checks (identical skylines, exact metric aggregation,
 //! scalar-vs-block kernel agreement) apply. `--out` defaults to
 //! `BENCH_pr5.json` in the current directory.
+//!
+//! Both modes also run the session-server gate (closed-loop p50/p99
+//! plus exact admission counters) and emit it as the report's
+//! top-level `"server"` object.
 
 use skyline_bench::gate::{report_json, run_section, GateSection, FULL, SMOKE};
+use skyline_bench::server_gate::{run_server_gate, ServerGateReport};
 use skyline_bench::{ms, save_text, ReportTable};
 use std::process::ExitCode;
 
@@ -50,6 +55,31 @@ fn print_section(s: &GateSection) {
             format!("{:.2}x", s.speedup_model(r.threads).unwrap_or(0.0)),
         ]);
     }
+    t.print();
+}
+
+fn print_server(sv: &ServerGateReport) {
+    let mut t = ReportTable::new(
+        format!("gate `server`: session layer ({} workers)", sv.workers),
+        &[
+            "queries",
+            "admitted",
+            "rejected",
+            "cancelled",
+            "completed",
+            "p50",
+            "p99",
+        ],
+    );
+    t.row(vec![
+        sv.queries.to_string(),
+        sv.admitted.to_string(),
+        sv.rejected.to_string(),
+        sv.cancelled.to_string(),
+        sv.completed.to_string(),
+        ms(sv.p50_ms),
+        ms(sv.p99_ms),
+    ]);
     t.print();
 }
 
@@ -95,7 +125,9 @@ fn main() -> ExitCode {
         }
         sections.push(s);
     }
-    let json = report_json(&sections);
+    let server = run_server_gate();
+    print_server(&server);
+    let json = report_json(&sections, Some(&server));
     if let Err(e) = save_text(&out, &json) {
         eprintln!("bench gate: cannot write {out}: {e}");
         return ExitCode::FAILURE;

@@ -384,7 +384,12 @@ pub fn run_section(spec: &GateSpec) -> GateSection {
 
 /// Render the JSON report committed as `BENCH_pr5.json`. Hand-rolled:
 /// the workspace takes no serialization dependency for one flat format.
-pub fn report_json(sections: &[GateSection]) -> String {
+/// `server`, when present, lands as a top-level `"server"` object with
+/// the session-layer admission counters and latency percentiles.
+pub fn report_json(
+    sections: &[GateSection],
+    server: Option<&crate::server_gate::ServerGateReport>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": 1,\n");
     let _ = writeln!(out, "  \"seed\": {GATE_SEED},");
@@ -438,7 +443,20 @@ pub fn report_json(sections: &[GateSection]) -> String {
             "    }\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(sv) = server {
+        out.push_str(",\n  \"server\": { ");
+        let _ = write!(out, "\"workers\": {}, ", sv.workers);
+        let _ = write!(out, "\"queries\": {}, ", sv.queries);
+        let _ = write!(out, "\"admitted\": {}, ", sv.admitted);
+        let _ = write!(out, "\"rejected\": {}, ", sv.rejected);
+        let _ = write!(out, "\"cancelled\": {}, ", sv.cancelled);
+        let _ = write!(out, "\"completed\": {}, ", sv.completed);
+        let _ = write!(out, "\"p50_ms\": {:.3}, ", sv.p50_ms);
+        let _ = write!(out, "\"p99_ms\": {:.3}", sv.p99_ms);
+        out.push_str(" }");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -485,10 +503,30 @@ mod tests {
     #[test]
     fn json_report_shape() {
         let s = run_section(&tiny());
-        let j = report_json(std::slice::from_ref(&s));
+        let j = report_json(std::slice::from_ref(&s), None);
         assert!(j.contains("\"label\": \"tiny\""));
         assert!(j.contains("\"threads\": 2"));
         assert!(j.contains("\"checksum\": \"0x"));
+        assert!(!j.contains("\"server\""));
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_report_carries_the_server_object() {
+        let s = run_section(&tiny());
+        let sv = crate::server_gate::ServerGateReport {
+            workers: 2,
+            queries: 60,
+            admitted: 50,
+            rejected: 10,
+            cancelled: 10,
+            completed: 40,
+            p50_ms: 1.5,
+            p99_ms: 3.25,
+        };
+        let j = report_json(std::slice::from_ref(&s), Some(&sv));
+        assert!(j.contains("\"server\": { \"workers\": 2, \"queries\": 60"));
+        assert!(j.contains("\"p99_ms\": 3.250"));
         assert!(j.ends_with("}\n"));
     }
 

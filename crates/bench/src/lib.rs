@@ -18,6 +18,7 @@ pub mod crit;
 pub mod gate;
 pub mod harness;
 pub mod report;
+pub mod server_gate;
 pub mod sweeps;
 
 pub use harness::*;

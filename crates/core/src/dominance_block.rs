@@ -320,7 +320,7 @@ impl BlockWindow {
             self.monotone = false;
         }
         self.last_score = score;
-        if self.len % BLOCK_LANES == 0 {
+        if self.len.is_multiple_of(BLOCK_LANES) {
             self.blocks.push(Block::new(self.d));
         }
         if let Some(b) = self.blocks.last_mut() {
@@ -453,7 +453,7 @@ impl ReplaceWindow {
     pub fn push(&mut self, key: &[f64]) {
         debug_assert_eq!(key.len(), self.d);
         let score = key_score(key);
-        if self.len % BLOCK_LANES == 0 {
+        if self.len.is_multiple_of(BLOCK_LANES) {
             self.blocks.push(Block::new(self.d));
         }
         if let Some(b) = self.blocks.last_mut() {
@@ -594,7 +594,9 @@ mod tests {
     #[test]
     fn verdicts_agree_with_scalar_across_block_boundaries() {
         // 40 mutually incomparable entries spanning 3 blocks.
-        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![f64::from(i), f64::from(40 - i)]).collect();
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![f64::from(i), f64::from(40 - i)])
+            .collect();
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let w = window_from(&refs);
         for i in -5..50i32 {
@@ -603,7 +605,10 @@ mod tests {
                 let (bv, cost) = w.probe(&key);
                 let (sv, scmp) = scalar_probe(&rows, &key);
                 assert_eq!(bv, sv, "key {key:?}");
-                assert!(cost.comparisons <= scmp, "key {key:?}: charged more than scalar");
+                assert!(
+                    cost.comparisons <= scmp,
+                    "key {key:?}: charged more than scalar"
+                );
             }
         }
     }
@@ -702,7 +707,9 @@ mod tests {
     #[test]
     fn probe_prefix_partial_tail_block() {
         // 20 entries: prefix 18 cuts into the second block.
-        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i), f64::from(20 - i)]).collect();
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![f64::from(i), f64::from(20 - i)])
+            .collect();
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let w = window_from(&refs);
         // Entry 18 is (18, 2); it dominates (17.5, 1.5) but sits beyond
@@ -735,7 +742,9 @@ mod tests {
         let mut removed = Vec::new();
         let mut state = 2003u64;
         for _ in 0..600 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = f64::from((state >> 33) as u32 % 50);
             let b = f64::from((state >> 13) as u32 % 50);
             let c = f64::from((state >> 3) as u32 % 50);
@@ -858,7 +867,9 @@ mod tests {
 
     #[test]
     fn charging_never_exceeds_window_len() {
-        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i % 10), f64::from((i * 7) % 13)]).collect();
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![f64::from(i % 10), f64::from((i * 7) % 13)])
+            .collect();
         let mut w = BlockWindow::new(2, usize::MAX);
         let mut held = 0u64;
         for r in &rows {

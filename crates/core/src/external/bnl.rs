@@ -334,7 +334,8 @@ impl Operator for Bnl {
             }
             debug_assert_eq!(self.window.len(), self.block.len());
             self.metrics.add_comparisons(cost.comparisons);
-            self.metrics.add_block_stats(cost.blocks_skipped, cost.lanes);
+            self.metrics
+                .add_block_stats(cost.blocks_skipped, cost.lanes);
             if dominated {
                 self.metrics.add_discarded();
                 #[cfg(feature = "check-invariants")]

@@ -413,7 +413,8 @@ impl Operator for Sfs {
             }
             let (probe, cost) = self.window.probe(&self.key, self.cfg.move_to_front);
             self.metrics.add_comparisons(cost.comparisons);
-            self.metrics.add_block_stats(cost.blocks_skipped, cost.lanes);
+            self.metrics
+                .add_block_stats(cost.blocks_skipped, cost.lanes);
             match probe {
                 Probe::Dominated => {
                     self.metrics.add_discarded();
@@ -768,8 +769,7 @@ mod tests {
         let run = |cfg: SfsConfig| {
             let layout = layout2();
             let spec = SkylineSpec::max_all(2);
-            let mut recs: Vec<Vec<u8>> =
-                rows.iter().map(|r| layout.encode(r, &[0; 4])).collect();
+            let mut recs: Vec<Vec<u8>> = rows.iter().map(|r| layout.encode(r, &[0; 4])).collect();
             let cmp = SkylineOrderCmp::new(layout, spec.clone(), SortOrder::Nested, None);
             recs.sort_by(|a, b| skyline_exec::RecordComparator::cmp(&cmp, a, b));
             let disk = MemDisk::shared();
@@ -790,7 +790,10 @@ mod tests {
         for pages in [1usize, 2, 10] {
             let (block_out, block_snap) = run(SfsConfig::new(pages));
             let (scalar_out, scalar_snap) = run(SfsConfig::new(pages).with_scalar_window());
-            assert_eq!(block_out, scalar_out, "pages={pages}: rows must be bit-identical");
+            assert_eq!(
+                block_out, scalar_out,
+                "pages={pages}: rows must be bit-identical"
+            );
             assert!(
                 block_snap.comparisons <= scalar_snap.comparisons,
                 "pages={pages}: block {} > scalar {}",

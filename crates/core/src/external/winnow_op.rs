@@ -261,7 +261,8 @@ impl Operator for WinnowOp {
                     self.metrics.add_discarded();
                 }
                 debug_assert_eq!(self.window.len(), block.len());
-                self.metrics.add_block_stats(cost.blocks_skipped, cost.lanes);
+                self.metrics
+                    .add_block_stats(cost.blocks_skipped, cost.lanes);
                 bettered = dominated;
                 tests = 2 * cost.comparisons;
             } else {

@@ -83,8 +83,10 @@ impl SkylineMetrics {
     /// Scalar-kernel probes add nothing here.
     #[inline]
     pub fn add_block_stats(&self, blocks_skipped: u64, lanes_compared: u64) {
-        self.blocks_skipped.fetch_add(blocks_skipped, Ordering::Relaxed);
-        self.lanes_compared.fetch_add(lanes_compared, Ordering::Relaxed);
+        self.blocks_skipped
+            .fetch_add(blocks_skipped, Ordering::Relaxed);
+        self.lanes_compared
+            .fetch_add(lanes_compared, Ordering::Relaxed);
     }
 
     /// Reset all counters.

@@ -15,8 +15,9 @@
 //! space of admit/release/close programs. No I/O ever happens under the
 //! gate's lock.
 
-use crate::sync_util::{lock, wait};
+use crate::sync_util::{lock, wait, wait_timeout};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Result of [`Backpressure::try_acquire`].
 #[derive(Debug, PartialEq, Eq)]
@@ -76,6 +77,34 @@ impl Backpressure {
                 return true;
             }
             st = wait(&self.released, st);
+        }
+    }
+
+    /// Take a credit, waiting at most `timeout` for one to free up.
+    /// Returns [`TryAcquire::Granted`] when a credit was taken,
+    /// [`TryAcquire::Exhausted`] when the timeout elapsed with none
+    /// available, and [`TryAcquire::Closed`] when the gate is (or
+    /// becomes, while waiting) closed. This is the admission-control
+    /// shape: the server bounds how long a submit may wait instead of
+    /// blocking a client forever, and sheds load with a typed rejection
+    /// on `Exhausted`.
+    pub fn acquire_timeout(&self, timeout: Duration) -> TryAcquire {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.state);
+        loop {
+            if st.closed {
+                return TryAcquire::Closed;
+            }
+            if st.available > 0 {
+                st.available -= 1;
+                st.granted += 1;
+                return TryAcquire::Granted;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return TryAcquire::Exhausted;
+            }
+            st = wait_timeout(&self.released, st, deadline - now).0;
         }
     }
 
@@ -154,6 +183,53 @@ mod tests {
         assert_eq!(g.try_acquire(), TryAcquire::Granted);
         assert_eq!((g.granted(), g.returned()), (3, 1));
         assert_eq!(g.outstanding(), 2);
+    }
+
+    #[test]
+    fn acquire_timeout_grants_exhausts_and_refuses() {
+        let g = Backpressure::new(1);
+        assert_eq!(
+            g.acquire_timeout(std::time::Duration::ZERO),
+            TryAcquire::Granted,
+            "an available credit is granted without waiting"
+        );
+        assert_eq!(
+            g.acquire_timeout(std::time::Duration::from_millis(5)),
+            TryAcquire::Exhausted,
+            "timeout with no credit must report exhaustion"
+        );
+        g.close();
+        assert_eq!(
+            g.acquire_timeout(std::time::Duration::from_secs(3600)),
+            TryAcquire::Closed,
+            "a closed gate refuses immediately, not after the timeout"
+        );
+    }
+
+    #[test]
+    fn acquire_timeout_wakes_on_release_before_deadline() {
+        let g = Arc::new(Backpressure::new(1));
+        assert!(g.acquire());
+        let g2 = Arc::clone(&g);
+        let h = std::thread::spawn(move || g2.acquire_timeout(std::time::Duration::from_secs(30)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        g.release();
+        assert_eq!(
+            h.join().unwrap(),
+            TryAcquire::Granted,
+            "release must wake the timed waiter well before its deadline"
+        );
+    }
+
+    #[test]
+    fn acquire_timeout_wakes_on_close() {
+        let g = Arc::new(Backpressure::new(1));
+        assert!(g.acquire());
+        let g2 = Arc::clone(&g);
+        let h = std::thread::spawn(move || g2.acquire_timeout(std::time::Duration::from_secs(30)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        g.close();
+        assert_eq!(h.join().unwrap(), TryAcquire::Closed);
     }
 
     #[test]

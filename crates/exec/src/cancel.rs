@@ -21,6 +21,26 @@ pub const CANCEL_CHECK_INTERVAL: u64 = 256;
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// Linked-token fan-out: a child trips when any ancestor trips, but
+    /// cancelling a child never touches its parent or siblings.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn tripped(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        match &self.parent {
+            Some(p) => p.tripped(),
+            None => false,
+        }
+    }
 }
 
 /// A cancellation signal shared between a query's operators and whoever
@@ -37,6 +57,7 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: None,
+                parent: None,
             }),
         }
     }
@@ -48,6 +69,36 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(Instant::now() + timeout),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token linked to this one: it trips when *either* its own
+    /// flag is raised or any ancestor trips, while cancelling the child
+    /// leaves the parent — and therefore every sibling — untouched. This
+    /// is the server fan-out shape: one shutdown token parents every
+    /// per-query token, so shutdown cancels all sessions at once but a
+    /// single session abort stays local.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// A child token (see [`CancelToken::child`]) that additionally trips
+    /// once `timeout` has elapsed from construction — the per-query
+    /// deadline shape.
+    pub fn child_with_deadline(&self, timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                parent: Some(Arc::clone(&self.inner)),
             }),
         }
     }
@@ -57,15 +108,10 @@ impl CancelToken {
         self.inner.cancelled.store(true, Ordering::Relaxed);
     }
 
-    /// True when the flag is raised or the deadline has passed.
+    /// True when the flag is raised, the deadline has passed, or any
+    /// ancestor token (see [`CancelToken::child`]) has tripped.
     pub fn is_cancelled(&self) -> bool {
-        if self.inner.cancelled.load(Ordering::Relaxed) {
-            return true;
-        }
-        match self.inner.deadline {
-            Some(d) => Instant::now() >= d,
-            None => false,
-        }
+        self.inner.tripped()
     }
 
     /// Check the token, converting a trip into a typed error carrying the
@@ -126,6 +172,47 @@ mod tests {
         assert!(t.is_cancelled(), "zero deadline is already past");
         let far = CancelToken::with_deadline(Duration::from_secs(3600));
         assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn parent_cancel_fans_out_to_children() {
+        let parent = CancelToken::new();
+        let a = parent.child();
+        let b = parent.child();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        parent.cancel();
+        assert!(a.is_cancelled(), "parent cancel must reach child a");
+        assert!(b.is_cancelled(), "parent cancel must reach child b");
+    }
+
+    #[test]
+    fn child_cancel_stays_local() {
+        let parent = CancelToken::new();
+        let a = parent.child();
+        let b = parent.child();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel must not climb");
+        assert!(!b.is_cancelled(), "child cancel must not reach siblings");
+    }
+
+    #[test]
+    fn child_deadline_is_independent_of_parent() {
+        let parent = CancelToken::new();
+        let fast = parent.child_with_deadline(Duration::ZERO);
+        let slow = parent.child_with_deadline(Duration::from_secs(3600));
+        assert!(fast.is_cancelled(), "zero deadline is already past");
+        assert!(!slow.is_cancelled());
+        assert!(!parent.is_cancelled(), "deadline trips never climb");
+    }
+
+    #[test]
+    fn grandchild_sees_root_cancel() {
+        let root = CancelToken::new();
+        let mid = root.child();
+        let leaf = mid.child();
+        root.cancel();
+        assert!(leaf.is_cancelled(), "trips propagate down the whole chain");
     }
 
     #[test]

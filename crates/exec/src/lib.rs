@@ -42,5 +42,5 @@ pub use op::{
     StridedHeapScan,
 };
 pub use project::Project;
-pub use queue::{TryPop, WorkQueue};
+pub use queue::{PushTimeout, TryPop, WorkQueue};
 pub use sort::{ExternalSort, RecordComparator, SortBudget};

@@ -20,9 +20,20 @@
 //! No disk I/O ever happens under the queue's lock: items are moved out
 //! before the guard drops, so the `lock-across-io` analysis stays clean.
 
-use crate::sync_util::{lock, wait};
+use crate::sync_util::{lock, wait, wait_timeout};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Why a [`WorkQueue::push_deadline`] failed; both arms hand the item
+/// back so the producer keeps ownership either way.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushTimeout<T> {
+    /// The queue was (or became, while waiting) closed.
+    Closed(T),
+    /// The deadline passed while the queue was still full.
+    TimedOut(T),
+}
 
 /// Result of [`WorkQueue::try_pop`].
 #[derive(Debug, PartialEq, Eq)]
@@ -74,6 +85,16 @@ impl<T> WorkQueue<T> {
     /// Enqueue `item`, blocking while the queue is full. Returns the item
     /// back as `Err` when the queue is (or becomes) closed.
     ///
+    /// Close semantics for in-flight producers: closing is a single
+    /// linearizable step under the queue's one mutex, so a `push` racing
+    /// a `close` either enqueues *before* the close (the item stays
+    /// poppable — consumers drain everything enqueued pre-close) or
+    /// observes the closed flag and hands the item back. A producer
+    /// parked on a full queue is woken by `close` and returns its item;
+    /// no item is ever silently dropped and none is ever accepted after
+    /// the close point. The `queue_model.rs` interleaving tests
+    /// enumerate exactly these races.
+    ///
     /// # Errors
     /// `Err(item)` when the queue was closed before the item could be
     /// enqueued — the caller keeps ownership.
@@ -91,6 +112,39 @@ impl<T> WorkQueue<T> {
                 return Ok(());
             }
             st = wait(&self.not_full, st);
+        }
+    }
+
+    /// Enqueue `item`, waiting while the queue is full but never past
+    /// `deadline`. This is the result-streaming shape: a worker pushing
+    /// batches to a slow client backpressures until the client's queue
+    /// frees a slot, yet a wedged client cannot pin the worker forever —
+    /// the query deadline bounds the wait and the worker converts the
+    /// timeout into a typed cancellation.
+    ///
+    /// # Errors
+    /// [`PushTimeout::Closed`] when the queue was closed first (same
+    /// linearization contract as [`WorkQueue::push`]),
+    /// [`PushTimeout::TimedOut`] when `deadline` passed while full; the
+    /// caller keeps ownership of the item in both arms.
+    pub fn push_deadline(&self, item: T, deadline: Instant) -> Result<(), PushTimeout<T>> {
+        let mut st = lock(&self.state);
+        loop {
+            if st.closed {
+                return Err(PushTimeout::Closed(item));
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                st.pushed += 1;
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushTimeout::TimedOut(item));
+            }
+            st = wait_timeout(&self.not_full, st, deadline - now).0;
         }
     }
 
@@ -147,6 +201,14 @@ impl<T> WorkQueue<T> {
 
     /// Close the queue: producers fail from now on, consumers drain what
     /// is left. Idempotent.
+    ///
+    /// The close point is a linearization point under the queue mutex:
+    /// every push that enqueued before it stays visible to consumers,
+    /// every push at or after it returns its item to the producer
+    /// (`Err(item)` from [`WorkQueue::push`], [`PushTimeout::Closed`]
+    /// from [`WorkQueue::push_deadline`]), and producers parked on a
+    /// full queue wake with the same refusal — close never strands a
+    /// blocked thread and never drops an accepted item.
     pub fn close(&self) {
         lock(&self.state).closed = true;
         self.not_empty.notify_all();
@@ -217,6 +279,56 @@ mod tests {
         q.close();
         assert!(q.is_closed());
         assert_eq!(q.push(1), Err(1));
+    }
+
+    #[test]
+    fn push_deadline_enqueues_times_out_and_refuses() {
+        let q = WorkQueue::bounded(1);
+        let soon = || Instant::now() + std::time::Duration::from_millis(5);
+        assert_eq!(q.push_deadline(1, soon()), Ok(()));
+        assert_eq!(
+            q.push_deadline(2, soon()),
+            Err(PushTimeout::TimedOut(2)),
+            "full queue past the deadline returns the item"
+        );
+        q.close();
+        assert_eq!(
+            q.push_deadline(3, Instant::now() + std::time::Duration::from_secs(3600)),
+            Err(PushTimeout::Closed(3)),
+            "closed wins over a far deadline"
+        );
+        assert_eq!(q.pop(), Some(1), "the accepted item still drains");
+    }
+
+    #[test]
+    fn push_deadline_wakes_on_pop_before_deadline() {
+        let q = Arc::new(WorkQueue::bounded(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            q2.push_deadline(1, Instant::now() + std::time::Duration::from_secs(30))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(
+            h.join().unwrap(),
+            Ok(()),
+            "pop must wake the timed producer"
+        );
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn push_deadline_wakes_on_close() {
+        let q = Arc::new(WorkQueue::bounded(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            q2.push_deadline(1, Instant::now() + std::time::Duration::from_secs(30))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(PushTimeout::Closed(1)));
     }
 
     #[test]

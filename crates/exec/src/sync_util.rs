@@ -1,6 +1,7 @@
 //! Small locking helpers shared by the exec-crate concurrency primitives.
 
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 /// Acquire `m`, recovering the data on poison.
 ///
@@ -16,6 +17,24 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// [`lock`]).
 pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `cv` for at most `dur`, recovering the guard on poison (same
+/// rationale as [`lock`]). Returns the reacquired guard and whether the
+/// wait ended by timeout — callers re-check their predicate either way,
+/// so a spurious wakeup and a raced timeout are both harmless.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(poisoned) => {
+            let (g, t) = poisoned.into_inner();
+            (g, t.timed_out())
+        }
+    }
 }
 
 /// Extract a human-readable message from a worker panic payload, when

@@ -85,6 +85,66 @@ fn double_cancel_is_idempotent_in_every_interleaving() {
     });
 }
 
+/// Linked-token fan-out: thread 0 cancels the parent, thread 1 cancels
+/// child `a`, thread 2 observes child `b` twice. In every interleaving
+/// `b` must trip exactly when the *parent* cancel has happened — a
+/// sibling's cancel is never visible — and the observation history must
+/// stay monotone.
+#[test]
+fn linked_tokens_fan_out_down_but_never_sideways() {
+    let explored = skyline_testkit::interleave::interleavings(&[1, 1, 2], |schedule| {
+        let parent = CancelToken::new();
+        let a = parent.child();
+        let b = parent.child();
+        let mut parent_cancelled = false;
+        let mut history = Vec::new();
+        for &t in schedule {
+            match t {
+                0 => {
+                    parent.cancel();
+                    parent_cancelled = true;
+                }
+                1 => {
+                    a.cancel();
+                    assert!(a.is_cancelled(), "own cancel is immediately visible");
+                }
+                _ => {
+                    let tripped = b.is_cancelled();
+                    assert_eq!(
+                        tripped, parent_cancelled,
+                        "child must trip exactly with its parent, never its sibling"
+                    );
+                    history.push(tripped);
+                }
+            }
+        }
+        assert!(
+            parent.is_cancelled() && a.is_cancelled() && b.is_cancelled(),
+            "after both cancels the whole family is tripped"
+        );
+        assert!(
+            history.windows(2).all(|w| w[0] <= w[1]),
+            "observer saw a child un-trip: {history:?}"
+        );
+    });
+    assert_eq!(explored, 12); // 4!/(1!·1!·2!)
+}
+
+/// A child's typed error carries the caller's progress count, same as a
+/// root token's.
+#[test]
+fn child_check_reports_partial_progress() {
+    let parent = CancelToken::new();
+    let child = parent.child();
+    parent.cancel();
+    assert!(matches!(
+        child.check(42),
+        Err(ExecError::Cancelled {
+            records_processed: 42
+        })
+    ));
+}
+
 #[test]
 fn elapsed_deadline_trips_without_any_cancel_call() {
     let token = CancelToken::with_deadline(Duration::ZERO);

@@ -11,11 +11,12 @@
 //! produce is caught exhaustively. A real-thread stress companion
 //! covers the axis the model cannot (actual blocking and wakeups).
 
-use skyline_exec::{TryPop, WorkQueue};
+use skyline_exec::{PushTimeout, TryPop, WorkQueue};
 use skyline_storage::{BufferLease, BufferPool};
 use skyline_testkit::interleave::{interleavings, schedule_count};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Pure sequential reference for the queue's observable behavior.
 struct ModelQueue {
@@ -86,6 +87,94 @@ fn queue_matches_reference_model_on_every_interleaving() {
             assert_eq!(real.is_closed(), model.closed);
             assert_eq!(real.len(), model.items.len());
         }
+    });
+    assert_eq!(explored, schedule_count(&shape));
+}
+
+#[test]
+fn close_during_push_returns_or_keeps_every_item_on_every_interleaving() {
+    // The close-during-push race: producer pushes 0 then 1 (capacity 2,
+    // so neither push can block — each is one linearizable step);
+    // closer closes between any pair of steps. A push ordered before
+    // the close must enqueue an item that later drains; a push ordered
+    // after it must hand the item back. No interleaving may drop an
+    // item or accept one past the close point.
+    let shape = [2usize, 1];
+    let explored = interleavings(&shape, |schedule| {
+        let q = WorkQueue::bounded(2);
+        let mut accepted = Vec::new();
+        let mut returned = Vec::new();
+        let mut next = 0u32;
+        let mut closed = false;
+        for &t in schedule {
+            if t == 0 {
+                match q.push(next) {
+                    Ok(()) => {
+                        assert!(!closed, "push after close must fail ({schedule:?})");
+                        accepted.push(next);
+                    }
+                    Err(item) => {
+                        assert!(closed, "push may only fail once closed ({schedule:?})");
+                        assert_eq!(item, next, "the producer keeps its exact item");
+                        returned.push(item);
+                    }
+                }
+                next += 1;
+            } else {
+                q.close();
+                closed = true;
+            }
+        }
+        let mut drained = Vec::new();
+        while let TryPop::Item(i) = q.try_pop() {
+            drained.push(i);
+        }
+        assert_eq!(
+            drained, accepted,
+            "pre-close pushes drain FIFO ({schedule:?})"
+        );
+        assert_eq!(q.try_pop(), TryPop::Closed);
+        assert_eq!(
+            accepted.len() + returned.len(),
+            2,
+            "every item is accepted or returned, never dropped ({schedule:?})"
+        );
+    });
+    assert_eq!(explored, schedule_count(&shape));
+}
+
+#[test]
+fn deadline_push_race_with_close_times_out_or_refuses_on_every_interleaving() {
+    // Same race for the deadline-bounded push, on a queue kept full so
+    // the only outcomes are the two typed refusals. The deadline is
+    // already past, so the wait collapses to its timeout check and each
+    // push stays a single non-blocking step: before the close it must
+    // report TimedOut, after it Closed — and both hand the item back
+    // while the queued item survives to drain.
+    let shape = [2usize, 1];
+    let explored = interleavings(&shape, |schedule| {
+        let q = WorkQueue::bounded(1);
+        q.try_push(7u32).unwrap();
+        let deadline = Instant::now();
+        let mut closed = false;
+        for &t in schedule {
+            if t == 0 {
+                match q.push_deadline(9, deadline) {
+                    Err(PushTimeout::TimedOut(9)) => {
+                        assert!(!closed, "timeout only while open ({schedule:?})");
+                    }
+                    Err(PushTimeout::Closed(9)) => {
+                        assert!(closed, "refusal only once closed ({schedule:?})");
+                    }
+                    other => panic!("full queue must refuse: {other:?} ({schedule:?})"),
+                }
+            } else {
+                q.close();
+                closed = true;
+            }
+        }
+        assert_eq!(q.pop(), Some(7), "the queued item is never displaced");
+        assert_eq!(q.pop(), None);
     });
     assert_eq!(explored, schedule_count(&shape));
 }

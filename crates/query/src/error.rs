@@ -1,5 +1,7 @@
 //! Query-layer errors.
 
+use skyline_exec::ExecError;
+use skyline_storage::buffer::BufferError;
 use std::fmt;
 
 /// Errors across lexing, parsing, planning and execution.
@@ -25,6 +27,47 @@ pub enum QueryError {
     NoSuchColumn(String),
     /// Semantic error (type mismatches, invalid skyline criteria, …).
     Semantic(String),
+    /// The query's [`skyline_storage::BufferPool`] quota could not cover
+    /// a pass's working set. Carries the shortfall so callers can size a
+    /// retry; no pages are leaked when this is returned.
+    QuotaExceeded {
+        /// Pages the pass asked for.
+        requested: usize,
+        /// Pages that were still available under the quota.
+        available: usize,
+    },
+    /// The query's [`skyline_exec::CancelToken`] tripped — an explicit
+    /// cancel or an elapsed deadline — with partial progress recorded.
+    Cancelled {
+        /// Records fully processed before the token tripped.
+        records_processed: u64,
+    },
+    /// The execution layer failed for a reason with no richer mapping
+    /// (storage faults, worker panics, protocol violations).
+    Exec(String),
+}
+
+impl QueryError {
+    /// Map an execution-layer error onto the query-layer taxonomy:
+    /// buffer exhaustion becomes [`QueryError::QuotaExceeded`],
+    /// cooperative cancellation becomes [`QueryError::Cancelled`], and
+    /// everything else is carried as [`QueryError::Exec`] text.
+    #[must_use]
+    pub fn from_exec(err: ExecError) -> Self {
+        match err {
+            ExecError::Buffer(BufferError::Exhausted {
+                requested,
+                available,
+            }) => QueryError::QuotaExceeded {
+                requested,
+                available,
+            },
+            ExecError::Cancelled { records_processed } => {
+                QueryError::Cancelled { records_processed }
+            }
+            other => QueryError::Exec(other.to_string()),
+        }
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -35,6 +78,17 @@ impl fmt::Display for QueryError {
             QueryError::NoSuchTable(t) => write!(f, "no such table: {t}"),
             QueryError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
             QueryError::Semantic(m) => write!(f, "semantic error: {m}"),
+            QueryError::QuotaExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "page quota exceeded: requested {requested} pages, {available} available"
+            ),
+            QueryError::Cancelled { records_processed } => {
+                write!(f, "query cancelled after {records_processed} records")
+            }
+            QueryError::Exec(m) => write!(f, "execution error: {m}"),
         }
     }
 }
@@ -55,5 +109,35 @@ mod tests {
         assert!(QueryError::NoSuchTable("t".into())
             .to_string()
             .contains("t"));
+    }
+
+    #[test]
+    fn exec_mapping_preserves_typed_resource_errors() {
+        let quota = QueryError::from_exec(ExecError::Buffer(BufferError::Exhausted {
+            requested: 9,
+            available: 4,
+        }));
+        assert_eq!(
+            quota,
+            QueryError::QuotaExceeded {
+                requested: 9,
+                available: 4
+            }
+        );
+        assert!(quota.to_string().contains("9 pages"));
+
+        let cancelled = QueryError::from_exec(ExecError::Cancelled {
+            records_processed: 17,
+        });
+        assert_eq!(
+            cancelled,
+            QueryError::Cancelled {
+                records_processed: 17
+            }
+        );
+        assert!(cancelled.to_string().contains("17 records"));
+
+        let other = QueryError::from_exec(ExecError::Protocol("late push"));
+        assert!(matches!(&other, QueryError::Exec(m) if m.contains("late push")));
     }
 }

@@ -33,6 +33,7 @@ pub mod catalog;
 pub mod ddl;
 pub mod error;
 pub mod expr;
+pub mod options;
 pub mod parser;
 pub mod plan;
 pub mod pushdown;
@@ -40,5 +41,6 @@ pub mod rewrite;
 pub mod token;
 
 pub use error::QueryError;
+pub use options::{ExecOptions, SkylineAlgo};
 pub use parser::parse;
-pub use plan::{execute, execute_query, explain};
+pub use plan::{execute, execute_query, execute_query_with, execute_with, explain};

@@ -12,10 +12,16 @@ use crate::ast::{AggFunc, Directive, Expr, Query, SelectItem};
 use crate::catalog::Catalog;
 use crate::error::QueryError;
 use crate::expr;
+use crate::options::{matrix_pages, ExecOptions, SkylineAlgo};
 use crate::parser::parse;
+use skyline_core::algo;
+use skyline_core::algo::MemSortOrder;
 use skyline_core::cardinality::expected_skyline_size;
 use skyline_core::lowdim::skyline_auto;
+use skyline_core::par::{parallel_skyline_cancellable, AlgoError};
 use skyline_core::KeyMatrix;
+use skyline_exec::cancel::poll;
+use skyline_exec::ExecError;
 use skyline_relation::{Table, Tuple, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -29,16 +35,40 @@ pub fn execute(sql: &str, catalog: &Catalog) -> Result<Table, QueryError> {
     execute_query(&parse(sql)?, catalog)
 }
 
+/// Parse and execute `sql` under an execution contract.
+///
+/// # Errors
+/// Parse failures, plus everything [`execute_query_with`] reports.
+pub fn execute_with(sql: &str, catalog: &Catalog, opts: &ExecOptions) -> Result<Table, QueryError> {
+    execute_query_with(&parse(sql)?, catalog, opts)
+}
+
 /// Execute an already-parsed query.
 ///
 /// # Errors
 /// Unknown tables or columns, and semantic violations (aggregates
 /// without grouping, non-numeric skyline criteria).
+pub fn execute_query(query: &Query, catalog: &Catalog) -> Result<Table, QueryError> {
+    execute_query_with(query, catalog, &ExecOptions::default())
+}
+
+/// Execute an already-parsed query under an execution contract: the
+/// skyline honours the algorithm choice, charges its working sets to
+/// the quota pool, polls the cancel token, and spills to the contract's
+/// disk (see [`ExecOptions`]).
+///
+/// # Errors
+/// Everything [`execute_query`] reports, plus the contract errors:
+/// [`QueryError::QuotaExceeded`] and [`QueryError::Cancelled`].
 ///
 /// # Panics
 /// On an aggregate query that validation let through without a
 /// grouping clause — a parser invariant, not reachable from SQL text.
-pub fn execute_query(query: &Query, catalog: &Catalog) -> Result<Table, QueryError> {
+pub fn execute_query_with(
+    query: &Query,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> Result<Table, QueryError> {
     let table = catalog
         .get(&query.from)
         .ok_or_else(|| QueryError::NoSuchTable(query.from.clone()))?;
@@ -81,7 +111,7 @@ pub fn execute_query(query: &Query, catalog: &Catalog) -> Result<Table, QueryErr
 
     // Skyline (over the possibly-grouped relation)
     if let Some(clause) = &query.skyline {
-        rows = apply_skyline(rows, &schema, clause)?;
+        rows = apply_skyline(rows, &schema, clause, opts)?;
     }
 
     // Order by
@@ -283,6 +313,7 @@ fn apply_skyline(
     rows: Vec<Tuple>,
     schema: &skyline_relation::Schema,
     clause: &crate::ast::SkylineClause,
+    opts: &ExecOptions,
 ) -> Result<Vec<Tuple>, QueryError> {
     let mut crit: Vec<(usize, bool)> = Vec::new(); // (col idx, is_min)
     let mut diff: Vec<usize> = Vec::new();
@@ -303,8 +334,10 @@ fn apply_skyline(
     }
     // oriented key matrix
     let d = crit.len();
+    let cancel = opts.cancel.as_ref();
     let mut data = Vec::with_capacity(rows.len() * d);
     for (rowno, row) in rows.iter().enumerate() {
+        poll(cancel, rowno as u64).map_err(QueryError::from_exec)?;
         for &(idx, is_min) in &crit {
             let v = row.get(idx).as_f64().ok_or_else(|| {
                 QueryError::Semantic(format!(
@@ -316,20 +349,29 @@ fn apply_skyline(
         }
     }
     // Large relations push down to the external paged engine (a no-op
-    // fall-through when values aren't representable there).
-    if rows.len() >= crate::pushdown::EXTERNAL_THRESHOLD {
-        if let Some(keep) = crate::pushdown::external_skyline_indices(schema, &rows, &crit, &diff)?
+    // fall-through when values aren't representable there or the chosen
+    // algorithm has no external form for this query shape).
+    if rows.len() >= opts.external_threshold {
+        if let Some(keep) =
+            crate::pushdown::external_skyline_with(schema, &rows, &crit, &diff, opts)?
         {
             return Ok(keep.into_iter().map(|i| rows[i].clone()).collect());
         }
     }
 
+    // The in-memory working set — the oriented matrix — charges the
+    // quota pool for as long as the filter runs.
+    let _lease = match &opts.pool {
+        Some(pool) => Some(
+            pool.reserve(matrix_pages(rows.len(), d))
+                .map_err(|e| QueryError::from_exec(ExecError::Buffer(e)))?,
+        ),
+        None => None,
+    };
     let keys = KeyMatrix::new(d, data);
 
-    // 1-D/2-D/3-D queries take the O(n log n) special-case algorithms;
-    // higher dimensions run entropy-presorted SFS.
     let mut keep: Vec<usize> = if diff.is_empty() {
-        skyline_auto(&keys).indices
+        mem_skyline(&keys, opts)?
     } else {
         // group rows by the rendered diff key, skyline per group
         let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
@@ -344,12 +386,40 @@ fn apply_skyline(
         let mut keep = Vec::new();
         for members in groups.values() {
             let sub = keys.select(members);
-            keep.extend(skyline_auto(&sub).indices.iter().map(|&l| members[l]));
+            keep.extend(mem_skyline(&sub, opts)?.iter().map(|&l| members[l]));
         }
         keep
     };
     keep.sort_unstable();
     Ok(keep.into_iter().map(|i| rows[i].clone()).collect())
+}
+
+/// Dispatch the in-memory skyline to the contract's algorithm. `Auto`
+/// keeps the historical behaviour: the 1-D/2-D/3-D special cases where
+/// they apply, entropy-presorted SFS otherwise.
+fn mem_skyline(keys: &KeyMatrix, opts: &ExecOptions) -> Result<Vec<usize>, QueryError> {
+    match opts.algo {
+        SkylineAlgo::Auto => Ok(skyline_auto(keys).indices),
+        SkylineAlgo::Sfs => Ok(algo::sfs(keys, MemSortOrder::Entropy).indices),
+        SkylineAlgo::Bnl => Ok(algo::bnl(keys).indices),
+        SkylineAlgo::DivideAndConquer => Ok(algo::divide_and_conquer(keys).indices),
+        SkylineAlgo::Parallel => {
+            parallel_skyline_cancellable(keys, opts.threads, opts.cancel.as_ref()).map_err(|e| {
+                match e {
+                    AlgoError::Cancelled { records_processed } => {
+                        QueryError::Cancelled { records_processed }
+                    }
+                    other => QueryError::Exec(other.to_string()),
+                }
+            })
+        }
+        // Stratum s₀ of the strata decomposition is the skyline.
+        SkylineAlgo::Strata => Ok(algo::strata(keys, 1, MemSortOrder::Entropy)
+            .0
+            .into_iter()
+            .next()
+            .unwrap_or_default()),
+    }
 }
 
 /// Render the logical plan for `sql`, annotated with the skyline

@@ -10,49 +10,116 @@
 //! the skyline as *an operator inside the engine*, not an application
 //! post-pass.
 //!
+//! [`external_skyline_with`] is the contract-aware entry: it honours the
+//! [`ExecOptions`] algorithm choice (SFS, BNL, the parallel pipeline,
+//! strata), charges each pass's arena against the optional quota pool
+//! (sort arena while sorting, filter window while filtering — the same
+//! lease discipline as `planner::budgeted_skyline_plan`), threads the
+//! cancel token through encoding and the operators, and spills to the
+//! caller's disk when one is given. Every heap file it creates is
+//! temp-marked, so pages are reclaimed on *every* path — success, typed
+//! quota error, cancellation, or storage fault.
+//!
 //! Falls back to the in-memory path when a criterion value does not fit
-//! an `i32` (the record codec's attribute width).
+//! an `i32` (the record codec's attribute width), or when the chosen
+//! algorithm has no external form for the query shape (divide-and-
+//! conquer always; BNL/parallel/strata under a `DIFF` clause).
 
 use crate::error::QueryError;
+use crate::options::{ExecOptions, SkylineAlgo};
 use skyline_core::cardinality::recommend_window_pages;
-use skyline_core::planner::{entropy_stats_of_records, load_heap, presort, sfs_filter};
-use skyline_core::{Criterion, Direction, SfsConfig, SkylineMetrics, SkylineSpec, SortOrder};
-use skyline_exec::Operator;
+use skyline_core::planner::{
+    entropy_stats_of_records, load_heap, parallel_skyline_pipeline, presort, sfs_filter,
+};
+use skyline_core::strata::strata_external;
+use skyline_core::{
+    Criterion, Direction, EntropyScore, SfsConfig, SkylineMetrics, SkylineSpec, SortOrder,
+};
+use skyline_exec::cancel::poll;
+use skyline_exec::{CancelToken, ExecError, Operator};
 use skyline_relation::{RecordLayout, Schema, Tuple};
-use skyline_storage::{Disk, MemDisk};
+use skyline_storage::{BufferLease, Disk, HeapFile, MemDisk, StorageError};
 use std::sync::Arc;
 
 /// Row-count threshold above which [`crate::execute`] routes the skyline
 /// through the external engine.
 pub const EXTERNAL_THRESHOLD: usize = 50_000;
 
-/// Attempt the external skyline. Returns `Ok(None)` when the rows cannot
-/// be pushed down (criterion values outside i32), in which case the
-/// caller should run the in-memory path.
+fn storage_err(e: StorageError) -> QueryError {
+    QueryError::from_exec(ExecError::Storage(e))
+}
+
+fn check_cancel(cancel: Option<&CancelToken>, count: u64) -> Result<(), QueryError> {
+    poll(cancel, count).map_err(QueryError::from_exec)
+}
+
+/// Charge `pages` against the quota pool, if one is set. The lease is
+/// released when the returned guard drops — including on error unwind.
+fn reserve(opts: &ExecOptions, pages: usize) -> Result<Option<BufferLease>, QueryError> {
+    match &opts.pool {
+        Some(pool) => pool
+            .reserve(pages)
+            .map(Some)
+            .map_err(|e| QueryError::from_exec(ExecError::Buffer(e))),
+        None => Ok(None),
+    }
+}
+
+/// Attempt the external skyline with the historical defaults (SFS, no
+/// quota, no deadline, private in-memory spill disk). Returns `Ok(None)`
+/// when the rows cannot be pushed down (criterion values outside i32),
+/// in which case the caller should run the in-memory path.
 ///
 /// `crit` is `(column index, is_min)` per MIN/MAX criterion; `diff` is
 /// the DIFF column indices. Returned row indices are ascending.
 ///
 /// # Errors
-/// Propagates operator failures as semantic errors.
-///
-/// # Panics
-/// If the operator returns a record whose payload lost its 8-byte row
-/// tag — a layout invariant of this module's own encoding.
+/// Everything [`external_skyline_with`] reports.
 pub fn external_skyline_indices(
     schema: &Schema,
     rows: &[Tuple],
     crit: &[(usize, bool)],
     diff: &[usize],
 ) -> Result<Option<Vec<usize>>, QueryError> {
+    external_skyline_with(schema, rows, crit, diff, &ExecOptions::default())
+}
+
+/// [`external_skyline_indices`] under an execution contract: algorithm
+/// choice, page quota, cancellation, and spill-disk placement all come
+/// from `opts`. Returns `Ok(None)` when the query cannot (or should
+/// not) run externally; the caller then uses the in-memory executor.
+///
+/// # Errors
+/// [`QueryError::QuotaExceeded`] when a pass's arena does not fit the
+/// quota pool, [`QueryError::Cancelled`] when the token trips, and
+/// [`QueryError::Exec`] for storage or worker failures. No heap pages
+/// remain allocated on any error path.
+pub fn external_skyline_with(
+    schema: &Schema,
+    rows: &[Tuple],
+    crit: &[(usize, bool)],
+    diff: &[usize],
+    opts: &ExecOptions,
+) -> Result<Option<Vec<usize>>, QueryError> {
+    match opts.algo {
+        // No external divide-and-conquer; BNL, the parallel pipeline and
+        // the strata machinery reject DIFF grouping.
+        SkylineAlgo::DivideAndConquer => return Ok(None),
+        SkylineAlgo::Bnl | SkylineAlgo::Parallel | SkylineAlgo::Strata if !diff.is_empty() => {
+            return Ok(None)
+        }
+        _ => {}
+    }
     let k = crit.len();
     let m = diff.len();
     let layout = RecordLayout::new(k + m, 8); // payload: row index as u64
 
     // encode: oriented values must fit i32 exactly
+    let cancel = opts.cancel.as_ref();
     let mut records = Vec::with_capacity(rows.len());
     let mut attrs = vec![0i32; k + m];
     for (rowno, row) in rows.iter().enumerate() {
+        check_cancel(cancel, rowno as u64)?;
         for (slot, &(idx, _)) in crit.iter().enumerate() {
             let v = row.get(idx).as_f64().ok_or_else(|| {
                 QueryError::Semantic(format!(
@@ -92,31 +159,66 @@ pub fn external_skyline_indices(
     )
     .with_diff((k..k + m).collect());
 
-    let disk: Arc<dyn Disk> = MemDisk::shared();
-    let heap = Arc::new(
-        load_heap(
-            Arc::clone(&disk),
-            layout.record_size(),
-            records.iter().map(Vec::as_slice),
-        )
-        .map_err(|e| QueryError::Semantic(e.to_string()))?,
-    );
+    let disk: Arc<dyn Disk> = match &opts.disk {
+        Some(d) => Arc::clone(d),
+        None => MemDisk::shared(),
+    };
+    let mut heap = load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    )
+    .map_err(storage_err)?;
+    // Temp-marked: the input's pages are reclaimed when the last handle
+    // drops, whichever path (success or unwind) gets there.
+    heap.mark_temp();
+    let heap = Arc::new(heap);
     let stats = entropy_stats_of_records(&layout, &spec, records.iter().map(Vec::as_slice));
     drop(records);
 
+    let window_pages = recommend_window_pages(rows.len(), k.max(1), 4 * k.max(1));
+    let mut keep = match opts.algo {
+        SkylineAlgo::Bnl => bnl_path(heap, layout, spec, window_pages, disk, opts)?,
+        SkylineAlgo::Parallel => {
+            parallel_path(heap, layout, spec, stats, window_pages, disk, opts)?
+        }
+        SkylineAlgo::Strata => strata_path(heap, layout, spec, stats, window_pages, disk, opts)?,
+        // Auto and Sfs share the paper's presort+filter; DivideAndConquer
+        // returned above.
+        _ => sfs_path(heap, layout, spec, stats, window_pages, disk, opts)?,
+    };
+    keep.sort_unstable();
+    Ok(Some(keep))
+}
+
+/// Entropy presort (sort arena charged while sorting) then the SFS
+/// filter (window charged while filtering) — the lease discipline of
+/// `planner::budgeted_skyline_plan`.
+fn sfs_path(
+    heap: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    stats: EntropyScore,
+    window_pages: usize,
+    disk: Arc<dyn Disk>,
+    opts: &ExecOptions,
+) -> Result<Vec<usize>, QueryError> {
+    let sort_lease = reserve(opts, opts.sort_pages)?;
+    check_cancel(opts.cancel.as_ref(), 0)?;
     let mut sorted = presort(
         heap,
         layout,
         spec.clone(),
         SortOrder::Entropy,
         Some(stats),
-        1000,
+        opts.sort_pages,
         Arc::clone(&disk),
     )
-    .map_err(|e| QueryError::Semantic(e.to_string()))?;
+    .map_err(QueryError::from_exec)?;
+    drop(sort_lease);
     sorted.mark_temp();
 
-    let window_pages = recommend_window_pages(rows.len(), k.max(1), 4 * k.max(1));
+    let _window_lease = reserve(opts, window_pages)?;
     let mut sfs = sfs_filter(
         Arc::new(sorted),
         layout,
@@ -125,27 +227,157 @@ pub fn external_skyline_indices(
         disk,
         SkylineMetrics::shared(),
     )
-    .map_err(|e| QueryError::Semantic(e.to_string()))?;
-
-    let mut keep = Vec::new();
-    sfs.open()
-        .map_err(|e| QueryError::Semantic(e.to_string()))?;
-    while let Some(r) = sfs
-        .next()
-        .map_err(|e| QueryError::Semantic(e.to_string()))?
-    {
-        let payload = layout.payload_of(r);
-        keep.push(u64::from_le_bytes(payload[..8].try_into().expect("8-byte tag")) as usize);
+    .map_err(QueryError::from_exec)?;
+    if let Some(token) = &opts.cancel {
+        sfs = sfs.with_cancel(token.clone());
     }
-    sfs.close();
-    keep.sort_unstable();
-    Ok(Some(keep))
+    drain_tags(&mut sfs, &layout)
+}
+
+/// Block-nested-loops straight over the unsorted heap; only the window
+/// is charged.
+fn bnl_path(
+    heap: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    window_pages: usize,
+    disk: Arc<dyn Disk>,
+    opts: &ExecOptions,
+) -> Result<Vec<usize>, QueryError> {
+    let _window_lease = reserve(opts, window_pages)?;
+    let mut bnl = skyline_core::planner::bnl_over(
+        heap,
+        layout,
+        spec,
+        window_pages,
+        disk,
+        SkylineMetrics::shared(),
+    )
+    .map_err(QueryError::from_exec)?;
+    if let Some(token) = &opts.cancel {
+        bnl = bnl.with_cancel(token.clone());
+    }
+    drain_tags(&mut bnl, &layout)
+}
+
+/// The threaded presort + partitioned filter; the pipeline charges the
+/// pool itself, so only the pass-through wiring lives here. The
+/// materialized skyline heap is temp-marked before scanning so its pages
+/// are reclaimed even when a read faults mid-scan.
+fn parallel_path(
+    heap: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    stats: EntropyScore,
+    window_pages: usize,
+    disk: Arc<dyn Disk>,
+    opts: &ExecOptions,
+) -> Result<Vec<usize>, QueryError> {
+    let outcome = parallel_skyline_pipeline(
+        heap,
+        layout,
+        spec,
+        SortOrder::Entropy,
+        Some(stats),
+        SfsConfig::new(window_pages).with_projection(),
+        opts.sort_pages,
+        opts.threads,
+        disk,
+        SkylineMetrics::shared(),
+        opts.pool.as_ref(),
+        opts.cancel.clone(),
+    )
+    .map_err(QueryError::from_exec)?;
+    let mut sky = outcome.skyline;
+    sky.mark_temp();
+    scan_tags(&sky, &layout, opts.cancel.as_ref())
+}
+
+/// `strata_external` with `k = 1`: stratum s₀ is the skyline. The
+/// machinery has no quota/cancel plumbing of its own, so the whole
+/// footprint (sort arena + window) is charged up front and the token is
+/// checked at the pass boundaries.
+fn strata_path(
+    heap: Arc<HeapFile>,
+    layout: RecordLayout,
+    spec: SkylineSpec,
+    stats: EntropyScore,
+    window_pages: usize,
+    disk: Arc<dyn Disk>,
+    opts: &ExecOptions,
+) -> Result<Vec<usize>, QueryError> {
+    let _lease = reserve(opts, opts.sort_pages + window_pages)?;
+    check_cancel(opts.cancel.as_ref(), 0)?;
+    let result = strata_external(
+        heap,
+        layout,
+        &spec,
+        1,
+        window_pages,
+        opts.sort_pages,
+        SortOrder::Entropy,
+        Some(stats),
+        disk,
+    )
+    .map_err(QueryError::from_exec)?;
+    // Caller owns the persisted strata; temp-mark them all so every exit
+    // from here reclaims their pages.
+    let mut strata = result.strata;
+    for s in &mut strata {
+        s.mark_temp();
+    }
+    check_cancel(
+        opts.cancel.as_ref(),
+        strata.first().map_or(0, HeapFile::len),
+    )?;
+    match strata.first() {
+        Some(s0) => scan_tags(s0, &layout, opts.cancel.as_ref()),
+        None => Ok(Vec::new()),
+    }
+}
+
+/// Drain an operator's output, decoding the row tag from each payload.
+fn drain_tags(op: &mut dyn Operator, layout: &RecordLayout) -> Result<Vec<usize>, QueryError> {
+    let mut keep = Vec::new();
+    op.open().map_err(QueryError::from_exec)?;
+    while let Some(r) = op.next().map_err(QueryError::from_exec)? {
+        keep.push(tag_of(layout, r)?);
+    }
+    op.close();
+    Ok(keep)
+}
+
+/// Read the row tags out of a materialized heap file.
+fn scan_tags(
+    heap: &HeapFile,
+    layout: &RecordLayout,
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<usize>, QueryError> {
+    let mut keep = Vec::new();
+    let mut scan = heap.scan();
+    while let Some(r) = scan.next_record().map_err(storage_err)? {
+        let tag = tag_of(layout, r)?;
+        check_cancel(cancel, keep.len() as u64)?;
+        keep.push(tag);
+    }
+    Ok(keep)
+}
+
+/// The 8-byte row tag this module planted in the record payload.
+fn tag_of(layout: &RecordLayout, record: &[u8]) -> Result<usize, QueryError> {
+    let payload = layout.payload_of(record);
+    let bytes: [u8; 8] = payload
+        .get(..8)
+        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+        .ok_or_else(|| QueryError::Exec("record payload lost its 8-byte row tag".into()))?;
+    Ok(u64::from_le_bytes(bytes) as usize)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use skyline_relation::{tuple, ColumnType, Value};
+    use skyline_storage::BufferPool;
 
     fn random_table(n: usize) -> (Schema, Vec<Tuple>) {
         let schema = Schema::of(&[
@@ -209,6 +441,74 @@ mod tests {
                 .expect("pushdown applies");
             assert_eq!(ext, in_memory(&rows, &crit, &diff), "{crit:?} {diff:?}");
         }
+    }
+
+    #[test]
+    fn every_external_algorithm_matches_the_oracle() {
+        let (schema, rows) = random_table(3_000);
+        let crit = vec![(0usize, false), (1usize, true)];
+        let oracle = in_memory(&rows, &crit, &[]);
+        for algo in [
+            SkylineAlgo::Auto,
+            SkylineAlgo::Sfs,
+            SkylineAlgo::Bnl,
+            SkylineAlgo::Parallel,
+            SkylineAlgo::Strata,
+        ] {
+            let opts = ExecOptions::default().with_algo(algo).with_threads(2);
+            let ext = external_skyline_with(&schema, &rows, &crit, &[], &opts)
+                .unwrap()
+                .expect("pushdown applies");
+            assert_eq!(ext, oracle, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn dnc_and_diff_restricted_algorithms_fall_back() {
+        let (schema, rows) = random_table(100);
+        let crit = vec![(0usize, false), (1usize, true)];
+        let opts = ExecOptions::default().with_algo(SkylineAlgo::DivideAndConquer);
+        assert!(external_skyline_with(&schema, &rows, &crit, &[], &opts)
+            .unwrap()
+            .is_none());
+        for algo in [SkylineAlgo::Bnl, SkylineAlgo::Parallel, SkylineAlgo::Strata] {
+            let opts = ExecOptions::default().with_algo(algo);
+            assert!(
+                external_skyline_with(&schema, &rows, &crit, &[2], &opts)
+                    .unwrap()
+                    .is_none(),
+                "{algo:?} has no external DIFF form"
+            );
+        }
+    }
+
+    #[test]
+    fn external_quota_and_cancel_surface_typed_and_leak_free() {
+        let (schema, rows) = random_table(2_000);
+        let crit = vec![(0usize, false), (1usize, true)];
+        let disk = MemDisk::shared();
+
+        // a pool far below the sort arena: typed quota error, no pages left
+        let pool = BufferPool::new(8);
+        let opts = ExecOptions::default()
+            .with_algo(SkylineAlgo::Sfs)
+            .with_pool(pool.clone())
+            .with_disk(disk.clone());
+        let err = external_skyline_with(&schema, &rows, &crit, &[], &opts).unwrap_err();
+        assert!(matches!(err, QueryError::QuotaExceeded { .. }), "{err}");
+        assert_eq!(pool.used(), 0, "quota refusal must release every lease");
+        assert_eq!(disk.allocated_pages(), 0, "no heap pages may leak");
+
+        // a pre-tripped token: typed cancellation, no pages left
+        let token = skyline_exec::CancelToken::new();
+        token.cancel();
+        let opts = ExecOptions::default()
+            .with_algo(SkylineAlgo::Sfs)
+            .with_cancel(token)
+            .with_disk(disk.clone());
+        let err = external_skyline_with(&schema, &rows, &crit, &[], &opts).unwrap_err();
+        assert!(matches!(err, QueryError::Cancelled { .. }), "{err}");
+        assert_eq!(disk.allocated_pages(), 0, "no heap pages may leak");
     }
 
     #[test]

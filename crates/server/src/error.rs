@@ -1,0 +1,97 @@
+//! The server's typed error taxonomy.
+
+use skyline_query::QueryError;
+use std::fmt;
+
+/// Everything a submitted query can report instead of rows.
+///
+/// The execution-contract errors — quota exhaustion, cancellation,
+/// parse and semantic failures — arrive wrapped in
+/// [`ServerError::Query`]; the admission and streaming layers add their
+/// own variants on top.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// Admission control shed this query: queue depth or in-flight
+    /// quota pages crossed a watermark. Nothing ran; retry after the
+    /// hinted backoff.
+    Overloaded {
+        /// Suggested client backoff before resubmitting.
+        retry_after_ms: u64,
+    },
+    /// The server is shutting down (or already has); no new work is
+    /// accepted.
+    Shutdown,
+    /// The query layer failed: parse/semantic errors, the typed
+    /// [`QueryError::QuotaExceeded`], the typed
+    /// [`QueryError::Cancelled`], or an execution fault.
+    Query(QueryError),
+    /// The consumer failed to drain its result batches within the
+    /// stream grace; the server cancelled the query rather than wedge a
+    /// worker behind the full channel.
+    Stalled,
+}
+
+impl ServerError {
+    /// The query ended through its cancel token (explicit cancel,
+    /// deadline, or server shutdown mid-run).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ServerError::Query(QueryError::Cancelled { .. }))
+    }
+
+    /// The query's page quota could not cover a pass.
+    #[must_use]
+    pub fn is_quota(&self) -> bool {
+        matches!(self, ServerError::Query(QueryError::QuotaExceeded { .. }))
+    }
+
+    /// Admission control rejected the query before it ran.
+    #[must_use]
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ServerError::Overloaded { .. })
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded, retry after {retry_after_ms} ms")
+            }
+            ServerError::Shutdown => write!(f, "server is shutting down"),
+            ServerError::Query(e) => write!(f, "query failed: {e}"),
+            ServerError::Stalled => {
+                write!(f, "consumer stalled past the stream grace; query cancelled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<QueryError> for ServerError {
+    fn from(e: QueryError) -> Self {
+        ServerError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        let quota = ServerError::Query(QueryError::QuotaExceeded {
+            requested: 8,
+            available: 2,
+        });
+        assert!(quota.is_quota() && !quota.is_cancelled() && !quota.is_overloaded());
+        let cancelled = ServerError::Query(QueryError::Cancelled {
+            records_processed: 5,
+        });
+        assert!(cancelled.is_cancelled());
+        let over = ServerError::Overloaded { retry_after_ms: 10 };
+        assert!(over.is_overloaded());
+        assert!(over.to_string().contains("10 ms"));
+    }
+}

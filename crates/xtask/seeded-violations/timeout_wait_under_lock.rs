@@ -1,0 +1,55 @@
+//! Seeded violation: **blocking-under-lock**, timed-wait twin.
+//!
+//! `wait_timeout` bounds how long a condvar sleep can last, but it still
+//! releases only the guard it is handed. Sleeping on it while a *second*
+//! mutex guard is held keeps that other lock taken for the whole grace
+//! period — the deadline bounds the stall, it does not remove it, and a
+//! waiter that loops re-arms the stall forever. The self-test asserts
+//! the foreign-guard site is flagged (directly and through a uniquely
+//! named callee) while the condvar-protocol twin — a timed wait that
+//! names and hence releases its own guard — stays clean.
+
+/// Timed wait with the ledger guard still held — the seeded bug: the
+/// wait releases `st` but `ledger` sleeps locked for the grace period.
+pub fn await_slot(&self) -> bool {
+    let ledger = lock(&self.ledger);
+    let mut st = lock(&self.state);
+    loop {
+        if st.available > 0 {
+            st.available -= 1;
+            ledger.admitted += 1;
+            return true;
+        }
+        st = wait_timeout(&self.released, st, self.grace).0;
+    }
+}
+
+/// A uniquely named helper whose body parks on a timed wait.
+pub fn park_for_grace(&self) {
+    let mut st = lock(&self.state);
+    st = wait_timeout(&self.released, st, self.grace).0;
+    drop(st);
+}
+
+/// Interprocedural seeded bug: the timed wait hides behind the callee.
+pub fn drain_with_grace(&self) {
+    let ledger = lock(&self.ledger);
+    park_for_grace(self);
+    drop(ledger);
+}
+
+/// The compliant twin: the timed wait names (and so releases) the only
+/// guard held — the `Backpressure::acquire_timeout` protocol shape.
+pub fn await_slot_clean(&self) -> bool {
+    let mut st = lock(&self.state);
+    loop {
+        if st.closed {
+            return false;
+        }
+        if st.available > 0 {
+            st.available -= 1;
+            return true;
+        }
+        st = wait_timeout(&self.released, st, self.grace).0;
+    }
+}

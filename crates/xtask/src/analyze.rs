@@ -102,6 +102,7 @@ const CANCEL_SCOPE: &[&str] = &[
     "crates/core/src/external",
     "crates/core/src/par.rs",
     "crates/exec/src",
+    "crates/server/src",
 ];
 
 /// A loop is *record-driven* — expected to run once per input record,
@@ -579,9 +580,11 @@ fn blocking_checks(
         }
         return; // the spawn finding subsumes blocking checks on this stmt
     }
-    // condvar protocol: `st = wait(&cv, st)` releases exactly the guard
-    // it names; any *other* held guard stays locked through the sleep
-    let waits = has_token(text, "wait(");
+    // condvar protocol: `st = wait(&cv, st)` (or its deadline-bounded
+    // twin `st = wait_timeout(&cv, st, dur).0`) releases exactly the
+    // guard it names; any *other* held guard stays locked through the
+    // sleep
+    let waits = has_token(text, "wait(") || has_token(text, "wait_timeout(");
     for h in held {
         let releases_this = waits
             && h.guard
@@ -626,7 +629,10 @@ fn blocking_checks(
     }
     // uniquely-resolved callees that are guaranteed to block or hit disk
     for c in resolvable_calls(text) {
-        if matches!(c.as_str(), "wait" | "lock" | "sleep" | "park" | "spawn") {
+        if matches!(
+            c.as_str(),
+            "wait" | "wait_timeout" | "lock" | "sleep" | "park" | "spawn"
+        ) {
             continue; // direct tokens above already judged these
         }
         if graph.must_block(&c) {

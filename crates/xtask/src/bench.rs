@@ -25,6 +25,14 @@
 //! `--smoke` restricts the fresh run to the CI-sized section; sections
 //! present only in the committed report are then skipped.
 //!
+//! Reports may also carry a top-level `"server"` object (the session
+//! layer's admission counters and latency percentiles). Its counters
+//! are compared exactly and its `p99_ms` within the wall tolerance
+//! plus an absolute slack ([`P99_ABS_SLACK_MS`] — the queries are
+//! milliseconds long, so a purely relative gate would flap); a report
+//! without the object is skipped with a note, so older baselines keep
+//! gating.
+//!
 //! The JSON walker below is deliberately tiny: the report is our own
 //! flat format, and the workspace takes no serde dependency for it.
 
@@ -33,6 +41,14 @@ use std::fmt;
 
 /// A fresh `filter_ms` above `committed × MAX_WALL_REGRESSION` fails.
 pub const MAX_WALL_REGRESSION: f64 = 1.2;
+
+/// Absolute slack added on top of [`MAX_WALL_REGRESSION`] for the
+/// server gate's `p99_ms`: its closed-loop queries finish in a few
+/// milliseconds, where scheduler jitter alone exceeds 20%. A relative
+/// tolerance with no floor would make the gate flap on loaded CI
+/// runners; a multi-millisecond floor is still far below any real
+/// regression the session layer could introduce.
+pub const P99_ABS_SLACK_MS: f64 = 5.0;
 
 /// The block-kernel baseline must reduce model comparison cost vs the
 /// scalar-era baseline by at least this factor, per full-grid thread
@@ -292,6 +308,47 @@ struct Run {
 /// section label → threads → run
 type Grid = BTreeMap<String, BTreeMap<u64, Run>>;
 
+/// Deterministic counters of the top-level `"server"` object; compared
+/// exactly between reports.
+const SERVER_COUNTERS: &[&str] = &[
+    "workers",
+    "queries",
+    "admitted",
+    "rejected",
+    "cancelled",
+    "completed",
+];
+
+/// The session-server section of a report: exact admission counters
+/// plus the wall-clock p99.
+#[derive(Debug, Clone, PartialEq)]
+struct ServerRun {
+    counters: BTreeMap<&'static str, f64>,
+    p99_ms: f64,
+}
+
+fn server_of(doc: &Json) -> Result<Option<ServerRun>, String> {
+    let Some(sv) = doc.get("server") else {
+        return Ok(None);
+    };
+    let mut counters = BTreeMap::new();
+    for k in SERVER_COUNTERS {
+        counters.insert(
+            *k,
+            sv.get(k)
+                .and_then(Json::num)
+                .ok_or_else(|| format!("server object missing `{k}`"))?,
+        );
+    }
+    Ok(Some(ServerRun {
+        counters,
+        p99_ms: sv
+            .get("p99_ms")
+            .and_then(Json::num)
+            .ok_or("server object missing `p99_ms`")?,
+    }))
+}
+
 fn grid_of(doc: &Json) -> Result<Grid, String> {
     let mut grid = Grid::new();
     for sec in doc.get("sections").ok_or("report has no `sections`")?.arr() {
@@ -338,8 +395,10 @@ fn grid_of(doc: &Json) -> Result<Grid, String> {
 /// # Errors
 /// A report of every violated check, one per line.
 pub fn compare(committed: &str, fresh: &str) -> Result<Vec<String>, String> {
-    let committed = grid_of(&parse(committed).map_err(|e| format!("committed report: {e}"))?)?;
-    let fresh = grid_of(&parse(fresh).map_err(|e| format!("fresh report: {e}"))?)?;
+    let committed_doc = parse(committed).map_err(|e| format!("committed report: {e}"))?;
+    let fresh_doc = parse(fresh).map_err(|e| format!("fresh report: {e}"))?;
+    let committed = grid_of(&committed_doc)?;
+    let fresh = grid_of(&fresh_doc)?;
     let mut notes = Vec::new();
     let mut errs = String::new();
     for (label, runs) in &fresh {
@@ -397,6 +456,45 @@ pub fn compare(committed: &str, fresh: &str) -> Result<Vec<String>, String> {
                 ));
             }
         }
+    }
+    match (server_of(&committed_doc)?, server_of(&fresh_doc)?) {
+        (Some(base), Some(run)) => {
+            for k in SERVER_COUNTERS {
+                let (old, new) = (base.counters[k], run.counters[k]);
+                #[allow(clippy::float_cmp)] // integers carried in f64; exactness is the point
+                if new != old {
+                    errs.push_str(&format!(
+                        "`server`: {k} changed {old} → {new} \
+                         (deterministic — regenerate the baseline deliberately)\n"
+                    ));
+                }
+            }
+            let allowed = base.p99_ms * MAX_WALL_REGRESSION + P99_ABS_SLACK_MS;
+            if run.p99_ms > allowed {
+                errs.push_str(&format!(
+                    "`server`: p99_ms regressed {:.1} → {:.1} (gate allows {:.0}% + {:.0}ms)\n",
+                    base.p99_ms,
+                    run.p99_ms,
+                    (MAX_WALL_REGRESSION - 1.0) * 100.0,
+                    P99_ABS_SLACK_MS
+                ));
+            } else {
+                notes.push(format!(
+                    "`server`: p99 {:.1}ms vs {:.1}ms baseline — ok",
+                    run.p99_ms, base.p99_ms
+                ));
+            }
+        }
+        (None, Some(_)) => notes.push(
+            "`server`: section not in the committed baseline — skipped \
+             (regenerate with `cargo xtask bench` to adopt it)"
+                .to_string(),
+        ),
+        (Some(_), None) => notes.push(
+            "`server`: committed baseline has a server section the fresh run lacks — skipped"
+                .to_string(),
+        ),
+        (None, None) => {}
     }
     if errs.is_empty() {
         Ok(notes)
@@ -591,6 +689,47 @@ mod tests {
         let pr5 = report(4.0, 1000).replace("\"skyline\": 42", "\"skyline\": 43");
         let err = improvement(&report(5.0, 1300), &pr5).unwrap_err();
         assert!(err.contains("skyline differs"), "{err}");
+    }
+
+    fn report_with_server(filter_ms: f64, comparisons: u64, p99: f64, completed: u64) -> String {
+        format!(
+            r#"{{ "schema": 1, "seed": 2003, "sections": [ {} ],
+                 "server": {{ "workers": 2, "queries": 60, "admitted": 50, "rejected": 10,
+                              "cancelled": 10, "completed": {completed},
+                              "p50_ms": 1.0, "p99_ms": {p99} }} }}"#,
+            section("smoke", filter_ms, comparisons)
+        )
+    }
+
+    #[test]
+    fn server_sections_compare_counters_exactly() {
+        let base = report_with_server(5.0, 1000, 4.0, 40);
+        assert!(compare(&base, &base).is_ok());
+        let drifted = report_with_server(5.0, 1000, 4.0, 39);
+        let err = compare(&base, &drifted).unwrap_err();
+        assert!(err.contains("completed changed"), "{err}");
+    }
+
+    #[test]
+    fn server_p99_regression_beyond_tolerance_fails() {
+        // allowed = 4.0 × 1.2 + 5.0ms absolute slack = 9.8ms
+        let base = report_with_server(5.0, 1000, 4.0, 40);
+        assert!(compare(&base, &report_with_server(5.0, 1000, 9.7, 40)).is_ok());
+        let err = compare(&base, &report_with_server(5.0, 1000, 9.9, 40)).unwrap_err();
+        assert!(err.contains("p99_ms regressed"), "{err}");
+    }
+
+    #[test]
+    fn server_section_is_skipped_when_committed_lacks_it() {
+        let old = report(5.0, 1000);
+        let fresh = report_with_server(5.0, 1000, 4.0, 40);
+        let notes = compare(&old, &fresh).unwrap();
+        assert!(
+            notes.iter().any(|n| n.contains("not in the committed")),
+            "{notes:?}"
+        );
+        // and the reverse direction also degrades to a note
+        assert!(compare(&fresh, &old).is_ok());
     }
 
     #[test]

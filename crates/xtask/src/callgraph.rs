@@ -36,7 +36,7 @@ pub const POLL_TOKENS: &[&str] = &["poll(", ".check(", "is_cancelled("];
 
 /// Tokens that block the calling thread: condvar waits (helper or
 /// method form), thread joins, sleeps, parks.
-pub const BLOCK_TOKENS: &[&str] = &["wait(", ".join()", "::sleep(", "park("];
+pub const BLOCK_TOKENS: &[&str] = &["wait(", "wait_timeout(", ".join()", "::sleep(", "park("];
 
 /// Call names that the interprocedural summaries may resolve: free
 /// calls (`helper(…)`, `Type::assoc(…)`) and `self.`-method calls.

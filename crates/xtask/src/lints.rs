@@ -39,6 +39,7 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/core/src/external",
     "crates/core/src/dominance_block.rs",
     "crates/storage/src",
+    "crates/server/src",
 ];
 
 /// Files allowed to touch `std::fs` directly: the `io_stats`-counted

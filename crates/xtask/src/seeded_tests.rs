@@ -19,6 +19,7 @@ use crate::scan::CleanSource;
 const STARVED_LOOP: &str = include_str!("../seeded-violations/starved_loop.rs");
 const GUARD_INTO_SPAWN: &str = include_str!("../seeded-violations/guard_into_spawn.rs");
 const BLOCKING_PUSH: &str = include_str!("../seeded-violations/blocking_push_under_lock.rs");
+const TIMEOUT_WAIT: &str = include_str!("../seeded-violations/timeout_wait_under_lock.rs");
 const ORPHAN_COUNTER: &str = include_str!("../seeded-violations/orphan_counter.rs");
 
 fn run(files: &[(&str, &str)]) -> Vec<Finding> {
@@ -101,6 +102,42 @@ fn blocking_push_under_lock_is_flagged_directly_and_through_a_callee() {
             .iter()
             .any(|f| f.excerpt.contains("`enqueue_all_clean`")),
         "push-then-lock twin must stay clean: {hits:?}"
+    );
+}
+
+#[test]
+fn timeout_wait_under_foreign_lock_is_flagged_and_protocol_twin_is_clean() {
+    let findings = run(&[("crates/exec/src/seeded_timeout.rs", TIMEOUT_WAIT)]);
+    let hits = of(&findings, "blocking-under-lock");
+    assert_eq!(
+        hits.len(),
+        2,
+        "expected the direct and via-callee timed waits: {findings:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.excerpt.contains("`ledger`") && f.excerpt.contains("`await_slot`")),
+        "timed wait under the foreign ledger guard: {hits:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.excerpt.contains("`drain_with_grace`")
+                && f.excerpt.contains("`park_for_grace`")),
+        "interprocedural: timed-wait callee under the ledger guard: {hits:?}"
+    );
+    // the twin follows the condvar protocol — its timed wait names and
+    // releases the only guard it holds
+    assert!(
+        !hits
+            .iter()
+            .any(|f| f.excerpt.contains("`await_slot_clean`")),
+        "condvar-protocol timed wait must stay clean: {hits:?}"
+    );
+    assert!(
+        !hits
+            .iter()
+            .any(|f| f.excerpt.contains("in `park_for_grace`")),
+        "the helper itself holds only the guard it releases: {hits:?}"
     );
 }
 

@@ -1,0 +1,74 @@
+//! The session server: admission control, quotas, deadlines, streaming.
+//!
+//! Starts an in-process [`SkylineServer`] over the paper's restaurant
+//! table, then walks the session contract: a streamed happy-path query,
+//! a page-quota violation, an elapsed deadline, and an oversized quota
+//! shed at admission — every failure typed, never a panic.
+//!
+//! ```sh
+//! cargo run --example server
+//! ```
+
+use skyline::query::catalog::Catalog;
+use skyline::relation::samples::good_eats;
+use skyline::server::{QueryOptions, ServerConfig, ServerError, SkylineServer};
+use std::time::Duration;
+
+fn main() -> Result<(), ServerError> {
+    let mut catalog = Catalog::new();
+    catalog.register("GoodEats", good_eats());
+
+    // Two workers, a 4096-page in-flight ledger, 512-page default quota.
+    let server = SkylineServer::new(catalog, ServerConfig::default());
+    let session = server.session();
+
+    // Happy path: results stream as bounded batches through the handle.
+    let sql = "SELECT restaurant, price FROM GoodEats \
+               SKYLINE OF S MAX, F MAX, D MAX, price MIN \
+               ORDER BY price";
+    let mut handle = session.submit(sql)?;
+    println!("skyline of GoodEats:");
+    while let Some(batch) = handle.next_batch() {
+        for row in batch? {
+            println!("  {row}");
+        }
+    }
+
+    // A query that cannot fit its page quota fails typed — the engine
+    // surfaces exactly what was requested and what was available.
+    let err = session
+        .submit_with(sql, &QueryOptions::default().with_quota_pages(0))?
+        .collect()
+        .expect_err("a zero-page quota cannot run");
+    println!("zero-page quota     → {err}");
+    assert!(err.is_quota());
+
+    // An already-elapsed deadline cancels at the first token check.
+    let err = session
+        .submit_with(sql, &QueryOptions::default().with_deadline(Duration::ZERO))?
+        .collect()
+        .expect_err("an elapsed deadline cannot complete");
+    println!("elapsed deadline    → {err}");
+    assert!(err.is_cancelled());
+
+    // A quota bigger than the whole server pool is shed at admission
+    // with a retry hint, before it ever reaches a worker.
+    let err = session
+        .submit_with(sql, &QueryOptions::default().with_quota_pages(1 << 20))
+        .expect_err("an oversized quota must be shed");
+    println!("oversized quota     → {err}");
+    assert!(err.is_overloaded());
+
+    server.shutdown();
+    let snapshot = server.snapshot();
+    println!(
+        "session books: {} submitted = {} completed + {} cancelled + {} failed + {} rejected",
+        snapshot.totals.submitted,
+        snapshot.totals.completed,
+        snapshot.totals.cancelled,
+        snapshot.totals.failed,
+        snapshot.totals.rejected,
+    );
+    assert!(snapshot.totals.conserved());
+    Ok(())
+}

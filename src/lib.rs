@@ -3,11 +3,13 @@
 //! Re-exports the crates making up the reproduction of *Skyline with
 //! Presorting* (Chomicki, Godfrey, Gryz, Liang — ICDE 2003): the SFS
 //! algorithm and its baselines (`core`), the relational substrate
-//! (`relation`, `storage`, `exec`), and the `SKYLINE OF` SQL dialect
-//! (`query`). See the workspace README for a tour.
+//! (`relation`, `storage`, `exec`), the `SKYLINE OF` SQL dialect
+//! (`query`), and the in-process session server (`server`). See the
+//! workspace README for a tour.
 
 pub use skyline_core as core;
 pub use skyline_exec as exec;
 pub use skyline_query as query;
 pub use skyline_relation as relation;
+pub use skyline_server as server;
 pub use skyline_storage as storage;

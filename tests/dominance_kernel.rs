@@ -52,7 +52,7 @@ fn oriented_rows(dist: Distribution, d: usize, seed: u64, mix: &[Criterion]) -> 
 fn mixes(d: usize, seed: u64) -> Vec<Vec<Criterion>> {
     let alternating = (0..d)
         .map(|c| {
-            if (c as u64 + seed) % 2 == 0 {
+            if (c as u64 + seed).is_multiple_of(2) {
                 Criterion::max(c)
             } else {
                 Criterion::min(c)

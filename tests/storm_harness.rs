@@ -1,0 +1,320 @@
+//! Storm harness: the session server under concurrent fault, quota,
+//! deadline, and cancellation pressure.
+//!
+//! Each storm drives hundreds of mixed queries (skyline direction
+//! mixes, projections, WHERE, ORDER BY + LIMIT top-N, every algorithm
+//! including strata) through a [`SkylineServer`] whose disk injects
+//! deterministic seed-driven faults, while the driver randomly starves
+//! quotas, sets zero deadlines, cancels in flight, and abandons
+//! handles. The contract under all of that:
+//!
+//! - every query ends in exactly one of {rows == oracle, typed error};
+//! - after shutdown the disk reports zero allocated pages and the
+//!   in-flight page ledger is empty;
+//! - `shutdown()` returns (workers join — no deadlock);
+//! - the admission/verdict counters are conserved.
+//!
+//! The seed grid replays in CI via `FAULT_SEED`, matching the
+//! fault-injection suite's idiom.
+
+use skyline::query::catalog::Catalog;
+use skyline::query::{execute_with, ExecOptions, SkylineAlgo};
+use skyline::relation::rng::Rng;
+use skyline::relation::samples::good_eats;
+use skyline::relation::{tuple, ColumnType, Schema, Table, Tuple};
+use skyline::server::{QueryOptions, ServerConfig, ServerError, SkylineServer};
+use skyline::storage::{Disk, FaultDisk, FaultSchedule, MemDisk};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 1_200;
+const STORM_QUERIES: usize = 250;
+/// Row counts at/above this go external, so storms exercise the
+/// heap-file pipelines (and their fault surface) for table `t` while
+/// `GoodEats` stays in memory.
+const EXTERNAL_THRESHOLD: usize = 64;
+
+const QUERIES: &[&str] = &[
+    "SELECT * FROM t SKYLINE OF a MIN, b MIN, c MAX, d MAX",
+    "SELECT * FROM t SKYLINE OF a MAX, b MIN, c MIN, d MAX",
+    "SELECT a, b FROM t SKYLINE OF a MIN, b MIN",
+    "SELECT * FROM t SKYLINE OF a MIN, b MAX ORDER BY a ASC, b DESC, c ASC, d ASC LIMIT 5",
+    "SELECT * FROM t WHERE a < 500 SKYLINE OF a MIN, b MIN, c MAX",
+    "SELECT restaurant FROM GoodEats SKYLINE OF S MAX, F MAX, D MAX, price MIN",
+];
+
+const ALGOS: &[SkylineAlgo] = &[
+    SkylineAlgo::Auto,
+    SkylineAlgo::Sfs,
+    SkylineAlgo::Bnl,
+    SkylineAlgo::DivideAndConquer,
+    SkylineAlgo::Parallel,
+    SkylineAlgo::Strata,
+];
+
+fn catalog() -> Catalog {
+    let schema = Schema::of(&[
+        ("a", ColumnType::Int),
+        ("b", ColumnType::Int),
+        ("c", ColumnType::Int),
+        ("d", ColumnType::Int),
+    ]);
+    let mut t = Table::empty(schema);
+    let mut rng = Rng::seed_from_u64(0x5702_3107);
+    for _ in 0..N {
+        t.push(tuple![
+            rng.i64_inclusive(0, 999),
+            rng.i64_inclusive(0, 999),
+            rng.i64_inclusive(0, 999),
+            rng.i64_inclusive(0, 999)
+        ])
+        .unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.register("t", t);
+    cat.register("GoodEats", good_eats());
+    cat
+}
+
+/// Order-insensitive row fingerprint: the parallel pipelines do not
+/// promise an output order, only a set.
+fn multiset(rows: &[Tuple]) -> Vec<String> {
+    let mut keys: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Fault-free oracle per (query, algorithm), executed with the same
+/// routing knobs the server uses so completed storm queries must match
+/// it exactly.
+fn oracles(cat: &Catalog) -> HashMap<(usize, usize), Vec<String>> {
+    let mut map = HashMap::new();
+    for (qi, sql) in QUERIES.iter().enumerate() {
+        for (ai, &algo) in ALGOS.iter().enumerate() {
+            let opts = ExecOptions::default()
+                .with_algo(algo)
+                .with_external_threshold(EXTERNAL_THRESHOLD)
+                .with_disk(MemDisk::shared() as Arc<dyn Disk>);
+            let table = execute_with(sql, cat, &opts)
+                .unwrap_or_else(|e| panic!("oracle {sql} / {algo:?}: {e}"));
+            map.insert((qi, ai), multiset(table.rows()));
+        }
+    }
+    map
+}
+
+/// Base seed for the storm grid; `FAULT_SEED` reseeds the whole grid in
+/// CI so different runs replay different deterministic fault sequences.
+fn base_seed() -> u64 {
+    std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn schedule(seed: u64) -> FaultSchedule {
+    FaultSchedule {
+        seed: 0xE5_u64.wrapping_add(seed.wrapping_mul(0x9E37_79B9)),
+        read_period: 23,
+        write_period: 19,
+        transient_pct: 50,
+        torn_writes: true,
+        arm_after: 0,
+    }
+}
+
+/// What the driver does with a handle after submitting.
+enum Action {
+    Collect,
+    CancelThenCollect,
+    DropNow,
+    ReadOneThenDrop,
+}
+
+#[allow(clippy::too_many_lines)]
+fn storm(seed: u64) {
+    let cat = catalog();
+    let want = oracles(&cat);
+    let inner = MemDisk::shared();
+    let fault = FaultDisk::shared(Arc::clone(&inner) as Arc<dyn Disk>, schedule(seed));
+    let cfg = ServerConfig {
+        workers: 3,
+        queue_capacity: 8,
+        pool_pages: 512,
+        quota_pages: 128,
+        admission_timeout: Duration::from_millis(100),
+        batch_rows: 16,
+        result_batches: 4,
+        stream_grace: Duration::from_secs(5),
+        external_threshold: EXTERNAL_THRESHOLD,
+        disk: Some(Arc::clone(&fault) as Arc<dyn Disk>),
+        ..ServerConfig::default()
+    };
+    let server = SkylineServer::new(catalog(), cfg);
+    let sessions: Vec<_> = (0..3).map(|_| server.session()).collect();
+    let mut rng = Rng::seed_from_u64(0x5702_u64.wrapping_add(seed));
+
+    let mut outstanding: Vec<(usize, usize, Action, skyline::server::QueryHandle)> = Vec::new();
+    let mut completed = 0u64;
+    let mut typed_errors = 0u64;
+    let resolve = |(qi, ai, action, mut handle): (usize, usize, Action, _),
+                   completed: &mut u64,
+                   typed_errors: &mut u64| {
+        let handle: &mut skyline::server::QueryHandle = &mut handle;
+        match action {
+            Action::DropNow => {}
+            Action::ReadOneThenDrop => {
+                // either a batch or a typed terminal; never a panic
+                if let Some(Err(e)) = handle.next_batch() {
+                    assert_typed(&e);
+                    *typed_errors += 1;
+                }
+            }
+            Action::Collect | Action::CancelThenCollect => {
+                if matches!(action, Action::CancelThenCollect) {
+                    handle.cancel();
+                }
+                let mut rows = Vec::new();
+                let outcome = loop {
+                    match handle.next_batch() {
+                        Some(Ok(mut batch)) => rows.append(&mut batch),
+                        Some(Err(e)) => break Err(e),
+                        None => break Ok(()),
+                    }
+                };
+                match outcome {
+                    Ok(()) => {
+                        assert_eq!(
+                            multiset(&rows),
+                            want[&(qi, ai)],
+                            "query {qi} algo {ai}: completed with WRONG rows (seed {seed})"
+                        );
+                        *completed += 1;
+                    }
+                    Err(e) => {
+                        assert_typed(&e);
+                        *typed_errors += 1;
+                    }
+                }
+            }
+        }
+    };
+
+    for i in 0..STORM_QUERIES {
+        let qi = rng.usize_below(QUERIES.len());
+        let ai = rng.usize_below(ALGOS.len());
+        let session = &sessions[i % sessions.len()];
+        let mut q = QueryOptions::default().with_algo(ALGOS[ai]);
+        // quota starvation: a fifth of the storm gets a budget far
+        // below any external pass's need
+        if rng.usize_below(5) == 0 {
+            q = q.with_quota_pages(rng.usize_below(4));
+        }
+        // deadline storms: elapsed-at-admission and near-instant
+        match rng.usize_below(8) {
+            0 => q = q.with_deadline(Duration::ZERO),
+            1 => q = q.with_deadline(Duration::from_millis(1)),
+            _ => {}
+        }
+        let action = match rng.usize_below(10) {
+            0 => Action::DropNow,
+            1 => Action::ReadOneThenDrop,
+            2 | 3 => Action::CancelThenCollect,
+            _ => Action::Collect,
+        };
+        match session.submit_with(QUERIES[qi], &q) {
+            Ok(handle) => outstanding.push((qi, ai, action, handle)),
+            Err(e) => {
+                assert!(
+                    matches!(e, ServerError::Overloaded { .. }),
+                    "admission error before shutdown must be Overloaded, got {e:?}"
+                );
+                typed_errors += 1;
+            }
+        }
+        // bounded outstanding window: keeps the server saturated
+        // without wedging every result channel at once
+        while outstanding.len() > 6 {
+            let next = outstanding.remove(0);
+            resolve(next, &mut completed, &mut typed_errors);
+        }
+    }
+    for h in outstanding.drain(..) {
+        resolve(h, &mut completed, &mut typed_errors);
+    }
+
+    server.shutdown(); // returning at all proves the workers join
+    let snap = server.snapshot();
+    assert!(snap.totals.conserved(), "books not conserved: {snap:?}");
+    assert_eq!(snap.totals.in_flight, 0, "queries left in flight: {snap:?}");
+    assert_eq!(
+        u64::try_from(STORM_QUERIES).unwrap(),
+        snap.totals.submitted,
+        "every storm query must be booked"
+    );
+    assert_eq!(server.inflight_pages(), 0, "admission page charges leaked");
+    assert_eq!(
+        inner.allocated_pages(),
+        0,
+        "temp pages leaked after the storm (seed {seed})"
+    );
+    assert!(completed > 0, "storm too hostile: nothing ever completed");
+    assert!(
+        typed_errors > 0,
+        "storm too gentle: no typed error ever surfaced (seed {seed})"
+    );
+}
+
+fn assert_typed(e: &ServerError) {
+    // Any ServerError variant is a typed outcome; what must never
+    // happen is a panic or a wrong row set. Spell the expected storm
+    // vocabulary out anyway so a new variant gets a conscious decision.
+    match e {
+        ServerError::Overloaded { .. }
+        | ServerError::Shutdown
+        | ServerError::Stalled
+        | ServerError::Query(_) => {}
+    }
+}
+
+#[test]
+fn storm_with_faults_cancellations_quotas_and_deadlines() {
+    let base = base_seed();
+    for offset in 0..2 {
+        storm(base.wrapping_add(offset));
+    }
+}
+
+/// A fault-free storm: same driver, no fault disk. Everything that is
+/// not cancelled/starved/abandoned must complete with oracle rows.
+#[test]
+fn storm_without_faults_is_mostly_sunny() {
+    let cat = catalog();
+    let want = oracles(&cat);
+    let server = SkylineServer::new(
+        catalog(),
+        ServerConfig {
+            workers: 2,
+            external_threshold: EXTERNAL_THRESHOLD,
+            ..ServerConfig::default()
+        },
+    );
+    let session = server.session();
+    let mut rng = Rng::seed_from_u64(0xFA1F);
+    for _ in 0..60 {
+        let qi = rng.usize_below(QUERIES.len());
+        let ai = rng.usize_below(ALGOS.len());
+        let rows = session
+            .submit_with(QUERIES[qi], &QueryOptions::default().with_algo(ALGOS[ai]))
+            .expect("no watermark pressure in the sunny storm")
+            .collect()
+            .expect("no faults, quota, or deadline: must complete");
+        assert_eq!(multiset(&rows), want[&(qi, ai)], "query {qi} algo {ai}");
+    }
+    server.shutdown();
+    let snap = server.snapshot();
+    assert!(snap.totals.conserved());
+    assert_eq!(snap.totals.completed, 60);
+    assert_eq!(server.inflight_pages(), 0);
+}
