@@ -72,6 +72,10 @@ impl Dataset {
     }
 
     /// Catalog-style entropy stats for a `d`-dimensional all-max spec.
+    ///
+    /// # Panics
+    /// Panics if `d` exceeds the layout's dimension count — stats are
+    /// precomputed for `1..=dims` at load time.
     pub fn entropy(&self, d: usize) -> EntropyScore {
         self.stats[d]
             .clone()
@@ -163,6 +167,10 @@ fn filter_io(before: IoSnapshot, after: IoSnapshot, input_pages: u64) -> (u64, u
 
 /// Run one SFS configuration (sort phase + filter phase, timed and
 /// I/O-accounted separately).
+///
+/// # Panics
+/// Panics on any storage or operator error — benchmarks have no error
+/// channel to report into.
 pub fn run_sfs(ds: &Dataset, d: usize, window_pages: usize, variant: SfsVariant) -> RunResult {
     let spec = SkylineSpec::max_all(d);
     let disk = Arc::clone(&ds.disk) as Arc<dyn Disk>;
@@ -248,6 +256,10 @@ impl BnlInput {
 /// is first materialized in reverse-entropy order (sort cost *not*
 /// charged to BNL — the adversarial order stands in for unlucky clustered
 /// input arriving for free, as the paper argues).
+///
+/// # Panics
+/// Panics on any storage or operator error — benchmarks have no error
+/// channel to report into.
 pub fn run_bnl(ds: &Dataset, d: usize, window_pages: usize, input: BnlInput) -> RunResult {
     let spec = SkylineSpec::max_all(d);
     let disk = Arc::clone(&ds.disk) as Arc<dyn Disk>;
@@ -304,6 +316,10 @@ pub fn run_bnl(ds: &Dataset, d: usize, window_pages: usize, input: BnlInput) -> 
 
 /// Time just the sort phase (for the paper's nested-57s vs entropy-37s
 /// comparison).
+///
+/// # Panics
+/// Panics if the presort fails — benchmarks have no error channel to
+/// report into.
 pub fn run_sort_only(ds: &Dataset, d: usize, order: SortOrder) -> (f64, u64) {
     let spec = SkylineSpec::max_all(d);
     let entropy = match order {
@@ -332,6 +348,10 @@ pub fn run_sort_only(ds: &Dataset, d: usize, order: SortOrder) -> (f64, u64) {
 /// quite likely, its tuples are ordered in the heapfile"). `ascending`
 /// keys put the worst attribute-0 values first (bad for BNL); descending
 /// keys put likely dominators first (good).
+///
+/// # Panics
+/// Panics on any storage or operator error — benchmarks have no error
+/// channel to report into.
 pub fn run_bnl_clustered(
     ds: &Dataset,
     d: usize,
@@ -398,6 +418,10 @@ pub fn run_bnl_clustered(
 
 /// Time the nested sort with the comparator's DSU prefix key *disabled* —
 /// the multi-attribute comparison cost the paper's nested sort pays.
+///
+/// # Panics
+/// Panics if the sort or materialization fails — benchmarks have no
+/// error channel to report into.
 pub fn run_sort_only_no_dsu(ds: &Dataset, d: usize) -> (f64, u64) {
     use skyline_core::score::SkylineOrderCmp;
     use skyline_exec::{ExternalSort, HeapScan, RecordComparator, SortBudget};
@@ -431,6 +455,10 @@ pub fn run_sort_only_no_dsu(ds: &Dataset, d: usize) -> (f64, u64) {
 /// Dimensional-reduction pre-pass (paper Fig. 8): nested-sort, group by
 /// the first `d−1` attributes taking `max(a_d)`, return (reduced heap,
 /// reduced count).
+///
+/// # Panics
+/// Panics if the sort, grouping, or materialization fails — benchmarks
+/// have no error channel to report into.
 pub fn dimensional_reduction(ds: &Dataset, d: usize) -> (HeapFile, u64) {
     use skyline_core::score::SkylineOrderCmp;
     use skyline_exec::{ExternalSort, GroupMax, HeapScan, SortBudget};
@@ -457,6 +485,10 @@ pub fn dimensional_reduction(ds: &Dataset, d: usize) -> (HeapFile, u64) {
 
 /// Parse common CLI args: `--scale N`, `--seed S`, plus `SKYLINE_SCALE`
 /// env fallback. Returns (scale, seed, full: bool).
+///
+/// # Panics
+/// Panics on unknown flags or unparsable values — bad CLI input should
+/// stop a bench run loudly, not fall back to defaults.
 pub fn parse_args() -> (usize, u64, bool) {
     let mut scale: usize = std::env::var("SKYLINE_SCALE")
         .ok()

@@ -1,9 +1,8 @@
 //! Tabular output helpers: aligned console tables plus CSV files under
 //! `results/` for downstream plotting.
 
+use skyline_storage::write_text;
 use std::fmt::Write as _;
-use std::fs;
-use std::io::Write as _;
 use std::path::Path;
 
 /// A simple column-aligned table with a title, printed to stdout and
@@ -72,13 +71,13 @@ impl ReportTable {
     /// # Errors
     /// I/O errors creating or writing the file.
     pub fn save_csv(&self, dir: impl AsRef<Path>, slug: &str) -> std::io::Result<()> {
-        fs::create_dir_all(dir.as_ref())?;
         let path = dir.as_ref().join(format!("{slug}.csv"));
-        let mut f = fs::File::create(&path)?;
-        writeln!(f, "{}", self.header.join(","))?;
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.header.join(","));
         for r in &self.rows {
-            writeln!(f, "{}", r.join(","))?;
+            let _ = writeln!(csv, "{}", r.join(","));
         }
+        write_text(&path, &csv)?;
         eprintln!("wrote {}", path.display());
         Ok(())
     }
@@ -90,7 +89,7 @@ impl ReportTable {
 /// # Errors
 /// I/O errors creating or writing the file.
 pub fn save_text(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
-    fs::write(path.as_ref(), contents)
+    write_text(path.as_ref(), contents)
 }
 
 /// Format milliseconds compactly.

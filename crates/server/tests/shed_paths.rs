@@ -1,0 +1,141 @@
+//! Shed-path bookkeeping contracts: every admission rejection and
+//! quota failure must leave the books *exactly* restored — `admitted`
+//! and `in_flight` back where they were, the page ledger at zero —
+//! not merely conserved in aggregate. These are the runtime twins of
+//! the `resource-pairing` lint: the static analysis proves the
+//! rollback code is on every error path, these tests prove it runs.
+
+use skyline_query::catalog::Catalog;
+use skyline_relation::samples::good_eats;
+use skyline_server::{QueryOptions, ServerConfig, ServerError, SkylineServer};
+use std::time::Duration;
+
+const SKYLINE_SQL: &str =
+    "SELECT restaurant FROM GoodEats SKYLINE OF S MAX, F MAX, D MAX, price MIN";
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register("GoodEats", good_eats());
+    cat
+}
+
+#[test]
+fn watermark_shed_restores_books_exactly() {
+    let cfg = ServerConfig {
+        pool_pages: 16,
+        ..ServerConfig::default()
+    };
+    let server = SkylineServer::new(catalog(), cfg);
+    let session = server.session();
+    let err = session
+        .submit_with(SKYLINE_SQL, &QueryOptions::default().with_quota_pages(32))
+        .unwrap_err();
+    assert!(matches!(err, ServerError::Overloaded { .. }), "{err:?}");
+    let stats = session.stats();
+    assert!(stats.conserved(), "{stats:?}");
+    // the shed opened no books: the submission is counted, rejected,
+    // and nothing else moved
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.admitted, 0, "no admitted bump may survive a shed");
+    assert_eq!(stats.in_flight, 0, "no in-flight bump may survive a shed");
+    assert_eq!(server.inflight_pages(), 0, "page ledger exactly restored");
+}
+
+#[test]
+fn repeated_sheds_do_not_drift_the_books() {
+    let cfg = ServerConfig {
+        pool_pages: 16,
+        retry_after_ms: 3,
+        ..ServerConfig::default()
+    };
+    let server = SkylineServer::new(catalog(), cfg);
+    let session = server.session();
+    for _ in 0..5 {
+        let err = session
+            .submit_with(SKYLINE_SQL, &QueryOptions::default().with_quota_pages(32))
+            .unwrap_err();
+        assert_eq!(err, ServerError::Overloaded { retry_after_ms: 3 });
+    }
+    let stats = session.stats();
+    assert!(stats.conserved(), "{stats:?}");
+    assert_eq!((stats.submitted, stats.rejected), (5, 5));
+    assert_eq!((stats.admitted, stats.in_flight), (0, 0));
+    assert_eq!(server.inflight_pages(), 0);
+    // a query sized within the pool is admitted and completes on the
+    // same server — the shed left no residue behind
+    let rows = session
+        .submit_with(SKYLINE_SQL, &QueryOptions::default().with_quota_pages(8))
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert!(!rows.is_empty());
+    server.shutdown();
+    let snap = server.snapshot();
+    assert!(snap.totals.conserved(), "{snap:?}");
+    assert_eq!(snap.totals.completed, 1);
+    assert_eq!(server.inflight_pages(), 0);
+}
+
+#[test]
+fn queue_full_shed_releases_credit_and_counters() {
+    // wedge the single worker behind an unread result channel so the
+    // gate fills deterministically, then shed and verify the rejected
+    // submission returned its credit: after draining, the books close.
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        batch_rows: 1,
+        result_batches: 1,
+        admission_timeout: Duration::from_millis(5),
+        stream_grace: Duration::from_secs(30),
+        retry_after_ms: 9,
+        ..ServerConfig::default()
+    };
+    let server = SkylineServer::new(catalog(), cfg);
+    let session = server.session();
+    let wedged = session.submit(SKYLINE_SQL).unwrap();
+    let queued = session.submit(SKYLINE_SQL).unwrap();
+    let err = session.submit(SKYLINE_SQL).unwrap_err();
+    assert_eq!(err, ServerError::Overloaded { retry_after_ms: 9 });
+    let mid = session.stats();
+    assert!(mid.conserved(), "{mid:?}");
+    assert_eq!(mid.rejected, 1);
+    assert_eq!(mid.admitted, 2, "only the two accepted queries hold books");
+    drop(wedged);
+    drop(queued);
+    server.shutdown();
+    let snap = server.snapshot();
+    assert!(snap.totals.conserved(), "{snap:?}");
+    assert_eq!(snap.totals.in_flight, 0, "every admitted query settled");
+    assert_eq!(server.inflight_pages(), 0, "every page charge returned");
+}
+
+#[test]
+fn quota_failure_settles_books_and_drains_ledger() {
+    let server = SkylineServer::new(catalog(), ServerConfig::default());
+    let session = server.session();
+    let err = session
+        .submit_with(SKYLINE_SQL, &QueryOptions::default().with_quota_pages(0))
+        .unwrap()
+        .collect()
+        .unwrap_err();
+    assert!(err.is_quota(), "{err:?}");
+    let stats = session.stats();
+    assert!(stats.conserved(), "{stats:?}");
+    // the query was admitted, then failed — and settled completely
+    assert_eq!(stats.admitted, 1);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.in_flight, 0, "quota failure must settle in_flight");
+    assert_eq!(
+        server.inflight_pages(),
+        0,
+        "quota failure drains the ledger"
+    );
+    // the failure is not sticky: the same session still serves queries
+    let rows = session.submit(SKYLINE_SQL).unwrap().collect().unwrap();
+    assert!(!rows.is_empty());
+    let stats = session.stats();
+    assert!(stats.conserved(), "{stats:?}");
+    assert_eq!((stats.admitted, stats.completed, stats.failed), (2, 1, 1));
+}

@@ -17,7 +17,7 @@ use crate::sync::lock;
 use crate::PAGE_SIZE;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -224,6 +224,25 @@ fn read_exact_at(f: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
         f.seek(SeekFrom::Start(offset))?;
         f.read_exact(buf)
     }
+}
+
+/// Write a text artifact to `path` verbatim, creating any missing
+/// parent directories first.
+///
+/// This is the typed doorway for non-page file output — bench CSVs,
+/// JSON baselines, rendered reports. Every other crate is barred from
+/// `std::fs` by the `raw-io` lint, so artifact writes funnel through
+/// the one module that already owns file I/O.
+///
+/// # Errors
+/// Propagates directory-creation and write failures.
+pub fn write_text(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
 }
 
 impl FileDisk {

@@ -1,0 +1,55 @@
+//! Seeded violation: **page-leak** (CFG upgrade).
+//!
+//! Two planted leaks with compliant twins, mapped into a leak-scoped
+//! path by the self-tests. `spill_all` carries an owned `HeapFile`
+//! across fallible `?` statements — the classic error-path orphan.
+//! `route` consumes the file on only one branch of an `if`: the old
+//! statement-level scan saw the consumption in the composite statement
+//! text and went quiet, but the CFG join knows the fallthrough path
+//! reaches the scope end with the obligation still live.
+
+/// Seeded: `out` is live across `w.push(r)?` — pages orphan on error.
+fn spill_all(disk: Arc<dyn Disk>, rs: &[Record]) -> Result<HeapFile, StorageError> {
+    let mut out = HeapFile::create(disk, 100)?;
+    let mut w = HeapWriter::new(&mut out);
+    for r in rs {
+        w.push(r)?;
+    }
+    w.finish()?;
+    Ok(out)
+}
+
+/// Compliant twin: temp-first (RAII `Drop` deletes on any unwind or
+/// error), persisted only after every fallible step succeeded.
+fn spill_all_clean(disk: Arc<dyn Disk>, rs: &[Record]) -> Result<HeapFile, StorageError> {
+    let mut out = HeapFile::create_temp(disk, 100)?;
+    let mut w = HeapWriter::new(&mut out);
+    for r in rs {
+        w.push(r)?;
+    }
+    w.finish()?;
+    out.persist();
+    Ok(out)
+}
+
+/// Seeded: consumed only when `keep` — the `!keep` path falls through
+/// to the scope end with `out` unconsumed. Path-sensitive: every
+/// statement individually looks fine.
+fn route(disk: Arc<dyn Disk>, keep: bool) -> Result<(), StorageError> {
+    let out = HeapFile::create(disk, 100);
+    if keep {
+        registry.adopt(out);
+    }
+    Ok(())
+}
+
+/// Compliant twin: both branches discharge the obligation.
+fn route_clean(disk: Arc<dyn Disk>, keep: bool) -> Result<(), StorageError> {
+    let out = HeapFile::create(disk, 100);
+    if keep {
+        registry.adopt(out);
+        return Ok(());
+    }
+    out.delete();
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Seeded violation: **books-before-visibility**.
+//!
+//! Dominance violations around the admission books, mapped into a
+//! server-scoped path by the self-tests. `finish_query` publishes the
+//! terminal `Msg::End` before settling the counters — a client that
+//! sees end-of-stream and immediately polls `/stats` reads books that
+//! still show the query in flight. `submit_rushed` inserts into the
+//! work queue before bumping `admitted` — a fast worker can settle
+//! books that were never opened.
+
+/// Seeded: terminal publish happens before the settlement block.
+fn finish_query(job: &Job, verdict: Verdict) {
+    let terminal = terminal_of(verdict);
+    let _ = job.results.push_deadline(Msg::End(terminal), job.grace);
+    let mut st = lock(&job.stats);
+    st.in_flight -= 1;
+    st.completed += 1;
+}
+
+/// Compliant twin: settle in a closed lock scope, then publish.
+fn finish_query_settled(job: &Job, verdict: Verdict) {
+    let terminal = terminal_of(verdict);
+    {
+        let mut st = lock(&job.stats);
+        st.in_flight -= 1;
+        st.completed += 1;
+    }
+    let _ = job.results.push_deadline(Msg::End(terminal), job.grace);
+}
+
+/// Seeded: queue insertion precedes the `admitted` bump.
+fn submit_rushed(&self, job: Job) {
+    self.jobs.push(job);
+    let mut st = lock(&self.stats);
+    st.admitted += 1;
+    st.in_flight += 1;
+}
+
+/// Compliant twin: open the books, then make the job visible.
+fn submit_booked(&self, job: Job) {
+    {
+        let mut st = lock(&self.stats);
+        st.admitted += 1;
+        st.in_flight += 1;
+    }
+    self.jobs.push(job);
+}

@@ -1,0 +1,79 @@
+//! Seeded violation: **resource-pairing**.
+//!
+//! Error-path pairing failures on the admission fast path, mapped into
+//! a server-scoped path by the self-tests. `submit_sloppy` wins a gate
+//! credit and opens the books, then returns `Overloaded` on queue
+//! rejection without releasing the credit or rolling the counters
+//! back: one leaked credit and two drifting counters per shed request.
+//! `charge_sloppy` discards a `BufferPool` lease the moment it is
+//! granted, so the page charge it represents covers nothing.
+//! `submit_paired` and `charge_bound` are the compliant twins.
+
+/// Seeded: credit + both counter bumps leak on the push-failure path.
+fn submit_sloppy(&self, job: Job) -> Result<(), ServerError> {
+    match self.gate.acquire_timeout(self.cfg.admission_timeout) {
+        TryAcquire::Granted => {}
+        TryAcquire::Exhausted => {
+            return Err(ServerError::Overloaded { retry_after_ms: 10 });
+        }
+        TryAcquire::Closed => {
+            return Err(ServerError::Shutdown);
+        }
+    }
+    {
+        let mut st = lock(&self.stats);
+        st.admitted += 1;
+        st.in_flight += 1;
+    }
+    if self.jobs.push_deadline(job, self.deadline).is_err() {
+        return Err(ServerError::Overloaded { retry_after_ms: 10 });
+    }
+    Ok(())
+}
+
+/// Compliant twin: the push-failure arm releases the credit and calls
+/// the rollback helper before surfacing the shed.
+fn submit_paired(&self, job: Job) -> Result<(), ServerError> {
+    match self.gate.acquire_timeout(self.cfg.admission_timeout) {
+        TryAcquire::Granted => {}
+        TryAcquire::Exhausted => {
+            return Err(ServerError::Overloaded { retry_after_ms: 10 });
+        }
+        TryAcquire::Closed => {
+            return Err(ServerError::Shutdown);
+        }
+    }
+    {
+        let mut st = lock(&self.stats);
+        st.admitted += 1;
+        st.in_flight += 1;
+    }
+    if self.jobs.push_deadline(job, self.deadline).is_err() {
+        self.gate.release();
+        self.unadmit();
+        return Err(ServerError::Overloaded { retry_after_ms: 10 });
+    }
+    Ok(())
+}
+
+/// Rollback helper the call graph resolves for `submit_paired`.
+fn unadmit(&self) {
+    let mut st = lock(&self.stats);
+    st.admitted -= 1;
+    st.in_flight -= 1;
+}
+
+/// Seeded: the lease from `reserve` is dropped by this very statement.
+fn charge_sloppy(&self, pages: u64) -> Result<(), ServerError> {
+    self.pool.reserve(pages)?;
+    run_query(pages);
+    Ok(())
+}
+
+/// Compliant twin: the lease is bound, so the page charge lives for
+/// exactly as long as the work it covers.
+fn charge_bound(&self, pages: u64) -> Result<(), ServerError> {
+    let _lease = self.pool.reserve(pages)?;
+    run_query(pages);
+    Ok(())
+}

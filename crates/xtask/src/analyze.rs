@@ -1,16 +1,17 @@
 //! Dataflow lints over the parsed workspace model of [`crate::model`].
 //!
-//! Seven lint families that need statement order and scope, which the
-//! token scan of [`crate::lints`] cannot express. The first four are
-//! intraprocedural; the last three ride the workspace call graph of
+//! Nine lint families that need statement order, scope, or paths, which
+//! the token scan of [`crate::lints`] cannot express. Families 1, 8,
+//! and 9 run on per-function control-flow graphs ([`crate::cfg`],
+//! DESIGN.md §15); families 5–9 ride the workspace call graph of
 //! [`crate::callgraph`] (DESIGN.md §13):
 //!
-//! 1. **page-leak** — intraprocedural escape analysis over `HeapFile`
-//!    creation. An *owned* (non-temp) heap file — a direct
-//!    `HeapFile::create` or a temp binding that has been `persist()`ed —
-//!    must reach a consumer (moved out, returned, `mark_temp`,
-//!    `delete`) on every path. A `?`/`return` while one is live, or
-//!    falling off the end of its scope, orphans its pages: the static
+//! 1. **page-leak** — CFG escape analysis over `HeapFile` creation. An
+//!    *owned* (non-temp) heap file — a direct `HeapFile::create` or a
+//!    temp binding that has been `persist()`ed — must reach a consumer
+//!    (moved out, returned, `mark_temp`, `delete`) on every path. An
+//!    error edge (`?`/`return Err`) while one is live, or reaching its
+//!    scope end unconsumed on any path, orphans its pages: the static
 //!    twin of the fault-injection `allocated_pages() == 0` check
 //!    (DESIGN.md §9). Temp files are RAII-safe (`Drop` deletes them) and
 //!    are deliberately not tracked.
@@ -36,7 +37,9 @@
 //!    `CancelToken` within a bounded stride, directly or via a callee
 //!    that may poll (PR 2's "poll every 256 records" contract). A loop
 //!    that fetches records but can never reach a poll starves
-//!    cancellation.
+//!    cancellation. The CFG recheck also catches the path-sensitive
+//!    variant: a `continue` edge that skips every poll in a loop that
+//!    otherwise polls.
 //! 6. **guard-into-spawn** / **blocking-under-lock** — thread-capture
 //!    and blocking discipline: a `MutexGuard` held at a `spawn(` site,
 //!    a condvar `wait(` that does not name (and hence cannot release)
@@ -49,12 +52,32 @@
 //!    `snapshot`/`absorb`/`reset`/`plus` hops, and the downstream
 //!    sinks (bench gate report, xtask report parser). A counter
 //!    dropped at any hop is a silently-lost statistic.
+//! 8. **resource-pairing** — path-sensitive pairing of acquire-shaped
+//!    effects: a `Backpressure` credit (`.acquire(` /
+//!    `.acquire_timeout(` / `.try_acquire(`) must be `.release()`d —
+//!    directly, via a callee known to release it, or discharged by a
+//!    failure match arm that never granted — on every error exit; a
+//!    paired admission counter bump (`admitted`/`in_flight` `+=`) must
+//!    be debited or rolled back (`unadmit`-style callees count) on
+//!    every error exit; a `BufferPool` lease must be *bound*, not
+//!    discarded in the statement that reserves it. Success exits are
+//!    exempt: credits and books legitimately outlive the function
+//!    (released by the worker that consumes the handed-off work), and
+//!    `Drop` carriers discharge obligations on unwind.
+//! 9. **books-before-visibility** — dominance ordering inside a
+//!    function: verdict-counter settlement must dominate the terminal
+//!    `Msg::End` publish, and admission bookkeeping must dominate
+//!    queue insertion, so no observer (client draining results, stats
+//!    snapshot) can see state the books don't yet account for — the
+//!    ordering that fixed PR 7's underflow deadlock, as a ratchet.
 //!
 //! All findings flow into the same `lint-baseline.txt` ratchet as the
 //! token lints, and `cargo xtask analyze --sarif` renders them as SARIF
-//! for CI code-scanning annotations.
+//! for CI code-scanning annotations (`cargo xtask analyze --explain
+//! <rule-id>` prints the per-rule help).
 
 use crate::callgraph::{self, resolvable_calls, CallGraph, POLL_TOKENS};
+use crate::cfg::{self, Cfg, EdgeKind, NodeKind, EXIT_ERR, EXIT_OK};
 use crate::lints::{has_token, Finding, HOT_PATHS, PANIC_TOKENS};
 use crate::model::{file_model, word_hits, Block, FileModel, FnModel};
 use crate::scan::CleanSource;
@@ -119,6 +142,31 @@ const BLOCKING_METHODS: &[&str] = &[".push(", ".pop(", ".acquire("];
 const METRICS_PATH: &str = "crates/core/src/metrics.rs";
 const COUNTER_SINKS: &[&str] = &["crates/bench/src/gate.rs", "crates/xtask/src/bench.rs"];
 
+/// Directories under the resource-pairing and books-before-visibility
+/// contracts: everywhere credits, leases, and admission counters move.
+const PAIR_DIRS: &[&str] = &[
+    "crates/server/src",
+    "crates/exec/src",
+    "crates/core/src/external",
+    "crates/core/src/planner.rs",
+    "crates/core/src/par.rs",
+    "crates/storage/src",
+    "crates/query/src",
+];
+
+/// Admission counters that must pair a bump with a debit/rollback on
+/// every error exit (the `SessionStats::conserved()` invariant).
+pub(crate) const PAIRED_COUNTERS: &[&str] = &["admitted", "in_flight"];
+
+/// Credit-granting method calls whose grant must reach a `.release()`.
+const ACQUIRE_TOKENS: &[&str] = &[".acquire(", ".acquire_timeout(", ".try_acquire("];
+
+/// Match-arm pattern fragments that mean the acquire did NOT grant —
+/// the arm discharges the obligation. A pattern is only a failure arm
+/// when it has one of these and none of [`SUCCESS_ARMS`].
+const FAILURE_ARMS: &[&str] = &["Exhausted", "Closed", "TimedOut", "Err(", "None"];
+const SUCCESS_ARMS: &[&str] = &["Granted", "Ok("];
+
 /// Paths whose functions are all test/bench scaffolding.
 pub(crate) fn is_test_path(path: &str) -> bool {
     path.starts_with("tests/")
@@ -130,6 +178,52 @@ pub(crate) fn is_test_path(path: &str) -> bool {
 
 fn under(path: &str, dirs: &[&str]) -> bool {
     dirs.iter().any(|d| path.starts_with(d))
+}
+
+/// Does `text` apply compound-assignment `op` to a field/binding named
+/// `name`? (`st.admitted += 1` → `bumps(text, "admitted", "+=")`.)
+pub(crate) fn bumps(text: &str, name: &str, op: &str) -> bool {
+    word_hits(text, name)
+        .iter()
+        .any(|&at| text[at + name.len()..].trim_start().starts_with(op))
+}
+
+/// The paired admission counters `text` debits (`-=`). Feeds the call
+/// graph's rollback summaries.
+pub(crate) fn paired_counter_debits(text: &str) -> BTreeSet<String> {
+    PAIRED_COUNTERS
+        .iter()
+        .filter(|c| bumps(text, c, "-="))
+        .map(|c| (*c).to_string())
+        .collect()
+}
+
+/// Receiver bases of every `method` call in `text`: the final
+/// `.`-component of the identifier chain before it (`sh.gate.release()`
+/// → `gate`).
+pub(crate) fn method_bases(text: &str, method: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut from = 0;
+    while let Some(p) = text[from..].find(method) {
+        let at = from + p;
+        from = at + method.len();
+        let chain: String = text[..at]
+            .chars()
+            .rev()
+            .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
+            .collect();
+        let chain: String = chain.chars().rev().collect();
+        let base = chain.rsplit('.').next().unwrap_or("");
+        if !base.is_empty()
+            && base
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            out.insert(base.to_string());
+        }
+    }
+    out
 }
 
 /// Run every dataflow lint over the cleaned workspace files.
@@ -172,23 +266,16 @@ pub fn analyze_files(files: &[(String, CleanSource)]) -> Vec<Finding> {
                 }
             }
             if under(&m.path, LEAK_DIRS) && !f.in_drop_impl {
-                let temp_bindings = temp_bindings_of(body);
-                let mut live = Vec::new();
-                leak_scan(&m.path, &f.name, body, &temp_bindings, &mut live, &mut out);
-                for b in live {
-                    out.push(Finding {
-                        lint: "page-leak",
-                        file: m.path.clone(),
-                        line: b.line,
-                        excerpt: format!(
-                            "owned HeapFile `{}` in `{}` is dropped at end of scope without persist/mark_temp/delete",
-                            b.name, f.name
-                        ),
-                    });
-                }
+                heap_pairing(&m.path, &f.name, f, body, &mut out);
+            }
+            if under(&m.path, PAIR_DIRS) && !f.in_drop_impl {
+                pairing_lint(&m.path, &f.name, f, &graph, &mut out);
+                books_lint(&m.path, &f.name, f, &mut out);
+                reserve_discard(&m.path, &f.name, body, &mut out);
             }
             if under(&m.path, CANCEL_SCOPE) && cancel_aware(f, body) {
                 cancel_liveness(&m.path, &f.name, body, &graph, &mut out);
+                cancel_continue(&m.path, &f.name, f, &graph, &mut out);
             }
             let recv = blocking_receivers(f, body);
             let mut held = Vec::new();
@@ -286,11 +373,6 @@ pub(crate) fn calls_in(text: &str) -> Vec<String> {
 
 // ------------------------------------------------------------ page-leak
 
-struct Tracked {
-    name: String,
-    line: usize,
-}
-
 /// Names `let`-bound to a temp heap file anywhere in the function —
 /// a later `persist()` on one of these re-arms leak tracking.
 fn temp_bindings_of(block: &Block) -> BTreeSet<String> {
@@ -312,76 +394,127 @@ fn collect_temp_bindings(block: &Block, set: &mut BTreeSet<String>) {
     }
 }
 
-/// Walk one block; `live` is the set of owned heap-file bindings in
-/// scope. Outer bindings see hazards inside nested blocks through the
-/// composite statement text, so recursion only opens fresh scopes for
-/// allocations made inside them.
-fn leak_scan(
-    path: &str,
-    fn_name: &str,
-    block: &Block,
-    temp_bindings: &BTreeSet<String>,
-    live: &mut Vec<Tracked>,
-    out: &mut Vec<Finding>,
-) {
-    for stmt in &block.stmts {
-        let text = stmt.text_all();
-        let hazard = text.contains('?') || !word_hits(&text, "return").is_empty();
-        let mut i = 0;
-        while i < live.len() {
-            if consumes(&text, &live[i].name) {
-                live.remove(i);
-            } else if hazard {
-                // a `?`/return leaks every live owned file, whether or
-                // not the statement names it
-                let b = live.remove(i);
-                out.push(Finding {
-                    lint: "page-leak",
-                    file: path.to_string(),
-                    line: b.line,
-                    excerpt: format!(
-                        "owned HeapFile `{}` in `{}` is live across a fallible `?`/return at line {} — its pages leak on the error path",
-                        b.name, fn_name, stmt.line
-                    ),
-                });
-            } else {
-                i += 1;
-            }
+/// One owned-heap-file obligation: `name` bound at `node`, owed a
+/// consumer before the error exit / its scope end.
+struct HeapOb {
+    name: String,
+    line: usize,
+    block: usize,
+}
+
+/// CFG escape analysis over owned heap files (the PR 3 lint, upgraded
+/// from statement heuristics to dataflow): gen an obligation at every
+/// owned allocation (`HeapFile::create` / `Self::create`, or `persist()`
+/// of a temp binding), kill it wherever [`consumes`] moves the binding
+/// into a consumer and at its scope end; any obligation carried into
+/// the error exit or still live at a scope end is a leak. Panic edges
+/// are deliberately inert here for parity with the runtime contract:
+/// the fault-injection suite checks `allocated_pages()==0` after
+/// unwind via `Drop` carriers, and files a `Drop` can't see were
+/// already flagged on the non-panic paths.
+fn heap_pairing(path: &str, fn_name: &str, f: &FnModel, body: &Block, out: &mut Vec<Finding>) {
+    let Some(cfg) = cfg::build(f) else { return };
+    let temps = temp_bindings_of(body);
+    let mut obs: Vec<HeapOb> = Vec::new();
+    let mut gen = vec![0u64; cfg.nodes.len()];
+    for (i, n) in cfg.nodes.iter().enumerate() {
+        if n.kind != NodeKind::Stmt || obs.len() == 64 {
+            continue;
         }
-        // new owned allocation: direct non-temp create
-        if let Some(name) = let_binding(&stmt.head) {
-            if (has_token(&text, "HeapFile::create(") || has_token(&text, "Self::create("))
-                && !text.contains("create_temp(")
+        if let Some(name) = let_binding(&n.text) {
+            if (has_token(&n.text, "HeapFile::create(") || has_token(&n.text, "Self::create("))
+                && !n.text.contains("create_temp(")
             {
-                live.push(Tracked {
+                gen[i] |= 1 << obs.len();
+                obs.push(HeapOb {
                     name,
-                    line: stmt.line,
+                    line: n.line,
+                    block: n.block_id,
                 });
+                continue;
             }
         }
         // persist() turns a temp binding into an owned one
-        if let Some(name) = persist_target(&stmt.head) {
-            if temp_bindings.contains(&name) && !live.iter().any(|t| t.name == name) {
-                live.push(Tracked {
+        if let Some(name) = persist_target(&n.text) {
+            if temps.contains(&name) {
+                gen[i] |= 1 << obs.len();
+                obs.push(HeapOb {
                     name,
-                    line: stmt.line,
+                    line: n.line,
+                    block: n.block_id,
                 });
             }
         }
-        for b in &stmt.blocks {
-            let mut inner = Vec::new();
-            leak_scan(path, fn_name, b, temp_bindings, &mut inner, out);
-            for t in inner {
-                out.push(Finding {
-                    lint: "page-leak",
-                    file: path.to_string(),
-                    line: t.line,
-                    excerpt: format!(
-                        "owned HeapFile `{}` in `{}` is dropped at end of scope without persist/mark_temp/delete",
-                        t.name, fn_name
-                    ),
-                });
+    }
+    if obs.is_empty() {
+        return;
+    }
+    let mut kill = vec![0u64; cfg.nodes.len()];
+    for (i, n) in cfg.nodes.iter().enumerate() {
+        for (b, ob) in obs.iter().enumerate() {
+            match n.kind {
+                NodeKind::Stmt if consumes(&n.text, &ob.name) => {
+                    kill[i] |= 1 << b;
+                }
+                // the function-body scope end (block 0) is the
+                // catch-all: obligations that escaped an inner scope
+                // via a break/continue edge still die — and report —
+                // here
+                NodeKind::ScopeEnd if n.block_id == ob.block || n.block_id == 0 => {
+                    kill[i] |= 1 << b;
+                }
+                _ => {}
             }
+        }
+    }
+    let r = cfg::reach(&cfg, &gen, &kill);
+    // hazard candidates: obligations carried into an exit edge
+    let mut hazard: Vec<Option<usize>> = vec![None; obs.len()];
+    let mut scoped = vec![false; obs.len()];
+    for (p, n) in cfg.nodes.iter().enumerate() {
+        for &(t, k) in &cfg.succs[p] {
+            let set = match (t, k) {
+                (EXIT_ERR, EdgeKind::Err) => cfg::edge_set(&r, &kill, p, k),
+                // early `return` while live (scope ends never carry:
+                // their kill already settled the books)
+                (EXIT_OK | EXIT_ERR, EdgeKind::Seq) if n.kind == NodeKind::Stmt => r.outs[p],
+                _ => continue,
+            };
+            for (b, h) in hazard.iter_mut().enumerate() {
+                if set >> b & 1 == 1 && h.is_none_or(|line| n.line < line) {
+                    *h = Some(n.line);
+                }
+            }
+        }
+        if n.kind == NodeKind::ScopeEnd {
+            for (b, ob) in obs.iter().enumerate() {
+                if (n.block_id == ob.block || n.block_id == 0) && r.ins[p] >> b & 1 == 1 {
+                    scoped[b] = true;
+                }
+            }
+        }
+    }
+    for (b, ob) in obs.iter().enumerate() {
+        if let Some(at) = hazard[b] {
+            out.push(Finding {
+                lint: "page-leak",
+                file: path.to_string(),
+                line: ob.line,
+                excerpt: format!(
+                    "owned HeapFile `{}` in `{}` is live across a fallible `?`/return at line {} — its pages leak on the error path",
+                    ob.name, fn_name, at
+                ),
+            });
+        } else if scoped[b] {
+            out.push(Finding {
+                lint: "page-leak",
+                file: path.to_string(),
+                line: ob.line,
+                excerpt: format!(
+                    "owned HeapFile `{}` in `{}` is dropped at end of scope without persist/mark_temp/delete",
+                    ob.name, fn_name
+                ),
+            });
         }
     }
 }
@@ -448,6 +581,244 @@ fn persist_target(head: &str) -> Option<String> {
         None
     } else {
         Some(name)
+    }
+}
+
+// ----------------------------------------------------- resource-pairing
+
+/// One acquire-shaped obligation tracked by [`pairing_lint`].
+enum PairOb {
+    /// A `Backpressure`-style credit on receiver base `String`.
+    Credit(String),
+    /// A paired admission counter bump.
+    Counter(&'static str),
+}
+
+/// Path-sensitive pairing of credits and admission counters: an
+/// obligation gen'd at an acquire/bump must be killed — released,
+/// debited, rolled back via a callee the call graph knows about, or
+/// discharged by a non-granting failure arm — before every *error*
+/// exit. Success exits are exempt (credits legitimately outlive the
+/// function inside returned handles; the worker settles them), and
+/// panic edges are exempt (`Drop` carriers discharge on unwind).
+fn pairing_lint(path: &str, fn_name: &str, f: &FnModel, graph: &CallGraph, out: &mut Vec<Finding>) {
+    let Some(cfg) = cfg::build(f) else { return };
+    let mut obs: Vec<(PairOb, usize, usize)> = Vec::new(); // ob, line, gen node
+    let mut gen = vec![0u64; cfg.nodes.len()];
+    for (i, n) in cfg.nodes.iter().enumerate() {
+        if n.kind != NodeKind::Stmt || n.exempt {
+            continue;
+        }
+        let mut bases = BTreeSet::new();
+        for tok in ACQUIRE_TOKENS {
+            bases.extend(method_bases(&n.text, tok));
+        }
+        for base in bases {
+            if obs.len() < 64 {
+                gen[i] |= 1 << obs.len();
+                obs.push((PairOb::Credit(base), n.line, i));
+            }
+        }
+        for c in PAIRED_COUNTERS {
+            if bumps(&n.text, c, "+=") && obs.len() < 64 {
+                gen[i] |= 1 << obs.len();
+                obs.push((PairOb::Counter(c), n.line, i));
+            }
+        }
+    }
+    if obs.is_empty() {
+        return;
+    }
+    let mut kill = vec![0u64; cfg.nodes.len()];
+    for (i, n) in cfg.nodes.iter().enumerate() {
+        if n.kind != NodeKind::Stmt {
+            continue;
+        }
+        let calls = resolvable_calls(&n.text);
+        for (b, (ob, _, gen_node)) in obs.iter().enumerate() {
+            let killed = match ob {
+                PairOb::Credit(base) => {
+                    method_bases(&n.text, ".release(").contains(base)
+                        || calls
+                            .iter()
+                            .any(|c| graph.releases(c).is_some_and(|s| s.contains(base)))
+                        || failure_arm(&cfg, i, *gen_node)
+                }
+                PairOb::Counter(c) => {
+                    bumps(&n.text, c, "-=")
+                        || calls
+                            .iter()
+                            .any(|c2| graph.rolls_back(c2).is_some_and(|s| s.contains(*c)))
+                }
+            };
+            if killed {
+                kill[i] |= 1 << b;
+            }
+        }
+    }
+    let r = cfg::reach(&cfg, &gen, &kill);
+    let mut err_at: Vec<Option<usize>> = vec![None; obs.len()];
+    for (p, n) in cfg.nodes.iter().enumerate() {
+        if n.kind != NodeKind::Stmt {
+            continue;
+        }
+        for &(t, k) in &cfg.succs[p] {
+            if t != EXIT_ERR || k == EdgeKind::Panic {
+                continue;
+            }
+            let set = cfg::edge_set(&r, &kill, p, k);
+            for (b, h) in err_at.iter_mut().enumerate() {
+                if set >> b & 1 == 1 && h.is_none_or(|line| n.line < line) {
+                    *h = Some(n.line);
+                }
+            }
+        }
+    }
+    for (b, (ob, line, _)) in obs.iter().enumerate() {
+        let Some(at) = err_at[b] else { continue };
+        let excerpt = match ob {
+            PairOb::Credit(base) => format!(
+                "credit acquired from `{base}` in `{fn_name}` is not released on the error path exiting at line {at} — pair it with `.release()` or a failure-arm discharge"
+            ),
+            PairOb::Counter(c) => format!(
+                "counter `{c}` bumped in `{fn_name}` is not rolled back on the error path exiting at line {at} — admission books drift on shed/error"
+            ),
+        };
+        out.push(Finding {
+            lint: "resource-pairing",
+            file: path.to_string(),
+            line: *line,
+            excerpt,
+        });
+    }
+}
+
+/// Is node `i` a match arm of the statement at `gen_node` whose pattern
+/// can only mean the acquire did NOT grant? Such an arm discharges the
+/// credit obligation — there is nothing to release.
+fn failure_arm(cfg: &Cfg, i: usize, gen_node: usize) -> bool {
+    let n = &cfg.nodes[i];
+    if n.arm_of != Some(gen_node) {
+        return false;
+    }
+    let Some(pat) = n.text.split("=>").next() else {
+        return false;
+    };
+    FAILURE_ARMS.iter().any(|t| pat.contains(t)) && !SUCCESS_ARMS.iter().any(|t| pat.contains(t))
+}
+
+/// A `BufferPool::reserve` lease discarded in the statement that
+/// created it returns the page charge immediately — the work it was
+/// supposed to cover runs unaccounted. Flags `let _ = …reserve(…)` and
+/// bare `pool.reserve(…)?;` statements; binding the lease (even to
+/// `_lease`) keeps the charge alive and is clean.
+fn reserve_discard(path: &str, fn_name: &str, block: &Block, out: &mut Vec<Finding>) {
+    for stmt in &block.stmts {
+        if !stmt.exempt {
+            if let Some(at) = stmt.head.find(".reserve(") {
+                let head = stmt.head.trim_start();
+                let discards = head.starts_with("let _ =") || head.starts_with("let _:");
+                let before = stmt.head[..at].trim_start();
+                let bare = !before.is_empty()
+                    && before
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || c == '_' || c == '.');
+                if discards || bare {
+                    out.push(Finding {
+                        lint: "resource-pairing",
+                        file: path.to_string(),
+                        line: stmt.line,
+                        excerpt: format!(
+                            "BufferPool lease reserved in `{fn_name}` is discarded by this statement — bind it so the page charge lives as long as the work it covers"
+                        ),
+                    });
+                }
+            }
+        }
+        for b in &stmt.blocks {
+            reserve_discard(path, fn_name, b, out);
+        }
+    }
+}
+
+// ----------------------------------------------- books-before-visibility
+
+/// Dominance ordering of bookkeeping against visibility: in any
+/// function that both settles verdict counters and publishes a terminal
+/// `Msg::End`, every publish must be dominated by a settlement (a
+/// client that saw the end-of-stream must find settled books); in any
+/// function that both bumps `admitted` and inserts into the work queue,
+/// every insertion must be dominated by a bump (a worker that popped
+/// the job must find it admitted). Exactly the ordering whose violation
+/// produced PR 7's underflow deadlock.
+fn books_lint(path: &str, fn_name: &str, f: &FnModel, out: &mut Vec<Finding>) {
+    let Some(cfg) = cfg::build(f) else { return };
+    let stmts: Vec<usize> = cfg
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.kind == NodeKind::Stmt && !n.exempt)
+        .map(|(i, _)| i)
+        .collect();
+    let settles: Vec<usize> = stmts
+        .iter()
+        .copied()
+        .filter(|&i| {
+            let t = &cfg.nodes[i].text;
+            bumps(t, "completed", "+=")
+                || bumps(t, "cancelled", "+=")
+                || bumps(t, "failed", "+=")
+                || bumps(t, "in_flight", "-=")
+        })
+        .collect();
+    let publishes: Vec<usize> = stmts
+        .iter()
+        .copied()
+        .filter(|&i| cfg.nodes[i].text.contains("Msg::End"))
+        .collect();
+    let admits: Vec<usize> = stmts
+        .iter()
+        .copied()
+        .filter(|&i| bumps(&cfg.nodes[i].text, "admitted", "+="))
+        .collect();
+    let enqueues: Vec<usize> = stmts
+        .iter()
+        .copied()
+        .filter(|&i| cfg.nodes[i].text.contains("jobs.push"))
+        .collect();
+    let r1 = !settles.is_empty() && !publishes.is_empty();
+    let r2 = !admits.is_empty() && !enqueues.is_empty();
+    if !r1 && !r2 {
+        return;
+    }
+    let doms = cfg::dominators(&cfg);
+    if r1 {
+        for &p in &publishes {
+            if !settles.iter().any(|&s| cfg::dominates(&doms, s, p)) {
+                out.push(Finding {
+                    lint: "books-before-visibility",
+                    file: path.to_string(),
+                    line: cfg.nodes[p].line,
+                    excerpt: format!(
+                        "terminal `Msg::End` publish in `{fn_name}` is not dominated by counter settlement — a client can observe end-of-stream before the books settle"
+                    ),
+                });
+            }
+        }
+    }
+    if r2 {
+        for &e in &enqueues {
+            if !admits.iter().any(|&a| cfg::dominates(&doms, a, e)) {
+                out.push(Finding {
+                    lint: "books-before-visibility",
+                    file: path.to_string(),
+                    line: cfg.nodes[e].line,
+                    excerpt: format!(
+                        "queue insertion in `{fn_name}` is not dominated by the `admitted` bump — a worker can settle books that were never opened"
+                    ),
+                });
+            }
+        }
     }
 }
 
@@ -851,6 +1222,67 @@ fn cancel_liveness(
         }
         for b in &stmt.blocks {
             cancel_liveness(path, fn_name, b, graph, out);
+        }
+    }
+}
+
+/// The CFG recheck of cancel-liveness: in a record-driven loop that
+/// *does* contain a poll (so the flat lint is satisfied), a `continue`
+/// reachable from the loop header without passing any poll node starves
+/// cancellation on that path — records keep flowing while every
+/// iteration short-circuits around the poll.
+fn cancel_continue(
+    path: &str,
+    fn_name: &str,
+    f: &FnModel,
+    graph: &CallGraph,
+    out: &mut Vec<Finding>,
+) {
+    let Some(cfg) = cfg::build(f) else { return };
+    let is_poll = |n: &cfg::Node| {
+        POLL_TOKENS.iter().any(|t| has_token(&n.text, t))
+            || calls_in(&n.text).iter().any(|c| graph.may_poll(c))
+    };
+    for lp in &cfg.loops {
+        let header = &cfg.nodes[lp.header];
+        if header.exempt || lp.continues.is_empty() || is_poll(header) {
+            continue;
+        }
+        let body_text: String = (lp.body.0..lp.body.1)
+            .map(|i| cfg.nodes[i].text.as_str())
+            .chain([header.text.as_str()])
+            .collect::<Vec<_>>()
+            .join(" ");
+        if !RECORD_TOKENS.iter().any(|t| body_text.contains(t)) {
+            continue;
+        }
+        let stop: Vec<bool> = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (lp.body.0..lp.body.1).contains(&i) && is_poll(n))
+            .collect();
+        let any_poll = stop.iter().any(|&s| s);
+        if !any_poll {
+            continue; // the flat lint already owns the no-poll case
+        }
+        let starts: Vec<usize> = cfg.succs[lp.header]
+            .iter()
+            .filter(|&&(t, k)| t != lp.join && matches!(k, EdgeKind::Seq | EdgeKind::Back))
+            .map(|&(t, _)| t)
+            .collect();
+        let seen = cfg.reach_avoiding(&starts, &stop);
+        for &c in &lp.continues {
+            if seen[c] && !stop[c] && !cfg.nodes[c].exempt {
+                out.push(Finding {
+                    lint: "cancel-liveness",
+                    file: path.to_string(),
+                    line: cfg.nodes[c].line,
+                    excerpt: format!(
+                        "`continue` in a record-driven loop in `{fn_name}` skips every CancelToken poll — cancellation starves on that path"
+                    ),
+                });
+            }
         }
     }
 }

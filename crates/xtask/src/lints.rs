@@ -152,9 +152,10 @@ fn doc_section_lint(path: &str, cs: &CleanSource, exempt: &[bool], out: &mut Vec
         }
         let docs = doc_block_above(cs, li);
         let (sig, body_start) = signature_of(&cs.code, li);
+        // `has_token` so `RunResult`/`BenchResult` returns don't count
         let returns_result = sig
             .split_once("->")
-            .is_some_and(|(_, ret)| ret.contains("Result"));
+            .is_some_and(|(_, ret)| has_token(ret, "Result"));
         if returns_result && !docs.contains("# Errors") {
             out.push(Finding {
                 lint: "doc-sections",

@@ -30,6 +30,7 @@ mod analyze;
 mod baseline;
 mod bench;
 mod callgraph;
+mod cfg;
 mod lints;
 mod model;
 mod oracle;
@@ -285,8 +286,22 @@ fn run_bench(root: &Path, gate: bool, smoke: bool) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: cargo xtask <check|analyze|lint|audit|oracle|bench|ratchet> \
-     [--update-baseline] [--sarif PATH] [--gate] [--smoke] [--base PATH]"
+     [--update-baseline] [--sarif PATH] [--explain RULE-ID] [--gate] [--smoke] [--base PATH]"
         .to_string()
+}
+
+/// `cargo xtask analyze --explain <rule-id>`: print the SARIF help text
+/// for one rule, or list every rule id.
+fn run_explain(rule: &str) -> Result<(), String> {
+    if sarif::RULE_IDS.contains(&rule) {
+        println!("{rule}: {}", sarif::rule_help(rule));
+        return Ok(());
+    }
+    let mut msg = format!("unknown rule id `{rule}` — known rules:\n");
+    for id in sarif::RULE_IDS {
+        msg.push_str(&format!("  {id}: {}\n", sarif::rule_help(id)));
+    }
+    Err(msg)
 }
 
 fn main() -> ExitCode {
@@ -305,21 +320,29 @@ fn main() -> ExitCode {
         .position(|a| a == "--base")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
-    let result = match args.first().map(String::as_str) {
-        Some("analyze") | Some("lint") => run_analysis(&root, update, sarif),
-        Some("ratchet") => match base {
-            Some(b) => run_ratchet(&root, b),
-            None => {
-                Err("ratchet needs --base PATH (the older baseline to compare against)".to_string())
-            }
+    let explain = args
+        .iter()
+        .position(|a| a == "--explain")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let result = match (args.first().map(String::as_str), explain) {
+        (Some("analyze" | "lint"), Some(rule)) => run_explain(rule),
+        (first, _) => match first {
+            Some("analyze") | Some("lint") => run_analysis(&root, update, sarif),
+            Some("ratchet") => match base {
+                Some(b) => run_ratchet(&root, b),
+                None => Err(
+                    "ratchet needs --base PATH (the older baseline to compare against)".to_string(),
+                ),
+            },
+            Some("audit") => run_audit(&root),
+            Some("oracle") => run_oracle(),
+            Some("bench") => run_bench(&root, gate, smoke),
+            Some("check") => run_analysis(&root, false, sarif)
+                .and_then(|()| run_audit(&root))
+                .and_then(|()| run_oracle()),
+            _ => Err(usage()),
         },
-        Some("audit") => run_audit(&root),
-        Some("oracle") => run_oracle(),
-        Some("bench") => run_bench(&root, gate, smoke),
-        Some("check") => run_analysis(&root, false, sarif)
-            .and_then(|()| run_audit(&root))
-            .and_then(|()| run_oracle()),
-        _ => Err(usage()),
     };
     match result {
         Ok(()) => {

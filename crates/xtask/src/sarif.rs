@@ -8,8 +8,9 @@
 use crate::lints::Finding;
 use std::collections::BTreeMap;
 
-/// Per-lint one-line help text, embedded as the rule description.
-fn rule_help(lint: &str) -> &'static str {
+/// Per-lint one-line help text, embedded as the rule description and
+/// printed by `cargo xtask analyze --explain <rule-id>`.
+pub fn rule_help(lint: &str) -> &'static str {
     match lint {
         "hot-path-panic" => {
             "No unwrap/expect/panic-family calls in operator hot paths; return typed errors."
@@ -32,9 +33,32 @@ fn rule_help(lint: &str) -> &'static str {
         "counter-conservation" => {
             "Every SkylineMetrics counter must survive snapshot, absorb, reset, merge, and report sinks."
         }
+        "resource-pairing" => {
+            "Acquired credits, admission-counter bumps, and pool leases must be released, rolled back, or Drop-carried on every error exit path."
+        }
+        "books-before-visibility" => {
+            "Counter settlement must dominate the terminal Msg::End publish, and the admitted bump must dominate queue insertion."
+        }
         _ => "Workspace lint.",
     }
 }
+
+/// Every rule id `--explain` accepts, in rendering order.
+pub const RULE_IDS: &[&str] = &[
+    "hot-path-panic",
+    "raw-io",
+    "doc-sections",
+    "page-leak",
+    "result-discard",
+    "lock-order",
+    "lock-across-io",
+    "cancel-liveness",
+    "guard-into-spawn",
+    "blocking-under-lock",
+    "counter-conservation",
+    "resource-pairing",
+    "books-before-visibility",
+];
 
 /// Render `findings` as a SARIF 2.1.0 document.
 pub fn render(findings: &[Finding]) -> String {
@@ -145,12 +169,21 @@ mod tests {
     }
 
     #[test]
+    fn every_registered_rule_id_has_real_help() {
+        for id in RULE_IDS {
+            assert_ne!(rule_help(id), "Workspace lint.", "{id} lacks help text");
+        }
+    }
+
+    #[test]
     fn concurrency_contract_lints_have_distinct_rules() {
         let lints = [
             "cancel-liveness",
             "guard-into-spawn",
             "blocking-under-lock",
             "counter-conservation",
+            "resource-pairing",
+            "books-before-visibility",
         ];
         let findings: Vec<Finding> = lints
             .iter()

@@ -7,9 +7,10 @@
 //! `src/` (and [`crate::source_files`] skips the directory) so the
 //! deliberate violations never leak into the real baseline; here they
 //! are mapped onto in-scope workspace paths so the path-scoped lints
-//! (cancel-liveness, counter-conservation) see them as production
-//! code. A final test runs the analyzer over the real workspace and
-//! asserts the four new lint families report nothing — the clean-tree
+//! (cancel-liveness, counter-conservation, resource-pairing,
+//! books-before-visibility) see them as production code. A final test
+//! runs the analyzer over the real workspace and asserts the
+//! concurrency-contract lint families report nothing — the clean-tree
 //! guarantee the ratchet depends on.
 
 use crate::analyze::analyze_files;
@@ -21,6 +22,10 @@ const GUARD_INTO_SPAWN: &str = include_str!("../seeded-violations/guard_into_spa
 const BLOCKING_PUSH: &str = include_str!("../seeded-violations/blocking_push_under_lock.rs");
 const TIMEOUT_WAIT: &str = include_str!("../seeded-violations/timeout_wait_under_lock.rs");
 const ORPHAN_COUNTER: &str = include_str!("../seeded-violations/orphan_counter.rs");
+const LEAK_ON_ERROR: &str = include_str!("../seeded-violations/leak_on_error_path.rs");
+const PUBLISH_BEFORE_SETTLE: &str = include_str!("../seeded-violations/publish_before_settle.rs");
+const POLL_SKIPPING_CONTINUE: &str = include_str!("../seeded-violations/poll_skipping_continue.rs");
+const SHED_WITHOUT_ROLLBACK: &str = include_str!("../seeded-violations/shed_without_rollback.rs");
 
 fn run(files: &[(&str, &str)]) -> Vec<Finding> {
     let cleaned: Vec<(String, CleanSource)> = files
@@ -178,12 +183,139 @@ pub fn report_json(s: &MetricsSnapshot) -> String {
 }
 
 #[test]
+fn leak_on_error_path_is_flagged_per_path_and_twins_are_clean() {
+    let findings = run(&[("crates/exec/src/seeded_leak.rs", LEAK_ON_ERROR)]);
+    let hits = of(&findings, "page-leak");
+    assert_eq!(hits.len(), 2, "expected the two seeded leaks: {findings:?}");
+    let hazard = hits
+        .iter()
+        .find(|f| f.excerpt.contains("`spill_all`"))
+        .expect("error-path leak in `spill_all`");
+    assert!(
+        hazard.excerpt.contains("at line 16"),
+        "hazard span must point at the first fallible statement: {hazard:?}"
+    );
+    let scope = hits
+        .iter()
+        .find(|f| f.excerpt.contains("`route`"))
+        .expect("branch-join leak in `route`");
+    assert!(
+        scope.excerpt.contains("end of scope"),
+        "the `!keep` path drops `out` at scope end: {scope:?}"
+    );
+    assert!(
+        !hits.iter().any(|f| {
+            f.excerpt.contains("`spill_all_clean`") || f.excerpt.contains("`route_clean`")
+        }),
+        "temp-first and both-branch twins must stay clean: {hits:?}"
+    );
+}
+
+#[test]
+fn publish_before_settle_and_rushed_enqueue_break_dominance() {
+    let findings = run(&[("crates/server/src/seeded_books.rs", PUBLISH_BEFORE_SETTLE)]);
+    let hits = of(&findings, "books-before-visibility");
+    assert_eq!(
+        hits.len(),
+        2,
+        "expected the early publish and the early enqueue: {findings:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.excerpt.contains("`finish_query`") && f.excerpt.contains("Msg::End")),
+        "publish not dominated by settlement: {hits:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.excerpt.contains("`submit_rushed`")),
+        "enqueue not dominated by the admitted bump: {hits:?}"
+    );
+    assert!(
+        !hits.iter().any(|f| {
+            f.excerpt.contains("`finish_query_settled`") || f.excerpt.contains("`submit_booked`")
+        }),
+        "settle-then-publish and book-then-push twins must stay clean: {hits:?}"
+    );
+}
+
+#[test]
+fn poll_skipping_continue_is_flagged_and_poll_first_twin_is_clean() {
+    let findings = run(&[(
+        "crates/core/src/external/seeded_skip.rs",
+        POLL_SKIPPING_CONTINUE,
+    )]);
+    let hits = of(&findings, "cancel-liveness");
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly the poll-skipping continue: {findings:?}"
+    );
+    assert!(
+        hits[0].excerpt.contains("`drain_skipping`")
+            && hits[0].excerpt.contains("skips every CancelToken poll"),
+        "the path-sensitive recheck owns this finding: {hits:?}"
+    );
+    assert_eq!(
+        hits[0].line, 16,
+        "span must point at the `continue` itself: {hits:?}"
+    );
+    assert!(
+        !hits.iter().any(|f| f.excerpt.contains("`drain_polled`")),
+        "poll-before-skip twin must stay clean: {hits:?}"
+    );
+}
+
+#[test]
+fn shed_without_rollback_leaks_credit_counters_and_lease() {
+    let findings = run(&[("crates/server/src/seeded_shed.rs", SHED_WITHOUT_ROLLBACK)]);
+    let hits = of(&findings, "resource-pairing");
+    assert_eq!(
+        hits.len(),
+        4,
+        "credit + two counters + discarded lease: {findings:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.excerpt.contains("`gate`") && f.excerpt.contains("`submit_sloppy`")),
+        "the gate credit leaks on the push-failure path: {hits:?}"
+    );
+    for counter in ["`admitted`", "`in_flight`"] {
+        assert!(
+            hits.iter()
+                .any(|f| f.excerpt.contains(counter) && f.excerpt.contains("`submit_sloppy`")),
+            "counter {counter} drifts on the shed path: {hits:?}"
+        );
+    }
+    // all three pairing failures exit through the same push-failure
+    // return — the reported error line must be path-accurate
+    assert_eq!(
+        hits.iter()
+            .filter(|f| f.excerpt.contains("at line 29"))
+            .count(),
+        3,
+        "{hits:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.excerpt.contains("`charge_sloppy`") && f.excerpt.contains("lease")),
+        "the bare reserve discards its lease: {hits:?}"
+    );
+    assert!(
+        !hits.iter().any(|f| {
+            f.excerpt.contains("`submit_paired`") || f.excerpt.contains("`charge_bound`")
+        }),
+        "release+rollback and bound-lease twins must stay clean: {hits:?}"
+    );
+}
+
+#[test]
 fn clean_workspace_has_zero_concurrency_contract_findings() {
     const NEW_LINTS: &[&str] = &[
         "cancel-liveness",
         "guard-into-spawn",
         "blocking-under-lock",
         "counter-conservation",
+        "resource-pairing",
+        "books-before-visibility",
     ];
     let root = crate::workspace_root();
     let mut cleaned = Vec::new();
