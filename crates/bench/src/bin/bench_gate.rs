@@ -1,23 +1,29 @@
 //! The parallel-SFS perf gate: run the seed-2003 thread grid and write
 //! the JSON report the regression gate (`cargo xtask bench --gate`)
-//! diffs against the committed `BENCH_pr5.json`.
+//! diffs against the committed `BENCH_pr9.json`.
 //!
 //! ```text
 //! bench_gate [--smoke] [--out PATH]
 //! ```
 //!
-//! Default runs both the `full` (n=100k, d=7, threads 1/2/4) and `smoke`
-//! (n=20k, threads 1/2) sections and enforces the 1.5× speedup gate on
-//! `full`; `--smoke` runs only the small section (CI), where only the
+//! Default runs the `full` (n=100k, d=7, threads 1/2/4) and `smoke`
+//! (n=20k, threads 1/2) row sections plus their columnar twins
+//! (`full-batch`, `smoke-batch`) and enforces the 1.5× speedup gate on
+//! `full`; `--smoke` runs only the small pair (CI), where only the
 //! structural checks (identical skylines, exact metric aggregation,
-//! scalar-vs-block kernel agreement) apply. `--out` defaults to
-//! `BENCH_pr5.json` in the current directory.
+//! scalar-vs-block kernel agreement) apply. Each row/batch pair must
+//! produce a bit-identical skyline, and the batch side must strictly
+//! reduce `rows_materialized` and `bytes_moved` — the columnar
+//! pipeline's reason to exist. `--out` defaults to `BENCH_pr9.json`
+//! in the current directory.
 //!
 //! Both modes also run the session-server gate (closed-loop p50/p99
 //! plus exact admission counters) and emit it as the report's
 //! top-level `"server"` object.
 
-use skyline_bench::gate::{report_json, run_section, GateSection, FULL, SMOKE};
+use skyline_bench::gate::{
+    report_json, run_section, GateSection, FULL, FULL_BATCH, SMOKE, SMOKE_BATCH,
+};
 use skyline_bench::server_gate::{run_server_gate, ServerGateReport};
 use skyline_bench::{ms, save_text, ReportTable};
 use std::process::ExitCode;
@@ -36,6 +42,8 @@ fn print_section(s: &GateSection) {
             "critical-path",
             "extra pages",
             "blocks skipped",
+            "rows mat",
+            "bytes moved",
             "skyline",
             "speedup wall",
             "speedup model",
@@ -50,6 +58,8 @@ fn print_section(s: &GateSection) {
             r.critical_path.to_string(),
             r.extra_pages.to_string(),
             r.blocks_skipped.to_string(),
+            r.rows_materialized.to_string(),
+            r.bytes_moved.to_string(),
             r.skyline.to_string(),
             format!("{:.2}x", s.speedup_wall(r.threads).unwrap_or(0.0)),
             format!("{:.2}x", s.speedup_model(r.threads).unwrap_or(0.0)),
@@ -83,9 +93,50 @@ fn print_server(sv: &ServerGateReport) {
     t.print();
 }
 
+/// Each row section and its `-batch` twin must agree bit-for-bit on the
+/// skyline while the batch side strictly reduces data movement.
+fn check_pairs(sections: &[GateSection]) -> Result<(), String> {
+    let find = |label: &str| sections.iter().find(|s| s.spec.label == label);
+    for (row_label, batch_label) in [("full", "full-batch"), ("smoke", "smoke-batch")] {
+        let (Some(row), Some(batch)) = (find(row_label), find(batch_label)) else {
+            continue;
+        };
+        for rr in &row.runs {
+            let Some(br) = batch.runs.iter().find(|b| b.threads == rr.threads) else {
+                return Err(format!(
+                    "`{batch_label}` has no threads={} run to pair with `{row_label}`",
+                    rr.threads
+                ));
+            };
+            if (br.skyline, br.checksum) != (rr.skyline, rr.checksum) {
+                return Err(format!(
+                    "`{batch_label}` threads={}: skyline ({}, {:#018x}) differs from \
+                     `{row_label}` ({}, {:#018x})",
+                    rr.threads, br.skyline, br.checksum, rr.skyline, rr.checksum
+                ));
+            }
+            if br.rows_materialized >= rr.rows_materialized {
+                return Err(format!(
+                    "`{batch_label}` threads={}: rows_materialized {} does not beat \
+                     `{row_label}`'s {}",
+                    rr.threads, br.rows_materialized, rr.rows_materialized
+                ));
+            }
+            if br.bytes_moved >= rr.bytes_moved {
+                return Err(format!(
+                    "`{batch_label}` threads={}: bytes_moved {} does not beat \
+                     `{row_label}`'s {}",
+                    rr.threads, br.bytes_moved, rr.bytes_moved
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut smoke_only = false;
-    let mut out = String::from("BENCH_pr5.json");
+    let mut out = String::from("BENCH_pr9.json");
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -109,9 +160,9 @@ fn main() -> ExitCode {
     }
 
     let specs = if smoke_only {
-        vec![SMOKE]
+        vec![SMOKE, SMOKE_BATCH]
     } else {
-        vec![FULL, SMOKE]
+        vec![FULL, SMOKE, FULL_BATCH, SMOKE_BATCH]
     };
     let mut sections = Vec::new();
     for spec in &specs {
@@ -124,6 +175,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         sections.push(s);
+    }
+    if let Err(e) = check_pairs(&sections) {
+        eprintln!("bench gate FAILED: {e}");
+        return ExitCode::FAILURE;
     }
     let server = run_server_gate();
     print_server(&server);

@@ -28,11 +28,28 @@
 //! window ([`SfsConfig::with_scalar_window`]) and asserts the skyline is
 //! bit-identical to the block kernel's, and reports the new block-kernel
 //! counters (`blocks_skipped`, `lanes_compared`) per run.
+//!
+//! # Batch sections
+//!
+//! Sections with [`GateSpec::batch`] set run the same workload through
+//! the columnar pipeline instead: [`skyline_core::batch_presort`] over
+//! narrow key entries, then [`skyline_core::parallel_batch_filter`]
+//! (strided batch SFS workers, prefix merge, late materialization of
+//! the wide rows at emission). Batch runs report the pipeline-wide
+//! movement counters `batches`, `rows_materialized`, and `bytes_moved`
+//! measured by [`SkylineMetrics`]; row runs report analytically derived
+//! equivalents (the row operators move whole records at every stage),
+//! so `cargo xtask bench --gate` can assert the columnar pipeline
+//! strictly reduces data movement at an identical skyline.
 
 use crate::harness::Dataset;
 use skyline_core::planner::presort_threaded;
 use skyline_core::score::SortOrder;
-use skyline_core::{parallel_sfs_filter, MetricsSnapshot, SfsConfig, SkylineMetrics, SkylineSpec};
+use skyline_core::{
+    batch_presort, parallel_batch_filter, parallel_sfs_filter, BatchConfig, KeySumScore,
+    MetricsSnapshot, SfsConfig, SkylineMetrics, SkylineSpec,
+};
+use skyline_exec::NarrowLayout;
 use skyline_storage::Disk;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -57,6 +74,8 @@ pub struct GateSpec {
     pub window_pages: usize,
     /// Thread counts to sweep, ascending, starting at 1.
     pub threads: &'static [usize],
+    /// Run the columnar batch pipeline instead of the row pipeline.
+    pub batch: bool,
 }
 
 /// The acceptance-criteria grid: d=7, n=100k, entropy presort.
@@ -66,6 +85,7 @@ pub const FULL: GateSpec = GateSpec {
     d: 7,
     window_pages: 64,
     threads: &[1, 2, 4],
+    batch: false,
 };
 
 /// A CI-sized section that finishes in seconds.
@@ -75,6 +95,29 @@ pub const SMOKE: GateSpec = GateSpec {
     d: 7,
     window_pages: 16,
     threads: &[1, 2],
+    batch: false,
+};
+
+/// The full grid through the columnar batch pipeline — same workload,
+/// seed, and thread sweep as [`FULL`], paired with it by the gate.
+pub const FULL_BATCH: GateSpec = GateSpec {
+    label: "full-batch",
+    n: 100_000,
+    d: 7,
+    window_pages: 64,
+    threads: &[1, 2, 4],
+    batch: true,
+};
+
+/// The CI-sized grid through the columnar batch pipeline, paired with
+/// [`SMOKE`].
+pub const SMOKE_BATCH: GateSpec = GateSpec {
+    label: "smoke-batch",
+    n: 20_000,
+    d: 7,
+    window_pages: 16,
+    threads: &[1, 2],
+    batch: true,
 };
 
 /// Measurements for one thread count.
@@ -112,6 +155,22 @@ pub struct ThreadRun {
     pub blocks_skipped: u64,
     /// Physical f64 lanes the batched kernel examined. Deterministic.
     pub lanes_compared: u64,
+    /// Column-major key batches formed across the whole pipeline
+    /// (presort scan plus filter reloads); zero on row sections.
+    /// Deterministic.
+    pub batches: u64,
+    /// Full-width rows materialized. Batch sections measure the late
+    /// materialization at emission (exactly the skyline cardinality);
+    /// row sections report the analytic equivalent `n + temp_records +
+    /// emitted` — every record the row operators handled at full width.
+    /// Deterministic.
+    pub rows_materialized: u64,
+    /// Modeled bytes crossing stage boundaries. Batch sections measure
+    /// it ([`SkylineMetrics`]); row sections report the analytic
+    /// equivalent `record_size × (3n + 2·temp_records + emitted)` —
+    /// scan, sort write + read, spill write + re-read, and emission,
+    /// all at full record width. Deterministic.
+    pub bytes_moved: u64,
     /// Skyline cardinality.
     pub skyline: u64,
     /// FNV-1a over the sorted skyline key rows — order-independent.
@@ -217,6 +276,248 @@ fn sum(snaps: &[MetricsSnapshot]) -> MetricsSnapshot {
         .fold(MetricsSnapshot::default(), |acc, s| acc.plus(s))
 }
 
+/// Read the first `d` attributes of every record in a skyline heap.
+fn collect_rows(skyline: &skyline_storage::HeapFile, ds: &Dataset, d: usize) -> Vec<Vec<i32>> {
+    let mut rows = Vec::with_capacity(skyline.len() as usize);
+    let mut scan = skyline.scan();
+    while let Some(r) = scan.next_record().expect("scan skyline") {
+        rows.push((0..d).map(|i| ds.layout.attr(r, i)).collect());
+    }
+    rows
+}
+
+/// One row-pipeline measurement: threaded entropy presort plus the
+/// partitioned row SFS filter, with the exact-aggregation identity
+/// (`caller metrics == Σ workers + merge`) asserted to the counter.
+fn row_run(
+    ds: &Dataset,
+    spec: &GateSpec,
+    sky_spec: &SkylineSpec,
+    t: usize,
+    base_pages: u64,
+) -> ThreadRun {
+    let disk = Arc::clone(&ds.disk) as Arc<dyn Disk>;
+    let t0 = Instant::now();
+    let mut sorted = presort_threaded(
+        Arc::clone(&ds.heap),
+        ds.layout,
+        sky_spec.clone(),
+        SortOrder::Entropy,
+        Some(ds.entropy(spec.d)),
+        SORT_PAGES,
+        t,
+        Arc::clone(&disk),
+    )
+    .expect("presort");
+    let sort_ms = t0.elapsed().as_secs_f64() * 1e3;
+    sorted.mark_temp();
+    let sorted = Arc::new(sorted);
+    let input_pages = sorted.num_pages();
+
+    let metrics = SkylineMetrics::shared();
+    let io_before = ds.disk.stats().snapshot();
+    let t1 = Instant::now();
+    let outcome = parallel_sfs_filter(
+        Arc::clone(&sorted),
+        ds.layout,
+        sky_spec.clone(),
+        SfsConfig::new(spec.window_pages),
+        t,
+        Arc::clone(&disk),
+        Arc::clone(&metrics),
+        None,
+        None,
+    )
+    .expect("parallel filter");
+    let filter_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let io = ds.disk.stats().snapshot().since(&io_before);
+    let extra_pages = io.writes + io.reads.saturating_sub(input_pages);
+
+    // exact aggregation: the caller's metrics must equal the sum of
+    // every worker snapshot plus the merge snapshot, to the counter.
+    let agg = metrics.snapshot();
+    let parts = sum(&outcome.worker_metrics).plus(&outcome.merge_metrics);
+    assert_eq!(
+        agg, parts,
+        "aggregate metrics must equal Σ workers + merge (threads={t})"
+    );
+    // merge leg: slowest verifier of the parallel in-memory merge,
+    // or the whole sequential winnow when the fallback ran
+    let merge_leg = outcome
+        .merge_worker_metrics
+        .iter()
+        .map(|m| m.comparisons)
+        .max()
+        .unwrap_or(outcome.merge_metrics.comparisons);
+    let critical_path = outcome
+        .worker_metrics
+        .iter()
+        .map(|m| m.comparisons)
+        .max()
+        .unwrap_or(0)
+        + merge_leg;
+
+    let rows = collect_rows(&outcome.skyline, ds, spec.d);
+    let skyline = outcome.skyline.len();
+    let checksum = skyline_checksum(rows);
+
+    outcome.skyline.delete();
+    drop(sorted); // temp: self-deletes
+    assert_eq!(
+        ds.disk.allocated_pages(),
+        base_pages,
+        "gate run must not leak pages (threads={t})"
+    );
+
+    // Analytic equivalents of the batch pipeline's movement counters:
+    // the row operators touch whole records at every stage — one input
+    // scan plus sort write and read (3n), spill write plus re-read, and
+    // emission. `batches` is zero by definition on the row path.
+    let n = spec.n as u64;
+    let record = ds.layout.record_size() as u64;
+
+    ThreadRun {
+        threads: t,
+        sort_ms,
+        filter_ms,
+        comparisons: agg.comparisons,
+        critical_path,
+        extra_pages,
+        passes: agg.passes,
+        temp_records: agg.temp_records,
+        window_inserts: agg.window_inserts,
+        discarded: agg.discarded,
+        emitted: agg.emitted,
+        input_records: agg.input_records,
+        blocks_skipped: agg.blocks_skipped,
+        lanes_compared: agg.lanes_compared,
+        batches: 0,
+        rows_materialized: n + agg.temp_records + agg.emitted,
+        bytes_moved: record * (3 * n + 2 * agg.temp_records + agg.emitted),
+        skyline,
+        checksum,
+    }
+}
+
+/// One batch-pipeline measurement: narrow [`batch_presort`] plus
+/// [`parallel_batch_filter`] (strided batch SFS workers, prefix merge,
+/// late materialization), with the exact-aggregation identity extended
+/// to the materialize stage. The movement counters are measured by
+/// [`SkylineMetrics`] across the whole pipeline (presort + filter).
+fn batch_run(
+    ds: &Dataset,
+    spec: &GateSpec,
+    sky_spec: &SkylineSpec,
+    t: usize,
+    base_pages: u64,
+) -> ThreadRun {
+    let disk = Arc::clone(&ds.disk) as Arc<dyn Disk>;
+    let presort_metrics = SkylineMetrics::shared();
+    let t0 = Instant::now();
+    let mut sorted = batch_presort(
+        Arc::clone(&ds.heap),
+        &ds.layout,
+        sky_spec,
+        Arc::new(KeySumScore),
+        skyline_exec::batch::BATCH_ROWS,
+        SORT_PAGES,
+        t,
+        Arc::clone(&disk),
+        Arc::clone(&presort_metrics),
+        None,
+    )
+    .expect("batch presort");
+    let sort_ms = t0.elapsed().as_secs_f64() * 1e3;
+    sorted.mark_temp();
+    let sorted = Arc::new(sorted);
+    let input_pages = sorted.num_pages();
+
+    let metrics = SkylineMetrics::shared();
+    let io_before = ds.disk.stats().snapshot();
+    let t1 = Instant::now();
+    let outcome = parallel_batch_filter(
+        Arc::clone(&sorted),
+        Arc::clone(&ds.heap),
+        NarrowLayout::new(spec.d),
+        BatchConfig::new(spec.window_pages),
+        t,
+        Arc::clone(&disk),
+        Arc::clone(&metrics),
+        None,
+        None,
+    )
+    .expect("parallel batch filter");
+    let filter_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let io = ds.disk.stats().snapshot().since(&io_before);
+    let extra_pages = io.writes + io.reads.saturating_sub(input_pages);
+
+    // exact aggregation, extended by the late-materialization stage:
+    // caller metrics == Σ workers + merge + materialize, to the counter.
+    let agg = metrics.snapshot();
+    let parts = sum(&outcome.worker_metrics)
+        .plus(&outcome.merge_metrics)
+        .plus(&outcome.materialize_metrics);
+    assert_eq!(
+        agg, parts,
+        "aggregate metrics must equal Σ workers + merge + materialize (threads={t})"
+    );
+    let merge_leg = outcome
+        .merge_worker_metrics
+        .iter()
+        .map(|m| m.comparisons)
+        .max()
+        .unwrap_or(outcome.merge_metrics.comparisons);
+    let critical_path = outcome
+        .worker_metrics
+        .iter()
+        .map(|m| m.comparisons)
+        .max()
+        .unwrap_or(0)
+        + merge_leg;
+
+    let rows = collect_rows(&outcome.skyline, ds, spec.d);
+    let skyline = outcome.skyline.len();
+    let checksum = skyline_checksum(rows);
+    assert_eq!(
+        agg.rows_materialized, skyline,
+        "late materialization must touch exactly the skyline rows (threads={t})"
+    );
+
+    outcome.skyline.delete();
+    drop(sorted); // temp: self-deletes
+    assert_eq!(
+        ds.disk.allocated_pages(),
+        base_pages,
+        "gate run must not leak pages (threads={t})"
+    );
+
+    // movement counters span the whole pipeline: presort scan + sort
+    // plus the filter/merge/materialize stages measured above
+    let total = agg.plus(&presort_metrics.snapshot());
+
+    ThreadRun {
+        threads: t,
+        sort_ms,
+        filter_ms,
+        comparisons: agg.comparisons,
+        critical_path,
+        extra_pages,
+        passes: agg.passes,
+        temp_records: agg.temp_records,
+        window_inserts: agg.window_inserts,
+        discarded: agg.discarded,
+        emitted: agg.emitted,
+        input_records: agg.input_records,
+        blocks_skipped: agg.blocks_skipped,
+        lanes_compared: agg.lanes_compared,
+        batches: total.batches,
+        rows_materialized: total.rows_materialized,
+        bytes_moved: total.bytes_moved,
+        skyline,
+        checksum,
+    }
+}
+
 /// Run one section of the gate grid.
 ///
 /// # Panics
@@ -231,102 +532,10 @@ pub fn run_section(spec: &GateSpec) -> GateSection {
 
     let mut runs = Vec::new();
     for &t in spec.threads {
-        let disk = Arc::clone(&ds.disk) as Arc<dyn Disk>;
-        let t0 = Instant::now();
-        let mut sorted = presort_threaded(
-            Arc::clone(&ds.heap),
-            ds.layout,
-            sky_spec.clone(),
-            SortOrder::Entropy,
-            Some(ds.entropy(spec.d)),
-            SORT_PAGES,
-            t,
-            Arc::clone(&disk),
-        )
-        .expect("presort");
-        let sort_ms = t0.elapsed().as_secs_f64() * 1e3;
-        sorted.mark_temp();
-        let sorted = Arc::new(sorted);
-        let input_pages = sorted.num_pages();
-
-        let metrics = SkylineMetrics::shared();
-        let io_before = ds.disk.stats().snapshot();
-        let t1 = Instant::now();
-        let outcome = parallel_sfs_filter(
-            Arc::clone(&sorted),
-            ds.layout,
-            sky_spec.clone(),
-            SfsConfig::new(spec.window_pages),
-            t,
-            Arc::clone(&disk),
-            Arc::clone(&metrics),
-            None,
-            None,
-        )
-        .expect("parallel filter");
-        let filter_ms = t1.elapsed().as_secs_f64() * 1e3;
-        let io = ds.disk.stats().snapshot().since(&io_before);
-        let extra_pages = io.writes + io.reads.saturating_sub(input_pages);
-
-        // exact aggregation: the caller's metrics must equal the sum of
-        // every worker snapshot plus the merge snapshot, to the counter.
-        let agg = metrics.snapshot();
-        let parts = sum(&outcome.worker_metrics).plus(&outcome.merge_metrics);
-        assert_eq!(
-            agg, parts,
-            "aggregate metrics must equal Σ workers + merge (threads={t})"
-        );
-        // merge leg: slowest verifier of the parallel in-memory merge,
-        // or the whole sequential winnow when the fallback ran
-        let merge_leg = outcome
-            .merge_worker_metrics
-            .iter()
-            .map(|m| m.comparisons)
-            .max()
-            .unwrap_or(outcome.merge_metrics.comparisons);
-        let critical_path = outcome
-            .worker_metrics
-            .iter()
-            .map(|m| m.comparisons)
-            .max()
-            .unwrap_or(0)
-            + merge_leg;
-
-        let mut rows = Vec::with_capacity(outcome.skyline.len() as usize);
-        {
-            let mut scan = outcome.skyline.scan();
-            while let Some(r) = scan.next_record().expect("scan skyline") {
-                rows.push((0..spec.d).map(|i| ds.layout.attr(r, i)).collect());
-            }
-        }
-        let skyline = outcome.skyline.len();
-        let checksum = skyline_checksum(rows);
-
-        outcome.skyline.delete();
-        drop(sorted); // temp: self-deletes
-        assert_eq!(
-            ds.disk.allocated_pages(),
-            base_pages,
-            "gate run must not leak pages (threads={t})"
-        );
-
-        runs.push(ThreadRun {
-            threads: t,
-            sort_ms,
-            filter_ms,
-            comparisons: agg.comparisons,
-            critical_path,
-            extra_pages,
-            passes: agg.passes,
-            temp_records: agg.temp_records,
-            window_inserts: agg.window_inserts,
-            discarded: agg.discarded,
-            emitted: agg.emitted,
-            input_records: agg.input_records,
-            blocks_skipped: agg.blocks_skipped,
-            lanes_compared: agg.lanes_compared,
-            skyline,
-            checksum,
+        runs.push(if spec.batch {
+            batch_run(&ds, spec, &sky_spec, t, base_pages)
+        } else {
+            row_run(&ds, spec, &sky_spec, t, base_pages)
         });
     }
 
@@ -334,45 +543,74 @@ pub fn run_section(spec: &GateSpec) -> GateSection {
     // bit-identical skyline (count and checksum) the block kernel did.
     {
         let disk = Arc::clone(&ds.disk) as Arc<dyn Disk>;
-        let mut sorted = presort_threaded(
-            Arc::clone(&ds.heap),
-            ds.layout,
-            sky_spec.clone(),
-            SortOrder::Entropy,
-            Some(ds.entropy(spec.d)),
-            SORT_PAGES,
-            1,
-            Arc::clone(&disk),
-        )
-        .expect("presort (scalar cross-check)");
-        sorted.mark_temp();
-        let outcome = parallel_sfs_filter(
-            Arc::new(sorted),
-            ds.layout,
-            sky_spec,
-            SfsConfig::new(spec.window_pages).with_scalar_window(),
-            1,
-            disk,
-            SkylineMetrics::shared(),
-            None,
-            None,
-        )
-        .expect("scalar-window filter");
-        let mut rows = Vec::with_capacity(outcome.skyline.len() as usize);
-        {
-            let mut scan = outcome.skyline.scan();
-            while let Some(r) = scan.next_record().expect("scan scalar skyline") {
-                rows.push((0..spec.d).map(|i| ds.layout.attr(r, i)).collect());
-            }
-        }
+        let (len, ck) = if spec.batch {
+            let mut sorted = batch_presort(
+                Arc::clone(&ds.heap),
+                &ds.layout,
+                &sky_spec,
+                Arc::new(KeySumScore),
+                skyline_exec::batch::BATCH_ROWS,
+                SORT_PAGES,
+                1,
+                Arc::clone(&disk),
+                SkylineMetrics::shared(),
+                None,
+            )
+            .expect("batch presort (scalar cross-check)");
+            sorted.mark_temp();
+            let outcome = parallel_batch_filter(
+                Arc::new(sorted),
+                Arc::clone(&ds.heap),
+                NarrowLayout::new(spec.d),
+                BatchConfig::new(spec.window_pages).with_scalar_window(),
+                1,
+                disk,
+                SkylineMetrics::shared(),
+                None,
+                None,
+            )
+            .expect("scalar-window batch filter");
+            let rows = collect_rows(&outcome.skyline, &ds, spec.d);
+            let out = (outcome.skyline.len(), skyline_checksum(rows));
+            outcome.skyline.delete();
+            out
+        } else {
+            let mut sorted = presort_threaded(
+                Arc::clone(&ds.heap),
+                ds.layout,
+                sky_spec.clone(),
+                SortOrder::Entropy,
+                Some(ds.entropy(spec.d)),
+                SORT_PAGES,
+                1,
+                Arc::clone(&disk),
+            )
+            .expect("presort (scalar cross-check)");
+            sorted.mark_temp();
+            let outcome = parallel_sfs_filter(
+                Arc::new(sorted),
+                ds.layout,
+                sky_spec,
+                SfsConfig::new(spec.window_pages).with_scalar_window(),
+                1,
+                disk,
+                SkylineMetrics::shared(),
+                None,
+                None,
+            )
+            .expect("scalar-window filter");
+            let rows = collect_rows(&outcome.skyline, &ds, spec.d);
+            let out = (outcome.skyline.len(), skyline_checksum(rows));
+            outcome.skyline.delete();
+            out
+        };
         let base = runs.first().expect("threads grid is non-empty");
         assert_eq!(
-            (outcome.skyline.len(), skyline_checksum(rows)),
+            (len, ck),
             (base.skyline, base.checksum),
             "scalar and block kernels must agree bit-for-bit ({})",
             spec.label
         );
-        outcome.skyline.delete();
     }
 
     GateSection {
@@ -418,6 +656,9 @@ pub fn report_json(
             let _ = write!(out, "\"input_records\": {}, ", r.input_records);
             let _ = write!(out, "\"blocks_skipped\": {}, ", r.blocks_skipped);
             let _ = write!(out, "\"lanes_compared\": {}, ", r.lanes_compared);
+            let _ = write!(out, "\"batches\": {}, ", r.batches);
+            let _ = write!(out, "\"rows_materialized\": {}, ", r.rows_materialized);
+            let _ = write!(out, "\"bytes_moved\": {}, ", r.bytes_moved);
             let _ = write!(out, "\"skyline\": {}, ", r.skyline);
             let _ = write!(out, "\"checksum\": \"{:#018x}\", ", r.checksum);
             let _ = write!(
@@ -471,6 +712,32 @@ mod tests {
             d: 5,
             window_pages: 4,
             threads: &[1, 2],
+            batch: false,
+        }
+    }
+
+    fn tiny_batch() -> GateSpec {
+        GateSpec {
+            label: "tiny-batch",
+            batch: true,
+            ..tiny()
+        }
+    }
+
+    #[test]
+    fn batch_section_matches_row_section_and_moves_less() {
+        let row = run_section(&tiny());
+        let batch = run_section(&tiny_batch());
+        batch.validate(false, 1.5).expect("structural checks pass");
+        for (rr, br) in row.runs.iter().zip(&batch.runs) {
+            assert_eq!(rr.threads, br.threads);
+            // identical answer, strictly less data movement
+            assert_eq!((rr.skyline, rr.checksum), (br.skyline, br.checksum));
+            assert!(br.batches > 0 && rr.batches == 0);
+            assert!(br.rows_materialized < rr.rows_materialized);
+            assert!(br.bytes_moved < rr.bytes_moved);
+            // late materialization touches exactly the skyline rows
+            assert_eq!(br.rows_materialized, br.skyline);
         }
     }
 

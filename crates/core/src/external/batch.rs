@@ -1,0 +1,2115 @@
+//! Columnar batch pipeline: vectorized key batches from heap scan to
+//! block window, with late materialization of payloads at emission.
+//!
+//! The row path re-assembles dominance keys into full-width records
+//! between every stage: scan emits 100-byte tuples, the sort moves them
+//! whole, and SFS decodes keys again at every probe. This module keeps
+//! keys *columnar* end-to-end instead (the survey's vectorized-execution
+//! family; the `rayexec_bullet` array/selection-vector idiom):
+//!
+//! 1. [`skyline_exec::BatchHeapScan`] reads base records once and builds
+//!    column-major [`skyline_exec::KeyBatch`]es of oriented dominance
+//!    keys plus row ids ([`SpecKeys`] is the extractor).
+//! 2. [`batch_presort`] sorts *narrow entries* — `d` key columns + row
+//!    id, `8·(d+1)` bytes — by a [`MonotoneScore`] (default
+//!    [`KeySumScore`], Theorem 4's positive linear sum), never touching
+//!    the payload.
+//! 3. [`BatchSfs`] / [`BatchBnl`] filter narrow entries batch-at-a-time
+//!    straight into the PR 5 SoA blocks ([`BlockWindow`] /
+//!    [`ReplaceWindow`]), so keys are never re-rowed between stages.
+//! 4. [`MaterializeRows`] fetches the full-width record by row id only
+//!    for tuples that survive — the late-materialization point, counted
+//!    by `rows_materialized`.
+//!
+//! [`parallel_batch_filter`] mirrors `parallel_sfs_filter`'s strided
+//! strata + prefix merge on the narrow representation, and
+//! [`BatchConfig::with_scalar_window`] keeps the scalar row-window seam
+//! alive for differential replay. Cancellation polls fire at *batch*
+//! boundaries, not per row.
+
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use skyline_exec::cancel::poll;
+use skyline_exec::sort::{effective_threads, f64_descending_bits};
+use skyline_exec::{
+    BatchEncode, BatchHeapScan, BatchSource, BoxedOperator, CancelToken, ChainScan, ExecError,
+    ExternalSort, HeapScan, KeyBatch, KeyExtract, NarrowLayout, Operator, RecordComparator,
+    SortBudget, StridedHeapScan,
+};
+use skyline_relation::RecordLayout;
+use skyline_storage::{BufferLease, BufferPool, Disk, HeapFile, SharedScanner, PAGE_SIZE};
+
+use super::common::{window_entry_capacity, KeyWindow, Probe, Source, Spill};
+use super::par_filter::{check_cancel, stratum_sizes};
+use crate::dominance::{dominates, SkylineSpec};
+use crate::dominance_block::{BlockVerdict, BlockWindow, ProbeCost, ReplaceWindow};
+use crate::metrics::{MetricsSnapshot, SkylineMetrics};
+use crate::par::panic_message;
+use crate::planner::materialize;
+use crate::score::{nested_desc, MonotoneScore};
+
+/// Key extractor that evaluates a [`SkylineSpec`] against a
+/// [`RecordLayout`]: the batch scan's bridge from raw records to
+/// oriented dominance keys (all-max convention, higher is better).
+#[derive(Debug, Clone)]
+pub struct SpecKeys {
+    layout: RecordLayout,
+    spec: SkylineSpec,
+}
+
+impl SpecKeys {
+    /// Build an extractor after validating `spec` against `layout`.
+    ///
+    /// # Errors
+    /// [`ExecError::Config`] if the spec does not fit the layout.
+    pub fn new(layout: RecordLayout, spec: SkylineSpec) -> Result<Self, ExecError> {
+        spec.validate(&layout)
+            .map_err(|e| ExecError::Config(e.to_string()))?;
+        Ok(SpecKeys { layout, spec })
+    }
+}
+
+impl KeyExtract for SpecKeys {
+    fn dims(&self) -> usize {
+        self.spec.dims()
+    }
+
+    fn extract(&self, record: &[u8], out: &mut Vec<f64>) {
+        // `key_of` clears `out` itself, which matches the extract
+        // contract because the batch scan hands over a cleared buffer.
+        self.spec.key_of(&self.layout, record, out);
+    }
+}
+
+/// Sum of oriented key components — a positive linear (hence strictly
+/// monotone, Theorem 4) score that needs no statistics pass. The batch
+/// presort's default ordering function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeySumScore;
+
+impl MonotoneScore for KeySumScore {
+    fn score(&self, key: &[f64]) -> f64 {
+        key.iter().sum()
+    }
+}
+
+/// Orders narrow entries by monotone score (descending), then
+/// lexicographically descending on the key, then by row id — a total
+/// order, so sorted output is identical at every thread count.
+#[derive(Clone)]
+pub struct NarrowCmp {
+    narrow: NarrowLayout,
+    score: Arc<dyn MonotoneScore>,
+}
+
+impl NarrowCmp {
+    /// Comparator over entries of `narrow`, ranked by `score`.
+    pub fn new(narrow: NarrowLayout, score: Arc<dyn MonotoneScore>) -> Self {
+        NarrowCmp { narrow, score }
+    }
+
+    fn key_of(&self, entry: &[u8]) -> Vec<f64> {
+        let mut key = Vec::with_capacity(self.narrow.dims());
+        self.narrow.key_into(entry, &mut key);
+        key
+    }
+}
+
+impl RecordComparator for NarrowCmp {
+    fn cmp(&self, a: &[u8], b: &[u8]) -> Ordering {
+        let ka = self.key_of(a);
+        let kb = self.key_of(b);
+        self.score
+            .score(&kb)
+            .total_cmp(&self.score.score(&ka))
+            .then_with(|| nested_desc(&ka, &kb))
+            .then_with(|| self.narrow.row_id(a).cmp(&self.narrow.row_id(b)))
+    }
+
+    fn prefix_key(&self, record: &[u8]) -> Option<u64> {
+        Some(f64_descending_bits(self.score.score(&self.key_of(record))))
+    }
+}
+
+/// Batch-source wrapper that counts batches and modeled bytes moved:
+/// each batch charges the full-width records read from the base heap
+/// plus the narrow key/row-id bytes it produces.
+struct MeteredScan {
+    inner: Box<dyn BatchSource>,
+    metrics: Arc<SkylineMetrics>,
+    record_size: u64,
+}
+
+impl BatchSource for MeteredScan {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.inner.open()
+    }
+
+    fn next_batch(&mut self, out: &mut KeyBatch) -> Result<bool, ExecError> {
+        let got = self.inner.next_batch(out)?;
+        if got {
+            self.metrics.add_batch();
+            self.metrics
+                .add_bytes_moved(out.bytes() + out.len() as u64 * self.record_size);
+        }
+        Ok(got)
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+
+    fn dims(&self) -> usize {
+        self.inner.dims()
+    }
+}
+
+/// Presort the batch pipeline's narrow entries: scan `heap` in
+/// column-major batches, encode `8·(d+1)`-byte narrow entries, and
+/// external-sort them by `score` descending (ties broken by descending
+/// key then row id, so the order is total). Returns the sorted narrow
+/// heap; the payload never enters the sort.
+///
+/// # Errors
+/// [`ExecError::Config`] for DIFF specs (the batch pipeline does not
+/// carry DIFF grouping keys) or a zero `batch_rows`; storage and
+/// cancellation errors propagate.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_presort(
+    heap: Arc<HeapFile>,
+    layout: &RecordLayout,
+    spec: &SkylineSpec,
+    score: Arc<dyn MonotoneScore>,
+    batch_rows: usize,
+    sort_pages: usize,
+    threads: usize,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+    cancel: Option<CancelToken>,
+) -> Result<HeapFile, ExecError> {
+    if !spec.diff.is_empty() {
+        return Err(ExecError::Config(
+            "the batch pipeline does not support DIFF; use the row path".into(),
+        ));
+    }
+    if batch_rows == 0 {
+        return Err(ExecError::Config("batch_rows must be at least 1".into()));
+    }
+    let record_size = heap.record_size() as u64;
+    let keys = SpecKeys::new(*layout, spec.clone())?;
+    let narrow = NarrowLayout::new(spec.dims());
+    let mut scan = BatchHeapScan::new(heap, Arc::new(keys), batch_rows);
+    if let Some(t) = cancel {
+        scan = scan.with_cancel(t);
+    }
+    let metered = MeteredScan {
+        inner: Box::new(scan),
+        metrics: Arc::clone(&metrics),
+        record_size,
+    };
+    let encode = BatchEncode::new(Box::new(metered));
+    let cmp: Arc<dyn RecordComparator> = Arc::new(NarrowCmp::new(narrow, score));
+    let mut sort = ExternalSort::new(
+        Box::new(encode),
+        cmp,
+        Arc::clone(&disk),
+        SortBudget::pages(sort_pages),
+    )
+    .with_threads(threads);
+    let sorted = materialize(&mut sort, disk)?;
+    // Sorted entries leave the sort once more on their way downstream.
+    metrics.add_bytes_moved(sorted.len() * narrow.entry_size() as u64);
+    Ok(sorted)
+}
+
+/// Tuning knobs for the batch filter stages.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Window size in pages (same budget the row path's `SfsConfig` uses).
+    pub window_pages: usize,
+    /// Rows per column-major batch (default [`skyline_exec::batch::BATCH_ROWS`]).
+    pub batch_rows: usize,
+    /// Collect non-skyline survivors into a rest file (strata support).
+    pub collect_rest: bool,
+    /// Use the scalar [`KeyWindow`] instead of the SoA [`BlockWindow`] —
+    /// the differential-replay seam.
+    pub scalar_window: bool,
+    /// Page budget under which the parallel prefix merge runs in memory.
+    pub merge_pages: usize,
+}
+
+impl BatchConfig {
+    /// Config with a `window_pages` window and defaults everywhere else.
+    pub fn new(window_pages: usize) -> Self {
+        BatchConfig {
+            window_pages,
+            batch_rows: skyline_exec::batch::BATCH_ROWS,
+            collect_rest: false,
+            scalar_window: false,
+            merge_pages: window_pages.saturating_mul(4),
+        }
+    }
+
+    /// Override the rows-per-batch granularity.
+    #[must_use]
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows;
+        self
+    }
+
+    /// Collect non-skyline survivors for a later stratum.
+    #[must_use]
+    pub fn with_rest(mut self) -> Self {
+        self.collect_rest = true;
+        self
+    }
+
+    /// Probe the scalar key window instead of the SoA block window.
+    #[must_use]
+    pub fn with_scalar_window(mut self) -> Self {
+        self.scalar_window = true;
+        self
+    }
+
+    /// Override the in-memory merge page budget.
+    #[must_use]
+    pub fn with_merge_pages(mut self, merge_pages: usize) -> Self {
+        self.merge_pages = merge_pages;
+        self
+    }
+}
+
+/// The filter window behind the scalar/SoA seam.
+enum BatchWindow {
+    Block(BlockWindow),
+    Scalar(KeyWindow),
+}
+
+impl BatchWindow {
+    fn new(dims: usize, window_pages: usize, scalar: bool) -> Self {
+        let entry_bytes = 8 * dims;
+        if scalar {
+            BatchWindow::Scalar(KeyWindow::new(dims, window_pages, entry_bytes))
+        } else {
+            BatchWindow::Block(BlockWindow::new(
+                dims,
+                window_entry_capacity(window_pages, entry_bytes),
+            ))
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            BatchWindow::Block(w) => w.capacity(),
+            BatchWindow::Scalar(w) => w.capacity(),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            BatchWindow::Block(w) => w.is_full(),
+            BatchWindow::Scalar(w) => w.is_full(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            BatchWindow::Block(w) => w.clear(),
+            BatchWindow::Scalar(w) => w.clear(),
+        }
+    }
+
+    fn insert(&mut self, key: &[f64]) {
+        match self {
+            BatchWindow::Block(w) => w.insert(key),
+            BatchWindow::Scalar(w) => w.insert(key),
+        }
+    }
+
+    fn probe(&self, key: &[f64]) -> (Probe, ProbeCost) {
+        match self {
+            BatchWindow::Block(w) => {
+                let (verdict, cost) = w.probe(key);
+                let probe = match verdict {
+                    BlockVerdict::Dominated => Probe::Dominated,
+                    BlockVerdict::Equal => Probe::Equal,
+                    BlockVerdict::Incomparable => Probe::Incomparable,
+                };
+                (probe, cost)
+            }
+            BatchWindow::Scalar(w) => {
+                let (probe, comparisons) = w.probe(key);
+                (
+                    probe,
+                    ProbeCost {
+                        comparisons,
+                        blocks_skipped: 0,
+                        lanes: 0,
+                    },
+                )
+            }
+        }
+    }
+}
+
+/// Batched Sort-Filter-Skyline over *narrow entries* (oriented key
+/// columns + row id). The child must already be presorted by a monotone
+/// score (see [`batch_presort`]); the operator loads column-major
+/// [`KeyBatch`]es, probes each key against the window, and emits
+/// surviving narrow entries in order. Spec-agnostic: keys were oriented
+/// at extraction, so the window compares in all-max convention.
+///
+/// Window entries are keys only, which gives the row path's
+/// *projection* semantics: a window-equal entry is emitted without
+/// insertion (duplicate elimination on the key), and the filter is
+/// multipass when the window fills, exactly like [`super::Sfs`].
+pub struct BatchSfs {
+    child: BoxedOperator,
+    narrow: NarrowLayout,
+    cfg: BatchConfig,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+    window: BatchWindow,
+    source: Source,
+    spill: Option<Spill>,
+    rest: Option<Spill>,
+    rest_file: Option<HeapFile>,
+    batch: KeyBatch,
+    pos: usize,
+    drained: bool,
+    cur: Vec<u8>,
+    key: Vec<f64>,
+    out: Vec<u8>,
+    scratch: Vec<u8>,
+    opened: bool,
+    cancel: Option<CancelToken>,
+    fetched: u64,
+}
+
+impl BatchSfs {
+    /// Wrap a presorted narrow-entry `child`.
+    ///
+    /// # Errors
+    /// [`ExecError::Config`] if the child's record size is not
+    /// `narrow.entry_size()` or `cfg.batch_rows` is zero.
+    pub fn new(
+        child: BoxedOperator,
+        narrow: NarrowLayout,
+        cfg: BatchConfig,
+        disk: Arc<dyn Disk>,
+        metrics: Arc<SkylineMetrics>,
+    ) -> Result<Self, ExecError> {
+        if child.record_size() != narrow.entry_size() {
+            return Err(ExecError::Config(format!(
+                "child records are {} bytes but narrow entries are {}",
+                child.record_size(),
+                narrow.entry_size()
+            )));
+        }
+        if cfg.batch_rows == 0 {
+            return Err(ExecError::Config("batch_rows must be at least 1".into()));
+        }
+        let window = BatchWindow::new(narrow.dims(), cfg.window_pages, cfg.scalar_window);
+        Ok(BatchSfs {
+            child,
+            narrow,
+            cfg,
+            disk,
+            metrics,
+            window,
+            source: Source::Done,
+            spill: None,
+            rest: None,
+            rest_file: None,
+            batch: KeyBatch::new(narrow.dims()),
+            pos: 0,
+            drained: false,
+            cur: Vec::new(),
+            key: Vec::new(),
+            out: Vec::new(),
+            scratch: Vec::new(),
+            opened: false,
+            cancel: None,
+            fetched: 0,
+        })
+    }
+
+    /// Poll `token` at every batch boundary and inside `end_pass`.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Window capacity in entries.
+    pub fn window_capacity(&self) -> usize {
+        self.window.capacity()
+    }
+
+    /// Take the rest file of non-skyline survivors (present after the
+    /// operator drains with `collect_rest` set; survives `close`).
+    pub fn take_rest(&mut self) -> Option<HeapFile> {
+        self.rest_file.take()
+    }
+
+    /// Pull one narrow entry from the current source into `self.cur`.
+    fn fetch(&mut self) -> Result<bool, ExecError> {
+        match &mut self.source {
+            Source::Child => match self.child.next()? {
+                Some(record) => {
+                    self.cur.clear();
+                    self.cur.extend_from_slice(record);
+                    self.metrics.add_input();
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            Source::Temp(scan) => match scan.next_record()? {
+                Some(record) => {
+                    self.cur.clear();
+                    self.cur.extend_from_slice(record);
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            Source::Done => Ok(false),
+        }
+    }
+
+    /// Refill the column-major batch from the current source. Returns
+    /// `false` when the source produced nothing. Cancellation is polled
+    /// once per batch — the batch boundary, not the row boundary.
+    fn load_batch(&mut self) -> Result<bool, ExecError> {
+        if self.drained {
+            return Ok(false);
+        }
+        if let Some(t) = &self.cancel {
+            t.check(self.fetched)?;
+        }
+        self.batch.reset(self.narrow.dims());
+        self.pos = 0;
+        while self.batch.physical_len() < self.cfg.batch_rows {
+            if !self.fetch()? {
+                self.drained = true;
+                break;
+            }
+            self.fetched += 1;
+            self.narrow.key_into(&self.cur, &mut self.key);
+            self.batch.push(&self.key, self.narrow.row_id(&self.cur));
+        }
+        if self.batch.is_empty() {
+            return Ok(false);
+        }
+        self.metrics.add_batch();
+        self.metrics.add_bytes_moved(self.batch.bytes());
+        Ok(true)
+    }
+
+    /// End the current pass: close the child (first pass), then swap in
+    /// the spill file as the next pass's source. Returns `false` when
+    /// no further pass is needed.
+    fn end_pass(&mut self) -> Result<bool, ExecError> {
+        if matches!(self.source, Source::Child) {
+            self.child.close();
+        }
+        if let Some(t) = &self.cancel {
+            t.check(self.fetched)?;
+        }
+        match self.spill.take() {
+            None => {
+                self.source = Source::Done;
+                Ok(false)
+            }
+            Some(spill) => {
+                let temp = spill.finish()?;
+                self.source = Source::Temp(SharedScanner::new(Arc::new(temp)));
+                self.window.clear();
+                self.metrics.add_pass();
+                Ok(true)
+            }
+        }
+    }
+
+    fn encode(narrow: NarrowLayout, key: &[f64], row_id: u64, out: &mut Vec<u8>) {
+        narrow.encode_into(key, row_id, out);
+    }
+}
+
+impl Operator for BatchSfs {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()?;
+        self.source = Source::Child;
+        self.window.clear();
+        self.spill = None;
+        self.rest = if self.cfg.collect_rest {
+            Some(Spill::new(
+                Arc::clone(&self.disk),
+                self.narrow.entry_size(),
+            )?)
+        } else {
+            None
+        };
+        self.rest_file = None;
+        self.batch.reset(self.narrow.dims());
+        self.pos = 0;
+        self.drained = false;
+        self.fetched = 0;
+        self.metrics.add_pass();
+        self.opened = true;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        if !self.opened {
+            return Err(ExecError::Protocol("BatchSfs::next before open"));
+        }
+        loop {
+            if self.pos < self.batch.len() {
+                let i = self.pos;
+                self.pos += 1;
+                self.batch.key_at(i, &mut self.key);
+                let row_id = self.batch.row_id_at(i);
+                let (probe, cost) = self.window.probe(&self.key);
+                self.metrics.add_comparisons(cost.comparisons);
+                self.metrics
+                    .add_block_stats(cost.blocks_skipped, cost.lanes);
+                match probe {
+                    Probe::Dominated => {
+                        self.metrics.add_discarded();
+                        if let Some(rest) = &mut self.rest {
+                            Self::encode(self.narrow, &self.key, row_id, &mut self.scratch);
+                            rest.push(&self.scratch)?;
+                            self.metrics
+                                .add_bytes_moved(self.narrow.entry_size() as u64);
+                        }
+                        continue;
+                    }
+                    Probe::Equal => {
+                        // Keys-only window: an equal key is already
+                        // represented, so emit without re-inserting
+                        // (the row path's projection dup-elim).
+                        self.metrics.add_emitted();
+                        Self::encode(self.narrow, &self.key, row_id, &mut self.out);
+                        return Ok(Some(&self.out));
+                    }
+                    Probe::Incomparable => {
+                        if self.window.is_full() {
+                            if self.spill.is_none() {
+                                self.spill = Some(Spill::new(
+                                    Arc::clone(&self.disk),
+                                    self.narrow.entry_size(),
+                                )?);
+                            }
+                            Self::encode(self.narrow, &self.key, row_id, &mut self.scratch);
+                            if let Some(spill) = &mut self.spill {
+                                spill.push(&self.scratch)?;
+                            }
+                            self.metrics.add_temp_record();
+                            self.metrics
+                                .add_bytes_moved(self.narrow.entry_size() as u64);
+                            continue;
+                        }
+                        self.window.insert(&self.key);
+                        self.metrics.add_window_insert();
+                        self.metrics.add_emitted();
+                        Self::encode(self.narrow, &self.key, row_id, &mut self.out);
+                        return Ok(Some(&self.out));
+                    }
+                }
+            }
+            if matches!(self.source, Source::Done) {
+                return Ok(None);
+            }
+            if self.load_batch()? {
+                continue;
+            }
+            if !self.end_pass()? {
+                if let Some(rest) = self.rest.take() {
+                    self.rest_file = Some(rest.finish()?);
+                }
+                return Ok(None);
+            }
+            self.drained = false;
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.source = Source::Done;
+        self.spill = None;
+        self.rest = None;
+        self.window.clear();
+        self.opened = false;
+    }
+
+    fn record_size(&self) -> usize {
+        self.narrow.entry_size()
+    }
+}
+
+/// Late materialization: turn surviving narrow entries back into
+/// full-width records by seeking the base heap at each row id. The only
+/// stage that touches the payload after the initial scan; every
+/// emission bumps `rows_materialized` and charges `record_size` bytes.
+pub struct MaterializeRows {
+    child: BoxedOperator,
+    narrow: NarrowLayout,
+    base: Arc<HeapFile>,
+    metrics: Arc<SkylineMetrics>,
+    scan: Option<SharedScanner>,
+    out: Vec<u8>,
+    emitted: u64,
+    cancel: Option<CancelToken>,
+    opened: bool,
+}
+
+impl MaterializeRows {
+    /// Materialize `child`'s narrow entries against `base`.
+    ///
+    /// # Errors
+    /// [`ExecError::Config`] if the child's record size is not
+    /// `narrow.entry_size()`.
+    pub fn new(
+        child: BoxedOperator,
+        narrow: NarrowLayout,
+        base: Arc<HeapFile>,
+        metrics: Arc<SkylineMetrics>,
+    ) -> Result<Self, ExecError> {
+        if child.record_size() != narrow.entry_size() {
+            return Err(ExecError::Config(format!(
+                "child records are {} bytes but narrow entries are {}",
+                child.record_size(),
+                narrow.entry_size()
+            )));
+        }
+        Ok(MaterializeRows {
+            child,
+            narrow,
+            base,
+            metrics,
+            scan: None,
+            out: Vec::new(),
+            emitted: 0,
+            cancel: None,
+            opened: false,
+        })
+    }
+
+    /// Poll `token` as rows are materialized.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+impl Operator for MaterializeRows {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()?;
+        self.scan = Some(SharedScanner::new(Arc::clone(&self.base)));
+        self.emitted = 0;
+        self.opened = true;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        if !self.opened {
+            return Err(ExecError::Protocol("MaterializeRows::next before open"));
+        }
+        poll(self.cancel.as_ref(), self.emitted)?;
+        let Some(entry) = self.child.next()? else {
+            return Ok(None);
+        };
+        let row_id = self.narrow.row_id(entry);
+        let scan = self
+            .scan
+            .as_mut()
+            .ok_or(ExecError::Protocol("MaterializeRows scanner missing"))?;
+        scan.seek(row_id);
+        let record = scan
+            .next_record()?
+            .ok_or(ExecError::Protocol("row id beyond base heap"))?;
+        self.out.clear();
+        self.out.extend_from_slice(record);
+        self.metrics.add_rows_materialized();
+        self.metrics.add_bytes_moved(self.base.record_size() as u64);
+        self.emitted += 1;
+        Ok(Some(&self.out))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.scan = None;
+        self.opened = false;
+    }
+
+    fn record_size(&self) -> usize {
+        self.base.record_size()
+    }
+}
+
+/// A window entry held by [`BatchBnl`]: the narrow entry bytes plus
+/// BNL's timestamp bookkeeping (`ts` = temp records written when this
+/// entry joined the window; `carried` = survived a previous pass).
+struct BnlEntry {
+    entry: Vec<u8>,
+    ts: u64,
+    carried: bool,
+}
+
+/// Batched block-nested-loops winnow over narrow entries — the batch
+/// path's order-agnostic filter, used as the external merge fallback
+/// (where [`super::Bnl`] winnows full records on the row path). Input
+/// need not be presorted; keys probe the SoA [`ReplaceWindow`] with
+/// bidirectional replacement, and BNL's timestamp protocol decides when
+/// a window entry is confirmed skyline. Emits narrow entries.
+pub struct BatchBnl {
+    child: BoxedOperator,
+    narrow: NarrowLayout,
+    batch_rows: usize,
+    capacity: usize,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+    block: ReplaceWindow,
+    window: Vec<BnlEntry>,
+    removed: Vec<usize>,
+    emit: VecDeque<Vec<u8>>,
+    source: Source,
+    spill: Option<Spill>,
+    batch: KeyBatch,
+    pos: usize,
+    drained: bool,
+    cur: Vec<u8>,
+    key: Vec<f64>,
+    out: Vec<u8>,
+    scratch: Vec<u8>,
+    read_count: u64,
+    temp_written: u64,
+    opened: bool,
+    cancel: Option<CancelToken>,
+    fetched: u64,
+}
+
+impl BatchBnl {
+    /// Winnow `child`'s narrow entries under a `window_pages` window.
+    ///
+    /// # Errors
+    /// [`ExecError::Config`] if the child's record size is not
+    /// `narrow.entry_size()` or `batch_rows` is zero.
+    pub fn new(
+        child: BoxedOperator,
+        narrow: NarrowLayout,
+        window_pages: usize,
+        batch_rows: usize,
+        disk: Arc<dyn Disk>,
+        metrics: Arc<SkylineMetrics>,
+    ) -> Result<Self, ExecError> {
+        if child.record_size() != narrow.entry_size() {
+            return Err(ExecError::Config(format!(
+                "child records are {} bytes but narrow entries are {}",
+                child.record_size(),
+                narrow.entry_size()
+            )));
+        }
+        if batch_rows == 0 {
+            return Err(ExecError::Config("batch_rows must be at least 1".into()));
+        }
+        let capacity = window_entry_capacity(window_pages, narrow.entry_size());
+        Ok(BatchBnl {
+            child,
+            narrow,
+            batch_rows,
+            capacity,
+            disk,
+            metrics,
+            block: ReplaceWindow::new(narrow.dims()),
+            window: Vec::new(),
+            removed: Vec::new(),
+            emit: VecDeque::new(),
+            source: Source::Done,
+            spill: None,
+            batch: KeyBatch::new(narrow.dims()),
+            pos: 0,
+            drained: false,
+            cur: Vec::new(),
+            key: Vec::new(),
+            out: Vec::new(),
+            scratch: Vec::new(),
+            read_count: 0,
+            temp_written: 0,
+            opened: false,
+            cancel: None,
+            fetched: 0,
+        })
+    }
+
+    /// Poll `token` at every batch boundary and inside `end_pass`.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    fn fetch(&mut self) -> Result<bool, ExecError> {
+        match &mut self.source {
+            Source::Child => match self.child.next()? {
+                Some(record) => {
+                    self.cur.clear();
+                    self.cur.extend_from_slice(record);
+                    self.metrics.add_input();
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            Source::Temp(scan) => match scan.next_record()? {
+                Some(record) => {
+                    self.cur.clear();
+                    self.cur.extend_from_slice(record);
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            Source::Done => Ok(false),
+        }
+    }
+
+    fn load_batch(&mut self) -> Result<bool, ExecError> {
+        if self.drained {
+            return Ok(false);
+        }
+        if let Some(t) = &self.cancel {
+            t.check(self.fetched)?;
+        }
+        self.batch.reset(self.narrow.dims());
+        self.pos = 0;
+        while self.batch.physical_len() < self.batch_rows {
+            if !self.fetch()? {
+                self.drained = true;
+                break;
+            }
+            self.fetched += 1;
+            self.narrow.key_into(&self.cur, &mut self.key);
+            self.batch.push(&self.key, self.narrow.row_id(&self.cur));
+        }
+        if self.batch.is_empty() {
+            return Ok(false);
+        }
+        self.metrics.add_batch();
+        self.metrics.add_bytes_moved(self.batch.bytes());
+        Ok(true)
+    }
+
+    /// Window entries whose timestamp has been overtaken by the read
+    /// cursor are confirmed skyline: every record that could dominate
+    /// them has already been compared against them.
+    fn confirm_carried(&mut self, upto: u64) {
+        let mut k = 0;
+        while k < self.window.len() {
+            if self.window[k].carried && self.window[k].ts <= upto {
+                let e = self.window.swap_remove(k);
+                self.block.remove_at(k);
+                self.metrics.add_emitted();
+                self.emit.push_back(e.entry);
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    fn end_pass(&mut self) -> Result<bool, ExecError> {
+        if matches!(self.source, Source::Child) {
+            self.child.close();
+        }
+        if let Some(t) = &self.cancel {
+            t.check(self.fetched)?;
+        }
+        match self.spill.take() {
+            None => {
+                // Final pass: every window entry is skyline.
+                self.block.clear();
+                for e in self.window.drain(..) {
+                    self.metrics.add_emitted();
+                    self.emit.push_back(e.entry);
+                }
+                self.source = Source::Done;
+                Ok(false)
+            }
+            Some(spill) => {
+                // Entries inserted before any temp write, or carried from
+                // an earlier pass, have been compared against everything
+                // still in flight — confirm them now.
+                let mut k = 0;
+                while k < self.window.len() {
+                    if self.window[k].carried || self.window[k].ts == 0 {
+                        let e = self.window.swap_remove(k);
+                        self.block.remove_at(k);
+                        self.metrics.add_emitted();
+                        self.emit.push_back(e.entry);
+                    } else {
+                        k += 1;
+                    }
+                }
+                for e in &mut self.window {
+                    e.carried = true;
+                }
+                let temp = spill.finish()?;
+                self.source = Source::Temp(SharedScanner::new(Arc::new(temp)));
+                self.read_count = 0;
+                self.temp_written = 0;
+                self.metrics.add_pass();
+                Ok(true)
+            }
+        }
+    }
+}
+
+impl Operator for BatchBnl {
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.child.open()?;
+        self.source = Source::Child;
+        self.block.clear();
+        self.window.clear();
+        self.emit.clear();
+        self.spill = None;
+        self.batch.reset(self.narrow.dims());
+        self.pos = 0;
+        self.drained = false;
+        self.read_count = 0;
+        self.temp_written = 0;
+        self.fetched = 0;
+        self.metrics.add_pass();
+        self.opened = true;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<&[u8]>, ExecError> {
+        if !self.opened {
+            return Err(ExecError::Protocol("BatchBnl::next before open"));
+        }
+        loop {
+            if let Some(record) = self.emit.pop_front() {
+                self.out = record;
+                return Ok(Some(&self.out));
+            }
+            if self.pos < self.batch.len() {
+                let i = self.pos;
+                self.pos += 1;
+                let rec_idx = self.read_count;
+                self.read_count += 1;
+                self.confirm_carried(rec_idx);
+                self.batch.key_at(i, &mut self.key);
+                let row_id = self.batch.row_id_at(i);
+                let (dominated, cost) = self.block.probe_replace(&self.key, &mut self.removed);
+                for &p in &self.removed {
+                    // probe_replace already removed position p from the
+                    // SoA block (swap-remove); mirror it on our entries.
+                    self.window.swap_remove(p);
+                    self.metrics.add_discarded();
+                }
+                self.metrics.add_comparisons(cost.comparisons);
+                self.metrics
+                    .add_block_stats(cost.blocks_skipped, cost.lanes);
+                if dominated {
+                    self.metrics.add_discarded();
+                    continue;
+                }
+                if self.window.len() < self.capacity {
+                    self.block.push(&self.key);
+                    self.narrow
+                        .encode_into(&self.key, row_id, &mut self.scratch);
+                    self.window.push(BnlEntry {
+                        entry: self.scratch.clone(),
+                        ts: self.temp_written,
+                        carried: false,
+                    });
+                    self.metrics.add_window_insert();
+                } else {
+                    if self.spill.is_none() {
+                        self.spill = Some(Spill::new(
+                            Arc::clone(&self.disk),
+                            self.narrow.entry_size(),
+                        )?);
+                    }
+                    self.narrow
+                        .encode_into(&self.key, row_id, &mut self.scratch);
+                    if let Some(spill) = &mut self.spill {
+                        spill.push(&self.scratch)?;
+                    }
+                    self.temp_written += 1;
+                    self.metrics.add_temp_record();
+                    self.metrics
+                        .add_bytes_moved(self.narrow.entry_size() as u64);
+                }
+                continue;
+            }
+            if matches!(self.source, Source::Done) {
+                return Ok(None);
+            }
+            if self.load_batch()? {
+                continue;
+            }
+            self.end_pass()?;
+            self.drained = false;
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.source = Source::Done;
+        self.spill = None;
+        self.block.clear();
+        self.window.clear();
+        self.emit.clear();
+        self.opened = false;
+    }
+
+    fn record_size(&self) -> usize {
+        self.narrow.entry_size()
+    }
+}
+
+/// One worker's job: a local [`BatchSfs`] over stratum `offset` of
+/// `stride`, materialized into a temp narrow heap (self-deleting on
+/// drop/unwind).
+fn local_batch_skyline(
+    sorted: &Arc<HeapFile>,
+    narrow: NarrowLayout,
+    cfg: BatchConfig,
+    offset: u64,
+    stride: u64,
+    disk: &Arc<dyn Disk>,
+    cancel: Option<CancelToken>,
+) -> Result<(HeapFile, MetricsSnapshot), ExecError> {
+    let metrics = SkylineMetrics::shared();
+    let scan: BoxedOperator = Box::new(StridedHeapScan::new(Arc::clone(sorted), offset, stride));
+    let mut sfs = BatchSfs::new(scan, narrow, cfg, Arc::clone(disk), Arc::clone(&metrics))?;
+    if let Some(token) = cancel {
+        sfs = sfs.with_cancel(token);
+    }
+    let mut out = HeapFile::create_temp(Arc::clone(disk), narrow.entry_size())?;
+    sfs.open()?;
+    {
+        let mut w = out.writer()?;
+        while let Some(r) = sfs.next()? {
+            w.push(r)?;
+        }
+        w.finish()?;
+    }
+    sfs.close();
+    Ok((out, metrics.snapshot()))
+}
+
+/// The in-memory parallel prefix merge on the narrow representation:
+/// load every local skyline into one column-major [`KeyBatch`], apply a
+/// score-descending permutation as a *selection vector*, verify each
+/// strided subset against its prefix on its own thread, and write
+/// survivors back out as narrow entries in score order. Returns the
+/// merged narrow heap, the loader's snapshot, and per-verifier
+/// snapshots.
+fn batch_prefix_merge(
+    locals: &[Arc<HeapFile>],
+    narrow: NarrowLayout,
+    t: usize,
+    disk: &Arc<dyn Disk>,
+    cancel: Option<&CancelToken>,
+) -> Result<(HeapFile, MetricsSnapshot, Vec<MetricsSnapshot>), ExecError> {
+    let dims = narrow.dims();
+    let loader = SkylineMetrics::shared();
+    let mut union = KeyBatch::new(dims);
+    let mut scores: Vec<f64> = Vec::new();
+    let mut key: Vec<f64> = Vec::new();
+    let mut scanned: u64 = 0;
+    for local in locals {
+        let mut scan = SharedScanner::new(Arc::clone(local));
+        while let Some(entry) = scan.next_record()? {
+            poll(cancel, scanned)?;
+            scanned += 1;
+            let entry = entry.to_vec();
+            narrow.key_into(&entry, &mut key);
+            union.push(&key, narrow.row_id(&entry));
+            scores.push(key.iter().sum());
+        }
+    }
+    u32::try_from(union.len())
+        .map_err(|_| ExecError::Config("union too large for merge index".into()))?;
+
+    // The score-descending permutation, applied as a selection vector:
+    // the batch is never re-rowed, its logical order just changes. Row
+    // ids index the one base heap, so they are unique across locals and
+    // make the order total (equal scores cannot dominate each other, so
+    // their relative order is correctness-neutral).
+    let mut order: Vec<u32> = (0..union.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then_with(|| {
+                union
+                    .row_id_at(a as usize)
+                    .cmp(&union.row_id_at(b as usize))
+            })
+    });
+    union.select(&order);
+    loader.add_batch();
+    loader.add_bytes_moved(union.bytes());
+
+    // The shared arena every verifier probes prefixes of.
+    let mut arena = BlockWindow::new(dims.max(1), union.len().max(1));
+    for i in 0..union.len() {
+        union.key_at(i, &mut key);
+        arena.insert(&key);
+    }
+    let arena = &arena;
+    let union_ref = &union;
+
+    let verify = move |w: usize| -> Result<(Vec<usize>, MetricsSnapshot), ExecError> {
+        let metrics = SkylineMetrics::shared();
+        metrics.add_pass();
+        let mut alive: Vec<usize> = Vec::new();
+        let mut cost_sum = ProbeCost::default();
+        let mut key: Vec<f64> = Vec::new();
+        for (settled, i) in (w..union_ref.len()).step_by(t).enumerate() {
+            if settled.is_multiple_of(512) {
+                check_cancel(cancel, settled as u64)?;
+            }
+            metrics.add_input();
+            union_ref.key_at(i, &mut key);
+            let (dominated, cost) = arena.probe_prefix(&key, i);
+            if dominated {
+                metrics.add_discarded();
+            } else {
+                metrics.add_emitted();
+                alive.push(i);
+            }
+            cost_sum.absorb(cost);
+        }
+        metrics.add_comparisons(cost_sum.comparisons);
+        metrics.add_block_stats(cost_sum.blocks_skipped, cost_sum.lanes);
+        Ok((alive, metrics.snapshot()))
+    };
+
+    let slots = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..t).map(|w| s.spawn(move || verify(w))).collect();
+        let mut slots = Vec::with_capacity(t);
+        for h in handles {
+            slots.push(h.join().map_err(|payload| ExecError::Worker {
+                message: panic_message(&payload),
+            }));
+        }
+        slots
+    });
+    let mut survivors: Vec<usize> = Vec::new();
+    let mut verifier_metrics: Vec<MetricsSnapshot> = Vec::with_capacity(t);
+    let mut failure: Option<ExecError> = None;
+    for slot in slots {
+        match slot {
+            Ok(Ok((alive, snap))) => {
+                survivors.extend(alive);
+                verifier_metrics.push(snap);
+            }
+            Ok(Err(e)) | Err(e) => {
+                if failure.is_none() {
+                    failure = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    // Logical index order *is* score-descending order after the select.
+    survivors.sort_unstable();
+
+    let mut out = HeapFile::create_temp(Arc::clone(disk), narrow.entry_size())?;
+    {
+        let mut w = out.writer()?;
+        let mut buf: Vec<u8> = Vec::new();
+        for (written, &i) in survivors.iter().enumerate() {
+            poll(cancel, written as u64)?;
+            union.key_at(i, &mut key);
+            narrow.encode_into(&key, union.row_id_at(i), &mut buf);
+            w.push(&buf)?;
+        }
+        w.finish()?;
+    }
+    loader.add_bytes_moved(survivors.len() as u64 * narrow.entry_size() as u64);
+    Ok((out, loader.snapshot(), verifier_metrics))
+}
+
+/// What [`parallel_batch_filter`] hands back besides the skyline.
+pub struct BatchFilterOutcome {
+    /// The skyline, materialized full-width (persisted — caller owns
+    /// its lifetime).
+    pub skyline: HeapFile,
+    /// Per-worker metrics snapshots, in stratum order.
+    pub worker_metrics: Vec<MetricsSnapshot>,
+    /// Metrics of the cross-stratum winnow: loader + verifiers for the
+    /// in-memory merge, [`BatchBnl`]'s counters for the external
+    /// fallback, zero when a single stratum ran and no merge was needed.
+    pub merge_metrics: MetricsSnapshot,
+    /// Per-verifier snapshots of the in-memory parallel merge (empty
+    /// for the external fallback and for `threads == 1`).
+    pub merge_worker_metrics: Vec<MetricsSnapshot>,
+    /// Metrics of the late-materialization stage: `rows_materialized`
+    /// equals the skyline cardinality by construction.
+    pub materialize_metrics: MetricsSnapshot,
+    /// Strata actually used.
+    pub threads: usize,
+    /// Records per stratum, in stratum order.
+    pub stratum_sizes: Vec<u64>,
+    /// Whether the cross-stratum winnow ran as the in-memory parallel
+    /// prefix merge (`true`) or the external [`BatchBnl`] fallback.
+    pub merged_in_memory: bool,
+}
+
+/// Parallel batch filter over a presorted narrow heap: strided local
+/// [`BatchSfs`] strata, a cross-stratum winnow on the narrow
+/// representation, then one [`MaterializeRows`] pass against `base` —
+/// the columnar mirror of [`super::parallel_sfs_filter`], with the
+/// payload touched exactly once per surviving tuple.
+///
+/// # Errors
+/// [`ExecError::Config`] if `sorted` does not hold narrow entries or
+/// `cfg.collect_rest` is set (drive [`BatchSfs`] directly for strata);
+/// buffer, storage, worker, and cancellation errors propagate.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_batch_filter(
+    sorted: Arc<HeapFile>,
+    base: Arc<HeapFile>,
+    narrow: NarrowLayout,
+    cfg: BatchConfig,
+    threads: usize,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+    pool: Option<&BufferPool>,
+    cancel: Option<CancelToken>,
+) -> Result<BatchFilterOutcome, ExecError> {
+    if sorted.record_size() != narrow.entry_size() {
+        return Err(ExecError::Config(format!(
+            "sorted records are {} bytes but narrow entries are {}",
+            sorted.record_size(),
+            narrow.entry_size()
+        )));
+    }
+    if cfg.collect_rest {
+        return Err(ExecError::Config(
+            "parallel_batch_filter cannot collect a rest file; drive BatchSfs directly".into(),
+        ));
+    }
+    let t = effective_threads(threads);
+    let sizes = stratum_sizes(sorted.len(), t);
+
+    let worker_pages = (cfg.window_pages / t).max(1);
+    let worker_cfg = BatchConfig {
+        window_pages: worker_pages,
+        collect_rest: false,
+        ..cfg
+    };
+    let worker_leases: Vec<BufferLease> = match pool {
+        Some(pool) => (0..t)
+            .map(|_| pool.reserve(worker_pages))
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+
+    let mut failure: Option<ExecError> = None;
+    let mut locals: Vec<Arc<HeapFile>> = Vec::with_capacity(t);
+    let mut worker_metrics: Vec<MetricsSnapshot> = Vec::with_capacity(t);
+    if t == 1 {
+        match local_batch_skyline(&sorted, narrow, cfg, 0, 1, &disk, cancel.clone()) {
+            Ok((heap, snap)) => {
+                locals.push(Arc::new(heap));
+                worker_metrics.push(snap);
+            }
+            Err(e) => failure = Some(e),
+        }
+    } else {
+        let slots = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..t as u64)
+                .map(|offset| {
+                    let sorted = &sorted;
+                    let disk = &disk;
+                    let cancel = cancel.clone();
+                    s.spawn(move || {
+                        local_batch_skyline(
+                            sorted, narrow, worker_cfg, offset, t as u64, disk, cancel,
+                        )
+                    })
+                })
+                .collect();
+            let mut slots = Vec::with_capacity(t);
+            for h in handles {
+                slots.push(h.join().map_err(|payload| ExecError::Worker {
+                    message: panic_message(&payload),
+                }));
+            }
+            slots
+        });
+        for slot in slots {
+            match slot {
+                Ok(Ok((heap, snap))) => {
+                    locals.push(Arc::new(heap));
+                    worker_metrics.push(snap);
+                }
+                Ok(Err(e)) | Err(e) => {
+                    if failure.is_none() {
+                        failure = Some(e);
+                    }
+                }
+            }
+        }
+    }
+    drop(worker_leases);
+    if let Some(e) = failure {
+        return Err(e); // local temp heaps self-delete on drop
+    }
+
+    let mut merged_in_memory = true;
+    let mut merge_worker_metrics: Vec<MetricsSnapshot> = Vec::new();
+    let (narrow_skyline, merge_snapshot) = if t == 1 {
+        // swap_remove is fine: locals has exactly one element
+        let only = locals.swap_remove(0);
+        let heap = Arc::into_inner(only).ok_or(ExecError::Protocol(
+            "local skyline still shared after filter",
+        ))?;
+        (heap, MetricsSnapshot::default())
+    } else {
+        let union_len: u64 = locals.iter().map(|h| h.len()).sum();
+        let entry_bytes = (narrow.dims() * 8 + 24) as u64;
+        let arena_pages = usize::try_from((union_len * entry_bytes).div_ceil(PAGE_SIZE as u64))
+            .unwrap_or(usize::MAX)
+            .max(1);
+        let mut in_memory = arena_pages <= cfg.merge_pages;
+        let mut merge_lease: Option<BufferLease> = None;
+        if in_memory {
+            if let Some(pool) = pool {
+                match pool.reserve(arena_pages) {
+                    Ok(lease) => merge_lease = Some(lease),
+                    Err(_) => in_memory = false, // demote, don't fail
+                }
+            }
+        }
+        if in_memory {
+            let (out, loader, snaps) =
+                batch_prefix_merge(&locals, narrow, t, &disk, cancel.as_ref())?;
+            let total = snaps.iter().fold(loader, |acc, s| acc.plus(s));
+            merge_worker_metrics = snaps;
+            (out, total)
+        } else {
+            merged_in_memory = false;
+            let _fallback_lease = match pool {
+                Some(pool) => Some(pool.reserve(cfg.window_pages)?),
+                None => None,
+            };
+            drop(merge_lease);
+            let merge_metrics = SkylineMetrics::shared();
+            let chain: BoxedOperator = Box::new(ChainScan::new(locals));
+            let mut winnow = BatchBnl::new(
+                chain,
+                narrow,
+                cfg.window_pages,
+                cfg.batch_rows,
+                Arc::clone(&disk),
+                Arc::clone(&merge_metrics),
+            )?;
+            if let Some(token) = cancel.clone() {
+                winnow = winnow.with_cancel(token);
+            }
+            let mut out = HeapFile::create_temp(Arc::clone(&disk), narrow.entry_size())?;
+            winnow.open()?;
+            {
+                let mut w = out.writer()?;
+                while let Some(r) = winnow.next()? {
+                    w.push(r)?;
+                }
+                w.finish()?;
+            }
+            winnow.close();
+            (out, merge_metrics.snapshot())
+        }
+    };
+
+    // Late materialization: the only stage that touches the payload
+    // after the initial scan. The narrow skyline heap is temp and
+    // deletes itself when its Arc drops.
+    let mat_metrics = SkylineMetrics::shared();
+    let mut mat = MaterializeRows::new(
+        Box::new(HeapScan::new(Arc::new(narrow_skyline))),
+        narrow,
+        base,
+        Arc::clone(&mat_metrics),
+    )?;
+    if let Some(token) = cancel {
+        mat = mat.with_cancel(token);
+    }
+    let mut skyline = materialize(&mut mat, Arc::clone(&disk))?;
+    skyline.persist();
+    let materialize_metrics = mat_metrics.snapshot();
+
+    for snap in &worker_metrics {
+        metrics.absorb(snap);
+    }
+    metrics.absorb(&merge_snapshot);
+    metrics.absorb(&materialize_metrics);
+    Ok(BatchFilterOutcome {
+        skyline,
+        worker_metrics,
+        merge_metrics: merge_snapshot,
+        merge_worker_metrics,
+        materialize_metrics,
+        threads: t,
+        stratum_sizes: sizes,
+        merged_in_memory,
+    })
+}
+
+/// Re-sort a narrow heap by `score` descending (total order, as in
+/// [`batch_presort`]) — used when a strata rest file loses global order
+/// across pass segments.
+fn sort_narrow(
+    heap: Arc<HeapFile>,
+    narrow: NarrowLayout,
+    score: Arc<dyn MonotoneScore>,
+    sort_pages: usize,
+    disk: Arc<dyn Disk>,
+) -> Result<HeapFile, ExecError> {
+    let scan: BoxedOperator = Box::new(HeapScan::new(heap));
+    let cmp: Arc<dyn RecordComparator> = Arc::new(NarrowCmp::new(narrow, score));
+    let mut sort = ExternalSort::new(scan, cmp, Arc::clone(&disk), SortBudget::pages(sort_pages));
+    materialize(&mut sort, disk)
+}
+
+/// Compute the first `k` skyline strata of `heap` on the batch path:
+/// one narrow presort up front, then per round a [`BatchSfs`] with rest
+/// collection, late materialization of the stratum against the original
+/// heap (row ids stay valid across every round), and a narrow re-sort
+/// of the rest. The columnar mirror of [`crate::strata::strata_external`].
+///
+/// # Errors
+/// Configuration, storage, and worker errors propagate.
+///
+/// # Panics
+/// Panics if `k == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_strata(
+    heap: Arc<HeapFile>,
+    layout: &RecordLayout,
+    spec: &SkylineSpec,
+    k: usize,
+    window_pages: usize,
+    batch_rows: usize,
+    sort_pages: usize,
+    disk: Arc<dyn Disk>,
+) -> Result<crate::strata::StrataResult, ExecError> {
+    assert!(k > 0, "need at least one stratum");
+    let metrics = SkylineMetrics::shared();
+    let narrow = NarrowLayout::new(spec.dims());
+    let score: Arc<dyn MonotoneScore> = Arc::new(KeySumScore);
+    let mut input = batch_presort(
+        Arc::clone(&heap),
+        layout,
+        spec,
+        Arc::clone(&score),
+        batch_rows,
+        sort_pages,
+        1,
+        Arc::clone(&disk),
+        Arc::clone(&metrics),
+        None,
+    )?;
+    input.mark_temp();
+
+    let mut strata: Vec<HeapFile> = Vec::new();
+    for _ in 0..k {
+        if input.is_empty() {
+            break;
+        }
+        let cfg = BatchConfig::new(window_pages)
+            .with_batch_rows(batch_rows)
+            .with_rest();
+        let mut sfs = BatchSfs::new(
+            Box::new(HeapScan::new(Arc::new(input))),
+            narrow,
+            cfg,
+            Arc::clone(&disk),
+            Arc::clone(&metrics),
+        )?;
+        let mut narrow_stratum = materialize(&mut sfs, Arc::clone(&disk))?;
+        narrow_stratum.mark_temp();
+        let rest = sfs.take_rest();
+
+        let mut mat = MaterializeRows::new(
+            Box::new(HeapScan::new(Arc::new(narrow_stratum))),
+            narrow,
+            Arc::clone(&heap),
+            Arc::clone(&metrics),
+        )?;
+        let mut stratum = materialize(&mut mat, Arc::clone(&disk))?;
+        stratum.mark_temp();
+        strata.push(stratum);
+
+        match rest {
+            Some(mut rest) if !rest.is_empty() => {
+                rest.mark_temp();
+                // The rest file loses global order across pass segments;
+                // re-sort it before the next round.
+                let mut sorted = sort_narrow(
+                    Arc::new(rest),
+                    narrow,
+                    Arc::clone(&score),
+                    sort_pages,
+                    Arc::clone(&disk),
+                )?;
+                sorted.mark_temp();
+                input = sorted;
+            }
+            _ => break,
+        }
+    }
+    for s in &mut strata {
+        s.persist();
+    }
+    Ok(crate::strata::StrataResult {
+        strata,
+        metrics: metrics.snapshot(),
+    })
+}
+
+/// Top-`n` skyline tuples under `score` on the batch path: presort by
+/// the caller's preference score, pipe [`BatchSfs`] straight into
+/// [`MaterializeRows`] with no intermediate heap, and stop after `n`
+/// emissions — the paper's §4.4 early termination, vectorized.
+///
+/// # Errors
+/// Configuration, storage, and cancellation errors propagate.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_top_n(
+    heap: Arc<HeapFile>,
+    layout: &RecordLayout,
+    spec: &SkylineSpec,
+    score: Arc<dyn MonotoneScore>,
+    n: u64,
+    window_pages: usize,
+    batch_rows: usize,
+    sort_pages: usize,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+) -> Result<HeapFile, ExecError> {
+    let mut sorted = batch_presort(
+        Arc::clone(&heap),
+        layout,
+        spec,
+        score,
+        batch_rows,
+        sort_pages,
+        1,
+        Arc::clone(&disk),
+        Arc::clone(&metrics),
+        None,
+    )?;
+    sorted.mark_temp();
+    let narrow = NarrowLayout::new(spec.dims());
+    let sfs = BatchSfs::new(
+        Box::new(HeapScan::new(Arc::new(sorted))),
+        narrow,
+        BatchConfig::new(window_pages).with_batch_rows(batch_rows),
+        Arc::clone(&disk),
+        Arc::clone(&metrics),
+    )?;
+    let mut mat = MaterializeRows::new(Box::new(sfs), narrow, heap, Arc::clone(&metrics))?;
+    let mut out = HeapFile::create_temp(Arc::clone(&disk), layout.record_size())?;
+    mat.open()?;
+    {
+        let mut w = out.writer()?;
+        let mut emitted: u64 = 0;
+        while emitted < n {
+            match mat.next()? {
+                Some(r) => {
+                    w.push(r)?;
+                    emitted += 1;
+                }
+                None => break,
+            }
+        }
+        w.finish()?;
+    }
+    mat.close();
+    out.persist();
+    Ok(out)
+}
+
+/// The `k`-skyband on the batch path: tuples dominated by fewer than
+/// `k` others. One narrow presort by key sum, then a single streaming
+/// pass — a candidate's dominators all carry a strictly higher key sum
+/// (strict dominance implies a strictly larger sum), so every dominator
+/// precedes it in the stream, and counting dominators among *retained*
+/// entries suffices: a discarded entry had ≥ `k` retained dominators,
+/// each of which transitively dominates whatever it dominates.
+///
+/// # Errors
+/// [`ExecError::Config`] if `k == 0` (the 0-skyband is empty by
+/// definition); configuration and storage errors propagate.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_skyband(
+    heap: Arc<HeapFile>,
+    layout: &RecordLayout,
+    spec: &SkylineSpec,
+    k: u64,
+    batch_rows: usize,
+    sort_pages: usize,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+) -> Result<HeapFile, ExecError> {
+    if k == 0 {
+        return Err(ExecError::Config(
+            "the 0-skyband is empty by definition".into(),
+        ));
+    }
+    let mut sorted = batch_presort(
+        Arc::clone(&heap),
+        layout,
+        spec,
+        Arc::new(KeySumScore),
+        batch_rows,
+        sort_pages,
+        1,
+        Arc::clone(&disk),
+        Arc::clone(&metrics),
+        None,
+    )?;
+    sorted.mark_temp();
+    let narrow = NarrowLayout::new(spec.dims());
+    let dims = narrow.dims();
+
+    let mut retained_keys: Vec<f64> = Vec::new();
+    let mut retained = HeapFile::create_temp(Arc::clone(&disk), narrow.entry_size())?;
+    {
+        let mut w = retained.writer()?;
+        let mut scan = SharedScanner::new(Arc::new(sorted));
+        let mut key: Vec<f64> = Vec::new();
+        while let Some(entry) = scan.next_record()? {
+            let entry = entry.to_vec();
+            metrics.add_input();
+            narrow.key_into(&entry, &mut key);
+            let mut dominators: u64 = 0;
+            let mut tested: u64 = 0;
+            for prior in retained_keys.chunks_exact(dims) {
+                tested += 1;
+                if dominates(prior, &key) {
+                    dominators += 1;
+                    if dominators >= k {
+                        break;
+                    }
+                }
+            }
+            metrics.add_comparisons(tested);
+            if dominators < k {
+                retained_keys.extend_from_slice(&key);
+                metrics.add_emitted();
+                w.push(&entry)?;
+            } else {
+                metrics.add_discarded();
+            }
+        }
+        w.finish()?;
+    }
+    retained.mark_temp();
+
+    let mut mat = MaterializeRows::new(
+        Box::new(HeapScan::new(Arc::new(retained))),
+        narrow,
+        heap,
+        Arc::clone(&metrics),
+    )?;
+    let mut out = materialize(&mut mat, disk)?;
+    out.persist();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{
+        batch_skyline_pipeline, entropy_stats_of, load_heap, presort, presort_by_preference,
+        sfs_filter,
+    };
+    use crate::score::SortOrder;
+    use crate::strata::strata_external;
+    use skyline_relation::gen::WorkloadSpec;
+    use skyline_storage::MemDisk;
+
+    const SORT_PAGES: usize = 50;
+
+    fn fixture(
+        n: usize,
+        seed: u64,
+        d: usize,
+    ) -> (Arc<HeapFile>, RecordLayout, SkylineSpec, Arc<MemDisk>) {
+        let w = WorkloadSpec::paper(n, seed);
+        let records = w.generate();
+        let layout = w.layout;
+        let spec = SkylineSpec::max_all(d);
+        let disk = MemDisk::shared();
+        let heap = load_heap(
+            disk.clone(),
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .expect("load");
+        (Arc::new(heap), layout, spec, disk)
+    }
+
+    /// First-`d`-attribute value multiset of a full-record heap.
+    fn value_set(heap: &HeapFile, layout: &RecordLayout, d: usize) -> Vec<Vec<i32>> {
+        let mut rows: Vec<Vec<i32>> = heap
+            .read_all()
+            .expect("read")
+            .iter()
+            .map(|r| (0..d).map(|i| layout.attr(r, i)).collect())
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Row-path oracle: presort + sequential SFS over the same heap.
+    fn row_skyline(
+        heap: &Arc<HeapFile>,
+        layout: &RecordLayout,
+        spec: &SkylineSpec,
+        disk: &Arc<MemDisk>,
+    ) -> Vec<Vec<i32>> {
+        let stats = entropy_stats_of(heap, layout, spec).expect("stats");
+        let mut sorted = presort(
+            Arc::clone(heap),
+            *layout,
+            spec.clone(),
+            SortOrder::Entropy,
+            Some(stats),
+            SORT_PAGES,
+            disk.clone() as Arc<dyn Disk>,
+        )
+        .expect("presort");
+        sorted.mark_temp();
+        let metrics = SkylineMetrics::shared();
+        let mut sfs = sfs_filter(
+            Arc::new(sorted),
+            *layout,
+            spec.clone(),
+            super::super::SfsConfig::new(4),
+            disk.clone() as Arc<dyn Disk>,
+            metrics,
+        )
+        .expect("sfs");
+        let out = materialize(&mut sfs, disk.clone() as Arc<dyn Disk>).expect("drain");
+        let rows = value_set(&out, layout, spec.dims());
+        out.delete();
+        rows
+    }
+
+    #[test]
+    fn batch_pipeline_matches_row_path_across_threads() {
+        let (heap, layout, spec, disk) = fixture(600, 41, 5);
+        let expect = row_skyline(&heap, &layout, &spec, &disk);
+        let before = disk.allocated_pages();
+        for threads in [1usize, 2, 4] {
+            let metrics = SkylineMetrics::shared();
+            let outcome = batch_skyline_pipeline(
+                Arc::clone(&heap),
+                &layout,
+                &spec,
+                BatchConfig::new(4).with_batch_rows(64),
+                SORT_PAGES,
+                threads,
+                disk.clone() as Arc<dyn Disk>,
+                Arc::clone(&metrics),
+                None,
+                None,
+            )
+            .expect("batch pipeline");
+            assert_eq!(value_set(&outcome.skyline, &layout, spec.dims()), expect);
+
+            // Exact aggregation: caller counters == Σ workers + merge +
+            // materialization (+ the presort the pipeline ran first).
+            let s = metrics.snapshot();
+            let expected_rows = outcome.skyline.len();
+            assert_eq!(outcome.materialize_metrics.rows_materialized, expected_rows);
+            assert_eq!(s.rows_materialized, expected_rows);
+            assert!(s.batches > 0, "batch path must form batches");
+            assert!(s.bytes_moved > 0);
+            // Per-stage conservation on the filter strata.
+            for w in &outcome.worker_metrics {
+                assert_eq!(w.emitted + w.discarded, w.input_records);
+            }
+            outcome.skyline.delete();
+        }
+        assert_eq!(disk.allocated_pages(), before, "no leaked temp pages");
+    }
+
+    #[test]
+    fn batch_sfs_multipass_and_scalar_seam_match() {
+        let (heap, layout, spec, disk) = fixture(400, 77, 4);
+        let expect = row_skyline(&heap, &layout, &spec, &disk);
+        // window_pages 0 clamps to a one-entry window: maximal multipass.
+        for cfg in [
+            BatchConfig::new(0).with_batch_rows(32),
+            BatchConfig::new(4),
+            BatchConfig::new(4).with_scalar_window(),
+        ] {
+            let metrics = SkylineMetrics::shared();
+            let outcome = batch_skyline_pipeline(
+                Arc::clone(&heap),
+                &layout,
+                &spec,
+                cfg,
+                SORT_PAGES,
+                1,
+                disk.clone() as Arc<dyn Disk>,
+                Arc::clone(&metrics),
+                None,
+                None,
+            )
+            .expect("batch pipeline");
+            assert_eq!(value_set(&outcome.skyline, &layout, spec.dims()), expect);
+            outcome.skyline.delete();
+        }
+    }
+
+    #[test]
+    fn merge_fallback_demotes_and_matches() {
+        let (heap, layout, spec, disk) = fixture(500, 9, 5);
+        let expect = row_skyline(&heap, &layout, &spec, &disk);
+        let metrics = SkylineMetrics::shared();
+        let outcome = batch_skyline_pipeline(
+            Arc::clone(&heap),
+            &layout,
+            &spec,
+            BatchConfig::new(4).with_merge_pages(0),
+            SORT_PAGES,
+            4,
+            disk.clone() as Arc<dyn Disk>,
+            Arc::clone(&metrics),
+            None,
+            None,
+        )
+        .expect("batch pipeline");
+        if outcome.threads > 1 {
+            assert!(!outcome.merged_in_memory, "merge_pages 0 forces fallback");
+        }
+        assert_eq!(value_set(&outcome.skyline, &layout, spec.dims()), expect);
+        outcome.skyline.delete();
+    }
+
+    #[test]
+    fn batch_strata_match_row_strata() {
+        let (heap, layout, spec, disk) = fixture(300, 123, 4);
+        let row = strata_external(
+            Arc::clone(&heap),
+            layout,
+            &spec,
+            3,
+            4,
+            SORT_PAGES,
+            SortOrder::Nested,
+            None,
+            disk.clone() as Arc<dyn Disk>,
+        )
+        .expect("row strata");
+        let batch = batch_strata(
+            Arc::clone(&heap),
+            &layout,
+            &spec,
+            3,
+            4,
+            64,
+            SORT_PAGES,
+            disk.clone() as Arc<dyn Disk>,
+        )
+        .expect("batch strata");
+        assert_eq!(batch.strata.len(), row.strata.len());
+        for (b, r) in batch.strata.iter().zip(&row.strata) {
+            assert_eq!(
+                value_set(b, &layout, spec.dims()),
+                value_set(r, &layout, spec.dims())
+            );
+        }
+        for h in batch.strata {
+            h.delete();
+        }
+        for h in row.strata {
+            h.delete();
+        }
+    }
+
+    #[test]
+    fn batch_skyband_matches_matrix_oracle() {
+        let (heap, layout, spec, disk) = fixture(250, 5, 4);
+        let records = heap.read_all().expect("read");
+        let rows: Vec<Vec<f64>> = records
+            .iter()
+            .map(|r| {
+                let mut key = Vec::new();
+                spec.key_of(&layout, r, &mut key);
+                key
+            })
+            .collect();
+        let matrix = crate::keys::KeyMatrix::from_rows(&rows);
+        for k in [1u64, 2, 3] {
+            let oracle = crate::skyband::skyband(&matrix, k);
+            let mut want: Vec<Vec<i32>> = oracle
+                .iter()
+                .map(|&i| {
+                    (0..spec.dims())
+                        .map(|j| layout.attr(&records[i], j))
+                        .collect()
+                })
+                .collect();
+            want.sort_unstable();
+            let metrics = SkylineMetrics::shared();
+            let got = batch_skyband(
+                Arc::clone(&heap),
+                &layout,
+                &spec,
+                k,
+                64,
+                SORT_PAGES,
+                disk.clone() as Arc<dyn Disk>,
+                metrics,
+            )
+            .expect("batch skyband");
+            assert_eq!(value_set(&got, &layout, spec.dims()), want);
+            got.delete();
+        }
+    }
+
+    #[test]
+    fn batch_top_n_matches_preference_prefix() {
+        let (heap, layout, spec, disk) = fixture(300, 31, 4);
+        let score: Arc<dyn MonotoneScore> = Arc::new(KeySumScore);
+        // Row path: preference presort + roomy single-pass SFS, take n.
+        let mut sorted = presort_by_preference(
+            Arc::clone(&heap),
+            layout,
+            spec.clone(),
+            Arc::clone(&score),
+            SORT_PAGES,
+            disk.clone() as Arc<dyn Disk>,
+        )
+        .expect("presort");
+        sorted.mark_temp();
+        let row_metrics = SkylineMetrics::shared();
+        let mut row_sfs = sfs_filter(
+            Arc::new(sorted),
+            layout,
+            spec.clone(),
+            super::super::SfsConfig::new(64),
+            disk.clone() as Arc<dyn Disk>,
+            row_metrics,
+        )
+        .expect("sfs");
+        let row_out = materialize(&mut row_sfs, disk.clone() as Arc<dyn Disk>).expect("drain");
+        let n = 5u64;
+        let row_rows = row_out.read_all().expect("read");
+        let mut want: Vec<Vec<i32>> = row_rows
+            .iter()
+            .take(n as usize)
+            .map(|r| (0..spec.dims()).map(|j| layout.attr(r, j)).collect())
+            .collect();
+        want.sort_unstable();
+        row_out.delete();
+
+        let metrics = SkylineMetrics::shared();
+        let got = batch_top_n(
+            Arc::clone(&heap),
+            &layout,
+            &spec,
+            score,
+            n,
+            64,
+            64,
+            SORT_PAGES,
+            disk.clone() as Arc<dyn Disk>,
+            metrics,
+        )
+        .expect("batch top-n");
+        assert_eq!(value_set(&got, &layout, spec.dims()), want);
+        got.delete();
+    }
+
+    #[test]
+    fn diff_specs_are_rejected() {
+        let (heap, layout, _spec, disk) = fixture(50, 1, 3);
+        let spec = SkylineSpec::max_all(2).with_diff(vec![2]);
+        let err = match batch_presort(
+            heap,
+            &layout,
+            &spec,
+            Arc::new(KeySumScore),
+            64,
+            SORT_PAGES,
+            1,
+            disk as Arc<dyn Disk>,
+            SkylineMetrics::shared(),
+            None,
+        ) {
+            Ok(_) => panic!("DIFF must be rejected"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ExecError::Config(_)));
+    }
+
+    #[test]
+    fn pre_cancelled_token_fails_without_leaks() {
+        let (heap, layout, spec, disk) = fixture(200, 8, 4);
+        let before = disk.allocated_pages();
+        let token = skyline_exec::CancelToken::new();
+        token.cancel();
+        let metrics = SkylineMetrics::shared();
+        let err = match batch_skyline_pipeline(
+            Arc::clone(&heap),
+            &layout,
+            &spec,
+            BatchConfig::new(4),
+            SORT_PAGES,
+            2,
+            disk.clone() as Arc<dyn Disk>,
+            metrics,
+            None,
+            Some(token),
+        ) {
+            Ok(_) => panic!("expected cancellation"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ExecError::Cancelled { .. }));
+        assert_eq!(disk.allocated_pages(), before, "no leaked temp pages");
+    }
+
+    #[test]
+    fn presort_meters_batches_and_bytes() {
+        let (heap, layout, spec, disk) = fixture(130, 3, 4);
+        let metrics = SkylineMetrics::shared();
+        let batch_rows = 32usize;
+        let sorted = batch_presort(
+            Arc::clone(&heap),
+            &layout,
+            &spec,
+            Arc::new(KeySumScore),
+            batch_rows,
+            SORT_PAGES,
+            1,
+            disk as Arc<dyn Disk>,
+            Arc::clone(&metrics),
+            None,
+        )
+        .expect("presort");
+        let n = heap.len();
+        let entry = NarrowLayout::new(spec.dims()).entry_size() as u64;
+        let s = metrics.snapshot();
+        assert_eq!(s.batches, n.div_ceil(batch_rows as u64));
+        assert_eq!(
+            s.bytes_moved,
+            n * (heap.record_size() as u64 + entry) + sorted.len() * entry
+        );
+        sorted.delete();
+    }
+}

@@ -2,12 +2,17 @@
 //! BNL baseline, implemented as Volcano operators over record streams with
 //! windows measured in buffer pages and overflow to temp heap files.
 
+mod batch;
 mod bnl;
 mod common;
 mod par_filter;
 mod sfs;
 mod winnow_op;
 
+pub use batch::{
+    batch_presort, batch_skyband, batch_strata, batch_top_n, parallel_batch_filter, BatchBnl,
+    BatchConfig, BatchFilterOutcome, BatchSfs, KeySumScore, MaterializeRows, NarrowCmp, SpecKeys,
+};
 pub use bnl::Bnl;
 pub use par_filter::{parallel_sfs_filter, ParFilterOutcome};
 pub use sfs::{Sfs, SfsConfig};

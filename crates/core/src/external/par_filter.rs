@@ -81,7 +81,7 @@ pub struct ParFilterOutcome {
 
 /// Records per stratum under round-robin assignment of `n` records to
 /// `t` strata: stratum `w` gets positions `w, w+t, w+2t, …`.
-fn stratum_sizes(n: u64, t: usize) -> Vec<u64> {
+pub(crate) fn stratum_sizes(n: u64, t: usize) -> Vec<u64> {
     let t64 = t as u64;
     (0..t64).map(|w| n / t64 + u64::from(w < n % t64)).collect()
 }
@@ -139,7 +139,7 @@ struct UnionEntry {
 }
 
 /// Check `cancel` and fail with the number of merge entries settled.
-fn check_cancel(cancel: Option<&CancelToken>, processed: u64) -> Result<(), ExecError> {
+pub(crate) fn check_cancel(cancel: Option<&CancelToken>, processed: u64) -> Result<(), ExecError> {
     match cancel {
         Some(t) if t.is_cancelled() => Err(ExecError::Cancelled {
             records_processed: processed,

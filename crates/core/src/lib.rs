@@ -55,7 +55,11 @@ pub mod winnow;
 pub use builder::{MemAlgorithm, SkylineBuilder};
 pub use dominance::{dom_rel, dominates, Criterion, Direction, DomRel, SkylineSpec};
 pub use dominance_block::{BlockVerdict, BlockWindow, ProbeCost, ReplaceWindow, BLOCK_LANES};
-pub use external::{parallel_sfs_filter, Bnl, ParFilterOutcome, Sfs, SfsConfig};
+pub use external::{
+    batch_presort, batch_skyband, batch_strata, batch_top_n, parallel_batch_filter,
+    parallel_sfs_filter, BatchBnl, BatchConfig, BatchFilterOutcome, BatchSfs, Bnl, KeySumScore,
+    MaterializeRows, NarrowCmp, ParFilterOutcome, Sfs, SfsConfig, SpecKeys,
+};
 pub use keys::KeyMatrix;
 pub use metrics::{MetricsSnapshot, SkylineMetrics};
 pub use par::{

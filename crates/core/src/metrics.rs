@@ -27,6 +27,9 @@ pub struct SkylineMetrics {
     input_records: AtomicU64,
     blocks_skipped: AtomicU64,
     lanes_compared: AtomicU64,
+    batches: AtomicU64,
+    rows_materialized: AtomicU64,
+    bytes_moved: AtomicU64,
 }
 
 impl SkylineMetrics {
@@ -78,6 +81,29 @@ impl SkylineMetrics {
         self.input_records.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one column-major key batch formed by the batch pipeline
+    /// (scan, filter, or merge — each stage counts the batches it builds).
+    #[inline]
+    pub fn add_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one full-width record materialized from its row id — the
+    /// batch path's late-materialization point. The row path never calls
+    /// this; its derived equivalents are computed by the bench gate.
+    #[inline]
+    pub fn add_rows_materialized(&self) {
+        self.rows_materialized.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` bytes crossing a stage boundary (scan output, entries
+    /// into/out of the sort, spill traffic, materialized rows). A
+    /// machine-independent model of data movement, not disk I/O.
+    #[inline]
+    pub fn add_bytes_moved(&self, n: u64) {
+        self.bytes_moved.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Record the block-kernel side of a probe: blocks pruned whole by
     /// summaries/bounds and window-entry lanes physically evaluated.
     /// Scalar-kernel probes add nothing here.
@@ -101,6 +127,9 @@ impl SkylineMetrics {
             &self.input_records,
             &self.blocks_skipped,
             &self.lanes_compared,
+            &self.batches,
+            &self.rows_materialized,
+            &self.bytes_moved,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -118,6 +147,9 @@ impl SkylineMetrics {
             input_records: self.input_records.load(Ordering::Relaxed),
             blocks_skipped: self.blocks_skipped.load(Ordering::Relaxed),
             lanes_compared: self.lanes_compared.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            rows_materialized: self.rows_materialized.load(Ordering::Relaxed),
+            bytes_moved: self.bytes_moved.load(Ordering::Relaxed),
         }
     }
 
@@ -138,6 +170,10 @@ impl SkylineMetrics {
             .fetch_add(s.blocks_skipped, Ordering::Relaxed);
         self.lanes_compared
             .fetch_add(s.lanes_compared, Ordering::Relaxed);
+        self.batches.fetch_add(s.batches, Ordering::Relaxed);
+        self.rows_materialized
+            .fetch_add(s.rows_materialized, Ordering::Relaxed);
+        self.bytes_moved.fetch_add(s.bytes_moved, Ordering::Relaxed);
     }
 }
 
@@ -164,6 +200,14 @@ pub struct MetricsSnapshot {
     /// Window-entry lanes physically evaluated by the batched columnar
     /// kernel (zero on scalar-kernel runs).
     pub lanes_compared: u64,
+    /// Column-major key batches formed (zero on row-path runs).
+    pub batches: u64,
+    /// Full-width records materialized from row ids at emission — the
+    /// batch path's late-materialization count (zero on row-path runs).
+    pub rows_materialized: u64,
+    /// Modeled bytes crossing stage boundaries (zero on row-path runs;
+    /// the bench gate derives the row path's equivalent analytically).
+    pub bytes_moved: u64,
 }
 
 impl MetricsSnapshot {
@@ -181,6 +225,9 @@ impl MetricsSnapshot {
             input_records: self.input_records + other.input_records,
             blocks_skipped: self.blocks_skipped + other.blocks_skipped,
             lanes_compared: self.lanes_compared + other.lanes_compared,
+            batches: self.batches + other.batches,
+            rows_materialized: self.rows_materialized + other.rows_materialized,
+            bytes_moved: self.bytes_moved + other.bytes_moved,
         }
     }
 }
@@ -201,6 +248,9 @@ mod tests {
         m.add_emitted();
         m.add_input();
         m.add_block_stats(3, 12);
+        m.add_batch();
+        m.add_rows_materialized();
+        m.add_bytes_moved(96);
         let s = m.snapshot();
         assert_eq!(s.comparisons, 15);
         assert_eq!(s.passes, 1);
@@ -211,6 +261,9 @@ mod tests {
         assert_eq!(s.input_records, 1);
         assert_eq!(s.blocks_skipped, 3);
         assert_eq!(s.lanes_compared, 12);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.rows_materialized, 1);
+        assert_eq!(s.bytes_moved, 96);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
@@ -227,6 +280,9 @@ mod tests {
             input_records: 11,
             blocks_skipped: 8,
             lanes_compared: 40,
+            batches: 2,
+            rows_materialized: 6,
+            bytes_moved: 512,
         };
         let b = MetricsSnapshot {
             comparisons: 7,
@@ -238,6 +294,9 @@ mod tests {
             input_records: 7,
             blocks_skipped: 2,
             lanes_compared: 9,
+            batches: 1,
+            rows_materialized: 4,
+            bytes_moved: 128,
         };
         let m = SkylineMetrics::shared();
         m.absorb(&a);

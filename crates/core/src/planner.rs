@@ -177,6 +177,55 @@ pub fn parallel_skyline_pipeline(
     )
 }
 
+/// The columnar pipeline end-to-end: batch presort of narrow key/row-id
+/// entries by the oriented key sum, parallel batch filter over the
+/// narrow representation, and one late-materialization pass against the
+/// base heap — the batch-path mirror of [`parallel_skyline_pipeline`].
+///
+/// # Errors
+/// Configuration (DIFF specs are rejected — the batch path does not
+/// carry DIFF keys), storage, buffer, worker, and cancellation errors
+/// propagate.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_skyline_pipeline(
+    heap: Arc<HeapFile>,
+    layout: &RecordLayout,
+    spec: &SkylineSpec,
+    cfg: crate::external::BatchConfig,
+    sort_pages: usize,
+    threads: usize,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+    pool: Option<&skyline_storage::BufferPool>,
+    cancel: Option<skyline_exec::CancelToken>,
+) -> Result<crate::external::BatchFilterOutcome, ExecError> {
+    let narrow = skyline_exec::NarrowLayout::new(spec.dims());
+    let mut sorted = crate::external::batch_presort(
+        Arc::clone(&heap),
+        layout,
+        spec,
+        Arc::new(crate::external::KeySumScore),
+        cfg.batch_rows,
+        sort_pages,
+        threads,
+        Arc::clone(&disk),
+        Arc::clone(&metrics),
+        cancel.clone(),
+    )?;
+    sorted.mark_temp(); // intermediate: lives only until the filter is done
+    crate::external::parallel_batch_filter(
+        Arc::new(sorted),
+        heap,
+        narrow,
+        cfg,
+        threads,
+        disk,
+        metrics,
+        pool,
+        cancel,
+    )
+}
+
 /// The filter phase: SFS over an already-sorted heap file.
 ///
 /// # Errors

@@ -20,6 +20,7 @@
 //!   [`op::HeapScan`], [`op::MemSource`] — plumbing every engine needs.
 
 pub mod backpressure;
+pub mod batch;
 pub mod cancel;
 pub mod error;
 pub mod filter;
@@ -32,6 +33,7 @@ pub mod sort;
 mod sync_util;
 
 pub use backpressure::{Backpressure, TryAcquire};
+pub use batch::{BatchEncode, BatchHeapScan, BatchSource, KeyBatch, KeyExtract, NarrowLayout};
 pub use cancel::CancelToken;
 pub use error::ExecError;
 pub use filter::Filter;

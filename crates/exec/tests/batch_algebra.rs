@@ -1,0 +1,216 @@
+//! Differential property test for the [`KeyBatch`] selection-vector
+//! algebra.
+//!
+//! The reference model is the obvious one: a `Vec<(key, row_id)>` of
+//! the live logical rows, in logical order. `select` gathers by index
+//! (repeats allowed), `filter` retains, `slice` takes a subrange,
+//! `compact` is the identity on the logical view, and `push` appends.
+//! Each seeded case replays a random program of those operations
+//! against both the real batch and the model, asserting after every
+//! step that the full observable surface agrees: `len`, `is_empty`,
+//! `bytes`, `value`, `row_id_at`, and `key_at`. Because `select`
+//! composes with whatever selection is already in place, a passing grid
+//! here proves the physical indirection is never observable — the one
+//! invariant every batch operator leans on.
+
+use skyline_exec::batch::KeyBatch;
+use skyline_testkit::{cases, Rng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The live logical rows in logical order: `(key, row_id)`.
+type Model = Vec<(Vec<f64>, u64)>;
+
+/// Assert every observable of `batch` matches the model.
+fn assert_agrees(batch: &KeyBatch, model: &Model, d: usize, ctx: &str) {
+    assert_eq!(batch.dims(), d, "{ctx}: dims");
+    assert_eq!(batch.len(), model.len(), "{ctx}: len");
+    assert_eq!(batch.is_empty(), model.is_empty(), "{ctx}: is_empty");
+    assert_eq!(
+        batch.bytes(),
+        (model.len() * 8 * (d + 1)) as u64,
+        "{ctx}: bytes"
+    );
+    let mut key = Vec::new();
+    for (i, (want_key, want_id)) in model.iter().enumerate() {
+        assert_eq!(batch.row_id_at(i), *want_id, "{ctx}: row_id_at({i})");
+        batch.key_at(i, &mut key);
+        assert_eq!(&key, want_key, "{ctx}: key_at({i})");
+        for (j, want) in want_key.iter().enumerate() {
+            assert_eq!(batch.value(j, i), *want, "{ctx}: value({j},{i})");
+        }
+    }
+}
+
+/// Append `count` random rows to both sides (legal only when no
+/// selection is active — callers compact first).
+fn push_rows(rng: &mut Rng, batch: &mut KeyBatch, model: &mut Model, d: usize, count: usize) {
+    for _ in 0..count {
+        let key: Vec<f64> = (0..d).map(|_| rng.i32_inclusive(-8, 8) as f64).collect();
+        let row_id = rng.u64_below(1 << 40);
+        batch.push(&key, row_id);
+        model.push((key, row_id));
+    }
+}
+
+#[test]
+fn key_batch_matches_the_vec_model_over_random_programs() {
+    cases(64, 0x0920_030B, |rng| {
+        let d = 1 + rng.usize_below(6);
+        let mut batch = KeyBatch::new(d);
+        let mut model: Model = Vec::new();
+        let mut compacted = true; // no selection yet
+        let fill = 4 + rng.usize_below(60);
+        push_rows(rng, &mut batch, &mut model, d, fill);
+        assert_agrees(&batch, &model, d, "initial fill");
+
+        for step in 0..40 {
+            match rng.usize_below(6) {
+                // select: random gather, repeats and reorders allowed —
+                // must compose with any existing selection.
+                0 => {
+                    let take = rng.usize_below(model.len() + 1);
+                    let idx: Vec<u32> = (0..take)
+                        .map(|_| rng.usize_below(model.len().max(1)) as u32)
+                        .collect();
+                    let idx = if model.is_empty() { Vec::new() } else { idx };
+                    batch.select(&idx);
+                    model = idx.iter().map(|&i| model[i as usize].clone()).collect();
+                    compacted = false;
+                }
+                // filter: keep rows whose key in a random dimension
+                // clears a random threshold.
+                1 => {
+                    let j = rng.usize_below(d);
+                    let cut = rng.i32_inclusive(-8, 8) as f64;
+                    batch.filter(|b, i| b.value(j, i) >= cut);
+                    model.retain(|(key, _)| key[j] >= cut);
+                    compacted = false;
+                }
+                // slice: random in-range window.
+                2 => {
+                    let offset = rng.usize_below(model.len() + 1);
+                    let len = rng.usize_below(model.len() - offset + 1);
+                    batch.slice(offset, len);
+                    model = model[offset..offset + len].to_vec();
+                    compacted = false;
+                }
+                // compact: identity on the logical view, but afterwards
+                // the physical storage must equal the logical view.
+                3 => {
+                    batch.compact();
+                    assert!(batch.selection().is_none(), "compact drops the selection");
+                    assert_eq!(batch.physical_len(), model.len(), "compact physical_len");
+                    for j in 0..d {
+                        let col: Vec<f64> = model.iter().map(|(k, _)| k[j]).collect();
+                        assert_eq!(batch.col(j), col.as_slice(), "compacted col {j}");
+                    }
+                    compacted = true;
+                }
+                // push: legal only on a compacted batch.
+                4 => {
+                    if !compacted {
+                        batch.compact();
+                        compacted = true;
+                    }
+                    let count = 1 + rng.usize_below(8);
+                    push_rows(rng, &mut batch, &mut model, d, count);
+                }
+                // clear: back to empty, same shape.
+                _ => {
+                    batch.clear();
+                    model.clear();
+                    compacted = true;
+                    if rng.bool() {
+                        let count = rng.usize_below(12);
+                        push_rows(rng, &mut batch, &mut model, d, count);
+                    }
+                }
+            }
+            assert_agrees(&batch, &model, d, &format!("step {step}"));
+        }
+    });
+}
+
+#[test]
+fn select_composes_like_function_application() {
+    // select(a) then select(b) must equal select(a ∘ b) applied to the
+    // original rows — the law the filter/slice sugar relies on.
+    cases(32, 0x0A16_EB2A, |rng| {
+        let d = 1 + rng.usize_below(4);
+        let n = 8 + rng.usize_below(24);
+        let mut base = KeyBatch::new(d);
+        let mut model: Model = Vec::new();
+        push_rows(rng, &mut base, &mut model, d, n);
+
+        let a: Vec<u32> = (0..rng.usize_below(n + 1))
+            .map(|_| rng.usize_below(n) as u32)
+            .collect();
+        let b: Vec<u32> = (0..rng.usize_below(a.len() + 1))
+            .map(|_| rng.usize_below(a.len().max(1)) as u32)
+            .collect();
+        let b = if a.is_empty() { Vec::new() } else { b };
+
+        base.select(&a);
+        base.select(&b);
+
+        let composed: Model = b
+            .iter()
+            .map(|&i| model[a[i as usize] as usize].clone())
+            .collect();
+        assert_agrees(&base, &composed, d, "select∘select");
+
+        // compact must not change the logical view it materializes.
+        base.compact();
+        assert_agrees(&base, &composed, d, "compact(select∘select)");
+    });
+}
+
+#[test]
+fn reset_reshapes_and_empties() {
+    let mut batch = KeyBatch::new(3);
+    batch.push(&[1.0, 2.0, 3.0], 7);
+    batch.slice(0, 1);
+    batch.reset(5);
+    assert_eq!(batch.dims(), 5);
+    assert!(batch.is_empty());
+    assert!(batch.selection().is_none());
+    batch.push(&[0.0; 5], 9);
+    assert_eq!(batch.len(), 1);
+    assert_eq!(batch.row_id_at(0), 9);
+}
+
+#[test]
+fn contract_violations_panic() {
+    // push under a live selection
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let mut b = KeyBatch::new(2);
+        b.push(&[1.0, 2.0], 0);
+        b.slice(0, 1);
+        b.push(&[3.0, 4.0], 1);
+    }));
+    assert!(err.is_err(), "push under a selection must panic");
+
+    // select past the logical end
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let mut b = KeyBatch::new(2);
+        b.push(&[1.0, 2.0], 0);
+        b.slice(0, 0);
+        b.select(&[0]);
+    }));
+    assert!(err.is_err(), "select beyond the logical length must panic");
+
+    // slice past the logical end
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let mut b = KeyBatch::new(2);
+        b.push(&[1.0, 2.0], 0);
+        b.slice(0, 2);
+    }));
+    assert!(err.is_err(), "out-of-range slice must panic");
+
+    // width mismatch
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let mut b = KeyBatch::new(2);
+        b.push(&[1.0], 0);
+    }));
+    assert!(err.is_err(), "key width mismatch must panic");
+}

@@ -1,5 +1,5 @@
 //! `cargo xtask bench` — regenerate or gate the parallel-SFS benchmark
-//! report (`BENCH_pr5.json`).
+//! report (`BENCH_pr9.json`).
 //!
 //! Without `--gate` the bench binary rewrites the committed report.
 //! With `--gate` a fresh run lands in `target/bench_gate_new.json` and
@@ -21,6 +21,13 @@
 //! cost (aggregate and critical path) on the shared full grid, with a
 //! bit-identical skyline. That check runs on the committed files, so it
 //! holds in `--smoke` mode too.
+//!
+//! It also checks [`batch_beats_row`] on the committed `BENCH_pr9.json`:
+//! every `-batch` section must produce the bit-identical skyline of its
+//! row twin while strictly reducing `rows_materialized` and
+//! `bytes_moved`, and at `threads=1` the batch pipeline's wall clock
+//! (sort + filter) may not exceed the row pipeline's by more than
+//! [`BATCH_WALL_SLACK`].
 //!
 //! `--smoke` restricts the fresh run to the CI-sized section; sections
 //! present only in the committed report are then skipped.
@@ -54,6 +61,12 @@ pub const P99_ABS_SLACK_MS: f64 = 5.0;
 /// scalar-era baseline by at least this factor, per full-grid thread
 /// count (the PR 5 acceptance bar).
 pub const MIN_COST_IMPROVEMENT: f64 = 1.3;
+
+/// At `threads=1` the committed batch section's wall clock (sort +
+/// filter) must stay within this factor of its row twin's — the batch
+/// pipeline has to win, but a committed baseline measured on a loaded
+/// machine should not flap the gate over scheduler noise.
+pub const BATCH_WALL_SLACK: f64 = 1.10;
 
 /// Minimal JSON value — just enough to walk the bench report.
 #[derive(Debug, Clone, PartialEq)]
@@ -291,11 +304,15 @@ const OPTIONAL_COUNTERS: &[&str] = &[
     "discarded",
     "emitted",
     "input_records",
+    "batches",
+    "rows_materialized",
+    "bytes_moved",
 ];
 
 /// One run row, keyed for the diff.
 #[derive(Debug, Clone, PartialEq)]
 struct Run {
+    sort_ms: f64,
     filter_ms: f64,
     comparisons: f64,
     critical_path: f64,
@@ -367,6 +384,7 @@ fn grid_of(doc: &Json) -> Result<Grid, String> {
             runs.insert(
                 f("threads")? as u64,
                 Run {
+                    sort_ms: f("sort_ms")?,
                     filter_ms: f("filter_ms")?,
                     comparisons: f("comparisons")?,
                     critical_path: f("critical_path")?,
@@ -404,7 +422,7 @@ pub fn compare(committed: &str, fresh: &str) -> Result<Vec<String>, String> {
     for (label, runs) in &fresh {
         let Some(base_runs) = committed.get(label) else {
             errs.push_str(&format!(
-                "section `{label}` missing from committed BENCH_pr4.json — regenerate it\n"
+                "section `{label}` missing from the committed baseline — regenerate it\n"
             ));
             continue;
         };
@@ -573,6 +591,94 @@ pub fn improvement(pr4: &str, pr5: &str) -> Result<Vec<String>, String> {
     }
 }
 
+/// The PR 9 acceptance check, run on the committed `BENCH_pr9.json`:
+/// every `-batch` section must pair with its row twin (`full` ↔
+/// `full-batch`, `smoke` ↔ `smoke-batch`) and, per shared thread count,
+/// produce the **same** skyline count and checksum while strictly
+/// reducing both `rows_materialized` and `bytes_moved`. At `threads=1`
+/// the batch pipeline's wall clock (sort + filter) must additionally
+/// stay within [`BATCH_WALL_SLACK`] of the row pipeline's.
+///
+/// # Errors
+/// A report of every violated check, one per line, or a missing-pair /
+/// missing-counter description.
+pub fn batch_beats_row(report: &str) -> Result<Vec<String>, String> {
+    let grid = grid_of(&parse(report).map_err(|e| format!("BENCH_pr9.json: {e}"))?)?;
+    let mut notes = Vec::new();
+    let mut errs = String::new();
+    let mut pairs = 0usize;
+    for (row_label, batch_label) in [("full", "full-batch"), ("smoke", "smoke-batch")] {
+        let (Some(row_runs), Some(batch_runs)) = (grid.get(row_label), grid.get(batch_label))
+        else {
+            continue;
+        };
+        pairs += 1;
+        for (threads, row) in row_runs {
+            let Some(batch) = batch_runs.get(threads) else {
+                errs.push_str(&format!(
+                    "`{batch_label}` has no threads={threads} run to pair with `{row_label}`\n"
+                ));
+                continue;
+            };
+            #[allow(clippy::float_cmp)] // integers carried in f64; exactness is the point
+            if batch.skyline != row.skyline || batch.checksum != row.checksum {
+                errs.push_str(&format!(
+                    "`{batch_label}` threads={threads}: skyline differs from `{row_label}` \
+                     ({} / {} vs {} / {}) — the columnar pipeline changed the answer\n",
+                    batch.skyline, batch.checksum, row.skyline, row.checksum
+                ));
+                continue;
+            }
+            for key in ["rows_materialized", "bytes_moved"] {
+                let (Some(new), Some(old)) = (batch.counters.get(key), row.counters.get(key))
+                else {
+                    errs.push_str(&format!(
+                        "`{row_label}`/`{batch_label}` threads={threads}: missing `{key}` — \
+                         regenerate the baseline\n"
+                    ));
+                    continue;
+                };
+                if new < old {
+                    notes.push(format!(
+                        "`{batch_label}` threads={threads}: {key} {old:.0} → {new:.0} \
+                         ({:.2}×, identical skyline)",
+                        old / new
+                    ));
+                } else {
+                    errs.push_str(&format!(
+                        "`{batch_label}` threads={threads}: {key} {new:.0} does not beat \
+                         `{row_label}`'s {old:.0}\n"
+                    ));
+                }
+            }
+            if *threads == 1 {
+                let (row_wall, batch_wall) =
+                    (row.sort_ms + row.filter_ms, batch.sort_ms + batch.filter_ms);
+                if batch_wall > row_wall * BATCH_WALL_SLACK {
+                    errs.push_str(&format!(
+                        "`{batch_label}` threads=1: wall {batch_wall:.1}ms exceeds \
+                         `{row_label}`'s {row_wall:.1}ms beyond the {:.0}% slack\n",
+                        (BATCH_WALL_SLACK - 1.0) * 100.0
+                    ));
+                } else {
+                    notes.push(format!(
+                        "`{batch_label}` threads=1: wall {batch_wall:.1}ms vs \
+                         `{row_label}` {row_wall:.1}ms — ok"
+                    ));
+                }
+            }
+        }
+    }
+    if pairs == 0 {
+        return Err("BENCH_pr9.json has no row/batch section pair".into());
+    }
+    if errs.is_empty() {
+        Ok(notes)
+    } else {
+        Err(errs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,7 +757,7 @@ mod tests {
     fn missing_fresh_section_in_committed_fails() {
         let other = report_of(&[section("full", 5.0, 1000)]);
         let err = compare(&other, &report(5.0, 1000)).unwrap_err();
-        assert!(err.contains("missing from committed"), "{err}");
+        assert!(err.contains("missing from the committed"), "{err}");
     }
 
     #[test]
@@ -737,5 +843,82 @@ mod tests {
         let pr4 = report_of(&[section("full", 5.0, 1300)]);
         let err = improvement(&pr4, &report(4.0, 1000)).unwrap_err();
         assert!(err.contains("share no"), "{err}");
+    }
+
+    /// A single-run section carrying the movement counters the batch
+    /// gate compares.
+    fn movement_section(label: &str, wall: f64, rows: u64, bytes: u64) -> String {
+        format!(
+            r#"{{ "label": "{label}", "n": 20000, "d": 7, "window_pages": 16, "cores": 1,
+                  "runs": [ {{ "threads": 1, "sort_ms": {wall}, "filter_ms": {wall},
+                               "comparisons": 1000, "critical_path": 1000,
+                               "extra_pages": 0, "rows_materialized": {rows},
+                               "bytes_moved": {bytes}, "skyline": 42,
+                               "checksum": "0x00deadbeef000000",
+                               "speedup_wall": 1.0, "speedup_model": 1.0 }} ] }}"#
+        )
+    }
+
+    #[test]
+    fn batch_gate_passes_when_batch_strictly_wins() {
+        let r = report_of(&[
+            movement_section("smoke", 10.0, 21_000, 6_300_000),
+            movement_section("smoke-batch", 8.0, 42, 4_000_000),
+        ]);
+        let notes = batch_beats_row(&r).unwrap();
+        assert_eq!(
+            notes.len(),
+            3,
+            "two movement notes + the wall note: {notes:?}"
+        );
+    }
+
+    #[test]
+    fn batch_gate_rejects_equal_movement() {
+        let r = report_of(&[
+            movement_section("smoke", 10.0, 21_000, 6_300_000),
+            movement_section("smoke-batch", 8.0, 42, 6_300_000),
+        ]);
+        let err = batch_beats_row(&r).unwrap_err();
+        assert!(
+            err.contains("bytes_moved") && err.contains("does not beat"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn batch_gate_rejects_slow_batch_wall() {
+        // slack at t=1 is 10%: 2×12.0 = 24ms vs 2×10.0 = 20ms row wall
+        let r = report_of(&[
+            movement_section("smoke", 10.0, 21_000, 6_300_000),
+            movement_section("smoke-batch", 12.0, 42, 4_000_000),
+        ]);
+        let err = batch_beats_row(&r).unwrap_err();
+        assert!(err.contains("wall") && err.contains("slack"), "{err}");
+    }
+
+    #[test]
+    fn batch_gate_rejects_changed_skyline() {
+        let r = report_of(&[
+            movement_section("smoke", 10.0, 21_000, 6_300_000),
+            movement_section("smoke-batch", 8.0, 42, 4_000_000)
+                .replace("\"skyline\": 42", "\"skyline\": 43"),
+        ]);
+        let err = batch_beats_row(&r).unwrap_err();
+        assert!(err.contains("skyline differs"), "{err}");
+    }
+
+    #[test]
+    fn batch_gate_needs_a_pair_and_the_counters() {
+        let err = batch_beats_row(&report(5.0, 1000)).unwrap_err();
+        assert!(err.contains("no row/batch section pair"), "{err}");
+        // a pair whose row side predates the movement counters fails
+        // loudly instead of passing vacuously
+        let r = report_of(&[
+            section("smoke", 10.0, 1000),
+            movement_section("smoke-batch", 8.0, 42, 4_000_000),
+        ]);
+        let err = batch_beats_row(&r).unwrap_err();
+        assert!(err.contains("missing `rows_materialized`"), "{err}");
     }
 }

@@ -12,14 +12,17 @@
 //! * `oracle` — the differential gate of [`oracle`]: every algorithm
 //!   against the naive O(n²) oracle across the paper's workload grid.
 //! * `bench [--gate] [--smoke]` — run the parallel-SFS bench gate.
-//!   Without `--gate`, (re)writes the committed `BENCH_pr5.json`
+//!   Without `--gate`, (re)writes the committed `BENCH_pr9.json`
 //!   baseline; with `--gate`, writes a fresh report to `target/` and
 //!   diffs it against the committed one via [`bench::compare`]
 //!   (deterministic counters exactly, wall time within 20%), then
-//!   checks [`bench::improvement`]: the committed `BENCH_pr5.json`
+//!   checks [`bench::improvement`] (the committed `BENCH_pr5.json`
 //!   must beat the retained scalar-era `BENCH_pr4.json` by ≥1.3× in
-//!   model comparison cost with a bit-identical skyline. `--smoke`
-//!   runs only the small section — the CI configuration.
+//!   model comparison cost with a bit-identical skyline) and
+//!   [`bench::batch_beats_row`] (in `BENCH_pr9.json` the columnar
+//!   sections must reproduce their row twins' skylines bit-for-bit
+//!   while strictly reducing rows materialized and bytes moved).
+//!   `--smoke` runs only the small sections — the CI configuration.
 //! * `ratchet --base PATH` — monotonicity check: the committed
 //!   `lint-baseline.txt` must be ≤ the snapshot at PATH entry-wise (CI
 //!   passes the PR base branch's copy), so allowances only ever shrink.
@@ -235,15 +238,17 @@ fn run_oracle() -> Result<(), String> {
 }
 
 /// Run the bench-gate binary; with `gate`, diff its fresh report against
-/// the committed `BENCH_pr5.json` (deterministic fields must match
-/// exactly, wall time within [`bench::MAX_WALL_REGRESSION`]) and then
-/// check the committed `BENCH_pr5.json` improves on the scalar-era
-/// `BENCH_pr4.json` by [`bench::MIN_COST_IMPROVEMENT`].
+/// the committed `BENCH_pr9.json` (deterministic fields must match
+/// exactly, wall time within [`bench::MAX_WALL_REGRESSION`]), check the
+/// committed `BENCH_pr5.json` improves on the scalar-era
+/// `BENCH_pr4.json` by [`bench::MIN_COST_IMPROVEMENT`], and check the
+/// committed `BENCH_pr9.json` batch sections beat their row twins via
+/// [`bench::batch_beats_row`].
 fn run_bench(root: &Path, gate: bool, smoke: bool) -> Result<(), String> {
     let out_rel = if gate {
         "target/bench_gate_fresh.json"
     } else {
-        "BENCH_pr5.json"
+        "BENCH_pr9.json"
     };
     let mut args = vec![
         "run",
@@ -263,23 +268,33 @@ fn run_bench(root: &Path, gate: bool, smoke: bool) -> Result<(), String> {
     if !gate {
         return Ok(());
     }
-    let committed = std::fs::read_to_string(root.join("BENCH_pr5.json")).map_err(|e| {
-        format!("read BENCH_pr5.json: {e} — regenerate the baseline with `cargo xtask bench`")
+    let committed = std::fs::read_to_string(root.join("BENCH_pr9.json")).map_err(|e| {
+        format!("read BENCH_pr9.json: {e} — regenerate the baseline with `cargo xtask bench`")
     })?;
     let fresh =
         std::fs::read_to_string(root.join(out_rel)).map_err(|e| format!("read {out_rel}: {e}"))?;
     for note in bench::compare(&committed, &fresh)? {
         println!("bench: {note}");
     }
-    println!("bench: gate ok — fresh run agrees with the committed BENCH_pr5.json");
+    println!("bench: gate ok — fresh run agrees with the committed BENCH_pr9.json");
     let scalar_era = std::fs::read_to_string(root.join("BENCH_pr4.json"))
         .map_err(|e| format!("read BENCH_pr4.json (scalar-era baseline): {e}"))?;
-    for note in bench::improvement(&scalar_era, &committed)? {
+    let block_era = std::fs::read_to_string(root.join("BENCH_pr5.json"))
+        .map_err(|e| format!("read BENCH_pr5.json (block-era baseline): {e}"))?;
+    for note in bench::improvement(&scalar_era, &block_era)? {
         println!("bench: {note}");
     }
     println!(
         "bench: improvement ok — block kernel beats the scalar-era baseline by ≥{:.1}×",
         bench::MIN_COST_IMPROVEMENT
+    );
+    for note in bench::batch_beats_row(&committed)? {
+        println!("bench: {note}");
+    }
+    println!(
+        "bench: batch ok — columnar sections beat their row twins on data movement \
+         (wall within {:.0}% at t=1)",
+        (bench::BATCH_WALL_SLACK - 1.0) * 100.0
     );
     Ok(())
 }

@@ -14,15 +14,17 @@
 use skyline::core::algo::naive;
 use skyline::core::external::WinnowOp;
 use skyline::core::planner::{
-    bnl_over, entropy_stats_of_records, load_heap, parallel_skyline_pipeline, presort, sfs_filter,
+    batch_skyline_pipeline, bnl_over, entropy_stats_of_records, load_heap,
+    parallel_skyline_pipeline, presort, sfs_filter,
 };
 use skyline::core::skyband::skyband;
 use skyline::core::strata::strata_external;
 use skyline::core::winnow::SkylinePreference;
 use skyline::core::{
-    parallel_skyline_cancellable, parallel_skyline_heap, AlgoError, KeyMatrix, SfsConfig,
-    SkylineMetrics, SkylineSpec, SortOrder,
+    batch_presort, parallel_skyline_cancellable, parallel_skyline_heap, AlgoError, BatchConfig,
+    KeyMatrix, KeySumScore, SfsConfig, SkylineMetrics, SkylineSpec, SortOrder, SpecKeys,
 };
+use skyline::exec::batch::{BatchHeapScan, BatchSource, KeyBatch};
 use skyline::exec::{collect, CancelToken, ExecError, HeapScan, Operator};
 use skyline::relation::gen::WorkloadSpec;
 use skyline::relation::RecordLayout;
@@ -317,6 +319,57 @@ fn skyband_k1(
     ))
 }
 
+/// The columnar pipeline end-to-end: batched scan → narrow presort →
+/// partitioned batch filter → late materialization. Every stage does
+/// its own I/O through `disk`, so faults can land in the key extraction
+/// scan, the narrow-entry sort runs, the spill, or the final payload
+/// fetch — and must surface as a typed error from any of them.
+fn run_batch(
+    disk: Arc<dyn Disk>,
+    layout: RecordLayout,
+    records: &[Vec<u8>],
+    scalar: bool,
+) -> Result<Vec<Vec<i32>>, String> {
+    let spec = SkylineSpec::max_all(D);
+    let mut heap = load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    )
+    .map_err(|e| e.to_string())?;
+    heap.mark_temp();
+    let mut cfg = BatchConfig::new(1).with_batch_rows(64);
+    if scalar {
+        cfg = cfg.with_scalar_window();
+    }
+    let outcome = batch_skyline_pipeline(
+        Arc::new(heap),
+        &layout,
+        &spec,
+        cfg,
+        4,
+        par_threads(),
+        disk,
+        SkylineMetrics::shared(),
+        None,
+        None,
+    )
+    .map_err(|e| e.to_string())?;
+    // the outcome's skyline is persisted: delete it on *both* paths, or
+    // a read fault here would masquerade as a page leak
+    let rows = outcome.skyline.read_all().map_err(|e| e.to_string());
+    outcome.skyline.delete();
+    Ok(value_rows(&layout, rows?.iter().map(Vec::as_slice)))
+}
+
+fn batch_block(d: Arc<dyn Disk>, l: RecordLayout, r: &[Vec<u8>]) -> Result<Vec<Vec<i32>>, String> {
+    run_batch(d, l, r, false)
+}
+
+fn batch_scalar(d: Arc<dyn Disk>, l: RecordLayout, r: &[Vec<u8>]) -> Result<Vec<Vec<i32>>, String> {
+    run_batch(d, l, r, true)
+}
+
 const DRIVERS: &[(&str, Driver)] = &[
     ("sfs-nested", sfs_nested),
     ("sfs-entropy", sfs_entropy),
@@ -327,6 +380,8 @@ const DRIVERS: &[(&str, Driver)] = &[
     ("parallel", parallel),
     ("strata", strata),
     ("skyband", skyband_k1),
+    ("batch", batch_block),
+    ("batch-scalar", batch_scalar),
 ];
 
 /// Seeded fault schedules. `arm_after` on write schedules lets the
@@ -561,6 +616,98 @@ fn cancelled_operators_surface_typed_error_without_leaking() {
         assert!(matches!(err, ExecError::Cancelled { .. }));
     }
     assert_eq!(disk.allocated_pages(), 0, "cancelled winnow leaked");
+}
+
+/// Every batch stage polls its cancel token at batch boundaries; a
+/// trip anywhere must surface as a typed `Cancelled` error and leave
+/// zero temp pages behind.
+#[test]
+fn cancelled_batch_stages_surface_typed_error_without_leaking() {
+    let (layout, records) = workload();
+    let disk = MemDisk::shared();
+    let spec = SkylineSpec::max_all(D);
+    let fresh_heap = || {
+        let mut heap = load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap();
+        heap.mark_temp();
+        Arc::new(heap)
+    };
+
+    // Batched scan: a pre-cancelled token trips at the first batch
+    // boundary, before any key is extracted.
+    {
+        let token = CancelToken::new();
+        token.cancel();
+        let keys = SpecKeys::new(layout, spec.clone()).unwrap();
+        let mut scan = BatchHeapScan::new(fresh_heap(), Arc::new(keys), 64).with_cancel(token);
+        scan.open().unwrap();
+        let mut out = KeyBatch::new(D);
+        let err = scan
+            .next_batch(&mut out)
+            .expect_err("cancelled batch scan must error");
+        assert!(
+            matches!(err, ExecError::Cancelled { .. }),
+            "expected Cancelled, got {err:?}"
+        );
+        scan.close();
+    }
+    assert_eq!(disk.allocated_pages(), 0, "cancelled batch scan leaked");
+
+    // Batched presort: the narrow-entry sort checks between run builds.
+    {
+        let token = CancelToken::new();
+        token.cancel();
+        let err = match batch_presort(
+            fresh_heap(),
+            &layout,
+            &spec,
+            Arc::new(KeySumScore),
+            64,
+            4,
+            1,
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            SkylineMetrics::shared(),
+            Some(token),
+        ) {
+            Ok(_) => panic!("cancelled batch presort must error"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, ExecError::Cancelled { .. }),
+            "expected Cancelled, got {err:?}"
+        );
+    }
+    assert_eq!(disk.allocated_pages(), 0, "cancelled batch presort leaked");
+
+    // Whole pipeline under an already-expired deadline: whichever stage
+    // polls first must unwind the sort runs, spill, and materialized
+    // output alike.
+    {
+        let err = match batch_skyline_pipeline(
+            fresh_heap(),
+            &layout,
+            &spec,
+            BatchConfig::new(1).with_batch_rows(64),
+            4,
+            2,
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            SkylineMetrics::shared(),
+            None,
+            Some(CancelToken::with_deadline(std::time::Duration::ZERO)),
+        ) {
+            Ok(_) => panic!("deadline-expired batch pipeline must error"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, ExecError::Cancelled { .. }),
+            "expected Cancelled, got {err:?}"
+        );
+    }
+    assert_eq!(disk.allocated_pages(), 0, "cancelled batch pipeline leaked");
 }
 
 #[test]

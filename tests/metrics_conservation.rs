@@ -16,12 +16,14 @@ use skyline::core::external::WinnowOp;
 use skyline::core::planner::{bnl_over, entropy_stats_of, load_heap, presort, sfs_filter};
 use skyline::core::winnow::SkylinePreference;
 use skyline::core::{
-    parallel_sfs_filter, MetricsSnapshot, SfsConfig, SkylineMetrics, SkylineSpec, SortOrder,
+    batch_presort, parallel_batch_filter, parallel_sfs_filter, BatchConfig, KeySumScore,
+    MetricsSnapshot, SfsConfig, SkylineMetrics, SkylineSpec, SortOrder,
 };
-use skyline::exec::{collect, HeapScan, Operator};
+use skyline::exec::{collect, HeapScan, NarrowLayout, Operator};
 use skyline::relation::gen::{Distribution, WorkloadSpec};
 use skyline::relation::RecordLayout;
 use skyline::storage::{HeapFile, MemDisk};
+use skyline_bench::gate::{report_json, run_section, GateSpec};
 use std::sync::Arc;
 
 /// An anti-correlated workload (big skyline, guaranteed multipass at
@@ -249,4 +251,172 @@ fn parallel_filter_aggregate_is_the_exact_sum_of_its_stages() {
         );
         outcome.skyline.delete();
     }
+}
+
+/// The columnar filter obeys the same conservation laws as the row
+/// filter, plus the movement laws that make the new counters meaningful:
+/// the payload is touched exactly once per survivor, at the
+/// materialization boundary, and nowhere else.
+#[test]
+fn batch_filter_aggregate_is_exact_and_touches_the_payload_once() {
+    let n = 2_000usize;
+    let (heap, layout, spec, disk) = fixture(n, 5, 31);
+    let record_size = layout.record_size() as u64;
+    let sorted = Arc::new({
+        let mut s = batch_presort(
+            Arc::clone(&heap),
+            &layout,
+            &spec,
+            Arc::new(KeySumScore),
+            128,
+            16,
+            1,
+            Arc::clone(&disk) as _,
+            SkylineMetrics::shared(),
+            None,
+        )
+        .unwrap();
+        s.mark_temp();
+        s
+    });
+    for threads in [2usize, 4] {
+        let metrics = SkylineMetrics::shared();
+        let outcome = parallel_batch_filter(
+            Arc::clone(&sorted),
+            Arc::clone(&heap),
+            NarrowLayout::new(5),
+            BatchConfig::new(4)
+                .with_batch_rows(128)
+                .with_merge_pages(1024),
+            threads,
+            Arc::clone(&disk) as _,
+            Arc::clone(&metrics),
+            None,
+            None,
+        )
+        .unwrap();
+        let label = format!("batch t={threads}");
+        let skyline_len = outcome.skyline.len();
+
+        // each worker settles its own stratum and never touches payload…
+        let mut worker_input = 0u64;
+        let mut worker_emitted = 0u64;
+        for (w, s) in outcome.worker_metrics.iter().enumerate() {
+            assert_settled(s, outcome.stratum_sizes[w], &format!("{label} worker {w}"));
+            assert!(s.batches > 0, "{label} worker {w}: no batches recorded");
+            assert_eq!(
+                s.rows_materialized, 0,
+                "{label} worker {w}: a filter stage materialized payload"
+            );
+            worker_input += s.input_records;
+            worker_emitted += s.emitted;
+        }
+        // …the strata tile the input…
+        assert_eq!(worker_input, n as u64, "{label}: strata tile the input");
+        // …the merge consumes exactly the local skylines, still narrow…
+        let m = &outcome.merge_metrics;
+        assert_eq!(m.input_records, worker_emitted, "{label}: merge input");
+        assert_eq!(
+            m.emitted + m.discarded,
+            m.input_records,
+            "{label}: merge settles"
+        );
+        assert_eq!(
+            m.emitted, skyline_len,
+            "{label}: merge emissions are the skyline"
+        );
+        assert_eq!(
+            m.rows_materialized, 0,
+            "{label}: the merge materialized payload"
+        );
+        // …and materialization fetches each survivor exactly once.
+        let mat = &outcome.materialize_metrics;
+        assert_eq!(
+            mat.rows_materialized, skyline_len,
+            "{label}: one payload fetch per survivor"
+        );
+        assert_eq!(
+            mat.bytes_moved,
+            skyline_len * record_size,
+            "{label}: materialization charges exactly record_size per row"
+        );
+        // the caller's aggregate is the exact sum of every stage — every
+        // counter, including the three movement counters.
+        let parts = outcome.worker_metrics.iter().fold(
+            outcome.merge_metrics.plus(&outcome.materialize_metrics),
+            |acc, s| acc.plus(s),
+        );
+        assert_eq!(metrics.snapshot(), parts, "{label}: aggregate == Σ stages");
+        let agg = metrics.snapshot();
+        assert_eq!(
+            agg.rows_materialized, skyline_len,
+            "{label}: pipeline-wide payload touches == skyline"
+        );
+        assert!(
+            agg.batches >= n as u64 / 128,
+            "{label}: at least one batch per full batch_rows of input"
+        );
+        outcome.skyline.delete();
+    }
+}
+
+/// Pull one `u64` field back out of the hand-rolled gate JSON.
+fn field_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let at = json.find(&pat)? + pat.len();
+    let digits: String = json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// The three movement counters survive the trip into the gate report
+/// verbatim — batch sections serialize the measured values, row sections
+/// serialize the analytic model with `batches` pinned to 0.
+#[test]
+fn movement_counters_round_trip_through_the_gate_report() {
+    let batch_spec = GateSpec {
+        label: "rt-batch",
+        n: 600,
+        d: 4,
+        window_pages: 2,
+        threads: &[1],
+        batch: true,
+    };
+    let section = run_section(&batch_spec);
+    let json = report_json(std::slice::from_ref(&section), None);
+    let r = &section.runs[0];
+    for (key, want) in [
+        ("batches", r.batches),
+        ("rows_materialized", r.rows_materialized),
+        ("bytes_moved", r.bytes_moved),
+    ] {
+        assert!(want > 0, "batch section must measure a nonzero `{key}`");
+        assert_eq!(
+            field_u64(&json, key),
+            Some(want),
+            "`{key}` did not round-trip through the report"
+        );
+    }
+
+    let row_spec = GateSpec {
+        label: "rt-row",
+        batch: false,
+        ..batch_spec
+    };
+    let section = run_section(&row_spec);
+    let json = report_json(std::slice::from_ref(&section), None);
+    let r = &section.runs[0];
+    assert_eq!(r.batches, 0, "row sections never form batches");
+    assert_eq!(field_u64(&json, "batches"), Some(0));
+    assert_eq!(
+        field_u64(&json, "rows_materialized"),
+        Some(r.rows_materialized)
+    );
+    assert_eq!(field_u64(&json, "bytes_moved"), Some(r.bytes_moved));
+    assert!(
+        r.rows_materialized > r.skyline,
+        "the row model re-materializes more than the survivors"
+    );
 }
