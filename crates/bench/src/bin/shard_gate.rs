@@ -1,0 +1,108 @@
+//! The sharded-skyline perf gate: run the seed-2003 strategy × shard
+//! grid and write the JSON report the regression gate
+//! (`cargo xtask bench --gate`) diffs against the committed
+//! `BENCH_pr10.json`.
+//!
+//! ```text
+//! shard_gate [--smoke] [--out PATH]
+//! ```
+//!
+//! Default runs the `shard-full` (n=100k, d=7) and `shard-smoke`
+//! (n=20k) sections, each sweeping strategies naive/grid/representative
+//! at shards 2/4/8; `--smoke` runs only the small section (CI). Every
+//! run must reproduce the single-node batch pipeline's skyline bit for
+//! bit, and at every shard count grid routing and representative
+//! filtering must each strictly reduce both bytes exchanged and
+//! coordinator-side comparisons vs the naive round-robin exchange.
+//! `--out` defaults to `BENCH_pr10.json` in the current directory.
+
+use skyline_bench::shard_gate::{
+    run_shard_section, shard_report_json, ShardGateSection, FULL_SHARD, SMOKE_SHARD,
+};
+use skyline_bench::{ms, save_text, ReportTable};
+use std::process::ExitCode;
+
+fn print_section(s: &ShardGateSection) {
+    let mut t = ReportTable::new(
+        format!(
+            "gate `{}`: n={} d={} window={}p (single-node skyline {})",
+            s.spec.label, s.spec.n, s.spec.d, s.spec.window_pages, s.baseline_skyline
+        ),
+        &[
+            "strategy",
+            "shards",
+            "wall",
+            "comparisons",
+            "coord cmp",
+            "union",
+            "bytes exch",
+            "frames",
+            "pruned",
+            "skyline",
+        ],
+    );
+    for r in &s.runs {
+        t.row(vec![
+            r.strategy.name().to_string(),
+            r.shards.to_string(),
+            ms(r.wall_ms),
+            r.comparisons.to_string(),
+            r.coordinator_comparisons.to_string(),
+            r.union_entries.to_string(),
+            r.bytes_exchanged.to_string(),
+            r.exchange_frames.to_string(),
+            r.pruned_by_representatives.to_string(),
+            r.skyline.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn main() -> ExitCode {
+    let mut smoke_only = false;
+    let mut out = String::from("BENCH_pr10.json");
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke_only = true;
+                i += 1;
+            }
+            "--out" => {
+                out = args
+                    .get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("--out PATH"));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other} (use --smoke --out PATH)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let specs = if smoke_only {
+        vec![SMOKE_SHARD]
+    } else {
+        vec![FULL_SHARD, SMOKE_SHARD]
+    };
+    let mut sections = Vec::new();
+    for spec in &specs {
+        let s = run_shard_section(spec);
+        print_section(&s);
+        if let Err(e) = s.validate() {
+            eprintln!("shard gate FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        sections.push(s);
+    }
+    let json = shard_report_json(&sections);
+    if let Err(e) = save_text(&out, &json) {
+        eprintln!("shard gate: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("shard gate: report written to {out}");
+    ExitCode::SUCCESS
+}

@@ -171,6 +171,16 @@ pub struct ThreadRun {
     /// scan, sort write + read, spill write + re-read, and emission,
     /// all at full record width. Deterministic.
     pub bytes_moved: u64,
+    /// Bytes serialized through the shard exchange. Always zero here:
+    /// the row and batch sections are single-node; the sharded gate
+    /// (`crate::shard_gate`) is where this counter moves. Carried so
+    /// every [`SkylineMetrics`] counter lands in the report schema.
+    pub bytes_exchanged: u64,
+    /// Frames crossing the shard exchange; zero on single-node sections.
+    pub exchange_frames: u64,
+    /// Local-skyline entries dropped by broadcast representatives before
+    /// serialization; zero on single-node sections.
+    pub pruned_by_representatives: u64,
     /// Skyline cardinality.
     pub skyline: u64,
     /// FNV-1a over the sorted skyline key rows — order-independent.
@@ -256,7 +266,7 @@ impl GateSection {
 
 /// FNV-1a 64 over the sorted key rows — identical skylines hash alike
 /// regardless of emission order (the parallel merge permutes it).
-fn skyline_checksum(mut rows: Vec<Vec<i32>>) -> u64 {
+pub(crate) fn skyline_checksum(mut rows: Vec<Vec<i32>>) -> u64 {
     rows.sort_unstable();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for row in &rows {
@@ -270,14 +280,18 @@ fn skyline_checksum(mut rows: Vec<Vec<i32>>) -> u64 {
     h
 }
 
-fn sum(snaps: &[MetricsSnapshot]) -> MetricsSnapshot {
+pub(crate) fn sum(snaps: &[MetricsSnapshot]) -> MetricsSnapshot {
     snaps
         .iter()
         .fold(MetricsSnapshot::default(), |acc, s| acc.plus(s))
 }
 
 /// Read the first `d` attributes of every record in a skyline heap.
-fn collect_rows(skyline: &skyline_storage::HeapFile, ds: &Dataset, d: usize) -> Vec<Vec<i32>> {
+pub(crate) fn collect_rows(
+    skyline: &skyline_storage::HeapFile,
+    ds: &Dataset,
+    d: usize,
+) -> Vec<Vec<i32>> {
     let mut rows = Vec::with_capacity(skyline.len() as usize);
     let mut scan = skyline.scan();
     while let Some(r) = scan.next_record().expect("scan skyline") {
@@ -394,6 +408,9 @@ fn row_run(
         batches: 0,
         rows_materialized: n + agg.temp_records + agg.emitted,
         bytes_moved: record * (3 * n + 2 * agg.temp_records + agg.emitted),
+        bytes_exchanged: agg.bytes_exchanged,
+        exchange_frames: agg.exchange_frames,
+        pruned_by_representatives: agg.pruned_by_representatives,
         skyline,
         checksum,
     }
@@ -513,6 +530,9 @@ fn batch_run(
         batches: total.batches,
         rows_materialized: total.rows_materialized,
         bytes_moved: total.bytes_moved,
+        bytes_exchanged: total.bytes_exchanged,
+        exchange_frames: total.exchange_frames,
+        pruned_by_representatives: total.pruned_by_representatives,
         skyline,
         checksum,
     }
@@ -659,6 +679,13 @@ pub fn report_json(
             let _ = write!(out, "\"batches\": {}, ", r.batches);
             let _ = write!(out, "\"rows_materialized\": {}, ", r.rows_materialized);
             let _ = write!(out, "\"bytes_moved\": {}, ", r.bytes_moved);
+            let _ = write!(out, "\"bytes_exchanged\": {}, ", r.bytes_exchanged);
+            let _ = write!(out, "\"exchange_frames\": {}, ", r.exchange_frames);
+            let _ = write!(
+                out,
+                "\"pruned_by_representatives\": {}, ",
+                r.pruned_by_representatives
+            );
             let _ = write!(out, "\"skyline\": {}, ", r.skyline);
             let _ = write!(out, "\"checksum\": \"{:#018x}\", ", r.checksum);
             let _ = write!(

@@ -19,6 +19,7 @@ pub mod gate;
 pub mod harness;
 pub mod report;
 pub mod server_gate;
+pub mod shard_gate;
 pub mod sweeps;
 
 pub use harness::*;

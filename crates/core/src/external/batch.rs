@@ -1108,7 +1108,7 @@ fn local_batch_skyline(
 /// survivors back out as narrow entries in score order. Returns the
 /// merged narrow heap, the loader's snapshot, and per-verifier
 /// snapshots.
-fn batch_prefix_merge(
+pub(crate) fn batch_prefix_merge(
     locals: &[Arc<HeapFile>],
     narrow: NarrowLayout,
     t: usize,
@@ -1467,7 +1467,7 @@ pub fn parallel_batch_filter(
 /// Re-sort a narrow heap by `score` descending (total order, as in
 /// [`batch_presort`]) — used when a strata rest file loses global order
 /// across pass segments.
-fn sort_narrow(
+pub(crate) fn sort_narrow(
     heap: Arc<HeapFile>,
     narrow: NarrowLayout,
     score: Arc<dyn MonotoneScore>,

@@ -7,6 +7,7 @@ mod bnl;
 mod common;
 mod par_filter;
 mod sfs;
+mod shard;
 mod winnow_op;
 
 pub use batch::{
@@ -16,4 +17,5 @@ pub use batch::{
 pub use bnl::Bnl;
 pub use par_filter::{parallel_sfs_filter, ParFilterOutcome};
 pub use sfs::{Sfs, SfsConfig};
+pub use shard::{sharded_skyline, ShardConfig, ShardOutcome, ShardStats, ShardStrategy};
 pub use winnow_op::WinnowOp;

@@ -1,0 +1,1023 @@
+//! Sharded skyline with a partial-skyline exchange.
+//!
+//! Simulates the distributed SFS pipeline of Ciaccia & Martinenghi's
+//! *Optimization Strategies for Parallel Computation of Skylines*:
+//! records are routed to `N` shard workers, each with its **own disk
+//! and I/O counters**; every shard runs the local batch pipeline
+//! (narrow presort by the Theorem-4 key-sum score, then [`BatchSfs`]
+//! over PR 5's block windows) and serializes its local skyline as
+//! length-prefixed frames through a metered [`Exchange`]; the
+//! coordinator decodes the union and runs the existing score-sorted
+//! prefix merge, then late-materializes survivors against the base
+//! heap.
+//!
+//! Correctness rests on the partition identity (DESIGN.md §11/§17):
+//! `sky(R) = sky(sky(R₁) ∪ … ∪ sky(R_N))` for *any* partition of `R`,
+//! so every routing policy below yields the exact skyline — routing
+//! only changes how much of each local skyline is globally final, i.e.
+//! how many bytes cross the exchange and how much work the coordinator
+//! merge does. Three [`ShardStrategy`] levels:
+//!
+//! - **Naive** — round-robin routing, every local skyline travels.
+//! - **Grid** — angular grid routing: records are binned by the
+//!   equi-depth cell of their direction vector (per-dimension share of
+//!   the oriented key), so points that dominate each other co-locate
+//!   and most local candidates are globally final.
+//! - **Representative** — round-robin routing plus a broadcast of the
+//!   global top-k records by the monotone key-sum score; each shard
+//!   pre-prunes its local skyline against the representatives before
+//!   serializing (pruning a record dominated by a *real record* is
+//!   always exact).
+//!
+//! Counters are deterministic for a given shard count and the final
+//! skyline is bit-identical across shard counts and strategies: the
+//! coordinator merge orders the union by (score desc, global row id) —
+//! a total order independent of how records were partitioned.
+
+use std::sync::Arc;
+
+use skyline_exchange::{
+    decode_frame, encode_frame, Exchange, ExchangeSnapshot, FrameError, FrameKind, FRAME_ROWS,
+};
+use skyline_exec::{
+    BatchHeapScan, BatchSource, BoxedOperator, CancelToken, ExecError, HeapScan, KeyBatch,
+    NarrowLayout, Operator,
+};
+use skyline_relation::RecordLayout;
+use skyline_storage::{Disk, HeapFile, IoSnapshot};
+
+use super::batch::{
+    batch_prefix_merge, sort_narrow, BatchConfig, BatchSfs, KeySumScore, MaterializeRows, SpecKeys,
+};
+use super::par_filter::check_cancel;
+use crate::dominance::{dominates, SkylineSpec};
+use crate::metrics::{MetricsSnapshot, SkylineMetrics};
+use crate::par::panic_message;
+use crate::planner::materialize;
+
+/// How records are routed to shards and what crosses the exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Round-robin routing; every local-skyline entry is exchanged.
+    Naive,
+    /// Angular grid routing (dominance-aware cells).
+    Grid,
+    /// Round-robin routing plus top-k representative broadcast and
+    /// shard-side pre-pruning.
+    Representative,
+}
+
+impl ShardStrategy {
+    /// Stable lower-case name (bench report labels).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardStrategy::Naive => "naive",
+            ShardStrategy::Grid => "grid",
+            ShardStrategy::Representative => "representative",
+        }
+    }
+}
+
+/// Tuning knobs for the sharded pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Number of shard workers (≥ 1).
+    pub shards: usize,
+    /// Routing / exchange strategy.
+    pub strategy: ShardStrategy,
+    /// Per-shard filter window budget in pages.
+    pub window_pages: usize,
+    /// Rows per column-major batch.
+    pub batch_rows: usize,
+    /// Per-shard external-sort page budget.
+    pub sort_pages: usize,
+    /// Representatives broadcast under [`ShardStrategy::Representative`]
+    /// (capped at [`FRAME_ROWS`]).
+    pub representatives: usize,
+}
+
+impl ShardConfig {
+    /// A config with `shards` workers, `strategy`, a `window_pages`
+    /// filter window, and defaults everywhere else.
+    #[must_use]
+    pub fn new(shards: usize, strategy: ShardStrategy, window_pages: usize) -> Self {
+        ShardConfig {
+            shards,
+            strategy,
+            window_pages,
+            batch_rows: skyline_exec::batch::BATCH_ROWS,
+            sort_pages: 64,
+            representatives: 32,
+        }
+    }
+
+    /// Override the rows-per-batch granularity.
+    #[must_use]
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows;
+        self
+    }
+
+    /// Override the per-shard sort page budget.
+    #[must_use]
+    pub fn with_sort_pages(mut self, sort_pages: usize) -> Self {
+        self.sort_pages = sort_pages;
+        self
+    }
+
+    /// Override the representative broadcast size.
+    #[must_use]
+    pub fn with_representatives(mut self, representatives: usize) -> Self {
+        self.representatives = representatives;
+        self
+    }
+}
+
+/// Per-shard accounting the run hands back.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Records routed to this shard.
+    pub records: u64,
+    /// Entries in the shard's local skyline (after local SFS).
+    pub local_skyline: u64,
+    /// Entries actually serialized (after representative pruning).
+    pub sent_entries: u64,
+    /// The shard worker's counters (presort, filter, pruning, and its
+    /// side of the exchange).
+    pub metrics: MetricsSnapshot,
+    /// The shard disk's I/O counters over the run.
+    pub io: IoSnapshot,
+}
+
+/// What [`sharded_skyline`] hands back besides the skyline.
+pub struct ShardOutcome {
+    /// The exact skyline, materialized full-width on the coordinator
+    /// disk (persisted — caller owns its lifetime).
+    pub skyline: HeapFile,
+    /// Per-shard accounting, in shard order.
+    pub shard_stats: Vec<ShardStats>,
+    /// Coordinator-side counters: routing, broadcast, frame decode, the
+    /// prefix merge (loader + verifiers), and late materialization.
+    pub coordinator_metrics: MetricsSnapshot,
+    /// Per-verifier snapshots of the coordinator prefix merge, in
+    /// verifier order (deterministic for a given shard count).
+    pub merge_worker_metrics: Vec<MetricsSnapshot>,
+    /// The exchange meter: every byte and frame that crossed, in either
+    /// direction.
+    pub exchange: ExchangeSnapshot,
+    /// Entries in the decoded union the coordinator merged.
+    pub union_entries: u64,
+}
+
+/// Angular grid router: records are binned by equi-depth cells of their
+/// direction vector. The direction of an oriented key `k` is
+/// `a_j = u_j / Σu` where `u_j` rescales `k_j` into `[0,1]` by the
+/// global per-dimension min/max — scale-invariant, so cells are cones
+/// from the origin and dominance chains tend to stay inside one cell.
+struct GridRouter {
+    lo: Vec<f64>,
+    span: Vec<f64>,
+    /// Bands per angular coordinate (product == shards).
+    bands: Vec<usize>,
+    /// Ascending equi-depth boundaries per angular coordinate
+    /// (`bands[c] - 1` values each).
+    boundaries: Vec<Vec<f64>>,
+}
+
+impl GridRouter {
+    /// Factor `shards` into per-coordinate band counts over at most
+    /// `coords` angular coordinates (powers of two spread round-robin,
+    /// any odd residue on coordinate 0).
+    fn band_plan(shards: usize, coords: usize) -> Vec<usize> {
+        let k = coords.max(1);
+        let mut bands = vec![1usize; k];
+        let mut rem = shards.max(1);
+        let mut i = 0;
+        while rem.is_multiple_of(2) {
+            bands[i % k] *= 2;
+            rem /= 2;
+            i += 1;
+        }
+        bands[0] *= rem;
+        bands
+    }
+
+    /// Direction coordinate `c` of `key` given the normalization stats.
+    fn angle(&self, key: &[f64], c: usize) -> f64 {
+        let mut sum = 0.0;
+        let mut uc = 0.0;
+        for (j, &k) in key.iter().enumerate() {
+            let span = self.span[j];
+            let u = if span > 0.0 {
+                ((k - self.lo[j]) / span).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            if j == c {
+                uc = u;
+            }
+            sum += u;
+        }
+        if sum > 0.0 {
+            uc / sum
+        } else {
+            0.0
+        }
+    }
+
+    /// Build the router: one pass for per-dimension min/max, one pass
+    /// per angular coordinate's equi-depth boundaries.
+    fn build(
+        heap: &Arc<HeapFile>,
+        layout: &RecordLayout,
+        spec: &SkylineSpec,
+        shards: usize,
+        batch_rows: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<GridRouter, ExecError> {
+        let d = spec.dims();
+        let coords = (d.saturating_sub(1)).clamp(1, 3);
+        let bands = GridRouter::band_plan(shards, coords);
+
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        let keys = SpecKeys::new(*layout, spec.clone())?;
+        let mut scan = BatchHeapScan::new(Arc::clone(heap), Arc::new(keys), batch_rows);
+        let mut batch = KeyBatch::new(d);
+        let mut key = Vec::with_capacity(d);
+        let mut seen: u64 = 0;
+        scan.open()?;
+        while scan.next_batch(&mut batch)? {
+            check_cancel(cancel, seen)?;
+            for i in 0..batch.len() {
+                batch.key_at(i, &mut key);
+                for (j, &v) in key.iter().enumerate() {
+                    lo[j] = lo[j].min(v);
+                    hi[j] = hi[j].max(v);
+                }
+            }
+            seen += batch.len() as u64;
+        }
+        scan.close();
+        let span: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| if h > l { h - l } else { 0.0 })
+            .collect();
+
+        let mut router = GridRouter {
+            lo,
+            span,
+            bands,
+            boundaries: Vec::new(),
+        };
+
+        // Equi-depth boundaries per angular coordinate, from the full
+        // (deterministic) distribution of that coordinate.
+        let mut boundaries: Vec<Vec<f64>> = Vec::with_capacity(router.bands.len());
+        for (c, &b) in router.bands.clone().iter().enumerate() {
+            if b == 1 {
+                boundaries.push(Vec::new());
+                continue;
+            }
+            let keys = SpecKeys::new(*layout, spec.clone())?;
+            let mut scan = BatchHeapScan::new(Arc::clone(heap), Arc::new(keys), batch_rows);
+            let mut angles: Vec<f64> = Vec::new();
+            let mut seen: u64 = 0;
+            scan.open()?;
+            while scan.next_batch(&mut batch)? {
+                check_cancel(cancel, seen)?;
+                for i in 0..batch.len() {
+                    batch.key_at(i, &mut key);
+                    angles.push(router.angle(&key, c));
+                }
+                seen += batch.len() as u64;
+            }
+            scan.close();
+            angles.sort_unstable_by(f64::total_cmp);
+            let cuts = (1..b)
+                .map(|i| {
+                    let at = (angles.len() * i / b).min(angles.len().saturating_sub(1));
+                    angles.get(at).copied().unwrap_or(0.0)
+                })
+                .collect();
+            boundaries.push(cuts);
+        }
+        router.boundaries = boundaries;
+        Ok(router)
+    }
+
+    /// Shard for `key`: mixed-radix index over the per-coordinate bands.
+    fn route(&self, key: &[f64]) -> usize {
+        let mut cell = 0usize;
+        for (c, cuts) in self.boundaries.iter().enumerate() {
+            let a = self.angle(key, c);
+            let bin = cuts.partition_point(|&b| b <= a);
+            cell = cell * self.bands[c] + bin.min(self.bands[c] - 1);
+        }
+        cell
+    }
+}
+
+/// Keep the global top-`k` narrow entries by key sum (ties broken by
+/// ascending row id — fully deterministic).
+struct TopK {
+    k: usize,
+    entries: Vec<(f64, u64, Vec<u8>)>,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        TopK {
+            k,
+            entries: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, score: f64, row_id: u64, entry: &[u8]) {
+        if self.k == 0 {
+            return;
+        }
+        self.entries.push((score, row_id, entry.to_vec()));
+        if self.entries.len() >= 2 * self.k {
+            self.settle();
+        }
+    }
+
+    fn settle(&mut self) {
+        self.entries
+            .sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        self.entries.truncate(self.k);
+    }
+
+    /// The representatives' concatenated narrow entries, best first.
+    fn payload(mut self) -> Vec<u8> {
+        self.settle();
+        let mut out = Vec::new();
+        for (_, _, e) in &self.entries {
+            out.extend_from_slice(e);
+        }
+        out
+    }
+}
+
+fn exch(e: FrameError) -> ExecError {
+    ExecError::Config(format!("exchange: {e}"))
+}
+
+/// One shard worker: narrow presort of its routed entries by key sum,
+/// local [`BatchSfs`], representative pre-pruning, then frame + send.
+#[allow(clippy::too_many_arguments)]
+fn shard_worker(
+    shard: usize,
+    local: HeapFile,
+    narrow: NarrowLayout,
+    cfg: &ShardConfig,
+    reps: &[Vec<f64>],
+    exchange: &Exchange,
+    disk: &Arc<dyn Disk>,
+    cancel: Option<&CancelToken>,
+) -> Result<(u64, u64, u64, MetricsSnapshot), ExecError> {
+    let metrics = SkylineMetrics::shared();
+    let records = local.len();
+    let entry_size = narrow.entry_size();
+
+    // Local presort by the monotone key-sum score (Theorem 4), then the
+    // batch SFS filter — both spill to this shard's own disk.
+    metrics.add_bytes_moved(records * entry_size as u64);
+    let mut sorted = sort_narrow(
+        Arc::new(local),
+        narrow,
+        Arc::new(KeySumScore),
+        cfg.sort_pages,
+        Arc::clone(disk),
+    )?;
+    sorted.mark_temp(); // intermediate: lives only until the filter drains
+    let batch_cfg = BatchConfig::new(cfg.window_pages).with_batch_rows(cfg.batch_rows);
+    let scan: BoxedOperator = Box::new(HeapScan::new(Arc::new(sorted)));
+    let mut sfs = BatchSfs::new(
+        scan,
+        narrow,
+        batch_cfg,
+        Arc::clone(disk),
+        Arc::clone(&metrics),
+    )?;
+    if let Some(t) = cancel {
+        sfs = sfs.with_cancel(t.clone());
+    }
+    let mut skyline: Vec<u8> = Vec::new();
+    let mut local_count: u64 = 0;
+    sfs.open()?;
+    while let Some(entry) = sfs.next()? {
+        check_cancel(cancel, local_count)?;
+        skyline.extend_from_slice(entry);
+        local_count += 1;
+    }
+    sfs.close();
+
+    // Representative pre-pruning: drop local candidates a broadcast
+    // representative dominates. Representatives are real records, so a
+    // dominated candidate is provably not in the global skyline.
+    let mut send: Vec<u8> = Vec::with_capacity(skyline.len());
+    let mut sent_entries: u64 = 0;
+    let mut key = Vec::with_capacity(narrow.dims());
+    for entry in skyline.chunks_exact(entry_size) {
+        check_cancel(cancel, sent_entries)?;
+        narrow.key_into(entry, &mut key);
+        let mut pruned = false;
+        for rep in reps {
+            metrics.add_comparisons(1);
+            if dominates(rep, &key) {
+                pruned = true;
+                break;
+            }
+        }
+        if pruned {
+            metrics.add_pruned_by_representative();
+        } else {
+            send.extend_from_slice(entry);
+            sent_entries += 1;
+        }
+    }
+
+    // Serialize the surviving entries as length-prefixed frames through
+    // the exchange; cancellation is polled between frames so a
+    // mid-exchange cancel stops cleanly with a typed error.
+    for (fi, chunk) in send.chunks(FRAME_ROWS * entry_size).enumerate() {
+        if let Some(t) = cancel {
+            t.check(fi as u64)?;
+        }
+        let frame = encode_frame(FrameKind::Skyline, shard as u16, &narrow, chunk);
+        metrics.add_bytes_exchanged(frame.len() as u64);
+        metrics.add_exchange_frame();
+        exchange.send(shard, frame).map_err(exch)?;
+    }
+    Ok((records, local_count, sent_entries, metrics.snapshot()))
+}
+
+/// Run the sharded skyline pipeline.
+///
+/// Records of `heap` are routed to `cfg.shards` workers (each using its
+/// disk from `shard_disks`), local skylines flow back through a metered
+/// exchange, and the coordinator (on `disk`) merges the union with the
+/// score-sorted prefix merge and materializes the exact skyline.
+/// The caller's `metrics` absorbs every shard's counters plus the
+/// coordinator's — `aggregate == Σ shards + coordinator` exactly.
+///
+/// # Errors
+/// [`ExecError::Config`] for DIFF specs, zero shards/batch rows, or a
+/// `shard_disks` length that does not match `cfg.shards`; malformed
+/// exchange frames surface as [`ExecError::Config`] with the typed
+/// [`FrameError`] rendered; storage, worker, and cancellation errors
+/// propagate. On error every temp heap (shard-side and coordinator-side)
+/// is dropped, so all disks drain back to their pre-call page counts.
+#[allow(clippy::too_many_arguments)]
+pub fn sharded_skyline(
+    heap: Arc<HeapFile>,
+    layout: &RecordLayout,
+    spec: &SkylineSpec,
+    cfg: ShardConfig,
+    shard_disks: &[Arc<dyn Disk>],
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+    cancel: Option<CancelToken>,
+) -> Result<ShardOutcome, ExecError> {
+    if !spec.diff.is_empty() {
+        return Err(ExecError::Config(
+            "the sharded pipeline does not support DIFF; use the row path".into(),
+        ));
+    }
+    if cfg.shards == 0 {
+        return Err(ExecError::Config("shards must be at least 1".into()));
+    }
+    if cfg.batch_rows == 0 {
+        return Err(ExecError::Config("batch_rows must be at least 1".into()));
+    }
+    if shard_disks.len() != cfg.shards {
+        return Err(ExecError::Config(format!(
+            "{} shard disks supplied for {} shards",
+            shard_disks.len(),
+            cfg.shards
+        )));
+    }
+    let d = spec.dims();
+    let narrow = NarrowLayout::new(d);
+    let cancel_ref = cancel.as_ref();
+    let coord = SkylineMetrics::shared();
+
+    let router = match cfg.strategy {
+        ShardStrategy::Grid => Some(GridRouter::build(
+            &heap,
+            layout,
+            spec,
+            cfg.shards,
+            cfg.batch_rows,
+            cancel_ref,
+        )?),
+        ShardStrategy::Naive | ShardStrategy::Representative => None,
+    };
+
+    // Routing pass: narrow entries (oriented key + global row id) land
+    // on their shard's disk. This models data placement, not query
+    // traffic — the exchange meters only partial skylines and
+    // broadcasts (DESIGN.md §17).
+    let mut top = TopK::new(match cfg.strategy {
+        ShardStrategy::Representative => cfg.representatives.min(FRAME_ROWS),
+        _ => 0,
+    });
+    let mut locals: Vec<HeapFile> = shard_disks
+        .iter()
+        .map(|sd| HeapFile::create_temp(Arc::clone(sd), narrow.entry_size()))
+        .collect::<Result<_, _>>()?;
+    {
+        let mut writers = Vec::with_capacity(cfg.shards);
+        for l in &mut locals {
+            writers.push(l.writer()?);
+        }
+        let keys = SpecKeys::new(*layout, spec.clone())?;
+        let mut scan = BatchHeapScan::new(Arc::clone(&heap), Arc::new(keys), cfg.batch_rows);
+        if let Some(t) = cancel.clone() {
+            scan = scan.with_cancel(t);
+        }
+        let mut batch = KeyBatch::new(d);
+        let mut key = Vec::with_capacity(d);
+        let mut entry = Vec::with_capacity(narrow.entry_size());
+        let mut routed: u64 = 0;
+        scan.open()?;
+        while scan.next_batch(&mut batch)? {
+            check_cancel(cancel_ref, routed)?;
+            coord.add_batch();
+            for i in 0..batch.len() {
+                batch.key_at(i, &mut key);
+                let row_id = batch.row_id_at(i);
+                let shard = match &router {
+                    Some(r) => r.route(&key),
+                    None => (routed as usize + i) % cfg.shards,
+                };
+                narrow.encode_into(&key, row_id, &mut entry);
+                writers[shard].push(&entry)?;
+                top.push(key.iter().sum(), row_id, &entry);
+            }
+            routed += batch.len() as u64;
+            coord.add_bytes_moved(batch.len() as u64 * narrow.entry_size() as u64);
+        }
+        scan.close();
+        for w in writers {
+            w.finish()?;
+        }
+    }
+
+    // Representative broadcast: one frame, charged once per receiver.
+    let exchange = Exchange::new(cfg.shards);
+    let rep_payload = top.payload();
+    let mut reps: Vec<Vec<f64>> = Vec::new();
+    if !rep_payload.is_empty() {
+        let rep_frame = encode_frame(FrameKind::Representatives, 0, &narrow, &rep_payload);
+        exchange.record_broadcast(rep_frame.len(), cfg.shards);
+        coord.add_bytes_exchanged(rep_frame.len() as u64 * cfg.shards as u64);
+        for _ in 0..cfg.shards {
+            coord.add_exchange_frame();
+        }
+        // Decode through the wire format — the shards see exactly what
+        // a remote peer would, checksum and all.
+        let (frame, _) = decode_frame(&rep_frame).map_err(exch)?;
+        let mut key = Vec::with_capacity(d);
+        for entry in frame.iter_entries() {
+            narrow.key_into(entry, &mut key);
+            reps.push(key.clone());
+        }
+    }
+
+    // Shard workers: one thread per shard, each on its own disk.
+    let mut shard_runs: Vec<(u64, u64, u64, MetricsSnapshot)> = Vec::with_capacity(cfg.shards);
+    let mut failure: Option<ExecError> = None;
+    {
+        let reps = &reps;
+        let exchange = &exchange;
+        let cfg_ref = &cfg;
+        let slots = std::thread::scope(|s| {
+            let handles: Vec<_> = locals
+                .drain(..)
+                .enumerate()
+                .map(|(shard, local)| {
+                    let sd = &shard_disks[shard];
+                    let cancel = cancel.clone();
+                    s.spawn(move || {
+                        shard_worker(
+                            shard,
+                            local,
+                            narrow,
+                            cfg_ref,
+                            reps,
+                            exchange,
+                            sd,
+                            cancel.as_ref(),
+                        )
+                    })
+                })
+                .collect();
+            let mut slots = Vec::with_capacity(cfg.shards);
+            for h in handles {
+                slots.push(h.join().map_err(|payload| ExecError::Worker {
+                    message: panic_message(&payload),
+                }));
+            }
+            slots
+        });
+        for slot in slots {
+            match slot {
+                Ok(Ok(run)) => shard_runs.push(run),
+                Ok(Err(e)) | Err(e) => {
+                    if failure.is_none() {
+                        failure = Some(e);
+                    }
+                }
+            }
+        }
+    }
+    if let Some(e) = failure {
+        return Err(e); // shard temp heaps already dropped with their workers
+    }
+
+    // Coordinator: decode each shard's frames into a narrow heap on the
+    // coordinator disk, then the canonical score-sorted prefix merge.
+    // Row ids are global, so (score desc, row id) is a total order
+    // independent of the partitioning — this is what makes the output
+    // bit-identical across shard counts and strategies.
+    let mut union_heaps: Vec<Arc<HeapFile>> = Vec::with_capacity(cfg.shards);
+    let mut union_entries: u64 = 0;
+    for shard in 0..cfg.shards {
+        let mut out = HeapFile::create_temp(Arc::clone(&disk), narrow.entry_size())?;
+        let mut w = out.writer()?;
+        for (fi, buf) in exchange.drain(shard).map_err(exch)?.iter().enumerate() {
+            check_cancel(cancel_ref, fi as u64)?;
+            let (frame, used) = decode_frame(buf).map_err(exch)?;
+            if used != buf.len() {
+                return Err(ExecError::Config(format!(
+                    "exchange: frame from shard {shard} carries {} trailing bytes",
+                    buf.len() - used
+                )));
+            }
+            if frame.header.kind != FrameKind::Skyline || frame.header.dims as usize != d {
+                return Err(ExecError::Config(format!(
+                    "exchange: unexpected frame ({:?}, dims {}) from shard {shard}",
+                    frame.header.kind, frame.header.dims
+                )));
+            }
+            for entry in frame.iter_entries() {
+                w.push(entry)?;
+                union_entries += 1;
+            }
+            coord.add_bytes_moved(frame.payload.len() as u64);
+        }
+        w.finish()?;
+        union_heaps.push(Arc::new(out));
+    }
+
+    let (narrow_skyline, loader_snap, verifier_snaps) =
+        batch_prefix_merge(&union_heaps, narrow, cfg.shards, &disk, cancel_ref)?;
+    drop(union_heaps); // temp: free coordinator pages before materializing
+
+    let mat_metrics = SkylineMetrics::shared();
+    let mut mat = MaterializeRows::new(
+        Box::new(HeapScan::new(Arc::new(narrow_skyline))),
+        narrow,
+        heap,
+        Arc::clone(&mat_metrics),
+    )?;
+    if let Some(t) = cancel {
+        mat = mat.with_cancel(t);
+    }
+    let mut skyline = materialize(&mut mat, Arc::clone(&disk))?;
+    skyline.persist();
+
+    coord.absorb(&loader_snap);
+    for s in &verifier_snaps {
+        coord.absorb(s);
+    }
+    coord.absorb(&mat_metrics.snapshot());
+    let coordinator_metrics = coord.snapshot();
+
+    let shard_stats: Vec<ShardStats> = shard_runs
+        .iter()
+        .zip(shard_disks)
+        .map(
+            |(&(records, local_skyline, sent_entries, m), sd)| ShardStats {
+                records,
+                local_skyline,
+                sent_entries,
+                metrics: m,
+                io: sd.stats().snapshot(),
+            },
+        )
+        .collect();
+
+    for s in &shard_stats {
+        metrics.absorb(&s.metrics);
+    }
+    metrics.absorb(&coordinator_metrics);
+
+    Ok(ShardOutcome {
+        skyline,
+        shard_stats,
+        coordinator_metrics,
+        merge_worker_metrics: verifier_snaps,
+        exchange: exchange.snapshot(),
+        union_entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{batch_skyline_pipeline, load_heap, sharded_skyline_pipeline};
+    use skyline_relation::gen::WorkloadSpec;
+    use skyline_storage::MemDisk;
+
+    fn fixture(
+        n: usize,
+        seed: u64,
+        d: usize,
+    ) -> (Arc<HeapFile>, RecordLayout, SkylineSpec, Arc<MemDisk>) {
+        let w = WorkloadSpec::paper(n, seed);
+        let records = w.generate();
+        let layout = w.layout;
+        let spec = SkylineSpec::max_all(d);
+        let disk = MemDisk::shared();
+        let heap = load_heap(
+            disk.clone(),
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .expect("load");
+        (Arc::new(heap), layout, spec, disk)
+    }
+
+    fn value_set(heap: &HeapFile, layout: &RecordLayout, d: usize) -> Vec<Vec<i32>> {
+        let mut rows: Vec<Vec<i32>> = heap
+            .read_all()
+            .expect("read")
+            .iter()
+            .map(|r| (0..d).map(|i| layout.attr(r, i)).collect())
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn run(
+        heap: &Arc<HeapFile>,
+        layout: &RecordLayout,
+        spec: &SkylineSpec,
+        disk: &Arc<MemDisk>,
+        cfg: ShardConfig,
+    ) -> (ShardOutcome, MetricsSnapshot) {
+        let metrics = SkylineMetrics::shared();
+        let out = sharded_skyline_pipeline(
+            Arc::clone(heap),
+            layout,
+            spec,
+            cfg,
+            disk.clone(),
+            Arc::clone(&metrics),
+            None,
+        )
+        .expect("sharded");
+        (out, metrics.snapshot())
+    }
+
+    #[test]
+    fn matches_single_node_across_strategies_and_shard_counts() {
+        let d = 4;
+        let (heap, layout, spec, disk) = fixture(1500, 0xA11CE, d);
+        let metrics = SkylineMetrics::shared();
+        let single = batch_skyline_pipeline(
+            Arc::clone(&heap),
+            &layout,
+            &spec,
+            BatchConfig::new(16),
+            50,
+            1,
+            disk.clone() as Arc<dyn Disk>,
+            metrics,
+            None,
+            None,
+        )
+        .expect("single");
+        let oracle = value_set(&single.skyline, &layout, d);
+
+        let mut canonical: Option<Vec<Vec<u8>>> = None;
+        for strategy in [
+            ShardStrategy::Naive,
+            ShardStrategy::Grid,
+            ShardStrategy::Representative,
+        ] {
+            for shards in [1usize, 2, 3, 4] {
+                let cfg = ShardConfig::new(shards, strategy, 8).with_sort_pages(16);
+                let (out, _) = run(&heap, &layout, &spec, &disk, cfg);
+                assert_eq!(
+                    value_set(&out.skyline, &layout, d),
+                    oracle,
+                    "{strategy:?} x{shards}"
+                );
+                // Bit-identical output file across shard counts AND
+                // strategies: the merge's (score desc, row id) order is
+                // partition-independent.
+                let rows = out.skyline.read_all().expect("rows");
+                match &canonical {
+                    None => canonical = Some(rows),
+                    Some(c) => assert_eq!(&rows, c, "{strategy:?} x{shards} not bit-identical"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_is_exact_sum_and_exchange_meter_agrees() {
+        let (heap, layout, spec, disk) = fixture(1200, 7, 3);
+        for strategy in [
+            ShardStrategy::Naive,
+            ShardStrategy::Grid,
+            ShardStrategy::Representative,
+        ] {
+            let cfg = ShardConfig::new(3, strategy, 8).with_sort_pages(16);
+            let (out, aggregate) = run(&heap, &layout, &spec, &disk, cfg);
+            let mut sum = out.coordinator_metrics;
+            for s in &out.shard_stats {
+                sum = sum.plus(&s.metrics);
+            }
+            assert_eq!(
+                aggregate, sum,
+                "{strategy:?}: aggregate != Σ shards + coord"
+            );
+            assert_eq!(
+                aggregate.bytes_exchanged, out.exchange.bytes_exchanged,
+                "{strategy:?}: metrics vs meter bytes"
+            );
+            assert_eq!(
+                aggregate.exchange_frames, out.exchange.exchange_frames,
+                "{strategy:?}: metrics vs meter frames"
+            );
+            let sent: u64 = out.shard_stats.iter().map(|s| s.sent_entries).sum();
+            assert_eq!(sent, out.union_entries, "{strategy:?}: sent != union");
+        }
+    }
+
+    #[test]
+    fn representative_pruning_fires_and_is_counted() {
+        let (heap, layout, spec, disk) = fixture(2000, 11, 3);
+        let cfg = ShardConfig::new(4, ShardStrategy::Representative, 8).with_sort_pages(16);
+        let (out, aggregate) = run(&heap, &layout, &spec, &disk, cfg);
+        assert!(aggregate.pruned_by_representatives > 0, "no pruning");
+        let pruned: u64 = out
+            .shard_stats
+            .iter()
+            .map(|s| s.metrics.pruned_by_representatives)
+            .sum();
+        assert_eq!(pruned, aggregate.pruned_by_representatives);
+        let locals: u64 = out.shard_stats.iter().map(|s| s.local_skyline).sum();
+        assert_eq!(locals - pruned, out.union_entries);
+    }
+
+    #[test]
+    fn counters_are_deterministic_per_shard_count() {
+        let (heap, layout, spec, disk) = fixture(900, 21, 4);
+        for strategy in [
+            ShardStrategy::Naive,
+            ShardStrategy::Grid,
+            ShardStrategy::Representative,
+        ] {
+            let cfg = ShardConfig::new(4, strategy, 8).with_sort_pages(16);
+            let (a, snap_a) = run(&heap, &layout, &spec, &disk, cfg);
+            let (b, snap_b) = run(&heap, &layout, &spec, &disk, cfg);
+            assert_eq!(snap_a, snap_b, "{strategy:?} aggregate not deterministic");
+            assert_eq!(a.exchange, b.exchange);
+            assert_eq!(a.union_entries, b.union_entries);
+            for (x, y) in a.shard_stats.iter().zip(&b.shard_stats) {
+                assert_eq!(x.metrics, y.metrics);
+                assert_eq!(x.records, y.records);
+            }
+            for (x, y) in a.merge_worker_metrics.iter().zip(&b.merge_worker_metrics) {
+                assert_eq!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_disks_drain_to_zero_and_own_their_io() {
+        let (heap, layout, spec, _) = fixture(800, 3, 3);
+        let coord = MemDisk::shared();
+        let shard_disks_raw: Vec<Arc<MemDisk>> = (0..3).map(|_| MemDisk::shared()).collect();
+        let shard_disks: Vec<Arc<dyn Disk>> = shard_disks_raw
+            .iter()
+            .map(|d| d.clone() as Arc<dyn Disk>)
+            .collect();
+        let metrics = SkylineMetrics::shared();
+        let cfg = ShardConfig::new(3, ShardStrategy::Grid, 8).with_sort_pages(16);
+        let out = sharded_skyline(
+            Arc::clone(&heap),
+            &layout,
+            &spec,
+            cfg,
+            &shard_disks,
+            coord.clone(),
+            metrics,
+            None,
+        )
+        .expect("sharded");
+        for (i, (d, s)) in shard_disks_raw.iter().zip(&out.shard_stats).enumerate() {
+            assert_eq!(d.allocated_pages(), 0, "shard {i} leaked pages");
+            if s.records > 0 {
+                assert!(s.io.reads > 0 && s.io.writes > 0, "shard {i} did no I/O");
+            }
+        }
+        let pages_with_skyline = coord.allocated_pages();
+        assert_eq!(pages_with_skyline, out.skyline.num_pages());
+        drop(out);
+    }
+
+    fn fail(r: Result<ShardOutcome, ExecError>, what: &str) -> ExecError {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("{what}: expected an error"),
+        }
+    }
+
+    #[test]
+    fn config_errors_are_typed() {
+        let (heap, layout, spec, disk) = fixture(50, 1, 2);
+        let metrics = SkylineMetrics::shared();
+        let err = fail(
+            sharded_skyline_pipeline(
+                Arc::clone(&heap),
+                &layout,
+                &spec,
+                ShardConfig::new(0, ShardStrategy::Naive, 4),
+                disk.clone(),
+                Arc::clone(&metrics),
+                None,
+            ),
+            "zero shards",
+        );
+        assert!(matches!(err, ExecError::Config(_)));
+
+        let one_disk: Vec<Arc<dyn Disk>> = vec![MemDisk::shared()];
+        let err = fail(
+            sharded_skyline(
+                Arc::clone(&heap),
+                &layout,
+                &spec,
+                ShardConfig::new(2, ShardStrategy::Naive, 4),
+                &one_disk,
+                disk.clone(),
+                Arc::clone(&metrics),
+                None,
+            ),
+            "disk count",
+        );
+        assert!(matches!(err, ExecError::Config(_)));
+    }
+
+    #[test]
+    fn cancellation_is_typed_and_leak_free() {
+        let (heap, layout, spec, _) = fixture(1500, 5, 3);
+        let coord = MemDisk::shared();
+        let shard_disks_raw: Vec<Arc<MemDisk>> = (0..2).map(|_| MemDisk::shared()).collect();
+        let shard_disks: Vec<Arc<dyn Disk>> = shard_disks_raw
+            .iter()
+            .map(|d| d.clone() as Arc<dyn Disk>)
+            .collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let metrics = SkylineMetrics::shared();
+        let err = fail(
+            sharded_skyline(
+                Arc::clone(&heap),
+                &layout,
+                &spec,
+                ShardConfig::new(2, ShardStrategy::Naive, 8),
+                &shard_disks,
+                coord.clone(),
+                metrics,
+                Some(token),
+            ),
+            "cancelled",
+        );
+        assert!(matches!(err, ExecError::Cancelled { .. }), "{err}");
+        for d in &shard_disks_raw {
+            assert_eq!(d.allocated_pages(), 0);
+        }
+        assert_eq!(coord.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn band_plan_factors_shards() {
+        assert_eq!(GridRouter::band_plan(1, 3), vec![1, 1, 1]);
+        assert_eq!(GridRouter::band_plan(2, 3), vec![2, 1, 1]);
+        assert_eq!(GridRouter::band_plan(4, 3), vec![2, 2, 1]);
+        assert_eq!(GridRouter::band_plan(8, 3), vec![2, 2, 2]);
+        assert_eq!(GridRouter::band_plan(16, 3), vec![4, 2, 2]);
+        assert_eq!(GridRouter::band_plan(6, 2), vec![6, 1]);
+        assert_eq!(GridRouter::band_plan(5, 1), vec![5]);
+    }
+}

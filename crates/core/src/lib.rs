@@ -57,8 +57,9 @@ pub use dominance::{dom_rel, dominates, Criterion, Direction, DomRel, SkylineSpe
 pub use dominance_block::{BlockVerdict, BlockWindow, ProbeCost, ReplaceWindow, BLOCK_LANES};
 pub use external::{
     batch_presort, batch_skyband, batch_strata, batch_top_n, parallel_batch_filter,
-    parallel_sfs_filter, BatchBnl, BatchConfig, BatchFilterOutcome, BatchSfs, Bnl, KeySumScore,
-    MaterializeRows, NarrowCmp, ParFilterOutcome, Sfs, SfsConfig, SpecKeys,
+    parallel_sfs_filter, sharded_skyline, BatchBnl, BatchConfig, BatchFilterOutcome, BatchSfs, Bnl,
+    KeySumScore, MaterializeRows, NarrowCmp, ParFilterOutcome, Sfs, SfsConfig, ShardConfig,
+    ShardOutcome, ShardStats, ShardStrategy, SpecKeys,
 };
 pub use keys::KeyMatrix;
 pub use metrics::{MetricsSnapshot, SkylineMetrics};

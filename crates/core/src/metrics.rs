@@ -30,6 +30,9 @@ pub struct SkylineMetrics {
     batches: AtomicU64,
     rows_materialized: AtomicU64,
     bytes_moved: AtomicU64,
+    bytes_exchanged: AtomicU64,
+    exchange_frames: AtomicU64,
+    pruned_by_representatives: AtomicU64,
 }
 
 impl SkylineMetrics {
@@ -104,6 +107,30 @@ impl SkylineMetrics {
         self.bytes_moved.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` bytes crossing the shard exchange (frame headers plus
+    /// payload, in either direction: local-skyline uploads and
+    /// representative broadcasts). Disjoint from `bytes_moved`, which
+    /// models intra-node stage traffic.
+    #[inline]
+    pub fn add_bytes_exchanged(&self, n: u64) {
+        self.bytes_exchanged.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one length-prefixed frame crossing the shard exchange.
+    #[inline]
+    pub fn add_exchange_frame(&self) {
+        self.exchange_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one shard-local skyline candidate discarded because a
+    /// broadcast representative dominates it — movement saved before the
+    /// candidate ever reaches the exchange.
+    #[inline]
+    pub fn add_pruned_by_representative(&self) {
+        self.pruned_by_representatives
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record the block-kernel side of a probe: blocks pruned whole by
     /// summaries/bounds and window-entry lanes physically evaluated.
     /// Scalar-kernel probes add nothing here.
@@ -130,6 +157,9 @@ impl SkylineMetrics {
             &self.batches,
             &self.rows_materialized,
             &self.bytes_moved,
+            &self.bytes_exchanged,
+            &self.exchange_frames,
+            &self.pruned_by_representatives,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -150,6 +180,9 @@ impl SkylineMetrics {
             batches: self.batches.load(Ordering::Relaxed),
             rows_materialized: self.rows_materialized.load(Ordering::Relaxed),
             bytes_moved: self.bytes_moved.load(Ordering::Relaxed),
+            bytes_exchanged: self.bytes_exchanged.load(Ordering::Relaxed),
+            exchange_frames: self.exchange_frames.load(Ordering::Relaxed),
+            pruned_by_representatives: self.pruned_by_representatives.load(Ordering::Relaxed),
         }
     }
 
@@ -174,6 +207,12 @@ impl SkylineMetrics {
         self.rows_materialized
             .fetch_add(s.rows_materialized, Ordering::Relaxed);
         self.bytes_moved.fetch_add(s.bytes_moved, Ordering::Relaxed);
+        self.bytes_exchanged
+            .fetch_add(s.bytes_exchanged, Ordering::Relaxed);
+        self.exchange_frames
+            .fetch_add(s.exchange_frames, Ordering::Relaxed);
+        self.pruned_by_representatives
+            .fetch_add(s.pruned_by_representatives, Ordering::Relaxed);
     }
 }
 
@@ -208,6 +247,16 @@ pub struct MetricsSnapshot {
     /// Modeled bytes crossing stage boundaries (zero on row-path runs;
     /// the bench gate derives the row path's equivalent analytically).
     pub bytes_moved: u64,
+    /// Bytes crossing the shard exchange — frame headers plus payload for
+    /// local-skyline uploads and representative broadcasts (zero on
+    /// single-node runs).
+    pub bytes_exchanged: u64,
+    /// Length-prefixed frames crossing the shard exchange (zero on
+    /// single-node runs).
+    pub exchange_frames: u64,
+    /// Shard-local skyline candidates pruned by broadcast representatives
+    /// before serialization (zero unless representative filtering ran).
+    pub pruned_by_representatives: u64,
 }
 
 impl MetricsSnapshot {
@@ -228,6 +277,10 @@ impl MetricsSnapshot {
             batches: self.batches + other.batches,
             rows_materialized: self.rows_materialized + other.rows_materialized,
             bytes_moved: self.bytes_moved + other.bytes_moved,
+            bytes_exchanged: self.bytes_exchanged + other.bytes_exchanged,
+            exchange_frames: self.exchange_frames + other.exchange_frames,
+            pruned_by_representatives: self.pruned_by_representatives
+                + other.pruned_by_representatives,
         }
     }
 }
@@ -251,6 +304,9 @@ mod tests {
         m.add_batch();
         m.add_rows_materialized();
         m.add_bytes_moved(96);
+        m.add_bytes_exchanged(80);
+        m.add_exchange_frame();
+        m.add_pruned_by_representative();
         let s = m.snapshot();
         assert_eq!(s.comparisons, 15);
         assert_eq!(s.passes, 1);
@@ -264,6 +320,9 @@ mod tests {
         assert_eq!(s.batches, 1);
         assert_eq!(s.rows_materialized, 1);
         assert_eq!(s.bytes_moved, 96);
+        assert_eq!(s.bytes_exchanged, 80);
+        assert_eq!(s.exchange_frames, 1);
+        assert_eq!(s.pruned_by_representatives, 1);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
@@ -283,6 +342,9 @@ mod tests {
             batches: 2,
             rows_materialized: 6,
             bytes_moved: 512,
+            bytes_exchanged: 64,
+            exchange_frames: 1,
+            pruned_by_representatives: 2,
         };
         let b = MetricsSnapshot {
             comparisons: 7,
@@ -297,6 +359,9 @@ mod tests {
             batches: 1,
             rows_materialized: 4,
             bytes_moved: 128,
+            bytes_exchanged: 32,
+            exchange_frames: 3,
+            pruned_by_representatives: 5,
         };
         let m = SkylineMetrics::shared();
         m.absorb(&a);

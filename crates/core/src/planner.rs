@@ -226,6 +226,31 @@ pub fn batch_skyline_pipeline(
     )
 }
 
+/// The sharded pipeline end-to-end on fresh in-memory shard disks:
+/// route records to `cfg.shards` workers, run local presort + batch SFS
+/// per shard, exchange partial skylines as metered frames, and merge on
+/// the coordinator — the distributed mirror of
+/// [`batch_skyline_pipeline`]. Callers that need fault injection or
+/// per-shard durability hand their own disks to
+/// [`crate::external::sharded_skyline`] directly.
+///
+/// # Errors
+/// The same errors as [`crate::external::sharded_skyline`].
+pub fn sharded_skyline_pipeline(
+    heap: Arc<HeapFile>,
+    layout: &RecordLayout,
+    spec: &SkylineSpec,
+    cfg: crate::external::ShardConfig,
+    disk: Arc<dyn Disk>,
+    metrics: Arc<SkylineMetrics>,
+    cancel: Option<skyline_exec::CancelToken>,
+) -> Result<crate::external::ShardOutcome, ExecError> {
+    let shard_disks: Vec<Arc<dyn Disk>> = (0..cfg.shards)
+        .map(|_| skyline_storage::MemDisk::shared() as Arc<dyn Disk>)
+        .collect();
+    crate::external::sharded_skyline(heap, layout, spec, cfg, &shard_disks, disk, metrics, cancel)
+}
+
 /// The filter phase: SFS over an already-sorted heap file.
 ///
 /// # Errors

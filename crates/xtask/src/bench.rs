@@ -57,6 +57,14 @@ pub const MAX_WALL_REGRESSION: f64 = 1.2;
 /// regression the session layer could introduce.
 pub const P99_ABS_SLACK_MS: f64 = 5.0;
 
+/// Absolute slack added on top of [`MAX_WALL_REGRESSION`] for the
+/// sharded gate's `wall_ms`: its runs finish in tens to hundreds of
+/// milliseconds, where scheduler jitter on a loaded runner routinely
+/// exceeds 20%. The deterministic counters (comparisons, bytes
+/// exchanged, checksums) are the real gate; the wall bound only has to
+/// catch order-of-magnitude regressions without flapping.
+pub const SHARD_WALL_ABS_SLACK_MS: f64 = 50.0;
+
 /// The block-kernel baseline must reduce model comparison cost vs the
 /// scalar-era baseline by at least this factor, per full-grid thread
 /// count (the PR 5 acceptance bar).
@@ -307,6 +315,9 @@ const OPTIONAL_COUNTERS: &[&str] = &[
     "batches",
     "rows_materialized",
     "bytes_moved",
+    "bytes_exchanged",
+    "exchange_frames",
+    "pruned_by_representatives",
 ];
 
 /// One run row, keyed for the diff.
@@ -679,6 +690,286 @@ pub fn batch_beats_row(report: &str) -> Result<Vec<String>, String> {
     }
 }
 
+/// Deterministic per-run scalars of the sharded report
+/// (`BENCH_pr10.json`); compared exactly between committed and fresh
+/// runs and used by the [`shard_beats_naive`] laws.
+const SHARD_EXACT: &[&str] = &[
+    "comparisons",
+    "coordinator_comparisons",
+    "bytes_exchanged",
+    "exchange_frames",
+    "pruned_by_representatives",
+    "union_entries",
+    "skyline",
+];
+
+/// One run of the sharded report, keyed by (strategy, shards).
+#[derive(Debug, Clone, PartialEq)]
+struct ShardRun {
+    wall_ms: f64,
+    /// The [`SHARD_EXACT`] scalars, by name.
+    fields: BTreeMap<&'static str, f64>,
+    shard_comparisons: Vec<f64>,
+    shard_bytes_exchanged: Vec<f64>,
+    checksum: String,
+}
+
+/// One section of the sharded report: the single-node baseline plus the
+/// (strategy, shards)-keyed runs.
+#[derive(Debug, Clone, PartialEq)]
+struct ShardSection {
+    baseline_skyline: f64,
+    baseline_checksum: String,
+    runs: BTreeMap<(String, u64), ShardRun>,
+}
+
+/// section label → shard section
+type ShardGrid = BTreeMap<String, ShardSection>;
+
+fn shard_grid_of(doc: &Json) -> Result<ShardGrid, String> {
+    let mut grid = ShardGrid::new();
+    for sec in doc.get("sections").ok_or("report has no `sections`")?.arr() {
+        let label = sec
+            .get("label")
+            .and_then(Json::str)
+            .ok_or("section without label")?
+            .to_string();
+        let mut runs = BTreeMap::new();
+        for r in sec.get("runs").ok_or("section without runs")?.arr() {
+            let f = |k: &str| -> Result<f64, String> {
+                r.get(k)
+                    .and_then(Json::num)
+                    .ok_or_else(|| format!("run missing `{k}`"))
+            };
+            let nums = |k: &str| -> Result<Vec<f64>, String> {
+                r.get(k)
+                    .map(|v| v.arr().iter().filter_map(Json::num).collect())
+                    .ok_or_else(|| format!("run missing `{k}`"))
+            };
+            let mut fields = BTreeMap::new();
+            for k in SHARD_EXACT {
+                fields.insert(*k, f(k)?);
+            }
+            runs.insert(
+                (
+                    r.get("strategy")
+                        .and_then(Json::str)
+                        .ok_or("run missing `strategy`")?
+                        .to_string(),
+                    f("shards")? as u64,
+                ),
+                ShardRun {
+                    wall_ms: f("wall_ms")?,
+                    fields,
+                    shard_comparisons: nums("shard_comparisons")?,
+                    shard_bytes_exchanged: nums("shard_bytes_exchanged")?,
+                    checksum: r
+                        .get("checksum")
+                        .and_then(Json::str)
+                        .ok_or("run missing `checksum`")?
+                        .to_string(),
+                },
+            );
+        }
+        grid.insert(
+            label,
+            ShardSection {
+                baseline_skyline: sec
+                    .get("baseline_skyline")
+                    .and_then(Json::num)
+                    .ok_or("section missing `baseline_skyline`")?,
+                baseline_checksum: sec
+                    .get("baseline_checksum")
+                    .and_then(Json::str)
+                    .ok_or("section missing `baseline_checksum`")?
+                    .to_string(),
+                runs,
+            },
+        );
+    }
+    Ok(grid)
+}
+
+/// Diff a fresh sharded report against the committed `BENCH_pr10.json`:
+/// the [`SHARD_EXACT`] scalars, per-shard counter arrays, and checksums
+/// must match exactly; `wall_ms` within [`MAX_WALL_REGRESSION`].
+/// Sections present only in the committed baseline are skipped (the
+/// `--smoke` shape).
+///
+/// # Errors
+/// A report of every violated check, one per line.
+pub fn shard_compare(committed: &str, fresh: &str) -> Result<Vec<String>, String> {
+    let committed =
+        shard_grid_of(&parse(committed).map_err(|e| format!("committed shard report: {e}"))?)?;
+    let fresh = shard_grid_of(&parse(fresh).map_err(|e| format!("fresh shard report: {e}"))?)?;
+    let mut notes = Vec::new();
+    let mut errs = String::new();
+    for (label, sec) in &fresh {
+        let Some(base_sec) = committed.get(label) else {
+            errs.push_str(&format!(
+                "section `{label}` missing from the committed baseline — regenerate it\n"
+            ));
+            continue;
+        };
+        if (sec.baseline_skyline, &sec.baseline_checksum)
+            != (base_sec.baseline_skyline, &base_sec.baseline_checksum)
+        {
+            errs.push_str(&format!(
+                "`{label}`: single-node baseline changed ({} / {} → {} / {})\n",
+                base_sec.baseline_skyline,
+                base_sec.baseline_checksum,
+                sec.baseline_skyline,
+                sec.baseline_checksum
+            ));
+        }
+        for ((strategy, shards), run) in &sec.runs {
+            let Some(base) = base_sec.runs.get(&(strategy.clone(), *shards)) else {
+                errs.push_str(&format!(
+                    "`{label}` {strategy} shards={shards} missing from committed report\n"
+                ));
+                continue;
+            };
+            for k in SHARD_EXACT {
+                let (old, new) = (base.fields[k], run.fields[k]);
+                #[allow(clippy::float_cmp)] // integers carried in f64; exactness is the point
+                if new != old {
+                    errs.push_str(&format!(
+                        "`{label}` {strategy} shards={shards}: {k} changed {old} → {new} \
+                         (deterministic — regenerate the baseline deliberately)\n"
+                    ));
+                }
+            }
+            for (what, new, old) in [
+                (
+                    "shard_comparisons",
+                    &run.shard_comparisons,
+                    &base.shard_comparisons,
+                ),
+                (
+                    "shard_bytes_exchanged",
+                    &run.shard_bytes_exchanged,
+                    &base.shard_bytes_exchanged,
+                ),
+            ] {
+                if new != old {
+                    errs.push_str(&format!(
+                        "`{label}` {strategy} shards={shards}: {what} changed {old:?} → {new:?}\n"
+                    ));
+                }
+            }
+            if run.checksum != base.checksum {
+                errs.push_str(&format!(
+                    "`{label}` {strategy} shards={shards}: skyline checksum changed {} → {}\n",
+                    base.checksum, run.checksum
+                ));
+            }
+            if run.wall_ms > base.wall_ms * MAX_WALL_REGRESSION + SHARD_WALL_ABS_SLACK_MS {
+                errs.push_str(&format!(
+                    "`{label}` {strategy} shards={shards}: wall_ms regressed {:.1} → {:.1} \
+                     (gate allows {:.0}% + {:.0}ms)\n",
+                    base.wall_ms,
+                    run.wall_ms,
+                    (MAX_WALL_REGRESSION - 1.0) * 100.0,
+                    SHARD_WALL_ABS_SLACK_MS
+                ));
+            } else {
+                notes.push(format!(
+                    "`{label}` {strategy} shards={shards}: wall {:.1}ms vs {:.1}ms baseline — ok",
+                    run.wall_ms, base.wall_ms
+                ));
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(notes)
+    } else {
+        Err(errs)
+    }
+}
+
+/// The PR 10 acceptance check, run on the committed `BENCH_pr10.json`:
+/// every run must reproduce the section's single-node baseline skyline
+/// (count and checksum), and at every shard count the `grid` and
+/// `representative` runs must each *strictly* reduce both
+/// `bytes_exchanged` and `coordinator_comparisons` vs the `naive` run,
+/// with `representative` actually pruning
+/// (`pruned_by_representatives > 0`).
+///
+/// # Errors
+/// A report of every violated check, one per line.
+pub fn shard_beats_naive(report: &str) -> Result<Vec<String>, String> {
+    let grid = shard_grid_of(&parse(report).map_err(|e| format!("BENCH_pr10.json: {e}"))?)?;
+    if grid.is_empty() {
+        return Err("BENCH_pr10.json has no sections".into());
+    }
+    let mut notes = Vec::new();
+    let mut errs = String::new();
+    for (label, sec) in &grid {
+        for ((strategy, shards), run) in &sec.runs {
+            #[allow(clippy::float_cmp)] // integers carried in f64; exactness is the point
+            if run.fields["skyline"] != sec.baseline_skyline
+                || run.checksum != sec.baseline_checksum
+            {
+                errs.push_str(&format!(
+                    "`{label}` {strategy} shards={shards}: skyline ({} / {}) differs from the \
+                     single-node baseline ({} / {}) — sharding changed the answer\n",
+                    run.fields["skyline"],
+                    run.checksum,
+                    sec.baseline_skyline,
+                    sec.baseline_checksum
+                ));
+            }
+        }
+        let shard_counts: Vec<u64> = sec
+            .runs
+            .keys()
+            .filter(|(s, _)| s == "naive")
+            .map(|&(_, n)| n)
+            .collect();
+        if shard_counts.is_empty() {
+            errs.push_str(&format!("`{label}`: no naive runs to compare against\n"));
+            continue;
+        }
+        for &n in &shard_counts {
+            let naive = &sec.runs[&("naive".to_string(), n)];
+            for strategy in ["grid", "representative"] {
+                let Some(run) = sec.runs.get(&(strategy.to_string(), n)) else {
+                    errs.push_str(&format!("`{label}`: no {strategy} run at shards={n}\n"));
+                    continue;
+                };
+                for k in ["bytes_exchanged", "coordinator_comparisons"] {
+                    let (new, old) = (run.fields[k], naive.fields[k]);
+                    if new < old {
+                        notes.push(format!(
+                            "`{label}` {strategy} shards={n}: {k} {old:.0} → {new:.0} \
+                             ({:.2}×, identical skyline)",
+                            old / new
+                        ));
+                    } else {
+                        errs.push_str(&format!(
+                            "`{label}` {strategy} shards={n}: {k} {new:.0} does not beat \
+                             naive's {old:.0}\n"
+                        ));
+                    }
+                }
+            }
+            if let Some(rep) = sec.runs.get(&("representative".to_string(), n)) {
+                if rep.fields["pruned_by_representatives"] <= 0.0 {
+                    errs.push_str(&format!(
+                        "`{label}` representative shards={n}: pruned nothing — the broadcast \
+                         is vacuous\n"
+                    ));
+                }
+            }
+        }
+    }
+    if errs.is_empty() {
+        Ok(notes)
+    } else {
+        Err(errs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -906,6 +1197,122 @@ mod tests {
         ]);
         let err = batch_beats_row(&r).unwrap_err();
         assert!(err.contains("skyline differs"), "{err}");
+    }
+
+    /// One shard-report run with the given strategy and exchange cost.
+    fn shard_run_json(strategy: &str, shards: u64, bytes: u64, coord: u64, pruned: u64) -> String {
+        format!(
+            r#"{{ "strategy": "{strategy}", "shards": {shards}, "wall_ms": 10.0,
+                  "comparisons": 5000, "coordinator_comparisons": {coord},
+                  "shard_comparisons": [100, 100], "shard_bytes_exchanged": [50, 50],
+                  "bytes_exchanged": {bytes}, "exchange_frames": 4,
+                  "pruned_by_representatives": {pruned}, "union_entries": 80,
+                  "skyline": 42, "checksum": "0x00deadbeef000000" }}"#
+        )
+    }
+
+    fn shard_section_json(label: &str, runs: &[String]) -> String {
+        format!(
+            r#"{{ "label": "{label}", "n": 20000, "d": 7, "window_pages": 16,
+                  "baseline_skyline": 42, "baseline_checksum": "0x00deadbeef000000",
+                  "runs": [ {} ] }}"#,
+            runs.join(", ")
+        )
+    }
+
+    fn shard_report_of(sections: &[String]) -> String {
+        format!(
+            r#"{{ "schema": 1, "seed": 2003, "sections": [ {} ] }}"#,
+            sections.join(", ")
+        )
+    }
+
+    fn shard_report(runs: &[String]) -> String {
+        shard_report_of(&[shard_section_json("shard-smoke", runs)])
+    }
+
+    fn healthy_shard_report() -> String {
+        shard_report(&[
+            shard_run_json("naive", 2, 1000, 900, 0),
+            shard_run_json("grid", 2, 800, 700, 0),
+            shard_run_json("representative", 2, 900, 800, 30),
+        ])
+    }
+
+    #[test]
+    fn shard_laws_pass_on_strict_reductions() {
+        let notes = shard_beats_naive(&healthy_shard_report()).unwrap();
+        assert_eq!(notes.len(), 4, "two counters × two strategies: {notes:?}");
+    }
+
+    #[test]
+    fn shard_laws_reject_equal_bytes() {
+        let r = shard_report(&[
+            shard_run_json("naive", 2, 1000, 900, 0),
+            shard_run_json("grid", 2, 1000, 700, 0),
+            shard_run_json("representative", 2, 900, 800, 30),
+        ]);
+        let err = shard_beats_naive(&r).unwrap_err();
+        assert!(
+            err.contains("bytes_exchanged") && err.contains("does not beat"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn shard_laws_reject_vacuous_pruning_and_changed_skyline() {
+        let r = shard_report(&[
+            shard_run_json("naive", 2, 1000, 900, 0),
+            shard_run_json("grid", 2, 800, 700, 0),
+            shard_run_json("representative", 2, 900, 800, 0),
+        ]);
+        let err = shard_beats_naive(&r).unwrap_err();
+        assert!(err.contains("pruned nothing"), "{err}");
+
+        let drifted = healthy_shard_report().replacen("\"skyline\": 42", "\"skyline\": 43", 1);
+        let err = shard_beats_naive(&drifted).unwrap_err();
+        assert!(
+            err.contains("differs from the single-node baseline"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn shard_compare_is_exact_on_deterministic_fields() {
+        let base = healthy_shard_report();
+        assert_eq!(shard_compare(&base, &base).unwrap().len(), 3);
+        let drifted = base.replacen("\"bytes_exchanged\": 800", "\"bytes_exchanged\": 801", 1);
+        let err = shard_compare(&base, &drifted).unwrap_err();
+        assert!(err.contains("bytes_exchanged changed"), "{err}");
+        let arr_drift = base.replacen("[100, 100]", "[100, 101]", 1);
+        let err = shard_compare(&base, &arr_drift).unwrap_err();
+        assert!(err.contains("shard_comparisons changed"), "{err}");
+    }
+
+    #[test]
+    fn shard_compare_skips_committed_only_sections_and_bounds_wall() {
+        // committed full + smoke, fresh smoke only (the --gate --smoke
+        // shape): the committed-only section is ignored
+        let runs = [
+            shard_run_json("naive", 2, 1000, 900, 0),
+            shard_run_json("grid", 2, 800, 700, 0),
+            shard_run_json("representative", 2, 900, 800, 30),
+        ];
+        let both = shard_report_of(&[
+            shard_section_json("shard-full", &runs),
+            shard_section_json("shard-smoke", &runs),
+        ]);
+        assert!(shard_compare(&both, &healthy_shard_report()).is_ok());
+        // but a fresh section absent from the committed baseline fails
+        let err = shard_compare(&healthy_shard_report(), &both).unwrap_err();
+        assert!(err.contains("missing from the committed baseline"), "{err}");
+        // wall regression beyond 20% + the absolute slack fails
+        // (allowed = 10.0 × 1.2 + 50ms = 62ms)
+        let near = healthy_shard_report().replace("\"wall_ms\": 10.0", "\"wall_ms\": 61.9");
+        assert!(shard_compare(&healthy_shard_report(), &near).is_ok());
+        let slow = healthy_shard_report().replace("\"wall_ms\": 10.0", "\"wall_ms\": 62.1");
+        let err = shard_compare(&healthy_shard_report(), &slow).unwrap_err();
+        assert!(err.contains("wall_ms regressed"), "{err}");
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/exec/src",
     "crates/core/src/external",
     "crates/core/src/dominance_block.rs",
+    "crates/exchange/src",
     "crates/storage/src",
     "crates/server/src",
 ];

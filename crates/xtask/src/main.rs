@@ -21,8 +21,13 @@
 //!   model comparison cost with a bit-identical skyline) and
 //!   [`bench::batch_beats_row`] (in `BENCH_pr9.json` the columnar
 //!   sections must reproduce their row twins' skylines bit-for-bit
-//!   while strictly reducing rows materialized and bytes moved).
-//!   `--smoke` runs only the small sections — the CI configuration.
+//!   while strictly reducing rows materialized and bytes moved) and
+//!   [`bench::shard_beats_naive`] (in `BENCH_pr10.json` the grid and
+//!   representative exchanges must reproduce the single-node skyline
+//!   bit-for-bit while strictly reducing bytes exchanged and
+//!   coordinator comparisons vs the naive exchange at every shard
+//!   count). `--smoke` runs only the small sections — the CI
+//!   configuration.
 //! * `ratchet --base PATH` — monotonicity check: the committed
 //!   `lint-baseline.txt` must be ≤ the snapshot at PATH entry-wise (CI
 //!   passes the PR base branch's copy), so allowances only ever shrink.
@@ -237,13 +242,15 @@ fn run_oracle() -> Result<(), String> {
     }
 }
 
-/// Run the bench-gate binary; with `gate`, diff its fresh report against
-/// the committed `BENCH_pr9.json` (deterministic fields must match
-/// exactly, wall time within [`bench::MAX_WALL_REGRESSION`]), check the
-/// committed `BENCH_pr5.json` improves on the scalar-era
-/// `BENCH_pr4.json` by [`bench::MIN_COST_IMPROVEMENT`], and check the
-/// committed `BENCH_pr9.json` batch sections beat their row twins via
-/// [`bench::batch_beats_row`].
+/// Run the bench-gate and shard-gate binaries; with `gate`, diff their
+/// fresh reports against the committed `BENCH_pr9.json` /
+/// `BENCH_pr10.json` (deterministic fields must match exactly, wall
+/// time within [`bench::MAX_WALL_REGRESSION`]), check the committed
+/// `BENCH_pr5.json` improves on the scalar-era `BENCH_pr4.json` by
+/// [`bench::MIN_COST_IMPROVEMENT`], check the committed `BENCH_pr9.json`
+/// batch sections beat their row twins via [`bench::batch_beats_row`],
+/// and check the committed `BENCH_pr10.json` grid/representative runs
+/// beat the naive exchange via [`bench::shard_beats_naive`].
 fn run_bench(root: &Path, gate: bool, smoke: bool) -> Result<(), String> {
     let out_rel = if gate {
         "target/bench_gate_fresh.json"
@@ -265,6 +272,26 @@ fn run_bench(root: &Path, gate: bool, smoke: bool) -> Result<(), String> {
     }
     args.extend(["--out", out_rel]);
     run_cargo(root, &args)?;
+    let shard_out_rel = if gate {
+        "target/shard_gate_fresh.json"
+    } else {
+        "BENCH_pr10.json"
+    };
+    let mut shard_args = vec![
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "skyline-bench",
+        "--bin",
+        "shard_gate",
+        "--",
+    ];
+    if smoke {
+        shard_args.push("--smoke");
+    }
+    shard_args.extend(["--out", shard_out_rel]);
+    run_cargo(root, &shard_args)?;
     if !gate {
         return Ok(());
     }
@@ -295,6 +322,22 @@ fn run_bench(root: &Path, gate: bool, smoke: bool) -> Result<(), String> {
         "bench: batch ok — columnar sections beat their row twins on data movement \
          (wall within {:.0}% at t=1)",
         (bench::BATCH_WALL_SLACK - 1.0) * 100.0
+    );
+    let committed_shard = std::fs::read_to_string(root.join("BENCH_pr10.json")).map_err(|e| {
+        format!("read BENCH_pr10.json: {e} — regenerate the baseline with `cargo xtask bench`")
+    })?;
+    let fresh_shard = std::fs::read_to_string(root.join(shard_out_rel))
+        .map_err(|e| format!("read {shard_out_rel}: {e}"))?;
+    for note in bench::shard_compare(&committed_shard, &fresh_shard)? {
+        println!("bench: {note}");
+    }
+    println!("bench: shard gate ok — fresh run agrees with the committed BENCH_pr10.json");
+    for note in bench::shard_beats_naive(&committed_shard)? {
+        println!("bench: {note}");
+    }
+    println!(
+        "bench: shard ok — grid and representative strictly reduce bytes exchanged and \
+         coordinator comparisons vs naive at every shard count"
     );
     Ok(())
 }

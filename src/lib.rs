@@ -3,11 +3,13 @@
 //! Re-exports the crates making up the reproduction of *Skyline with
 //! Presorting* (Chomicki, Godfrey, Gryz, Liang — ICDE 2003): the SFS
 //! algorithm and its baselines (`core`), the relational substrate
-//! (`relation`, `storage`, `exec`), the `SKYLINE OF` SQL dialect
-//! (`query`), and the in-process session server (`server`). See the
-//! workspace README for a tour.
+//! (`relation`, `storage`, `exec`), the partial-skyline exchange
+//! fabric (`exchange`), the `SKYLINE OF` SQL dialect (`query`), and
+//! the in-process session server (`server`). See the workspace README
+//! for a tour.
 
 pub use skyline_core as core;
+pub use skyline_exchange as exchange;
 pub use skyline_exec as exec;
 pub use skyline_query as query;
 pub use skyline_relation as relation;

@@ -12,17 +12,19 @@
 //! surfaces a typed `Cancelled` error without leaking.
 
 use skyline::core::algo::naive;
+use skyline::core::external::sharded_skyline;
 use skyline::core::external::WinnowOp;
 use skyline::core::planner::{
     batch_skyline_pipeline, bnl_over, entropy_stats_of_records, load_heap,
-    parallel_skyline_pipeline, presort, sfs_filter,
+    parallel_skyline_pipeline, presort, sfs_filter, sharded_skyline_pipeline,
 };
 use skyline::core::skyband::skyband;
 use skyline::core::strata::strata_external;
 use skyline::core::winnow::SkylinePreference;
 use skyline::core::{
     batch_presort, parallel_skyline_cancellable, parallel_skyline_heap, AlgoError, BatchConfig,
-    KeyMatrix, KeySumScore, SfsConfig, SkylineMetrics, SkylineSpec, SortOrder, SpecKeys,
+    KeyMatrix, KeySumScore, SfsConfig, ShardConfig, ShardStrategy, SkylineMetrics, SkylineSpec,
+    SortOrder, SpecKeys,
 };
 use skyline::exec::batch::{BatchHeapScan, BatchSource, KeyBatch};
 use skyline::exec::{collect, CancelToken, ExecError, HeapScan, Operator};
@@ -370,6 +372,59 @@ fn batch_scalar(d: Arc<dyn Disk>, l: RecordLayout, r: &[Vec<u8>]) -> Result<Vec<
     run_batch(d, l, r, true)
 }
 
+/// The sharded pipeline end-to-end on the given (possibly faulty)
+/// coordinator disk; the planner entry gives every shard worker its own
+/// clean in-memory disk, so faults land in the routing pass, the frame
+/// decode, the prefix merge, or the late materialization.
+fn run_sharded(
+    disk: Arc<dyn Disk>,
+    layout: RecordLayout,
+    records: &[Vec<u8>],
+    strategy: ShardStrategy,
+) -> Result<Vec<Vec<i32>>, String> {
+    let spec = SkylineSpec::max_all(D);
+    let mut heap = load_heap(
+        Arc::clone(&disk),
+        layout.record_size(),
+        records.iter().map(Vec::as_slice),
+    )
+    .map_err(|e| e.to_string())?;
+    heap.mark_temp();
+    let outcome = sharded_skyline_pipeline(
+        Arc::new(heap),
+        &layout,
+        &spec,
+        ShardConfig::new(3, strategy, 1)
+            .with_batch_rows(64)
+            .with_sort_pages(4),
+        disk,
+        SkylineMetrics::shared(),
+        None,
+    )
+    .map_err(|e| e.to_string())?;
+    // the outcome's skyline is persisted: delete it on *both* paths, or
+    // a read fault here would masquerade as a page leak
+    let rows = outcome.skyline.read_all().map_err(|e| e.to_string());
+    outcome.skyline.delete();
+    Ok(value_rows(&layout, rows?.iter().map(Vec::as_slice)))
+}
+
+fn sharded_naive(
+    d: Arc<dyn Disk>,
+    l: RecordLayout,
+    r: &[Vec<u8>],
+) -> Result<Vec<Vec<i32>>, String> {
+    run_sharded(d, l, r, ShardStrategy::Naive)
+}
+
+fn sharded_grid(d: Arc<dyn Disk>, l: RecordLayout, r: &[Vec<u8>]) -> Result<Vec<Vec<i32>>, String> {
+    run_sharded(d, l, r, ShardStrategy::Grid)
+}
+
+fn sharded_rep(d: Arc<dyn Disk>, l: RecordLayout, r: &[Vec<u8>]) -> Result<Vec<Vec<i32>>, String> {
+    run_sharded(d, l, r, ShardStrategy::Representative)
+}
+
 const DRIVERS: &[(&str, Driver)] = &[
     ("sfs-nested", sfs_nested),
     ("sfs-entropy", sfs_entropy),
@@ -382,6 +437,9 @@ const DRIVERS: &[(&str, Driver)] = &[
     ("skyband", skyband_k1),
     ("batch", batch_block),
     ("batch-scalar", batch_scalar),
+    ("sharded-naive", sharded_naive),
+    ("sharded-grid", sharded_grid),
+    ("sharded-representative", sharded_rep),
 ];
 
 /// Seeded fault schedules. `arm_after` on write schedules lets the
@@ -770,6 +828,149 @@ fn drop_mid_pass_cleans_up(disk: Arc<dyn Disk>) {
         0,
         "abandoned operator leaked temp pages"
     );
+}
+
+/// Faults injected on the *shard workers'* own disks — the local
+/// presort, local filter, and spill I/O each shard does before its
+/// skyline ever reaches the exchange. A worker failure must surface as
+/// one typed error from the coordinator, and every disk (all shards +
+/// coordinator) must drain to zero pages regardless of which worker
+/// died first.
+#[test]
+fn sharded_skyline_with_faulty_shard_disks_returns_oracle_or_typed_error() {
+    let (layout, records) = workload();
+    let want = oracle(&layout, &records);
+    let spec = SkylineSpec::max_all(D);
+    const SHARDS: usize = 3;
+    for (sname, sched) in seeded_schedules() {
+        for strategy in [
+            ShardStrategy::Naive,
+            ShardStrategy::Grid,
+            ShardStrategy::Representative,
+        ] {
+            let coord = MemDisk::shared();
+            let mut heap = load_heap(
+                Arc::clone(&coord) as Arc<dyn Disk>,
+                layout.record_size(),
+                records.iter().map(Vec::as_slice),
+            )
+            .unwrap();
+            heap.mark_temp();
+            let shard_inners: Vec<_> = (0..SHARDS).map(|_| MemDisk::shared()).collect();
+            let shard_disks: Vec<Arc<dyn Disk>> = shard_inners
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    // reseed per shard so the workers fail at different
+                    // points of their local pipelines
+                    let mut s = sched;
+                    if s.seed != 0 {
+                        s.seed = s.seed.wrapping_add(i as u64 + 1);
+                    }
+                    FaultDisk::shared(Arc::clone(d) as Arc<dyn Disk>, s) as Arc<dyn Disk>
+                })
+                .collect();
+            let result = sharded_skyline(
+                Arc::new(heap),
+                &layout,
+                &spec,
+                ShardConfig::new(SHARDS, strategy, 1)
+                    .with_batch_rows(64)
+                    .with_sort_pages(4),
+                &shard_disks,
+                Arc::clone(&coord) as Arc<dyn Disk>,
+                SkylineMetrics::shared(),
+                None,
+            );
+            let outcome = match result {
+                Ok(outcome) => {
+                    let rows = outcome
+                        .skyline
+                        .read_all()
+                        .expect("coordinator disk is clean");
+                    assert_eq!(
+                        value_rows(&layout, rows.iter().map(Vec::as_slice)),
+                        want,
+                        "{strategy:?} under {sname}: completed with a WRONG skyline"
+                    );
+                    outcome.skyline.delete();
+                    Some(())
+                }
+                Err(e) => {
+                    assert!(
+                        !e.to_string().is_empty(),
+                        "{strategy:?} under {sname}: empty error message"
+                    );
+                    None
+                }
+            };
+            if sname == "none" {
+                assert!(
+                    outcome.is_some(),
+                    "{strategy:?}: failed with no faults injected"
+                );
+            }
+            for (i, inner) in shard_inners.iter().enumerate() {
+                assert_eq!(
+                    inner.allocated_pages(),
+                    0,
+                    "{strategy:?} under {sname}: shard {i} leaked temp pages"
+                );
+            }
+            assert_eq!(
+                coord.allocated_pages(),
+                0,
+                "{strategy:?} under {sname}: coordinator leaked temp pages"
+            );
+        }
+    }
+}
+
+/// Cancellation racing the exchange: an expired deadline trips at the
+/// first poll of whichever stage runs next — routing, a shard worker
+/// mid-serialization, or the coordinator merge — and must surface as a
+/// typed `Cancelled` error with every disk drained.
+#[test]
+fn cancelled_sharded_skyline_is_typed_and_leak_free() {
+    let (layout, records) = workload();
+    let spec = SkylineSpec::max_all(D);
+    for strategy in [
+        ShardStrategy::Naive,
+        ShardStrategy::Grid,
+        ShardStrategy::Representative,
+    ] {
+        let disk = MemDisk::shared();
+        let mut heap = load_heap(
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            layout.record_size(),
+            records.iter().map(Vec::as_slice),
+        )
+        .unwrap();
+        heap.mark_temp();
+        let err = match sharded_skyline_pipeline(
+            Arc::new(heap),
+            &layout,
+            &spec,
+            ShardConfig::new(3, strategy, 1)
+                .with_batch_rows(64)
+                .with_sort_pages(4),
+            Arc::clone(&disk) as Arc<dyn Disk>,
+            SkylineMetrics::shared(),
+            Some(CancelToken::with_deadline(std::time::Duration::ZERO)),
+        ) {
+            Ok(_) => panic!("deadline-expired sharded pipeline must error ({strategy:?})"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, ExecError::Cancelled { .. }),
+            "expected Cancelled, got {err:?} ({strategy:?})"
+        );
+        assert_eq!(
+            disk.allocated_pages(),
+            0,
+            "cancelled sharded pipeline leaked ({strategy:?})"
+        );
+    }
 }
 
 #[test]

@@ -12,13 +12,14 @@
 //! comparisons per lane bound, and both counters aggregate exactly
 //! across parallel stages like every other counter.
 
-use skyline::core::external::WinnowOp;
+use skyline::core::external::{sharded_skyline, ShardConfig, ShardStrategy, WinnowOp};
 use skyline::core::planner::{bnl_over, entropy_stats_of, load_heap, presort, sfs_filter};
 use skyline::core::winnow::SkylinePreference;
 use skyline::core::{
     batch_presort, parallel_batch_filter, parallel_sfs_filter, BatchConfig, KeySumScore,
     MetricsSnapshot, SfsConfig, SkylineMetrics, SkylineSpec, SortOrder,
 };
+use skyline::exchange::FRAME_HEADER_BYTES;
 use skyline::exec::{collect, HeapScan, NarrowLayout, Operator};
 use skyline::relation::gen::{Distribution, WorkloadSpec};
 use skyline::relation::RecordLayout;
@@ -357,6 +358,131 @@ fn batch_filter_aggregate_is_exact_and_touches_the_payload_once() {
             "{label}: at least one batch per full batch_rows of input"
         );
         outcome.skyline.delete();
+    }
+}
+
+/// The sharded pipeline's ledger closes across the machine boundary:
+/// the caller's aggregate is the exact per-counter sum of every shard
+/// worker plus the coordinator, the aggregate's exchange counters agree
+/// with the wire-level meter, every entry a shard sent is an entry the
+/// coordinator merged, and the bytes decompose into whole frames —
+/// `frames × header + wire_entries × entry_size`, with no slack for the
+/// strategies that never broadcast.
+#[test]
+fn sharded_aggregate_is_exact_and_the_exchange_meter_closes() {
+    let n = 2_400usize;
+    let d = 5usize;
+    let (heap, layout, spec, disk) = fixture(n, d, 37);
+    let entry_size = NarrowLayout::new(d).entry_size() as u64;
+    for strategy in [
+        ShardStrategy::Naive,
+        ShardStrategy::Grid,
+        ShardStrategy::Representative,
+    ] {
+        for shards in [2usize, 4] {
+            let label = format!("{} shards={shards}", strategy.name());
+            let metrics = SkylineMetrics::shared();
+            let shard_disks: Vec<_> = (0..shards)
+                .map(|_| MemDisk::shared() as Arc<dyn skyline::storage::Disk>)
+                .collect();
+            let outcome = sharded_skyline(
+                Arc::clone(&heap),
+                &layout,
+                &spec,
+                ShardConfig::new(shards, strategy, 2)
+                    .with_batch_rows(128)
+                    .with_sort_pages(8),
+                &shard_disks,
+                Arc::clone(&disk) as _,
+                Arc::clone(&metrics),
+                None,
+            )
+            .unwrap();
+
+            // each shard worker settles the records routed to it…
+            let mut routed = 0u64;
+            let mut sent = 0u64;
+            for (i, st) in outcome.shard_stats.iter().enumerate() {
+                assert_settled(&st.metrics, st.records, &format!("{label} shard {i}"));
+                assert_eq!(
+                    st.metrics.emitted, st.local_skyline,
+                    "{label} shard {i}: emissions are the local skyline"
+                );
+                assert!(
+                    st.sent_entries <= st.local_skyline,
+                    "{label} shard {i}: cannot send more than it kept"
+                );
+                routed += st.records;
+                sent += st.sent_entries;
+            }
+            // …the routing tiles the input…
+            assert_eq!(routed, n as u64, "{label}: routing tiles the input");
+            // …every entry sent is an entry the coordinator merged…
+            assert_eq!(
+                sent, outcome.union_entries,
+                "{label}: wire entries == merged union"
+            );
+            // …the caller's aggregate is the exact per-counter sum of
+            // every stage…
+            let parts = outcome
+                .shard_stats
+                .iter()
+                .fold(outcome.coordinator_metrics, |acc, st| acc.plus(&st.metrics));
+            assert_eq!(
+                metrics.snapshot(),
+                parts,
+                "{label}: aggregate == Σ shards + coordinator"
+            );
+            // …the aggregate's exchange counters are the wire meter…
+            let agg = metrics.snapshot();
+            assert_eq!(
+                agg.bytes_exchanged, outcome.exchange.bytes_exchanged,
+                "{label}: counter vs meter bytes"
+            );
+            assert_eq!(
+                agg.exchange_frames, outcome.exchange.exchange_frames,
+                "{label}: counter vs meter frames"
+            );
+            // …and the bytes decompose into whole frames. Upload frames
+            // carry the union; broadcast representative frames (counted
+            // once per receiver) add whole entries on top.
+            let upload_bytes = agg.exchange_frames * FRAME_HEADER_BYTES as u64
+                + outcome.union_entries * entry_size;
+            match strategy {
+                ShardStrategy::Representative => {
+                    assert!(
+                        agg.bytes_exchanged >= upload_bytes,
+                        "{label}: broadcasts only add bytes"
+                    );
+                    assert_eq!(
+                        (agg.bytes_exchanged - agg.exchange_frames * FRAME_HEADER_BYTES as u64)
+                            % entry_size,
+                        0,
+                        "{label}: wire payloads are whole narrow entries"
+                    );
+                    assert!(
+                        agg.pruned_by_representatives > 0,
+                        "{label}: anti-correlated d=5 must prune something"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        agg.bytes_exchanged, upload_bytes,
+                        "{label}: bytes == frames × header + union × entry_size, exactly"
+                    );
+                    assert_eq!(
+                        agg.pruned_by_representatives, 0,
+                        "{label}: only the representative strategy prunes"
+                    );
+                }
+            }
+            // per-shard disks drained; the skyline lives on the
+            // coordinator disk until we delete it.
+            for (i, sd) in shard_disks.iter().enumerate() {
+                assert_eq!(sd.allocated_pages(), 0, "{label}: shard {i} disk leaked");
+            }
+            outcome.skyline.delete();
+        }
     }
 }
 
